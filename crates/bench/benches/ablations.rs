@@ -1,0 +1,107 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! * `scheduler`: the greedy ARC-HW scheduler (LDST-stall driven)
+//!   against always-reduce and ROP-preferring policies, emulated via
+//!   the stall-threshold knob;
+//! * `rop_ratio`: the ROP:SM ratio sweep that explains why the 4090
+//!   benefits more than the 3060;
+//! * `reduction`: serialized vs butterfly rewrite under identical
+//!   thresholds;
+//! * `renderer`: the raw CPU cost of the differentiable forward and
+//!   backward passes that generate the traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arc_workloads::{spec, Technique};
+use diffrender::gaussian::{backward, render, GaussianModel, NoopRecorder};
+use diffrender::loss::l2_loss;
+use diffrender::math::Vec3;
+use gpu_sim::{GpuConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scheduler_policy(c: &mut Criterion) {
+    let traces = spec("3D-TK").expect("Table-2 id").scaled(0.25).build();
+    let trace = Technique::ArcHw.prepare(&traces.gradcomp);
+
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(10);
+    for (name, threshold) in [
+        ("always-reduce", 0.0f64),
+        ("greedy-0.25", 0.25),
+        ("rop-preferring", 0.98),
+    ] {
+        let mut cfg = GpuConfig::rtx4090_sim();
+        cfg.lsu_stall_threshold = threshold;
+        let sim = Simulator::new(cfg, gpu_sim::AtomicPath::ArcHw).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(sim.run(t).expect("kernel drains")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rop_ratio(c: &mut Criterion) {
+    let traces = spec("3D-TK").expect("Table-2 id").scaled(0.25).build();
+    let mut group = c.benchmark_group("ablation_rop_ratio");
+    group.sample_size(10);
+    for partitions in [6u32, 11, 22] {
+        let mut cfg = GpuConfig::rtx4090_sim();
+        cfg.num_mem_partitions = partitions;
+        let sim = Simulator::new(cfg, gpu_sim::AtomicPath::Baseline).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}rops", partitions * 4)),
+            &traces.gradcomp,
+            |b, t| b.iter(|| black_box(sim.run(t).expect("kernel drains"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduction_kind(c: &mut Criterion) {
+    let traces = spec("3D-TK").expect("Table-2 id").scaled(0.25).build();
+    let cfg = GpuConfig::rtx4090_sim();
+    let thr = arc_core::BalanceThreshold::new(8).expect("0..=32");
+
+    let mut group = c.benchmark_group("ablation_reduction");
+    group.sample_size(10);
+    for technique in [Technique::SwS(thr), Technique::SwB(thr)] {
+        let trace = technique.prepare(&traces.gradcomp);
+        let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.label()),
+            &trace,
+            |b, t| b.iter(|| black_box(sim.run(t).expect("kernel drains"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_renderer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = GaussianModel::random(400, 96, 96, &mut rng);
+    let target = render(&GaussianModel::random(400, 96, 96, &mut rng), 96, 96, Vec3::splat(0.0))
+        .image;
+
+    let mut group = c.benchmark_group("ablation_renderer");
+    group.sample_size(10);
+    group.bench_function("forward", |b| {
+        b.iter(|| black_box(render(&model, 96, 96, Vec3::splat(0.0))))
+    });
+    let out = render(&model, 96, 96, Vec3::splat(0.0));
+    let (_, pixel_grads) = l2_loss(&out.image, &target);
+    group.bench_function("backward", |b| {
+        b.iter(|| black_box(backward(&model, &out, &pixel_grads, &mut NoopRecorder)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_policy,
+    bench_rop_ratio,
+    bench_reduction_kind,
+    bench_renderer
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 4 companion bench: simulation of the three training-stage
+//! kernels of a 3DGS workload under the baseline. The relative wall
+//! times mirror the simulated-cycle breakdown the figure reports
+//! (gradient computation dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arc_workloads::{spec, Technique};
+use gpu_sim::{GpuConfig, Simulator};
+
+fn bench_breakdown(c: &mut Criterion) {
+    let traces = spec("3D-LE").expect("Table-2 id").scaled(0.3).build();
+    let cfg = GpuConfig::rtx4090_sim();
+    let sim = Simulator::new(cfg, Technique::Baseline.path()).expect("valid config");
+
+    let mut group = c.benchmark_group("fig04_breakdown");
+    group.sample_size(10);
+    for (name, trace) in [
+        ("forward", &traces.forward),
+        ("loss", &traces.loss),
+        ("gradcomp", &traces.gradcomp),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), trace, |b, t| {
+            b.iter(|| black_box(sim.run(t).expect("kernel drains")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

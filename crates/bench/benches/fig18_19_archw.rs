@@ -1,0 +1,37 @@
+//! Figs. 18/19 companion bench: the gradient kernel of a large 3DGS
+//! scene under each hardware atomic path. Criterion's comparison mirrors
+//! the figures' speedup bars (ARC-HW fastest, then LAB/LAB-ideal, PHI
+//! near baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arc_workloads::{spec, Technique};
+use gpu_sim::{GpuConfig, Simulator};
+
+fn bench_hw_paths(c: &mut Criterion) {
+    let traces = spec("3D-DR").expect("Table-2 id").scaled(0.25).build();
+    let cfg = GpuConfig::rtx4090_sim();
+
+    let mut group = c.benchmark_group("fig18_19_archw");
+    group.sample_size(10);
+    for technique in [
+        Technique::Baseline,
+        Technique::Phi,
+        Technique::Lab,
+        Technique::LabIdeal,
+        Technique::ArcHw,
+    ] {
+        let trace = technique.prepare(&traces.gradcomp);
+        let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.label()),
+            &trace,
+            |b, t| b.iter(|| black_box(sim.run(t).expect("kernel drains"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw_paths);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 22/26 companion bench: ARC-SW variants and CCCL on the gradient
+//! kernel, including the rewrite pass itself (which on a real system is
+//! compile-time work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arc_core::{rewrite_kernel_sw, BalanceThreshold, SwConfig};
+use arc_workloads::{spec, Technique};
+use gpu_sim::{GpuConfig, Simulator};
+
+fn thr(v: u8) -> BalanceThreshold {
+    BalanceThreshold::new(v).expect("0..=32")
+}
+
+fn bench_sw_sim(c: &mut Criterion) {
+    let traces = spec("3D-LE").expect("Table-2 id").scaled(0.3).build();
+    let cfg = GpuConfig::rtx4090_sim();
+
+    let mut group = c.benchmark_group("fig22_arcsw_sim");
+    group.sample_size(10);
+    for technique in [
+        Technique::Baseline,
+        Technique::SwS(thr(16)),
+        Technique::SwB(thr(16)),
+        Technique::SwB(thr(0)),
+        Technique::Cccl,
+    ] {
+        let trace = technique.prepare(&traces.gradcomp);
+        let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.label()),
+            &trace,
+            |b, t| b.iter(|| black_box(sim.run(t).expect("kernel drains"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rewrite_pass(c: &mut Criterion) {
+    let traces = spec("3D-LE").expect("Table-2 id").scaled(0.3).build();
+    let mut group = c.benchmark_group("fig22_rewrite_pass");
+    group.sample_size(10);
+    for config in [SwConfig::serialized(thr(16)), SwConfig::butterfly(thr(16))] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.label()),
+            &traces.gradcomp,
+            |b, t| b.iter(|| black_box(rewrite_kernel_sw(t, &config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sw_sim, bench_rewrite_pass);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Diagnostic: prints detailed simulator counters and resource
+//! utilizations for one workload under every technique — the tool used
+//! to calibrate the model (see DESIGN.md §5a). Not part of the figure
+//! set; useful when modifying `gpu-sim` internals.
+//!
+//! ```text
+//! probe [workload-id] [scale]     # defaults: 3D-DR, 1.0
+//! ```
+
+use arc_core::BalanceThreshold;
+use arc_workloads::{spec, Technique};
+use gpu_sim::{GpuConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("3D-DR");
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let Some(workload) = spec(id) else {
+        eprintln!("unknown workload `{id}`; valid ids: 3D-LE..PS-SL");
+        std::process::exit(2);
+    };
+    println!("building {id} at scale {scale}...");
+    let traces = workload.scaled(scale).build();
+    println!(
+        "gradcomp atomics = {}",
+        traces.gradcomp.total_atomic_requests()
+    );
+    let thr = BalanceThreshold::new(8).expect("valid");
+    for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
+        println!("--- {} ---", cfg.name);
+        for t in [
+            Technique::Baseline,
+            Technique::ArcHw,
+            Technique::SwB(thr),
+            Technique::SwS(thr),
+            Technique::Cccl,
+            Technique::Lab,
+            Technique::LabIdeal,
+            Technique::Phi,
+        ] {
+            let sim = Simulator::new(cfg.clone(), t.path()).expect("valid config");
+            let r = sim.run(&t.prepare(&traces.gradcomp)).expect("drains");
+            println!(
+                "{:10} cycles={:8} rop_util={:4.2} red_util={:4.2} issue_util={:4.2} \
+                 rop_ops={:8} red_ops={:8} atomic_stalls={}",
+                t.label(),
+                r.cycles,
+                r.rop_utilization,
+                r.redunit_utilization,
+                r.issue_utilization,
+                r.counters.rop_lane_ops,
+                r.counters.redunit_lane_ops,
+                r.counters.atomic_stall_cycles
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Trace tooling: export Table-2 workload kernels as JSON trace files,
+//! inspect their statistics, apply ARC-SW/CCCL rewrites offline, and
+//! simulate trace files on any GPU model.
+//!
+//! ```text
+//! trace_tool export  <workload-id> <out.json> [scale]
+//! trace_tool stats   <trace.json>
+//! trace_tool rewrite <trace.json> <out.json> [sw-b|sw-s|cccl] [threshold]
+//! trace_tool sim     <trace.json> [baseline|arc-hw|lab|lab-ideal|phi] [4090|3060]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use arc_core::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
+use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+use warp_trace::{KernelTrace, TraceStats};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("export") => export(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("rewrite") => rewrite(&args[1..]),
+        Some("sim") => sim(&args[1..]),
+        _ => Err("usage: trace_tool <export|stats|rewrite|sim> ...".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<KernelTrace, String> {
+    let data = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn save(trace: &KernelTrace, path: &str) -> Result<(), String> {
+    let data = serde_json::to_string(trace).map_err(|e| e.to_string())?;
+    fs::write(path, data).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn export(args: &[String]) -> Result<(), String> {
+    let [id, out] = args.first().zip(args.get(1)).map(|(a, b)| [a, b]).ok_or(
+        "usage: trace_tool export <workload-id> <out.json> [scale]",
+    )?;
+    let scale: f64 = args.get(2).map_or(Ok(1.0), |s| {
+        s.parse().map_err(|_| "scale must be a number".to_string())
+    })?;
+    let spec = arc_workloads::spec(id).ok_or_else(|| format!("unknown workload `{id}`"))?;
+    let traces = spec.scaled(scale).build();
+    save(&traces.gradcomp, out)?;
+    println!(
+        "wrote {} ({} warps, {} atomic requests)",
+        out,
+        traces.gradcomp.warps().len(),
+        traces.gradcomp.total_atomic_requests()
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: trace_tool stats <trace.json>")?;
+    let trace = load(path)?;
+    let s = TraceStats::compute(&trace);
+    println!("kernel `{}`:", trace.name());
+    println!("  warps               {}", s.warps);
+    println!("  compute slots       {}", s.compute_slots);
+    println!("  load sectors        {}", s.load_sectors);
+    println!("  atomic instructions {}", s.atomic_instrs);
+    println!("  atomic requests     {}", s.atomic_requests);
+    println!("  unique addresses    {}", s.unique_addresses);
+    println!(
+        "  same-address        {:.2}% ({:.2}% among >=2-lane)",
+        100.0 * s.same_address_fraction(),
+        100.0 * s.same_address_multi_fraction()
+    );
+    println!("  mean active lanes   {:.2}", s.mean_active_lanes());
+    Ok(())
+}
+
+fn rewrite(args: &[String]) -> Result<(), String> {
+    let (input, out) = args
+        .first()
+        .zip(args.get(1))
+        .ok_or("usage: trace_tool rewrite <in.json> <out.json> [sw-b|sw-s|cccl] [threshold]")?;
+    let algo = args.get(2).map_or("sw-b", String::as_str);
+    let thr: u8 = args.get(3).map_or(Ok(8), |s| {
+        s.parse().map_err(|_| "threshold must be 0..=32".to_string())
+    })?;
+    let threshold = BalanceThreshold::new(thr).map_err(|e| e.to_string())?;
+    let trace = load(input)?;
+    let before = trace.total_atomic_requests();
+    let rewritten = match algo {
+        "sw-b" => rewrite_kernel_sw(&trace, &SwConfig::butterfly(threshold)).trace,
+        "sw-s" => rewrite_kernel_sw(&trace, &SwConfig::serialized(threshold)).trace,
+        "cccl" => rewrite_kernel_cccl(&trace).trace,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    save(&rewritten, out)?;
+    println!(
+        "{algo} rewrite: {} -> {} atomic requests ({:.1}% removed)",
+        before,
+        rewritten.total_atomic_requests(),
+        100.0 * (1.0 - rewritten.total_atomic_requests() as f64 / before.max(1) as f64)
+    );
+    Ok(())
+}
+
+fn sim(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: trace_tool sim <trace.json> [path] [gpu]")?;
+    let atomic_path = match args.get(1).map_or("baseline", String::as_str) {
+        "baseline" => AtomicPath::Baseline,
+        "arc-hw" => AtomicPath::ArcHw,
+        "lab" => AtomicPath::Lab,
+        "lab-ideal" => AtomicPath::LabIdeal,
+        "phi" => AtomicPath::Phi,
+        other => return Err(format!("unknown atomic path `{other}`")),
+    };
+    let cfg = match args.get(2).map_or("4090", String::as_str) {
+        "4090" => GpuConfig::rtx4090_sim(),
+        "3060" => GpuConfig::rtx3060_sim(),
+        other => return Err(format!("unknown GPU `{other}` (4090|3060)")),
+    };
+    let mut trace = load(path)?;
+    if atomic_path == AtomicPath::ArcHw {
+        trace = trace.with_atomred();
+    }
+    let sim = Simulator::new(cfg.clone(), atomic_path).map_err(|e| e.to_string())?;
+    let report = sim.run(&trace).map_err(|e| e.to_string())?;
+    println!(
+        "{} on {}: {} cycles ({:.3} ms), rop util {:.2}, redunit util {:.2}, \
+         stalls/instr {:.2}",
+        atomic_path.label(),
+        cfg.name,
+        report.cycles,
+        report.time_ms,
+        report.rop_utilization,
+        report.redunit_utilization,
+        report.stalls_per_instruction()
+    );
+    Ok(())
+}

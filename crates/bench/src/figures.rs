@@ -1,0 +1,554 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function takes the shared [`Harness`] and the GPU configs it
+//! needs, returning plain serializable data; the `figures` binary and
+//! EXPERIMENTS.md are generated from these.
+
+use serde::{Deserialize, Serialize};
+use warp_trace::{KernelKind, TraceStats};
+
+use arc_core::tuner::tune;
+use arc_core::{AreaModel, BalanceThreshold};
+use arc_workloads::{pagerank, Technique};
+use gpu_sim::GpuConfig;
+
+use crate::harness::Harness;
+use crate::report::Series;
+
+/// The evaluated GPU models (quarter-scale experiment configurations,
+/// see `GpuConfig::rtx4090_sim`).
+pub fn gpus() -> [GpuConfig; 2] {
+    [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()]
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — training-time breakdown.
+// ---------------------------------------------------------------------
+
+/// One workload's training-time split on one GPU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Workload id.
+    pub workload: String,
+    /// GPU config name.
+    pub gpu: String,
+    /// Fraction of iteration cycles in the forward pass.
+    pub forward: f64,
+    /// Fraction in the loss kernel.
+    pub loss: f64,
+    /// Fraction in gradient computation.
+    pub gradcomp: f64,
+}
+
+/// Fig. 4: baseline training-time breakdown for every workload on both
+/// GPUs.
+pub fn fig4(h: &mut Harness) -> Vec<BreakdownRow> {
+    let mut rows = Vec::new();
+    for cfg in gpus() {
+        for id in h.workload_ids() {
+            let it = h.iteration(&cfg, Technique::Baseline, &id);
+            rows.push(BreakdownRow {
+                workload: id,
+                gpu: cfg.name.clone(),
+                forward: it.fraction_of(KernelKind::Forward),
+                loss: it.fraction_of(KernelKind::Loss),
+                gradcomp: it.fraction_of(KernelKind::GradCompute),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §3.1 Observation 1 + Fig. 7 — atomic locality characterization.
+// ---------------------------------------------------------------------
+
+/// Per-workload atomic-locality statistics (Observation 1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LocalityRow {
+    /// Workload id.
+    pub workload: String,
+    /// Fraction of atomic instructions whose active lanes all hit one
+    /// address.
+    pub same_address: f64,
+    /// The ≥2-active-lane variant of the same fraction.
+    pub same_address_multi: f64,
+    /// Mean active lanes per atomic (Observation 2).
+    pub mean_active: f64,
+}
+
+/// Observation 1 across all workloads.
+pub fn obs1(h: &mut Harness) -> Vec<LocalityRow> {
+    h.workload_ids()
+        .into_iter()
+        .map(|id| {
+            let stats = TraceStats::compute(&h.traces(&id).gradcomp);
+            LocalityRow {
+                workload: id,
+                same_address: stats.same_address_fraction(),
+                same_address_multi: stats.same_address_multi_fraction(),
+                mean_active: stats.mean_active_lanes(),
+            }
+        })
+        .collect()
+}
+
+/// One workload's active-lane histogram (Fig. 7).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistogramRow {
+    /// Workload id.
+    pub workload: String,
+    /// Bucket counts, index = active lanes (0..=32).
+    pub buckets: Vec<u64>,
+}
+
+/// Fig. 7: active-lane histograms (the paper shows 3D-PR and NV-LE;
+/// we emit all requested ids).
+pub fn fig7(h: &mut Harness, ids: &[&str]) -> Vec<HistogramRow> {
+    ids.iter()
+        .map(|id| {
+            let stats = TraceStats::compute(&h.traces(id).gradcomp);
+            HistogramRow {
+                workload: id.to_string(),
+                buckets: stats.active_lanes.buckets().to_vec(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 / Fig. 24 — warp-stall breakdowns.
+// ---------------------------------------------------------------------
+
+/// One workload's stall profile under one technique on one GPU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StallRow {
+    /// Workload id.
+    pub workload: String,
+    /// GPU config name.
+    pub gpu: String,
+    /// Technique label.
+    pub technique: String,
+    /// Mean stall cycles per issued instruction.
+    pub stalls_per_instr: f64,
+    /// Fraction of active stalls that are LSU stalls.
+    pub lsu_fraction: f64,
+}
+
+/// Fig. 8: baseline gradient-computation stall breakdown on both GPUs.
+pub fn fig8(h: &mut Harness) -> Vec<StallRow> {
+    stall_rows(h, Technique::Baseline)
+}
+
+/// Fig. 24: the same breakdown under the best ARC-SW configuration.
+pub fn fig24(h: &mut Harness) -> Vec<StallRow> {
+    let mut rows = Vec::new();
+    for cfg in gpus() {
+        for id in h.workload_ids() {
+            let (technique, _) = h.best_sw(&cfg, &id);
+            let report = h.gradcomp(&cfg, technique, &id);
+            rows.push(StallRow {
+                workload: id,
+                gpu: cfg.name.clone(),
+                technique: technique.label(),
+                stalls_per_instr: report.stalls_per_instruction(),
+                lsu_fraction: report.stalls.lsu_fraction(),
+            });
+        }
+    }
+    rows
+}
+
+fn stall_rows(h: &mut Harness, technique: Technique) -> Vec<StallRow> {
+    let mut rows = Vec::new();
+    for cfg in gpus() {
+        for id in h.workload_ids() {
+            let report = h.gradcomp(&cfg, technique, &id);
+            rows.push(StallRow {
+                workload: id,
+                gpu: cfg.name.clone(),
+                technique: technique.label(),
+                stalls_per_instr: report.stalls_per_instruction(),
+                lsu_fraction: report.stalls.lsu_fraction(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figs. 18/19 — ARC-HW vs PHI/LAB/LAB-ideal speedups.
+// ---------------------------------------------------------------------
+
+/// Figs. 18 (3060-Sim) / 19 (4090-Sim): gradient-computation speedup of
+/// the hardware techniques, normalized to baseline.
+pub fn fig18_19(h: &mut Harness, cfg: &GpuConfig) -> Vec<Series> {
+    let techniques = [
+        Technique::Phi,
+        Technique::Lab,
+        Technique::LabIdeal,
+        Technique::ArcHw,
+    ];
+    techniques
+        .iter()
+        .map(|&t| {
+            let mut series = Series::new(t.label());
+            for id in h.workload_ids() {
+                series.push(id.clone(), h.gradcomp_speedup(cfg, t, &id));
+            }
+            series
+        })
+        .collect()
+}
+
+/// Figs. 20 (3060-Sim) / 21 (4090-Sim): reduction in shader atomic
+/// stalls (baseline stall cycles ÷ technique stall cycles).
+pub fn fig20_21(h: &mut Harness, cfg: &GpuConfig) -> Vec<Series> {
+    let techniques = [Technique::Lab, Technique::LabIdeal, Technique::ArcHw];
+    techniques
+        .iter()
+        .map(|&t| {
+            let mut series = Series::new(t.label());
+            for id in h.workload_ids() {
+                let base = h
+                    .gradcomp(cfg, Technique::Baseline, &id)
+                    .counters
+                    .atomic_stall_cycles
+                    .max(1);
+                let var = h.gradcomp(cfg, t, &id).counters.atomic_stall_cycles.max(1);
+                series.push(id.clone(), base as f64 / var as f64);
+            }
+            series
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 22 — ARC-SW end-to-end and gradcomp speedups.
+// ---------------------------------------------------------------------
+
+/// One workload's ARC-SW result on one GPU (Fig. 22).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SwRow {
+    /// Workload id.
+    pub workload: String,
+    /// GPU config name.
+    pub gpu: String,
+    /// The best SW configuration found (e.g. `SW-B-16`).
+    pub best_config: String,
+    /// Gradient-computation speedup over baseline.
+    pub gradcomp_speedup: f64,
+    /// End-to-end training-iteration speedup over baseline.
+    pub e2e_speedup: f64,
+}
+
+/// Fig. 22: ARC-SW (best threshold per workload) on both GPUs.
+pub fn fig22(h: &mut Harness) -> Vec<SwRow> {
+    let mut rows = Vec::new();
+    for cfg in gpus() {
+        for id in h.workload_ids() {
+            let (technique, gradcomp_speedup) = h.best_sw(&cfg, &id);
+            let e2e = h.e2e_speedup(&cfg, technique, &id);
+            rows.push(SwRow {
+                workload: id,
+                gpu: cfg.name.clone(),
+                best_config: technique.label(),
+                gradcomp_speedup,
+                e2e_speedup: e2e,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig. 23 — balancing-threshold sensitivity.
+// ---------------------------------------------------------------------
+
+/// One (workload, algorithm, threshold) speedup sample (Fig. 23).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThresholdRow {
+    /// Workload id.
+    pub workload: String,
+    /// `SW-S` or `SW-B`.
+    pub algorithm: String,
+    /// Threshold value.
+    pub threshold: u8,
+    /// Gradient-computation speedup on the 4090 model.
+    pub speedup: f64,
+}
+
+/// Fig. 23: sensitivity of SW-S and SW-B to the balancing threshold on
+/// the 4090 model. SW-B rows are omitted for Pulsar workloads (the
+/// paper: "SW-B cannot be used for PS-SS and PS-SL").
+pub fn fig23(h: &mut Harness) -> Vec<ThresholdRow> {
+    let cfg = GpuConfig::rtx4090_sim();
+    let mut rows = Vec::new();
+    for id in h.workload_ids() {
+        for thr in BalanceThreshold::paper_sweep() {
+            rows.push(ThresholdRow {
+                workload: id.clone(),
+                algorithm: "SW-S".to_string(),
+                threshold: thr.value(),
+                speedup: h.gradcomp_speedup(&cfg, Technique::SwS(thr), &id),
+            });
+            if !id.starts_with("PS") {
+                rows.push(ThresholdRow {
+                    workload: id.clone(),
+                    algorithm: "SW-B".to_string(),
+                    threshold: thr.value(),
+                    speedup: h.gradcomp_speedup(&cfg, Technique::SwB(thr), &id),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig. 25 — ARC-HW vs ARC-SW in the simulator.
+// ---------------------------------------------------------------------
+
+/// Fig. 25: per-workload speedup of ARC-HW normalized to the best
+/// ARC-SW, on the given GPU model.
+pub fn fig25(h: &mut Harness, cfg: &GpuConfig) -> Series {
+    let mut series = Series::new(format!("ARC-HW / ARC-SW ({})", cfg.name));
+    for id in h.workload_ids() {
+        let hw = h.gradcomp_speedup(cfg, Technique::ArcHw, &id);
+        let (_, sw) = h.best_sw(cfg, &id);
+        series.push(id.clone(), hw / sw);
+    }
+    series
+}
+
+// ---------------------------------------------------------------------
+// Fig. 26 — ARC-SW vs CCCL.
+// ---------------------------------------------------------------------
+
+/// Fig. 26: ARC-SW and CCCL gradcomp speedups on the 4090 model.
+pub fn fig26(h: &mut Harness) -> Vec<Series> {
+    let cfg = GpuConfig::rtx4090_sim();
+    let mut sw = Series::new("ARC-SW");
+    let mut cccl = Series::new("CCCL");
+    for id in h.workload_ids() {
+        let (_, s) = h.best_sw(&cfg, &id);
+        sw.push(id.clone(), s);
+        cccl.push(id.clone(), h.gradcomp_speedup(&cfg, Technique::Cccl, &id));
+    }
+    vec![sw, cccl]
+}
+
+// ---------------------------------------------------------------------
+// Figs. 27/28 — energy.
+// ---------------------------------------------------------------------
+
+/// Fig. 27 (ARC-SW) / Fig. 28 (ARC-HW): gradient-computation energy
+/// reduction (baseline energy ÷ technique energy) on the given GPU.
+pub fn fig27_28(h: &mut Harness, cfg: &GpuConfig, hw: bool) -> Series {
+    let label = if hw { "ARC-HW" } else { "ARC-SW" };
+    let mut series = Series::new(format!("{label} energy reduction ({})", cfg.name));
+    for id in h.workload_ids() {
+        let base = h.gradcomp(cfg, Technique::Baseline, &id).energy.total_mj;
+        let technique = if hw {
+            Technique::ArcHw
+        } else {
+            h.best_sw(cfg, &id).0
+        };
+        let var = h.gradcomp(cfg, technique, &id).energy.total_mj;
+        series.push(id.clone(), base / var);
+    }
+    series
+}
+
+// ---------------------------------------------------------------------
+// §5.4 area, §5.6 pagerank, §5.5.3 tuner.
+// ---------------------------------------------------------------------
+
+/// §5.4: the area-overhead numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AreaRow {
+    /// GPU name.
+    pub gpu: String,
+    /// Transistors added by ARC-HW.
+    pub added_transistors: u64,
+    /// Overhead as a percentage of the die.
+    pub overhead_percent: f64,
+}
+
+/// §5.4 area table for both GPUs.
+pub fn area() -> Vec<AreaRow> {
+    [("RTX 4090", AreaModel::rtx4090()), ("RTX 3060", AreaModel::rtx3060())]
+        .into_iter()
+        .map(|(gpu, m)| AreaRow {
+            gpu: gpu.to_string(),
+            added_transistors: m.added_transistors(),
+            overhead_percent: m.overhead_fraction() * 100.0,
+        })
+        .collect()
+}
+
+/// §5.6: the pagerank-vs-rendering locality contrast.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PagerankRow {
+    /// Fraction of ≥2-lane atomic warps with full same-address locality
+    /// in pagerank.
+    pub pagerank_locality: f64,
+    /// Fraction of memory accesses that are atomic in pagerank.
+    pub pagerank_atomic_fraction: f64,
+    /// The same locality metric for 3D-DR, for contrast.
+    pub rendering_locality: f64,
+}
+
+/// §5.6 comparison.
+pub fn pagerank_contrast(h: &mut Harness) -> PagerankRow {
+    let graph = pagerank::Graph::power_law(4000, 10.0, 77);
+    let rank = vec![1.0 / 4000.0; 4000];
+    let trace = pagerank::pagerank_trace(&graph, &rank, 0.85);
+    let stats = TraceStats::compute(&trace);
+    let atomic_fraction = stats.atomic_requests as f64
+        / (stats.atomic_requests + stats.load_sectors + stats.store_sectors) as f64;
+    let rendering = TraceStats::compute(&h.traces("3D-DR").gradcomp);
+    PagerankRow {
+        pagerank_locality: stats.same_address_multi_fraction(),
+        pagerank_atomic_fraction: atomic_fraction,
+        rendering_locality: rendering.same_address_multi_fraction(),
+    }
+}
+
+/// §5.5.3: the automatic threshold tuner run against real simulated
+/// costs for one workload; returns the probe curve and chosen value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuneRow {
+    /// Workload id.
+    pub workload: String,
+    /// Selected threshold.
+    pub best_threshold: u8,
+    /// Speedup of the tuned threshold over the worst probed one.
+    pub best_over_worst: f64,
+}
+
+/// §5.5.3 tuner demo over the 3DGS workloads on the 4090 model.
+pub fn tune_demo(h: &mut Harness) -> Vec<TuneRow> {
+    let cfg = GpuConfig::rtx4090_sim();
+    h.gaussian_ids()
+        .into_iter()
+        .map(|id| {
+            let outcome = tune(BalanceThreshold::paper_sweep(), |thr| {
+                h.gradcomp(&cfg, Technique::SwB(thr), &id).cycles as f64
+            });
+            TuneRow {
+                workload: id,
+                best_threshold: outcome.best.value(),
+                best_over_worst: outcome.best_over_worst(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Scaling ablation — scene size vs. the atomic bottleneck (§3, §7.2).
+// ---------------------------------------------------------------------
+
+/// One point of the scene-size scaling sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Workload scale factor applied to 3D-DR.
+    pub scale: f64,
+    /// Atomic lane-value requests in the gradient kernel.
+    pub atomic_requests: u64,
+    /// Gradient-computation share of the baseline iteration.
+    pub gradcomp_share: f64,
+    /// ARC-HW gradcomp speedup at this size.
+    pub arc_hw_speedup: f64,
+}
+
+/// Sweeps the 3D-DR workload size on the 4090 model, reproducing the
+/// paper's observation that "there is a larger increase in gradient
+/// computation time with scene size ... gradient computation is limited
+/// by atomic operations, thus becoming a bigger bottleneck in more
+/// complex scenes" (§3).
+pub fn scaling_sweep(scales: &[f64]) -> Vec<ScalingRow> {
+    let cfg = GpuConfig::rtx4090_sim();
+    scales
+        .iter()
+        .map(|&scale| {
+            let traces = arc_workloads::spec("3D-DR")
+                .expect("3D-DR exists")
+                .scaled(scale)
+                .build();
+            let base_iter =
+                arc_workloads::run_iteration(&cfg, Technique::Baseline, &traces).expect("drains");
+            let base = arc_workloads::run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp)
+                .expect("drains");
+            let hw = arc_workloads::run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp)
+                .expect("drains");
+            ScalingRow {
+                scale,
+                atomic_requests: traces.gradcomp.total_atomic_requests(),
+                gradcomp_share: base_iter.fraction_of(KernelKind::GradCompute),
+                arc_hw_speedup: base.cycles as f64 / hw.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// The analytic roofline predictions (arc-core §5.5.3 discussion) next
+/// to the simulated speedups, per workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RooflineRow {
+    /// Workload id.
+    pub workload: String,
+    /// Analytic ARC-HW speedup prediction.
+    pub predicted_hw: f64,
+    /// Simulated ARC-HW speedup.
+    pub simulated_hw: f64,
+}
+
+/// Compares the first-order analytical model against the simulator for
+/// ARC-HW on the 4090 model.
+pub fn roofline(h: &mut Harness) -> Vec<RooflineRow> {
+    let cfg = GpuConfig::rtx4090_sim();
+    let model = cfg.machine_model();
+    h.workload_ids()
+        .into_iter()
+        .map(|id| {
+            let stats = TraceStats::compute(&h.traces(&id).gradcomp);
+            let profile = arc_core::analysis::KernelProfile::from_stats(&stats);
+            RooflineRow {
+                predicted_hw: arc_core::analysis::predicted_hw_speedup(&model, &profile),
+                simulated_hw: h.gradcomp_speedup(&cfg, Technique::ArcHw, &id),
+                workload: id,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_matches_paper() {
+        let rows = area();
+        assert_eq!(rows.len(), 2);
+        let r4090 = &rows[0];
+        assert_eq!(r4090.added_transistors, 35_840_000);
+        assert!((r4090.overhead_percent - 0.047).abs() < 0.001);
+    }
+
+    #[test]
+    fn fig7_buckets_have_33_entries() {
+        let mut h = Harness::new(0.2);
+        let rows = fig7(&mut h, &["PS-SS"]);
+        assert_eq!(rows[0].buckets.len(), 33);
+    }
+
+    #[test]
+    fn pagerank_contrast_shape() {
+        let mut h = Harness::new(0.2);
+        let row = pagerank_contrast(&mut h);
+        assert!(row.pagerank_locality < 0.05);
+        assert!(row.rendering_locality > 0.95);
+        assert!(row.pagerank_atomic_fraction > 0.5);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared trace-building and simulation cache for the figure harness.
+
+use std::collections::HashMap;
+
+use arc_workloads::{all_specs, IterationTraces, Technique};
+use gpu_sim::{GpuConfig, IterationReport, KernelReport, Simulator};
+
+/// Builds workload traces on demand (each is an actual render + backward
+/// pass) and caches simulation reports so figures sharing data points —
+/// e.g. the baseline runs used by every speedup — are computed once.
+pub struct Harness {
+    scale: f64,
+    traces: HashMap<String, IterationTraces>,
+    gradcomp_cache: HashMap<(String, String, String), KernelReport>,
+    iteration_cache: HashMap<(String, String, String), IterationReport>,
+}
+
+impl Harness {
+    /// Creates a harness. `scale` scales workload canvases/primitive
+    /// counts (1.0 = the full evaluation size; benches use less).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        Harness {
+            scale,
+            traces: HashMap::new(),
+            gradcomp_cache: HashMap::new(),
+            iteration_cache: HashMap::new(),
+        }
+    }
+
+    /// The workload scale in use.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// All workload ids, in Table-2 order.
+    pub fn workload_ids(&self) -> Vec<String> {
+        all_specs().into_iter().map(|s| s.id).collect()
+    }
+
+    /// The 3DGS workload ids only.
+    pub fn gaussian_ids(&self) -> Vec<String> {
+        all_specs()
+            .into_iter()
+            .filter(|s| s.id.starts_with("3D"))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The (possibly scaled) traces for a workload, building them on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a Table-2 workload id.
+    pub fn traces(&mut self, id: &str) -> &IterationTraces {
+        let scale = self.scale;
+        self.traces.entry(id.to_string()).or_insert_with(|| {
+            let spec = arc_workloads::spec(id)
+                .unwrap_or_else(|| panic!("unknown workload id `{id}`"));
+            let spec = if (scale - 1.0).abs() < 1e-9 {
+                spec
+            } else {
+                spec.scaled(scale)
+            };
+            spec.build()
+        })
+    }
+
+    /// Simulates (with caching) the gradient-computation kernel of
+    /// `id` under `technique` on `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload or simulator failure (the workloads
+    /// and configs shipped here always drain).
+    pub fn gradcomp(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> KernelReport {
+        let key = (cfg.name.clone(), technique.label(), id.to_string());
+        if let Some(hit) = self.gradcomp_cache.get(&key) {
+            return hit.clone();
+        }
+        let trace = self.traces(id).gradcomp.clone();
+        let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
+        let report = sim
+            .run(&technique.prepare(&trace))
+            .expect("kernel must drain");
+        self.gradcomp_cache.insert(key, report.clone());
+        report
+    }
+
+    /// Simulates (with caching) the full training iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload or simulator failure.
+    pub fn iteration(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> IterationReport {
+        let key = (cfg.name.clone(), technique.label(), id.to_string());
+        if let Some(hit) = self.iteration_cache.get(&key) {
+            return hit.clone();
+        }
+        let traces = self.traces(id).clone();
+        let report =
+            arc_workloads::run_iteration(cfg, technique, &traces).expect("iteration must drain");
+        self.iteration_cache.insert(key, report.clone());
+        report
+    }
+
+    /// Gradient-computation speedup of `technique` over the baseline.
+    pub fn gradcomp_speedup(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> f64 {
+        let base = self.gradcomp(cfg, Technique::Baseline, id).cycles;
+        let var = self.gradcomp(cfg, technique, id).cycles;
+        base as f64 / var as f64
+    }
+
+    /// End-to-end (forward + loss + gradcomp) speedup over baseline.
+    pub fn e2e_speedup(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> f64 {
+        let base = self.iteration(cfg, Technique::Baseline, id).total_cycles();
+        let var = self.iteration(cfg, technique, id).total_cycles();
+        base as f64 / var as f64
+    }
+
+    /// The best-performing ARC-SW configuration for a workload on a
+    /// GPU, sweeping both algorithms over the paper's threshold grid
+    /// (§7.2: "SW-B and SW-S with the best-performing balancing
+    /// threshold").
+    pub fn best_sw(&mut self, cfg: &GpuConfig, id: &str) -> (Technique, f64) {
+        let mut best: Option<(Technique, f64)> = None;
+        for thr in arc_core::BalanceThreshold::paper_sweep() {
+            for technique in [Technique::SwS(thr), Technique::SwB(thr)] {
+                let s = self.gradcomp_speedup(cfg, technique, id);
+                if best.as_ref().is_none_or(|(_, b)| s > *b) {
+                    best = Some((technique, s));
+                }
+            }
+        }
+        best.expect("sweep is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_caches_reports() {
+        let mut h = Harness::new(0.2);
+        let cfg = GpuConfig::tiny();
+        let a = h.gradcomp(&cfg, Technique::Baseline, "PS-SS");
+        let b = h.gradcomp(&cfg, Technique::Baseline, "PS-SS");
+        assert_eq!(a, b);
+        assert_eq!(h.workload_ids().len(), 12);
+        assert_eq!(h.gaussian_ids().len(), 6);
+    }
+
+    #[test]
+    fn speedup_of_baseline_is_one() {
+        let mut h = Harness::new(0.2);
+        let cfg = GpuConfig::tiny();
+        let s = h.gradcomp_speedup(&cfg, Technique::Baseline, "PS-SS");
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_id_panics() {
+        let mut h = Harness::new(0.2);
+        let _ = h.traces("3D-XX");
+    }
+}

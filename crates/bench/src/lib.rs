@@ -1,0 +1,16 @@
+//! The figure/table regeneration harness: one function per table and
+//! figure of the ARC paper's evaluation, all driven by a shared
+//! trace-and-report cache ([`Harness`]).
+//!
+//! The `figures` binary prints these as tables; the Criterion benches
+//! re-run the hot ones at reduced scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use harness::Harness;
+pub use report::{geo_mean, Series};

@@ -1,0 +1,101 @@
+//! Small reporting helpers shared by the figure functions.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled series of (workload, value) points plus its mean — the
+/// shape of most of the paper's bar charts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (e.g. a technique name).
+    pub label: String,
+    /// `(workload id, value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, id: impl Into<String>, value: f64) {
+        self.points.push((id.into(), value));
+    }
+
+    /// Geometric mean of the values (the conventional speedup average).
+    pub fn geo_mean(&self) -> f64 {
+        geo_mean(self.points.iter().map(|&(_, v)| v))
+    }
+
+    /// Arithmetic mean of the values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// The maximum value with its workload id.
+    pub fn max(&self) -> Option<(&str, f64)> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(id, v)| (id.as_str(), *v))
+    }
+}
+
+/// Geometric mean of an iterator of positive values (0.0 when empty).
+pub fn geo_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean([]), 0.0);
+        assert!((geo_mean([4.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geo_mean_rejects_nonpositive() {
+        let _ = geo_mean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = Series::new("ARC-HW");
+        s.push("A", 2.0);
+        s.push("B", 8.0);
+        assert!((s.geo_mean() - 4.0).abs() < 1e-12);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.max(), Some(("B", 8.0)));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("x");
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.geo_mean(), 0.0);
+        assert_eq!(s.max(), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! First-order analytical (roofline-style) performance model.
+//!
+//! The paper treats the balancing threshold as a hyperparameter because
+//! "the complexity in determining the threshold analytically" (§4.4).
+//! This module provides the first-order model that *would* be used: each
+//! technique's kernel time is the max of its bottleneck terms (ROP
+//! throughput, reduction-unit throughput, shuffle-port throughput,
+//! issue bandwidth). It deliberately ignores queueing transients, load
+//! imbalance, and latency — the phenomena the cycle-level simulator
+//! exists to capture — so it predicts *trends* (which technique wins,
+//! roughly by how much), not cycle counts.
+
+use serde::{Deserialize, Serialize};
+use warp_trace::TraceStats;
+
+use crate::{BalanceThreshold, SwPath};
+
+/// Aggregate machine throughputs (per cycle, whole GPU).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Atomic lane-values the ROP units retire per cycle.
+    pub rop_rate: f64,
+    /// Lane-values all ARC reduction units fold per cycle (sub-cores ×
+    /// per-unit throughput).
+    pub redunit_rate: f64,
+    /// Warp shuffles the MIO ports sustain per cycle (SMs × port rate).
+    pub shfl_rate: f64,
+    /// Warp instructions issued per cycle (total sub-cores).
+    pub issue_rate: f64,
+}
+
+impl MachineModel {
+    /// Validates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is non-positive.
+    pub fn validate(&self) {
+        assert!(
+            self.rop_rate > 0.0
+                && self.redunit_rate > 0.0
+                && self.shfl_rate > 0.0
+                && self.issue_rate > 0.0,
+            "machine rates must be positive: {self:?}"
+        );
+    }
+}
+
+/// The kernel quantities the model consumes, extractable from
+/// [`TraceStats`].
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Total atomic lane-values.
+    pub atomic_requests: f64,
+    /// Warp-level atomic instructions.
+    pub atomic_instrs: f64,
+    /// Compute issue slots.
+    pub compute_slots: f64,
+    /// Mean active lanes per atomic instruction.
+    pub mean_active: f64,
+}
+
+impl KernelProfile {
+    /// Extracts a profile from trace statistics.
+    pub fn from_stats(stats: &TraceStats) -> Self {
+        KernelProfile {
+            atomic_requests: stats.atomic_requests as f64,
+            atomic_instrs: stats.atomic_instrs as f64,
+            compute_slots: stats.compute_slots as f64,
+            mean_active: stats.mean_active_lanes(),
+        }
+    }
+
+    fn issue_slots(&self) -> f64 {
+        self.compute_slots + self.atomic_instrs
+    }
+}
+
+/// Predicted kernel cycles under the baseline (all atomics to the ROPs).
+pub fn baseline_cycles(m: &MachineModel, p: &KernelProfile) -> f64 {
+    m.validate();
+    (p.atomic_requests / m.rop_rate).max(p.issue_slots() / m.issue_rate)
+}
+
+/// Predicted cycles under ARC-HW: the adaptive scheduler splits atomic
+/// lane-values across the reduction units and the ROPs in proportion to
+/// their rates (the balanced optimum the greedy scheduler approaches).
+pub fn arc_hw_cycles(m: &MachineModel, p: &KernelProfile) -> f64 {
+    m.validate();
+    let combined = m.rop_rate + m.redunit_rate;
+    (p.atomic_requests / combined).max(p.issue_slots() / m.issue_rate)
+}
+
+/// Predicted cycles under SW-B with the given balancing threshold.
+///
+/// Bundles whose active count is at/above the threshold pay 5 shuffles
+/// plus 5 adds per parameter and send one lane-value to the ROPs; the
+/// rest go to the ROPs unreduced. The active-count distribution is
+/// approximated by its mean (all-or-nothing at the threshold), which is
+/// exactly why the paper prefers empirical tuning — the model's
+/// threshold crossover is a step where reality is a smooth curve.
+pub fn sw_butterfly_cycles(
+    m: &MachineModel,
+    p: &KernelProfile,
+    threshold: BalanceThreshold,
+) -> f64 {
+    m.validate();
+    let reduced = matches!(
+        threshold.decide(p.mean_active.round() as u32),
+        SwPath::WarpReduce
+    );
+    if !reduced {
+        // Overhead instructions, atomics unchanged.
+        let issue = p.issue_slots() + 3.0 * p.atomic_instrs;
+        return (p.atomic_requests / m.rop_rate).max(issue / m.issue_rate);
+    }
+    let shuffles = 5.0 * p.atomic_instrs;
+    let adds = 5.0 * p.atomic_instrs;
+    let rop_values = p.atomic_instrs; // one leader value per instruction
+    let issue = p.issue_slots() + adds + 3.0 * p.atomic_instrs;
+    (shuffles / m.shfl_rate)
+        .max(rop_values / m.rop_rate)
+        .max(issue / m.issue_rate)
+}
+
+/// Predicted ARC-HW speedup over baseline.
+pub fn predicted_hw_speedup(m: &MachineModel, p: &KernelProfile) -> f64 {
+    baseline_cycles(m, p) / arc_hw_cycles(m, p)
+}
+
+/// Predicted SW-B speedup over baseline at the given threshold.
+pub fn predicted_sw_speedup(m: &MachineModel, p: &KernelProfile, thr: BalanceThreshold) -> f64 {
+    baseline_cycles(m, p) / sw_butterfly_cycles(m, p, thr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineModel {
+        // The 4090-Sim quarter-scale numbers: 44 ROPs, 128 reduction
+        // units, 2 shfl/cycle × 32 SMs, 128 issue slots.
+        MachineModel {
+            rop_rate: 44.0,
+            redunit_rate: 128.0,
+            shfl_rate: 64.0,
+            issue_rate: 128.0,
+        }
+    }
+
+    fn atomic_bound_profile() -> KernelProfile {
+        KernelProfile {
+            atomic_requests: 7.6e6,
+            atomic_instrs: 7.6e6 / 14.0,
+            compute_slots: 1.5e6,
+            mean_active: 14.0,
+        }
+    }
+
+    #[test]
+    fn baseline_is_rop_bound_for_atomic_heavy_kernels() {
+        let m = machine();
+        let p = atomic_bound_profile();
+        let cycles = baseline_cycles(&m, &p);
+        assert!((cycles - p.atomic_requests / m.rop_rate).abs() < 1.0);
+    }
+
+    #[test]
+    fn hw_speedup_approaches_combined_over_rop_ratio() {
+        let m = machine();
+        let p = atomic_bound_profile();
+        let s = predicted_hw_speedup(&m, &p);
+        let ceiling = (m.rop_rate + m.redunit_rate) / m.rop_rate;
+        assert!(s > 1.5 && s <= ceiling + 1e-9, "{s} vs ceiling {ceiling}");
+    }
+
+    #[test]
+    fn sw_speedup_collapses_above_the_threshold() {
+        let m = machine();
+        let p = atomic_bound_profile(); // mean 14 active lanes
+        let low = predicted_sw_speedup(&m, &p, BalanceThreshold::new(8).unwrap());
+        let high = predicted_sw_speedup(&m, &p, BalanceThreshold::new(24).unwrap());
+        assert!(low > 1.5, "reducing threshold should accelerate: {low}");
+        assert!(high <= 1.0 + 1e-9, "threshold above mean ⇒ no reduction: {high}");
+    }
+
+    #[test]
+    fn compute_bound_kernels_gain_nothing() {
+        let m = machine();
+        let p = KernelProfile {
+            atomic_requests: 1e4,
+            atomic_instrs: 1e3,
+            compute_slots: 5e7,
+            mean_active: 10.0,
+        };
+        let s = predicted_hw_speedup(&m, &p);
+        assert!((s - 1.0).abs() < 1e-6, "compute-bound speedup {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_machine_panics() {
+        let mut m = machine();
+        m.rop_rate = 0.0;
+        let _ = baseline_cycles(&m, &atomic_bound_profile());
+    }
+}

@@ -1,0 +1,85 @@
+//! Area-overhead model (paper §5.4).
+//!
+//! ARC-HW adds one dedicated FPU (plus a few registers and control
+//! logic) per sub-core. The paper synthesizes the FPU with Yosys at
+//! ≈70K transistors and compares against the RTX 4090's 76.3B total:
+//! `128 SMs × 4 sub-cores × 70K = 35.84M` added transistors ⇒ ~0.047%.
+
+use serde::{Deserialize, Serialize};
+
+/// Transistor-count model for the ARC-HW reduction units.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Number of streaming multiprocessors.
+    pub sms: u64,
+    /// Sub-cores (warp schedulers) per SM.
+    pub subcores_per_sm: u64,
+    /// Transistors per added FPU (Yosys estimate in the paper: 70K).
+    pub transistors_per_fpu: u64,
+    /// Total transistors of the GPU die.
+    pub gpu_transistors: u64,
+}
+
+impl AreaModel {
+    /// The RTX 4090 instance used in paper §5.4.
+    pub fn rtx4090() -> Self {
+        AreaModel {
+            sms: 128,
+            subcores_per_sm: 4,
+            transistors_per_fpu: 70_000,
+            gpu_transistors: 76_300_000_000,
+        }
+    }
+
+    /// The RTX 3060 instance (GA106: 28 SMs, ~12B transistors).
+    pub fn rtx3060() -> Self {
+        AreaModel {
+            sms: 28,
+            subcores_per_sm: 4,
+            transistors_per_fpu: 70_000,
+            gpu_transistors: 12_000_000_000,
+        }
+    }
+
+    /// Transistors added by ARC-HW (one FPU per sub-core).
+    pub fn added_transistors(&self) -> u64 {
+        self.sms * self.subcores_per_sm * self.transistors_per_fpu
+    }
+
+    /// Added transistors as a fraction of the die.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use arc_core::AreaModel;
+    ///
+    /// // Paper §5.4: "a very modest area overhead of ~0.047%".
+    /// let f = AreaModel::rtx4090().overhead_fraction();
+    /// assert!((f * 100.0 - 0.047).abs() < 0.001);
+    /// ```
+    pub fn overhead_fraction(&self) -> f64 {
+        self.added_transistors() as f64 / self.gpu_transistors as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_4090_figure() {
+        let m = AreaModel::rtx4090();
+        assert_eq!(m.added_transistors(), 35_840_000);
+        let pct = m.overhead_fraction() * 100.0;
+        assert!((pct - 0.047).abs() < 0.001, "got {pct}%");
+    }
+
+    #[test]
+    fn overhead_scales_with_sm_count() {
+        let small = AreaModel::rtx3060();
+        let big = AreaModel::rtx4090();
+        assert!(small.added_transistors() < big.added_transistors());
+        // Still well under a tenth of a percent on the smaller die.
+        assert!(small.overhead_fraction() < 0.001);
+    }
+}

@@ -1,0 +1,184 @@
+//! CCCL-style warp-level reduction, the software comparator of paper
+//! §4.2 / §7.2.
+//!
+//! NVIDIA's CCCL/CUB `WarpReduce` assumes *all* threads of the warp are
+//! active and participating; it has no notion of a divergent active mask
+//! or of per-address groups. We therefore model it as: a full-warp
+//! butterfly when every lane of the warp is active on the same address,
+//! and a fallback to plain atomics otherwise. Unlike ARC-SW it has no
+//! balancing threshold — everything eligible is reduced at the SM, and
+//! nothing is adaptively routed to the ROP units.
+
+use warp_trace::{
+    AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelTrace, LaneOp, WarpTrace,
+};
+
+use crate::reduce::{butterfly_reduce, densify};
+use crate::sw::{RewriteStats, RewrittenKernel};
+use crate::transaction::coalesce_atomic;
+use warp_trace::WARP_SIZE;
+
+/// Applies the CCCL-style rewrite to every atomic bundle of a kernel.
+///
+/// Eligibility is strict: all 32 lanes must be active *and* target one
+/// address (CCCL "requires all threads within a warp to be active", paper
+/// §4.2). Divergent bundles pay the check overhead and fall back, which
+/// is why CCCL "yields marginal performance improvements on NvDiff
+/// workloads" (paper §7.2).
+///
+/// # Example
+///
+/// ```
+/// use arc_core::rewrite_kernel_cccl;
+/// use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+///
+/// let mut w = WarpTraceBuilder::new();
+/// w.atomic(AtomicInstr::same_address(0x40, &[1.0; 32]));
+/// let t = KernelTrace::new("g", KernelKind::GradCompute, vec![w.finish()]);
+/// assert_eq!(rewrite_kernel_cccl(&t).trace.total_atomic_requests(), 1);
+/// ```
+pub fn rewrite_kernel_cccl(trace: &KernelTrace) -> RewrittenKernel {
+    let mut stats = RewriteStats::default();
+    let warps = trace
+        .warps()
+        .iter()
+        .map(|warp| rewrite_warp(warp, &mut stats))
+        .collect();
+    RewrittenKernel {
+        trace: KernelTrace::new(trace.name(), trace.kind(), warps),
+        stats,
+    }
+}
+
+fn rewrite_warp(warp: &WarpTrace, stats: &mut RewriteStats) -> WarpTrace {
+    let mut out = Vec::with_capacity(warp.instrs.len());
+    for instr in &warp.instrs {
+        match instr {
+            Instr::Atomic(bundle) => rewrite_bundle(bundle, &mut out, stats),
+            other => out.push(other.clone()),
+        }
+    }
+    WarpTrace { instrs: out }
+}
+
+fn rewrite_bundle(bundle: &AtomicBundle, out: &mut Vec<Instr>, stats: &mut RewriteStats) {
+    stats.bundles += 1;
+    stats.requests_before += bundle.total_requests();
+    if bundle.params.is_empty() {
+        return;
+    }
+    let num_params = bundle.params.len() as u32;
+
+    // Eligibility check: ballot of active lanes + compare + branch.
+    out.push(Instr::compute(ComputeKind::Vote));
+    out.push(Instr::compute(ComputeKind::Branch));
+    stats.instrs_inserted += 2;
+
+    let eligible = bundle
+        .params
+        .iter()
+        .all(|p| p.active_mask().is_full() && p.single_address());
+
+    if eligible {
+        stats.groups_reduced += 1;
+        let steps = WARP_SIZE.trailing_zeros();
+        out.push(Instr::Compute {
+            kind: ComputeKind::Shfl,
+            repeat: (steps * num_params) as u16,
+        });
+        out.push(Instr::Compute {
+            kind: ComputeKind::Fp32,
+            repeat: (steps * num_params) as u16,
+        });
+        stats.instrs_inserted += u64::from(2 * steps * num_params);
+        let reduced: Vec<AtomicInstr> = bundle
+            .params
+            .iter()
+            .map(|param| {
+                let tx = &coalesce_atomic(param)[0];
+                AtomicInstr::new(vec![LaneOp {
+                    lane: 0,
+                    addr: tx.addr,
+                    value: butterfly_reduce(&densify(tx)),
+                }])
+            })
+            .collect();
+        let new_bundle = AtomicBundle::new(reduced);
+        stats.requests_after += new_bundle.total_requests();
+        out.push(Instr::Atomic(new_bundle));
+    } else {
+        stats.groups_plain += 1;
+        stats.requests_after += bundle.total_requests();
+        out.push(Instr::Atomic(bundle.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::{GlobalMemory, KernelKind, WarpTraceBuilder};
+
+    fn kernel_with(bundle: AtomicBundle) -> KernelTrace {
+        let mut w = WarpTraceBuilder::new();
+        w.atomic_bundle(bundle);
+        KernelTrace::new("g", KernelKind::GradCompute, vec![w.finish()])
+    }
+
+    #[test]
+    fn full_warp_same_address_reduces() {
+        let bundle = AtomicBundle::new(vec![
+            AtomicInstr::same_address(0x0, &[1.0; 32]),
+            AtomicInstr::same_address(0x8, &[2.0; 32]),
+        ]);
+        let out = rewrite_kernel_cccl(&kernel_with(bundle));
+        assert_eq!(out.trace.total_atomic_requests(), 2);
+        assert_eq!(out.stats.groups_reduced, 1);
+
+        let mut base = GlobalMemory::new();
+        base.atomic_add(0x0, 32.0);
+        base.atomic_add(0x8, 64.0);
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&out.trace);
+        assert!(base.max_abs_diff(&mem) < 1e-4);
+    }
+
+    #[test]
+    fn partial_warp_falls_back_entirely() {
+        // 31 of 32 lanes active: ARC-SW would reduce this; CCCL cannot.
+        let ops = (0..31u8)
+            .map(|lane| LaneOp {
+                lane,
+                addr: 0x40,
+                value: 1.0,
+            })
+            .collect();
+        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![AtomicInstr::new(
+            ops,
+        )])));
+        assert_eq!(out.trace.total_atomic_requests(), 31);
+        assert_eq!(out.stats.groups_plain, 1);
+        // ... but it still paid the check overhead.
+        assert!(out.stats.instrs_inserted >= 2);
+    }
+
+    #[test]
+    fn multi_address_falls_back() {
+        let ops = (0..32u8)
+            .map(|lane| LaneOp {
+                lane,
+                addr: u64::from(lane % 2) * 64,
+                value: 1.0,
+            })
+            .collect();
+        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![AtomicInstr::new(
+            ops,
+        )])));
+        assert_eq!(out.trace.total_atomic_requests(), 32);
+    }
+
+    #[test]
+    fn empty_bundle_dropped() {
+        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![])));
+        assert_eq!(out.trace.total_atomic_requests(), 0);
+    }
+}

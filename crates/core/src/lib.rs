@@ -1,0 +1,45 @@
+//! ARC: warp-level Adaptive atomic ReduCtion — the paper's primary
+//! contribution, implemented independently of any particular execution
+//! substrate.
+//!
+//! The crate provides:
+//!
+//! * [`AtomicTransaction`] formation — the address-coalescing step that
+//!   groups a warp atomic's active lanes by target address (paper §4.3,
+//!   "Identifying Active Threads");
+//! * warp-level reduction algorithms ([`reduce`]) — serialized (SW-S,
+//!   paper Fig. 15), butterfly (SW-B, Fig. 16), and the CCCL-style
+//!   full-warp comparator, with both *functional* semantics (what value
+//!   is produced, including f32 reassociation order) and *cost* semantics
+//!   (which instructions a rewrite inserts);
+//! * the balancing policy ([`policy`]) — the balancing threshold of
+//!   §4.4 and the greedy hardware scheduler of §4.3;
+//! * trace rewrite passes ([`sw`] and [`cccl`]) that transform a baseline
+//!   kernel trace into its ARC-SW / CCCL equivalent;
+//! * the threshold auto-tuner of §5.5.3 ([`tuner`]);
+//! * the area-overhead model of §5.4 ([`area`]).
+//!
+//! The cycle-level behaviour of ARC-HW (the sub-core reduction unit and
+//! its interaction with the LSU) lives in the `gpu-sim` crate, which
+//! consumes the policy types defined here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod area;
+pub mod cccl;
+pub mod policy;
+pub mod reduce;
+pub mod sw;
+pub mod transaction;
+pub mod tuner;
+
+pub use analysis::{KernelProfile, MachineModel};
+pub use area::AreaModel;
+pub use cccl::rewrite_kernel_cccl;
+pub use policy::{BalanceThreshold, GreedyHwScheduler, HwPath, SwPath};
+pub use reduce::{butterfly_reduce, serialized_reduce, ReductionKind};
+pub use sw::{rewrite_kernel_sw, SwAlgorithm, SwConfig, SwCostModel};
+pub use transaction::{coalesce_atomic, AtomicTransaction};
+pub use tuner::{AutoTuner, TuneOutcome};

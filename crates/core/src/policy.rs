@@ -1,0 +1,250 @@
+//! Scheduling policies: the ARC-SW balancing threshold (paper §4.4) and
+//! the ARC-HW greedy scheduler (paper §4.3).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use warp_trace::WARP_SIZE;
+
+/// Where an ARC-SW atomic-transaction group is executed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwPath {
+    /// Warp-level reduction at the SM sub-core (registers + shuffles).
+    WarpReduce,
+    /// Plain `atomicAdd` to the L2 ROP units.
+    RopAtomic,
+}
+
+/// Where an ARC-HW `atomred` transaction is executed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HwPath {
+    /// Forwarded as a normal atomic to the ROP units (they were free).
+    Rop,
+    /// Folded by the sub-core reduction unit, then a single atomic is sent.
+    ReductionUnit,
+}
+
+/// The balancing threshold of ARC-SW: warp reduction is performed if and
+/// only if the number of active threads updating one parameter is `>=`
+/// the threshold (paper Fig. 14 and the artifact appendix).
+///
+/// Valid values are `0..=32`. `0` reduces everything at the SM; `32`
+/// reduces only full warps; values above 32 would never reduce and are
+/// rejected.
+///
+/// # Example
+///
+/// ```
+/// use arc_core::{BalanceThreshold, SwPath};
+///
+/// let thr = BalanceThreshold::new(16)?;
+/// assert_eq!(thr.decide(20), SwPath::WarpReduce);
+/// assert_eq!(thr.decide(15), SwPath::RopAtomic);
+/// # Ok::<(), arc_core::policy::ThresholdRangeError>(())
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BalanceThreshold(u8);
+
+/// Error returned when constructing a [`BalanceThreshold`] outside
+/// `0..=32`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ThresholdRangeError(pub u8);
+
+impl fmt::Display for ThresholdRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "balancing threshold {} outside 0..=32", self.0)
+    }
+}
+
+impl std::error::Error for ThresholdRangeError {}
+
+impl BalanceThreshold {
+    /// Threshold 0: every group is warp-reduced at the SM.
+    pub const ALWAYS_REDUCE: BalanceThreshold = BalanceThreshold(0);
+    /// Threshold 32: only full-warp groups are reduced.
+    pub const FULL_WARP_ONLY: BalanceThreshold = BalanceThreshold(32);
+
+    /// Creates a threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThresholdRangeError`] if `value > 32`.
+    pub fn new(value: u8) -> Result<Self, ThresholdRangeError> {
+        if usize::from(value) > WARP_SIZE {
+            Err(ThresholdRangeError(value))
+        } else {
+            Ok(BalanceThreshold(value))
+        }
+    }
+
+    /// The raw threshold value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Decides the path for a transaction group with `active` lanes.
+    pub fn decide(self, active: u32) -> SwPath {
+        if active >= u32::from(self.0) {
+            SwPath::WarpReduce
+        } else {
+            SwPath::RopAtomic
+        }
+    }
+
+    /// The candidate values swept in the paper's evaluation
+    /// (Fig. 23 / artifact appendix): {0, 8, 16, 24, 32}.
+    pub fn paper_sweep() -> [BalanceThreshold; 5] {
+        [
+            BalanceThreshold(0),
+            BalanceThreshold(8),
+            BalanceThreshold(16),
+            BalanceThreshold(24),
+            BalanceThreshold(32),
+        ]
+    }
+
+    /// Every legal threshold, `0..=32` — the §5.5.3 tuning domain.
+    pub fn all() -> impl Iterator<Item = BalanceThreshold> {
+        (0..=WARP_SIZE as u8).map(BalanceThreshold)
+    }
+}
+
+impl Default for BalanceThreshold {
+    /// Defaults to 16, a middle-of-the-road split.
+    fn default() -> Self {
+        BalanceThreshold(16)
+    }
+}
+
+impl fmt::Display for BalanceThreshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for BalanceThreshold {
+    type Err = ThresholdRangeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let v: u8 = s.parse().map_err(|_| ThresholdRangeError(u8::MAX))?;
+        BalanceThreshold::new(v)
+    }
+}
+
+/// The greedy ARC-HW scheduler (paper §4.3): "When an atomic memory
+/// transaction is generated, if the ROP units are not stalled, the ARC
+/// scheduler schedules the atomic update instructions directly to the ROP
+/// units. Otherwise, the atomic updates are reduced using ARC-HW's
+/// reduction unit."
+///
+/// The scheduler observes back-pressure at the LDST units as its proxy
+/// for ROP utilization; the simulator feeds it the LSU-stall signal.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GreedyHwScheduler {
+    rop_decisions: u64,
+    reduce_decisions: u64,
+}
+
+impl GreedyHwScheduler {
+    /// A fresh scheduler with zeroed decision counters.
+    pub fn new() -> Self {
+        GreedyHwScheduler::default()
+    }
+
+    /// Decides where to schedule the next `atomred` transaction given the
+    /// observed LDST stall status, and records the decision.
+    pub fn decide(&mut self, ldst_stalled: bool) -> HwPath {
+        if ldst_stalled {
+            self.reduce_decisions += 1;
+            HwPath::ReductionUnit
+        } else {
+            self.rop_decisions += 1;
+            HwPath::Rop
+        }
+    }
+
+    /// How many transactions were sent straight to the ROPs.
+    pub fn rop_decisions(&self) -> u64 {
+        self.rop_decisions
+    }
+
+    /// How many transactions were warp-reduced at the sub-core.
+    pub fn reduce_decisions(&self) -> u64 {
+        self.reduce_decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_bounds() {
+        assert!(BalanceThreshold::new(0).is_ok());
+        assert!(BalanceThreshold::new(32).is_ok());
+        assert_eq!(BalanceThreshold::new(33), Err(ThresholdRangeError(33)));
+    }
+
+    #[test]
+    fn threshold_decision_is_inclusive() {
+        let thr = BalanceThreshold::new(8).unwrap();
+        assert_eq!(thr.decide(8), SwPath::WarpReduce);
+        assert_eq!(thr.decide(7), SwPath::RopAtomic);
+    }
+
+    #[test]
+    fn zero_threshold_always_reduces() {
+        let thr = BalanceThreshold::ALWAYS_REDUCE;
+        for k in 0..=32 {
+            assert_eq!(thr.decide(k), SwPath::WarpReduce);
+        }
+    }
+
+    #[test]
+    fn full_warp_threshold_only_reduces_full_warps() {
+        let thr = BalanceThreshold::FULL_WARP_ONLY;
+        assert_eq!(thr.decide(32), SwPath::WarpReduce);
+        assert_eq!(thr.decide(31), SwPath::RopAtomic);
+    }
+
+    #[test]
+    fn paper_sweep_values() {
+        let vals: Vec<u8> = BalanceThreshold::paper_sweep()
+            .iter()
+            .map(|t| t.value())
+            .collect();
+        assert_eq!(vals, vec![0, 8, 16, 24, 32]);
+    }
+
+    #[test]
+    fn all_has_33_values() {
+        assert_eq!(BalanceThreshold::all().count(), 33);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let t: BalanceThreshold = "24".parse().unwrap();
+        assert_eq!(t.value(), 24);
+        assert_eq!(t.to_string(), "24");
+        assert!("40".parse::<BalanceThreshold>().is_err());
+        assert!("x".parse::<BalanceThreshold>().is_err());
+    }
+
+    #[test]
+    fn greedy_scheduler_follows_stall_signal() {
+        let mut sched = GreedyHwScheduler::new();
+        assert_eq!(sched.decide(false), HwPath::Rop);
+        assert_eq!(sched.decide(true), HwPath::ReductionUnit);
+        assert_eq!(sched.decide(true), HwPath::ReductionUnit);
+        assert_eq!(sched.rop_decisions(), 1);
+        assert_eq!(sched.reduce_decisions(), 2);
+    }
+
+    #[test]
+    fn threshold_error_display() {
+        let err = ThresholdRangeError(40);
+        assert_eq!(err.to_string(), "balancing threshold 40 outside 0..=32");
+    }
+}

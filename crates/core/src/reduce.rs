@@ -1,0 +1,160 @@
+//! Warp-level reduction algorithms and their functional semantics.
+//!
+//! Two things matter about a reduction algorithm in this reproduction:
+//! the *value* it produces (f32 additions are not associative, paper
+//! §5.2 — our tests bound the reassociation error against an f64
+//! reference) and the *instruction cost* it pays (modeled by the rewrite
+//! passes in [`crate::sw`]).
+
+use serde::{Deserialize, Serialize};
+use warp_trace::WARP_SIZE;
+
+use crate::AtomicTransaction;
+
+/// Which warp-level reduction algorithm ARC-SW uses (paper §4.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReductionKind {
+    /// SW-S (paper Fig. 15): a leader thread serially accumulates every
+    /// active lane's value via `__shfl`. Works for any set of active
+    /// lanes; cost scales with the largest per-address group.
+    Serialized,
+    /// SW-B (paper Fig. 16): a five-step butterfly (`shfl_xor`) tree.
+    /// Requires every lane of the warp to update the same address, with
+    /// originally-inactive lanes contributing zero.
+    Butterfly,
+}
+
+impl ReductionKind {
+    /// Human-readable short name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReductionKind::Serialized => "SW-S",
+            ReductionKind::Butterfly => "SW-B",
+        }
+    }
+}
+
+/// Functionally performs SW-S serialized reduction over one transaction:
+/// the leader (lowest active lane) accumulates values in ascending lane
+/// order using f32 additions, exactly as the shfl loop of Fig. 15 would.
+///
+/// Returns the leader's final f32 accumulator.
+///
+/// # Example
+///
+/// ```
+/// use arc_core::{coalesce_atomic, serialized_reduce};
+/// use warp_trace::AtomicInstr;
+///
+/// let tx = &coalesce_atomic(&AtomicInstr::same_address(0, &[1.0; 32]))[0];
+/// assert_eq!(serialized_reduce(tx), 32.0);
+/// ```
+pub fn serialized_reduce(tx: &AtomicTransaction) -> f32 {
+    let mut acc = 0.0f32;
+    for &v in &tx.values {
+        acc += v;
+    }
+    acc
+}
+
+/// Functionally performs SW-B butterfly reduction over a full warp's
+/// values (lane `i` holds `values[i]`; originally-inactive lanes must
+/// already hold zero). Reproduces the exact `shfl_xor` tree order:
+/// `for offs in [16, 8, 4, 2, 1] { val[i] += val[i ^ offs] }`, and
+/// returns lane 0's result.
+///
+/// The tree order differs from left-to-right order, so for the same
+/// inputs `butterfly_reduce` and [`serialized_reduce`] may differ by a
+/// few ULPs — which is precisely the paper's §5.2 point that workloads
+/// tolerate reassociation.
+pub fn butterfly_reduce(values: &[f32; WARP_SIZE]) -> f32 {
+    let mut val = *values;
+    let mut offs = WARP_SIZE / 2;
+    while offs >= 1 {
+        let prev = val;
+        for i in 0..WARP_SIZE {
+            val[i] = prev[i] + prev[i ^ offs];
+        }
+        offs /= 2;
+    }
+    val[0]
+}
+
+/// Expands a transaction's per-lane values into a dense 32-entry array
+/// with zeros in inactive lanes — the `was_active = false ⇒ grad = 0`
+/// transformation the programmer applies to use SW-B (paper Fig. 17).
+pub fn densify(tx: &AtomicTransaction) -> [f32; WARP_SIZE] {
+    let mut dense = [0.0f32; WARP_SIZE];
+    for (lane, &v) in tx.lanes.lanes().zip(&tx.values) {
+        dense[lane as usize] = v;
+    }
+    dense
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::{AtomicInstr, LaneMask, LaneOp};
+
+    use crate::coalesce_atomic;
+
+    fn tx_from(values: &[(u8, f32)]) -> AtomicTransaction {
+        let ops = values
+            .iter()
+            .map(|&(lane, value)| LaneOp {
+                lane,
+                addr: 0x40,
+                value,
+            })
+            .collect();
+        coalesce_atomic(&AtomicInstr::new(ops)).remove(0)
+    }
+
+    #[test]
+    fn serialized_matches_simple_sum() {
+        let tx = tx_from(&[(0, 1.0), (5, 2.0), (9, 3.5)]);
+        assert_eq!(serialized_reduce(&tx), 6.5);
+    }
+
+    #[test]
+    fn butterfly_full_warp_uniform() {
+        let vals = [1.0f32; WARP_SIZE];
+        assert_eq!(butterfly_reduce(&vals), 32.0);
+    }
+
+    #[test]
+    fn butterfly_sums_every_lane_exactly_once() {
+        // Powers of two are exactly representable; the tree must produce
+        // the exact sum of all 32 distinct values.
+        let mut vals = [0.0f32; WARP_SIZE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i as f32) * 4.0 + 1.0;
+        }
+        let expected: f32 = vals.iter().sum();
+        assert_eq!(butterfly_reduce(&vals), expected);
+    }
+
+    #[test]
+    fn densify_places_values_by_lane() {
+        let tx = tx_from(&[(3, 7.0), (31, -2.0)]);
+        let dense = densify(&tx);
+        assert_eq!(dense[3], 7.0);
+        assert_eq!(dense[31], -2.0);
+        assert_eq!(dense.iter().filter(|&&v| v != 0.0).count(), 2);
+        assert_eq!(tx.lanes, LaneMask::from_lanes([3, 31]));
+    }
+
+    #[test]
+    fn butterfly_of_densified_close_to_reference() {
+        let tx = tx_from(&[(0, 0.1), (7, 0.2), (15, 0.3), (31, 0.4)]);
+        let tree = butterfly_reduce(&densify(&tx));
+        let reference = tx.total();
+        assert!((f64::from(tree) - reference).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ReductionKind::Serialized.label(), "SW-S");
+        assert_eq!(ReductionKind::Butterfly.label(), "SW-B");
+    }
+}

@@ -1,0 +1,572 @@
+//! ARC-SW as a trace rewrite pass.
+//!
+//! The paper's `reduce_arc` (Fig. 13/14) replaces the per-parameter
+//! `atomicAdd`s of the gradient-computation kernel. At the trace level
+//! that corresponds to replacing each [`warp_trace::AtomicBundle`] with:
+//!
+//! 1. the *overhead instructions* the software primitive executes
+//!    (`__match`, `__popc` + threshold compare + branch);
+//! 2. for groups at or above the balancing threshold, the *reduction
+//!    instructions* (shuffles and adds — serialized per Fig. 15 or
+//!    butterfly per Fig. 16) followed by a shrunken atomic carrying one
+//!    lane per group;
+//! 3. for groups below the threshold, the original plain atomics.
+//!
+//! The rewritten trace is then executed by the unmodified baseline
+//! simulator: ARC-SW needs no hardware support, which is exactly the
+//! paper's point.
+
+use serde::{Deserialize, Serialize};
+use warp_trace::{
+    AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelTrace, LaneOp, WarpTrace, WARP_SIZE,
+};
+
+use crate::reduce::{butterfly_reduce, densify, serialized_reduce, ReductionKind};
+use crate::transaction::{coalesce_atomic, AtomicTransaction};
+use crate::{BalanceThreshold, SwPath};
+
+/// Which ARC-SW variant to apply. Alias of [`ReductionKind`] kept for API
+/// symmetry with the paper's SW-S / SW-B naming.
+pub type SwAlgorithm = ReductionKind;
+
+/// Instruction-overhead model for the software primitive.
+///
+/// Counts are per-bundle or per-iteration *warp instructions*; each costs
+/// one issue slot in the simulator, which is how "ARC-SW introduces
+/// overhead with control flow instructions" (paper §4.5) becomes visible
+/// in compute-bound workloads (paper §7.2, NV/PS slowdowns at bad
+/// thresholds).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwCostModel {
+    /// `__match_any_sync` instructions per bundle.
+    pub match_instrs: u16,
+    /// `__popc` + threshold-compare + branch instructions per bundle.
+    pub popc_branch_instrs: u16,
+    /// Loop bookkeeping (lane-id scan, branch) per serialized source-lane
+    /// iteration (Fig. 15 lines 10–12, 17–18).
+    pub serial_iter_overhead: u16,
+    /// `was_active` bookkeeping and zero-gradient writes per bundle for
+    /// the SW-B code transform (Fig. 17 lines 5–16).
+    pub butterfly_setup_instrs: u16,
+    /// Divergent-branch overhead when a group falls back to the plain
+    /// atomic path.
+    pub fallback_branch_instrs: u16,
+}
+
+impl Default for SwCostModel {
+    fn default() -> Self {
+        SwCostModel {
+            match_instrs: 1,
+            popc_branch_instrs: 2,
+            serial_iter_overhead: 2,
+            butterfly_setup_instrs: 2,
+            fallback_branch_instrs: 1,
+        }
+    }
+}
+
+/// Configuration of the ARC-SW rewrite.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwConfig {
+    /// SW-S or SW-B.
+    pub algorithm: SwAlgorithm,
+    /// The balancing threshold (paper §4.4).
+    pub threshold: BalanceThreshold,
+    /// Instruction-overhead model.
+    pub cost: SwCostModel,
+}
+
+impl SwConfig {
+    /// SW-S with the given threshold and default costs.
+    pub fn serialized(threshold: BalanceThreshold) -> Self {
+        SwConfig {
+            algorithm: ReductionKind::Serialized,
+            threshold,
+            cost: SwCostModel::default(),
+        }
+    }
+
+    /// SW-B with the given threshold and default costs.
+    pub fn butterfly(threshold: BalanceThreshold) -> Self {
+        SwConfig {
+            algorithm: ReductionKind::Butterfly,
+            threshold,
+            cost: SwCostModel::default(),
+        }
+    }
+
+    /// Short label like `SW-B-16` as used in the paper's figures.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.algorithm.label(), self.threshold)
+    }
+}
+
+/// Statistics collected while rewriting a kernel.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewriteStats {
+    /// Bundles examined.
+    pub bundles: u64,
+    /// Transaction groups reduced at the SM.
+    pub groups_reduced: u64,
+    /// Transaction groups sent to the ROPs as plain atomics.
+    pub groups_plain: u64,
+    /// Lane-level atomic requests before the rewrite.
+    pub requests_before: u64,
+    /// Lane-level atomic requests after the rewrite.
+    pub requests_after: u64,
+    /// Overhead/reduction compute instructions inserted.
+    pub instrs_inserted: u64,
+}
+
+impl RewriteStats {
+    /// Fraction of atomic requests eliminated by the rewrite.
+    pub fn request_reduction(&self) -> f64 {
+        if self.requests_before == 0 {
+            0.0
+        } else {
+            1.0 - self.requests_after as f64 / self.requests_before as f64
+        }
+    }
+}
+
+/// A rewritten kernel plus the rewrite statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RewrittenKernel {
+    /// The transformed trace (executable by the baseline simulator).
+    pub trace: KernelTrace,
+    /// What the rewrite did.
+    pub stats: RewriteStats,
+}
+
+/// Applies the ARC-SW rewrite to every atomic bundle of a kernel trace.
+///
+/// Functional semantics are preserved up to f32 reassociation: the sums
+/// landing in every address equal the baseline sums within floating-point
+/// tolerance (verified by the property tests in this crate and the
+/// integration suite).
+///
+/// # Example
+///
+/// ```
+/// use arc_core::{rewrite_kernel_sw, BalanceThreshold, SwConfig};
+/// use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+///
+/// let mut w = WarpTraceBuilder::new();
+/// w.atomic(AtomicInstr::same_address(0x40, &[1.0; 32]));
+/// let trace = KernelTrace::new("g", KernelKind::GradCompute, vec![w.finish()]);
+/// let out = rewrite_kernel_sw(&trace, &SwConfig::butterfly(BalanceThreshold::new(16)?));
+/// // 32 lane requests collapse to a single one.
+/// assert_eq!(out.trace.total_atomic_requests(), 1);
+/// # Ok::<(), arc_core::policy::ThresholdRangeError>(())
+/// ```
+pub fn rewrite_kernel_sw(trace: &KernelTrace, config: &SwConfig) -> RewrittenKernel {
+    let mut stats = RewriteStats::default();
+    let warps = trace
+        .warps()
+        .iter()
+        .map(|warp| rewrite_warp(warp, config, &mut stats))
+        .collect();
+    RewrittenKernel {
+        trace: KernelTrace::new(trace.name(), trace.kind(), warps),
+        stats,
+    }
+}
+
+fn rewrite_warp(warp: &WarpTrace, config: &SwConfig, stats: &mut RewriteStats) -> WarpTrace {
+    let mut out = Vec::with_capacity(warp.instrs.len());
+    for instr in &warp.instrs {
+        match instr {
+            Instr::Atomic(bundle) => rewrite_bundle(bundle, config, &mut out, stats),
+            other => out.push(other.clone()),
+        }
+    }
+    WarpTrace { instrs: out }
+}
+
+/// Emits `repeat` compute instructions and counts them as inserted.
+fn emit_compute(out: &mut Vec<Instr>, stats: &mut RewriteStats, kind: ComputeKind, repeat: u32) {
+    let mut remaining = repeat;
+    while remaining > 0 {
+        let chunk = remaining.min(u32::from(u16::MAX)) as u16;
+        out.push(Instr::Compute { kind, repeat: chunk });
+        remaining -= u32::from(chunk);
+    }
+    stats.instrs_inserted += u64::from(repeat);
+}
+
+fn rewrite_bundle(
+    bundle: &AtomicBundle,
+    config: &SwConfig,
+    out: &mut Vec<Instr>,
+    stats: &mut RewriteStats,
+) {
+    stats.bundles += 1;
+    stats.requests_before += bundle.total_requests();
+    if bundle.params.is_empty() {
+        return;
+    }
+
+    // `reduce_arc` preamble: match + popc/compare/branch (Fig. 14).
+    emit_compute(out, stats, ComputeKind::Match, u32::from(config.cost.match_instrs));
+    emit_compute(
+        out,
+        stats,
+        ComputeKind::Vote,
+        u32::from(config.cost.popc_branch_instrs),
+    );
+
+    match config.algorithm {
+        ReductionKind::Serialized => rewrite_serialized(bundle, config, out, stats),
+        ReductionKind::Butterfly => rewrite_butterfly(bundle, config, out, stats),
+    }
+}
+
+/// SW-S: per-address groups at/above the threshold are serially folded by
+/// their leader lane; the rest fall back to plain atomics.
+fn rewrite_serialized(
+    bundle: &AtomicBundle,
+    config: &SwConfig,
+    out: &mut Vec<Instr>,
+    stats: &mut RewriteStats,
+) {
+    let num_params = bundle.params.len() as u32;
+    // Per-param transaction groups (identical grouping across params since
+    // all params key off the same primitive index).
+    let per_param_txs: Vec<Vec<AtomicTransaction>> =
+        bundle.params.iter().map(coalesce_atomic).collect();
+
+    // Split by the balancing threshold using the first param's grouping.
+    let mut reduced_params: Vec<Vec<LaneOp>> = vec![Vec::new(); bundle.params.len()];
+    let mut plain_params: Vec<Vec<LaneOp>> = vec![Vec::new(); bundle.params.len()];
+    let mut max_reduced_group = 0u32;
+
+    for (param_idx, txs) in per_param_txs.iter().enumerate() {
+        for tx in txs {
+            match config.threshold.decide(tx.request_count()) {
+                SwPath::WarpReduce => {
+                    if param_idx == 0 {
+                        stats.groups_reduced += 1;
+                    }
+                    max_reduced_group = max_reduced_group.max(tx.request_count());
+                    let leader = tx
+                        .lanes
+                        .lowest()
+                        .expect("non-empty transaction has a leader");
+                    reduced_params[param_idx].push(LaneOp {
+                        lane: leader,
+                        addr: tx.addr,
+                        value: serialized_reduce(tx),
+                    });
+                }
+                SwPath::RopAtomic => {
+                    if param_idx == 0 {
+                        stats.groups_plain += 1;
+                    }
+                    for (lane, &value) in tx.lanes.lanes().zip(&tx.values) {
+                        plain_params[param_idx].push(LaneOp {
+                            lane,
+                            addr: tx.addr,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if max_reduced_group > 0 {
+        // SIMT lockstep: iterations = largest group's lane count; each
+        // iteration shuffles + adds once per parameter (Fig. 15 lines
+        // 10-15) plus the loop bookkeeping.
+        let iters = max_reduced_group;
+        emit_compute(out, stats, ComputeKind::Shfl, iters * num_params);
+        emit_compute(out, stats, ComputeKind::Fp32, iters * num_params);
+        emit_compute(
+            out,
+            stats,
+            ComputeKind::Branch,
+            iters * u32::from(config.cost.serial_iter_overhead),
+        );
+        push_bundle(out, stats, reduced_params, bundle.uniform_iteration);
+    }
+    if plain_params.iter().any(|p| !p.is_empty()) {
+        emit_compute(
+            out,
+            stats,
+            ComputeKind::Branch,
+            u32::from(config.cost.fallback_branch_instrs),
+        );
+        push_bundle(out, stats, plain_params, bundle.uniform_iteration);
+    }
+}
+
+/// SW-B: a full-warp butterfly tree when every active lane updates the
+/// same primitive *and* the enclosing loop is warp-uniform (so the Fig. 17
+/// zero-fill transform applies); otherwise the original plain atomics.
+fn rewrite_butterfly(
+    bundle: &AtomicBundle,
+    config: &SwConfig,
+    out: &mut Vec<Instr>,
+    stats: &mut RewriteStats,
+) {
+    let num_params = bundle.params.len() as u32;
+    let active = bundle
+        .params
+        .iter()
+        .map(AtomicInstr::active_count)
+        .max()
+        .unwrap_or(0);
+    let eligible = bundle.uniform_iteration && bundle.single_address() && active > 0;
+    let wanted = config.threshold.decide(active) == SwPath::WarpReduce;
+
+    if eligible && wanted {
+        stats.groups_reduced += 1;
+        // was_active bookkeeping / zero-fill (Fig. 17).
+        emit_compute(
+            out,
+            stats,
+            ComputeKind::IntAlu,
+            u32::from(config.cost.butterfly_setup_instrs),
+        );
+        // log2(32) = 5 butterfly steps, one shfl + one add per step per
+        // parameter — note this cost is paid even for lanes that were
+        // originally inactive (the "redundant computation" of §4.5).
+        let steps = WARP_SIZE.trailing_zeros();
+        emit_compute(out, stats, ComputeKind::Shfl, steps * num_params);
+        emit_compute(out, stats, ComputeKind::Fp32, steps * num_params);
+
+        let reduced: Vec<Vec<LaneOp>> = bundle
+            .params
+            .iter()
+            .map(|param| {
+                let txs = coalesce_atomic(param);
+                txs.first()
+                    .map(|tx| {
+                        vec![LaneOp {
+                            lane: 0,
+                            addr: tx.addr,
+                            value: butterfly_reduce(&densify(tx)),
+                        }]
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        push_bundle(out, stats, reduced, bundle.uniform_iteration);
+    } else {
+        stats.groups_plain += 1;
+        emit_compute(
+            out,
+            stats,
+            ComputeKind::Branch,
+            u32::from(config.cost.fallback_branch_instrs),
+        );
+        let plain: Vec<Vec<LaneOp>> = bundle
+            .params
+            .iter()
+            .map(|p| p.ops().to_vec())
+            .collect();
+        push_bundle(out, stats, plain, bundle.uniform_iteration);
+    }
+}
+
+/// Pushes a rewritten bundle (skipping empty params) and counts its
+/// remaining lane requests.
+fn push_bundle(
+    out: &mut Vec<Instr>,
+    stats: &mut RewriteStats,
+    params: Vec<Vec<LaneOp>>,
+    uniform: bool,
+) {
+    let instrs: Vec<AtomicInstr> = params
+        .into_iter()
+        .filter(|ops| !ops.is_empty())
+        .map(|mut ops| {
+            // Ops were gathered transaction by transaction; restore the
+            // per-lane order AtomicInstr requires.
+            ops.sort_by_key(|op| op.lane);
+            AtomicInstr::new(ops)
+        })
+        .collect();
+    if instrs.is_empty() {
+        return;
+    }
+    let bundle = if uniform {
+        AtomicBundle::new(instrs)
+    } else {
+        AtomicBundle::non_uniform(instrs)
+    };
+    stats.requests_after += bundle.total_requests();
+    out.push(Instr::Atomic(bundle));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::{GlobalMemory, KernelKind, TraceStats, WarpTraceBuilder};
+
+    fn full_warp_bundle(params: usize) -> AtomicBundle {
+        let instrs = (0..params)
+            .map(|p| AtomicInstr::same_address(0x100 + 4 * p as u64, &[1.0; 32]))
+            .collect();
+        AtomicBundle::new(instrs)
+    }
+
+    fn kernel_with(bundle: AtomicBundle) -> KernelTrace {
+        let mut w = WarpTraceBuilder::new();
+        w.compute_ffma(8).atomic_bundle(bundle);
+        KernelTrace::new("g", KernelKind::GradCompute, vec![w.finish()])
+    }
+
+    fn thr(v: u8) -> BalanceThreshold {
+        BalanceThreshold::new(v).unwrap()
+    }
+
+    #[test]
+    fn butterfly_collapses_full_warp_to_one_request_per_param() {
+        let trace = kernel_with(full_warp_bundle(3));
+        let out = rewrite_kernel_sw(&trace, &SwConfig::butterfly(thr(16)));
+        assert_eq!(out.trace.total_atomic_requests(), 3);
+        assert_eq!(out.stats.requests_before, 96);
+        assert_eq!(out.stats.requests_after, 3);
+        assert!(out.stats.request_reduction() > 0.96);
+    }
+
+    #[test]
+    fn serialized_collapses_groups_to_leaders() {
+        let trace = kernel_with(full_warp_bundle(2));
+        let out = rewrite_kernel_sw(&trace, &SwConfig::serialized(thr(8)));
+        assert_eq!(out.trace.total_atomic_requests(), 2);
+        assert_eq!(out.stats.groups_reduced, 1);
+    }
+
+    #[test]
+    fn below_threshold_goes_to_rop_unchanged() {
+        // Only 4 active lanes, threshold 16 ⇒ plain path.
+        let instr = AtomicInstr::new(
+            (0..4)
+                .map(|lane| LaneOp {
+                    lane,
+                    addr: 0x40,
+                    value: 1.0,
+                })
+                .collect(),
+        );
+        let trace = kernel_with(AtomicBundle::new(vec![instr]));
+        for cfg in [
+            SwConfig::serialized(thr(16)),
+            SwConfig::butterfly(thr(16)),
+        ] {
+            let out = rewrite_kernel_sw(&trace, &cfg);
+            assert_eq!(out.trace.total_atomic_requests(), 4, "{}", cfg.label());
+            assert_eq!(out.stats.groups_plain, 1);
+        }
+    }
+
+    #[test]
+    fn butterfly_ineligible_for_non_uniform_loops() {
+        let bundle = AtomicBundle::non_uniform(vec![AtomicInstr::same_address(0x0, &[1.0; 32])]);
+        let trace = kernel_with(bundle);
+        let out = rewrite_kernel_sw(&trace, &SwConfig::butterfly(thr(0)));
+        // Falls back: all 32 requests survive.
+        assert_eq!(out.trace.total_atomic_requests(), 32);
+    }
+
+    #[test]
+    fn butterfly_ineligible_for_multi_address_warps() {
+        let ops = (0..32u8)
+            .map(|lane| LaneOp {
+                lane,
+                addr: 0x40 + u64::from(lane / 16) * 8, // two primitives
+                value: 1.0,
+            })
+            .collect();
+        let trace = kernel_with(AtomicBundle::new(vec![AtomicInstr::new(ops)]));
+        let out = rewrite_kernel_sw(&trace, &SwConfig::butterfly(thr(0)));
+        assert_eq!(out.trace.total_atomic_requests(), 32);
+    }
+
+    #[test]
+    fn serialized_handles_multi_address_warps() {
+        let ops = (0..32u8)
+            .map(|lane| LaneOp {
+                lane,
+                addr: 0x40 + u64::from(lane / 16) * 8,
+                value: 2.0,
+            })
+            .collect();
+        let trace = kernel_with(AtomicBundle::new(vec![AtomicInstr::new(ops)]));
+        let out = rewrite_kernel_sw(&trace, &SwConfig::serialized(thr(8)));
+        // Two groups of 16, both reduced ⇒ one leader request each.
+        assert_eq!(out.trace.total_atomic_requests(), 2);
+        assert_eq!(out.stats.groups_reduced, 2);
+        // Values preserved.
+        let mut base = GlobalMemory::new();
+        base.apply_trace(&trace);
+        let mut rewritten = GlobalMemory::new();
+        rewritten.apply_trace(&out.trace);
+        assert!(base.max_abs_diff(&rewritten) < 1e-4);
+    }
+
+    #[test]
+    fn rewrite_preserves_sums_mixed_paths() {
+        // 20 lanes on one address (reduced at thr=16), 6 on another (plain).
+        let mut ops = Vec::new();
+        for lane in 0..20u8 {
+            ops.push(LaneOp {
+                lane,
+                addr: 0x10,
+                value: 0.5 + f32::from(lane),
+            });
+        }
+        for lane in 20..26u8 {
+            ops.push(LaneOp {
+                lane,
+                addr: 0x20,
+                value: 1.25,
+            });
+        }
+        let trace = kernel_with(AtomicBundle::new(vec![AtomicInstr::new(ops)]));
+        let out = rewrite_kernel_sw(&trace, &SwConfig::serialized(thr(16)));
+        let mut base = GlobalMemory::new();
+        base.apply_trace(&trace);
+        let mut rewritten = GlobalMemory::new();
+        rewritten.apply_trace(&out.trace);
+        assert!(base.max_abs_diff(&rewritten) < 1e-3);
+        // One group reduced, one plain.
+        assert_eq!(out.stats.groups_reduced, 1);
+        assert_eq!(out.stats.groups_plain, 1);
+    }
+
+    #[test]
+    fn rewrite_inserts_overhead_instructions() {
+        let trace = kernel_with(full_warp_bundle(1));
+        let base_stats = TraceStats::compute(&trace);
+        let out = rewrite_kernel_sw(&trace, &SwConfig::butterfly(thr(16)));
+        let new_stats = TraceStats::compute(&out.trace);
+        assert!(new_stats.compute_slots > base_stats.compute_slots);
+        assert!(out.stats.instrs_inserted > 0);
+    }
+
+    #[test]
+    fn non_atomic_instructions_pass_through() {
+        let mut w = WarpTraceBuilder::new();
+        w.compute_fp32(5).load(3).store(1);
+        let trace = KernelTrace::new("f", KernelKind::Forward, vec![w.finish()]);
+        let out = rewrite_kernel_sw(&trace, &SwConfig::butterfly(thr(16)));
+        assert_eq!(out.trace, trace);
+        assert_eq!(out.stats.bundles, 0);
+    }
+
+    #[test]
+    fn empty_bundle_is_dropped() {
+        let trace = kernel_with(AtomicBundle::new(vec![]));
+        let out = rewrite_kernel_sw(&trace, &SwConfig::serialized(thr(0)));
+        assert_eq!(out.trace.total_atomic_requests(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SwConfig::butterfly(thr(8)).label(), "SW-B-8");
+        assert_eq!(SwConfig::serialized(thr(24)).label(), "SW-S-24");
+    }
+}

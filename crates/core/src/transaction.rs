@@ -1,0 +1,133 @@
+//! Atomic transaction formation (address coalescing for atomics).
+//!
+//! ARC-HW "leverages the address coalescing module ... for each memory
+//! location being updated atomically in the warp, the corresponding active
+//! threads are identified (generating an *atomic transaction*)" (paper
+//! §4.3). A transaction is the unit that travels to the L2 ROP units, and
+//! the unit the sub-core reduction unit folds.
+
+use serde::{Deserialize, Serialize};
+use warp_trace::{AtomicInstr, LaneMask};
+
+/// All lane operations of one warp atomic that target the same address.
+///
+/// In the baseline, a transaction with `k` lane values costs `k` atomic
+/// requests at the LSU / interconnect / ROP. After warp-level reduction it
+/// costs exactly one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AtomicTransaction {
+    /// Target global address.
+    pub addr: u64,
+    /// Lanes contributing to this transaction.
+    pub lanes: LaneMask,
+    /// Per-lane values, in ascending lane order (parallel to
+    /// `lanes.lanes()`).
+    pub values: Vec<f32>,
+}
+
+impl AtomicTransaction {
+    /// Number of lane-level atomic requests this transaction represents.
+    pub fn request_count(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// The fully-reduced value (f64 accumulation; the reference total).
+    pub fn total(&self) -> f64 {
+        self.values.iter().map(|&v| f64::from(v)).sum()
+    }
+}
+
+/// Groups the active lanes of a warp atomic by target address, preserving
+/// lane order within each group and first-appearance order across groups —
+/// exactly what a hardware address coalescer produces.
+///
+/// # Example
+///
+/// ```
+/// use arc_core::coalesce_atomic;
+/// use warp_trace::{AtomicInstr, LaneOp};
+///
+/// let instr = AtomicInstr::new(vec![
+///     LaneOp { lane: 0, addr: 64, value: 1.0 },
+///     LaneOp { lane: 1, addr: 32, value: 2.0 },
+///     LaneOp { lane: 2, addr: 64, value: 3.0 },
+/// ]);
+/// let txs = coalesce_atomic(&instr);
+/// assert_eq!(txs.len(), 2);
+/// assert_eq!(txs[0].addr, 64);
+/// assert_eq!(txs[0].request_count(), 2);
+/// assert_eq!(txs[1].addr, 32);
+/// ```
+pub fn coalesce_atomic(instr: &AtomicInstr) -> Vec<AtomicTransaction> {
+    // Warps touch at most a handful of addresses; linear scan beats a map.
+    let mut txs: Vec<AtomicTransaction> = Vec::new();
+    for op in instr.ops() {
+        match txs.iter_mut().find(|t| t.addr == op.addr) {
+            Some(tx) => {
+                tx.lanes = tx.lanes.with(op.lane);
+                tx.values.push(op.value);
+            }
+            None => txs.push(AtomicTransaction {
+                addr: op.addr,
+                lanes: LaneMask::from_lanes([op.lane]),
+                values: vec![op.value],
+            }),
+        }
+    }
+    txs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::LaneOp;
+
+    fn op(lane: u8, addr: u64, value: f32) -> LaneOp {
+        LaneOp { lane, addr, value }
+    }
+
+    #[test]
+    fn empty_instr_produces_no_transactions() {
+        assert!(coalesce_atomic(&AtomicInstr::new(vec![])).is_empty());
+    }
+
+    #[test]
+    fn full_warp_same_address_is_one_transaction() {
+        let instr = AtomicInstr::same_address(0x10, &[2.0; 32]);
+        let txs = coalesce_atomic(&instr);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].request_count(), 32);
+        assert!(txs[0].lanes.is_full());
+        assert!((txs[0].total() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_preserve_lane_order() {
+        let instr = AtomicInstr::new(vec![
+            op(0, 8, 1.0),
+            op(3, 16, 2.0),
+            op(5, 8, 3.0),
+            op(9, 16, 4.0),
+        ]);
+        let txs = coalesce_atomic(&instr);
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].values, vec![1.0, 3.0]);
+        assert_eq!(txs[0].lanes, LaneMask::from_lanes([0, 5]));
+        assert_eq!(txs[1].values, vec![2.0, 4.0]);
+        assert_eq!(txs[1].lanes, LaneMask::from_lanes([3, 9]));
+    }
+
+    #[test]
+    fn request_counts_sum_to_active_lanes() {
+        let instr = AtomicInstr::new(vec![
+            op(1, 8, 1.0),
+            op(2, 24, 1.0),
+            op(4, 8, 1.0),
+            op(8, 32, 1.0),
+            op(16, 24, 1.0),
+        ]);
+        let txs = coalesce_atomic(&instr);
+        let total: u32 = txs.iter().map(AtomicTransaction::request_count).sum();
+        assert_eq!(total, instr.active_count());
+    }
+}

@@ -1,0 +1,218 @@
+//! Automatic balancing-threshold tuning (paper §5.5.3).
+//!
+//! "We execute one iteration of the gradient computation kernel using all
+//! 32 values of the threshold and select the value that provides the
+//! largest speedup. We repeat this profiling every N iterations."
+
+use serde::{Deserialize, Serialize};
+
+use crate::BalanceThreshold;
+
+/// The result of one profiling sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// The threshold selected (lowest cost).
+    pub best: BalanceThreshold,
+    /// Cost measured at the best threshold.
+    pub best_cost: f64,
+    /// `(threshold, cost)` for every candidate probed, in probe order.
+    pub probes: Vec<(BalanceThreshold, f64)>,
+}
+
+impl TuneOutcome {
+    /// Speedup of the best threshold over the worst probed one.
+    pub fn best_over_worst(&self) -> f64 {
+        let worst = self
+            .probes
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::MIN, f64::max);
+        if self.best_cost > 0.0 {
+            worst / self.best_cost
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Sweeps the candidate thresholds with the provided cost function (e.g.
+/// simulated gradient-kernel cycles) and picks the cheapest.
+///
+/// Ties go to the first (lowest) candidate, which matches a profiler that
+/// keeps the incumbent unless a strictly better value appears.
+pub fn tune<F>(candidates: impl IntoIterator<Item = BalanceThreshold>, mut cost: F) -> TuneOutcome
+where
+    F: FnMut(BalanceThreshold) -> f64,
+{
+    let mut probes = Vec::new();
+    let mut best: Option<(BalanceThreshold, f64)> = None;
+    for thr in candidates {
+        let c = cost(thr);
+        probes.push((thr, c));
+        match best {
+            Some((_, bc)) if c >= bc => {}
+            _ => best = Some((thr, c)),
+        }
+    }
+    let (best, best_cost) = best.expect("tune() requires at least one candidate threshold");
+    TuneOutcome {
+        best,
+        best_cost,
+        probes,
+    }
+}
+
+/// Online tuner for a training loop: re-profiles every `retune_interval`
+/// iterations (the paper uses N = 2000) and otherwise returns the cached
+/// best threshold.
+///
+/// # Example
+///
+/// ```
+/// use arc_core::{AutoTuner, BalanceThreshold};
+///
+/// let mut tuner = AutoTuner::new(100);
+/// // First iteration profiles; cost is minimized at threshold 16.
+/// for _ in 0..3 {
+///     let thr = tuner.on_iteration(|t| (f64::from(t.value()) - 16.0).abs());
+///     assert_eq!(thr.value(), 16);
+/// }
+/// assert_eq!(tuner.profiles_run(), 1);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AutoTuner {
+    retune_interval: u64,
+    iteration: u64,
+    profiles_run: u64,
+    current: BalanceThreshold,
+    last_outcome: Option<TuneOutcome>,
+}
+
+impl AutoTuner {
+    /// Creates a tuner that re-profiles every `retune_interval`
+    /// iterations (the first iteration always profiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retune_interval` is zero.
+    pub fn new(retune_interval: u64) -> Self {
+        assert!(retune_interval > 0, "retune interval must be positive");
+        AutoTuner {
+            retune_interval,
+            iteration: 0,
+            profiles_run: 0,
+            current: BalanceThreshold::default(),
+            last_outcome: None,
+        }
+    }
+
+    /// Advances one training iteration. When a profile is due, `cost` is
+    /// invoked once per legal threshold (0..=32); otherwise it is not
+    /// called at all. Returns the threshold to use for this iteration.
+    pub fn on_iteration<F>(&mut self, cost: F) -> BalanceThreshold
+    where
+        F: FnMut(BalanceThreshold) -> f64,
+    {
+        if self.iteration.is_multiple_of(self.retune_interval) {
+            let outcome = tune(BalanceThreshold::all(), cost);
+            self.current = outcome.best;
+            self.last_outcome = Some(outcome);
+            self.profiles_run += 1;
+        }
+        self.iteration += 1;
+        self.current
+    }
+
+    /// The currently selected threshold.
+    pub fn current(&self) -> BalanceThreshold {
+        self.current
+    }
+
+    /// How many profiling sweeps have run.
+    pub fn profiles_run(&self) -> u64 {
+        self.profiles_run
+    }
+
+    /// The most recent profiling sweep, if any.
+    pub fn last_outcome(&self) -> Option<&TuneOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Fraction of iterations so far that ran a (33× more expensive)
+    /// profiling sweep — the paper's "negligible amount of overhead"
+    /// claim, quantified.
+    pub fn profiling_overhead(&self) -> f64 {
+        if self.iteration == 0 {
+            0.0
+        } else {
+            // Each profile costs 33 kernel executions instead of 1.
+            let extra = self.profiles_run * 32;
+            extra as f64 / (self.iteration + extra) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_picks_minimum() {
+        let out = tune(BalanceThreshold::paper_sweep(), |t| {
+            (f64::from(t.value()) - 22.0).powi(2)
+        });
+        assert_eq!(out.best.value(), 24);
+        assert_eq!(out.probes.len(), 5);
+        assert!(out.best_over_worst() > 1.0);
+    }
+
+    #[test]
+    fn tune_tie_goes_to_first() {
+        let out = tune(BalanceThreshold::paper_sweep(), |_| 1.0);
+        assert_eq!(out.best.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn tune_empty_panics() {
+        let _ = tune(Vec::new(), |_| 0.0);
+    }
+
+    #[test]
+    fn autotuner_retunes_on_schedule() {
+        let mut tuner = AutoTuner::new(10);
+        let mut calls = 0u64;
+        for i in 0..25 {
+            // Optimum drifts: first profile picks 8, later ones pick 24.
+            let target = if i < 10 { 8.0 } else { 24.0 };
+            let thr = tuner.on_iteration(|t| {
+                calls += 1;
+                (f64::from(t.value()) - target).abs()
+            });
+            if i < 10 {
+                assert_eq!(thr.value(), 8, "iteration {i}");
+            } else if i >= 10 {
+                assert_eq!(thr.value(), 24, "iteration {i}");
+            }
+        }
+        assert_eq!(tuner.profiles_run(), 3); // iterations 0, 10, 20
+        assert_eq!(calls, 3 * 33);
+        assert!(tuner.profiling_overhead() < 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "retune interval")]
+    fn zero_interval_panics() {
+        let _ = AutoTuner::new(0);
+    }
+
+    #[test]
+    fn overhead_shrinks_with_training_length() {
+        let mut tuner = AutoTuner::new(2000);
+        for _ in 0..4000 {
+            let _ = tuner.on_iteration(|_| 1.0);
+        }
+        // 2 profiles × 32 extra runs over 4000 iterations: ~1.6%.
+        assert!(tuner.profiling_overhead() < 0.02);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the ARC-core reduction algorithms and
+//! rewrite invariants that go beyond the unit tests: reassociation
+//! error bounds, threshold monotonicity, and idempotence.
+
+use arc_core::{
+    butterfly_reduce, coalesce_atomic, rewrite_kernel_sw, serialized_reduce, BalanceThreshold,
+    SwConfig,
+};
+use proptest::prelude::*;
+use warp_trace::{AtomicBundle, AtomicInstr, KernelKind, KernelTrace, LaneOp, WarpTraceBuilder};
+
+fn arb_values() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, 1..32)
+}
+
+fn instr_from(values: &[f32]) -> AtomicInstr {
+    AtomicInstr::new(
+        values
+            .iter()
+            .enumerate()
+            .map(|(lane, &value)| LaneOp {
+                lane: lane as u8,
+                addr: 0x40,
+                value,
+            })
+            .collect(),
+    )
+}
+
+fn kernel_with(instr: AtomicInstr) -> KernelTrace {
+    let mut b = WarpTraceBuilder::new();
+    b.atomic_bundle(AtomicBundle::new(vec![instr]));
+    KernelTrace::new("p", KernelKind::GradCompute, vec![b.finish()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialized and butterfly reductions agree with the f64 reference
+    /// within reassociation tolerance (paper §5.2's commutativity
+    /// argument, quantified).
+    #[test]
+    fn reductions_bound_reassociation_error(values in arb_values()) {
+        let instr = instr_from(&values);
+        let tx = &coalesce_atomic(&instr)[0];
+        let reference: f64 = values.iter().map(|&v| f64::from(v)).sum();
+        let serial = f64::from(serialized_reduce(tx));
+        let mut dense = [0.0f32; 32];
+        for (i, &v) in values.iter().enumerate() {
+            dense[i] = v;
+        }
+        let tree = f64::from(butterfly_reduce(&dense));
+        let scale: f64 = values.iter().map(|&v| f64::from(v.abs())).sum::<f64>() + 1.0;
+        prop_assert!((serial - reference).abs() <= 1e-4 * scale);
+        prop_assert!((tree - reference).abs() <= 1e-4 * scale);
+    }
+
+    /// Lowering the threshold never increases the surviving atomic
+    /// request count (more groups get reduced).
+    #[test]
+    fn lower_threshold_means_fewer_requests(values in arb_values()) {
+        let trace = kernel_with(instr_from(&values));
+        let mut last = u64::MAX;
+        for thr in [0u8, 8, 16, 24, 32] {
+            let cfg = SwConfig::serialized(BalanceThreshold::new(thr).unwrap());
+            let out = rewrite_kernel_sw(&trace, &cfg);
+            let requests = out.trace.total_atomic_requests();
+            prop_assert!(
+                requests >= std::cmp::min(last, requests),
+                "sanity"
+            );
+            prop_assert!(
+                last == u64::MAX || requests >= last || last >= requests,
+                "total order"
+            );
+            // Monotone non-decreasing with threshold.
+            if last != u64::MAX {
+                prop_assert!(requests >= last, "thr {thr}: {requests} < {last}");
+            }
+            last = requests;
+        }
+    }
+
+    /// Rewriting an already-rewritten kernel is a no-op on its atomic
+    /// request count (all surviving groups are single-lane or below
+    /// threshold).
+    #[test]
+    fn rewrite_is_idempotent_on_request_count(values in arb_values(), thr in 0u8..=32) {
+        let cfg = SwConfig::serialized(BalanceThreshold::new(thr).unwrap());
+        let trace = kernel_with(instr_from(&values));
+        let once = rewrite_kernel_sw(&trace, &cfg);
+        let twice = rewrite_kernel_sw(&once.trace, &cfg);
+        prop_assert!(
+            twice.trace.total_atomic_requests() <= once.trace.total_atomic_requests(),
+            "second pass must not add requests"
+        );
+        // With threshold ≥ 2, single-lane leaders can't be re-reduced.
+        if thr >= 2 {
+            prop_assert_eq!(
+                twice.trace.total_atomic_requests(),
+                once.trace.total_atomic_requests()
+            );
+        }
+    }
+
+    /// The butterfly tree value equals the serialized value for exactly
+    /// representable inputs (integers), regardless of lane placement.
+    #[test]
+    fn tree_and_serial_agree_exactly_on_integers(
+        ints in proptest::collection::vec(-64i8..64, 1..32),
+        offset in 0u8..16,
+    ) {
+        let ops: Vec<LaneOp> = ints
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| LaneOp {
+                lane: (i as u8) + offset.min(32 - ints.len() as u8),
+                addr: 0,
+                value: f32::from(v),
+            })
+            .collect();
+        let instr = AtomicInstr::new(ops);
+        let tx = &coalesce_atomic(&instr)[0];
+        let serial = serialized_reduce(tx);
+        let tree = butterfly_reduce(&arc_core::reduce::densify(tx));
+        prop_assert_eq!(serial, tree);
+    }
+}

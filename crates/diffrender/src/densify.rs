@@ -1,0 +1,376 @@
+//! Adaptive density control for Gaussian models — the densify/clone/
+//! split/prune scheme of 3DGS (Kerbl et al. §5): Gaussians whose
+//! view-space positional gradients stay large are under-reconstructing
+//! and get cloned (if small) or split (if large); near-transparent
+//! Gaussians are pruned.
+//!
+//! This is the part of the training loop that *grows* the scene — the
+//! reason the paper's large scenes (3D-PR/DR) end up with the huge
+//! parameter counts that make the atomic bottleneck so pronounced.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gaussian::{GaussianModel, RasterGrads};
+use crate::math::Vec2;
+
+/// Accumulates per-Gaussian view-space gradient magnitudes across
+/// training iterations (3DGS averages ∥dL/dmean2D∥ between
+/// densification rounds).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GradAccumulator {
+    sum_norm: Vec<f32>,
+    count: Vec<u32>,
+}
+
+impl GradAccumulator {
+    /// An accumulator for `n` Gaussians.
+    pub fn new(n: usize) -> Self {
+        GradAccumulator {
+            sum_norm: vec![0.0; n],
+            count: vec![0; n],
+        }
+    }
+
+    /// Number of tracked Gaussians.
+    pub fn len(&self) -> usize {
+        self.sum_norm.len()
+    }
+
+    /// Whether the accumulator tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sum_norm.is_empty()
+    }
+
+    /// Records one iteration's raster gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient count mismatches.
+    pub fn record(&mut self, raster: &RasterGrads) {
+        assert_eq!(raster.mean.len(), self.sum_norm.len(), "size mismatch");
+        for (i, g) in raster.mean.iter().enumerate() {
+            let norm = (g.x * g.x + g.y * g.y).sqrt();
+            if norm > 0.0 {
+                self.sum_norm[i] += norm;
+                self.count[i] += 1;
+            }
+        }
+    }
+
+    /// Mean accumulated gradient norm for Gaussian `i` (0.0 if it never
+    /// received gradient).
+    pub fn mean_norm(&self, i: usize) -> f32 {
+        if self.count[i] == 0 {
+            0.0
+        } else {
+            self.sum_norm[i] / self.count[i] as f32
+        }
+    }
+
+    /// Clears the accumulator (called after each densification round).
+    pub fn reset(&mut self, n: usize) {
+        self.sum_norm.clear();
+        self.sum_norm.resize(n, 0.0);
+        self.count.clear();
+        self.count.resize(n, 0);
+    }
+}
+
+/// Densification / pruning policy.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DensifyConfig {
+    /// Mean view-space gradient norm above which a Gaussian densifies.
+    pub grad_threshold: f32,
+    /// Screen-space standard deviation (pixels) above which a
+    /// densifying Gaussian is split rather than cloned.
+    pub split_size: f32,
+    /// Opacity below which a Gaussian is pruned.
+    pub prune_opacity: f32,
+    /// Hard cap on the model size (densification stops at the cap).
+    pub max_gaussians: usize,
+}
+
+impl Default for DensifyConfig {
+    fn default() -> Self {
+        DensifyConfig {
+            grad_threshold: 2e-6,
+            split_size: 4.0,
+            prune_opacity: 0.01,
+            max_gaussians: 100_000,
+        }
+    }
+}
+
+/// What a densification round did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DensifyStats {
+    /// Small high-gradient Gaussians duplicated in place.
+    pub cloned: usize,
+    /// Large high-gradient Gaussians replaced by two smaller ones.
+    pub split: usize,
+    /// Near-transparent Gaussians removed.
+    pub pruned: usize,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Runs one densify-and-prune round on a 2D Gaussian model, consuming
+/// the accumulated gradients (the accumulator is reset to the new model
+/// size).
+///
+/// # Panics
+///
+/// Panics if the accumulator size mismatches the model.
+pub fn densify_and_prune(
+    model: &mut GaussianModel,
+    accum: &mut GradAccumulator,
+    cfg: &DensifyConfig,
+) -> DensifyStats {
+    assert_eq!(accum.len(), model.len(), "accumulator/model size mismatch");
+    let mut stats = DensifyStats::default();
+    let n = model.len();
+
+    // 1. Prune transparent Gaussians (compact in place).
+    let keep: Vec<bool> = (0..n)
+        .map(|i| sigmoid(model.opacity_logit[i]) >= cfg.prune_opacity)
+        .collect();
+    stats.pruned = keep.iter().filter(|&&k| !k).count();
+    retain_by_mask(model, &keep);
+    let norms: Vec<f32> = (0..n)
+        .filter(|&i| keep[i])
+        .map(|i| accum.mean_norm(i))
+        .collect();
+
+    // 2. Densify survivors with large accumulated gradients.
+    let survivors = model.len();
+    for (i, &norm) in norms.iter().enumerate().take(survivors) {
+        if model.len() >= cfg.max_gaussians {
+            break;
+        }
+        if norm < cfg.grad_threshold {
+            continue;
+        }
+        let sx = model.log_scale[i].x.exp();
+        let sy = model.log_scale[i].y.exp();
+        let size = sx.max(sy);
+        if size > cfg.split_size {
+            // Split: shrink in place and add a sibling displaced along
+            // the major axis.
+            let dir = major_axis(model, i) * size;
+            let shrink = 1.6f32.ln();
+            model.log_scale[i] = Vec2::new(
+                model.log_scale[i].x - shrink,
+                model.log_scale[i].y - shrink,
+            );
+            let new_mean = model.mean[i] + dir;
+            model.mean[i] = model.mean[i] - dir * 0.5;
+            model.push(
+                new_mean,
+                model.log_scale[i],
+                model.theta[i],
+                model.opacity_logit[i],
+                model.color[i],
+            );
+            stats.split += 1;
+        } else {
+            // Clone: duplicate with a small deterministic offset (3DGS
+            // samples within the Gaussian; a fixed sub-σ offset keeps
+            // the pipeline reproducible).
+            let offset = Vec2::new(0.2 * size, 0.1 * size);
+            model.push(
+                model.mean[i] + offset,
+                model.log_scale[i],
+                model.theta[i],
+                model.opacity_logit[i],
+                model.color[i],
+            );
+            stats.cloned += 1;
+        }
+    }
+
+    accum.reset(model.len());
+    stats
+}
+
+/// Unit vector along the Gaussian's larger principal axis.
+fn major_axis(model: &GaussianModel, i: usize) -> Vec2 {
+    let (sin, cos) = model.theta[i].sin_cos();
+    if model.log_scale[i].x >= model.log_scale[i].y {
+        Vec2::new(cos, sin)
+    } else {
+        Vec2::new(-sin, cos)
+    }
+}
+
+fn retain_by_mask(model: &mut GaussianModel, keep: &[bool]) {
+    let mut idx = 0;
+    model.mean.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    let mut idx = 0;
+    model.log_scale.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    let mut idx = 0;
+    model.theta.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    let mut idx = 0;
+    model.opacity_logit.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    let mut idx = 0;
+    model.color.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{backward, param_grads, render, NoopRecorder, PARAMS_PER_GAUSSIAN};
+    use crate::image::psnr;
+    use crate::loss::l2_loss;
+    use crate::math::Vec3;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model_with(entries: &[(Vec2, Vec2, f32)]) -> GaussianModel {
+        let mut m = GaussianModel::new();
+        for &(mean, log_scale, logit) in entries {
+            m.push(mean, log_scale, 0.0, logit, Vec3::splat(0.5));
+        }
+        m
+    }
+
+    #[test]
+    fn prunes_transparent_gaussians() {
+        let mut model = model_with(&[
+            (Vec2::new(5.0, 5.0), Vec2::new(0.0, 0.0), 2.0),   // opaque
+            (Vec2::new(9.0, 9.0), Vec2::new(0.0, 0.0), -10.0), // transparent
+        ]);
+        let mut accum = GradAccumulator::new(2);
+        let stats = densify_and_prune(&mut model, &mut accum, &DensifyConfig::default());
+        assert_eq!(stats.pruned, 1);
+        assert_eq!(model.len(), 1);
+        assert_eq!(model.mean[0], Vec2::new(5.0, 5.0));
+        assert_eq!(accum.len(), 1);
+    }
+
+    #[test]
+    fn clones_small_high_gradient_gaussians() {
+        let mut model = model_with(&[(Vec2::new(5.0, 5.0), Vec2::new(0.0, 0.0), 2.0)]);
+        let mut accum = GradAccumulator::new(1);
+        accum.sum_norm[0] = 1.0;
+        accum.count[0] = 1;
+        let stats = densify_and_prune(&mut model, &mut accum, &DensifyConfig::default());
+        assert_eq!(stats.cloned, 1);
+        assert_eq!(stats.split, 0);
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn splits_large_high_gradient_gaussians() {
+        // exp(2.0) ≈ 7.4 px > split_size 4.0.
+        let mut model = model_with(&[(Vec2::new(16.0, 16.0), Vec2::new(2.0, 1.0), 2.0)]);
+        let mut accum = GradAccumulator::new(1);
+        accum.sum_norm[0] = 1.0;
+        accum.count[0] = 1;
+        let stats = densify_and_prune(&mut model, &mut accum, &DensifyConfig::default());
+        assert_eq!(stats.split, 1);
+        assert_eq!(model.len(), 2);
+        // Both children are smaller than the parent was.
+        assert!(model.log_scale[0].x < 2.0);
+        assert!(model.log_scale[1].x < 2.0);
+        // And displaced apart.
+        assert!((model.mean[0] - model.mean[1]).norm_sq() > 1.0);
+    }
+
+    #[test]
+    fn respects_the_cap() {
+        let mut model = model_with(&[
+            (Vec2::new(4.0, 4.0), Vec2::new(0.0, 0.0), 2.0),
+            (Vec2::new(8.0, 8.0), Vec2::new(0.0, 0.0), 2.0),
+        ]);
+        let mut accum = GradAccumulator::new(2);
+        accum.sum_norm = vec![1.0, 1.0];
+        accum.count = vec![1, 1];
+        let cfg = DensifyConfig {
+            max_gaussians: 3,
+            ..DensifyConfig::default()
+        };
+        let _ = densify_and_prune(&mut model, &mut accum, &cfg);
+        assert_eq!(model.len(), 3, "cap must hold");
+    }
+
+    #[test]
+    fn low_gradient_gaussians_are_left_alone() {
+        let mut model = model_with(&[(Vec2::new(5.0, 5.0), Vec2::new(0.0, 0.0), 2.0)]);
+        let mut accum = GradAccumulator::new(1);
+        let stats = densify_and_prune(&mut model, &mut accum, &DensifyConfig::default());
+        assert_eq!(stats, DensifyStats::default());
+        assert_eq!(model.len(), 1);
+    }
+
+    /// End-to-end: training *with* densification from an undersized
+    /// model beats training without it.
+    #[test]
+    fn densification_improves_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let bg = Vec3::splat(0.0);
+        let target = render(&GaussianModel::random(40, 48, 48, &mut rng), 48, 48, bg).image;
+
+        let train = |densify: bool, rng: &mut StdRng| {
+            let mut model = GaussianModel::random(8, 48, 48, rng);
+            let mut accum = GradAccumulator::new(model.len());
+            let mut opt = Adam::new(model.len() * PARAMS_PER_GAUSSIAN, 0.03);
+            for iter in 0..170 {
+                let out = render(&model, 48, 48, bg);
+                let (_, pg) = l2_loss(&out.image, &target);
+                let raster = backward(&model, &out, &pg, &mut NoopRecorder);
+                accum.record(&raster);
+                let grads = param_grads(&model, &raster);
+                let mut params = model.to_params();
+                opt.step(&mut params, &grads);
+                model.set_params(&params);
+                if densify && (iter == 25 || iter == 50) {
+                    let cfg = DensifyConfig {
+                        grad_threshold: 0.0, // densify everything alive
+                        max_gaussians: 64,
+                        ..DensifyConfig::default()
+                    };
+                    let _ = densify_and_prune(&mut model, &mut accum, &cfg);
+                    // Optimizer state is tied to the parameter count.
+                    opt = Adam::new(model.len() * PARAMS_PER_GAUSSIAN, 0.03);
+                }
+            }
+            (
+                model.len(),
+                psnr(&render(&model, 48, 48, bg).image, &target),
+            )
+        };
+
+        let (n_plain, psnr_plain) = train(false, &mut rng);
+        let (n_dense, psnr_dense) = train(true, &mut rng);
+        assert!(n_dense > n_plain, "densification must grow the model");
+        assert!(
+            psnr_dense > psnr_plain,
+            "the densified model has 8x the capacity and should reconstruct \
+             better: densified {psnr_dense:.2} dB ({n_dense} Gaussians) vs \
+             plain {psnr_plain:.2} dB ({n_plain})"
+        );
+    }
+}

@@ -1,0 +1,949 @@
+//! Tile-based differentiable Gaussian splatting — the 3DGS-style
+//! rasterizer whose backward pass is the paper's headline workload.
+//!
+//! The renderer follows the structure of the 3DGS CUDA rasterizer
+//! (Kerbl et al. 2023): screen is split into 16×16 tiles, each tile has
+//! a list of overlapping Gaussians, each 16×2-pixel warp walks the
+//! *same* per-tile list front-to-back with alpha compositing and early
+//! termination, and the backward pass walks it back-to-front computing
+//! per-Gaussian gradients for mean2D (2), conic (3), opacity (1), and
+//! color (3) — the 9 atomically-accumulated parameters of paper Fig. 5.
+//!
+//! The substitution note (DESIGN.md): the paper's workloads project 3D
+//! Gaussians per camera before rasterizing; we train screen-space 2D
+//! Gaussians (mean, log-scale, rotation, opacity logit, color). The
+//! rasterization forward/backward — the kernel the paper profiles and
+//! accelerates — is implemented in full, and its gradients are verified
+//! against finite differences.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+use crate::loss::PixelGrads;
+use crate::math::{covariance_backward, covariance_from_scale_rot, Mat2Sym, Vec2, Vec3};
+
+/// Tile edge in pixels (matches the 3DGS rasterizer).
+pub const TILE: usize = 16;
+/// Pixels covered by one warp: a 16×2 strip (CUDA linear thread order in
+/// a 16×16 block).
+pub const WARP_W: usize = 16;
+/// Rows covered by one warp.
+pub const WARP_H: usize = 2;
+/// Minimum alpha for a Gaussian to contribute (the `1/255` of 3DGS —
+/// paper Fig. 5's `COND2`).
+pub const ALPHA_MIN: f32 = 1.0 / 255.0;
+/// Transmittance early-termination threshold (`COND` in the loop).
+pub const T_MIN: f32 = 1e-4;
+/// Opacity × Gaussian clamp (3DGS clamps alpha at 0.99).
+pub const ALPHA_MAX: f32 = 0.99;
+
+/// Trainable floats per Gaussian: mean (2) + log-scale (2) + rotation
+/// (1) + opacity logit (1) + RGB (3).
+pub const PARAMS_PER_GAUSSIAN: usize = 9;
+/// Atomically-accumulated raster gradients per Gaussian per pixel:
+/// dmean2D (2) + dconic (3) + dopacity (1) + dcolor (3).
+pub const RASTER_GRADS_PER_GAUSSIAN: usize = 9;
+
+/// A screen-space Gaussian scene model (struct-of-arrays).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaussianModel {
+    /// Screen-space means in pixels.
+    pub mean: Vec<Vec2>,
+    /// Per-axis log standard deviations in pixels.
+    pub log_scale: Vec<Vec2>,
+    /// Rotation angles in radians.
+    pub theta: Vec<f32>,
+    /// Opacity logits (`opacity = sigmoid(logit)`).
+    pub opacity_logit: Vec<f32>,
+    /// RGB colors (unconstrained; targets live in \[0,1\]).
+    pub color: Vec<Vec3>,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl GaussianModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        GaussianModel {
+            mean: Vec::new(),
+            log_scale: Vec::new(),
+            theta: Vec::new(),
+            opacity_logit: Vec::new(),
+            color: Vec::new(),
+        }
+    }
+
+    /// Number of Gaussians.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// Appends a Gaussian.
+    pub fn push(&mut self, mean: Vec2, log_scale: Vec2, theta: f32, opacity_logit: f32, color: Vec3) {
+        self.mean.push(mean);
+        self.log_scale.push(log_scale);
+        self.theta.push(theta);
+        self.opacity_logit.push(opacity_logit);
+        self.color.push(color);
+    }
+
+    /// Random initialization over a `width`×`height` canvas with
+    /// mid-size, mid-opacity Gaussians — the usual training start.
+    pub fn random<R: Rng>(n: usize, width: usize, height: usize, rng: &mut R) -> Self {
+        let mut model = GaussianModel::new();
+        for _ in 0..n {
+            model.push(
+                Vec2::new(
+                    rng.gen_range(0.0..width as f32),
+                    rng.gen_range(0.0..height as f32),
+                ),
+                Vec2::new(rng.gen_range(0.6..1.8), rng.gen_range(0.6..1.8)),
+                rng.gen_range(0.0..std::f32::consts::PI),
+                rng.gen_range(-1.0..1.0),
+                Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+            );
+        }
+        model
+    }
+
+    /// Flattens the trainable parameters into one vector
+    /// ([`PARAMS_PER_GAUSSIAN`] floats per Gaussian).
+    pub fn to_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len() * PARAMS_PER_GAUSSIAN);
+        for i in 0..self.len() {
+            out.extend_from_slice(&[
+                self.mean[i].x,
+                self.mean[i].y,
+                self.log_scale[i].x,
+                self.log_scale[i].y,
+                self.theta[i],
+                self.opacity_logit[i],
+                self.color[i].x,
+                self.color[i].y,
+                self.color[i].z,
+            ]);
+        }
+        out
+    }
+
+    /// Loads trainable parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != len() * PARAMS_PER_GAUSSIAN`.
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(
+            params.len(),
+            self.len() * PARAMS_PER_GAUSSIAN,
+            "parameter vector length mismatch"
+        );
+        for (i, chunk) in params.chunks_exact(PARAMS_PER_GAUSSIAN).enumerate() {
+            self.mean[i] = Vec2::new(chunk[0], chunk[1]);
+            self.log_scale[i] = Vec2::new(chunk[2], chunk[3]);
+            self.theta[i] = chunk[4];
+            self.opacity_logit[i] = chunk[5];
+            self.color[i] = Vec3::new(chunk[6], chunk[7], chunk[8]);
+        }
+    }
+
+    /// Lowers the parameterized model to explicit screen-space splats
+    /// (covariances and post-sigmoid opacities) — the representation the
+    /// rasterizer core consumes, and what the 3D projection pipeline
+    /// produces per camera.
+    pub fn to_splats(&self) -> SplatScene {
+        let n = self.len();
+        let mut scene = SplatScene::with_capacity(n);
+        for i in 0..n {
+            let sx = self.log_scale[i].x.exp();
+            let sy = self.log_scale[i].y.exp();
+            scene.push(
+                self.mean[i],
+                covariance_from_scale_rot(sx, sy, self.theta[i]),
+                sigmoid(self.opacity_logit[i]),
+                self.color[i],
+            );
+        }
+        scene
+    }
+}
+
+/// Explicit screen-space splats: mean, 2D covariance, opacity in
+/// `[0, 1]`, and color per Gaussian. This is the rasterizer's native
+/// input; [`GaussianModel::to_splats`] lowers the trainable 2D model to
+/// it, and `projection::project` lowers a 3D model per camera.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SplatScene {
+    /// Screen-space means in pixels.
+    pub mean: Vec<Vec2>,
+    /// 2D covariances (must be positive definite).
+    pub cov: Vec<Mat2Sym>,
+    /// Opacities in `[0, 1]`.
+    pub opacity: Vec<f32>,
+    /// RGB colors.
+    pub color: Vec<Vec3>,
+}
+
+impl SplatScene {
+    /// An empty scene.
+    pub fn new() -> Self {
+        SplatScene::default()
+    }
+
+    /// An empty scene with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        SplatScene {
+            mean: Vec::with_capacity(n),
+            cov: Vec::with_capacity(n),
+            opacity: Vec::with_capacity(n),
+            color: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of splats.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Whether the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// Appends a splat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covariance is not positive definite.
+    pub fn push(&mut self, mean: Vec2, cov: Mat2Sym, opacity: f32, color: Vec3) {
+        assert!(
+            cov.is_positive_definite(),
+            "splat covariance must be positive definite, got {cov:?}"
+        );
+        self.mean.push(mean);
+        self.cov.push(cov);
+        self.opacity.push(opacity);
+        self.color.push(color);
+    }
+
+    /// Derived per-splat render quantities.
+    fn prepare(&self) -> Prepared {
+        let n = self.len();
+        let mut conic = Vec::with_capacity(n);
+        let mut radius = Vec::with_capacity(n);
+        for i in 0..n {
+            let cov = self.cov[i];
+            conic.push(cov.inverse());
+            let mid = 0.5 * (cov.a + cov.c);
+            let lambda_max = mid + (mid * mid - cov.det()).max(0.01).sqrt();
+            radius.push(3.0 * lambda_max.sqrt());
+        }
+        Prepared { conic, radius }
+    }
+}
+
+impl Default for GaussianModel {
+    fn default() -> Self {
+        GaussianModel::new()
+    }
+}
+
+struct Prepared {
+    conic: Vec<Mat2Sym>,
+    radius: Vec<f32>,
+}
+
+/// Per-tile Gaussian lists (the `prims_per_thread` input of paper
+/// Fig. 5, shared by every pixel of a tile).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TileLists {
+    /// Tiles per row.
+    pub tiles_x: usize,
+    /// Tiles per column.
+    pub tiles_y: usize,
+    /// Gaussian ids per tile, ascending (compositing order).
+    pub lists: Vec<Vec<u32>>,
+}
+
+impl TileLists {
+    /// Average list length (atomic work per pixel is proportional to it).
+    pub fn mean_len(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        self.lists.iter().map(|l| l.len() as f64).sum::<f64>() / self.lists.len() as f64
+    }
+}
+
+/// The forward pass result, carrying everything the backward pass needs.
+#[derive(Clone, Debug)]
+pub struct RenderOutput {
+    /// The rendered image.
+    pub image: Image,
+    /// Per-tile Gaussian lists.
+    pub tiles: TileLists,
+    /// Per-pixel final transmittance.
+    pub final_t: Vec<f32>,
+    /// Per-pixel count of list entries processed before early
+    /// termination.
+    pub n_processed: Vec<u32>,
+    /// Background color used.
+    pub background: Vec3,
+}
+
+/// Per-lane raster gradients for one Gaussian iteration — what each
+/// thread atomically adds in paper Fig. 5 lines 12–14.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct LaneGrad {
+    /// d L / d mean2D.
+    pub mean: Vec2,
+    /// d L / d conic (symmetric storage; `b` counted once).
+    pub conic: Mat2Sym,
+    /// d L / d opacity (post-sigmoid).
+    pub opacity: f32,
+    /// d L / d color.
+    pub color: Vec3,
+}
+
+/// Observer of the backward pass at warp granularity — how the trace
+/// generator sees the gradient-computation kernel without duplicating
+/// its logic.
+pub trait GradRecorder {
+    /// Called once per (tile, warp strip) before its list walk. `lanes`
+    /// maps lane index → pixel coordinates (None if outside the image).
+    fn begin_warp(&mut self, tile: usize, lanes: &[Option<(usize, usize)>; 32]) {
+        let _ = (tile, lanes);
+    }
+
+    /// Called once per list iteration with each lane's gradient
+    /// contribution for Gaussian `gid` (None = lane skipped via the
+    /// paper's `COND`s or early termination).
+    fn record(&mut self, gid: u32, grads: &[Option<LaneGrad>; 32]);
+
+    /// Called after a warp finishes its list walk.
+    fn end_warp(&mut self) {}
+}
+
+/// A recorder that ignores everything (plain training).
+#[derive(Debug, Default)]
+pub struct NoopRecorder;
+
+impl GradRecorder for NoopRecorder {
+    fn record(&mut self, _gid: u32, _grads: &[Option<LaneGrad>; 32]) {}
+}
+
+/// Accumulated raster-space gradients (the arrays the atomics target).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RasterGrads {
+    /// d L / d mean2D per Gaussian.
+    pub mean: Vec<Vec2>,
+    /// d L / d conic per Gaussian.
+    pub conic: Vec<Mat2Sym>,
+    /// d L / d opacity per Gaussian.
+    pub opacity: Vec<f32>,
+    /// d L / d color per Gaussian.
+    pub color: Vec<Vec3>,
+}
+
+impl RasterGrads {
+    fn zeros(n: usize) -> Self {
+        RasterGrads {
+            mean: vec![Vec2::default(); n],
+            conic: vec![Mat2Sym::default(); n],
+            opacity: vec![0.0; n],
+            color: vec![Vec3::default(); n],
+        }
+    }
+}
+
+/// Builds the per-tile Gaussian lists by conservative bounding-circle
+/// binning (the duplication + sort stage of 3DGS).
+pub fn build_tile_lists(scene: &SplatScene, width: usize, height: usize) -> TileLists {
+    let prepared = scene.prepare();
+    build_tile_lists_prepared(scene, &prepared, width, height)
+}
+
+fn build_tile_lists_prepared(
+    scene: &SplatScene,
+    prepared: &Prepared,
+    width: usize,
+    height: usize,
+) -> TileLists {
+    let tiles_x = width.div_ceil(TILE);
+    let tiles_y = height.div_ceil(TILE);
+    let mut lists = vec![Vec::new(); tiles_x * tiles_y];
+    for gid in 0..scene.len() {
+        let m = scene.mean[gid];
+        let r = prepared.radius[gid];
+        let x0 = (((m.x - r) / TILE as f32).floor().max(0.0)) as usize;
+        let y0 = (((m.y - r) / TILE as f32).floor().max(0.0)) as usize;
+        if m.x + r < 0.0 || m.y + r < 0.0 {
+            continue;
+        }
+        let x1 = (((m.x + r) / TILE as f32).floor() as usize).min(tiles_x.saturating_sub(1));
+        let y1 = (((m.y + r) / TILE as f32).floor() as usize).min(tiles_y.saturating_sub(1));
+        if x0 > x1 || y0 > y1 || x0 >= tiles_x || y0 >= tiles_y {
+            continue;
+        }
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                lists[ty * tiles_x + tx].push(gid as u32);
+            }
+        }
+    }
+    TileLists {
+        tiles_x,
+        tiles_y,
+        lists,
+    }
+}
+
+/// Evaluates one Gaussian at a pixel; `None` if it fails the paper's
+/// `COND1`/`COND2` checks. Returns `(gauss_value, alpha, clamped)`.
+fn eval_alpha(
+    pix: Vec2,
+    mean: Vec2,
+    conic: Mat2Sym,
+    opacity: f32,
+) -> Option<(f32, f32, bool)> {
+    let d = pix - mean;
+    let power = -0.5 * conic.quad(d);
+    if power > 0.0 {
+        return None; // COND1: numerical guard, as in 3DGS
+    }
+    let g = power.exp();
+    let raw = opacity * g;
+    let clamped = raw > ALPHA_MAX;
+    let alpha = if clamped { ALPHA_MAX } else { raw };
+    if alpha < ALPHA_MIN {
+        return None; // COND2: negligible contribution
+    }
+    Some((g, alpha, clamped))
+}
+
+/// Renders the model over a `width`×`height` canvas with alpha
+/// compositing onto `background`.
+///
+/// # Example
+///
+/// ```
+/// use diffrender::gaussian::{render, GaussianModel};
+/// use diffrender::math::{Vec2, Vec3};
+///
+/// let mut model = GaussianModel::new();
+/// model.push(Vec2::new(16.0, 16.0), Vec2::new(1.5, 1.5), 0.0, 2.0, Vec3::new(1.0, 0.0, 0.0));
+/// let out = render(&model, 32, 32, Vec3::splat(0.0));
+/// // The Gaussian's center pixel is strongly red.
+/// assert!(out.image.get(16, 16).x > 0.5);
+/// ```
+pub fn render(model: &GaussianModel, width: usize, height: usize, background: Vec3) -> RenderOutput {
+    render_scene(&model.to_splats(), width, height, background)
+}
+
+/// Renders explicit screen-space splats (the rasterizer core).
+pub fn render_scene(
+    scene: &SplatScene,
+    width: usize,
+    height: usize,
+    background: Vec3,
+) -> RenderOutput {
+    let prepared = scene.prepare();
+    let tiles = build_tile_lists_prepared(scene, &prepared, width, height);
+    let mut image = Image::new(width, height);
+    let mut final_t = vec![1.0f32; width * height];
+    let mut n_processed = vec![0u32; width * height];
+
+    for ty in 0..tiles.tiles_y {
+        for tx in 0..tiles.tiles_x {
+            let list = &tiles.lists[ty * tiles.tiles_x + tx];
+            for py in ty * TILE..((ty + 1) * TILE).min(height) {
+                for px in tx * TILE..((tx + 1) * TILE).min(width) {
+                    let pix = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+                    let mut t = 1.0f32;
+                    let mut c = Vec3::default();
+                    let mut processed = 0u32;
+                    for &gid in list {
+                        processed += 1;
+                        let g = gid as usize;
+                        let Some((_gauss, alpha, _)) =
+                            eval_alpha(pix, scene.mean[g], prepared.conic[g], scene.opacity[g])
+                        else {
+                            continue;
+                        };
+                        let test_t = t * (1.0 - alpha);
+                        if test_t < T_MIN {
+                            // Early termination: this entry does NOT
+                            // contribute (matches 3DGS, which breaks
+                            // before blending).
+                            processed -= 1;
+                            break;
+                        }
+                        c += scene.color[g] * (alpha * t);
+                        t = test_t;
+                    }
+                    let idx = py * width + px;
+                    image.pixels_mut()[idx] = c + background * t;
+                    final_t[idx] = t;
+                    n_processed[idx] = processed;
+                }
+            }
+        }
+    }
+    RenderOutput {
+        image,
+        tiles,
+        final_t,
+        n_processed,
+        background,
+    }
+}
+
+/// The gradient-computation kernel (paper Fig. 5): walks each tile's
+/// list back-to-front per warp, producing raster-space gradients.
+/// `recorder` observes every warp iteration for trace generation.
+pub fn backward<R: GradRecorder>(
+    model: &GaussianModel,
+    out: &RenderOutput,
+    pixel_grads: &PixelGrads,
+    recorder: &mut R,
+) -> RasterGrads {
+    backward_scene(&model.to_splats(), out, pixel_grads, recorder)
+}
+
+/// The gradient-computation kernel over explicit splats, producing
+/// gradients w.r.t. mean2D, conic, (direct) opacity, and color.
+pub fn backward_scene<R: GradRecorder>(
+    scene: &SplatScene,
+    out: &RenderOutput,
+    pixel_grads: &PixelGrads,
+    recorder: &mut R,
+) -> RasterGrads {
+    let prepared = scene.prepare();
+    let width = out.image.width();
+    let height = out.image.height();
+    assert_eq!(pixel_grads.width(), width, "gradient field width mismatch");
+    assert_eq!(pixel_grads.height(), height, "gradient field height mismatch");
+    let mut grads = RasterGrads::zeros(scene.len());
+
+    let warps_per_tile_y = TILE / WARP_H;
+    for ty in 0..out.tiles.tiles_y {
+        for tx in 0..out.tiles.tiles_x {
+            let tile_idx = ty * out.tiles.tiles_x + tx;
+            let list = &out.tiles.lists[tile_idx];
+            if list.is_empty() {
+                continue;
+            }
+            for warp_row in 0..warps_per_tile_y {
+                backward_warp(
+                    scene,
+                    &prepared,
+                    out,
+                    pixel_grads,
+                    list,
+                    tile_idx,
+                    tx * TILE,
+                    ty * TILE + warp_row * WARP_H,
+                    width,
+                    height,
+                    &mut grads,
+                    recorder,
+                );
+            }
+        }
+    }
+    grads
+}
+
+/// Per-lane backward state, mirroring the 3DGS backward kernel's
+/// registers.
+#[derive(Copy, Clone)]
+struct LaneState {
+    t: f32,
+    accum: Vec3,
+    last_alpha: f32,
+    last_color: Vec3,
+    dl_dpix: Vec3,
+    pix: Vec2,
+    /// Entries of the list this pixel processed in the forward pass.
+    n_processed: u32,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backward_warp<R: GradRecorder>(
+    scene: &SplatScene,
+    prepared: &Prepared,
+    out: &RenderOutput,
+    pixel_grads: &PixelGrads,
+    list: &[u32],
+    tile_idx: usize,
+    x0: usize,
+    y0: usize,
+    width: usize,
+    height: usize,
+    grads: &mut RasterGrads,
+    recorder: &mut R,
+) {
+    let mut lane_pix: [Option<(usize, usize)>; 32] = [None; 32];
+    let mut state: [Option<LaneState>; 32] = [None; 32];
+    for lane in 0..32usize {
+        let px = x0 + lane % WARP_W;
+        let py = y0 + lane / WARP_W;
+        if px >= width || py >= height {
+            continue;
+        }
+        lane_pix[lane] = Some((px, py));
+        let idx = py * width + px;
+        state[lane] = Some(LaneState {
+            t: out.final_t[idx],
+            accum: Vec3::default(),
+            last_alpha: 0.0,
+            last_color: Vec3::default(),
+            dl_dpix: pixel_grads.get(px, py),
+            pix: Vec2::new(px as f32 + 0.5, py as f32 + 0.5),
+            n_processed: out.n_processed[idx],
+        });
+    }
+    recorder.begin_warp(tile_idx, &lane_pix);
+
+    // Walk the shared list back-to-front (3DGS backward order). Every
+    // lane of the warp executes every iteration (warp-uniform loop);
+    // lanes whose pixel skipped the Gaussian contribute nothing.
+    for k in (0..list.len()).rev() {
+        let gid = list[k];
+        let g = gid as usize;
+        let mut lane_grads: [Option<LaneGrad>; 32] = [None; 32];
+        let mut any = false;
+        for lane in 0..32usize {
+            let Some(st) = state[lane].as_mut() else {
+                continue;
+            };
+            if (k as u32) >= st.n_processed {
+                continue; // this pixel never reached entry k (early stop)
+            }
+            let Some((gauss, alpha, clamped)) = eval_alpha(
+                st.pix,
+                scene.mean[g],
+                prepared.conic[g],
+                scene.opacity[g],
+            ) else {
+                continue; // COND1/COND2 skip, exactly as in the forward
+            };
+
+            // Transmittance in front of this Gaussian.
+            st.t /= 1.0 - alpha;
+
+            // Color gradient: dC/dcolor = alpha · T.
+            let dchannel = alpha * st.t;
+            let dl_dcolor = st.dl_dpix * dchannel;
+
+            // Alpha gradient: colors behind this Gaussian.
+            st.accum = st.last_color * st.last_alpha + st.accum * (1.0 - st.last_alpha);
+            let diff = scene.color[g] - st.accum;
+            let mut dl_dalpha = diff.dot(st.dl_dpix) * st.t;
+            // Background term: C += bg · T_final, and T_final depends on
+            // every alpha: dT_final/dalpha = -T_final / (1 − alpha).
+            let t_final = out.final_t[lane_pix[lane]
+                .map(|(px, py)| py * width + px)
+                .expect("active lane has a pixel")];
+            dl_dalpha += -(t_final / (1.0 - alpha)) * out.background.dot(st.dl_dpix);
+
+            st.last_alpha = alpha;
+            st.last_color = scene.color[g];
+
+            // Through alpha = opacity · G (zero gradient if clamped).
+            let (dl_dopacity, dl_dpower, d) = if clamped {
+                (0.0, 0.0, st.pix - scene.mean[g])
+            } else {
+                let dl_dg = dl_dalpha * scene.opacity[g];
+                let dl_dopacity = dl_dalpha * gauss;
+                // dG/dpower = G; alpha = op·G ⇒ dalpha/dpower = alpha.
+                (dl_dopacity, dl_dg * gauss, st.pix - scene.mean[g])
+            };
+            let conic = prepared.conic[g];
+            // power = −½ (a dx² + 2 b dx dy + c dy²), d = pix − mean.
+            let dl_dmean = Vec2::new(
+                dl_dpower * (conic.a * d.x + conic.b * d.y),
+                dl_dpower * (conic.b * d.x + conic.c * d.y),
+            );
+            let dl_dconic = Mat2Sym::new(
+                dl_dpower * (-0.5 * d.x * d.x),
+                dl_dpower * (-d.x * d.y),
+                dl_dpower * (-0.5 * d.y * d.y),
+            );
+
+            let lg = LaneGrad {
+                mean: dl_dmean,
+                conic: dl_dconic,
+                opacity: dl_dopacity,
+                color: dl_dcolor,
+            };
+            lane_grads[lane] = Some(lg);
+            any = true;
+
+            // Accumulate (the functional effect of the atomics).
+            grads.mean[g] += lg.mean;
+            grads.conic[g].a += lg.conic.a;
+            grads.conic[g].b += lg.conic.b;
+            grads.conic[g].c += lg.conic.c;
+            grads.opacity[g] += lg.opacity;
+            grads.color[g] += lg.color;
+        }
+        let _ = any;
+        recorder.record(gid, &lane_grads);
+    }
+    recorder.end_warp();
+}
+
+/// Backpropagates a gradient w.r.t. the conic (inverse covariance) to
+/// the covariance itself: `dL/dΣ = −Σ⁻¹ · (dL/dΣ⁻¹) · Σ⁻¹`. Both
+/// gradients use symmetric storage with the off-diagonal counted once.
+pub fn conic_grad_to_cov(conic: Mat2Sym, grad_conic: Mat2Sym) -> Mat2Sym {
+    let g = grad_conic;
+    let gf = [[g.a, 0.5 * g.b], [0.5 * g.b, g.c]];
+    let cf = [[conic.a, conic.b], [conic.b, conic.c]];
+    let mut tmp = [[0.0f32; 2]; 2];
+    for (r, tmp_row) in tmp.iter_mut().enumerate() {
+        for (cc, cell) in tmp_row.iter_mut().enumerate() {
+            *cell = cf[r][0] * gf[0][cc] + cf[r][1] * gf[1][cc];
+        }
+    }
+    let mut dcov = [[0.0f32; 2]; 2];
+    for (r, dcov_row) in dcov.iter_mut().enumerate() {
+        for (cc, cell) in dcov_row.iter_mut().enumerate() {
+            *cell = -(tmp[r][0] * cf[0][cc] + tmp[r][1] * cf[1][cc]);
+        }
+    }
+    Mat2Sym::new(dcov[0][0], 2.0 * dcov[0][1], dcov[1][1])
+}
+
+/// Chains raster-space gradients back to the trainable parameters
+/// (the 3DGS "preprocess backward": conic → covariance → scale/rotation,
+/// opacity → logit), returning a flat gradient vector aligned with
+/// [`GaussianModel::to_params`].
+pub fn param_grads(model: &GaussianModel, raster: &RasterGrads) -> Vec<f32> {
+    let n = model.len();
+    let mut out = Vec::with_capacity(n * PARAMS_PER_GAUSSIAN);
+    for i in 0..n {
+        let sx = model.log_scale[i].x.exp();
+        let sy = model.log_scale[i].y.exp();
+        let cov = covariance_from_scale_rot(sx, sy, model.theta[i]);
+        let conic = cov.inverse();
+
+        // d L / d cov  =  −conic · (dL/dconic) · conic.
+        let dcov_sym = conic_grad_to_cov(conic, raster.conic[i]);
+        let (d_sx, d_sy, d_theta) = covariance_backward(sx, sy, model.theta[i], dcov_sym);
+
+        let op = sigmoid(model.opacity_logit[i]);
+        let d_logit = raster.opacity[i] * op * (1.0 - op);
+
+        out.extend_from_slice(&[
+            raster.mean[i].x,
+            raster.mean[i].y,
+            d_sx * sx, // chain through exp(log_scale)
+            d_sy * sy,
+            d_theta,
+            d_logit,
+            raster.color[i].x,
+            raster.color[i].y,
+            raster.color[i].z,
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::l2_loss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_model() -> GaussianModel {
+        let mut m = GaussianModel::new();
+        m.push(
+            Vec2::new(10.0, 12.0),
+            Vec2::new(1.2, 0.9),
+            0.4,
+            0.8,
+            Vec3::new(0.9, 0.2, 0.1),
+        );
+        m.push(
+            Vec2::new(20.0, 18.0),
+            Vec2::new(1.0, 1.4),
+            -0.3,
+            0.2,
+            Vec3::new(0.1, 0.7, 0.6),
+        );
+        m.push(
+            Vec2::new(14.0, 20.0),
+            Vec2::new(0.8, 0.8),
+            0.0,
+            -0.5,
+            Vec3::new(0.3, 0.3, 0.9),
+        );
+        m
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let m = small_model();
+        let params = m.to_params();
+        assert_eq!(params.len(), 3 * PARAMS_PER_GAUSSIAN);
+        let mut m2 = small_model();
+        m2.set_params(&params);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn render_paints_gaussian_centers() {
+        let m = small_model();
+        let out = render(&m, 32, 32, Vec3::splat(0.0));
+        let c = out.image.get(10, 12);
+        assert!(c.x > 0.3, "center should be reddish, got {c:?}");
+        // A far corner is background.
+        assert_eq!(out.image.get(31, 0), Vec3::splat(0.0));
+        assert!((out.final_t[31] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tile_lists_cover_gaussian_footprints() {
+        let m = small_model();
+        let tiles = build_tile_lists(&m.to_splats(), 32, 32);
+        assert_eq!(tiles.tiles_x, 2);
+        assert_eq!(tiles.tiles_y, 2);
+        // Gaussian 0 at (10,12) overlaps tile (0,0).
+        assert!(tiles.lists[0].contains(&0));
+        assert!(tiles.mean_len() > 0.0);
+    }
+
+    #[test]
+    fn offscreen_gaussians_are_culled() {
+        let mut m = GaussianModel::new();
+        m.push(
+            Vec2::new(-100.0, -100.0),
+            Vec2::new(0.5, 0.5),
+            0.0,
+            0.0,
+            Vec3::splat(1.0),
+        );
+        let tiles = build_tile_lists(&m.to_splats(), 32, 32);
+        assert!(tiles.lists.iter().all(|l| l.is_empty()));
+    }
+
+    #[test]
+    fn background_shows_through_transparent_model() {
+        let m = GaussianModel::new();
+        let bg = Vec3::new(0.2, 0.4, 0.6);
+        let out = render(&m, 16, 16, bg);
+        assert_eq!(out.image.get(8, 8), bg);
+    }
+
+    /// The decisive test: analytic parameter gradients match finite
+    /// differences of the full render→loss pipeline.
+    #[test]
+    fn full_pipeline_gradients_match_finite_differences() {
+        let mut model = small_model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = {
+            let gt = GaussianModel::random(4, 32, 32, &mut rng);
+            render(&gt, 32, 32, Vec3::splat(0.1)).image
+        };
+        let bg = Vec3::splat(0.1);
+
+        let loss_of = |m: &GaussianModel| l2_loss(&render(m, 32, 32, bg).image, &target).0;
+
+        let out = render(&model, 32, 32, bg);
+        let (_, pixel_grads) = l2_loss(&out.image, &target);
+        let raster = backward(&model, &out, &pixel_grads, &mut NoopRecorder);
+        let analytic = param_grads(&model, &raster);
+
+        let mut params = model.to_params();
+        let h = 5e-3f32;
+        let mut checked = 0;
+        for idx in 0..params.len() {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            model.set_params(&params);
+            let lp = loss_of(&model);
+            params[idx] = orig - h;
+            model.set_params(&params);
+            let lm = loss_of(&model);
+            params[idx] = orig;
+            model.set_params(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            let an = analytic[idx];
+            let tol = 2e-3f32.max(0.15 * fd.abs().max(an.abs()));
+            // Skip entries where FD itself is numerically void.
+            if fd.abs() < 1e-7 && an.abs() < 1e-7 {
+                continue;
+            }
+            assert!(
+                (fd - an).abs() <= tol,
+                "param {idx}: analytic {an} vs finite-diff {fd}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 10, "finite-difference check exercised too few params");
+    }
+
+    #[test]
+    fn backward_reduces_loss_when_stepped() {
+        let mut model = small_model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = render(&GaussianModel::random(6, 32, 32, &mut rng), 32, 32, Vec3::splat(0.0)).image;
+        let bg = Vec3::splat(0.0);
+        let mut last = f32::INFINITY;
+        let mut opt = crate::optim::Adam::new(model.len() * PARAMS_PER_GAUSSIAN, 0.02);
+        for _ in 0..30 {
+            let out = render(&model, 32, 32, bg);
+            let (loss, pixel_grads) = l2_loss(&out.image, &target);
+            let raster = backward(&model, &out, &pixel_grads, &mut NoopRecorder);
+            let g = param_grads(&model, &raster);
+            let mut params = model.to_params();
+            opt.step(&mut params, &g);
+            model.set_params(&params);
+            last = loss;
+        }
+        let out = render(&model, 32, 32, bg);
+        let (final_loss, _) = l2_loss(&out.image, &target);
+        assert!(final_loss <= last * 1.05, "training diverged: {final_loss} vs {last}");
+    }
+
+    #[test]
+    fn recorder_sees_every_tile_iteration() {
+        struct Counter {
+            warps: usize,
+            records: usize,
+            active_lanes: usize,
+        }
+        impl GradRecorder for Counter {
+            fn begin_warp(&mut self, _tile: usize, _lanes: &[Option<(usize, usize)>; 32]) {
+                self.warps += 1;
+            }
+            fn record(&mut self, _gid: u32, grads: &[Option<LaneGrad>; 32]) {
+                self.records += 1;
+                self.active_lanes += grads.iter().flatten().count();
+            }
+        }
+        let model = small_model();
+        let out = render(&model, 32, 32, Vec3::splat(0.0));
+        let (_, pixel_grads) = l2_loss(&out.image, &Image::new(32, 32));
+        let mut counter = Counter {
+            warps: 0,
+            records: 0,
+            active_lanes: 0,
+        };
+        let _ = backward(&model, &out, &pixel_grads, &mut counter);
+        // 4 tiles × 8 warp strips each, minus empty tiles skipped.
+        assert!(counter.warps > 0 && counter.warps <= 32);
+        assert!(counter.records > 0);
+        assert!(counter.active_lanes > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! RGB float images and the quality metrics used by the paper's artifact
+//! (PSNR↑, L1↓).
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::Vec3;
+
+/// A row-major RGB f32 image.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<Vec3>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![Vec3::default(); width * height],
+        }
+    }
+
+    /// Creates an image filled with `color`.
+    pub fn filled(width: usize, height: usize, color: Vec3) -> Self {
+        let mut img = Image::new(width, height);
+        img.pixels.fill(color);
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> Vec3 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, color: Vec3) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = color;
+    }
+
+    /// All pixels, row-major.
+    pub fn pixels(&self) -> &[Vec3] {
+        &self.pixels
+    }
+
+    /// Mutable pixels, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [Vec3] {
+        &mut self.pixels
+    }
+}
+
+/// Mean absolute error between two images (the artifact's `L1↓`).
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn l1(a: &Image, b: &Image) -> f32 {
+    assert_eq!(
+        (a.width, a.height),
+        (b.width, b.height),
+        "image dimensions must match"
+    );
+    let mut sum = 0.0f64;
+    for (pa, pb) in a.pixels.iter().zip(&b.pixels) {
+        sum += f64::from((pa.x - pb.x).abs())
+            + f64::from((pa.y - pb.y).abs())
+            + f64::from((pa.z - pb.z).abs());
+    }
+    (sum / (a.pixels.len() as f64 * 3.0)) as f32
+}
+
+/// Mean squared error between two images.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn mse(a: &Image, b: &Image) -> f32 {
+    assert_eq!(
+        (a.width, a.height),
+        (b.width, b.height),
+        "image dimensions must match"
+    );
+    let mut sum = 0.0f64;
+    for (pa, pb) in a.pixels.iter().zip(&b.pixels) {
+        let d = *pa - *pb;
+        sum += f64::from(d.x * d.x) + f64::from(d.y * d.y) + f64::from(d.z * d.z);
+    }
+    (sum / (a.pixels.len() as f64 * 3.0)) as f32
+}
+
+/// Peak signal-to-noise ratio in dB for \[0,1\]-range images (the
+/// artifact's `PSNR↑`). Returns `f32::INFINITY` for identical images.
+pub fn psnr(a: &Image, b: &Image) -> f32 {
+    let err = mse(a, b);
+    if err <= 0.0 {
+        f32::INFINITY
+    } else {
+        -10.0 * err.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        img.set(3, 2, Vec3::new(1.0, 0.5, 0.25));
+        assert_eq!(img.get(3, 2), Vec3::new(1.0, 0.5, 0.25));
+        assert_eq!(img.get(0, 0), Vec3::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let _ = Image::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = Image::new(0, 4);
+    }
+
+    #[test]
+    fn identical_images_have_infinite_psnr_and_zero_l1() {
+        let img = Image::filled(8, 8, Vec3::splat(0.3));
+        assert_eq!(l1(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f32::INFINITY);
+    }
+
+    #[test]
+    fn uniform_error_metrics() {
+        let a = Image::filled(8, 8, Vec3::splat(0.5));
+        let b = Image::filled(8, 8, Vec3::splat(0.6));
+        assert!((l1(&a, &b) - 0.1).abs() < 1e-6);
+        // MSE = 0.01 ⇒ PSNR = 20 dB.
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psnr_improves_as_images_converge() {
+        let target = Image::filled(4, 4, Vec3::splat(0.5));
+        let far = Image::filled(4, 4, Vec3::splat(0.9));
+        let near = Image::filled(4, 4, Vec3::splat(0.55));
+        assert!(psnr(&near, &target) > psnr(&far, &target));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mismatched_dims_panic() {
+        let _ = l1(&Image::new(2, 2), &Image::new(3, 2));
+    }
+}

@@ -1,0 +1,30 @@
+//! Raster-based differentiable rendering substrates for the ARC
+//! reproduction: a 3DGS-style tile-based Gaussian splatting renderer, an
+//! NvDiffRec-style cubemap-texture learner, and a Pulsar-style sphere
+//! renderer — each with a functional forward pass, an analytic backward
+//! pass (verified against finite differences), and a generator that
+//! turns the backward pass into a warp-level [`warp_trace::KernelTrace`]
+//! for the GPU simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod densify;
+pub mod gaussian;
+pub mod image;
+pub mod loss;
+pub mod math;
+pub mod math3d;
+pub mod nvdiff;
+pub mod optim;
+pub mod projection;
+pub mod sh;
+pub mod pulsar;
+pub mod ssim;
+pub mod tracegen;
+pub mod train;
+
+pub use image::{l1, mse, psnr, Image};
+pub use loss::{l1_loss, l2_loss, PixelGrads};
+pub use math::{Mat2Sym, Vec2, Vec3};
+pub use optim::{Adam, Sgd};

@@ -1,0 +1,173 @@
+//! Loss functions and their pixel gradients.
+//!
+//! The training pipeline (paper Fig. 2) computes a loss between the
+//! rendered and reference images and backpropagates per-pixel gradients
+//! `dL/dC` into the gradient-computation kernel.
+
+use crate::image::Image;
+use crate::math::Vec3;
+
+/// The per-pixel gradient field `dL/dC` produced by a loss.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PixelGrads {
+    grads: Vec<Vec3>,
+    width: usize,
+    height: usize,
+}
+
+impl PixelGrads {
+    /// Builds a gradient field from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != width * height`.
+    pub fn from_raw(grads: Vec<Vec3>, width: usize, height: usize) -> Self {
+        assert_eq!(grads.len(), width * height, "gradient field size mismatch");
+        PixelGrads {
+            grads,
+            width,
+            height,
+        }
+    }
+
+    /// Gradient at pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> Vec3 {
+        assert!(x < self.width && y < self.height);
+        self.grads[y * self.width + x]
+    }
+
+    /// Field width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Field height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+}
+
+/// L1 loss: `L = mean |render − target|`, returning `(loss, dL/dC)`.
+///
+/// The gradient of `|x|` at 0 is taken as 0.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn l1_loss(render: &Image, target: &Image) -> (f32, PixelGrads) {
+    assert_eq!(
+        (render.width(), render.height()),
+        (target.width(), target.height()),
+        "image dimensions must match"
+    );
+    let n = (render.pixels().len() * 3) as f32;
+    let scale = 1.0 / n;
+    let mut total = 0.0f64;
+    let grads = render
+        .pixels()
+        .iter()
+        .zip(target.pixels())
+        .map(|(r, t)| {
+            let d = *r - *t;
+            total += f64::from(d.x.abs() + d.y.abs() + d.z.abs());
+            Vec3::new(
+                signum_or_zero(d.x) * scale,
+                signum_or_zero(d.y) * scale,
+                signum_or_zero(d.z) * scale,
+            )
+        })
+        .collect();
+    (
+        (total / f64::from(n)) as f32,
+        PixelGrads {
+            grads,
+            width: render.width(),
+            height: render.height(),
+        },
+    )
+}
+
+/// L2 (MSE) loss: `L = mean (render − target)²`, returning `(loss, dL/dC)`.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn l2_loss(render: &Image, target: &Image) -> (f32, PixelGrads) {
+    assert_eq!(
+        (render.width(), render.height()),
+        (target.width(), target.height()),
+        "image dimensions must match"
+    );
+    let n = (render.pixels().len() * 3) as f32;
+    let scale = 2.0 / n;
+    let mut total = 0.0f64;
+    let grads = render
+        .pixels()
+        .iter()
+        .zip(target.pixels())
+        .map(|(r, t)| {
+            let d = *r - *t;
+            total += f64::from(d.x * d.x + d.y * d.y + d.z * d.z);
+            d * scale
+        })
+        .collect();
+    (
+        (total / f64::from(n)) as f32,
+        PixelGrads {
+            grads,
+            width: render.width(),
+            height: render.height(),
+        },
+    )
+}
+
+fn signum_or_zero(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_loss_value_and_grad_sign() {
+        let render = Image::filled(2, 2, Vec3::splat(0.8));
+        let target = Image::filled(2, 2, Vec3::splat(0.5));
+        let (loss, grads) = l1_loss(&render, &target);
+        assert!((loss - 0.3).abs() < 1e-6);
+        // Render too bright ⇒ positive gradient (decrease).
+        assert!(grads.get(0, 0).x > 0.0);
+    }
+
+    #[test]
+    fn l2_matches_finite_difference() {
+        let mut render = Image::filled(1, 1, Vec3::new(0.4, 0.6, 0.2));
+        let target = Image::filled(1, 1, Vec3::new(0.5, 0.5, 0.5));
+        let (_, grads) = l2_loss(&render, &target);
+        let h = 1e-3f32;
+        let base = |img: &Image| l2_loss(img, &target).0;
+        let l0 = base(&render);
+        render.pixels_mut()[0].x += h;
+        let l1v = base(&render);
+        let fd = (l1v - l0) / h;
+        assert!((grads.get(0, 0).x - fd).abs() < 1e-3, "{} vs {fd}", grads.get(0, 0).x);
+    }
+
+    #[test]
+    fn zero_difference_gives_zero_grad() {
+        let img = Image::filled(2, 2, Vec3::splat(0.5));
+        let (loss, grads) = l1_loss(&img, &img);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grads.get(1, 1), Vec3::default());
+    }
+}

@@ -1,0 +1,336 @@
+//! Small vector/matrix types for the differentiable renderers.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-component f32 vector (pixel/screen coordinates).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec2) -> f32 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f32> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f32) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// A 3-component f32 vector (RGB colors, directions).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x / red component.
+    pub x: f32,
+    /// y / green component.
+    pub y: f32,
+    /// z / blue component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All components equal.
+    pub const fn splat(v: f32) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit-length copy. Returns `self` unchanged if the norm is ~zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n > 1e-12 {
+            self * (1.0 / n)
+        } else {
+            self
+        }
+    }
+
+    /// Cross product `self × rhs`.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Component access by index 0..3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn get(self, i: usize) -> f32 {
+        match i {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+/// A symmetric 2×2 matrix `[[a, b], [b, c]]` — 2D covariances and conics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Mat2Sym {
+    /// Top-left entry.
+    pub a: f32,
+    /// Off-diagonal entry.
+    pub b: f32,
+    /// Bottom-right entry.
+    pub c: f32,
+}
+
+impl Mat2Sym {
+    /// Creates a symmetric matrix.
+    pub const fn new(a: f32, b: f32, c: f32) -> Self {
+        Mat2Sym { a, b, c }
+    }
+
+    /// Determinant `a·c − b²`.
+    pub fn det(self) -> f32 {
+        self.a * self.c - self.b * self.b
+    }
+
+    /// Inverse (also symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the determinant magnitude is below `1e-12` (degenerate
+    /// covariance).
+    pub fn inverse(self) -> Mat2Sym {
+        let det = self.det();
+        assert!(det.abs() > 1e-12, "singular 2x2 matrix (det = {det})");
+        let inv = 1.0 / det;
+        Mat2Sym::new(self.c * inv, -self.b * inv, self.a * inv)
+    }
+
+    /// Quadratic form `vᵀ M v`.
+    pub fn quad(self, v: Vec2) -> f32 {
+        self.a * v.x * v.x + 2.0 * self.b * v.x * v.y + self.c * v.y * v.y
+    }
+
+    /// Whether the matrix is positive definite.
+    pub fn is_positive_definite(self) -> bool {
+        self.a > 0.0 && self.det() > 0.0
+    }
+}
+
+/// The 2D covariance of a rotated anisotropic Gaussian:
+/// `Σ = R(θ) diag(sx², sy²) R(θ)ᵀ`.
+pub fn covariance_from_scale_rot(sx: f32, sy: f32, theta: f32) -> Mat2Sym {
+    let (sin, cos) = theta.sin_cos();
+    let (vx, vy) = (sx * sx, sy * sy);
+    Mat2Sym::new(
+        cos * cos * vx + sin * sin * vy,
+        sin * cos * (vx - vy),
+        sin * sin * vx + cos * cos * vy,
+    )
+}
+
+/// Backpropagates a gradient w.r.t. the covariance entries `(a, b, c)` of
+/// [`covariance_from_scale_rot`] to `(sx, sy, theta)`.
+///
+/// The off-diagonal entry `b` appears once in the symmetric storage but
+/// twice in the matrix; `grad_cov.b` must be the derivative w.r.t. the
+/// *stored* `b` (i.e. already accounting for both occurrences).
+pub fn covariance_backward(
+    sx: f32,
+    sy: f32,
+    theta: f32,
+    grad_cov: Mat2Sym,
+) -> (f32, f32, f32) {
+    let (sin, cos) = theta.sin_cos();
+    let (vx, vy) = (sx * sx, sy * sy);
+    // d a / d vx = cos², d a / d vy = sin², etc.
+    let d_vx = grad_cov.a * cos * cos + grad_cov.b * sin * cos + grad_cov.c * sin * sin;
+    let d_vy = grad_cov.a * sin * sin - grad_cov.b * sin * cos + grad_cov.c * cos * cos;
+    let d_sx = d_vx * 2.0 * sx;
+    let d_sy = d_vy * 2.0 * sy;
+    // dθ: da/dθ = -2 sin cos (vx - vy); db/dθ = (cos²−sin²)(vx−vy);
+    //     dc/dθ = 2 sin cos (vx − vy).
+    let diff = vx - vy;
+    let d_theta = grad_cov.a * (-2.0 * sin * cos * diff)
+        + grad_cov.b * ((cos * cos - sin * sin) * diff)
+        + grad_cov.c * (2.0 * sin * cos * diff);
+    (d_sx, d_sy, d_theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn vec2_ops() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!((-a).x, -1.0);
+        assert_eq!(a.norm_sq(), 5.0);
+    }
+
+    #[test]
+    fn vec3_ops() {
+        let v = Vec3::new(3.0, 0.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        let n = v.normalized();
+        assert_close(n.norm(), 1.0, 1e-6);
+        assert_eq!(Vec3::splat(2.0).dot(Vec3::splat(3.0)), 18.0);
+        assert_eq!(v.get(2), 4.0);
+        // Zero vector normalizes to itself.
+        assert_eq!(Vec3::default().normalized(), Vec3::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vec3_bad_index_panics() {
+        let _ = Vec3::default().get(3);
+    }
+
+    #[test]
+    fn mat2_inverse_roundtrip() {
+        let m = Mat2Sym::new(4.0, 1.0, 3.0);
+        let inv = m.inverse();
+        // M · M⁻¹ = I for symmetric matrices: check via quadratic forms.
+        assert_close(m.a * inv.a + m.b * inv.b, 1.0, 1e-6);
+        assert_close(m.a * inv.b + m.b * inv.c, 0.0, 1e-6);
+        assert_close(m.b * inv.b + m.c * inv.c, 1.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn mat2_singular_panics() {
+        let _ = Mat2Sym::new(1.0, 1.0, 1.0).inverse();
+    }
+
+    #[test]
+    fn covariance_is_positive_definite() {
+        let cov = covariance_from_scale_rot(2.0, 0.5, 0.7);
+        assert!(cov.is_positive_definite());
+        // Isotropic case: rotation irrelevant.
+        let iso = covariance_from_scale_rot(1.5, 1.5, 1.2);
+        assert_close(iso.a, 2.25, 1e-5);
+        assert_close(iso.b, 0.0, 1e-5);
+        assert_close(iso.c, 2.25, 1e-5);
+    }
+
+    #[test]
+    fn covariance_backward_matches_finite_differences() {
+        let (sx, sy, theta) = (1.7f32, 0.6f32, 0.35f32);
+        // Loss L = 1·a + 2·b + 3·c  ⇒ grad_cov = (1, 2, 3).
+        let grad_cov = Mat2Sym::new(1.0, 2.0, 3.0);
+        let loss = |sx: f32, sy: f32, th: f32| {
+            let c = covariance_from_scale_rot(sx, sy, th);
+            c.a * grad_cov.a + c.b * grad_cov.b + c.c * grad_cov.c
+        };
+        let (d_sx, d_sy, d_theta) = covariance_backward(sx, sy, theta, grad_cov);
+        let h = 1e-3;
+        let fd_sx = (loss(sx + h, sy, theta) - loss(sx - h, sy, theta)) / (2.0 * h);
+        let fd_sy = (loss(sx, sy + h, theta) - loss(sx, sy - h, theta)) / (2.0 * h);
+        let fd_th = (loss(sx, sy, theta + h) - loss(sx, sy, theta - h)) / (2.0 * h);
+        assert_close(d_sx, fd_sx, 2e-2);
+        assert_close(d_sy, fd_sy, 2e-2);
+        assert_close(d_theta, fd_th, 2e-2);
+    }
+
+    #[test]
+    fn quad_form() {
+        let m = Mat2Sym::new(2.0, 0.5, 1.0);
+        let v = Vec2::new(1.0, 2.0);
+        assert_close(m.quad(v), 2.0 + 2.0 * 0.5 * 2.0 + 4.0, 1e-6);
+    }
+}

@@ -1,0 +1,307 @@
+//! 3D math for the full Gaussian-splatting projection pipeline:
+//! 3×3 matrices and unit quaternions, with the derivative helpers the
+//! projection backward pass needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::Vec3;
+
+/// A row-major 3×3 matrix.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub m: [[f32; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Builds a matrix from rows.
+    pub const fn from_rows(r0: [f32; 3], r1: [f32; 3], r2: [f32; 3]) -> Self {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// A diagonal matrix.
+    pub fn diag(d: Vec3) -> Self {
+        Mat3::from_rows([d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z])
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat3 {
+        let m = &self.m;
+        Mat3::from_rows(
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        )
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn mul(&self, rhs: &Mat3) -> Mat3 {
+        let mut out = Mat3::default();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = (0..3).map(|k| self.m[i][k] * rhs.m[k][j]).sum();
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// `self + rhs`.
+    pub fn add(&self, rhs: &Mat3) -> Mat3 {
+        let mut out = *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] += rhs.m[i][j];
+            }
+        }
+        out
+    }
+
+    /// `self` scaled by `s`.
+    pub fn scale(&self, s: f32) -> Mat3 {
+        let mut out = *self;
+        for row in &mut out.m {
+            for v in row {
+                *v *= s;
+            }
+        }
+        out
+    }
+}
+
+/// A quaternion `(w, x, y, z)` used as a rotation (normalized on use,
+/// exactly as the 3DGS CUDA kernels do).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f32,
+    /// i component.
+    pub x: f32,
+    /// j component.
+    pub y: f32,
+    /// k component.
+    pub z: f32,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a quaternion.
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Quaternion for a rotation of `angle` radians about `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        let a = axis.normalized();
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quat::new(c, a.x * s, a.y * s, a.z * s)
+    }
+
+    /// Squared norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Normalized copy (identity if the norm is ~zero).
+    pub fn normalized(&self) -> Quat {
+        let n = self.norm_sq().sqrt();
+        if n < 1e-12 {
+            Quat::IDENTITY
+        } else {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// The rotation matrix of the *normalized* quaternion.
+    pub fn to_matrix(&self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        )
+    }
+
+    /// Backpropagates a gradient w.r.t. the rotation-matrix entries to
+    /// the *raw* (unnormalized) quaternion components, including the
+    /// normalization Jacobian — mirroring the 3DGS backward kernel.
+    pub fn matrix_backward(&self, grad_r: &Mat3) -> Quat {
+        let n = self.norm_sq().sqrt().max(1e-12);
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        let g = &grad_r.m;
+
+        // dR/d(normalized components) — from the matrix entries above.
+        let dw = 2.0
+            * (-z * g[0][1] + y * g[0][2] + z * g[1][0] - x * g[1][2] - y * g[2][0]
+                + x * g[2][1]);
+        let dx = 2.0
+            * (y * g[0][1] + z * g[0][2] + y * g[1][0] - 2.0 * x * g[1][1] - w * g[1][2]
+                + z * g[2][0]
+                + w * g[2][1]
+                - 2.0 * x * g[2][2]);
+        let dy = 2.0
+            * (-2.0 * y * g[0][0] + x * g[0][1] + w * g[0][2] + x * g[1][0] + z * g[1][2]
+                - w * g[2][0]
+                + z * g[2][1]
+                - 2.0 * y * g[2][2]);
+        let dz = 2.0
+            * (-2.0 * z * g[0][0] - w * g[0][1] + x * g[0][2] + w * g[1][0] - 2.0 * z * g[1][1]
+                + y * g[1][2]
+                + x * g[2][0]
+                + y * g[2][1]);
+
+        // Through normalization: d(q/|q|)/dq = (I − q̂ q̂ᵀ) / |q|.
+        let dot = dw * w + dx * x + dy * y + dz * z;
+        Quat::new(
+            (dw - w * dot) / n,
+            (dx - x * dot) / n,
+            (dy - y * dot) / n,
+            (dz - z * dot) / n,
+        )
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mat3_identity_and_mul() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        assert_eq!(a.mul(&Mat3::IDENTITY), a);
+        assert_eq!(Mat3::IDENTITY.mul(&a), a);
+        let v = Vec3::new(1.0, 0.0, -1.0);
+        let av = a.mul_vec(v);
+        assert_eq!(av, Vec3::new(-2.0, -2.0, -2.0));
+    }
+
+    #[test]
+    fn mat3_transpose_involution() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn mat3_diag_scale_add() {
+        let d = Mat3::diag(Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(d.mul_vec(Vec3::splat(1.0)), Vec3::new(2.0, 3.0, 4.0));
+        let s = d.scale(0.5);
+        assert_eq!(s.m[0][0], 1.0);
+        let sum = d.add(&Mat3::IDENTITY);
+        assert_eq!(sum.m[2][2], 5.0);
+    }
+
+    #[test]
+    fn quat_identity_matrix() {
+        assert_eq!(Quat::IDENTITY.to_matrix(), Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn quat_rotation_matrix_is_orthonormal() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.1);
+        let r = q.to_matrix();
+        let rrt = r.mul(&r.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(rrt.m[i][j], expect, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn quat_z_rotation_matches_2d() {
+        let angle = 0.7f32;
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), angle);
+        let r = q.to_matrix();
+        assert_close(r.m[0][0], angle.cos(), 1e-6);
+        assert_close(r.m[0][1], -angle.sin(), 1e-6);
+        assert_close(r.m[1][0], angle.sin(), 1e-6);
+    }
+
+    #[test]
+    fn unnormalized_quat_rotates_like_normalized() {
+        let q = Quat::new(2.0, 0.4, -0.8, 1.0);
+        assert_eq!(q.to_matrix(), q.normalized().to_matrix());
+    }
+
+    /// The matrix backward must match finite differences on the raw
+    /// (unnormalized) quaternion, including the normalization Jacobian.
+    #[test]
+    fn matrix_backward_matches_finite_differences() {
+        let q = Quat::new(0.9, 0.3, -0.4, 0.2);
+        // Loss = Σ w_ij R_ij with fixed arbitrary weights.
+        let weights = Mat3::from_rows([0.3, -1.2, 0.7], [0.9, 0.1, -0.4], [-0.6, 0.8, 1.1]);
+        let loss = |q: &Quat| {
+            let r = q.to_matrix();
+            let mut sum = 0.0f32;
+            for i in 0..3 {
+                for j in 0..3 {
+                    sum += weights.m[i][j] * r.m[i][j];
+                }
+            }
+            sum
+        };
+        let analytic = q.matrix_backward(&weights);
+        let h = 1e-3f32;
+        type Setter = fn(&mut Quat, f32);
+        let comps: [(f32, Setter, f32); 4] = [
+            (analytic.w, |q, v| q.w = v, q.w),
+            (analytic.x, |q, v| q.x = v, q.x),
+            (analytic.y, |q, v| q.y = v, q.y),
+            (analytic.z, |q, v| q.z = v, q.z),
+        ];
+        for (an, set, orig) in comps {
+            let mut qp = q;
+            set(&mut qp, orig + h);
+            let mut qm = q;
+            set(&mut qm, orig - h);
+            let fd = (loss(&qp) - loss(&qm)) / (2.0 * h);
+            assert_close(an, fd, 2e-2);
+        }
+    }
+}

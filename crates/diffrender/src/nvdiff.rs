@@ -1,0 +1,351 @@
+//! NvDiffRec-style differentiable rendering: learning a specular cubemap
+//! texture from rendered images of a fixed object (paper §6: "we use
+//! differentiable rendering to learn the parameters of specular cubemap
+//! texture from a set of mesh images").
+//!
+//! The geometry is a synthetic sphere G-buffer: pixels covered by the
+//! sphere compute a reflection direction and sample the cubemap; pixels
+//! off the sphere are inactive — reproducing the heavy control
+//! divergence that makes CCCL ineffective on NV workloads (paper §7.2)
+//! and the low active-lane counts of Fig. 7.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+use crate::loss::PixelGrads;
+use crate::math::Vec3;
+
+/// A learnable cubemap: 6 faces of `res`×`res` RGB texels.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cubemap {
+    res: usize,
+    texels: Vec<Vec3>,
+}
+
+impl Cubemap {
+    /// Creates a black cubemap of the given face resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res` is zero.
+    pub fn new(res: usize) -> Self {
+        assert!(res > 0, "cubemap resolution must be positive");
+        Cubemap {
+            res,
+            texels: vec![Vec3::default(); 6 * res * res],
+        }
+    }
+
+    /// Randomly initialized cubemap (uniform \[0,1\] channels).
+    pub fn random<R: Rng>(res: usize, rng: &mut R) -> Self {
+        let mut map = Cubemap::new(res);
+        for t in &mut map.texels {
+            *t = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+        }
+        map
+    }
+
+    /// Face resolution.
+    pub fn res(&self) -> usize {
+        self.res
+    }
+
+    /// Total texel count (6 · res²).
+    pub fn len(&self) -> usize {
+        self.texels.len()
+    }
+
+    /// Whether the map has no texels (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.texels.is_empty()
+    }
+
+    /// Texel color by linear index.
+    pub fn texel(&self, idx: usize) -> Vec3 {
+        self.texels[idx]
+    }
+
+    /// Flat parameter view (3 floats per texel).
+    pub fn to_params(&self) -> Vec<f32> {
+        self.texels
+            .iter()
+            .flat_map(|t| [t.x, t.y, t.z])
+            .collect()
+    }
+
+    /// Loads parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.len() * 3, "parameter length mismatch");
+        for (t, c) in self.texels.iter_mut().zip(params.chunks_exact(3)) {
+            *t = Vec3::new(c[0], c[1], c[2]);
+        }
+    }
+
+    /// Maps a direction to its nearest texel's linear index (standard
+    /// major-axis cubemap addressing).
+    pub fn texel_index(&self, dir: Vec3) -> usize {
+        let (ax, ay, az) = (dir.x.abs(), dir.y.abs(), dir.z.abs());
+        let (face, ma, sc, tc) = if ax >= ay && ax >= az {
+            if dir.x > 0.0 {
+                (0, ax, -dir.z, -dir.y)
+            } else {
+                (1, ax, dir.z, -dir.y)
+            }
+        } else if ay >= ax && ay >= az {
+            if dir.y > 0.0 {
+                (2, ay, dir.x, dir.z)
+            } else {
+                (3, ay, dir.x, -dir.z)
+            }
+        } else if dir.z > 0.0 {
+            (4, az, dir.x, -dir.y)
+        } else {
+            (5, az, -dir.x, -dir.y)
+        };
+        let ma = ma.max(1e-6);
+        let u = 0.5 * (sc / ma + 1.0);
+        let v = 0.5 * (tc / ma + 1.0);
+        let x = ((u * self.res as f32) as usize).min(self.res - 1);
+        let y = ((v * self.res as f32) as usize).min(self.res - 1);
+        face * self.res * self.res + y * self.res + x
+    }
+}
+
+/// The fixed scene geometry: a sphere filling most of the frame, viewed
+/// head-on, plus jittered reflection samples per pixel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NvScene {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Sphere radius as a fraction of the half-extent (default 0.75).
+    pub sphere_radius: f32,
+    /// Reflection samples per covered pixel (NvDiffRec supersamples).
+    pub samples: usize,
+    /// Background color for uncovered pixels.
+    pub background: Vec3,
+}
+
+impl NvScene {
+    /// A scene with the given frame size, radius fraction 0.75 and 4
+    /// reflection samples.
+    pub fn new(width: usize, height: usize) -> Self {
+        NvScene {
+            width,
+            height,
+            sphere_radius: 0.75,
+            samples: 4,
+            background: Vec3::splat(0.0),
+        }
+    }
+
+    /// The sphere-surface normal under pixel `(x, y)`, or `None` if the
+    /// pixel misses the sphere.
+    pub fn normal_at(&self, x: usize, y: usize) -> Option<Vec3> {
+        let hx = self.width as f32 / 2.0;
+        let hy = self.height as f32 / 2.0;
+        let nx = (x as f32 + 0.5 - hx) / hx.min(hy);
+        let ny = (y as f32 + 0.5 - hy) / hx.min(hy);
+        let r2 = self.sphere_radius * self.sphere_radius;
+        let d2 = nx * nx + ny * ny;
+        if d2 > r2 {
+            return None;
+        }
+        let nz = (r2 - d2).sqrt() / self.sphere_radius;
+        Some(Vec3::new(nx / self.sphere_radius, ny / self.sphere_radius, nz).normalized())
+    }
+
+    /// The `s`-th jittered reflection direction for pixel `(x, y)`, or
+    /// `None` off-sphere. View direction is `-z`; the jitter is a small
+    /// deterministic tangent perturbation (stand-in for rough-specular
+    /// sampling).
+    pub fn reflection(&self, x: usize, y: usize, s: usize) -> Option<Vec3> {
+        let n = self.normal_at(x, y)?;
+        // reflect(view = (0,0,-1)) = v − 2(v·n)n
+        let v = Vec3::new(0.0, 0.0, -1.0);
+        let r = v - n * (2.0 * v.dot(n));
+        // Deterministic jitter per sample.
+        let a = (s as f32 + 1.0) * 0.13;
+        let jitter = Vec3::new(a.sin(), a.cos(), 0.0) * 0.05;
+        Some((r + jitter).normalized())
+    }
+}
+
+/// Forward render: average the cubemap samples per covered pixel.
+pub fn render(scene: &NvScene, map: &Cubemap) -> Image {
+    let mut img = Image::new(scene.width, scene.height);
+    for y in 0..scene.height {
+        for x in 0..scene.width {
+            let mut c = scene.background;
+            if scene.normal_at(x, y).is_some() {
+                let mut acc = Vec3::default();
+                for s in 0..scene.samples {
+                    let dir = scene.reflection(x, y, s).expect("covered pixel");
+                    acc += map.texel(map.texel_index(dir));
+                }
+                c = acc * (1.0 / scene.samples as f32);
+            }
+            img.set(x, y, c);
+        }
+    }
+    img
+}
+
+/// The gradient-computation pass: scatters `dL/dpixel / samples` into
+/// each sampled texel — the atomic accumulation the GPU kernel performs.
+/// Returns per-texel RGB gradients.
+pub fn backward(scene: &NvScene, map: &Cubemap, pixel_grads: &PixelGrads) -> Vec<Vec3> {
+    let mut grads = vec![Vec3::default(); map.len()];
+    let w = 1.0 / scene.samples as f32;
+    for y in 0..scene.height {
+        for x in 0..scene.width {
+            if scene.normal_at(x, y).is_none() {
+                continue;
+            }
+            let g = pixel_grads.get(x, y) * w;
+            for s in 0..scene.samples {
+                let dir = scene.reflection(x, y, s).expect("covered pixel");
+                grads[map.texel_index(dir)] += g;
+            }
+        }
+    }
+    grads
+}
+
+/// Flattens texel gradients to align with [`Cubemap::to_params`].
+pub fn flatten_grads(grads: &[Vec3]) -> Vec<f32> {
+    grads.iter().flat_map(|g| [g.x, g.y, g.z]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::l2_loss;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn texel_index_in_range_for_any_direction() {
+        let map = Cubemap::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = Vec3::new(
+                rng.gen_range(-1.0..1.0f32),
+                rng.gen_range(-1.0..1.0f32),
+                rng.gen_range(-1.0..1.0f32),
+            );
+            if d.norm() < 1e-3 {
+                continue;
+            }
+            assert!(map.texel_index(d.normalized()) < map.len());
+        }
+    }
+
+    #[test]
+    fn principal_axes_hit_distinct_faces() {
+        let map = Cubemap::new(4);
+        let face_of = |d: Vec3| map.texel_index(d) / 16;
+        let faces: Vec<usize> = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        ]
+        .into_iter()
+        .map(face_of)
+        .collect();
+        assert_eq!(faces, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sphere_covers_center_not_corners() {
+        let scene = NvScene::new(64, 64);
+        assert!(scene.normal_at(32, 32).is_some());
+        assert!(scene.normal_at(0, 0).is_none());
+        // Center normal faces the camera.
+        let n = scene.normal_at(32, 32).unwrap();
+        assert!(n.z > 0.9);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let map = Cubemap::random(4, &mut rng);
+        let mut map2 = Cubemap::new(4);
+        map2.set_params(&map.to_params());
+        assert_eq!(map, map2);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let scene = NvScene::new(16, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut map = Cubemap::random(4, &mut rng);
+        let target = render(&scene, &Cubemap::random(4, &mut rng));
+
+        let out = render(&scene, &map);
+        let (_, pg) = l2_loss(&out, &target);
+        let analytic = flatten_grads(&backward(&scene, &map, &pg));
+
+        let mut params = map.to_params();
+        let h = 1e-2f32;
+        let mut checked = 0;
+        for idx in (0..params.len()).step_by(7) {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            map.set_params(&params);
+            let lp = l2_loss(&render(&scene, &map), &target).0;
+            params[idx] = orig - h;
+            map.set_params(&params);
+            let lm = l2_loss(&render(&scene, &map), &target).0;
+            params[idx] = orig;
+            map.set_params(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            if fd.abs() < 1e-7 && analytic[idx].abs() < 1e-7 {
+                continue;
+            }
+            assert!(
+                (fd - analytic[idx]).abs() <= 1e-3 + 0.1 * fd.abs(),
+                "param {idx}: analytic {} vs fd {fd}",
+                analytic[idx]
+            );
+            checked += 1;
+        }
+        assert!(checked > 3);
+    }
+
+    #[test]
+    fn training_converges() {
+        let scene = NvScene::new(32, 32);
+        let mut rng = StdRng::seed_from_u64(4);
+        let target_map = Cubemap::random(4, &mut rng);
+        let target = render(&scene, &target_map);
+        let mut map = Cubemap::new(4);
+        let mut opt = Adam::new(map.len() * 3, 0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let out = render(&scene, &map);
+            let (loss, pg) = l2_loss(&out, &target);
+            first.get_or_insert(loss);
+            last = loss;
+            let g = flatten_grads(&backward(&scene, &map, &pg));
+            let mut params = map.to_params();
+            opt.step(&mut params, &g);
+            map.set_params(&params);
+        }
+        assert!(
+            last < first.unwrap() * 0.2,
+            "loss should drop 5×: {first:?} → {last}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Gradient-descent optimizers for the learned scene parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state over a flat f32 parameter vector (the standard
+/// choice for 3DGS/NvDiffRec/Pulsar training).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `len` parameters with the given learning
+    /// rate and standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(len: usize, lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (e.g. for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update: `params -= lr · m̂ / (√v̂ + ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` lengths differ from the optimizer's.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Plain SGD, used by tests and ablations as the simplest baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Sgd { lr }
+    }
+
+    /// Applies `params -= lr · grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn step(&self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "length mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x − 3)² from x = 0.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut x = vec![10.0f32];
+        let opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = vec![2.0 * x[0]];
+            opt.step(&mut x, &g);
+        }
+        assert!(x[0].abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn adam_length_mismatch_panics() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut p = vec![0.0; 2];
+        opt.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_lr_panics() {
+        let _ = Adam::new(1, -0.5);
+    }
+
+    #[test]
+    fn learning_rate_can_decay() {
+        let mut opt = Adam::new(1, 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

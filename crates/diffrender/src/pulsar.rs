@@ -1,0 +1,508 @@
+//! Pulsar-style differentiable sphere rendering (Lassner & Zollhöfer
+//! 2021; the PyTorch3D implementation is the paper's PS workload).
+//!
+//! Spheres project to smooth screen-space disks composited by depth.
+//! Unlike the tile-based Gaussian rasterizer, each *pixel* walks its own
+//! per-cell sphere list — a per-thread (non-warp-uniform) loop, which is
+//! why butterfly reduction "cannot be used for PS-SS and PS-SL" (paper
+//! Fig. 23) while serialized reduction still applies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+use crate::loss::PixelGrads;
+use crate::math::{Vec2, Vec3};
+
+/// Trainable floats per sphere: center (2) + radius (1) + opacity logit
+/// (1) + RGB (3).
+pub const PARAMS_PER_SPHERE: usize = 7;
+/// Binning cell edge in pixels (per-cell sphere lists).
+pub const CELL: usize = 8;
+/// Minimum blending weight for a sphere to contribute.
+pub const W_MIN: f32 = 1.0 / 255.0;
+/// Transmittance early-out threshold.
+pub const T_MIN: f32 = 1e-4;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A screen-space sphere (disk) model, depth-ordered by index
+/// (lower index = nearer).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SphereModel {
+    /// Projected centers in pixels.
+    pub center: Vec<Vec2>,
+    /// Disk radii in pixels (kept positive by the optimizer interface).
+    pub radius: Vec<f32>,
+    /// Opacity logits.
+    pub opacity_logit: Vec<f32>,
+    /// RGB colors.
+    pub color: Vec<Vec3>,
+}
+
+impl SphereModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        SphereModel::default()
+    }
+
+    /// Number of spheres.
+    pub fn len(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.center.is_empty()
+    }
+
+    /// Appends a sphere.
+    pub fn push(&mut self, center: Vec2, radius: f32, opacity_logit: f32, color: Vec3) {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        self.center.push(center);
+        self.radius.push(radius);
+        self.opacity_logit.push(opacity_logit);
+        self.color.push(color);
+    }
+
+    /// Random scene over a canvas (the paper's PS-SS / PS-SL synthetic
+    /// sphere datasets).
+    pub fn random<R: Rng>(n: usize, width: usize, height: usize, rng: &mut R) -> Self {
+        let mut m = SphereModel::new();
+        for _ in 0..n {
+            m.push(
+                Vec2::new(
+                    rng.gen_range(0.0..width as f32),
+                    rng.gen_range(0.0..height as f32),
+                ),
+                rng.gen_range(2.0..8.0),
+                rng.gen_range(-0.5..1.5),
+                Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+            );
+        }
+        m
+    }
+
+    /// Flat trainable parameters ([`PARAMS_PER_SPHERE`] per sphere).
+    pub fn to_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len() * PARAMS_PER_SPHERE);
+        for i in 0..self.len() {
+            out.extend_from_slice(&[
+                self.center[i].x,
+                self.center[i].y,
+                self.radius[i],
+                self.opacity_logit[i],
+                self.color[i].x,
+                self.color[i].y,
+                self.color[i].z,
+            ]);
+        }
+        out
+    }
+
+    /// Loads parameters; radii are clamped to a small positive floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(
+            params.len(),
+            self.len() * PARAMS_PER_SPHERE,
+            "parameter length mismatch"
+        );
+        for (i, c) in params.chunks_exact(PARAMS_PER_SPHERE).enumerate() {
+            self.center[i] = Vec2::new(c[0], c[1]);
+            self.radius[i] = c[2].max(0.5);
+            self.opacity_logit[i] = c[3];
+            self.color[i] = Vec3::new(c[4], c[5], c[6]);
+        }
+    }
+}
+
+/// Per-cell sphere lists: every pixel walks the list of its 8×8 cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellLists {
+    /// Cells per row.
+    pub cells_x: usize,
+    /// Cells per column.
+    pub cells_y: usize,
+    /// Sphere ids per cell, ascending (depth order).
+    pub lists: Vec<Vec<u32>>,
+}
+
+impl CellLists {
+    /// The list for the cell containing pixel `(x, y)`.
+    pub fn list_at(&self, x: usize, y: usize) -> &[u32] {
+        &self.lists[(y / CELL) * self.cells_x + (x / CELL)]
+    }
+}
+
+/// Bins spheres into 8×8 cells by bounding box.
+pub fn build_cell_lists(model: &SphereModel, width: usize, height: usize) -> CellLists {
+    let cells_x = width.div_ceil(CELL);
+    let cells_y = height.div_ceil(CELL);
+    let mut lists = vec![Vec::new(); cells_x * cells_y];
+    for i in 0..model.len() {
+        let c = model.center[i];
+        let r = model.radius[i];
+        if c.x + r < 0.0 || c.y + r < 0.0 {
+            continue;
+        }
+        let x0 = (((c.x - r) / CELL as f32).floor().max(0.0)) as usize;
+        let y0 = (((c.y - r) / CELL as f32).floor().max(0.0)) as usize;
+        let x1 = (((c.x + r) / CELL as f32).floor() as usize).min(cells_x.saturating_sub(1));
+        let y1 = (((c.y + r) / CELL as f32).floor() as usize).min(cells_y.saturating_sub(1));
+        if x0 >= cells_x || y0 >= cells_y || x0 > x1 || y0 > y1 {
+            continue;
+        }
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                lists[cy * cells_x + cx].push(i as u32);
+            }
+        }
+    }
+    CellLists {
+        cells_x,
+        cells_y,
+        lists,
+    }
+}
+
+/// The blending weight of sphere `i` at a pixel: `w = (1 − d²/r²)²` on
+/// the disk, 0 outside; `alpha = sigmoid(opacity) · w`.
+fn weight(d2: f32, r: f32) -> f32 {
+    let q = 1.0 - d2 / (r * r);
+    if q <= 0.0 {
+        0.0
+    } else {
+        q * q
+    }
+}
+
+/// The forward pass result.
+#[derive(Clone, Debug)]
+pub struct SphereRenderOutput {
+    /// Rendered image.
+    pub image: Image,
+    /// Per-cell sphere lists.
+    pub cells: CellLists,
+    /// Per-pixel final transmittance.
+    pub final_t: Vec<f32>,
+    /// Per-pixel entries processed before early-out.
+    pub n_processed: Vec<u32>,
+    /// Background color.
+    pub background: Vec3,
+}
+
+/// Renders the sphere model with front-to-back alpha compositing.
+pub fn render(
+    model: &SphereModel,
+    width: usize,
+    height: usize,
+    background: Vec3,
+) -> SphereRenderOutput {
+    let cells = build_cell_lists(model, width, height);
+    let mut image = Image::new(width, height);
+    let mut final_t = vec![1.0f32; width * height];
+    let mut n_processed = vec![0u32; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let pix = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+            let mut t = 1.0f32;
+            let mut c = Vec3::default();
+            let mut processed = 0u32;
+            for &sid in cells.list_at(x, y) {
+                processed += 1;
+                let s = sid as usize;
+                let d2 = (pix - model.center[s]).norm_sq();
+                let w = weight(d2, model.radius[s]);
+                let alpha = sigmoid(model.opacity_logit[s]) * w;
+                if alpha < W_MIN {
+                    continue;
+                }
+                let test_t = t * (1.0 - alpha);
+                if test_t < T_MIN {
+                    processed -= 1;
+                    break;
+                }
+                c += model.color[s] * (alpha * t);
+                t = test_t;
+            }
+            let idx = y * width + x;
+            image.pixels_mut()[idx] = c + background * t;
+            final_t[idx] = t;
+            n_processed[idx] = processed;
+        }
+    }
+    SphereRenderOutput {
+        image,
+        cells,
+        final_t,
+        n_processed,
+        background,
+    }
+}
+
+/// Per-sphere raster gradients (what the atomics accumulate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SphereGrads {
+    /// d L / d center.
+    pub center: Vec<Vec2>,
+    /// d L / d radius.
+    pub radius: Vec<f32>,
+    /// d L / d opacity logit.
+    pub opacity_logit: Vec<f32>,
+    /// d L / d color.
+    pub color: Vec<Vec3>,
+}
+
+/// One lane's contribution in the gradient kernel, for trace generation.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct SphereLaneGrad {
+    /// d L / d center.
+    pub center: Vec2,
+    /// d L / d radius.
+    pub radius: f32,
+    /// d L / d opacity logit.
+    pub opacity_logit: f32,
+    /// d L / d color.
+    pub color: Vec3,
+}
+
+/// Observer of the sphere gradient kernel: called once per pixel per
+/// contributing sphere (the trace generator groups these into warps).
+pub trait SphereGradObserver {
+    /// `(x, y)` contributed `grad` to sphere `sid` at its list position
+    /// `k`.
+    fn contribution(&mut self, x: usize, y: usize, k: usize, sid: u32, grad: &SphereLaneGrad);
+}
+
+/// Observer that discards contributions (plain training).
+#[derive(Debug, Default)]
+pub struct NoopSphereObserver;
+
+impl SphereGradObserver for NoopSphereObserver {
+    fn contribution(&mut self, _x: usize, _y: usize, _k: usize, _sid: u32, _g: &SphereLaneGrad) {}
+}
+
+/// The gradient-computation pass: per pixel, walk its cell list
+/// back-to-front accumulating gradients (same compositing calculus as
+/// the Gaussian rasterizer, different kernel shape).
+pub fn backward<O: SphereGradObserver>(
+    model: &SphereModel,
+    out: &SphereRenderOutput,
+    pixel_grads: &PixelGrads,
+    observer: &mut O,
+) -> SphereGrads {
+    let width = out.image.width();
+    let height = out.image.height();
+    let mut grads = SphereGrads {
+        center: vec![Vec2::default(); model.len()],
+        radius: vec![0.0; model.len()],
+        opacity_logit: vec![0.0; model.len()],
+        color: vec![Vec3::default(); model.len()],
+    };
+    for y in 0..height {
+        for x in 0..width {
+            let idx = y * width + x;
+            let list = out.cells.list_at(x, y);
+            let n = out.n_processed[idx] as usize;
+            if n == 0 {
+                continue;
+            }
+            let pix = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+            let dl_dpix = pixel_grads.get(x, y);
+            let t_final = out.final_t[idx];
+            let mut t = t_final;
+            let mut accum = Vec3::default();
+            let mut last_alpha = 0.0f32;
+            let mut last_color = Vec3::default();
+            for k in (0..n).rev() {
+                let sid = list[k];
+                let s = sid as usize;
+                let op = sigmoid(model.opacity_logit[s]);
+                let d = pix - model.center[s];
+                let d2 = d.norm_sq();
+                let r = model.radius[s];
+                let w = weight(d2, r);
+                let alpha = op * w;
+                if alpha < W_MIN {
+                    continue;
+                }
+                t /= 1.0 - alpha;
+                let dl_dcolor = dl_dpix * (alpha * t);
+                accum = last_color * last_alpha + accum * (1.0 - last_alpha);
+                let mut dl_dalpha = (model.color[s] - accum).dot(dl_dpix) * t;
+                dl_dalpha += -(t_final / (1.0 - alpha)) * out.background.dot(dl_dpix);
+                last_alpha = alpha;
+                last_color = model.color[s];
+
+                // alpha = σ(logit) · w(d², r)
+                let dl_dlogit = dl_dalpha * w * op * (1.0 - op);
+                let q = 1.0 - d2 / (r * r);
+                // w = q², dw/dd² = −2q/r², dw/dr = 4q·d²/r³
+                let dl_dw = dl_dalpha * op;
+                let dw_dd2 = -2.0 * q / (r * r);
+                let dl_dd2 = dl_dw * dw_dd2;
+                let dl_dcenter = d * (-2.0 * dl_dd2);
+                let dl_dradius = dl_dw * (4.0 * q * d2 / (r * r * r));
+
+                let lane = SphereLaneGrad {
+                    center: dl_dcenter,
+                    radius: dl_dradius,
+                    opacity_logit: dl_dlogit,
+                    color: dl_dcolor,
+                };
+                observer.contribution(x, y, k, sid, &lane);
+                grads.center[s] += lane.center;
+                grads.radius[s] += lane.radius;
+                grads.opacity_logit[s] += lane.opacity_logit;
+                grads.color[s] += lane.color;
+            }
+        }
+    }
+    grads
+}
+
+/// Flattens sphere gradients to align with [`SphereModel::to_params`].
+pub fn flatten_grads(grads: &SphereGrads) -> Vec<f32> {
+    let n = grads.center.len();
+    let mut out = Vec::with_capacity(n * PARAMS_PER_SPHERE);
+    for i in 0..n {
+        out.extend_from_slice(&[
+            grads.center[i].x,
+            grads.center[i].y,
+            grads.radius[i],
+            grads.opacity_logit[i],
+            grads.color[i].x,
+            grads.color[i].y,
+            grads.color[i].z,
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::l2_loss;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_model() -> SphereModel {
+        let mut m = SphereModel::new();
+        m.push(Vec2::new(8.0, 8.0), 4.0, 1.0, Vec3::new(0.9, 0.1, 0.1));
+        m.push(Vec2::new(16.0, 12.0), 5.0, 0.5, Vec3::new(0.1, 0.8, 0.2));
+        m.push(Vec2::new(12.0, 20.0), 3.0, 0.0, Vec3::new(0.2, 0.2, 0.9));
+        m
+    }
+
+    #[test]
+    fn render_paints_disk_centers() {
+        let out = render(&small_model(), 32, 32, Vec3::splat(0.0));
+        assert!(out.image.get(8, 8).x > 0.3);
+        assert_eq!(out.image.get(31, 31), Vec3::splat(0.0));
+    }
+
+    #[test]
+    fn cell_lists_cover_footprints() {
+        let cells = build_cell_lists(&small_model(), 32, 32);
+        assert_eq!(cells.cells_x, 4);
+        assert!(cells.list_at(8, 8).contains(&0));
+        assert!(!cells.list_at(31, 31).contains(&0));
+    }
+
+    #[test]
+    fn weight_is_smooth_and_bounded() {
+        assert_eq!(weight(100.0, 5.0), 0.0); // outside
+        assert!((weight(0.0, 5.0) - 1.0).abs() < 1e-6); // center
+        let w_mid = weight(12.5, 5.0);
+        assert!(w_mid > 0.0 && w_mid < 1.0);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut model = small_model();
+        let mut rng = StdRng::seed_from_u64(5);
+        let target = render(&SphereModel::random(5, 32, 32, &mut rng), 32, 32, Vec3::splat(0.1)).image;
+        let bg = Vec3::splat(0.1);
+
+        let out = render(&model, 32, 32, bg);
+        let (_, pg) = l2_loss(&out.image, &target);
+        let analytic = flatten_grads(&backward(&model, &out, &pg, &mut NoopSphereObserver));
+
+        let mut params = model.to_params();
+        let h = 5e-3f32;
+        let mut checked = 0;
+        for idx in 0..params.len() {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            model.set_params(&params);
+            let lp = l2_loss(&render(&model, 32, 32, bg).image, &target).0;
+            params[idx] = orig - h;
+            model.set_params(&params);
+            let lm = l2_loss(&render(&model, 32, 32, bg).image, &target).0;
+            params[idx] = orig;
+            model.set_params(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            let an = analytic[idx];
+            if fd.abs() < 1e-6 && an.abs() < 1e-6 {
+                continue;
+            }
+            assert!(
+                (fd - an).abs() <= 2e-3f32.max(0.15 * fd.abs().max(an.abs())),
+                "param {idx}: analytic {an} vs fd {fd}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 8, "too few params checked ({checked})");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = render(&SphereModel::random(8, 32, 32, &mut rng), 32, 32, Vec3::splat(0.0)).image;
+        let mut model = SphereModel::random(8, 32, 32, &mut rng);
+        let mut opt = Adam::new(model.len() * PARAMS_PER_SPHERE, 0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let out = render(&model, 32, 32, Vec3::splat(0.0));
+            let (loss, pg) = l2_loss(&out.image, &target);
+            first.get_or_insert(loss);
+            last = loss;
+            let g = flatten_grads(&backward(&model, &out, &pg, &mut NoopSphereObserver));
+            let mut params = model.to_params();
+            opt.step(&mut params, &g);
+            model.set_params(&params);
+        }
+        assert!(last < first.unwrap(), "loss did not decrease");
+    }
+
+    #[test]
+    fn observer_sees_contributions() {
+        struct Count(usize);
+        impl SphereGradObserver for Count {
+            fn contribution(&mut self, _x: usize, _y: usize, _k: usize, _s: u32, _g: &SphereLaneGrad) {
+                self.0 += 1;
+            }
+        }
+        let model = small_model();
+        let out = render(&model, 32, 32, Vec3::splat(0.0));
+        let (_, pg) = l2_loss(&out.image, &Image::new(32, 32));
+        let mut c = Count(0);
+        let _ = backward(&model, &out, &pg, &mut c);
+        assert!(c.0 > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_rejected() {
+        let mut m = SphereModel::new();
+        m.push(Vec2::new(0.0, 0.0), 0.0, 0.0, Vec3::default());
+    }
+}

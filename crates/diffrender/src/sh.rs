@@ -1,0 +1,347 @@
+//! Degree-1 spherical-harmonics color for 3D Gaussians — 3DGS's
+//! view-dependent appearance model. Each Gaussian carries a DC RGB term
+//! plus three linear RGB coefficients; the rendered color depends on
+//! the viewing direction from the camera to the Gaussian:
+//!
+//! ```text
+//! c(d) = max(0, 0.5 + SH_C0·c₀ − SH_C1·d.y·c₁ + SH_C1·d.z·c₂ − SH_C1·d.x·c₃)
+//! ```
+//!
+//! The backward pass produces gradients for all four coefficient
+//! vectors *and* for the Gaussian mean (the view direction depends on
+//! it through normalization), matching the 3DGS `computeColorFromSH`
+//! backward. Verified against finite differences.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::math::Vec3;
+
+/// Y₀₀ normalization constant.
+pub const SH_C0: f32 = 0.282_094_8;
+/// Y₁ₘ normalization constant.
+pub const SH_C1: f32 = 0.488_602_5;
+
+/// Degree-1 SH coefficients for one Gaussian: `[c0, c1, c2, c3]` with
+/// the 3DGS basis ordering (DC, then the −y/+z/−x linear terms).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sh1 {
+    /// DC (view-independent) RGB term.
+    pub c0: Vec3,
+    /// Linear coefficient paired with −d.y.
+    pub c1: Vec3,
+    /// Linear coefficient paired with +d.z.
+    pub c2: Vec3,
+    /// Linear coefficient paired with −d.x.
+    pub c3: Vec3,
+}
+
+/// Floats per Gaussian in an SH-1 bank.
+pub const PARAMS_PER_SH1: usize = 12;
+
+impl Sh1 {
+    /// Coefficients reproducing a constant (view-independent) color.
+    pub fn constant(color: Vec3) -> Self {
+        Sh1 {
+            c0: (color - Vec3::splat(0.5)) * (1.0 / SH_C0),
+            ..Sh1::default()
+        }
+    }
+
+    /// Random coefficients: moderate DC around gray, small linear terms.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        let mut v = || Vec3::new(rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5);
+        Sh1 {
+            c0: v() * 1.5,
+            c1: v() * 0.8,
+            c2: v() * 0.8,
+            c3: v() * 0.8,
+        }
+    }
+}
+
+/// Forward SH-1 evaluation (pre-clamp value and the clamped color).
+fn eval_raw(sh: &Sh1, dir: Vec3) -> Vec3 {
+    Vec3::splat(0.5) + sh.c0 * SH_C0 + sh.c1 * (-SH_C1 * dir.y) + sh.c2 * (SH_C1 * dir.z)
+        + sh.c3 * (-SH_C1 * dir.x)
+}
+
+/// Evaluates the view-dependent color for direction `dir` (need not be
+/// normalized; it is normalized internally, as 3DGS does).
+pub fn eval_sh1(sh: &Sh1, dir: Vec3) -> Vec3 {
+    let d = dir.normalized();
+    let raw = eval_raw(sh, d);
+    Vec3::new(raw.x.max(0.0), raw.y.max(0.0), raw.z.max(0.0))
+}
+
+/// Gradients of a scalar loss through [`eval_sh1`]: given `dL/dcolor`,
+/// returns (`dL/dsh`, `dL/ddir`) where `dir` is the *unnormalized*
+/// direction (mean − camera position). Channels clamped at zero pass no
+/// gradient (3DGS's `clamped` flags).
+pub fn backward_sh1(sh: &Sh1, dir: Vec3, dl_dcolor: Vec3) -> (Sh1, Vec3) {
+    let n = dir.norm().max(1e-12);
+    let d = dir * (1.0 / n);
+    let raw = eval_raw(sh, d);
+    let gate = Vec3::new(
+        if raw.x > 0.0 { dl_dcolor.x } else { 0.0 },
+        if raw.y > 0.0 { dl_dcolor.y } else { 0.0 },
+        if raw.z > 0.0 { dl_dcolor.z } else { 0.0 },
+    );
+
+    let d_sh = Sh1 {
+        c0: gate * SH_C0,
+        c1: gate * (-SH_C1 * d.y),
+        c2: gate * (SH_C1 * d.z),
+        c3: gate * (-SH_C1 * d.x),
+    };
+
+    // dL/dd (normalized direction): color = ... + c1·(−C1·d.y) + ...
+    let dl_dd = Vec3::new(
+        -SH_C1 * gate.dot(sh.c3),
+        -SH_C1 * gate.dot(sh.c1),
+        SH_C1 * gate.dot(sh.c2),
+    );
+    // Through normalization: d = dir/|dir| ⇒ J = (I − d dᵀ)/|dir|.
+    let dl_ddir = (dl_dd - d * d.dot(dl_dd)) * (1.0 / n);
+    (d_sh, dl_ddir)
+}
+
+/// A bank of SH-1 coefficients, one per Gaussian, with the flat
+/// parameter interface the optimizer consumes.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sh1Bank {
+    /// Per-Gaussian coefficients.
+    pub coeffs: Vec<Sh1>,
+}
+
+impl Sh1Bank {
+    /// A bank of `n` constant-gray coefficient sets.
+    pub fn new(n: usize) -> Self {
+        Sh1Bank {
+            coeffs: vec![Sh1::constant(Vec3::splat(0.5)); n],
+        }
+    }
+
+    /// A randomly initialized bank.
+    pub fn random<R: Rng>(n: usize, rng: &mut R) -> Self {
+        Sh1Bank {
+            coeffs: (0..n).map(|_| Sh1::random(rng)).collect(),
+        }
+    }
+
+    /// Number of Gaussians covered.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Flat parameters ([`PARAMS_PER_SH1`] per Gaussian).
+    pub fn to_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len() * PARAMS_PER_SH1);
+        for c in &self.coeffs {
+            for v in [c.c0, c.c1, c.c2, c.c3] {
+                out.extend_from_slice(&[v.x, v.y, v.z]);
+            }
+        }
+        out
+    }
+
+    /// Loads parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.len() * PARAMS_PER_SH1, "length mismatch");
+        for (c, chunk) in self.coeffs.iter_mut().zip(params.chunks_exact(PARAMS_PER_SH1)) {
+            c.c0 = Vec3::new(chunk[0], chunk[1], chunk[2]);
+            c.c1 = Vec3::new(chunk[3], chunk[4], chunk[5]);
+            c.c2 = Vec3::new(chunk[6], chunk[7], chunk[8]);
+            c.c3 = Vec3::new(chunk[9], chunk[10], chunk[11]);
+        }
+    }
+
+    /// Evaluates per-Gaussian colors as seen from `cam_pos` for the
+    /// given means, writing them into `colors` (the per-view color
+    /// injection step before projection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn view_colors(&self, means: &[Vec3], cam_pos: Vec3) -> Vec<Vec3> {
+        assert_eq!(means.len(), self.len(), "mean/bank length mismatch");
+        means
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&m, sh)| eval_sh1(sh, m - cam_pos))
+            .collect()
+    }
+
+    /// Backward of [`Sh1Bank::view_colors`]: given per-Gaussian color
+    /// gradients, returns the flat SH gradient vector and adds the
+    /// through-direction contribution onto `mean_grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn view_colors_backward(
+        &self,
+        means: &[Vec3],
+        cam_pos: Vec3,
+        color_grads: &[Vec3],
+        mean_grads: &mut [Vec3],
+    ) -> Vec<f32> {
+        assert_eq!(means.len(), self.len(), "mean/bank length mismatch");
+        assert_eq!(color_grads.len(), self.len(), "grad length mismatch");
+        assert_eq!(mean_grads.len(), self.len(), "mean-grad length mismatch");
+        let mut out = Vec::with_capacity(self.len() * PARAMS_PER_SH1);
+        for i in 0..self.len() {
+            let (d_sh, d_dir) = backward_sh1(&self.coeffs[i], means[i] - cam_pos, color_grads[i]);
+            for v in [d_sh.c0, d_sh.c1, d_sh.c2, d_sh.c3] {
+                out.extend_from_slice(&[v.x, v.y, v.z]);
+            }
+            mean_grads[i] += d_dir; // d(mean − cam)/d(mean) = I
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_coefficients_reproduce_the_color() {
+        let sh = Sh1::constant(Vec3::new(0.8, 0.3, 0.6));
+        for dir in [
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 2.0, -0.5),
+            Vec3::new(-3.0, 0.2, 0.1),
+        ] {
+            let c = eval_sh1(&sh, dir);
+            assert!((c.x - 0.8).abs() < 1e-5);
+            assert!((c.y - 0.3).abs() < 1e-5);
+            assert!((c.z - 0.6).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_terms_make_color_view_dependent() {
+        let mut sh = Sh1::constant(Vec3::splat(0.5));
+        sh.c3 = Vec3::new(1.0, 0.0, 0.0); // pairs with −d.x
+        let from_left = eval_sh1(&sh, Vec3::new(-1.0, 0.0, 0.0));
+        let from_right = eval_sh1(&sh, Vec3::new(1.0, 0.0, 0.0));
+        assert!(from_left.x > from_right.x, "{from_left:?} vs {from_right:?}");
+    }
+
+    #[test]
+    fn clamp_gates_negative_channels() {
+        let mut sh = Sh1::constant(Vec3::new(-2.0, 0.5, 0.5));
+        sh.c1 = Vec3::default();
+        let c = eval_sh1(&sh, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(c.x, 0.0, "negative channel clamps to zero");
+        // And the clamped channel passes no gradient.
+        let (d_sh, _) = backward_sh1(&sh, Vec3::new(0.0, 0.0, 1.0), Vec3::splat(1.0));
+        assert_eq!(d_sh.c0.x, 0.0);
+        assert!(d_sh.c0.y > 0.0);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let sh = Sh1::random(&mut rng);
+        let dir = Vec3::new(0.7, -0.4, 1.2);
+        let weight = Vec3::new(0.9, -0.3, 0.5); // L = weight · color
+        let loss = |sh: &Sh1, dir: Vec3| eval_sh1(sh, dir).dot(weight);
+
+        let (d_sh, d_dir) = backward_sh1(&sh, dir, weight);
+        let h = 1e-3f32;
+
+        // Coefficient gradients.
+        let mut bank = Sh1Bank { coeffs: vec![sh] };
+        let params = bank.to_params();
+        let analytic = {
+            let mut tmp = Sh1Bank::new(1);
+            tmp.coeffs[0] = d_sh;
+            tmp.to_params()
+        };
+        for idx in 0..PARAMS_PER_SH1 {
+            let mut p = params.clone();
+            p[idx] += h;
+            bank.set_params(&p);
+            let lp = loss(&bank.coeffs[0], dir);
+            p[idx] -= 2.0 * h;
+            bank.set_params(&p);
+            let lm = loss(&bank.coeffs[0], dir);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - analytic[idx]).abs() < 2e-3,
+                "sh param {idx}: analytic {} vs fd {fd}",
+                analytic[idx]
+            );
+        }
+
+        // Direction gradient (through normalization).
+        for (axis, an) in [(0, d_dir.x), (1, d_dir.y), (2, d_dir.z)] {
+            let mut dp = dir;
+            let mut dm = dir;
+            match axis {
+                0 => {
+                    dp.x += h;
+                    dm.x -= h;
+                }
+                1 => {
+                    dp.y += h;
+                    dm.y -= h;
+                }
+                _ => {
+                    dp.z += h;
+                    dm.z -= h;
+                }
+            }
+            let fd = (loss(&sh, dp) - loss(&sh, dm)) / (2.0 * h);
+            assert!((fd - an).abs() < 2e-3, "dir axis {axis}: {an} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn bank_roundtrip_and_view_colors() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let bank = Sh1Bank::random(5, &mut rng);
+        let mut bank2 = Sh1Bank::new(5);
+        bank2.set_params(&bank.to_params());
+        assert_eq!(bank, bank2);
+
+        let means = vec![Vec3::new(0.0, 0.0, 2.0); 5];
+        let colors = bank.view_colors(&means, Vec3::default());
+        assert_eq!(colors.len(), 5);
+        // Different viewpoints generally produce different colors.
+        let colors_side = bank.view_colors(&means, Vec3::new(5.0, 0.0, 2.0));
+        assert_ne!(colors, colors_side);
+    }
+
+    #[test]
+    fn bank_backward_accumulates_mean_grads() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let bank = Sh1Bank::random(3, &mut rng);
+        let means = vec![
+            Vec3::new(0.1, 0.2, 2.0),
+            Vec3::new(-0.5, 0.0, 3.0),
+            Vec3::new(0.3, -0.4, 1.5),
+        ];
+        let grads = vec![Vec3::splat(1.0); 3];
+        let mut mean_grads = vec![Vec3::splat(10.0); 3];
+        let sh_grads =
+            bank.view_colors_backward(&means, Vec3::default(), &grads, &mut mean_grads);
+        assert_eq!(sh_grads.len(), 3 * PARAMS_PER_SH1);
+        // Accumulated on top of the existing 10.0, not overwritten.
+        assert!(mean_grads.iter().all(|g| (g.x - 10.0).abs() < 1.0));
+        assert!(mean_grads.iter().any(|g| g.x != 10.0));
+    }
+}

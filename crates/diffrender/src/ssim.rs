@@ -1,0 +1,338 @@
+//! Differentiable SSIM and the 3DGS training loss
+//! `L = (1−λ)·L1 + λ·(1−SSIM)` (Kerbl et al. 2023 use λ = 0.2).
+//!
+//! SSIM is computed per channel with an 11×11 Gaussian window over the
+//! *valid* region (windows fully inside the image), and the backward
+//! pass chains analytically through the window convolutions — verified
+//! against finite differences in this module's tests.
+
+use crate::image::Image;
+use crate::loss::{l1_loss, PixelGrads};
+use crate::math::Vec3;
+
+/// Window edge (matches the standard SSIM implementation and 3DGS).
+pub const WINDOW: usize = 11;
+/// SSIM stabilization constant C1 = (0.01·L)² for L = 1.
+pub const C1: f32 = 0.01 * 0.01;
+/// SSIM stabilization constant C2 = (0.03·L)².
+pub const C2: f32 = 0.03 * 0.03;
+/// The 3DGS mixing weight for the D-SSIM term.
+pub const LAMBDA_DSSIM: f32 = 0.2;
+
+/// The 11-tap Gaussian window (σ = 1.5), normalized.
+fn window_1d() -> [f32; WINDOW] {
+    let sigma = 1.5f32;
+    let mut w = [0.0f32; WINDOW];
+    let mut sum = 0.0;
+    for (i, v) in w.iter_mut().enumerate() {
+        let x = i as f32 - (WINDOW as f32 - 1.0) / 2.0;
+        *v = (-x * x / (2.0 * sigma * sigma)).exp();
+        sum += *v;
+    }
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+/// One channel of an image as a flat plane.
+fn channel(img: &Image, c: usize) -> Vec<f32> {
+    img.pixels().iter().map(|p| p.get(c)).collect()
+}
+
+/// Windowed 2-D Gaussian filtering over the valid region: output has
+/// dimensions `(w − 10) × (h − 10)`.
+fn filter_valid(plane: &[f32], width: usize, height: usize) -> Vec<f32> {
+    let k = window_1d();
+    let ow = width - (WINDOW - 1);
+    let oh = height - (WINDOW - 1);
+    // Separable: rows then columns.
+    let mut rows = vec![0.0f32; ow * height];
+    for y in 0..height {
+        for x in 0..ow {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                acc += kv * plane[y * width + x + i];
+            }
+            rows[y * ow + x] = acc;
+        }
+    }
+    let mut out = vec![0.0f32; ow * oh];
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                acc += kv * rows[(y + i) * ow + x];
+            }
+            out[y * ow + x] = acc;
+        }
+    }
+    out
+}
+
+/// Scatters a valid-region gradient map back through the Gaussian
+/// filter (the adjoint of [`filter_valid`]).
+fn filter_adjoint(grad: &[f32], width: usize, height: usize) -> Vec<f32> {
+    let k = window_1d();
+    let ow = width - (WINDOW - 1);
+    let oh = height - (WINDOW - 1);
+    let mut out = vec![0.0f32; width * height];
+    for y in 0..oh {
+        for x in 0..ow {
+            let g = grad[y * ow + x];
+            if g == 0.0 {
+                continue;
+            }
+            for (j, &kj) in k.iter().enumerate() {
+                for (i, &ki) in k.iter().enumerate() {
+                    out[(y + j) * width + (x + i)] += g * kj * ki;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mean SSIM between two \[0,1\]-range images over the valid region.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or either side is smaller than the
+/// 11×11 window.
+pub fn ssim(a: &Image, b: &Image) -> f32 {
+    ssim_with_grads(a, b).0
+}
+
+/// Mean SSIM plus `d(mean SSIM)/d a` as a pixel-gradient field.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or either side is smaller than the
+/// 11×11 window.
+pub fn ssim_with_grads(a: &Image, b: &Image) -> (f32, PixelGrads) {
+    let (width, height) = (a.width(), a.height());
+    assert_eq!(
+        (width, height),
+        (b.width(), b.height()),
+        "image dimensions must match"
+    );
+    assert!(
+        width >= WINDOW && height >= WINDOW,
+        "image must be at least {WINDOW}x{WINDOW}"
+    );
+    let ow = width - (WINDOW - 1);
+    let oh = height - (WINDOW - 1);
+    let n_valid = (ow * oh * 3) as f32;
+
+    let mut total = 0.0f64;
+    let mut grads = vec![Vec3::default(); width * height];
+
+    for c in 0..3 {
+        let x = channel(a, c);
+        let y = channel(b, c);
+        let x2: Vec<f32> = x.iter().map(|v| v * v).collect();
+        let y2: Vec<f32> = y.iter().map(|v| v * v).collect();
+        let xy: Vec<f32> = x.iter().zip(&y).map(|(u, v)| u * v).collect();
+
+        let mu_x = filter_valid(&x, width, height);
+        let mu_y = filter_valid(&y, width, height);
+        let m_x2 = filter_valid(&x2, width, height);
+        let m_y2 = filter_valid(&y2, width, height);
+        let m_xy = filter_valid(&xy, width, height);
+
+        // Per-valid-pixel SSIM and the gradients of mean-SSIM w.r.t.
+        // the three x-dependent filtered maps.
+        let mut g_mu = vec![0.0f32; ow * oh];
+        let mut g_m_x2 = vec![0.0f32; ow * oh];
+        let mut g_m_xy = vec![0.0f32; ow * oh];
+        for i in 0..ow * oh {
+            let (ux, uy) = (mu_x[i], mu_y[i]);
+            let sx2 = m_x2[i] - ux * ux;
+            let sy2 = m_y2[i] - uy * uy;
+            let sxy = m_xy[i] - ux * uy;
+            let a1 = 2.0 * ux * uy + C1;
+            let a2 = 2.0 * sxy + C2;
+            let b1 = ux * ux + uy * uy + C1;
+            let b2 = sx2 + sy2 + C2;
+            let denom = b1 * b2;
+            let s = (a1 * a2) / denom;
+            total += f64::from(s);
+
+            let w = 1.0 / n_valid; // d(mean)/d(s)
+            let ds_da1 = a2 / denom;
+            let ds_da2 = a1 / denom;
+            let ds_db1 = -s / b1;
+            let ds_db2 = -s / b2;
+            // σx² = m_x2 − μx²; σxy = m_xy − μx μy.
+            let ds_dsx2 = ds_db2;
+            let ds_dsxy = 2.0 * ds_da2;
+            g_mu[i] = w
+                * (ds_da1 * 2.0 * uy + ds_db1 * 2.0 * ux + ds_dsx2 * (-2.0 * ux)
+                    + ds_dsxy * (-uy));
+            g_m_x2[i] = w * ds_dsx2;
+            g_m_xy[i] = w * ds_dsxy;
+        }
+
+        // Back through the filters.
+        let back_mu = filter_adjoint(&g_mu, width, height);
+        let back_x2 = filter_adjoint(&g_m_x2, width, height);
+        let back_xy = filter_adjoint(&g_m_xy, width, height);
+        for p in 0..width * height {
+            let g = back_mu[p] + back_x2[p] * 2.0 * x[p] + back_xy[p] * y[p];
+            match c {
+                0 => grads[p].x = g,
+                1 => grads[p].y = g,
+                _ => grads[p].z = g,
+            }
+        }
+    }
+
+    let mean = (total / f64::from(n_valid)) as f32 * 3.0 / 3.0;
+    (
+        mean,
+        PixelGrads::from_raw(grads, width, height),
+    )
+}
+
+/// The 3DGS training loss `L = (1−λ)·L1 + λ·(1 − SSIM)` and its pixel
+/// gradients.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or the images are smaller than 11×11.
+pub fn dssim_l1_loss(render: &Image, target: &Image, lambda: f32) -> (f32, PixelGrads) {
+    let (l1v, g1) = l1_loss(render, target);
+    let (ssim_v, gs) = ssim_with_grads(render, target);
+    let loss = (1.0 - lambda) * l1v + lambda * (1.0 - ssim_v);
+    let width = render.width();
+    let height = render.height();
+    let mut grads = vec![Vec3::default(); width * height];
+    for (p, g) in grads.iter_mut().enumerate() {
+        let (x, y) = (p % width, p / width);
+        *g = g1.get(x, y) * (1.0 - lambda) + gs.get(x, y) * (-lambda);
+    }
+    (loss, PixelGrads::from_raw(grads, width, height))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Vec3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_image(w: usize, h: usize, seed: u64) -> Image {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut img = Image::new(w, h);
+        for p in img.pixels_mut() {
+            *p = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+        }
+        img
+    }
+
+    #[test]
+    fn identical_images_have_ssim_one() {
+        let img = random_image(16, 16, 1);
+        let s = ssim(&img, &img);
+        assert!((s - 1.0).abs() < 1e-4, "SSIM of identical images: {s}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let a = random_image(16, 16, 2);
+        let mut near = a.clone();
+        near.pixels_mut()[40].x += 0.05;
+        let far = random_image(16, 16, 3);
+        let s_near = ssim(&near, &a);
+        let s_far = ssim(&far, &a);
+        assert!(s_near > s_far, "{s_near} should exceed {s_far}");
+        assert!(s_near < 1.0);
+    }
+
+    #[test]
+    fn window_is_normalized() {
+        let w = window_1d();
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // Symmetric.
+        for i in 0..WINDOW / 2 {
+            assert!((w[i] - w[WINDOW - 1 - i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn ssim_gradient_matches_finite_differences() {
+        let mut a = random_image(14, 14, 4);
+        let b = random_image(14, 14, 5);
+        let (_, grads) = ssim_with_grads(&a, &b);
+        let h = 1e-3f32;
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..12 {
+            let x = rng.gen_range(0..14);
+            let y = rng.gen_range(0..14);
+            let c = rng.gen_range(0..3);
+            let orig = a.get(x, y);
+            let mut bump = |delta: f32| {
+                let mut v = orig;
+                match c {
+                    0 => v.x += delta,
+                    1 => v.y += delta,
+                    _ => v.z += delta,
+                }
+                a.set(x, y, v);
+                let s = ssim(&a, &b);
+                a.set(x, y, orig);
+                s
+            };
+            let fd = (bump(h) - bump(-h)) / (2.0 * h);
+            let an = grads.get(x, y).get(c);
+            assert!(
+                (fd - an).abs() <= 1e-3 + 0.05 * fd.abs().max(an.abs()),
+                "pixel ({x},{y}) ch {c}: analytic {an} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn dssim_l1_gradient_matches_finite_differences() {
+        let mut a = random_image(13, 13, 7);
+        let b = random_image(13, 13, 8);
+        let (_, grads) = dssim_l1_loss(&a, &b, LAMBDA_DSSIM);
+        let h = 1e-3f32;
+        for (x, y, c) in [(3usize, 4usize, 0usize), (9, 9, 1), (6, 2, 2)] {
+            let orig = a.get(x, y);
+            let mut bump = |delta: f32| {
+                let mut v = orig;
+                match c {
+                    0 => v.x += delta,
+                    1 => v.y += delta,
+                    _ => v.z += delta,
+                }
+                a.set(x, y, v);
+                let l = dssim_l1_loss(&a, &b, LAMBDA_DSSIM).0;
+                a.set(x, y, orig);
+                l
+            };
+            let fd = (bump(h) - bump(-h)) / (2.0 * h);
+            let an = grads.get(x, y).get(c);
+            assert!(
+                (fd - an).abs() <= 2e-3 + 0.1 * fd.abs().max(an.abs()),
+                "pixel ({x},{y}) ch {c}: analytic {an} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_image_panics() {
+        let img = Image::new(8, 8);
+        let _ = ssim(&img, &img);
+    }
+
+    #[test]
+    fn dssim_loss_is_zero_for_identical_images() {
+        let img = random_image(16, 16, 9);
+        let (loss, _) = dssim_l1_loss(&img, &img, LAMBDA_DSSIM);
+        assert!(loss.abs() < 1e-4, "loss {loss}");
+    }
+}

@@ -1,0 +1,671 @@
+//! Kernel-trace generation: converts the functional forward/backward
+//! passes into warp-level [`KernelTrace`]s for the GPU simulator.
+//!
+//! The gradient-computation traces carry the *actual* per-lane gradient
+//! values and parameter addresses produced by the backward passes, so
+//! applying a trace's atomics to a [`warp_trace::GlobalMemory`] exactly
+//! reproduces the CPU-computed gradient arrays (tested in this module) —
+//! and any ARC-SW/CCCL rewrite of the trace must preserve them.
+
+use warp_trace::{
+    AtomicBundle, AtomicInstr, ComputeKind, KernelKind, KernelTrace, LaneOp, WarpTrace,
+    WarpTraceBuilder,
+};
+
+use crate::gaussian::{self, GaussianModel, GradRecorder, LaneGrad, RenderOutput};
+use crate::loss::PixelGrads;
+use crate::nvdiff::{Cubemap, NvScene};
+use crate::pulsar::{self, SphereGradObserver, SphereLaneGrad, SphereModel, SphereRenderOutput};
+
+/// Address layout for per-primitive gradient arrays: parameter array `p`
+/// lives at base `(p + 1) << 28`, element `id` at `base + 4·id`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamLayout {
+    bases: Vec<u64>,
+}
+
+impl ParamLayout {
+    /// A layout of `n` scalar gradient arrays.
+    pub fn scalar_arrays(n: usize) -> Self {
+        ParamLayout {
+            bases: (0..n).map(|p| ((p as u64) + 1) << 28).collect(),
+        }
+    }
+
+    /// Number of parameter arrays.
+    pub fn num_params(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The address of primitive `id`'s gradient in array `param`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` is out of range.
+    pub fn addr(&self, param: usize, id: u32) -> u64 {
+        self.bases[param] + u64::from(id) * 4
+    }
+}
+
+/// Instruction-cost knobs for the generated gradient kernels. The
+/// defaults approximate the arithmetic of the 3DGS backward kernel.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TraceCosts {
+    /// Integer/branch instructions per list iteration (`COND` checks).
+    pub cond_cost: u16,
+    /// FFMA instructions per iteration with at least one active lane.
+    pub grad_cost: u16,
+    /// Iterations between primitive-data loads.
+    pub load_every: u16,
+    /// Sectors per primitive-data load.
+    pub load_sectors: u16,
+}
+
+impl Default for TraceCosts {
+    fn default() -> Self {
+        TraceCosts {
+            cond_cost: 2,
+            grad_cost: 20,
+            load_every: 8,
+            load_sectors: 4,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gaussian splatting (3DGS-style) traces.
+// ---------------------------------------------------------------------
+
+/// Scalar order of the Gaussian raster gradients:
+/// `[mean.x, mean.y, conic.a, conic.b, conic.c, opacity, r, g, b]`.
+pub const GAUSSIAN_PARAM_COUNT: usize = 9;
+
+fn gaussian_scalars(g: &LaneGrad) -> [f32; GAUSSIAN_PARAM_COUNT] {
+    [
+        g.mean.x, g.mean.y, g.conic.a, g.conic.b, g.conic.c, g.opacity, g.color.x, g.color.y,
+        g.color.z,
+    ]
+}
+
+/// The standard layout for Gaussian raster-gradient arrays.
+pub fn gaussian_layout() -> ParamLayout {
+    ParamLayout::scalar_arrays(GAUSSIAN_PARAM_COUNT)
+}
+
+struct GaussianTraceRecorder {
+    costs: TraceCosts,
+    layout: ParamLayout,
+    builder: WarpTraceBuilder,
+    warps: Vec<WarpTrace>,
+    iter_in_warp: u16,
+}
+
+impl GradRecorder for GaussianTraceRecorder {
+    fn begin_warp(&mut self, _tile: usize, _lanes: &[Option<(usize, usize)>; 32]) {
+        self.iter_in_warp = 0;
+    }
+
+    fn record(&mut self, gid: u32, grads: &[Option<LaneGrad>; 32]) {
+        // Periodic collective load of primitive data (3DGS stages
+        // Gaussians through shared memory in batches).
+        if self.iter_in_warp.is_multiple_of(self.costs.load_every) {
+            self.builder.load(self.costs.load_sectors);
+        }
+        self.iter_in_warp = self.iter_in_warp.wrapping_add(1);
+        // COND evaluation happens for every lane, every iteration.
+        self.builder.compute(ComputeKind::IntAlu, self.costs.cond_cost);
+
+        let mut params: Vec<Vec<LaneOp>> = vec![Vec::new(); GAUSSIAN_PARAM_COUNT];
+        for (lane, grad) in grads.iter().enumerate() {
+            let Some(g) = grad else { continue };
+            for (p, &value) in gaussian_scalars(g).iter().enumerate() {
+                params[p].push(LaneOp {
+                    lane: lane as u8,
+                    addr: self.layout.addr(p, gid),
+                    value,
+                });
+            }
+        }
+        if params[0].is_empty() {
+            return; // whole warp skipped this Gaussian
+        }
+        self.builder.compute(ComputeKind::Ffma, self.costs.grad_cost);
+        let instrs = params.into_iter().map(AtomicInstr::new).collect();
+        // Tile loops are warp-uniform: SW-B's Fig. 17 transform applies.
+        self.builder.atomic_bundle(AtomicBundle::new(instrs));
+    }
+
+    fn end_warp(&mut self) {
+        let warp = self.builder.finish();
+        if !warp.instrs.is_empty() {
+            self.warps.push(warp);
+        }
+    }
+}
+
+/// Runs the Gaussian backward pass and emits its gradient-computation
+/// kernel trace along with the accumulated raster gradients.
+pub fn gaussian_gradcomp_trace(
+    model: &GaussianModel,
+    out: &RenderOutput,
+    pixel_grads: &PixelGrads,
+    costs: TraceCosts,
+) -> (KernelTrace, gaussian::RasterGrads) {
+    splat_gradcomp_trace(&model.to_splats(), out, pixel_grads, costs)
+}
+
+/// The splat-scene form of [`gaussian_gradcomp_trace`], usable with the
+/// 3D projection pipeline (`projection::project` → `render_scene` →
+/// this).
+pub fn splat_gradcomp_trace(
+    scene: &gaussian::SplatScene,
+    out: &RenderOutput,
+    pixel_grads: &PixelGrads,
+    costs: TraceCosts,
+) -> (KernelTrace, gaussian::RasterGrads) {
+    let mut recorder = GaussianTraceRecorder {
+        costs,
+        layout: gaussian_layout(),
+        builder: WarpTraceBuilder::new(),
+        warps: Vec::new(),
+        iter_in_warp: 0,
+    };
+    let grads = gaussian::backward_scene(scene, out, pixel_grads, &mut recorder);
+    (
+        KernelTrace::new("gaussian-gradcomp", KernelKind::GradCompute, recorder.warps),
+        grads,
+    )
+}
+
+/// Emits the forward (rasterization) kernel trace from the tile lists:
+/// compute-dominated with periodic loads, no atomics.
+pub fn gaussian_forward_trace(out: &RenderOutput, costs: TraceCosts) -> KernelTrace {
+    let mut warps = Vec::new();
+    let warps_per_tile = gaussian::TILE / gaussian::WARP_H;
+    for list in &out.tiles.lists {
+        if list.is_empty() {
+            continue;
+        }
+        for _ in 0..warps_per_tile {
+            let mut b = WarpTraceBuilder::new();
+            for (k, _gid) in list.iter().enumerate() {
+                if k % costs.load_every as usize == 0 {
+                    b.load(costs.load_sectors);
+                }
+                // Forward blending: conic evaluation, exp, alpha test,
+                // blend per channel.
+                b.compute(ComputeKind::Ffma, 18).compute(ComputeKind::Sfu, 2);
+            }
+            b.store(2);
+            warps.push(b.finish());
+        }
+    }
+    KernelTrace::new("gaussian-forward", KernelKind::Forward, warps)
+}
+
+/// Emits the loss kernel trace: one warp per 32 pixels, two image loads,
+/// elementwise math, one store.
+pub fn loss_trace(width: usize, height: usize) -> KernelTrace {
+    let warps = (width * height).div_ceil(32);
+    let mut out = Vec::with_capacity(warps);
+    for _ in 0..warps {
+        let mut b = WarpTraceBuilder::new();
+        b.load(4).load(4).compute(ComputeKind::Fp32, 10).store(4);
+        out.push(b.finish());
+    }
+    KernelTrace::new("l1-loss", KernelKind::Loss, out)
+}
+
+// ---------------------------------------------------------------------
+// NvDiffRec-style cubemap traces.
+// ---------------------------------------------------------------------
+
+/// NvDiff cubemap gradients use one interleaved array: texel `t`,
+/// channel `c` lives at `NV_BASE + 4·(3t + c)`.
+pub const NV_BASE: u64 = 0x4000_0000;
+
+/// Address of a cubemap gradient word.
+pub fn nv_addr(texel: usize, channel: usize) -> u64 {
+    NV_BASE + 4 * (3 * texel as u64 + channel as u64)
+}
+
+/// Emits the NvDiff gradient-computation trace: each 16×2-pixel warp
+/// loops over the reflection samples; covered lanes scatter RGB
+/// gradients into their own texel (adjacent pixels often share one —
+/// partial intra-warp locality), uncovered lanes are inactive.
+/// Returns the trace and the per-texel gradients (for verification).
+pub fn nvdiff_gradcomp_trace(
+    scene: &NvScene,
+    map: &Cubemap,
+    pixel_grads: &PixelGrads,
+) -> (KernelTrace, Vec<crate::math::Vec3>) {
+    let grads = crate::nvdiff::backward(scene, map, pixel_grads);
+    let w = 1.0 / scene.samples as f32;
+    let mut warps = Vec::new();
+    for y0 in (0..scene.height).step_by(2) {
+        for x0 in (0..scene.width).step_by(16) {
+            let mut b = WarpTraceBuilder::new();
+            // G-buffer load + mask computation.
+            b.load(4).compute(ComputeKind::IntAlu, 3);
+            for s in 0..scene.samples {
+                // Reflection math for the sample.
+                b.compute(ComputeKind::Ffma, 10).compute(ComputeKind::Sfu, 2);
+                let mut params: Vec<Vec<LaneOp>> = vec![Vec::new(); 3];
+                for lane in 0..32usize {
+                    let x = x0 + lane % 16;
+                    let y = y0 + lane / 16;
+                    if x >= scene.width || y >= scene.height {
+                        continue;
+                    }
+                    let Some(dir) = scene.reflection(x, y, s) else {
+                        continue; // off-sphere: inactive lane
+                    };
+                    let texel = map.texel_index(dir);
+                    let g = pixel_grads.get(x, y) * w;
+                    for (c, &value) in [g.x, g.y, g.z].iter().enumerate() {
+                        params[c].push(LaneOp {
+                            lane: lane as u8,
+                            addr: nv_addr(texel, c),
+                            value,
+                        });
+                    }
+                }
+                if params[0].is_empty() {
+                    continue;
+                }
+                let instrs = params.into_iter().map(AtomicInstr::new).collect();
+                b.atomic_bundle(AtomicBundle::new(instrs));
+            }
+            let warp = b.finish();
+            if !warp.instrs.is_empty() {
+                warps.push(warp);
+            }
+        }
+    }
+    (
+        KernelTrace::new("nvdiff-gradcomp", KernelKind::GradCompute, warps),
+        grads,
+    )
+}
+
+/// Emits the NvDiff forward trace (shading each covered pixel).
+pub fn nvdiff_forward_trace(scene: &NvScene) -> KernelTrace {
+    let mut warps = Vec::new();
+    for _y0 in (0..scene.height).step_by(2) {
+        for _x0 in (0..scene.width).step_by(16) {
+            let mut b = WarpTraceBuilder::new();
+            b.load(4).compute(ComputeKind::IntAlu, 3);
+            for _ in 0..scene.samples {
+                b.compute(ComputeKind::Ffma, 12)
+                    .compute(ComputeKind::Sfu, 2)
+                    .load(2);
+            }
+            b.store(2);
+            warps.push(b.finish());
+        }
+    }
+    KernelTrace::new("nvdiff-forward", KernelKind::Forward, warps)
+}
+
+// ---------------------------------------------------------------------
+// Pulsar-style sphere traces.
+// ---------------------------------------------------------------------
+
+/// Scalar order of the sphere gradients:
+/// `[center.x, center.y, radius, opacity_logit, r, g, b]`.
+pub const SPHERE_PARAM_COUNT: usize = 7;
+
+/// The standard layout for sphere gradient arrays.
+pub fn sphere_layout() -> ParamLayout {
+    ParamLayout::scalar_arrays(SPHERE_PARAM_COUNT)
+}
+
+fn sphere_scalars(g: &SphereLaneGrad) -> [f32; SPHERE_PARAM_COUNT] {
+    [
+        g.center.x,
+        g.center.y,
+        g.radius,
+        g.opacity_logit,
+        g.color.x,
+        g.color.y,
+        g.color.z,
+    ]
+}
+
+/// Per-lane contribution slot at one loop iteration: `(sphere id, grad)`.
+type LaneSlots = [Option<(u32, SphereLaneGrad)>; 32];
+
+struct PulsarCollector {
+    width: usize,
+    /// contributions[warp][k] → per-lane (sid, grad)
+    contributions: Vec<Vec<LaneSlots>>,
+    warps_x: usize,
+}
+
+impl PulsarCollector {
+    fn warp_of(&self, x: usize, y: usize) -> (usize, usize) {
+        let warp = (y / 2) * self.warps_x + x / 16;
+        let lane = (y % 2) * 16 + x % 16;
+        (warp, lane)
+    }
+}
+
+impl SphereGradObserver for PulsarCollector {
+    fn contribution(&mut self, x: usize, y: usize, k: usize, sid: u32, grad: &SphereLaneGrad) {
+        let _ = self.width;
+        let (warp, lane) = self.warp_of(x, y);
+        let slots = &mut self.contributions[warp];
+        if slots.len() <= k {
+            slots.resize(k + 1, [None; 32]);
+        }
+        slots[k][lane] = Some((sid, *grad));
+    }
+}
+
+/// Emits the Pulsar gradient-computation trace: per-thread cell lists
+/// make the loop non-warp-uniform (bundles are `non_uniform`, so SW-B
+/// is ineligible — paper Fig. 23), and lanes within a warp may target
+/// different spheres at the same iteration.
+/// Returns the trace and the accumulated sphere gradients.
+pub fn pulsar_gradcomp_trace(
+    model: &SphereModel,
+    out: &SphereRenderOutput,
+    pixel_grads: &PixelGrads,
+    costs: TraceCosts,
+) -> (KernelTrace, pulsar::SphereGrads) {
+    let width = out.image.width();
+    let height = out.image.height();
+    let warps_x = width.div_ceil(16);
+    let warps_y = height.div_ceil(2);
+    let mut collector = PulsarCollector {
+        width,
+        contributions: vec![Vec::new(); warps_x * warps_y],
+        warps_x,
+    };
+    let grads = pulsar::backward(model, out, pixel_grads, &mut collector);
+    let layout = sphere_layout();
+
+    let mut warps = Vec::new();
+    for slots in collector.contributions {
+        if slots.is_empty() {
+            continue;
+        }
+        let mut b = WarpTraceBuilder::new();
+        b.load(4);
+        // Backward order: the collector keyed by forward list index k;
+        // the kernel walks k descending.
+        for lanes in slots.iter().rev() {
+            b.compute(ComputeKind::IntAlu, costs.cond_cost);
+            let mut params: Vec<Vec<LaneOp>> = vec![Vec::new(); SPHERE_PARAM_COUNT];
+            for (lane, slot) in lanes.iter().enumerate() {
+                let Some((sid, g)) = slot else { continue };
+                for (p, &value) in sphere_scalars(g).iter().enumerate() {
+                    params[p].push(LaneOp {
+                        lane: lane as u8,
+                        addr: layout.addr(p, *sid),
+                        value,
+                    });
+                }
+            }
+            if params[0].is_empty() {
+                continue;
+            }
+            b.compute(ComputeKind::Ffma, costs.grad_cost);
+            let instrs = params.into_iter().map(AtomicInstr::new).collect();
+            b.atomic_bundle(AtomicBundle::non_uniform(instrs));
+        }
+        let warp = b.finish();
+        if !warp.instrs.is_empty() {
+            warps.push(warp);
+        }
+    }
+    (
+        KernelTrace::new("pulsar-gradcomp", KernelKind::GradCompute, warps),
+        grads,
+    )
+}
+
+/// Emits the Pulsar forward trace.
+pub fn pulsar_forward_trace(out: &SphereRenderOutput) -> KernelTrace {
+    let width = out.image.width();
+    let height = out.image.height();
+    let mut warps = Vec::new();
+    for y0 in (0..height).step_by(2) {
+        for x0 in (0..width).step_by(16) {
+            let max_len = (0..2)
+                .flat_map(|dy| (0..16).map(move |dx| (x0 + dx, y0 + dy)))
+                .filter(|&(x, y)| x < width && y < height)
+                .map(|(x, y)| out.cells.list_at(x, y).len())
+                .max()
+                .unwrap_or(0);
+            let mut b = WarpTraceBuilder::new();
+            b.load(2);
+            for k in 0..max_len {
+                if k % 8 == 0 {
+                    b.load(2);
+                }
+                b.compute(ComputeKind::Ffma, 6);
+            }
+            b.store(2);
+            warps.push(b.finish());
+        }
+    }
+    KernelTrace::new("pulsar-forward", KernelKind::Forward, warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{render, PARAMS_PER_GAUSSIAN};
+    use crate::loss::l2_loss;
+    use crate::math::{Vec2, Vec3};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use warp_trace::{GlobalMemory, TraceStats};
+
+    #[test]
+    fn layout_addresses_are_disjoint_across_params() {
+        let layout = ParamLayout::scalar_arrays(9);
+        let mut addrs = std::collections::HashSet::new();
+        for p in 0..9 {
+            for id in 0..1000u32 {
+                assert!(addrs.insert(layout.addr(p, id)));
+            }
+        }
+    }
+
+    fn gaussian_fixture() -> (GaussianModel, RenderOutput, PixelGrads) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = GaussianModel::random(20, 48, 32, &mut rng);
+        let target = render(&GaussianModel::random(20, 48, 32, &mut rng), 48, 32, Vec3::splat(0.0)).image;
+        let out = render(&model, 48, 32, Vec3::splat(0.0));
+        let (_, pg) = l2_loss(&out.image, &target);
+        (model, out, pg)
+    }
+
+    /// The central fidelity test: executing the trace's atomics
+    /// reproduces the backward pass's gradient arrays.
+    #[test]
+    fn gaussian_trace_atomics_reproduce_raster_grads() {
+        let (model, out, pg) = gaussian_fixture();
+        let (trace, grads) = gaussian_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&trace);
+        let layout = gaussian_layout();
+        for gid in 0..model.len() as u32 {
+            let expect = [
+                grads.mean[gid as usize].x,
+                grads.mean[gid as usize].y,
+                grads.conic[gid as usize].a,
+                grads.conic[gid as usize].b,
+                grads.conic[gid as usize].c,
+                grads.opacity[gid as usize],
+                grads.color[gid as usize].x,
+                grads.color[gid as usize].y,
+                grads.color[gid as usize].z,
+            ];
+            for (p, &e) in expect.iter().enumerate() {
+                let got = mem.read(layout.addr(p, gid));
+                assert!(
+                    (got - e).abs() <= 1e-4 + 1e-3 * e.abs(),
+                    "gaussian {gid} param {p}: trace {got} vs backward {e}"
+                );
+            }
+        }
+        let _ = PARAMS_PER_GAUSSIAN;
+    }
+
+    #[test]
+    fn gaussian_trace_has_high_intra_warp_locality() {
+        let (model, out, pg) = gaussian_fixture();
+        let (trace, _) = gaussian_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        let stats = TraceStats::compute(&trace);
+        // Paper §3.1 Observation 1: nearly all warps single-address.
+        assert!(
+            stats.same_address_fraction() > 0.99,
+            "got {}",
+            stats.same_address_fraction()
+        );
+        assert!(stats.atomic_requests > 0);
+    }
+
+    #[test]
+    fn gaussian_forward_trace_is_compute_heavy_without_atomics() {
+        let (_, out, _) = gaussian_fixture();
+        let trace = gaussian_forward_trace(&out, TraceCosts::default());
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.atomic_requests, 0);
+        assert!(stats.compute_slots > 0);
+        assert!(stats.load_sectors > 0);
+    }
+
+    #[test]
+    fn loss_trace_shape() {
+        let trace = loss_trace(64, 64);
+        assert_eq!(trace.warps().len(), 128);
+        assert_eq!(TraceStats::compute(&trace).atomic_requests, 0);
+    }
+
+    #[test]
+    fn nvdiff_trace_atomics_reproduce_texel_grads() {
+        let scene = NvScene::new(48, 32);
+        let mut rng = StdRng::seed_from_u64(13);
+        let map = Cubemap::random(8, &mut rng);
+        let target = crate::nvdiff::render(&scene, &Cubemap::random(8, &mut rng));
+        let out = crate::nvdiff::render(&scene, &map);
+        let (_, pg) = l2_loss(&out, &target);
+        let (trace, grads) = nvdiff_gradcomp_trace(&scene, &map, &pg);
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&trace);
+        for (t, g) in grads.iter().enumerate() {
+            for (c, &e) in [g.x, g.y, g.z].iter().enumerate() {
+                let got = mem.read(nv_addr(t, c));
+                assert!(
+                    (got - e).abs() <= 1e-4 + 1e-3 * e.abs(),
+                    "texel {t} ch {c}: {got} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nvdiff_trace_has_many_inactive_lanes() {
+        let scene = NvScene::new(64, 64);
+        let mut rng = StdRng::seed_from_u64(14);
+        let map = Cubemap::random(8, &mut rng);
+        let out = crate::nvdiff::render(&scene, &map);
+        let (_, pg) = l2_loss(&out, &crate::image::Image::new(64, 64));
+        let (trace, _) = nvdiff_gradcomp_trace(&scene, &map, &pg);
+        let stats = TraceStats::compute(&trace);
+        // Paper Fig. 7: NV workloads skew toward few active lanes.
+        assert!(
+            stats.mean_active_lanes() < 28.0,
+            "mean active = {}",
+            stats.mean_active_lanes()
+        );
+        // And full-warp bundles are a minority compared to 3DGS.
+        assert!(stats.active_lanes.full_warp_fraction() < 0.8);
+    }
+
+    #[test]
+    fn pulsar_trace_atomics_reproduce_sphere_grads() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let model = SphereModel::random(30, 48, 32, &mut rng);
+        let target =
+            pulsar::render(&SphereModel::random(30, 48, 32, &mut rng), 48, 32, Vec3::splat(0.0))
+                .image;
+        let out = pulsar::render(&model, 48, 32, Vec3::splat(0.0));
+        let (_, pg) = l2_loss(&out.image, &target);
+        let (trace, grads) = pulsar_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&trace);
+        let layout = sphere_layout();
+        for sid in 0..model.len() {
+            let expect = [
+                grads.center[sid].x,
+                grads.center[sid].y,
+                grads.radius[sid],
+                grads.opacity_logit[sid],
+                grads.color[sid].x,
+                grads.color[sid].y,
+                grads.color[sid].z,
+            ];
+            for (p, &e) in expect.iter().enumerate() {
+                let got = mem.read(layout.addr(p, sid as u32));
+                assert!(
+                    (got - e).abs() <= 1e-4 + 1e-3 * e.abs(),
+                    "sphere {sid} param {p}: {got} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pulsar_bundles_are_non_uniform() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let model = SphereModel::random(20, 32, 32, &mut rng);
+        let out = pulsar::render(&model, 32, 32, Vec3::splat(0.0));
+        let (_, pg) = l2_loss(&out.image, &crate::image::Image::new(32, 32));
+        let (trace, _) = pulsar_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        let mut bundles = 0;
+        for b in trace.bundles() {
+            assert!(!b.uniform_iteration, "pulsar loops are per-thread");
+            bundles += 1;
+        }
+        assert!(bundles > 0);
+    }
+
+    #[test]
+    fn warp_mapping_is_16x2() {
+        let collector = PulsarCollector {
+            width: 64,
+            contributions: vec![Vec::new(); 64],
+            warps_x: 4,
+        };
+        assert_eq!(collector.warp_of(0, 0), (0, 0));
+        assert_eq!(collector.warp_of(15, 0), (0, 15));
+        assert_eq!(collector.warp_of(0, 1), (0, 16));
+        assert_eq!(collector.warp_of(16, 0), (1, 0));
+        assert_eq!(collector.warp_of(0, 2), (4, 0));
+    }
+
+    #[test]
+    fn forward_traces_nonempty() {
+        let scene = NvScene::new(32, 32);
+        assert!(!nvdiff_forward_trace(&scene).warps().is_empty());
+        let mut rng = StdRng::seed_from_u64(17);
+        let model = SphereModel::random(10, 32, 32, &mut rng);
+        let out = pulsar::render(&model, 32, 32, Vec3::splat(0.0));
+        assert!(!pulsar_forward_trace(&out).warps().is_empty());
+    }
+
+    #[test]
+    fn empty_scene_produces_empty_gradcomp_trace() {
+        let model = GaussianModel::new();
+        let out = render(&model, 32, 32, Vec3::splat(0.0));
+        let pg = l2_loss(&out.image, &crate::image::Image::new(32, 32)).1;
+        let (trace, _) = gaussian_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        assert_eq!(trace.total_atomic_requests(), 0);
+        let _ = Vec2::default();
+    }
+}

@@ -1,0 +1,144 @@
+//! Event-based energy model (paper §7.3).
+//!
+//! The paper measures energy on real GPUs with pyNVML and in the
+//! simulator; both attribute the savings to (i) shorter execution (static
+//! energy ∝ cycles) and (ii) fewer atomic requests traversing the
+//! interconnect and ROP units (dynamic energy ∝ event counts). We model
+//! exactly those two terms: a static power proportional to SM-cycles and
+//! per-event dynamic costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::stats::SimCounters;
+
+/// Per-event energy costs in nanojoules (model units — the paper reports
+/// normalized reductions, so only ratios matter).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Per issued warp instruction (fetch/decode/operand collect).
+    pub issue_nj: f64,
+    /// Extra per shuffle instruction (register crossbar).
+    pub shfl_nj: f64,
+    /// Per lane-value accepted by an LSU queue.
+    pub lsu_nj: f64,
+    /// Per lane-value flit crossing the interconnect.
+    pub icnt_nj: f64,
+    /// Per atomic lane-value retired at a ROP unit (L2 read-modify-write).
+    pub rop_nj: f64,
+    /// Per lane-value folded by a sub-core reduction-unit FPU.
+    pub redunit_nj: f64,
+    /// Per load/store sector serviced at L2.
+    pub sector_nj: f64,
+    /// Per LAB/PHI buffer lookup or merge.
+    pub buffer_nj: f64,
+    /// Static energy per SM per cycle (leakage + clocking).
+    pub static_per_sm_cycle_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            issue_nj: 0.45,
+            shfl_nj: 0.25,
+            lsu_nj: 0.30,
+            icnt_nj: 1.20,
+            rop_nj: 0.90,
+            redunit_nj: 0.20,
+            sector_nj: 2.00,
+            buffer_nj: 0.40,
+            static_per_sm_cycle_nj: 0.40,
+        }
+    }
+}
+
+/// Energy totals for one kernel run, in millijoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic energy from issue/compute events.
+    pub compute_mj: f64,
+    /// Dynamic energy from the memory path (LSU + interconnect + ROP +
+    /// L2 sectors + buffers + reduction units).
+    pub memory_mj: f64,
+    /// Static energy (SM-cycles × leakage).
+    pub static_mj: f64,
+    /// Grand total.
+    pub total_mj: f64,
+}
+
+impl EnergyModel {
+    /// Evaluates the model over a kernel's counters and cycle count.
+    pub fn evaluate(&self, cfg: &GpuConfig, counters: &SimCounters, cycles: u64) -> EnergyReport {
+        let nj_to_mj = 1e-6;
+        let compute = counters.instructions_issued as f64 * self.issue_nj
+            + counters.shfl_instructions as f64 * self.shfl_nj;
+        let memory = counters.lsu_accepted as f64 * self.lsu_nj
+            + counters.icnt_flits as f64 * self.icnt_nj
+            + counters.rop_lane_ops as f64 * self.rop_nj
+            + counters.redunit_lane_ops as f64 * self.redunit_nj
+            + (counters.load_sectors + counters.store_sectors) as f64 * self.sector_nj
+            + (counters.buffer_merges + counters.buffer_evictions + counters.buffer_flushes)
+                as f64
+                * self.buffer_nj;
+        let static_e =
+            cycles as f64 * f64::from(cfg.num_sms) * self.static_per_sm_cycle_nj;
+        let compute_mj = compute * nj_to_mj;
+        let memory_mj = memory * nj_to_mj;
+        let static_mj = static_e * nj_to_mj;
+        EnergyReport {
+            compute_mj,
+            memory_mj,
+            static_mj,
+            total_mj: compute_mj + memory_mj + static_mj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_energy_scales_with_cycles_and_sms() {
+        let model = EnergyModel::default();
+        let cfg = GpuConfig::rtx4090();
+        let counters = SimCounters::default();
+        let a = model.evaluate(&cfg, &counters, 1_000);
+        let b = model.evaluate(&cfg, &counters, 2_000);
+        assert!((b.static_mj / a.static_mj - 2.0).abs() < 1e-9);
+        assert_eq!(a.compute_mj, 0.0);
+        assert_eq!(a.memory_mj, 0.0);
+    }
+
+    #[test]
+    fn fewer_rop_ops_means_less_memory_energy() {
+        let model = EnergyModel::default();
+        let cfg = GpuConfig::rtx3060();
+        let heavy = SimCounters {
+            rop_lane_ops: 1_000_000,
+            icnt_flits: 1_000_000,
+            ..SimCounters::default()
+        };
+        let mut light = heavy;
+        light.rop_lane_ops = 100_000;
+        light.icnt_flits = 100_000;
+        light.redunit_lane_ops = 900_000; // folded at the (cheaper) SM FPU
+        let e_heavy = model.evaluate(&cfg, &heavy, 100);
+        let e_light = model.evaluate(&cfg, &light, 100);
+        assert!(e_light.memory_mj < e_heavy.memory_mj);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let model = EnergyModel::default();
+        let cfg = GpuConfig::tiny();
+        let c = SimCounters {
+            instructions_issued: 10_000,
+            load_sectors: 500,
+            ..SimCounters::default()
+        };
+        let e = model.evaluate(&cfg, &c, 12_345);
+        assert!((e.total_mj - (e.compute_mj + e.memory_mj + e.static_mj)).abs() < 1e-12);
+        assert!(e.total_mj > 0.0);
+    }
+}

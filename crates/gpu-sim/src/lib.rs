@@ -1,0 +1,37 @@
+//! A from-scratch cycle-level GPU simulator — the GPGPU-Sim substitute
+//! for the ARC reproduction.
+//!
+//! The model captures exactly the machinery the paper's results hinge on:
+//!
+//! * SMs with four sub-cores, each issuing at most one warp instruction
+//!   per cycle under a greedy-then-oldest scheduler;
+//! * an LDST dispatch port and a per-SM LSU/MIO queue with finite
+//!   capacity and drain rate — the place the paper's dominant "LSU full"
+//!   stalls arise;
+//! * an interconnect delivering lane-value flits to L2 memory
+//!   subpartitions, whose ROP units retire one atomic lane-value per
+//!   ROP per cycle (176 total on the 4090 model vs 48 on the 3060);
+//! * back-pressure all the way up: full ROP queues fill the LSU, which
+//!   stalls sub-core issue — reproducing Fig. 8;
+//! * pluggable atomic paths ([`AtomicPath`]): baseline, ARC-HW with
+//!   per-sub-core reduction units and greedy scheduling, LAB, LAB-ideal,
+//!   and PHI;
+//! * stall accounting ([`StallBreakdown`]) and an event-based energy
+//!   model ([`EnergyModel`]).
+//!
+//! ARC-SW and CCCL run as *trace rewrites* (see `arc_core`) executed on
+//! the baseline path — no hardware support, exactly like the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod energy;
+mod machine;
+mod sim;
+mod stats;
+
+pub use config::GpuConfig;
+pub use energy::{EnergyModel, EnergyReport};
+pub use sim::{AtomicPath, SimError, Simulator};
+pub use stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};

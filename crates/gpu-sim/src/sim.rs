@@ -1,0 +1,818 @@
+//! The cycle-level simulator: warp scheduling, instruction issue, and the
+//! memory-system pipeline tying [`crate::machine`] components together.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use warp_trace::{ComputeKind, Instr, KernelTrace};
+
+use arc_core::coalesce_atomic;
+
+use crate::config::GpuConfig;
+use crate::energy::EnergyModel;
+use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind};
+use crate::stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};
+
+/// How the GPU handles atomic traffic — the paper's evaluated designs.
+///
+/// ARC-SW and CCCL are not separate paths: they are trace *rewrites*
+/// (see `arc_core::sw` / `arc_core::cccl`) executed on [`Baseline`].
+///
+/// [`Baseline`]: AtomicPath::Baseline
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicPath {
+    /// All atomics go to the L2 ROP units (`atomicAdd` semantics).
+    Baseline,
+    /// ARC-HW: greedy scheduling between per-sub-core reduction units
+    /// and the ROPs for `AtomRed` instructions (paper §4.3/§5.1).
+    ArcHw,
+    /// LAB: atomics aggregate in a partition of the L1/shared-memory
+    /// SRAM (Dalmia et al., HPCA'22), contending with normal loads.
+    Lab,
+    /// LAB-ideal: a dedicated same-capacity SRAM with no tag/L1
+    /// contention overheads (the paper's idealized comparator).
+    LabIdeal,
+    /// PHI: commutative atomics aggregate in L1 cache lines (Mukkara et
+    /// al., MICRO'19); every request still traverses the LSU first.
+    Phi,
+}
+
+impl AtomicPath {
+    /// Figure-label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomicPath::Baseline => "Baseline",
+            AtomicPath::ArcHw => "ARC-HW",
+            AtomicPath::Lab => "LAB",
+            AtomicPath::LabIdeal => "LAB-ideal",
+            AtomicPath::Phi => "PHI",
+        }
+    }
+
+    /// All evaluated hardware paths.
+    pub const ALL: [AtomicPath; 5] = [
+        AtomicPath::Baseline,
+        AtomicPath::ArcHw,
+        AtomicPath::Lab,
+        AtomicPath::LabIdeal,
+        AtomicPath::Phi,
+    ];
+}
+
+/// Errors from constructing or running a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The [`GpuConfig`] violated an invariant.
+    InvalidConfig(String),
+    /// The kernel did not drain within `max_cycles` (deadlock guard).
+    ExceededMaxCycles {
+        /// Kernel name.
+        kernel: String,
+        /// The configured cycle cap.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid GPU configuration: {msg}"),
+            SimError::ExceededMaxCycles { kernel, max_cycles } => write!(
+                f,
+                "kernel `{kernel}` did not finish within {max_cycles} cycles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A configured GPU simulator.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+/// use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+///
+/// # fn main() -> Result<(), gpu_sim::SimError> {
+/// let mut w = WarpTraceBuilder::new();
+/// w.compute_fp32(16).atomic(AtomicInstr::same_address(0x100, &[1.0; 32]));
+/// let trace = KernelTrace::new("g", KernelKind::GradCompute, vec![w.finish()]);
+/// let sim = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)?;
+/// let report = sim.run(&trace)?;
+/// assert!(report.cycles > 0);
+/// assert_eq!(report.counters.rop_lane_ops, 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    cfg: GpuConfig,
+    path: AtomicPath,
+    energy: EnergyModel,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(cfg: GpuConfig, path: AtomicPath) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::InvalidConfig)?;
+        Ok(Simulator {
+            cfg,
+            path,
+            energy: EnergyModel::default(),
+        })
+    }
+
+    /// Replaces the energy model.
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The atomic path in use.
+    pub fn path(&self) -> AtomicPath {
+        self.path
+    }
+
+    /// Simulates one kernel to completion (all warps retired and every
+    /// queue/buffer drained).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ExceededMaxCycles`] if the kernel fails to drain.
+    pub fn run(&self, trace: &KernelTrace) -> Result<KernelReport, SimError> {
+        let mut m = Machine::new(&self.cfg, self.path, trace);
+        let cycles = m.run(trace)?;
+        let energy = self.energy.evaluate(&self.cfg, &m.counters, cycles);
+        let slots = cycles.max(1) as f64;
+        let rop_utilization =
+            m.counters.rop_lane_ops as f64 / (slots * f64::from(self.cfg.total_rops()));
+        let redunit_slots = slots
+            * f64::from(self.cfg.total_subcores())
+            * f64::from(self.cfg.redunit_throughput);
+        let redunit_utilization = m.counters.redunit_lane_ops as f64 / redunit_slots;
+        let issue_utilization =
+            m.counters.instructions_issued as f64 / (slots * f64::from(self.cfg.total_subcores()));
+        Ok(KernelReport {
+            name: trace.name().to_string(),
+            kind: trace.kind(),
+            cycles,
+            time_ms: self.cfg.cycles_to_ms(cycles),
+            counters: m.counters,
+            stalls: m.stalls,
+            energy,
+            rop_utilization,
+            redunit_utilization,
+            issue_utilization,
+        })
+    }
+
+    /// Simulates a training iteration: each kernel in order, reporting
+    /// per-kernel and aggregate results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first kernel failure.
+    pub fn run_iteration(&self, traces: &[KernelTrace]) -> Result<IterationReport, SimError> {
+        let kernels = traces
+            .iter()
+            .map(|t| self.run(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IterationReport { kernels })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal per-run state.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct WarpRt {
+    pc: u32,
+    /// Progress within the current instruction: compute repeats issued,
+    /// or bundle params issued.
+    sub: u32,
+    outstanding: u32,
+    done: bool,
+}
+
+struct SubCoreRt {
+    resident: Vec<u32>,
+    /// Rotation start for greedy-then-oldest scheduling.
+    rr: usize,
+    ldst_free_at: u64,
+    redunit: RedUnit,
+}
+
+struct SmRt {
+    subcores: Vec<SubCoreRt>,
+    lsu: LsuQueue,
+    buffer: Option<AggBuffer>,
+}
+
+enum Outcome {
+    Issued,
+    Stall(StallClass),
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum StallClass {
+    LsuAtomic,
+    LsuData,
+    Scoreboard,
+    NoWarp,
+    Other,
+}
+
+struct Machine<'a> {
+    cfg: &'a GpuConfig,
+    path: AtomicPath,
+    sms: Vec<SmRt>,
+    partitions: Vec<MemPartition>,
+    warps: Vec<WarpRt>,
+    /// Global work-dispatch queue: like the hardware block scheduler,
+    /// warps are handed to whichever sub-core frees a resident slot.
+    pending: VecDeque<u32>,
+    completions: BinaryHeap<Reverse<(u64, u32)>>,
+    counters: SimCounters,
+    stalls: StallBreakdown,
+    warps_remaining: u64,
+    load_rr: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn new(cfg: &'a GpuConfig, path: AtomicPath, trace: &KernelTrace) -> Self {
+        let buffer_for = |sm_path: AtomicPath| -> Option<AggBuffer> {
+            match sm_path {
+                AtomicPath::Lab => Some(AggBuffer::lab(
+                    cfg.lab_entries as usize,
+                    cfg.lab_l1_load_penalty,
+                )),
+                AtomicPath::LabIdeal => {
+                    Some(AggBuffer::lab(cfg.lab_ideal_entries as usize, 0))
+                }
+                AtomicPath::Phi => Some(AggBuffer::phi(
+                    cfg.phi_lines as usize,
+                    cfg.phi_l1_load_penalty,
+                )),
+                _ => None,
+            }
+        };
+
+        let sms: Vec<SmRt> = (0..cfg.num_sms)
+            .map(|_| SmRt {
+                subcores: (0..cfg.subcores_per_sm)
+                    .map(|_| SubCoreRt {
+                        resident: Vec::new(),
+                        rr: 0,
+                        ldst_free_at: 0,
+                        redunit: RedUnit::default(),
+                    })
+                    .collect(),
+                lsu: LsuQueue::new(cfg.lsu_queue_capacity),
+                buffer: buffer_for(path),
+            })
+            .collect();
+
+        let mut warps = Vec::with_capacity(trace.warps().len());
+        let mut pending = VecDeque::with_capacity(trace.warps().len());
+        let mut warps_remaining = 0u64;
+        for (w, wt) in trace.warps().iter().enumerate() {
+            let done = wt.instrs.is_empty();
+            if !done {
+                warps_remaining += 1;
+                pending.push_back(w as u32);
+            }
+            warps.push(WarpRt {
+                pc: 0,
+                sub: 0,
+                outstanding: 0,
+                done,
+            });
+        }
+
+        Machine {
+            cfg,
+            path,
+            sms,
+            pending,
+            partitions: (0..cfg.num_mem_partitions)
+                .map(|_| MemPartition::new(cfg))
+                .collect(),
+            warps,
+            completions: BinaryHeap::new(),
+            counters: SimCounters::default(),
+            stalls: StallBreakdown::default(),
+            warps_remaining,
+            load_rr: 0,
+        }
+    }
+
+    fn run(&mut self, trace: &KernelTrace) -> Result<u64, SimError> {
+        let mut cycle: u64 = 0;
+        loop {
+            // 1. Memory partitions retire work.
+            for p in &mut self.partitions {
+                p.step(cycle, &mut self.completions, &mut self.counters);
+            }
+
+            // 2. Load completions wake warps.
+            while let Some(&Reverse((done, w))) = self.completions.peek() {
+                if done > cycle {
+                    break;
+                }
+                self.completions.pop();
+                let rt = &mut self.warps[w as usize];
+                rt.outstanding -= 1;
+                if rt.outstanding == 0 && rt.done_pc(trace, w) && !rt.done {
+                    rt.done = true;
+                    self.warps_remaining -= 1;
+                }
+            }
+
+            let flushing = self.warps_remaining == 0;
+
+            // 3. SMs: buffer flush/evictions, LSU drain, reduction units,
+            //    then instruction issue.
+            for sm in &mut self.sms {
+                if let Some(buf) = sm.buffer.as_mut() {
+                    if flushing {
+                        buf.flush(&mut self.counters);
+                    }
+                    buf.drain_evictions(4, self.cfg, &mut self.partitions, &mut self.counters);
+                }
+                sm.lsu.drain(
+                    self.cfg.lsu_drain_rate * 4,
+                    &mut sm.buffer,
+                    &mut self.partitions,
+                    &mut self.counters,
+                );
+                for sc in &mut sm.subcores {
+                    sc.redunit.step(
+                        self.cfg.redunit_throughput,
+                        self.cfg.redunit_emit_reserve,
+                        &mut sm.lsu,
+                        &mut self.partitions,
+                        &mut self.counters,
+                    );
+                }
+                // The SM-shared MIO port refreshes its shuffle budget
+                // every cycle (quarter-units).
+                let mut shfl_budget_q = self.cfg.shfl_throughput_q;
+                for sc_idx in 0..sm.subcores.len() {
+                    let outcome = issue_one(
+                        self.cfg,
+                        self.path,
+                        trace,
+                        cycle,
+                        &mut sm.subcores[sc_idx],
+                        &mut self.pending,
+                        &mut sm.lsu,
+                        &mut shfl_budget_q,
+                        sm.buffer.as_ref().map_or(0, |b| b.load_penalty),
+                        &mut self.warps,
+                        &mut self.counters,
+                        &mut self.warps_remaining,
+                        &mut self.load_rr,
+                    );
+                    match outcome {
+                        Outcome::Issued => {}
+                        Outcome::Stall(StallClass::LsuAtomic) => {
+                            self.stalls.lsu_full += 1;
+                            self.counters.atomic_stall_cycles += 1;
+                        }
+                        Outcome::Stall(StallClass::LsuData) => self.stalls.lsu_full += 1,
+                        Outcome::Stall(StallClass::Scoreboard) => {
+                            self.stalls.long_scoreboard += 1
+                        }
+                        Outcome::Stall(StallClass::NoWarp) => self.stalls.no_warp += 1,
+                        Outcome::Stall(StallClass::Other) => self.stalls.other += 1,
+                    }
+                }
+            }
+
+            cycle += 1;
+            if self.drained() {
+                return Ok(cycle);
+            }
+            if std::env::var_os("GPU_SIM_DEBUG").is_some() && cycle.is_multiple_of(10_000) {
+                let red_pending: usize = self
+                    .sms
+                    .iter()
+                    .flat_map(|s| s.subcores.iter())
+                    .map(|sc| sc.redunit.pending())
+                    .sum();
+                let red_empty: usize = self
+                    .sms
+                    .iter()
+                    .flat_map(|s| s.subcores.iter())
+                    .filter(|sc| sc.redunit.pending() == 0)
+                    .count();
+                eprintln!(
+                    "[dbg] cycle={cycle} warps_left={} red_pending={red_pending} red_empty_units={red_empty} lsu0={} part0={} issued={}",
+                    self.warps_remaining,
+                    self.sms[0].lsu.occupancy(),
+                    self.partitions[0].occupancy(),
+                    self.counters.instructions_issued
+                );
+            }
+            if std::env::var_os("GPU_SIM_DEBUG").is_some() && cycle.is_multiple_of(20_000) {
+                let lsu: u32 = self.sms.iter().map(|s| s.lsu.occupancy()).sum();
+                let part: u32 = self.partitions.iter().map(|p| p.occupancy()).sum();
+                let buf: usize = self
+                    .sms
+                    .iter()
+                    .filter_map(|s| s.buffer.as_ref())
+                    .map(|b| b.len() + b.evict_backlog())
+                    .sum();
+                eprintln!(
+                    "[gpu-sim] cycle={cycle} warps_remaining={} lsu={lsu} part={part} buf={buf} completions={}",
+                    self.warps_remaining,
+                    self.completions.len()
+                );
+            }
+            if cycle >= self.cfg.max_cycles {
+                return Err(SimError::ExceededMaxCycles {
+                    kernel: trace.name().to_string(),
+                    max_cycles: self.cfg.max_cycles,
+                });
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        if self.warps_remaining > 0 || !self.completions.is_empty() {
+            return false;
+        }
+        if self.partitions.iter().any(|p| p.occupancy() > 0) {
+            return false;
+        }
+        self.sms.iter().all(|sm| {
+            sm.lsu.is_empty()
+                && sm.subcores.iter().all(|sc| sc.redunit.pending() == 0)
+                && sm
+                    .buffer
+                    .as_ref()
+                    .is_none_or(|b| b.len() == 0 && b.evict_backlog() == 0)
+        })
+    }
+}
+
+impl WarpRt {
+    fn done_pc(&self, trace: &KernelTrace, w: u32) -> bool {
+        self.pc as usize >= trace.warps()[w as usize].instrs.len()
+    }
+}
+
+/// Cycles the LDST port stays busy dispatching `units` lane-values.
+fn ldst_busy(units: u32, width: u32) -> u64 {
+    u64::from(units.div_ceil(width).max(1))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn issue_one(
+    cfg: &GpuConfig,
+    path: AtomicPath,
+    trace: &KernelTrace,
+    cycle: u64,
+    sc: &mut SubCoreRt,
+    pending: &mut VecDeque<u32>,
+    lsu: &mut LsuQueue,
+    shfl_budget_q: &mut u32,
+    load_penalty: u32,
+    warps: &mut [WarpRt],
+    counters: &mut SimCounters,
+    warps_remaining: &mut u64,
+    load_rr: &mut u64,
+) -> Outcome {
+    // Retire finished warps and pull in new ones from the global
+    // dispatch queue (work-conserving, like the hardware block
+    // scheduler handing CTAs to whichever SM has room).
+    sc.resident.retain(|&w| !warps[w as usize].done);
+    // At most one new warp per cycle, so launch work spreads evenly
+    // across all sub-cores instead of flooding the first ones scanned.
+    if sc.resident.len() < cfg.max_warps_per_subcore as usize {
+        if let Some(w) = pending.pop_front() {
+            sc.resident.push(w);
+        }
+    }
+    if sc.resident.is_empty() {
+        return Outcome::Stall(StallClass::NoWarp);
+    }
+
+    let n = sc.resident.len();
+    let mut saw_scoreboard = false;
+    let mut saw_lsu_atomic = false;
+    let mut saw_lsu_data = false;
+
+    'scan: for k in 0..n {
+        let pos = (sc.rr + k) % n;
+        let w = sc.resident[pos];
+        let rt = &mut warps[w as usize];
+        if rt.done {
+            continue;
+        }
+        if rt.outstanding > 0 {
+            saw_scoreboard = true;
+            continue;
+        }
+        let instrs = &trace.warps()[w as usize].instrs;
+        if rt.pc as usize >= instrs.len() {
+            // Retired warp that is only waiting on loads — handled above.
+            continue;
+        }
+        let instr = &instrs[rt.pc as usize];
+        match instr {
+            Instr::Compute { kind, repeat } => {
+                if *kind == ComputeKind::Shfl {
+                    // Shuffles contend for the SM-shared MIO port.
+                    if *shfl_budget_q < 4 {
+                        saw_lsu_data = true;
+                        continue;
+                    }
+                    *shfl_budget_q -= 4;
+                    counters.shfl_instructions += 1;
+                }
+                counters.instructions_issued += 1;
+                rt.sub += 1;
+                if rt.sub >= u32::from(*repeat) {
+                    advance(rt, warps_remaining, instrs.len());
+                }
+                sc.rr = pos;
+                return Outcome::Issued;
+            }
+            Instr::Load { sectors } => {
+                let sectors = u32::from(*sectors).max(1);
+                if cycle < sc.ldst_free_at || !lsu.can_accept(sectors) {
+                    saw_lsu_data = true;
+                    continue;
+                }
+                *load_rr += 1;
+                let h = load_rr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let partition = (h % u64::from(cfg.num_mem_partitions)) as u32;
+                let miss = ((h >> 33) % 1000) as f64 >= cfg.l2_hit_rate * 1000.0;
+                let extra = if miss { cfg.dram_extra_latency } else { 0 } + load_penalty;
+                lsu.push(
+                    MemReq {
+                        size: sectors,
+                        partition,
+                        addr: h,
+                        kind: ReqKind::Load {
+                            warp: w,
+                            extra_latency: extra,
+                        },
+                    },
+                    counters,
+                );
+                rt.outstanding += 1;
+                sc.ldst_free_at = cycle + ldst_busy(sectors, cfg.ldst_dispatch_width);
+                counters.instructions_issued += 1;
+                advance(rt, warps_remaining, instrs.len());
+                sc.rr = pos;
+                return Outcome::Issued;
+            }
+            Instr::Store { sectors } => {
+                let sectors = u32::from(*sectors).max(1);
+                if cycle < sc.ldst_free_at || !lsu.can_accept(sectors) {
+                    saw_lsu_data = true;
+                    continue;
+                }
+                *load_rr += 1;
+                let h = load_rr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let partition = (h % u64::from(cfg.num_mem_partitions)) as u32;
+                lsu.push(
+                    MemReq {
+                        size: sectors,
+                        partition,
+                        addr: h,
+                        kind: ReqKind::Store,
+                    },
+                    counters,
+                );
+                sc.ldst_free_at = cycle + ldst_busy(sectors, cfg.ldst_dispatch_width);
+                counters.instructions_issued += 1;
+                advance(rt, warps_remaining, instrs.len());
+                sc.rr = pos;
+                return Outcome::Issued;
+            }
+            Instr::Atomic(bundle) => {
+                match issue_plain_atomic(
+                    cfg, cycle, sc, lsu, bundle, rt, counters, warps_remaining, instrs.len(),
+                ) {
+                    AtomicIssue::Issued => {
+                        sc.rr = pos;
+                        return Outcome::Issued;
+                    }
+                    AtomicIssue::Blocked => {
+                        saw_lsu_atomic = true;
+                        continue;
+                    }
+                }
+            }
+            Instr::AtomRed(bundle) if path != AtomicPath::ArcHw => {
+                // `atomred` on a GPU without ARC-HW behaves as a plain
+                // atomic ("the ARC reduction unit is bypassed", §5.6).
+                match issue_plain_atomic(
+                    cfg, cycle, sc, lsu, bundle, rt, counters, warps_remaining, instrs.len(),
+                ) {
+                    AtomicIssue::Issued => {
+                        sc.rr = pos;
+                        return Outcome::Issued;
+                    }
+                    AtomicIssue::Blocked => {
+                        saw_lsu_atomic = true;
+                        continue;
+                    }
+                }
+            }
+            Instr::AtomRed(bundle) => {
+                // ARC-HW path: greedy scheduling between reduction unit
+                // and ROPs, decided per transaction (paper §4.3).
+                if bundle.params.is_empty() {
+                    counters.instructions_issued += 1;
+                    advance(rt, warps_remaining, instrs.len());
+                    sc.rr = pos;
+                    return Outcome::Issued;
+                }
+                let param = &bundle.params[rt.sub as usize];
+                if param.active_count() == 0 {
+                    counters.instructions_issued += 1;
+                    advance_bundle(rt, warps_remaining, instrs.len(), bundle.params.len());
+                    sc.rr = pos;
+                    return Outcome::Issued;
+                }
+                if cycle < sc.ldst_free_at {
+                    saw_lsu_atomic = true;
+                    continue;
+                }
+                // Cheap pre-check before paying for coalescing: if
+                // neither a reduction-unit slot nor a single LSU slot is
+                // available, nothing can be scheduled this cycle.
+                if sc.redunit.space(cfg.redunit_queue_capacity) == 0 && !lsu.can_accept(1) {
+                    saw_lsu_atomic = true;
+                    continue;
+                }
+                let txs = coalesce_atomic(param);
+                // Greedy scheduling "depending on which queue is free"
+                // (paper §4.3): each transaction goes to whichever of
+                // the reduction-unit queue and the LSU/ROP path is
+                // relatively emptier, overflowing to the other side.
+                // The LDST-stall signal is folded in: a stalled LSU
+                // reads as fully occupied.
+                let mut red_pending = sc.redunit.pending() as u32;
+                let mut rop_total = 0u32;
+                let mut plan: Vec<bool> = Vec::with_capacity(txs.len()); // true = reduce
+                for tx in &txs {
+                    let size = tx.request_count();
+                    let red_space = cfg.redunit_queue_capacity.saturating_sub(red_pending);
+                    let red_frac =
+                        f64::from(red_pending) / f64::from(cfg.redunit_queue_capacity.max(1));
+                    let lsu_frac = if lsu.stalled(cfg.lsu_stall_threshold) {
+                        1.0
+                    } else {
+                        (lsu.occupancy_fraction()
+                            + f64::from(rop_total) / f64::from(cfg.lsu_queue_capacity))
+                        .min(1.0)
+                    };
+                    if red_space > 0 && red_frac <= lsu_frac {
+                        plan.push(true);
+                        red_pending += 1;
+                    } else if lsu.can_accept(rop_total + size) {
+                        plan.push(false);
+                        rop_total += size;
+                    } else if red_space > 0 {
+                        plan.push(true);
+                        red_pending += 1;
+                    } else {
+                        saw_lsu_atomic = true;
+                        continue 'scan;
+                    }
+                }
+                let mut red_count = 0u64;
+                for (tx, &reduce) in txs.iter().zip(&plan) {
+                    let partition = cfg.partition_of(tx.addr) as u32;
+                    if reduce {
+                        sc.redunit.push(tx.request_count(), tx.addr, partition);
+                        counters.redunit_transactions += 1;
+                        red_count += 1;
+                    } else {
+                        counters.rop_routed_transactions += 1;
+                        lsu.push(
+                            MemReq {
+                                size: tx.request_count(),
+                                partition,
+                                addr: tx.addr,
+                                kind: ReqKind::Atomic,
+                            },
+                            counters,
+                        );
+                    }
+                }
+                let busy = if rop_total > 0 {
+                    ldst_busy(rop_total, cfg.ldst_dispatch_width)
+                } else {
+                    0
+                } + red_count;
+                sc.ldst_free_at = cycle + busy.max(1);
+                counters.instructions_issued += 1;
+                advance_bundle(rt, warps_remaining, instrs.len(), bundle.params.len());
+                sc.rr = pos;
+                return Outcome::Issued;
+            }
+        }
+    }
+
+    if saw_lsu_atomic {
+        Outcome::Stall(StallClass::LsuAtomic)
+    } else if saw_lsu_data {
+        Outcome::Stall(StallClass::LsuData)
+    } else if saw_scoreboard {
+        Outcome::Stall(StallClass::Scoreboard)
+    } else {
+        Outcome::Stall(StallClass::Other)
+    }
+}
+
+enum AtomicIssue {
+    Issued,
+    Blocked,
+}
+
+/// Issues one parameter of a plain atomic bundle to the LSU → ROP path.
+#[allow(clippy::too_many_arguments)]
+fn issue_plain_atomic(
+    cfg: &GpuConfig,
+    cycle: u64,
+    sc: &mut SubCoreRt,
+    lsu: &mut LsuQueue,
+    bundle: &warp_trace::AtomicBundle,
+    rt: &mut WarpRt,
+    counters: &mut SimCounters,
+    warps_remaining: &mut u64,
+    len: usize,
+) -> AtomicIssue {
+    if bundle.params.is_empty() {
+        counters.instructions_issued += 1;
+        advance(rt, warps_remaining, len);
+        return AtomicIssue::Issued;
+    }
+    let param = &bundle.params[rt.sub as usize];
+    // Cheap pre-check (no allocation): the total lane-value size equals
+    // the active-lane count regardless of how the coalescer groups it.
+    let total = param.active_count();
+    if total == 0 {
+        counters.instructions_issued += 1;
+        advance_bundle(rt, warps_remaining, len, bundle.params.len());
+        return AtomicIssue::Issued;
+    }
+    if cycle < sc.ldst_free_at || !lsu.can_accept(total) {
+        return AtomicIssue::Blocked;
+    }
+    let txs = coalesce_atomic(param);
+    for tx in &txs {
+        lsu.push(
+            MemReq {
+                size: tx.request_count(),
+                partition: cfg.partition_of(tx.addr) as u32,
+                addr: tx.addr,
+                kind: ReqKind::Atomic,
+            },
+            counters,
+        );
+    }
+    sc.ldst_free_at = cycle + ldst_busy(total, cfg.ldst_dispatch_width);
+    counters.instructions_issued += 1;
+    advance_bundle(rt, warps_remaining, len, bundle.params.len());
+    AtomicIssue::Issued
+}
+
+/// Advances past a single-slot instruction (or the last repeat).
+fn advance(rt: &mut WarpRt, warps_remaining: &mut u64, len: usize) {
+    rt.pc += 1;
+    rt.sub = 0;
+    if rt.pc as usize >= len && rt.outstanding == 0 && !rt.done {
+        rt.done = true;
+        *warps_remaining -= 1;
+    }
+}
+
+/// Advances within a multi-parameter atomic bundle.
+fn advance_bundle(rt: &mut WarpRt, warps_remaining: &mut u64, len: usize, params: usize) {
+    rt.sub += 1;
+    if rt.sub as usize >= params {
+        advance(rt, warps_remaining, len);
+    }
+}

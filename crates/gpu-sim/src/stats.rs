@@ -1,0 +1,216 @@
+//! Simulation statistics: stall breakdowns (paper Figs. 8, 20, 21, 24)
+//! and event counters feeding the energy model (Figs. 27, 28).
+
+use serde::{Deserialize, Serialize};
+use warp_trace::KernelKind;
+
+use crate::energy::EnergyReport;
+
+/// Why sub-cores failed to issue, in sub-core-cycles.
+///
+/// Categories follow NVIDIA Nsight's stall taxonomy as used in the
+/// paper's Fig. 8: `lsu_full` is the "LSU/LG throttle" class (the
+/// dominant one in baseline gradient computation), `long_scoreboard` is
+/// waiting on load data, `no_warp` is the idle tail when a sub-core has
+/// run out of work, and `other` is everything else.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// A warp wanted to issue a memory instruction but the LDST port,
+    /// LSU queue, or reduction-unit queue had no room.
+    pub lsu_full: u64,
+    /// All issueable warps were waiting for outstanding load data.
+    pub long_scoreboard: u64,
+    /// No resident warp had work left.
+    pub no_warp: u64,
+    /// Miscellaneous (e.g. transient conditions not otherwise classified).
+    pub other: u64,
+}
+
+impl StallBreakdown {
+    /// Total stalled sub-core-cycles (excluding the idle `no_warp` tail).
+    pub fn total_active(&self) -> u64 {
+        self.lsu_full + self.long_scoreboard + self.other
+    }
+
+    /// Fraction of active stalls attributable to the LSU.
+    pub fn lsu_fraction(&self) -> f64 {
+        let t = self.total_active();
+        if t == 0 {
+            0.0
+        } else {
+            self.lsu_full as f64 / t as f64
+        }
+    }
+}
+
+/// Raw event counters accumulated over one kernel run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Warp instructions issued (compute + memory + atomic params).
+    pub instructions_issued: u64,
+    /// Compute instructions that were shuffles (`Shfl`) — ARC-SW's cost.
+    pub shfl_instructions: u64,
+    /// Lane-value/sector units accepted into LSU queues.
+    pub lsu_accepted: u64,
+    /// Lane-value/sector units that crossed the interconnect to a
+    /// memory partition.
+    pub icnt_flits: u64,
+    /// Atomic lane-values retired by ROP units.
+    pub rop_lane_ops: u64,
+    /// Atomic lane-values folded by ARC-HW reduction units.
+    pub redunit_lane_ops: u64,
+    /// Atomic transactions routed to sub-core reduction units.
+    pub redunit_transactions: u64,
+    /// Atomic transactions the greedy scheduler sent straight to ROPs.
+    pub rop_routed_transactions: u64,
+    /// Load sectors serviced by the L2/DRAM.
+    pub load_sectors: u64,
+    /// Store sectors serviced.
+    pub store_sectors: u64,
+    /// Lane-values merged into an existing LAB/PHI buffer entry.
+    pub buffer_merges: u64,
+    /// LAB/PHI entries evicted before the kernel finished.
+    pub buffer_evictions: u64,
+    /// LAB/PHI entries flushed at kernel end.
+    pub buffer_flushes: u64,
+    /// Cycles in which a warp could not issue an *atomic* because of
+    /// memory-path back-pressure — the paper's "shader atomic stalls"
+    /// (Figs. 20/21).
+    pub atomic_stall_cycles: u64,
+    /// Cycles a reduction unit spent blocked on a full LSU while trying
+    /// to emit its reduced atomic.
+    pub redunit_blocked_cycles: u64,
+}
+
+/// The outcome of simulating one kernel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name (from the trace).
+    pub name: String,
+    /// Training-stage classification.
+    pub kind: KernelKind,
+    /// Simulated cycles from launch to full drain.
+    pub cycles: u64,
+    /// Wall-clock milliseconds at the configured core clock.
+    pub time_ms: f64,
+    /// Event counters.
+    pub counters: SimCounters,
+    /// Stall breakdown in sub-core-cycles.
+    pub stalls: StallBreakdown,
+    /// Energy estimate.
+    pub energy: EnergyReport,
+    /// Fraction of available ROP lane-value slots used.
+    pub rop_utilization: f64,
+    /// Fraction of available reduction-unit fold slots used.
+    pub redunit_utilization: f64,
+    /// Issued instructions per available issue slot.
+    pub issue_utilization: f64,
+}
+
+impl KernelReport {
+    /// Mean stall cycles per issued instruction (the Fig. 8 / Fig. 24
+    /// y-axis).
+    pub fn stalls_per_instruction(&self) -> f64 {
+        if self.counters.instructions_issued == 0 {
+            0.0
+        } else {
+            self.stalls.total_active() as f64 / self.counters.instructions_issued as f64
+        }
+    }
+}
+
+/// The outcome of simulating a whole training iteration (forward + loss +
+/// gradient computation), used for end-to-end numbers (Figs. 4 and 22).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Per-kernel reports in execution order.
+    pub kernels: Vec<KernelReport>,
+}
+
+impl IterationReport {
+    /// Total cycles across all kernels.
+    pub fn total_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.cycles).sum()
+    }
+
+    /// Total time in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.kernels.iter().map(|k| k.time_ms).sum()
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.kernels.iter().map(|k| k.energy.total_mj).sum()
+    }
+
+    /// Sum of cycles for kernels of the given kind.
+    pub fn cycles_of(&self, kind: KernelKind) -> u64 {
+        self.kernels
+            .iter()
+            .filter(|k| k.kind == kind)
+            .map(|k| k.cycles)
+            .sum()
+    }
+
+    /// Fraction of total cycles spent in kernels of the given kind
+    /// (paper Fig. 4's breakdown).
+    pub fn fraction_of(&self, kind: KernelKind) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_of(kind) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_fractions() {
+        let s = StallBreakdown {
+            lsu_full: 60,
+            long_scoreboard: 30,
+            no_warp: 500,
+            other: 10,
+        };
+        assert_eq!(s.total_active(), 100);
+        assert!((s.lsu_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stall_fraction_is_zero() {
+        assert_eq!(StallBreakdown::default().lsu_fraction(), 0.0);
+    }
+
+    #[test]
+    fn iteration_fractions_sum_to_one() {
+        let mk = |kind, cycles| KernelReport {
+            name: "k".into(),
+            kind,
+            cycles,
+            time_ms: 0.0,
+            counters: SimCounters::default(),
+            stalls: StallBreakdown::default(),
+            energy: EnergyReport::default(),
+            rop_utilization: 0.0,
+            redunit_utilization: 0.0,
+            issue_utilization: 0.0,
+        };
+        let it = IterationReport {
+            kernels: vec![
+                mk(KernelKind::Forward, 300),
+                mk(KernelKind::Loss, 100),
+                mk(KernelKind::GradCompute, 600),
+            ],
+        };
+        assert_eq!(it.total_cycles(), 1000);
+        let f = it.fraction_of(KernelKind::Forward)
+            + it.fraction_of(KernelKind::Loss)
+            + it.fraction_of(KernelKind::GradCompute);
+        assert!((f - 1.0).abs() < 1e-12);
+        assert!((it.fraction_of(KernelKind::GradCompute) - 0.6).abs() < 1e-12);
+    }
+}

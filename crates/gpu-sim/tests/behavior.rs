@@ -1,0 +1,285 @@
+//! Behavioral tests: the simulator must reproduce the *qualitative*
+//! phenomena the paper's evaluation rests on, using synthetic traces.
+
+use gpu_sim::{AtomicPath, GpuConfig, SimError, Simulator};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, LaneOp, WarpTraceBuilder};
+
+/// An atomic-heavy gradient-computation-like trace: every warp updates
+/// `bundles` primitives × `params` parameters with full-warp locality.
+fn atomic_heavy_trace(warps: usize, bundles: usize, params: usize) -> KernelTrace {
+    let mut out = Vec::with_capacity(warps);
+    for w in 0..warps {
+        let mut b = WarpTraceBuilder::new();
+        for i in 0..bundles {
+            b.compute_ffma(4);
+            let prim = ((w / 8) * bundles + i) as u64; // warps share primitives
+            let instrs = (0..params)
+                .map(|p| AtomicInstr::same_address(prim * 64 + (p as u64) * 4, &[1.0; 32]))
+                .collect();
+            b.atomic_bundle(warp_trace::AtomicBundle::new(instrs));
+        }
+        out.push(b.finish());
+    }
+    KernelTrace::new("synthetic-grad", KernelKind::GradCompute, out)
+}
+
+/// A compute-heavy trace with no atomics (forward-pass-like).
+fn compute_heavy_trace(warps: usize) -> KernelTrace {
+    let mut out = Vec::with_capacity(warps);
+    for _ in 0..warps {
+        let mut b = WarpTraceBuilder::new();
+        b.compute_ffma(200).load(4).compute_fp32(100);
+        out.push(b.finish());
+    }
+    KernelTrace::new("synthetic-fwd", KernelKind::Forward, out)
+}
+
+fn run(cfg: &GpuConfig, path: AtomicPath, trace: &KernelTrace) -> gpu_sim::KernelReport {
+    Simulator::new(cfg.clone(), path)
+        .expect("valid config")
+        .run(trace)
+        .expect("kernel drains")
+}
+
+#[test]
+fn baseline_gradcomp_is_lsu_stall_dominated() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 12, 4);
+    let report = run(&cfg, AtomicPath::Baseline, &trace);
+    // Paper Fig. 8: LSU stalls contribute over 60% of all (active) stalls.
+    assert!(
+        report.stalls.lsu_fraction() > 0.6,
+        "expected LSU-dominated stalls, got {:?}",
+        report.stalls
+    );
+    assert_eq!(report.counters.rop_lane_ops, 32 * 12 * 4 * 32);
+}
+
+#[test]
+fn arc_hw_beats_baseline_on_atomic_heavy_kernels() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 12, 4);
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    let hw = run(&cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+    let speedup = base.cycles as f64 / hw.cycles as f64;
+    assert!(
+        speedup > 1.3,
+        "ARC-HW should speed up atomic-heavy kernels, got {speedup:.2}x"
+    );
+    // Reduction units absorbed a large share of lane-values.
+    assert!(hw.counters.redunit_lane_ops > 0);
+    // All lane-values are accounted for between the two paths.
+    assert_eq!(
+        hw.counters.redunit_lane_ops + hw.counters.rop_lane_ops
+            - hw.counters.redunit_transactions, // reduced txs re-emit 1 value each
+        base.counters.rop_lane_ops,
+    );
+}
+
+#[test]
+fn arc_hw_reduces_atomic_stalls() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 12, 4);
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    let hw = run(&cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+    // Paper Figs. 20/21: large reduction in shader atomic stalls.
+    assert!(
+        hw.counters.atomic_stall_cycles * 3 < base.counters.atomic_stall_cycles * 2,
+        "atomic stalls: base={} hw={}",
+        base.counters.atomic_stall_cycles,
+        hw.counters.atomic_stall_cycles
+    );
+}
+
+#[test]
+fn lab_ideal_between_baseline_and_arc_hw() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 16, 4);
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    let lab_ideal = run(&cfg, AtomicPath::LabIdeal, &trace);
+    let hw = run(&cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+    assert!(
+        lab_ideal.cycles < base.cycles,
+        "LAB-ideal should beat baseline: {} vs {}",
+        lab_ideal.cycles,
+        base.cycles
+    );
+    assert!(
+        hw.cycles < lab_ideal.cycles,
+        "ARC-HW should beat LAB-ideal: {} vs {}",
+        hw.cycles,
+        lab_ideal.cycles
+    );
+}
+
+#[test]
+fn lab_ideal_at_least_as_good_as_lab() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 16, 4);
+    let lab = run(&cfg, AtomicPath::Lab, &trace);
+    let lab_ideal = run(&cfg, AtomicPath::LabIdeal, &trace);
+    // Paper §7.1: LAB-ideal only marginally outperforms LAB (1.05×);
+    // at this tiny scale allow a few percent of queueing noise.
+    assert!(
+        lab_ideal.cycles as f64 <= lab.cycles as f64 * 1.05,
+        "LAB-ideal {} vs LAB {}",
+        lab_ideal.cycles,
+        lab.cycles
+    );
+}
+
+#[test]
+fn phi_gains_less_than_lab_and_arc() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 16, 4);
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    let phi = run(&cfg, AtomicPath::Phi, &trace);
+    let lab = run(&cfg, AtomicPath::LabIdeal, &trace);
+    let hw = run(&cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+    let speedup = |r: &gpu_sim::KernelReport| base.cycles as f64 / r.cycles as f64;
+    // Paper §7.1's ordering: PHI gives the smallest improvement, below
+    // LAB-ideal, which is below ARC-HW. (This synthetic trace has
+    // perfect temporal locality, so absolute PHI gains exceed the
+    // paper's 1.01–1.03×; the full workloads in `arc-workloads`
+    // reproduce the near-neutral numbers.)
+    assert!(
+        speedup(&phi) < speedup(&lab),
+        "PHI {:.2}x should trail LAB-ideal {:.2}x",
+        speedup(&phi),
+        speedup(&lab)
+    );
+    assert!(
+        speedup(&lab) < speedup(&hw),
+        "LAB-ideal {:.2}x should trail ARC-HW {:.2}x",
+        speedup(&lab),
+        speedup(&hw)
+    );
+}
+
+#[test]
+fn compute_heavy_kernels_are_unaffected_by_path() {
+    let cfg = GpuConfig::tiny();
+    let trace = compute_heavy_trace(64);
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    let hw = run(&cfg, AtomicPath::ArcHw, &trace);
+    // No atomics ⇒ no difference (paper §5.6: ARC bypassed, no overhead).
+    assert_eq!(base.cycles, hw.cycles);
+    assert_eq!(base.counters.rop_lane_ops, 0);
+}
+
+#[test]
+fn atomred_bypassed_on_non_arc_hardware() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(8, 4, 2).with_atomred();
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    // Every lane-value went to the ROPs; nothing was reduced.
+    assert_eq!(base.counters.redunit_lane_ops, 0);
+    assert_eq!(base.counters.rop_lane_ops, 8 * 4 * 2 * 32);
+}
+
+#[test]
+fn partial_warps_and_multi_address_bundles_drain() {
+    // Mixed divergence: 5 active lanes on one address, 3 on another.
+    let mut b = WarpTraceBuilder::new();
+    let mut ops: Vec<LaneOp> = (0..5)
+        .map(|lane| LaneOp {
+            lane,
+            addr: 0x80,
+            value: 1.0,
+        })
+        .collect();
+    ops.extend((8..11).map(|lane| LaneOp {
+        lane,
+        addr: 0x40,
+        value: 2.0,
+    }));
+    b.atomic(AtomicInstr::new(ops)).load(2).compute_fp32(5);
+    let trace = KernelTrace::new("mixed", KernelKind::GradCompute, vec![b.finish()]);
+    for path in AtomicPath::ALL {
+        let t = if path == AtomicPath::ArcHw {
+            trace.clone().with_atomred()
+        } else {
+            trace.clone()
+        };
+        let report = run(&GpuConfig::tiny(), path, &t);
+        assert!(report.cycles > 0, "{}", path.label());
+    }
+}
+
+#[test]
+fn bigger_gpu_is_faster_in_absolute_time() {
+    let trace = atomic_heavy_trace(64, 8, 4);
+    let r4090 = run(&GpuConfig::rtx4090(), AtomicPath::Baseline, &trace);
+    let r3060 = run(&GpuConfig::rtx3060(), AtomicPath::Baseline, &trace);
+    assert!(r4090.time_ms < r3060.time_ms);
+}
+
+#[test]
+fn arc_hw_speedup_larger_on_4090_than_3060() {
+    // Paper §7.2: the 4090's lower ROP:SM ratio makes the atomic
+    // bottleneck — and ARC's gain — bigger. Use a workload large enough
+    // to saturate both GPUs.
+    let trace = atomic_heavy_trace(768, 6, 4);
+    let speedup = |cfg: &GpuConfig| {
+        let base = run(cfg, AtomicPath::Baseline, &trace);
+        let hw = run(cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+        base.cycles as f64 / hw.cycles as f64
+    };
+    let s4090 = speedup(&GpuConfig::rtx4090());
+    let s3060 = speedup(&GpuConfig::rtx3060());
+    assert!(
+        s4090 > s3060,
+        "expected bigger ARC-HW gain on 4090: {s4090:.2}x vs {s3060:.2}x"
+    );
+}
+
+#[test]
+fn empty_trace_finishes_immediately() {
+    let trace = KernelTrace::new("empty", KernelKind::Other, vec![]);
+    let report = run(&GpuConfig::tiny(), AtomicPath::Baseline, &trace);
+    assert_eq!(report.counters.instructions_issued, 0);
+    assert!(report.cycles <= 2);
+}
+
+#[test]
+fn invalid_config_is_rejected() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.num_sms = 0;
+    assert!(matches!(
+        Simulator::new(cfg, AtomicPath::Baseline),
+        Err(SimError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn max_cycles_guard_fires() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.max_cycles = 10;
+    let trace = atomic_heavy_trace(32, 12, 4);
+    let sim = Simulator::new(cfg, AtomicPath::Baseline).unwrap();
+    assert!(matches!(
+        sim.run(&trace),
+        Err(SimError::ExceededMaxCycles { .. })
+    ));
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(16, 6, 3);
+    let a = run(&cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+    let b = run(&cfg, AtomicPath::ArcHw, &trace.with_atomred());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn energy_tracks_runtime_and_traffic() {
+    let cfg = GpuConfig::tiny();
+    let trace = atomic_heavy_trace(32, 12, 4);
+    let base = run(&cfg, AtomicPath::Baseline, &trace);
+    let hw = run(&cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());
+    // Paper §7.3: ARC reduces energy via faster execution and fewer
+    // memory requests.
+    assert!(hw.energy.total_mj < base.energy.total_mj);
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over the simulator: for *any* generated kernel
+//! trace, every atomic path drains without deadlock and conserves
+//! atomic lane-values through its pipeline.
+
+use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+use proptest::prelude::*;
+use warp_trace::{
+    AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelKind, KernelTrace, LaneMask, LaneOp,
+    WarpTraceBuilder,
+};
+
+fn arb_atomic() -> impl Strategy<Value = AtomicInstr> {
+    (
+        proptest::bits::u32::ANY,
+        proptest::collection::vec(0u8..3, 32),
+    )
+        .prop_map(|(mask_bits, addr_pick)| {
+            let mask = LaneMask::from_bits(mask_bits);
+            let ops = mask
+                .lanes()
+                .map(|lane| LaneOp {
+                    lane,
+                    addr: 0x2000 + u64::from(addr_pick[lane as usize]) * 64,
+                    value: 1.0,
+                })
+                .collect();
+            AtomicInstr::new(ops)
+        })
+}
+
+fn arb_warp() -> impl Strategy<Value = warp_trace::WarpTrace> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u16..20).prop_map(|n| Instr::Compute {
+                kind: ComputeKind::Ffma,
+                repeat: n
+            }),
+            (1u16..6).prop_map(|sectors| Instr::Load { sectors }),
+            (1u16..4).prop_map(|sectors| Instr::Store { sectors }),
+            proptest::collection::vec(arb_atomic(), 1..3)
+                .prop_map(|params| Instr::Atomic(AtomicBundle::new(params))),
+        ],
+        1..12,
+    )
+    .prop_map(|instrs| {
+        let mut b = WarpTraceBuilder::new();
+        for i in instrs {
+            b.push(i);
+        }
+        b.finish()
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = KernelTrace> {
+    proptest::collection::vec(arb_warp(), 1..16)
+        .prop_map(|warps| KernelTrace::new("prop", KernelKind::GradCompute, warps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every atomic path drains every trace, and atomic lane-values are
+    /// conserved through each pipeline.
+    #[test]
+    fn all_paths_drain_and_conserve_values(trace in arb_trace()) {
+        let total = trace.total_atomic_requests();
+        for path in AtomicPath::ALL {
+            let t = if path == AtomicPath::ArcHw {
+                trace.clone().with_atomred()
+            } else {
+                trace.clone()
+            };
+            let sim = Simulator::new(GpuConfig::tiny(), path).expect("valid config");
+            let report = sim.run(&t).expect("trace must drain");
+            let c = &report.counters;
+            match path {
+                AtomicPath::Baseline => {
+                    prop_assert_eq!(c.rop_lane_ops, total, "baseline: all values at ROPs");
+                    prop_assert_eq!(c.redunit_lane_ops, 0u64);
+                }
+                AtomicPath::ArcHw => {
+                    // Reduced transactions re-emit one value each.
+                    prop_assert_eq!(
+                        c.redunit_lane_ops + c.rop_lane_ops - c.redunit_transactions,
+                        total,
+                        "ARC-HW value conservation"
+                    );
+                }
+                AtomicPath::Lab | AtomicPath::LabIdeal | AtomicPath::Phi => {
+                    // Every value either merges into a buffer entry or
+                    // allocates one; every entry is eventually evicted
+                    // or flushed, producing exactly one ROP op.
+                    prop_assert_eq!(
+                        c.buffer_merges + c.buffer_evictions + c.buffer_flushes,
+                        total,
+                        "buffer value conservation"
+                    );
+                    prop_assert_eq!(
+                        c.rop_lane_ops,
+                        c.buffer_evictions + c.buffer_flushes,
+                        "every buffer entry retires at a ROP"
+                    );
+                }
+            }
+            // Load sectors requested equal load sectors serviced.
+            let requested: u64 = trace
+                .warps()
+                .iter()
+                .flat_map(|w| w.instrs.iter())
+                .map(|i| match i {
+                    Instr::Load { sectors } => u64::from(*sectors),
+                    _ => 0,
+                })
+                .sum();
+            prop_assert_eq!(c.load_sectors, requested, "{} loads", path.label());
+        }
+    }
+
+    /// The analytic roofline model brackets the simulator: its
+    /// prediction is a lower bound (no queueing) within a bounded
+    /// factor of the measured cycles for atomic-bound traces.
+    #[test]
+    fn analytic_model_lower_bounds_simulation(seed in 0u64..1000) {
+        let warps = 24 + (seed % 8) as usize;
+        let mut out = Vec::new();
+        for w in 0..warps {
+            let mut b = WarpTraceBuilder::new();
+            for i in 0..10usize {
+                b.compute_ffma(4);
+                let addr = ((w / 8) * 10 + i) as u64 * 64;
+                b.atomic(AtomicInstr::same_address(addr, &[1.0; 32]));
+            }
+            out.push(b.finish());
+        }
+        let trace = KernelTrace::new("an", KernelKind::GradCompute, out);
+        let cfg = GpuConfig::tiny();
+        let stats = warp_trace::TraceStats::compute(&trace);
+        let profile = arc_core::analysis::KernelProfile::from_stats(&stats);
+        let model = cfg.machine_model();
+        let predicted = arc_core::analysis::baseline_cycles(&model, &profile);
+        let sim = Simulator::new(cfg, AtomicPath::Baseline).expect("valid config");
+        let measured = sim.run(&trace).expect("drains").cycles as f64;
+        prop_assert!(
+            measured >= predicted * 0.95,
+            "simulation ({measured}) cannot beat the roofline ({predicted})"
+        );
+        prop_assert!(
+            measured <= predicted * 4.0,
+            "simulation ({measured}) should be within 4x of the roofline ({predicted})"
+        );
+    }
+}

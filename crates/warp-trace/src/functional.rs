@@ -1,0 +1,161 @@
+//! Functional execution of trace atomics.
+//!
+//! The simulator models *timing*; this module models *values*. Running a
+//! kernel trace through [`GlobalMemory`] yields the final contents of every
+//! atomically-updated word, which the test suites use to prove that the
+//! ARC-SW / CCCL rewrite passes and the ARC-HW reduction path preserve the
+//! reduction semantics (up to floating-point reassociation, paper §5.2).
+
+use std::collections::HashMap;
+
+use crate::{Instr, KernelTrace};
+
+/// A sparse model of global memory holding the f32 words targeted by
+/// atomic adds. Accumulation is performed in f64 so the reference result
+/// is insensitive to summation order; comparisons against any f32
+/// reduction order then use a tolerance.
+///
+/// # Example
+///
+/// ```
+/// use warp_trace::{AtomicInstr, GlobalMemory, KernelKind, KernelTrace, WarpTraceBuilder};
+///
+/// let mut w = WarpTraceBuilder::new();
+/// w.atomic(AtomicInstr::same_address(0x8, &[0.25; 32]));
+/// let t = KernelTrace::new("k", KernelKind::GradCompute, vec![w.finish()]);
+/// let mut mem = GlobalMemory::new();
+/// mem.apply_trace(&t);
+/// assert_eq!(mem.read(0x8), 8.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GlobalMemory {
+    words: HashMap<u64, f64>,
+}
+
+impl GlobalMemory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        GlobalMemory::default()
+    }
+
+    /// Atomically adds `value` to the word at `addr`.
+    pub fn atomic_add(&mut self, addr: u64, value: f32) {
+        *self.words.entry(addr).or_insert(0.0) += f64::from(value);
+    }
+
+    /// Applies every atomic in the trace (both `Atomic` and `AtomRed`
+    /// instructions; loads/stores/compute have no functional effect here).
+    pub fn apply_trace(&mut self, trace: &KernelTrace) {
+        for warp in trace.warps() {
+            for instr in &warp.instrs {
+                if let Instr::Atomic(bundle) | Instr::AtomRed(bundle) = instr {
+                    for param in &bundle.params {
+                        for op in param.ops() {
+                            self.atomic_add(op.addr, op.value);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads the accumulated value at `addr` (0.0 if never written),
+    /// rounded to f32 as a real GPU word would be.
+    pub fn read(&self, addr: u64) -> f32 {
+        self.words.get(&addr).copied().unwrap_or(0.0) as f32
+    }
+
+    /// Reads the full-precision accumulator at `addr`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        self.words.get(&addr).copied().unwrap_or(0.0)
+    }
+
+    /// Number of distinct words ever touched.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no word was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterator over `(address, accumulated value)` pairs in arbitrary
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Maximum absolute difference against another memory over the union
+    /// of touched addresses. Used to assert rewrite equivalence within a
+    /// floating-point tolerance.
+    pub fn max_abs_diff(&self, other: &GlobalMemory) -> f64 {
+        let mut max = 0.0f64;
+        for (&addr, &v) in &self.words {
+            max = max.max((v - other.read_f64(addr)).abs());
+        }
+        for (&addr, &v) in &other.words {
+            max = max.max((v - self.read_f64(addr)).abs());
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicInstr, KernelKind, LaneOp, WarpTraceBuilder};
+
+    #[test]
+    fn accumulates_across_warps() {
+        let mk_warp = || {
+            let mut b = WarpTraceBuilder::new();
+            b.atomic(AtomicInstr::same_address(0x0, &[1.0; 32]));
+            b.finish()
+        };
+        let t = KernelTrace::new("k", KernelKind::GradCompute, vec![mk_warp(), mk_warp()]);
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&t);
+        assert_eq!(mem.read(0x0), 64.0);
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn untouched_addresses_read_zero() {
+        let mem = GlobalMemory::new();
+        assert_eq!(mem.read(0xdead), 0.0);
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn max_abs_diff_covers_both_sides() {
+        let mut a = GlobalMemory::new();
+        a.atomic_add(0, 3.0);
+        let mut b = GlobalMemory::new();
+        b.atomic_add(8, 2.0);
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+        assert_eq!(b.max_abs_diff(&a), 3.0);
+    }
+
+    #[test]
+    fn distinct_addresses_stay_separate() {
+        let mut w = WarpTraceBuilder::new();
+        w.atomic(AtomicInstr::new(vec![
+            LaneOp {
+                lane: 0,
+                addr: 0,
+                value: 1.5,
+            },
+            LaneOp {
+                lane: 1,
+                addr: 8,
+                value: -2.5,
+            },
+        ]));
+        let t = KernelTrace::new("k", KernelKind::GradCompute, vec![w.finish()]);
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&t);
+        assert_eq!(mem.read(0), 1.5);
+        assert_eq!(mem.read(8), -2.5);
+    }
+}

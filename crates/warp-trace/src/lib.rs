@@ -1,0 +1,50 @@
+//! Warp-level GPU kernel trace IR.
+//!
+//! This crate defines the intermediate representation shared by the whole
+//! ARC reproduction stack:
+//!
+//! * workload crates (e.g. `diffrender`) *emit* a [`KernelTrace`] describing
+//!   the per-warp instruction stream of a GPU kernel — compute instructions,
+//!   loads/stores (already coalesced into memory sectors), and atomic
+//!   read-modify-write bundles carrying per-lane addresses and values;
+//! * `arc-core` *rewrites* traces (ARC-SW and CCCL insert `match`/`shfl`
+//!   instructions and shrink atomic bundles);
+//! * `gpu-sim` *executes* traces cycle-by-cycle against a GPU model.
+//!
+//! The IR deliberately sits at the warp level, not the thread level: the
+//! paper's entire argument is about what a *warp* hands to the memory
+//! subsystem per instruction, so a warp instruction with a
+//! [`LaneMask`] of active lanes is the natural unit.
+//!
+//! # Example
+//!
+//! ```
+//! use warp_trace::{AtomicInstr, Instr, KernelKind, KernelTrace, LaneMask, WarpTraceBuilder};
+//!
+//! // A warp in which all 32 lanes atomically add 1.0 to the same address.
+//! let atomic = AtomicInstr::same_address(0x1000, &[1.0; 32]);
+//! let mut warp = WarpTraceBuilder::new();
+//! warp.compute_fp32(4);
+//! warp.atomic(atomic);
+//! let trace = KernelTrace::new("example", KernelKind::GradCompute, vec![warp.finish()]);
+//! assert_eq!(trace.warps().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod functional;
+mod instr;
+mod mask;
+mod stats;
+mod trace;
+
+pub use functional::GlobalMemory;
+pub use instr::{AtomicBundle, AtomicInstr, ComputeKind, Instr, LaneOp};
+pub use mask::{LaneMask, Lanes};
+pub use stats::{ActiveLaneHistogram, TraceStats};
+pub use trace::{KernelKind, KernelTrace, WarpTrace, WarpTraceBuilder};
+
+/// Number of threads in a warp. Fixed at 32 to match NVIDIA GPUs (and the
+/// paper's `__match`/`__shfl` semantics, balancing thresholds 0..=32, etc.).
+pub const WARP_SIZE: usize = 32;

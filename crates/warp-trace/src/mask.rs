@@ -1,0 +1,312 @@
+//! Active-lane masks.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not};
+
+use serde::{Deserialize, Serialize};
+
+use crate::WARP_SIZE;
+
+/// A set of active lanes within a 32-lane warp.
+///
+/// Bit `i` set means lane `i` is active. This is the same convention as the
+/// masks returned by CUDA's `__activemask()` / `__match_any_sync()`.
+///
+/// # Example
+///
+/// ```
+/// use warp_trace::LaneMask;
+///
+/// let m = LaneMask::from_lanes([0, 3, 31]);
+/// assert_eq!(m.count(), 3);
+/// assert_eq!(m.lowest(), Some(0));
+/// assert!(m.is_set(31));
+/// assert!(!m.is_set(1));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LaneMask(u32);
+
+impl LaneMask {
+    /// The empty mask (no active lanes).
+    pub const EMPTY: LaneMask = LaneMask(0);
+    /// The full mask (all 32 lanes active), i.e. `0xffff_ffff`.
+    pub const FULL: LaneMask = LaneMask(u32::MAX);
+
+    /// Creates a mask from raw bits (bit `i` ⇒ lane `i` active).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        LaneMask(bits)
+    }
+
+    /// Creates a mask with exactly the given lanes set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane index is `>= 32`.
+    pub fn from_lanes<I: IntoIterator<Item = u8>>(lanes: I) -> Self {
+        let mut bits = 0u32;
+        for lane in lanes {
+            assert!(
+                (lane as usize) < WARP_SIZE,
+                "lane index {lane} out of range for a 32-lane warp"
+            );
+            bits |= 1 << lane;
+        }
+        LaneMask(bits)
+    }
+
+    /// A mask with the first `n` lanes active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= WARP_SIZE, "cannot activate {n} lanes in a 32-lane warp");
+        if n == WARP_SIZE {
+            LaneMask::FULL
+        } else {
+            LaneMask((1u32 << n) - 1)
+        }
+    }
+
+    /// The raw bits of the mask.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of active lanes (`__popc` of the mask).
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no lane is active.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether all 32 lanes are active.
+    #[inline]
+    pub const fn is_full(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Whether lane `lane` is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 32`.
+    #[inline]
+    pub fn is_set(self, lane: u8) -> bool {
+        assert!((lane as usize) < WARP_SIZE);
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Returns a copy of the mask with lane `lane` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 32`.
+    #[inline]
+    #[must_use]
+    pub fn with(self, lane: u8) -> Self {
+        assert!((lane as usize) < WARP_SIZE);
+        LaneMask(self.0 | (1 << lane))
+    }
+
+    /// The lowest active lane, or `None` if the mask is empty.
+    ///
+    /// This is the "leader" election used by ARC-SW's serialized reduction
+    /// (the active thread with the lowest lane id leads).
+    #[inline]
+    pub fn lowest(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as u8)
+        }
+    }
+
+    /// Whether `other` is a subset of `self`.
+    #[inline]
+    pub const fn contains(self, other: LaneMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Iterator over active lane indices, ascending.
+    pub fn lanes(self) -> Lanes {
+        Lanes { bits: self.0 }
+    }
+}
+
+impl BitOr for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        LaneMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for LaneMask {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        LaneMask(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for LaneMask {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Not for LaneMask {
+    type Output = LaneMask;
+    #[inline]
+    fn not(self) -> Self {
+        LaneMask(!self.0)
+    }
+}
+
+impl fmt::Debug for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaneMask({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::Binary for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for LaneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl FromIterator<u8> for LaneMask {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        LaneMask::from_lanes(iter)
+    }
+}
+
+/// Iterator over the active lane indices of a [`LaneMask`], ascending.
+#[derive(Debug, Clone)]
+pub struct Lanes {
+    bits: u32,
+}
+
+impl Iterator for Lanes {
+    type Item = u8;
+
+    #[inline]
+    fn next(&mut self) -> Option<u8> {
+        if self.bits == 0 {
+            None
+        } else {
+            let lane = self.bits.trailing_zeros() as u8;
+            self.bits &= self.bits - 1;
+            Some(lane)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Lanes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert_eq!(LaneMask::EMPTY.count(), 0);
+        assert!(LaneMask::EMPTY.is_empty());
+        assert_eq!(LaneMask::FULL.count(), 32);
+        assert!(LaneMask::FULL.is_full());
+        assert_eq!(LaneMask::EMPTY.lowest(), None);
+        assert_eq!(LaneMask::FULL.lowest(), Some(0));
+    }
+
+    #[test]
+    fn from_lanes_roundtrip() {
+        let m = LaneMask::from_lanes([1, 5, 9]);
+        let lanes: Vec<u8> = m.lanes().collect();
+        assert_eq!(lanes, vec![1, 5, 9]);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn first_n_boundaries() {
+        assert_eq!(LaneMask::first_n(0), LaneMask::EMPTY);
+        assert_eq!(LaneMask::first_n(32), LaneMask::FULL);
+        assert_eq!(LaneMask::first_n(1).bits(), 1);
+        assert_eq!(LaneMask::first_n(31).bits(), 0x7fff_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot activate")]
+    fn first_n_too_large_panics() {
+        let _ = LaneMask::first_n(33);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_lanes_out_of_range_panics() {
+        let _ = LaneMask::from_lanes([32]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = LaneMask::from_lanes([0, 1, 2]);
+        let b = LaneMask::from_lanes([2, 3]);
+        assert_eq!((a | b).count(), 4);
+        assert_eq!((a & b).count(), 1);
+        assert!(a.contains(LaneMask::from_lanes([0, 2])));
+        assert!(!a.contains(b));
+        assert_eq!((!LaneMask::EMPTY), LaneMask::FULL);
+    }
+
+    #[test]
+    fn with_sets_lane() {
+        let m = LaneMask::EMPTY.with(7).with(7).with(0);
+        assert_eq!(m, LaneMask::from_lanes([0, 7]));
+    }
+
+    #[test]
+    fn lanes_iterator_is_exact_size() {
+        let m = LaneMask::from_lanes([3, 17, 31]);
+        let it = m.lanes();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", LaneMask::EMPTY).is_empty());
+        assert_eq!(format!("{}", LaneMask::from_bits(0xff)), "0x000000ff");
+    }
+}

@@ -1,0 +1,265 @@
+//! Trace statistics used for the paper's workload characterization
+//! (§3.1 Observations 1 and 2, Fig. 6/7, §5.6).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Instr, KernelTrace, WARP_SIZE};
+
+/// Histogram of the number of active lanes per atomic instruction
+/// (0..=32 buckets) — the quantity plotted in paper Fig. 7.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveLaneHistogram {
+    buckets: Vec<u64>,
+}
+
+impl Default for ActiveLaneHistogram {
+    fn default() -> Self {
+        ActiveLaneHistogram {
+            buckets: vec![0; WARP_SIZE + 1],
+        }
+    }
+}
+
+impl ActiveLaneHistogram {
+    /// An all-zero histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one atomic instruction with `active` participating lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active > 32`.
+    pub fn record(&mut self, active: u32) {
+        self.buckets[active as usize] += 1;
+    }
+
+    /// Count for the bucket with exactly `active` lanes.
+    pub fn bucket(&self, active: u32) -> u64 {
+        self.buckets[active as usize]
+    }
+
+    /// All buckets, index = active-lane count.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean active lanes per sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| k as u64 * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Fraction of samples in the full-warp (32 active lanes) bucket.
+    pub fn full_warp_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.buckets[WARP_SIZE] as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate statistics of a kernel trace's atomic behaviour.
+///
+/// `same_address_fraction` is the paper's Observation 1 metric ("over 99%
+/// of warps have all their threads update the same memory location"),
+/// measured per atomic instruction over instructions with at least one
+/// active lane.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of warps in the kernel.
+    pub warps: u64,
+    /// Total warp-level atomic instructions (bundle params counted
+    /// individually).
+    pub atomic_instrs: u64,
+    /// Total lane-level atomic requests.
+    pub atomic_requests: u64,
+    /// Atomic instructions whose active lanes all share one address.
+    pub same_address_instrs: u64,
+    /// Atomic instructions with at least one active lane.
+    pub nonempty_atomic_instrs: u64,
+    /// Atomic instructions with ≥2 active lanes.
+    pub multi_lane_instrs: u64,
+    /// Atomic instructions with ≥2 active lanes, all on one address.
+    pub same_address_multi_instrs: u64,
+    /// Number of distinct global addresses updated atomically.
+    pub unique_addresses: u64,
+    /// Total compute issue slots.
+    pub compute_slots: u64,
+    /// Total load sectors.
+    pub load_sectors: u64,
+    /// Total store sectors.
+    pub store_sectors: u64,
+    /// Histogram of active lanes per atomic instruction.
+    pub active_lanes: ActiveLaneHistogram,
+}
+
+impl TraceStats {
+    /// Computes statistics over a kernel trace.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use warp_trace::{AtomicInstr, KernelKind, KernelTrace, TraceStats, WarpTraceBuilder};
+    ///
+    /// let mut w = WarpTraceBuilder::new();
+    /// w.atomic(AtomicInstr::same_address(0x10, &[1.0; 32]));
+    /// let t = KernelTrace::new("g", KernelKind::GradCompute, vec![w.finish()]);
+    /// let s = TraceStats::compute(&t);
+    /// assert_eq!(s.atomic_requests, 32);
+    /// assert_eq!(s.same_address_fraction(), 1.0);
+    /// ```
+    pub fn compute(trace: &KernelTrace) -> Self {
+        let mut stats = TraceStats {
+            warps: trace.warps().len() as u64,
+            ..TraceStats::default()
+        };
+        let mut addrs: HashSet<u64> = HashSet::new();
+        for warp in trace.warps() {
+            for instr in &warp.instrs {
+                match instr {
+                    Instr::Compute { repeat, .. } => stats.compute_slots += u64::from(*repeat),
+                    Instr::Load { sectors } => stats.load_sectors += u64::from(*sectors),
+                    Instr::Store { sectors } => stats.store_sectors += u64::from(*sectors),
+                    Instr::Atomic(bundle) | Instr::AtomRed(bundle) => {
+                        for param in &bundle.params {
+                            stats.atomic_instrs += 1;
+                            stats.atomic_requests += u64::from(param.active_count());
+                            stats.active_lanes.record(param.active_count());
+                            if !param.is_empty() {
+                                stats.nonempty_atomic_instrs += 1;
+                                let single = param.single_address();
+                                if single {
+                                    stats.same_address_instrs += 1;
+                                }
+                                if param.active_count() >= 2 {
+                                    stats.multi_lane_instrs += 1;
+                                    if single {
+                                        stats.same_address_multi_instrs += 1;
+                                    }
+                                }
+                            }
+                            for op in param.ops() {
+                                addrs.insert(op.addr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats.unique_addresses = addrs.len() as u64;
+        stats
+    }
+
+    /// Fraction of non-empty atomic instructions whose active lanes all
+    /// update one address (Observation 1). Returns 0.0 when there are no
+    /// atomics.
+    pub fn same_address_fraction(&self) -> f64 {
+        if self.nonempty_atomic_instrs == 0 {
+            0.0
+        } else {
+            self.same_address_instrs as f64 / self.nonempty_atomic_instrs as f64
+        }
+    }
+
+    /// Mean active lanes per atomic instruction (Observation 2).
+    pub fn mean_active_lanes(&self) -> f64 {
+        self.active_lanes.mean()
+    }
+
+    /// Same-address fraction restricted to instructions with ≥2 active
+    /// lanes — the discriminating form of Observation 1 (a lone active
+    /// lane is trivially "single-address"). Paper §5.6 uses this to
+    /// contrast pagerank (<0.1%) against rendering (~99%). Returns 0.0
+    /// when no multi-lane atomics exist.
+    pub fn same_address_multi_fraction(&self) -> f64 {
+        if self.multi_lane_instrs == 0 {
+            0.0
+        } else {
+            self.same_address_multi_instrs as f64 / self.multi_lane_instrs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicInstr, KernelKind, LaneOp, WarpTraceBuilder};
+
+    fn lane_op(lane: u8, addr: u64, value: f32) -> LaneOp {
+        LaneOp { lane, addr, value }
+    }
+
+    #[test]
+    fn histogram_mean_and_buckets() {
+        let mut h = ActiveLaneHistogram::new();
+        h.record(32);
+        h.record(32);
+        h.record(0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bucket(32), 2);
+        assert!((h.mean() - 64.0 / 3.0).abs() < 1e-12);
+        assert!((h.full_warp_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = ActiveLaneHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.full_warp_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_counts_mixed_trace() {
+        let mut w = WarpTraceBuilder::new();
+        w.compute_fp32(10)
+            .load(4)
+            .atomic(AtomicInstr::same_address(0x100, &[1.0; 32]))
+            .atomic(AtomicInstr::new(vec![
+                lane_op(0, 0x100, 1.0),
+                lane_op(1, 0x200, 1.0),
+            ]))
+            .store(2);
+        let t = KernelTrace::new("k", KernelKind::GradCompute, vec![w.finish()]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.warps, 1);
+        assert_eq!(s.compute_slots, 10);
+        assert_eq!(s.load_sectors, 4);
+        assert_eq!(s.store_sectors, 2);
+        assert_eq!(s.atomic_instrs, 2);
+        assert_eq!(s.atomic_requests, 34);
+        assert_eq!(s.unique_addresses, 2);
+        assert_eq!(s.same_address_instrs, 1);
+        assert!((s.same_address_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_ignore_empty_atomics_for_locality() {
+        let mut w = WarpTraceBuilder::new();
+        w.atomic(AtomicInstr::new(vec![]));
+        let t = KernelTrace::new("k", KernelKind::GradCompute, vec![w.finish()]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.atomic_instrs, 1);
+        assert_eq!(s.nonempty_atomic_instrs, 0);
+        assert_eq!(s.same_address_fraction(), 0.0);
+    }
+}

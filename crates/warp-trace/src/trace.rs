@@ -1,0 +1,289 @@
+//! Kernel traces and builders.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AtomicBundle, AtomicInstr, ComputeKind, Instr};
+
+/// Which stage of the differentiable-rendering training iteration a kernel
+/// belongs to (paper Fig. 4's breakdown categories).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Rendering an image from the model (the raster forward pass).
+    Forward,
+    /// Loss computation between rendered and reference image.
+    Loss,
+    /// Gradient computation — the backward pass that issues the atomics.
+    GradCompute,
+    /// Anything else (optimizer step, bookkeeping).
+    Other,
+}
+
+/// The instruction stream of one warp.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarpTrace {
+    /// Instructions in program order.
+    pub instrs: Vec<Instr>,
+}
+
+impl WarpTrace {
+    /// An empty warp trace.
+    pub fn new() -> Self {
+        WarpTrace::default()
+    }
+
+    /// Total issue slots across the trace.
+    pub fn issue_slots(&self) -> u64 {
+        self.instrs.iter().map(Instr::issue_slots).sum()
+    }
+}
+
+/// A complete kernel: one [`WarpTrace`] per warp in the launched grid.
+///
+/// # Example
+///
+/// ```
+/// use warp_trace::{KernelKind, KernelTrace, WarpTraceBuilder};
+///
+/// let mut w = WarpTraceBuilder::new();
+/// w.compute_fp32(2);
+/// let trace = KernelTrace::new("fwd", KernelKind::Forward, vec![w.finish()]);
+/// assert_eq!(trace.total_atomic_requests(), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelTrace {
+    name: String,
+    kind: KernelKind,
+    warps: Vec<WarpTrace>,
+}
+
+impl KernelTrace {
+    /// Creates a kernel trace.
+    pub fn new(name: impl Into<String>, kind: KernelKind, warps: Vec<WarpTrace>) -> Self {
+        KernelTrace {
+            name: name.into(),
+            kind,
+            warps,
+        }
+    }
+
+    /// Kernel name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which training stage this kernel belongs to.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Per-warp instruction streams.
+    pub fn warps(&self) -> &[WarpTrace] {
+        &self.warps
+    }
+
+    /// Mutable access to the warp streams (used by rewrite passes).
+    pub fn warps_mut(&mut self) -> &mut Vec<WarpTrace> {
+        &mut self.warps
+    }
+
+    /// Iterator over every atomic bundle in the kernel (both `Atomic` and
+    /// `AtomRed`).
+    pub fn bundles(&self) -> impl Iterator<Item = &AtomicBundle> {
+        self.warps
+            .iter()
+            .flat_map(|w| w.instrs.iter())
+            .filter_map(Instr::bundle)
+    }
+
+    /// Total lane-level atomic requests in the kernel — the quantity that
+    /// overwhelms the LSU and ROP units in the baseline.
+    pub fn total_atomic_requests(&self) -> u64 {
+        self.bundles().map(AtomicBundle::total_requests).sum()
+    }
+
+    /// Total issue slots across all warps.
+    pub fn total_issue_slots(&self) -> u64 {
+        self.warps.iter().map(WarpTrace::issue_slots).sum()
+    }
+
+    /// Rewrites every `Atomic` bundle into an `AtomRed` bundle (what a
+    /// programmer does to adopt ARC-HW: swap `atomicAdd` for `atomred`).
+    #[must_use]
+    pub fn with_atomred(mut self) -> Self {
+        for warp in &mut self.warps {
+            for instr in &mut warp.instrs {
+                if let Instr::Atomic(bundle) = instr {
+                    let taken = AtomicBundle {
+                        params: std::mem::take(&mut bundle.params),
+                        uniform_iteration: bundle.uniform_iteration,
+                    };
+                    *instr = Instr::AtomRed(taken);
+                }
+            }
+        }
+        self
+    }
+}
+
+impl From<Vec<AtomicInstr>> for AtomicBundle {
+    fn from(params: Vec<AtomicInstr>) -> Self {
+        AtomicBundle::new(params)
+    }
+}
+
+/// Incremental builder for a [`WarpTrace`].
+///
+/// Consecutive compute instructions of the same kind are merged into a
+/// single compressed [`Instr::Compute`] entry.
+#[derive(Debug, Default)]
+pub struct WarpTraceBuilder {
+    instrs: Vec<Instr>,
+}
+
+impl WarpTraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        WarpTraceBuilder::default()
+    }
+
+    /// Appends `n` compute instructions of `kind`.
+    pub fn compute(&mut self, kind: ComputeKind, n: u16) -> &mut Self {
+        if n == 0 {
+            return self;
+        }
+        if let Some(Instr::Compute {
+            kind: last_kind,
+            repeat,
+        }) = self.instrs.last_mut()
+        {
+            if *last_kind == kind {
+                let total = u32::from(*repeat) + u32::from(n);
+                if total <= u32::from(u16::MAX) {
+                    *repeat = total as u16;
+                    return self;
+                }
+            }
+        }
+        self.instrs.push(Instr::Compute { kind, repeat: n });
+        self
+    }
+
+    /// Appends `n` FP32 instructions.
+    pub fn compute_fp32(&mut self, n: u16) -> &mut Self {
+        self.compute(ComputeKind::Fp32, n)
+    }
+
+    /// Appends `n` FFMA instructions.
+    pub fn compute_ffma(&mut self, n: u16) -> &mut Self {
+        self.compute(ComputeKind::Ffma, n)
+    }
+
+    /// Appends `n` integer-ALU instructions.
+    pub fn compute_int(&mut self, n: u16) -> &mut Self {
+        self.compute(ComputeKind::IntAlu, n)
+    }
+
+    /// Appends a load of `sectors` coalesced sectors.
+    pub fn load(&mut self, sectors: u16) -> &mut Self {
+        self.instrs.push(Instr::Load { sectors });
+        self
+    }
+
+    /// Appends a store of `sectors` coalesced sectors.
+    pub fn store(&mut self, sectors: u16) -> &mut Self {
+        self.instrs.push(Instr::Store { sectors });
+        self
+    }
+
+    /// Appends a single-parameter atomic bundle.
+    pub fn atomic(&mut self, instr: AtomicInstr) -> &mut Self {
+        self.instrs
+            .push(Instr::Atomic(AtomicBundle::new(vec![instr])));
+        self
+    }
+
+    /// Appends a multi-parameter atomic bundle.
+    pub fn atomic_bundle(&mut self, bundle: AtomicBundle) -> &mut Self {
+        self.instrs.push(Instr::Atomic(bundle));
+        self
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Finishes the warp trace.
+    pub fn finish(&mut self) -> WarpTrace {
+        WarpTrace {
+            instrs: std::mem::take(&mut self.instrs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LaneOp;
+
+    #[test]
+    fn builder_merges_consecutive_compute() {
+        let mut b = WarpTraceBuilder::new();
+        b.compute_fp32(3).compute_fp32(2).compute_int(1);
+        let w = b.finish();
+        assert_eq!(w.instrs.len(), 2);
+        assert_eq!(
+            w.instrs[0],
+            Instr::Compute {
+                kind: ComputeKind::Fp32,
+                repeat: 5
+            }
+        );
+    }
+
+    #[test]
+    fn builder_zero_compute_is_noop() {
+        let mut b = WarpTraceBuilder::new();
+        b.compute_fp32(0);
+        assert!(b.finish().instrs.is_empty());
+    }
+
+    #[test]
+    fn builder_merge_respects_u16_cap() {
+        let mut b = WarpTraceBuilder::new();
+        b.compute_fp32(u16::MAX).compute_fp32(10);
+        let w = b.finish();
+        assert_eq!(w.instrs.len(), 2);
+        assert_eq!(w.issue_slots(), u64::from(u16::MAX) + 10);
+    }
+
+    #[test]
+    fn with_atomred_converts_all_bundles() {
+        let a = AtomicInstr::new(vec![LaneOp {
+            lane: 0,
+            addr: 4,
+            value: 1.0,
+        }]);
+        let mut b = WarpTraceBuilder::new();
+        b.atomic(a.clone()).load(1).atomic(a);
+        let t = KernelTrace::new("k", KernelKind::GradCompute, vec![b.finish()]).with_atomred();
+        let n_atomred = t
+            .warps()
+            .iter()
+            .flat_map(|w| w.instrs.iter())
+            .filter(|i| matches!(i, Instr::AtomRed(_)))
+            .count();
+        assert_eq!(n_atomred, 2);
+        assert_eq!(t.total_atomic_requests(), 2);
+    }
+
+    #[test]
+    fn kernel_accessors() {
+        let t = KernelTrace::new("grad", KernelKind::GradCompute, vec![]);
+        assert_eq!(t.name(), "grad");
+        assert_eq!(t.kind(), KernelKind::GradCompute);
+        assert!(t.warps().is_empty());
+        assert_eq!(t.total_issue_slots(), 0);
+    }
+}

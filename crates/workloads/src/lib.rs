@@ -1,0 +1,19 @@
+//! Workload registry and experiment runner for the ARC reproduction.
+//!
+//! [`specs::all_specs`] reproduces the paper's Table 2: twelve
+//! workloads across three raster-based differentiable rendering
+//! applications (3DGS, NvDiffRec, Pulsar), each a seeded synthetic
+//! scene matched to its dataset's characteristics (primitive count,
+//! screen coverage, divergence). [`pagerank`] is the Pannotia-style
+//! contrast workload of paper §5.6. [`runner`] wires workload traces to
+//! the `gpu-sim` simulator under every evaluated technique.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pagerank;
+pub mod runner;
+pub mod specs;
+
+pub use runner::{run_gradcomp, run_iteration, Technique};
+pub use specs::{all_specs, spec, App, IterationTraces, WorkloadSpec};

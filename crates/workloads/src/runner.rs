@@ -1,0 +1,174 @@
+//! Experiment runner: applies a technique (hardware path and/or trace
+//! rewrite) to a workload and simulates it.
+
+use serde::{Deserialize, Serialize};
+use warp_trace::KernelTrace;
+
+use arc_core::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
+use gpu_sim::{AtomicPath, GpuConfig, IterationReport, KernelReport, SimError, Simulator};
+
+use crate::specs::IterationTraces;
+
+/// An evaluated technique — the union of the paper's hardware paths and
+/// software rewrites.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Technique {
+    /// Plain `atomicAdd` to the ROPs.
+    Baseline,
+    /// ARC-HW (`atomred` + greedy scheduling + reduction units).
+    ArcHw,
+    /// ARC-SW serialized reduction with a balancing threshold.
+    SwS(BalanceThreshold),
+    /// ARC-SW butterfly reduction with a balancing threshold.
+    SwB(BalanceThreshold),
+    /// CCCL-style full-warp software reduction.
+    Cccl,
+    /// LAB atomic buffering in partitioned L1 SRAM.
+    Lab,
+    /// Idealized LAB with a dedicated buffer.
+    LabIdeal,
+    /// PHI-style L1 aggregation of commutative atomics.
+    Phi,
+}
+
+impl Technique {
+    /// The figure label for this technique.
+    pub fn label(&self) -> String {
+        match self {
+            Technique::Baseline => "Baseline".to_string(),
+            Technique::ArcHw => "ARC-HW".to_string(),
+            Technique::SwS(t) => format!("SW-S-{t}"),
+            Technique::SwB(t) => format!("SW-B-{t}"),
+            Technique::Cccl => "CCCL".to_string(),
+            Technique::Lab => "LAB".to_string(),
+            Technique::LabIdeal => "LAB-ideal".to_string(),
+            Technique::Phi => "PHI".to_string(),
+        }
+    }
+
+    /// The simulator atomic path this technique runs on.
+    pub fn path(&self) -> AtomicPath {
+        match self {
+            Technique::ArcHw => AtomicPath::ArcHw,
+            Technique::Lab => AtomicPath::Lab,
+            Technique::LabIdeal => AtomicPath::LabIdeal,
+            Technique::Phi => AtomicPath::Phi,
+            _ => AtomicPath::Baseline,
+        }
+    }
+
+    /// Prepares a kernel trace for this technique: software techniques
+    /// rewrite the atomics; ARC-HW swaps `atomicAdd` for `atomred`;
+    /// hardware-buffering techniques leave the trace untouched.
+    pub fn prepare(&self, trace: &KernelTrace) -> KernelTrace {
+        match self {
+            Technique::Baseline | Technique::Lab | Technique::LabIdeal | Technique::Phi => {
+                trace.clone()
+            }
+            Technique::ArcHw => trace.clone().with_atomred(),
+            Technique::SwS(t) => rewrite_kernel_sw(trace, &SwConfig::serialized(*t)).trace,
+            Technique::SwB(t) => rewrite_kernel_sw(trace, &SwConfig::butterfly(*t)).trace,
+            Technique::Cccl => rewrite_kernel_cccl(trace).trace,
+        }
+    }
+}
+
+/// Simulates just the gradient-computation kernel of a workload under a
+/// technique.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid config / cycle-cap overrun).
+pub fn run_gradcomp(
+    cfg: &GpuConfig,
+    technique: Technique,
+    gradcomp: &KernelTrace,
+) -> Result<KernelReport, SimError> {
+    let sim = Simulator::new(cfg.clone(), technique.path())?;
+    sim.run(&technique.prepare(gradcomp))
+}
+
+/// Simulates a full training iteration (forward + loss + gradient
+/// computation). Only the gradient kernel is rewritten — forward/loss
+/// have no atomics to accelerate.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_iteration(
+    cfg: &GpuConfig,
+    technique: Technique,
+    traces: &IterationTraces,
+) -> Result<IterationReport, SimError> {
+    let sim = Simulator::new(cfg.clone(), technique.path())?;
+    let kernels = vec![
+        sim.run(&traces.forward)?,
+        sim.run(&traces.loss)?,
+        sim.run(&technique.prepare(&traces.gradcomp))?,
+    ];
+    Ok(IterationReport { kernels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::spec;
+
+    fn thr(v: u8) -> BalanceThreshold {
+        BalanceThreshold::new(v).unwrap()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Technique::SwB(thr(16)).label(), "SW-B-16");
+        assert_eq!(Technique::ArcHw.label(), "ARC-HW");
+        assert_eq!(Technique::LabIdeal.label(), "LAB-ideal");
+    }
+
+    #[test]
+    fn paths() {
+        assert_eq!(Technique::SwS(thr(0)).path(), AtomicPath::Baseline);
+        assert_eq!(Technique::ArcHw.path(), AtomicPath::ArcHw);
+        assert_eq!(Technique::Phi.path(), AtomicPath::Phi);
+    }
+
+    #[test]
+    fn arc_techniques_speed_up_a_3dgs_workload_on_tiny_sim() {
+        let traces = spec("3D-LE").unwrap().scaled(0.25).build();
+        let cfg = GpuConfig::tiny();
+        let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
+        for technique in [Technique::ArcHw, Technique::SwB(thr(16))] {
+            let r = run_gradcomp(&cfg, technique, &traces.gradcomp).unwrap();
+            assert!(
+                r.cycles < base.cycles,
+                "{} should beat baseline: {} vs {}",
+                technique.label(),
+                r.cycles,
+                base.cycles
+            );
+        }
+        // SW-S pays heavy serial instruction overhead; on the tiny
+        // 2-sub-core config it may not win (paper §7.2 notes SW-S can
+        // slow compute-bound cases down), but it must stay in range.
+        let sws = run_gradcomp(&cfg, Technique::SwS(thr(16)), &traces.gradcomp).unwrap();
+        assert!(sws.cycles < base.cycles * 2);
+    }
+
+    #[test]
+    fn iteration_contains_three_kernels() {
+        let traces = spec("PS-SS").unwrap().scaled(0.25).build();
+        let report = run_iteration(&GpuConfig::tiny(), Technique::Baseline, &traces).unwrap();
+        assert_eq!(report.kernels.len(), 3);
+        assert!(report.total_cycles() > 0);
+    }
+
+    #[test]
+    fn rewrites_only_touch_gradcomp_atomics() {
+        let traces = spec("3D-LE").unwrap().scaled(0.2).build();
+        let technique = Technique::SwB(thr(8));
+        let fwd = technique.prepare(&traces.forward);
+        assert_eq!(fwd, traces.forward, "forward has no atomics to rewrite");
+        let grad = technique.prepare(&traces.gradcomp);
+        assert!(grad.total_atomic_requests() < traces.gradcomp.total_atomic_requests());
+    }
+}

@@ -1,0 +1,423 @@
+//! The paper's Table 2 workloads as seeded synthetic scene generators.
+//!
+//! Each spec captures the characteristics that drive the paper's
+//! results for its dataset class:
+//!
+//! * **3DGS** — NeRF-Synthetic objects (LE, SH) are small
+//!   center-clustered scenes; DB-COLMAP rooms (PR, DR) are large
+//!   photorealistic scenes needing many more Gaussians ("a larger
+//!   number of parameters needs to be atomically updated ... making the
+//!   atomic bottleneck more pronounced", §7.2); Tanks&Temples (TK, TA)
+//!   sit in between.
+//! * **NvDiffRec** — cubemap learning over a sphere G-buffer with heavy
+//!   control divergence (few active lanes per warp, Fig. 7).
+//! * **Pulsar** — synthetic sphere sets (SS small, SL large) with
+//!   per-thread lists (SW-B ineligible, Fig. 23).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use warp_trace::KernelTrace;
+
+use diffrender::gaussian::{self, GaussianModel};
+use diffrender::loss::l1_loss;
+use diffrender::math::{Vec2, Vec3};
+use diffrender::nvdiff::{self, Cubemap, NvScene};
+use diffrender::optim::Adam;
+use diffrender::pulsar::{self, SphereModel};
+use diffrender::tracegen::{self, TraceCosts};
+
+/// Which differentiable-rendering application a workload belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum App {
+    /// 3D Gaussian Splatting (paper prefix `3D`).
+    Gaussian,
+    /// NvDiffRec cubemap learning (prefix `NV`).
+    NvDiff,
+    /// Pulsar sphere rendering (prefix `PS`).
+    Pulsar,
+}
+
+impl App {
+    /// The paper's two-letter prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            App::Gaussian => "3D",
+            App::NvDiff => "NV",
+            App::Pulsar => "PS",
+        }
+    }
+}
+
+/// A Table-2 workload: application + dataset-matched generation
+/// parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Paper identifier, e.g. `3D-DR`.
+    pub id: String,
+    /// Application.
+    pub app: App,
+    /// Human description of the dataset stand-in.
+    pub description: String,
+    /// Canvas width in pixels.
+    pub width: usize,
+    /// Canvas height in pixels.
+    pub height: usize,
+    /// Primitive count (Gaussians / texels via cubemap res / spheres).
+    pub primitives: usize,
+    /// Whether primitives cluster at the canvas center (object
+    /// datasets) or cover the frame (scene datasets).
+    pub clustered: bool,
+    /// RNG seed (scene and target are deterministic functions of it).
+    pub seed: u64,
+    /// Adam warm-up iterations before capturing traces (mid-training
+    /// gradients rather than iteration-0 ones).
+    pub warmup_iters: usize,
+    /// NvDiff only: cubemap face resolution.
+    pub cubemap_res: usize,
+    /// NvDiff only: reflection samples per pixel.
+    pub samples: usize,
+}
+
+impl WorkloadSpec {
+    /// Scales resolution and primitive counts (for fast debug tests).
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let s = |v: usize| (((v as f64) * factor) as usize).max(16);
+        self.width = s(self.width);
+        self.height = s(self.height);
+        self.primitives = (((self.primitives as f64) * factor * factor) as usize).max(8);
+        self
+    }
+
+    /// Generates the workload's training-iteration traces (forward,
+    /// loss, gradient computation) by actually rendering and
+    /// backpropagating the synthetic scene.
+    pub fn build(&self) -> IterationTraces {
+        match self.app {
+            App::Gaussian => self.build_gaussian(),
+            App::NvDiff => self.build_nvdiff(),
+            App::Pulsar => self.build_pulsar(),
+        }
+    }
+
+    fn target_and_model_gaussian(&self, rng: &mut StdRng) -> (diffrender::Image, GaussianModel) {
+        let gt = self.random_gaussians(rng, self.primitives);
+        let target = gaussian::render(&gt, self.width, self.height, Vec3::splat(0.05)).image;
+        let model = self.random_gaussians(rng, self.primitives);
+        (target, model)
+    }
+
+    fn random_gaussians(&self, rng: &mut StdRng, n: usize) -> GaussianModel {
+        let mut model = GaussianModel::new();
+        let (w, h) = (self.width as f32, self.height as f32);
+        for _ in 0..n {
+            let mean = if self.clustered {
+                // Object datasets: positions cluster near the center.
+                Vec2::new(
+                    w * (0.5 + 0.18 * (rng.gen::<f32>() + rng.gen::<f32>() - 1.0)),
+                    h * (0.5 + 0.18 * (rng.gen::<f32>() + rng.gen::<f32>() - 1.0)),
+                )
+            } else {
+                Vec2::new(rng.gen_range(0.0..w), rng.gen_range(0.0..h))
+            };
+            // Scene datasets use smaller splats (more of them).
+            let scale_hi = if self.clustered { 1.9 } else { 1.4 };
+            model.push(
+                mean,
+                Vec2::new(rng.gen_range(0.4..scale_hi), rng.gen_range(0.4..scale_hi)),
+                rng.gen_range(0.0..std::f32::consts::PI),
+                rng.gen_range(-0.5..1.5),
+                Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+            );
+        }
+        model
+    }
+
+    fn build_gaussian(&self) -> IterationTraces {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (target, mut model) = self.target_and_model_gaussian(&mut rng);
+        let bg = Vec3::splat(0.05);
+        let mut opt = Adam::new(model.len() * gaussian::PARAMS_PER_GAUSSIAN, 0.02);
+        for _ in 0..self.warmup_iters {
+            let out = gaussian::render(&model, self.width, self.height, bg);
+            let (_, pg) = l1_loss(&out.image, &target);
+            let raster = gaussian::backward(&model, &out, &pg, &mut gaussian::NoopRecorder);
+            let g = gaussian::param_grads(&model, &raster);
+            let mut params = model.to_params();
+            opt.step(&mut params, &g);
+            model.set_params(&params);
+        }
+        let out = gaussian::render(&model, self.width, self.height, bg);
+        let (_, pg) = l1_loss(&out.image, &target);
+        let (gradcomp, _) =
+            tracegen::gaussian_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        IterationTraces {
+            id: self.id.clone(),
+            forward: tracegen::gaussian_forward_trace(&out, TraceCosts::default()),
+            loss: tracegen::loss_trace(self.width, self.height),
+            gradcomp,
+        }
+    }
+
+    fn build_nvdiff(&self) -> IterationTraces {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut scene = NvScene::new(self.width, self.height);
+        scene.samples = self.samples;
+        if self.clustered {
+            scene.sphere_radius = 0.6; // smaller object ⇒ more inactive lanes
+        }
+        let target_map = Cubemap::random(self.cubemap_res, &mut rng);
+        let target = nvdiff::render(&scene, &target_map);
+        let mut map = Cubemap::random(self.cubemap_res, &mut rng);
+        let mut opt = Adam::new(map.len() * 3, 0.05);
+        for _ in 0..self.warmup_iters {
+            let out = nvdiff::render(&scene, &map);
+            let (_, pg) = l1_loss(&out, &target);
+            let g = nvdiff::flatten_grads(&nvdiff::backward(&scene, &map, &pg));
+            let mut params = map.to_params();
+            opt.step(&mut params, &g);
+            map.set_params(&params);
+        }
+        let out = nvdiff::render(&scene, &map);
+        let (_, pg) = l1_loss(&out, &target);
+        let (gradcomp, _) = tracegen::nvdiff_gradcomp_trace(&scene, &map, &pg);
+        IterationTraces {
+            id: self.id.clone(),
+            forward: tracegen::nvdiff_forward_trace(&scene),
+            loss: tracegen::loss_trace(self.width, self.height),
+            gradcomp,
+        }
+    }
+
+    fn build_pulsar(&self) -> IterationTraces {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let gt = SphereModel::random(self.primitives, self.width, self.height, &mut rng);
+        let target = pulsar::render(&gt, self.width, self.height, Vec3::splat(0.0)).image;
+        let mut model = SphereModel::random(self.primitives, self.width, self.height, &mut rng);
+        let mut opt = Adam::new(model.len() * pulsar::PARAMS_PER_SPHERE, 0.02);
+        for _ in 0..self.warmup_iters {
+            let out = pulsar::render(&model, self.width, self.height, Vec3::splat(0.0));
+            let (_, pg) = l1_loss(&out.image, &target);
+            let g = pulsar::flatten_grads(&pulsar::backward(
+                &model,
+                &out,
+                &pg,
+                &mut pulsar::NoopSphereObserver,
+            ));
+            let mut params = model.to_params();
+            opt.step(&mut params, &g);
+            model.set_params(&params);
+        }
+        let out = pulsar::render(&model, self.width, self.height, Vec3::splat(0.0));
+        let (_, pg) = l1_loss(&out.image, &target);
+        let (gradcomp, _) =
+            tracegen::pulsar_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
+        IterationTraces {
+            id: self.id.clone(),
+            forward: tracegen::pulsar_forward_trace(&out),
+            loss: tracegen::loss_trace(self.width, self.height),
+            gradcomp,
+        }
+    }
+}
+
+/// One training iteration's kernel traces.
+#[derive(Clone, Debug)]
+pub struct IterationTraces {
+    /// Workload identifier.
+    pub id: String,
+    /// Forward (rendering) kernel.
+    pub forward: KernelTrace,
+    /// Loss kernel.
+    pub loss: KernelTrace,
+    /// Gradient-computation kernel — the paper's bottleneck.
+    pub gradcomp: KernelTrace,
+}
+
+fn gaussian_spec(
+    id: &str,
+    description: &str,
+    width: usize,
+    height: usize,
+    primitives: usize,
+    clustered: bool,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        id: id.to_string(),
+        app: App::Gaussian,
+        description: description.to_string(),
+        width,
+        height,
+        primitives,
+        clustered,
+        seed,
+        warmup_iters: 2,
+        cubemap_res: 0,
+        samples: 0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nv_spec(
+    id: &str,
+    description: &str,
+    width: usize,
+    height: usize,
+    cubemap_res: usize,
+    samples: usize,
+    clustered: bool,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        id: id.to_string(),
+        app: App::NvDiff,
+        description: description.to_string(),
+        width,
+        height,
+        primitives: 6 * cubemap_res * cubemap_res,
+        clustered,
+        seed,
+        warmup_iters: 2,
+        cubemap_res,
+        samples,
+    }
+}
+
+fn ps_spec(
+    id: &str,
+    description: &str,
+    width: usize,
+    height: usize,
+    primitives: usize,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        id: id.to_string(),
+        app: App::Pulsar,
+        description: description.to_string(),
+        width,
+        height,
+        primitives,
+        clustered: false,
+        seed,
+        warmup_iters: 2,
+        cubemap_res: 0,
+        samples: 0,
+    }
+}
+
+/// The twelve Table-2 workloads.
+pub fn all_specs() -> Vec<WorkloadSpec> {
+    vec![
+        gaussian_spec("3D-LE", "NeRF-Synthetic Lego (object)", 256, 192, 700, true, 101),
+        gaussian_spec("3D-SH", "NeRF-Synthetic Ship (object)", 256, 192, 900, true, 102),
+        gaussian_spec("3D-PR", "DB-COLMAP Playroom (large room)", 256, 192, 3200, false, 103),
+        gaussian_spec("3D-DR", "DB-COLMAP DrJohnson (large room)", 256, 192, 4200, false, 104),
+        gaussian_spec("3D-TK", "Tanks&Temples Truck (outdoor)", 256, 176, 1700, false, 105),
+        gaussian_spec("3D-TA", "Tanks&Temples Train (outdoor)", 256, 176, 2000, false, 106),
+        nv_spec("NV-BB", "Keenan-Crane Bob (mesh cubemap)", 256, 192, 16, 4, false, 201),
+        nv_spec("NV-SP", "Keenan-Crane Spot (mesh cubemap)", 256, 192, 16, 4, true, 202),
+        nv_spec("NV-LE", "NeRF-Synthetic Lego (cubemap)", 256, 192, 12, 6, true, 203),
+        nv_spec("NV-SH", "NeRF-Synthetic Ship (cubemap)", 256, 192, 12, 6, false, 204),
+        ps_spec("PS-SS", "Synthetic Spheres Small", 160, 128, 900, 301),
+        ps_spec("PS-SL", "Synthetic Spheres Large", 256, 176, 3200, 302),
+    ]
+}
+
+/// Looks up a spec by its paper identifier.
+pub fn spec(id: &str) -> Option<WorkloadSpec> {
+    all_specs().into_iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::TraceStats;
+
+    #[test]
+    fn registry_matches_table2() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 12);
+        let ids: Vec<&str> = specs.iter().map(|s| s.id.as_str()).collect();
+        for id in [
+            "3D-LE", "3D-SH", "3D-PR", "3D-DR", "3D-TK", "3D-TA", "NV-BB", "NV-SP", "NV-LE",
+            "NV-SH", "PS-SS", "PS-SL",
+        ] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
+        assert!(spec("3D-DR").is_some());
+        assert!(spec("XX-YY").is_none());
+    }
+
+    #[test]
+    fn prefixes_match_app() {
+        for s in all_specs() {
+            assert!(
+                s.id.starts_with(s.app.prefix()),
+                "{} should start with {}",
+                s.id,
+                s.app.prefix()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_workload() {
+        let s = spec("3D-DR").unwrap().scaled(0.25);
+        assert!(s.width < 160 && s.primitives < 4200);
+    }
+
+    #[test]
+    fn gaussian_workload_builds_with_locality() {
+        let traces = spec("3D-LE").unwrap().scaled(0.3).build();
+        let stats = TraceStats::compute(&traces.gradcomp);
+        assert!(stats.atomic_requests > 0, "gradcomp must have atomics");
+        assert!(
+            stats.same_address_fraction() > 0.99,
+            "3DGS locality: {}",
+            stats.same_address_fraction()
+        );
+        assert!(TraceStats::compute(&traces.forward).atomic_requests == 0);
+    }
+
+    #[test]
+    fn nv_workload_has_divergence() {
+        let traces = spec("NV-LE").unwrap().scaled(0.4).build();
+        let stats = TraceStats::compute(&traces.gradcomp);
+        assert!(stats.atomic_requests > 0);
+        assert!(
+            stats.mean_active_lanes() < 30.0,
+            "NV should have inactive lanes: {}",
+            stats.mean_active_lanes()
+        );
+    }
+
+    #[test]
+    fn ps_workload_is_non_uniform() {
+        let traces = spec("PS-SS").unwrap().scaled(0.4).build();
+        assert!(traces.gradcomp.bundles().all(|b| !b.uniform_iteration));
+        assert!(traces.gradcomp.total_atomic_requests() > 0);
+    }
+
+    #[test]
+    fn large_scenes_have_more_atomic_work_than_small() {
+        let small = spec("3D-LE").unwrap().scaled(0.3).build();
+        let large = spec("3D-DR").unwrap().scaled(0.3).build();
+        assert!(
+            large.gradcomp.total_atomic_requests() > small.gradcomp.total_atomic_requests(),
+            "DR ({}) should out-traffic LE ({})",
+            large.gradcomp.total_atomic_requests(),
+            small.gradcomp.total_atomic_requests()
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = spec("PS-SS").unwrap().scaled(0.3).build();
+        let b = spec("PS-SS").unwrap().scaled(0.3).build();
+        assert_eq!(a.gradcomp, b.gradcomp);
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduces the paper's workload characterization (§3.1 and §5.6):
+//! differentiable rendering has extreme intra-warp atomic locality,
+//! graph analytics has essentially none — which is why ARC targets the
+//! former and bypasses on the latter.
+//!
+//! ```text
+//! cargo run --release --example atomic_locality
+//! ```
+
+use arc_dr::trace::TraceStats;
+use arc_dr::workloads::pagerank::{pagerank_trace, Graph};
+use arc_dr::workloads::spec;
+
+fn main() {
+    println!(
+        "{:<22} {:>16} {:>14} {:>12}",
+        "workload", "same-addr(>=2ln)", "mean active", "atomics"
+    );
+
+    // Rendering workloads: one per application class, scaled for speed.
+    for id in ["3D-PR", "NV-LE", "PS-SL"] {
+        let traces = spec(id).expect("Table-2 id").scaled(0.4).build();
+        let stats = TraceStats::compute(&traces.gradcomp);
+        println!(
+            "{:<22} {:>15.1}% {:>14.1} {:>12}",
+            id,
+            100.0 * stats.same_address_multi_fraction(),
+            stats.mean_active_lanes(),
+            stats.atomic_requests
+        );
+    }
+
+    // The Pannotia-style pagerank contrast (paper §5.6).
+    let graph = Graph::power_law(4000, 10.0, 7);
+    let rank = vec![1.0 / 4000.0; 4000];
+    let trace = pagerank_trace(&graph, &rank, 0.85);
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "{:<22} {:>15.2}% {:>14.1} {:>12}",
+        "pagerank (Pannotia)",
+        100.0 * stats.same_address_multi_fraction(),
+        stats.mean_active_lanes(),
+        stats.atomic_requests
+    );
+
+    println!(
+        "\nThe paper measures ~99% same-address warps for rendering and \
+         <0.1% for pagerank (§3.1, §5.6):\nARC's warp-level reduction \
+         only pays off when threads of a warp update the same parameter."
+    );
+}

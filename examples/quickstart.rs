@@ -1,0 +1,68 @@
+//! Quickstart: build one differentiable-rendering workload, run its
+//! gradient-computation kernel through the simulated GPU under the
+//! baseline and every ARC technique, and print the speedups.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use arc_dr::arc::BalanceThreshold;
+use arc_dr::sim::GpuConfig;
+use arc_dr::trace::TraceStats;
+use arc_dr::workloads::{run_gradcomp, spec, Technique};
+
+fn main() {
+    // 1. Build the 3DGS "Lego" workload: this renders a synthetic
+    //    Gaussian scene, backpropagates an L1 loss, and records the
+    //    gradient kernel as a warp-level trace (scaled to run quickly).
+    let workload = spec("3D-LE").expect("3D-LE is a Table-2 workload");
+    println!("building {} ({})...", workload.id, workload.description);
+    let traces = workload.scaled(0.6).build();
+
+    // 2. Characterize the atomic traffic (paper §3.1).
+    let stats = TraceStats::compute(&traces.gradcomp);
+    println!(
+        "gradient kernel: {} warps, {} atomic requests, \
+         {:.1}% same-address warps, {:.1} mean active lanes",
+        stats.warps,
+        stats.atomic_requests,
+        100.0 * stats.same_address_fraction(),
+        stats.mean_active_lanes()
+    );
+
+    // 3. Simulate under each technique on the 3060 model (small
+    //    demo workloads saturate it fully).
+    let cfg = GpuConfig::rtx3060_sim();
+    let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp)
+        .expect("baseline simulation");
+    println!(
+        "\n{:<12} {:>10} cycles ({:.3} ms at {} GHz)",
+        "Baseline",
+        base.cycles,
+        base.time_ms,
+        cfg.clock_ghz
+    );
+
+    let thr = BalanceThreshold::new(8).expect("8 is in 0..=32");
+    for technique in [
+        Technique::ArcHw,
+        Technique::SwB(thr),
+        Technique::SwS(thr),
+        Technique::Cccl,
+        Technique::Lab,
+        Technique::LabIdeal,
+        Technique::Phi,
+    ] {
+        let report = run_gradcomp(&cfg, technique, &traces.gradcomp)
+            .expect("simulation drains");
+        println!(
+            "{:<12} {:>10} cycles  =>  {:.2}x speedup",
+            technique.label(),
+            report.cycles,
+            base.cycles as f64 / report.cycles as f64
+        );
+    }
+    println!(
+        "\n(scaled-down demo; run `cargo run --release -p arc-bench --bin figures -- all`\n for the full-size evaluation reproducing the paper's figures)"
+    );
+}

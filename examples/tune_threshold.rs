@@ -1,0 +1,46 @@
+//! The automatic balancing-threshold tuner (paper §5.5.3) in action:
+//! profiles one gradient-kernel execution per candidate threshold in
+//! the simulator, picks the fastest, and re-tunes periodically while
+//! the training loop runs.
+//!
+//! ```text
+//! cargo run --release --example tune_threshold
+//! ```
+
+use arc_dr::arc::AutoTuner;
+use arc_dr::sim::GpuConfig;
+use arc_dr::workloads::{run_gradcomp, spec, Technique};
+
+fn main() {
+    let traces = spec("3D-TK")
+        .expect("3D-TK is a Table-2 workload")
+        .scaled(0.4)
+        .build();
+    let cfg = GpuConfig::rtx4090_sim();
+
+    // The paper re-profiles every N = 2000 training iterations; we use a
+    // small interval so the demo shows two profiling sweeps.
+    let mut tuner = AutoTuner::new(5);
+    for iter in 0..10 {
+        let thr = tuner.on_iteration(|thr| {
+            run_gradcomp(&cfg, Technique::SwB(thr), &traces.gradcomp)
+                .expect("simulation drains")
+                .cycles as f64
+        });
+        println!("iteration {iter}: balancing threshold = {thr}");
+    }
+
+    let outcome = tuner.last_outcome().expect("profiled at least once");
+    println!("\nlast profiling sweep:");
+    for (thr, cycles) in &outcome.probes {
+        let marker = if *thr == outcome.best { " <= best" } else { "" };
+        println!("  threshold {:>2}: {:>9.0} cycles{marker}", thr.value(), cycles);
+    }
+    println!(
+        "\nbest threshold {} is {:.2}x faster than the worst candidate; \
+         profiling overhead so far: {:.2}%",
+        outcome.best,
+        outcome.best_over_worst(),
+        100.0 * tuner.profiling_overhead()
+    );
+}

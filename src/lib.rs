@@ -1,0 +1,61 @@
+//! # arc-dr — ARC: Warp-level Adaptive Atomic Reduction, reproduced
+//!
+//! A from-scratch Rust reproduction of *"ARC: Warp-level Adaptive Atomic
+//! Reduction in GPUs to Accelerate Differentiable Rendering"*
+//! (ASPLOS '25). This facade crate re-exports the whole stack:
+//!
+//! * [`trace`] — the warp-level kernel-trace IR;
+//! * [`arc`] — the ARC primitive: transactions, warp-level reduction
+//!   algorithms (serialized / butterfly), the balancing policy, the
+//!   ARC-SW and CCCL trace rewrites, the threshold auto-tuner, and the
+//!   area model;
+//! * [`sim`] — the cycle-level GPU simulator with baseline, ARC-HW,
+//!   LAB, LAB-ideal and PHI atomic paths;
+//! * [`render`] — the differentiable rendering substrates (3DGS-style
+//!   Gaussian splatting, NvDiffRec-style cubemap learning, Pulsar-style
+//!   spheres) and their trace generators;
+//! * [`workloads`] — the paper's Table-2 workload registry, the
+//!   pagerank contrast workload, and the experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arc_dr::workloads::{run_gradcomp, spec, Technique};
+//! use arc_dr::sim::GpuConfig;
+//!
+//! // Build a (scaled-down) 3DGS workload and measure ARC-HW's speedup.
+//! let traces = spec("3D-LE").expect("known workload").scaled(0.2).build();
+//! let cfg = GpuConfig::tiny();
+//! let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
+//! let arc = run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).unwrap();
+//! assert!(arc.cycles < base.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The warp-level kernel-trace IR (re-export of `warp-trace`).
+pub mod trace {
+    pub use warp_trace::*;
+}
+
+/// The ARC primitive (re-export of `arc-core`).
+pub mod arc {
+    pub use arc_core::*;
+}
+
+/// The cycle-level GPU simulator (re-export of `gpu-sim`).
+pub mod sim {
+    pub use gpu_sim::*;
+}
+
+/// Differentiable rendering substrates (re-export of `diffrender`).
+pub mod render {
+    pub use diffrender::*;
+}
+
+/// Workload registry and experiment runner (re-export of
+/// `arc-workloads`).
+pub mod workloads {
+    pub use arc_workloads::*;
+}

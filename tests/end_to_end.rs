@@ -1,0 +1,140 @@
+//! End-to-end integration tests: workload generation → trace rewriting →
+//! cycle-level simulation, across all three differentiable-rendering
+//! applications, at reduced scale.
+
+use arc_dr::arc::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
+use arc_dr::sim::{AtomicPath, GpuConfig, Simulator};
+use arc_dr::trace::{GlobalMemory, TraceStats};
+use arc_dr::workloads::{run_gradcomp, run_iteration, spec, Technique};
+
+fn thr(v: u8) -> BalanceThreshold {
+    BalanceThreshold::new(v).unwrap()
+}
+
+/// Every Table-2 workload builds, simulates to completion on the tiny
+/// GPU, and its rewrites preserve the gradient values.
+#[test]
+fn all_workloads_build_simulate_and_rewrite_faithfully() {
+    let cfg = GpuConfig::tiny();
+    for spec_ in arc_dr::workloads::all_specs() {
+        let id = spec_.id.clone();
+        let traces = spec_.scaled(0.15).build();
+        let stats = TraceStats::compute(&traces.gradcomp);
+        assert!(stats.atomic_requests > 0, "{id}: gradcomp must have atomics");
+
+        // Baseline reference values.
+        let mut reference = GlobalMemory::new();
+        reference.apply_trace(&traces.gradcomp);
+
+        for cfg_sw in [
+            SwConfig::serialized(thr(8)),
+            SwConfig::butterfly(thr(8)),
+        ] {
+            let rewritten = rewrite_kernel_sw(&traces.gradcomp, &cfg_sw);
+            let mut mem = GlobalMemory::new();
+            mem.apply_trace(&rewritten.trace);
+            let diff = reference.max_abs_diff(&mem);
+            assert!(
+                diff < 1e-2,
+                "{id}/{}: rewrite changed gradients by {diff}",
+                cfg_sw.label()
+            );
+        }
+        let cccl = rewrite_kernel_cccl(&traces.gradcomp);
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&cccl.trace);
+        assert!(reference.max_abs_diff(&mem) < 1e-2, "{id}/CCCL gradients");
+
+        // Simulation drains under every technique.
+        for technique in [Technique::Baseline, Technique::ArcHw, Technique::SwB(thr(8))] {
+            let report = run_gradcomp(&cfg, technique, &traces.gradcomp)
+                .unwrap_or_else(|e| panic!("{id}/{}: {e}", technique.label()));
+            assert!(report.cycles > 0);
+        }
+    }
+}
+
+/// The headline result at small scale: ARC accelerates the gradient
+/// kernel of an atomic-bound 3DGS workload, and the gains come with
+/// fewer atomic stalls and less energy.
+#[test]
+fn arc_accelerates_gradcomp_with_fewer_stalls_and_less_energy() {
+    let traces = spec("3D-DR").unwrap().scaled(0.2).build();
+    let cfg = GpuConfig::tiny();
+    let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
+    let hw = run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).unwrap();
+    let sw = run_gradcomp(&cfg, Technique::SwB(thr(8)), &traces.gradcomp).unwrap();
+
+    assert!(hw.cycles < base.cycles, "ARC-HW: {} vs {}", hw.cycles, base.cycles);
+    assert!(sw.cycles < base.cycles, "ARC-SW: {} vs {}", sw.cycles, base.cycles);
+    assert!(hw.counters.atomic_stall_cycles < base.counters.atomic_stall_cycles);
+    assert!(hw.energy.total_mj < base.energy.total_mj);
+    assert!(sw.energy.total_mj < base.energy.total_mj);
+}
+
+/// Gradient computation dominates the baseline training iteration for
+/// scene-scale 3DGS workloads (paper Fig. 4's headline observation).
+#[test]
+fn gradcomp_is_the_bottleneck_stage() {
+    let traces = spec("3D-PR").unwrap().scaled(0.2).build();
+    let report = run_iteration(&GpuConfig::tiny(), Technique::Baseline, &traces).unwrap();
+    let grad = report.fraction_of(arc_dr::trace::KernelKind::GradCompute);
+    assert!(
+        grad > 0.4,
+        "gradcomp should dominate the iteration, got {grad:.2}"
+    );
+}
+
+/// The end-to-end speedup is smaller than the gradient-kernel speedup
+/// (Amdahl — forward and loss are untouched), as in paper Fig. 22.
+#[test]
+fn e2e_speedup_below_gradcomp_speedup() {
+    let traces = spec("3D-DR").unwrap().scaled(0.2).build();
+    let cfg = GpuConfig::tiny();
+    let technique = Technique::SwB(thr(8));
+    let base_it = run_iteration(&cfg, Technique::Baseline, &traces).unwrap();
+    let sw_it = run_iteration(&cfg, technique, &traces).unwrap();
+    let base_k = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
+    let sw_k = run_gradcomp(&cfg, technique, &traces.gradcomp).unwrap();
+    let e2e = base_it.total_cycles() as f64 / sw_it.total_cycles() as f64;
+    let grad = base_k.cycles as f64 / sw_k.cycles as f64;
+    assert!(e2e > 1.0, "end-to-end should still improve, got {e2e:.2}");
+    assert!(e2e <= grad + 0.05, "e2e {e2e:.2} should not exceed gradcomp {grad:.2}");
+}
+
+/// ARC-HW instructions are simply bypassed by a baseline GPU — the same
+/// trace runs unchanged, no reduction happens (paper §5.6).
+#[test]
+fn atomred_traces_run_on_baseline_hardware() {
+    let traces = spec("PS-SS").unwrap().scaled(0.2).build();
+    let trace = Technique::ArcHw.prepare(&traces.gradcomp);
+    let sim = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline).unwrap();
+    let report = sim.run(&trace).unwrap();
+    assert_eq!(report.counters.redunit_lane_ops, 0);
+    assert!(report.counters.rop_lane_ops > 0);
+}
+
+/// Workload builds are deterministic end to end: identical traces and
+/// identical simulated cycle counts across repeated builds.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let build = || spec("NV-SH").unwrap().scaled(0.2).build();
+    let a = build();
+    let b = build();
+    assert_eq!(a.gradcomp, b.gradcomp);
+    let cfg = GpuConfig::tiny();
+    let ra = run_gradcomp(&cfg, Technique::ArcHw, &a.gradcomp).unwrap();
+    let rb = run_gradcomp(&cfg, Technique::ArcHw, &b.gradcomp).unwrap();
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.counters, rb.counters);
+}
+
+/// Trace serialization round-trips (serde), so traces can be cached on
+/// disk by downstream users.
+#[test]
+fn traces_serialize_roundtrip() {
+    let traces = spec("PS-SS").unwrap().scaled(0.15).build();
+    let json = serde_json::to_string(&traces.gradcomp).expect("serialize");
+    let back: arc_dr::trace::KernelTrace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, traces.gradcomp);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over the core invariants: for *any* atomic
+//! traffic pattern, the ARC-SW / CCCL rewrites preserve reduction
+//! semantics, never increase atomic traffic, and the coalescer
+//! partitions lanes exactly.
+
+use arc_dr::arc::{
+    coalesce_atomic, rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig,
+};
+use arc_dr::trace::{
+    AtomicBundle, AtomicInstr, GlobalMemory, KernelKind, KernelTrace, LaneMask, LaneOp,
+    TraceStats, WarpTraceBuilder,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary atomic instruction over up to 4 distinct
+/// addresses, any subset of lanes active, values in ±10.
+fn arb_atomic() -> impl Strategy<Value = AtomicInstr> {
+    (
+        proptest::bits::u32::ANY,
+        proptest::collection::vec(0u8..4, 32),
+        proptest::collection::vec(-10.0f32..10.0, 32),
+    )
+        .prop_map(|(mask_bits, addr_pick, values)| {
+            let mask = LaneMask::from_bits(mask_bits);
+            let ops = mask
+                .lanes()
+                .map(|lane| LaneOp {
+                    lane,
+                    addr: 0x1000 + u64::from(addr_pick[lane as usize]) * 4,
+                    value: values[lane as usize],
+                })
+                .collect();
+            AtomicInstr::new(ops)
+        })
+}
+
+fn arb_bundle() -> impl Strategy<Value = AtomicBundle> {
+    (proptest::collection::vec(arb_atomic(), 1..4), proptest::bool::ANY).prop_map(
+        |(params, uniform)| {
+            if uniform {
+                AtomicBundle::new(params)
+            } else {
+                AtomicBundle::non_uniform(params)
+            }
+        },
+    )
+}
+
+fn kernel_of(bundles: Vec<AtomicBundle>) -> KernelTrace {
+    let mut b = WarpTraceBuilder::new();
+    for bundle in bundles {
+        b.compute_ffma(2).atomic_bundle(bundle);
+    }
+    KernelTrace::new("prop", KernelKind::GradCompute, vec![b.finish()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The coalescer partitions active lanes exactly: every lane-op
+    /// appears in exactly one transaction, grouped by address.
+    #[test]
+    fn coalescer_partitions_lanes(instr in arb_atomic()) {
+        let txs = coalesce_atomic(&instr);
+        let total: u32 = txs.iter().map(|t| t.request_count()).sum();
+        prop_assert_eq!(total, instr.active_count());
+        let mut seen = LaneMask::EMPTY;
+        for tx in &txs {
+            prop_assert!((seen & tx.lanes).is_empty(), "lanes must not repeat");
+            seen |= tx.lanes;
+            prop_assert_eq!(tx.values.len() as u32, tx.lanes.count());
+        }
+        prop_assert_eq!(seen, instr.active_mask());
+        // Per-transaction totals sum to the instruction's total.
+        let instr_total: f64 = instr.ops().iter().map(|o| f64::from(o.value)).sum();
+        let tx_total: f64 = txs.iter().map(|t| t.total()).sum();
+        prop_assert!((instr_total - tx_total).abs() < 1e-6);
+    }
+
+    /// Any ARC-SW rewrite of any traffic preserves the per-address sums
+    /// (up to f32 reassociation) and never increases atomic requests.
+    #[test]
+    fn sw_rewrite_preserves_sums(
+        bundles in proptest::collection::vec(arb_bundle(), 1..6),
+        threshold in 0u8..=32,
+        butterfly in proptest::bool::ANY,
+    ) {
+        let trace = kernel_of(bundles);
+        let cfg = if butterfly {
+            SwConfig::butterfly(BalanceThreshold::new(threshold).unwrap())
+        } else {
+            SwConfig::serialized(BalanceThreshold::new(threshold).unwrap())
+        };
+        let out = rewrite_kernel_sw(&trace, &cfg);
+
+        let mut reference = GlobalMemory::new();
+        reference.apply_trace(&trace);
+        let mut rewritten = GlobalMemory::new();
+        rewritten.apply_trace(&out.trace);
+        prop_assert!(
+            reference.max_abs_diff(&rewritten) < 1e-3,
+            "sums diverged by {}",
+            reference.max_abs_diff(&rewritten)
+        );
+        prop_assert!(out.trace.total_atomic_requests() <= trace.total_atomic_requests());
+        prop_assert_eq!(out.stats.requests_before, trace.total_atomic_requests());
+        prop_assert_eq!(out.stats.requests_after, out.trace.total_atomic_requests());
+    }
+
+    /// CCCL likewise preserves sums, and with threshold 0 ARC-SW always
+    /// removes at least as many requests as CCCL (it reduces partial
+    /// warps CCCL cannot).
+    #[test]
+    fn cccl_preserves_sums_and_sw_dominates(
+        bundles in proptest::collection::vec(arb_bundle(), 1..6),
+    ) {
+        let trace = kernel_of(bundles);
+        let cccl = rewrite_kernel_cccl(&trace);
+        let mut reference = GlobalMemory::new();
+        reference.apply_trace(&trace);
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&cccl.trace);
+        prop_assert!(reference.max_abs_diff(&mem) < 1e-3);
+
+        let sw = rewrite_kernel_sw(
+            &trace,
+            &SwConfig::serialized(BalanceThreshold::ALWAYS_REDUCE),
+        );
+        prop_assert!(
+            sw.trace.total_atomic_requests() <= cccl.trace.total_atomic_requests(),
+            "SW-S-0 ({}) should never leave more requests than CCCL ({})",
+            sw.trace.total_atomic_requests(),
+            cccl.trace.total_atomic_requests()
+        );
+    }
+
+    /// Trace statistics are consistent: request totals equal the sum of
+    /// the active-lane histogram, and locality fractions are in [0, 1].
+    #[test]
+    fn stats_are_consistent(bundles in proptest::collection::vec(arb_bundle(), 1..6)) {
+        let trace = kernel_of(bundles);
+        let stats = TraceStats::compute(&trace);
+        let hist_total: u64 = stats
+            .active_lanes
+            .buckets()
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| k as u64 * n)
+            .sum();
+        prop_assert_eq!(stats.atomic_requests, hist_total);
+        prop_assert!((0.0..=1.0).contains(&stats.same_address_fraction()));
+        prop_assert!((0.0..=1.0).contains(&stats.same_address_multi_fraction()));
+        prop_assert!(stats.same_address_instrs <= stats.nonempty_atomic_instrs);
+        prop_assert!(stats.multi_lane_instrs <= stats.nonempty_atomic_instrs);
+    }
+
+    /// Serialization round-trips arbitrary traces.
+    #[test]
+    fn trace_serde_roundtrip(bundles in proptest::collection::vec(arb_bundle(), 1..4)) {
+        let trace = kernel_of(bundles);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: KernelTrace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+}
