@@ -81,8 +81,13 @@ fn bench_reduction_kind(c: &mut Criterion) {
 fn bench_renderer(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let model = GaussianModel::random(400, 96, 96, &mut rng);
-    let target = render(&GaussianModel::random(400, 96, 96, &mut rng), 96, 96, Vec3::splat(0.0))
-        .image;
+    let target = render(
+        &GaussianModel::random(400, 96, 96, &mut rng),
+        96,
+        96,
+        Vec3::splat(0.0),
+    )
+    .image;
 
     let mut group = c.benchmark_group("ablation_renderer");
     group.sample_size(10);

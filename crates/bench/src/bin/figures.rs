@@ -2,10 +2,15 @@
 //!
 //! Usage:
 //! ```text
-//! figures [--scale S] [all|tab1|fig4|obs1|fig7|fig8|fig18|fig19|fig20|
-//!          fig21|fig22|fig23|fig24|fig25|fig26|fig27|fig28|area|
-//!          pagerank|scaling|roofline|tune]
+//! figures [--scale S] [--jobs N] [all|tab1|fig4|obs1|fig7|fig8|fig18|
+//!          fig19|fig20|fig21|fig22|fig23|fig24|fig25|fig26|fig27|
+//!          fig28|area|pagerank|scaling|roofline|tune]
 //! ```
+//!
+//! `--jobs N` (or the `ARC_JOBS` environment variable) sets how many
+//! worker threads the harness fans simulation cells across; the default
+//! is the machine's core count. The results are identical at any job
+//! count.
 //!
 //! `all` runs everything (the default) and also writes
 //! `experiments/results.json` with the raw data.
@@ -32,8 +37,28 @@ fn main() {
             });
         args.remove(pos);
     }
-    let which = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let mut jobs = None;
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        args.remove(pos);
+        jobs = Some(
+            args.get(pos)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs requires a positive integer");
+                    std::process::exit(2);
+                }),
+        );
+        args.remove(pos);
+    }
+    let which = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
     let mut h = Harness::new(scale);
+    if let Some(jobs) = jobs {
+        h.set_jobs(jobs);
+    }
     let mut json = BTreeMap::<String, serde_json::Value>::new();
 
     let run_all = which == "all";
@@ -128,7 +153,10 @@ fn main() {
         let mut out = Vec::new();
         for cfg in figures::gpus() {
             let s = figures::fig25(&mut h, &cfg);
-            print_series("fig25: ARC-HW normalized to best ARC-SW", std::slice::from_ref(&s));
+            print_series(
+                "fig25: ARC-HW normalized to best ARC-SW",
+                std::slice::from_ref(&s),
+            );
             out.push(s);
         }
         json.insert("fig25".into(), serde_json::to_value(&out).unwrap());
@@ -143,7 +171,10 @@ fn main() {
             let mut out = Vec::new();
             for cfg in figures::gpus() {
                 let s = figures::fig27_28(&mut h, &cfg, hw);
-                print_series(&format!("{name}: energy reduction"), std::slice::from_ref(&s));
+                print_series(
+                    &format!("{name}: energy reduction"),
+                    std::slice::from_ref(&s),
+                );
                 out.push(s);
             }
             json.insert(name.into(), serde_json::to_value(&out).unwrap());
@@ -175,7 +206,7 @@ fn main() {
         json.insert("pagerank".into(), serde_json::to_value(&row).unwrap());
     }
     if want("scaling") {
-        let rows = figures::scaling_sweep(&[0.4, 0.6, 0.8, 1.0]);
+        let rows = figures::scaling_sweep(&[0.4, 0.6, 0.8, 1.0], h.jobs());
         println!("\n== scene-size scaling (3D-DR on the 4090 model) ==");
         println!(
             "{:>6} {:>14} {:>15} {:>12}",
@@ -288,7 +319,11 @@ fn print_stalls(title: &str, rows: &[StallRow]) {
     for r in rows {
         println!(
             "{:<8} {:<10} {:<10} {:>16.2} {:>9.1}%",
-            r.workload, r.gpu, r.technique, r.stalls_per_instr, 100.0 * r.lsu_fraction
+            r.workload,
+            r.gpu,
+            r.technique,
+            r.stalls_per_instr,
+            100.0 * r.lsu_fraction
         );
     }
 }

@@ -1,0 +1,171 @@
+//! Throughput smoke benchmark for the parallel simulation engine.
+//!
+//! Measures simulated cycles per wall-clock second at both parallelism
+//! levels — the job pool that fans (config, technique, workload) cells
+//! across cores, and the SM sharding inside a single simulation — each
+//! against its serial counterpart, and writes the numbers to
+//! `BENCH_parallel_sim.json` so the speedup can be tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p arc-bench --bin perf_smoke [--scale S] [--jobs N]
+//! ```
+//!
+//! Parallel and serial runs produce bit-identical reports (see the
+//! determinism tests); only wall-clock time differs. On a single-core
+//! machine both speedups are expected to hover around 1.0×.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use arc_bench::harness::Cell;
+use arc_bench::Harness;
+use arc_workloads::Technique;
+use gpu_sim::{GpuConfig, Simulator};
+
+#[derive(Serialize)]
+struct LevelResult {
+    label: String,
+    simulated_cycles: u64,
+    serial_s: f64,
+    parallel_s: f64,
+    serial_cycles_per_sec: f64,
+    parallel_cycles_per_sec: f64,
+    speedup: f64,
+}
+
+impl LevelResult {
+    fn new(label: String, cycles: u64, serial_s: f64, parallel_s: f64) -> Self {
+        LevelResult {
+            label,
+            simulated_cycles: cycles,
+            serial_s,
+            parallel_s,
+            serial_cycles_per_sec: cycles as f64 / serial_s,
+            parallel_cycles_per_sec: cycles as f64 / parallel_s,
+            speedup: serial_s / parallel_s,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct SmokeResult {
+    bench: &'static str,
+    scale: f64,
+    machine_cores: usize,
+    jobs: usize,
+    cell_level: LevelResult,
+    sm_level: LevelResult,
+    note: &'static str,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.5f64;
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        args.remove(pos);
+        scale = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--scale requires a positive number");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    let mut jobs = gpu_sim::default_jobs();
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        args.remove(pos);
+        jobs = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- Level 1: the experiment-cell job pool. -----------------------
+    let cfg = GpuConfig::rtx4090_sim();
+    let ids = ["3D-LE", "3D-DR", "NV-LE", "PS-SS"];
+    let techniques = [
+        Technique::Baseline,
+        Technique::ArcHw,
+        Technique::Lab,
+        Technique::Phi,
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    for id in ids {
+        for t in techniques {
+            cells.push((cfg.clone(), t, id.to_string()));
+        }
+    }
+    let id_strings: Vec<String> = ids.iter().map(|s| s.to_string()).collect();
+
+    let run_cells = |jobs: usize| -> (f64, u64) {
+        let mut h = Harness::new(scale);
+        h.set_jobs(jobs);
+        h.trace_batch(&id_strings); // exclude trace building from the timing
+        let start = Instant::now();
+        h.gradcomp_batch(&cells);
+        let elapsed = start.elapsed().as_secs_f64();
+        let cycles = cells
+            .iter()
+            .map(|(cfg, t, id)| h.gradcomp(cfg, *t, id).cycles)
+            .sum();
+        (elapsed, cycles)
+    };
+    println!("cell-level: {} cells, serial...", cells.len());
+    let (cell_serial_s, cell_cycles) = run_cells(1);
+    println!("cell-level: parallel ({jobs} jobs)...");
+    let (cell_parallel_s, cell_cycles_par) = run_cells(jobs);
+    assert_eq!(cell_cycles, cell_cycles_par, "parallel run changed results");
+
+    // --- Level 2: SM sharding inside one simulation. ------------------
+    let traces = arc_workloads::spec("3D-DR")
+        .expect("known workload")
+        .scaled(scale)
+        .build();
+    let run_sim = |workers: usize| -> (f64, u64) {
+        let sim = Simulator::new(cfg.clone(), Technique::Baseline.path())
+            .expect("valid config")
+            .with_sm_workers(workers);
+        let start = Instant::now();
+        let report = sim.run(&traces.gradcomp).expect("kernel drains");
+        (start.elapsed().as_secs_f64(), report.cycles)
+    };
+    println!("sm-level: serial...");
+    let (sm_serial_s, sm_cycles) = run_sim(1);
+    println!("sm-level: parallel ({jobs} workers)...");
+    let (sm_parallel_s, sm_cycles_par) = run_sim(jobs);
+    assert_eq!(sm_cycles, sm_cycles_par, "parallel run changed results");
+
+    let result = SmokeResult {
+        bench: "parallel_sim_throughput",
+        scale,
+        machine_cores: cores,
+        jobs,
+        cell_level: LevelResult::new(
+            format!("{} experiment cells", cells.len()),
+            cell_cycles,
+            cell_serial_s,
+            cell_parallel_s,
+        ),
+        sm_level: LevelResult::new(
+            "3D-DR gradcomp, sharded SMs".to_string(),
+            sm_cycles,
+            sm_serial_s,
+            sm_parallel_s,
+        ),
+        note: "results are bit-identical between serial and parallel runs; \
+               speedups near 1.0 are expected when machine_cores == 1",
+    };
+    let pretty = serde_json::to_string_pretty(&result).expect("serializable");
+    println!("{pretty}");
+    match std::fs::write("BENCH_parallel_sim.json", format!("{pretty}\n")) {
+        Ok(()) => println!("wrote BENCH_parallel_sim.json"),
+        Err(e) => eprintln!("could not write BENCH_parallel_sim.json: {e}"),
+    }
+}

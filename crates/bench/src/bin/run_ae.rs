@@ -14,8 +14,13 @@
 //! the 4090 model.
 //!
 //! ```text
-//! cargo run --release -p arc-bench --bin run_ae [iters]
+//! cargo run --release -p arc-bench --bin run_ae [--jobs N] [iters]
 //! ```
+//!
+//! Each dataset (training run + technique grid) is independent, so the
+//! six datasets are fanned across `--jobs N` worker threads (default:
+//! the `ARC_JOBS` environment variable, then the core count). Rows are
+//! emitted in dataset order regardless of job count.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -42,12 +47,36 @@ struct AeDataset {
 }
 
 const DATASETS: [AeDataset; 6] = [
-    AeDataset { id: "NeRF-Synthetic Ship", gaussians: 140, seed: 901 },
-    AeDataset { id: "NeRF-Synthetic Lego", gaussians: 120, seed: 902 },
-    AeDataset { id: "DB-COLMAP Playroom", gaussians: 260, seed: 903 },
-    AeDataset { id: "DB-COLMAP DrJohnson", gaussians: 300, seed: 904 },
-    AeDataset { id: "Tanks&Temples Truck", gaussians: 180, seed: 905 },
-    AeDataset { id: "Tanks&Temples Train", gaussians: 200, seed: 906 },
+    AeDataset {
+        id: "NeRF-Synthetic Ship",
+        gaussians: 140,
+        seed: 901,
+    },
+    AeDataset {
+        id: "NeRF-Synthetic Lego",
+        gaussians: 120,
+        seed: 902,
+    },
+    AeDataset {
+        id: "DB-COLMAP Playroom",
+        gaussians: 260,
+        seed: 903,
+    },
+    AeDataset {
+        id: "DB-COLMAP DrJohnson",
+        gaussians: 300,
+        seed: 904,
+    },
+    AeDataset {
+        id: "Tanks&Temples Truck",
+        gaussians: 180,
+        seed: 905,
+    },
+    AeDataset {
+        id: "Tanks&Temples Train",
+        gaussians: 200,
+        seed: 906,
+    },
 ];
 
 fn orbit_cameras(n: usize) -> Vec<Camera> {
@@ -55,16 +84,33 @@ fn orbit_cameras(n: usize) -> Vec<Camera> {
         .map(|k| {
             let angle = k as f32 * std::f32::consts::TAU / n as f32;
             let pos = Vec3::new(4.0 * angle.sin(), 0.8, -4.0 * angle.cos());
-            Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, SIZE, SIZE)
+            Camera::look_at(
+                pos,
+                Vec3::default(),
+                Vec3::new(0.0, 1.0, 0.0),
+                0.9,
+                SIZE,
+                SIZE,
+            )
         })
         .collect()
 }
 
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = gpu_sim::default_jobs();
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        args.remove(pos);
+        jobs = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
     let cfg = GpuConfig::rtx4090_sim();
     let bg = Vec3::splat(0.02);
 
@@ -76,85 +122,15 @@ fn main() {
         "impl", "thr", "dataset", "trainPSNR", "trainL1", "testPSNR", "testL1", "e2e (ms)"
     );
 
-    for ds in &DATASETS {
-        let mut rng = StdRng::seed_from_u64(ds.seed);
-        let cams = orbit_cameras(6);
-        let (train_views, test_cam) = (&cams[..5], &cams[5]);
-        let gt = Gaussian3DModel::random(ds.gaussians, 0.9, &mut rng);
-        let views: Vec<(Camera, Image)> = train_views
-            .iter()
-            .map(|c| {
-                (
-                    *c,
-                    render_scene(&project(&gt, c).splats, SIZE, SIZE, bg).image,
-                )
-            })
-            .collect();
-        let test_target = render_scene(&project(&gt, test_cam).splats, SIZE, SIZE, bg).image;
-
-        // Train once on the real pipeline: the backward-kernel variants
-        // compute identical gradients (verified by property tests), so
-        // the artifact's correctness metrics are shared.
-        let mut model = Gaussian3DModel::random(ds.gaussians, 0.9, &mut rng);
-        let stats = train_3d(
-            &mut model,
-            &views,
-            &TrainConfig {
-                iters,
-                lr: 0.02,
-                loss: LossKind::L2,
-                background: bg,
-            },
-        );
-        let train_l1 = {
-            let (cam, target) = &views[0];
-            let img = render_scene(&project(&model, cam).splats, cam.width, cam.height, bg).image;
-            l1(&img, target)
-        };
-        let test_img =
-            render_scene(&project(&model, test_cam).splats, SIZE, SIZE, bg).image;
-        let (test_psnr, test_l1) = (psnr(&test_img, &test_target), l1(&test_img, &test_target));
-
-        // Per-iteration kernel traces from the trained model's view-0
-        // backward pass.
-        let (cam0, target0) = &views[0];
-        let proj = project(&model, cam0);
-        let out = render_scene(&proj.splats, SIZE, SIZE, bg);
-        let (_, pixel_grads) = l1_loss(&out.image, target0);
-        let _ = backward_scene(&proj.splats, &out, &pixel_grads, &mut NoopRecorder);
-        let (gradcomp, _) =
-            splat_gradcomp_trace(&proj.splats, &out, &pixel_grads, TraceCosts::default());
-        let forward = gaussian_forward_trace(&out, TraceCosts::default());
-        let loss_k = loss_trace(SIZE, SIZE);
-
-        let fixed_ms: f64 = [&forward, &loss_k]
-            .iter()
-            .map(|t| {
-                arc_workloads::run_gradcomp(&cfg, Technique::Baseline, t)
-                    .expect("kernel drains")
-                    .time_ms
-            })
-            .sum();
-
-        // The artifact's grid: 4 implementations × thresholds.
-        for (impl_name, techniques) in variants() {
-            for (thr_label, technique) in techniques {
-                let grad_ms = arc_workloads::run_gradcomp(&cfg, technique, &gradcomp)
-                    .expect("kernel drains")
-                    .time_ms;
-                let e2e_ms = (fixed_ms + grad_ms) * iters as f64;
-                println!(
-                    "{:<10} {:>4} {:<22} {:>10.2} {:>9.4} {:>10.2} {:>9.4} {:>12.2}",
-                    impl_name, thr_label, ds.id, stats.final_psnr, train_l1, test_psnr, test_l1,
-                    e2e_ms
-                );
-                let _ = writeln!(
-                    csv,
-                    "{impl_name},{thr_label},{},{:.3},{:.5},{:.3},{:.5},{:.3}",
-                    ds.id, stats.final_psnr, train_l1, test_psnr, test_l1, e2e_ms
-                );
-            }
-        }
+    // Each dataset's training run and technique grid is independent of
+    // the others; fan them across the job pool and splice the finished
+    // (table, csv) blocks back together in dataset order.
+    let blocks = gpu_sim::par_map(jobs, DATASETS.iter().collect(), |ds| {
+        dataset_rows(ds, &cfg, bg, iters)
+    });
+    for (table, csv_block) in blocks {
+        print!("{table}");
+        csv.push_str(&csv_block);
     }
 
     fs::create_dir_all("experiments").ok();
@@ -162,6 +138,91 @@ fn main() {
         Ok(()) => println!("\nwrote experiments/ae_result.csv"),
         Err(e) => eprintln!("could not write ae_result.csv: {e}"),
     }
+}
+
+/// Trains one dataset, simulates the artifact's technique grid, and
+/// renders its table and CSV rows.
+fn dataset_rows(ds: &AeDataset, cfg: &GpuConfig, bg: Vec3, iters: usize) -> (String, String) {
+    let mut table = String::new();
+    let mut csv = String::new();
+    let mut rng = StdRng::seed_from_u64(ds.seed);
+    let cams = orbit_cameras(6);
+    let (train_views, test_cam) = (&cams[..5], &cams[5]);
+    let gt = Gaussian3DModel::random(ds.gaussians, 0.9, &mut rng);
+    let views: Vec<(Camera, Image)> = train_views
+        .iter()
+        .map(|c| {
+            (
+                *c,
+                render_scene(&project(&gt, c).splats, SIZE, SIZE, bg).image,
+            )
+        })
+        .collect();
+    let test_target = render_scene(&project(&gt, test_cam).splats, SIZE, SIZE, bg).image;
+
+    // Train once on the real pipeline: the backward-kernel variants
+    // compute identical gradients (verified by property tests), so
+    // the artifact's correctness metrics are shared.
+    let mut model = Gaussian3DModel::random(ds.gaussians, 0.9, &mut rng);
+    let stats = train_3d(
+        &mut model,
+        &views,
+        &TrainConfig {
+            iters,
+            lr: 0.02,
+            loss: LossKind::L2,
+            background: bg,
+        },
+    );
+    let train_l1 = {
+        let (cam, target) = &views[0];
+        let img = render_scene(&project(&model, cam).splats, cam.width, cam.height, bg).image;
+        l1(&img, target)
+    };
+    let test_img = render_scene(&project(&model, test_cam).splats, SIZE, SIZE, bg).image;
+    let (test_psnr, test_l1) = (psnr(&test_img, &test_target), l1(&test_img, &test_target));
+
+    // Per-iteration kernel traces from the trained model's view-0
+    // backward pass.
+    let (cam0, target0) = &views[0];
+    let proj = project(&model, cam0);
+    let out = render_scene(&proj.splats, SIZE, SIZE, bg);
+    let (_, pixel_grads) = l1_loss(&out.image, target0);
+    let _ = backward_scene(&proj.splats, &out, &pixel_grads, &mut NoopRecorder);
+    let (gradcomp, _) =
+        splat_gradcomp_trace(&proj.splats, &out, &pixel_grads, TraceCosts::default());
+    let forward = gaussian_forward_trace(&out, TraceCosts::default());
+    let loss_k = loss_trace(SIZE, SIZE);
+
+    let fixed_ms: f64 = [&forward, &loss_k]
+        .iter()
+        .map(|t| {
+            arc_workloads::run_gradcomp(cfg, Technique::Baseline, t)
+                .expect("kernel drains")
+                .time_ms
+        })
+        .sum();
+
+    // The artifact's grid: 4 implementations × thresholds.
+    for (impl_name, techniques) in variants() {
+        for (thr_label, technique) in techniques {
+            let grad_ms = arc_workloads::run_gradcomp(cfg, technique, &gradcomp)
+                .expect("kernel drains")
+                .time_ms;
+            let e2e_ms = (fixed_ms + grad_ms) * iters as f64;
+            let _ = writeln!(
+                table,
+                "{:<10} {:>4} {:<22} {:>10.2} {:>9.4} {:>10.2} {:>9.4} {:>12.2}",
+                impl_name, thr_label, ds.id, stats.final_psnr, train_l1, test_psnr, test_l1, e2e_ms
+            );
+            let _ = writeln!(
+                csv,
+                "{impl_name},{thr_label},{},{:.3},{:.5},{:.3},{:.5},{:.3}",
+                ds.id, stats.final_psnr, train_l1, test_psnr, test_l1, e2e_ms
+            );
+        }
+    }
+    (table, csv)
 }
 
 type Variant = (&'static str, Vec<(String, Technique)>);

@@ -45,9 +45,11 @@ fn save(trace: &KernelTrace, path: &str) -> Result<(), String> {
 }
 
 fn export(args: &[String]) -> Result<(), String> {
-    let [id, out] = args.first().zip(args.get(1)).map(|(a, b)| [a, b]).ok_or(
-        "usage: trace_tool export <workload-id> <out.json> [scale]",
-    )?;
+    let [id, out] = args
+        .first()
+        .zip(args.get(1))
+        .map(|(a, b)| [a, b])
+        .ok_or("usage: trace_tool export <workload-id> <out.json> [scale]")?;
     let scale: f64 = args.get(2).map_or(Ok(1.0), |s| {
         s.parse().map_err(|_| "scale must be a number".to_string())
     })?;
@@ -90,7 +92,8 @@ fn rewrite(args: &[String]) -> Result<(), String> {
         .ok_or("usage: trace_tool rewrite <in.json> <out.json> [sw-b|sw-s|cccl] [threshold]")?;
     let algo = args.get(2).map_or("sw-b", String::as_str);
     let thr: u8 = args.get(3).map_or(Ok(8), |s| {
-        s.parse().map_err(|_| "threshold must be 0..=32".to_string())
+        s.parse()
+            .map_err(|_| "threshold must be 0..=32".to_string())
     })?;
     let threshold = BalanceThreshold::new(thr).map_err(|e| e.to_string())?;
     let trace = load(input)?;

@@ -12,13 +12,34 @@ use arc_core::{AreaModel, BalanceThreshold};
 use arc_workloads::{pagerank, Technique};
 use gpu_sim::GpuConfig;
 
-use crate::harness::Harness;
+use crate::harness::{Cell, Harness};
 use crate::report::Series;
 
 /// The evaluated GPU models (quarter-scale experiment configurations,
 /// see `GpuConfig::rtx4090_sim`).
 pub fn gpus() -> [GpuConfig; 2] {
     [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()]
+}
+
+/// The cartesian (config × technique × workload) grid as batch cells.
+fn grid(cfgs: &[GpuConfig], techniques: &[Technique], ids: &[String]) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(cfgs.len() * techniques.len() * ids.len());
+    for cfg in cfgs {
+        for id in ids {
+            for &t in techniques {
+                cells.push((cfg.clone(), t, id.clone()));
+            }
+        }
+    }
+    cells
+}
+
+/// Baseline plus the full ARC-SW threshold sweep — the cells
+/// [`Harness::best_sw`] consults.
+fn sw_grid(cfgs: &[GpuConfig], ids: &[String]) -> Vec<Cell> {
+    let mut techniques = vec![Technique::Baseline];
+    techniques.extend(Harness::sw_sweep());
+    grid(cfgs, &techniques, ids)
 }
 
 // ---------------------------------------------------------------------
@@ -43,12 +64,14 @@ pub struct BreakdownRow {
 /// Fig. 4: baseline training-time breakdown for every workload on both
 /// GPUs.
 pub fn fig4(h: &mut Harness) -> Vec<BreakdownRow> {
+    let ids = h.workload_ids();
+    h.iteration_batch(&grid(&gpus(), &[Technique::Baseline], &ids));
     let mut rows = Vec::new();
     for cfg in gpus() {
-        for id in h.workload_ids() {
-            let it = h.iteration(&cfg, Technique::Baseline, &id);
+        for id in &ids {
+            let it = h.iteration(&cfg, Technique::Baseline, id);
             rows.push(BreakdownRow {
-                workload: id,
+                workload: id.clone(),
                 gpu: cfg.name.clone(),
                 forward: it.fraction_of(KernelKind::Forward),
                 loss: it.fraction_of(KernelKind::Loss),
@@ -79,8 +102,9 @@ pub struct LocalityRow {
 
 /// Observation 1 across all workloads.
 pub fn obs1(h: &mut Harness) -> Vec<LocalityRow> {
-    h.workload_ids()
-        .into_iter()
+    let ids = h.workload_ids();
+    h.trace_batch(&ids);
+    ids.into_iter()
         .map(|id| {
             let stats = TraceStats::compute(&h.traces(&id).gradcomp);
             LocalityRow {
@@ -105,6 +129,7 @@ pub struct HistogramRow {
 /// Fig. 7: active-lane histograms (the paper shows 3D-PR and NV-LE;
 /// we emit all requested ids).
 pub fn fig7(h: &mut Harness, ids: &[&str]) -> Vec<HistogramRow> {
+    h.trace_batch(&ids.iter().map(|id| id.to_string()).collect::<Vec<_>>());
     ids.iter()
         .map(|id| {
             let stats = TraceStats::compute(&h.traces(id).gradcomp);
@@ -142,13 +167,15 @@ pub fn fig8(h: &mut Harness) -> Vec<StallRow> {
 
 /// Fig. 24: the same breakdown under the best ARC-SW configuration.
 pub fn fig24(h: &mut Harness) -> Vec<StallRow> {
+    let ids = h.workload_ids();
+    h.gradcomp_batch(&sw_grid(&gpus(), &ids));
     let mut rows = Vec::new();
     for cfg in gpus() {
-        for id in h.workload_ids() {
-            let (technique, _) = h.best_sw(&cfg, &id);
-            let report = h.gradcomp(&cfg, technique, &id);
+        for id in &ids {
+            let (technique, _) = h.best_sw(&cfg, id);
+            let report = h.gradcomp(&cfg, technique, id);
             rows.push(StallRow {
-                workload: id,
+                workload: id.clone(),
                 gpu: cfg.name.clone(),
                 technique: technique.label(),
                 stalls_per_instr: report.stalls_per_instruction(),
@@ -160,12 +187,14 @@ pub fn fig24(h: &mut Harness) -> Vec<StallRow> {
 }
 
 fn stall_rows(h: &mut Harness, technique: Technique) -> Vec<StallRow> {
+    let ids = h.workload_ids();
+    h.gradcomp_batch(&grid(&gpus(), &[technique], &ids));
     let mut rows = Vec::new();
     for cfg in gpus() {
-        for id in h.workload_ids() {
-            let report = h.gradcomp(&cfg, technique, &id);
+        for id in &ids {
+            let report = h.gradcomp(&cfg, technique, id);
             rows.push(StallRow {
-                workload: id,
+                workload: id.clone(),
                 gpu: cfg.name.clone(),
                 technique: technique.label(),
                 stalls_per_instr: report.stalls_per_instruction(),
@@ -189,12 +218,16 @@ pub fn fig18_19(h: &mut Harness, cfg: &GpuConfig) -> Vec<Series> {
         Technique::LabIdeal,
         Technique::ArcHw,
     ];
+    let ids = h.workload_ids();
+    let mut all = vec![Technique::Baseline];
+    all.extend(techniques);
+    h.gradcomp_batch(&grid(std::slice::from_ref(cfg), &all, &ids));
     techniques
         .iter()
         .map(|&t| {
             let mut series = Series::new(t.label());
-            for id in h.workload_ids() {
-                series.push(id.clone(), h.gradcomp_speedup(cfg, t, &id));
+            for id in &ids {
+                series.push(id.clone(), h.gradcomp_speedup(cfg, t, id));
             }
             series
         })
@@ -205,17 +238,21 @@ pub fn fig18_19(h: &mut Harness, cfg: &GpuConfig) -> Vec<Series> {
 /// stalls (baseline stall cycles ÷ technique stall cycles).
 pub fn fig20_21(h: &mut Harness, cfg: &GpuConfig) -> Vec<Series> {
     let techniques = [Technique::Lab, Technique::LabIdeal, Technique::ArcHw];
+    let ids = h.workload_ids();
+    let mut all = vec![Technique::Baseline];
+    all.extend(techniques);
+    h.gradcomp_batch(&grid(std::slice::from_ref(cfg), &all, &ids));
     techniques
         .iter()
         .map(|&t| {
             let mut series = Series::new(t.label());
-            for id in h.workload_ids() {
+            for id in &ids {
                 let base = h
-                    .gradcomp(cfg, Technique::Baseline, &id)
+                    .gradcomp(cfg, Technique::Baseline, id)
                     .counters
                     .atomic_stall_cycles
                     .max(1);
-                let var = h.gradcomp(cfg, t, &id).counters.atomic_stall_cycles.max(1);
+                let var = h.gradcomp(cfg, t, id).counters.atomic_stall_cycles.max(1);
                 series.push(id.clone(), base as f64 / var as f64);
             }
             series
@@ -244,21 +281,33 @@ pub struct SwRow {
 
 /// Fig. 22: ARC-SW (best threshold per workload) on both GPUs.
 pub fn fig22(h: &mut Harness) -> Vec<SwRow> {
-    let mut rows = Vec::new();
+    let ids = h.workload_ids();
+    h.gradcomp_batch(&sw_grid(&gpus(), &ids));
+    // The end-to-end cells depend on which threshold won, so batch them
+    // in a second wave once the (cached) sweep has been consulted.
+    let mut best = Vec::new();
+    let mut iter_cells = Vec::new();
     for cfg in gpus() {
-        for id in h.workload_ids() {
-            let (technique, gradcomp_speedup) = h.best_sw(&cfg, &id);
+        for id in &ids {
+            let (technique, gradcomp_speedup) = h.best_sw(&cfg, id);
+            iter_cells.push((cfg.clone(), Technique::Baseline, id.clone()));
+            iter_cells.push((cfg.clone(), technique, id.clone()));
+            best.push((cfg.clone(), id.clone(), technique, gradcomp_speedup));
+        }
+    }
+    h.iteration_batch(&iter_cells);
+    best.into_iter()
+        .map(|(cfg, id, technique, gradcomp_speedup)| {
             let e2e = h.e2e_speedup(&cfg, technique, &id);
-            rows.push(SwRow {
+            SwRow {
                 workload: id,
                 gpu: cfg.name.clone(),
                 best_config: technique.label(),
                 gradcomp_speedup,
                 e2e_speedup: e2e,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -283,8 +332,10 @@ pub struct ThresholdRow {
 /// paper: "SW-B cannot be used for PS-SS and PS-SL").
 pub fn fig23(h: &mut Harness) -> Vec<ThresholdRow> {
     let cfg = GpuConfig::rtx4090_sim();
+    let ids = h.workload_ids();
+    h.gradcomp_batch(&sw_grid(std::slice::from_ref(&cfg), &ids));
     let mut rows = Vec::new();
-    for id in h.workload_ids() {
+    for id in ids {
         for thr in BalanceThreshold::paper_sweep() {
             rows.push(ThresholdRow {
                 workload: id.clone(),
@@ -312,8 +363,12 @@ pub fn fig23(h: &mut Harness) -> Vec<ThresholdRow> {
 /// Fig. 25: per-workload speedup of ARC-HW normalized to the best
 /// ARC-SW, on the given GPU model.
 pub fn fig25(h: &mut Harness, cfg: &GpuConfig) -> Series {
+    let ids = h.workload_ids();
+    let mut cells = sw_grid(std::slice::from_ref(cfg), &ids);
+    cells.extend(grid(std::slice::from_ref(cfg), &[Technique::ArcHw], &ids));
+    h.gradcomp_batch(&cells);
     let mut series = Series::new(format!("ARC-HW / ARC-SW ({})", cfg.name));
-    for id in h.workload_ids() {
+    for id in ids {
         let hw = h.gradcomp_speedup(cfg, Technique::ArcHw, &id);
         let (_, sw) = h.best_sw(cfg, &id);
         series.push(id.clone(), hw / sw);
@@ -328,9 +383,13 @@ pub fn fig25(h: &mut Harness, cfg: &GpuConfig) -> Series {
 /// Fig. 26: ARC-SW and CCCL gradcomp speedups on the 4090 model.
 pub fn fig26(h: &mut Harness) -> Vec<Series> {
     let cfg = GpuConfig::rtx4090_sim();
+    let ids = h.workload_ids();
+    let mut cells = sw_grid(std::slice::from_ref(&cfg), &ids);
+    cells.extend(grid(std::slice::from_ref(&cfg), &[Technique::Cccl], &ids));
+    h.gradcomp_batch(&cells);
     let mut sw = Series::new("ARC-SW");
     let mut cccl = Series::new("CCCL");
-    for id in h.workload_ids() {
+    for id in ids {
         let (_, s) = h.best_sw(&cfg, &id);
         sw.push(id.clone(), s);
         cccl.push(id.clone(), h.gradcomp_speedup(&cfg, Technique::Cccl, &id));
@@ -346,8 +405,19 @@ pub fn fig26(h: &mut Harness) -> Vec<Series> {
 /// reduction (baseline energy ÷ technique energy) on the given GPU.
 pub fn fig27_28(h: &mut Harness, cfg: &GpuConfig, hw: bool) -> Series {
     let label = if hw { "ARC-HW" } else { "ARC-SW" };
+    let ids = h.workload_ids();
+    let cells = if hw {
+        grid(
+            std::slice::from_ref(cfg),
+            &[Technique::Baseline, Technique::ArcHw],
+            &ids,
+        )
+    } else {
+        sw_grid(std::slice::from_ref(cfg), &ids)
+    };
+    h.gradcomp_batch(&cells);
     let mut series = Series::new(format!("{label} energy reduction ({})", cfg.name));
-    for id in h.workload_ids() {
+    for id in ids {
         let base = h.gradcomp(cfg, Technique::Baseline, &id).energy.total_mj;
         let technique = if hw {
             Technique::ArcHw
@@ -377,14 +447,17 @@ pub struct AreaRow {
 
 /// §5.4 area table for both GPUs.
 pub fn area() -> Vec<AreaRow> {
-    [("RTX 4090", AreaModel::rtx4090()), ("RTX 3060", AreaModel::rtx3060())]
-        .into_iter()
-        .map(|(gpu, m)| AreaRow {
-            gpu: gpu.to_string(),
-            added_transistors: m.added_transistors(),
-            overhead_percent: m.overhead_fraction() * 100.0,
-        })
-        .collect()
+    [
+        ("RTX 4090", AreaModel::rtx4090()),
+        ("RTX 3060", AreaModel::rtx3060()),
+    ]
+    .into_iter()
+    .map(|(gpu, m)| AreaRow {
+        gpu: gpu.to_string(),
+        added_transistors: m.added_transistors(),
+        overhead_percent: m.overhead_fraction() * 100.0,
+    })
+    .collect()
 }
 
 /// §5.6: the pagerank-vs-rendering locality contrast.
@@ -430,8 +503,13 @@ pub struct TuneRow {
 /// §5.5.3 tuner demo over the 3DGS workloads on the 4090 model.
 pub fn tune_demo(h: &mut Harness) -> Vec<TuneRow> {
     let cfg = GpuConfig::rtx4090_sim();
-    h.gaussian_ids()
+    let ids = h.gaussian_ids();
+    let probes: Vec<Technique> = BalanceThreshold::paper_sweep()
         .into_iter()
+        .map(Technique::SwB)
+        .collect();
+    h.gradcomp_batch(&grid(std::slice::from_ref(&cfg), &probes, &ids));
+    ids.into_iter()
         .map(|id| {
             let outcome = tune(BalanceThreshold::paper_sweep(), |thr| {
                 h.gradcomp(&cfg, Technique::SwB(thr), &id).cycles as f64
@@ -467,29 +545,26 @@ pub struct ScalingRow {
 /// computation time with scene size ... gradient computation is limited
 /// by atomic operations, thus becoming a bigger bottleneck in more
 /// complex scenes" (§3).
-pub fn scaling_sweep(scales: &[f64]) -> Vec<ScalingRow> {
+pub fn scaling_sweep(scales: &[f64], jobs: usize) -> Vec<ScalingRow> {
     let cfg = GpuConfig::rtx4090_sim();
-    scales
-        .iter()
-        .map(|&scale| {
-            let traces = arc_workloads::spec("3D-DR")
-                .expect("3D-DR exists")
-                .scaled(scale)
-                .build();
-            let base_iter =
-                arc_workloads::run_iteration(&cfg, Technique::Baseline, &traces).expect("drains");
-            let base = arc_workloads::run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp)
-                .expect("drains");
-            let hw = arc_workloads::run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp)
-                .expect("drains");
-            ScalingRow {
-                scale,
-                atomic_requests: traces.gradcomp.total_atomic_requests(),
-                gradcomp_share: base_iter.fraction_of(KernelKind::GradCompute),
-                arc_hw_speedup: base.cycles as f64 / hw.cycles as f64,
-            }
-        })
-        .collect()
+    gpu_sim::par_map(jobs, scales.to_vec(), |scale| {
+        let traces = arc_workloads::spec("3D-DR")
+            .expect("3D-DR exists")
+            .scaled(scale)
+            .build();
+        let base_iter =
+            arc_workloads::run_iteration(&cfg, Technique::Baseline, &traces).expect("drains");
+        let base = arc_workloads::run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp)
+            .expect("drains");
+        let hw =
+            arc_workloads::run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).expect("drains");
+        ScalingRow {
+            scale,
+            atomic_requests: traces.gradcomp.total_atomic_requests(),
+            gradcomp_share: base_iter.fraction_of(KernelKind::GradCompute),
+            arc_hw_speedup: base.cycles as f64 / hw.cycles as f64,
+        }
+    })
 }
 
 /// The analytic roofline predictions (arc-core §5.5.3 discussion) next
@@ -509,8 +584,13 @@ pub struct RooflineRow {
 pub fn roofline(h: &mut Harness) -> Vec<RooflineRow> {
     let cfg = GpuConfig::rtx4090_sim();
     let model = cfg.machine_model();
-    h.workload_ids()
-        .into_iter()
+    let ids = h.workload_ids();
+    h.gradcomp_batch(&grid(
+        std::slice::from_ref(&cfg),
+        &[Technique::Baseline, Technique::ArcHw],
+        &ids,
+    ));
+    ids.into_iter()
         .map(|id| {
             let stats = TraceStats::compute(&h.traces(&id).gradcomp);
             let profile = arc_core::analysis::KernelProfile::from_stats(&stats);

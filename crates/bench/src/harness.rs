@@ -1,18 +1,49 @@
 //! Shared trace-building and simulation cache for the figure harness.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use arc_workloads::{all_specs, IterationTraces, Technique};
-use gpu_sim::{GpuConfig, IterationReport, KernelReport, Simulator};
+use gpu_sim::{par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, Simulator};
 
 /// Builds workload traces on demand (each is an actual render + backward
 /// pass) and caches simulation reports so figures sharing data points —
 /// e.g. the baseline runs used by every speedup — are computed once.
+///
+/// Traces are held behind [`Arc`] and simulators are cached per
+/// (config, path), so neither is cloned or rebuilt per simulation. The
+/// batch APIs ([`Harness::gradcomp_batch`] / [`Harness::iteration_batch`])
+/// fan missing cells across a job pool (`jobs`, defaulting to the
+/// `ARC_JOBS` environment variable or the machine's core count); the
+/// per-cell accessors then serve warm cache hits, so figure code keeps
+/// its simple serial loops and deterministic output order.
 pub struct Harness {
     scale: f64,
-    traces: HashMap<String, IterationTraces>,
-    gradcomp_cache: HashMap<(String, String, String), KernelReport>,
-    iteration_cache: HashMap<(String, String, String), IterationReport>,
+    jobs: usize,
+    traces: HashMap<String, Arc<IterationTraces>>,
+    sims: HashMap<(String, AtomicPath), Arc<Simulator>>,
+    gradcomp_cache: HashMap<CacheKey, KernelReport>,
+    iteration_cache: HashMap<CacheKey, IterationReport>,
+}
+
+/// A simulation cell: one (config, technique, workload) point.
+pub type Cell = (GpuConfig, Technique, String);
+
+/// Cache key: (config name, technique label, workload id).
+type CacheKey = (String, String, String);
+
+/// A cache miss prepared for the job pool: its key plus the shared
+/// simulator and traces it runs on.
+type PreparedCell = (CacheKey, Arc<Simulator>, Technique, Arc<IterationTraces>);
+
+fn build_traces(scale: f64, id: &str) -> IterationTraces {
+    let spec = arc_workloads::spec(id).unwrap_or_else(|| panic!("unknown workload id `{id}`"));
+    let spec = if (scale - 1.0).abs() < 1e-9 {
+        spec
+    } else {
+        spec.scaled(scale)
+    };
+    spec.build()
 }
 
 impl Harness {
@@ -26,7 +57,9 @@ impl Harness {
         assert!(scale > 0.0, "scale must be positive");
         Harness {
             scale,
+            jobs: gpu_sim::default_jobs(),
             traces: HashMap::new(),
+            sims: HashMap::new(),
             gradcomp_cache: HashMap::new(),
             iteration_cache: HashMap::new(),
         }
@@ -35,6 +68,17 @@ impl Harness {
     /// The workload scale in use.
     pub fn scale(&self) -> f64 {
         self.scale
+    }
+
+    /// The job-pool width used by the batch APIs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Overrides the job-pool width (1 = serial). Never affects results,
+    /// only wall-clock time.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
     }
 
     /// All workload ids, in Table-2 order.
@@ -51,6 +95,33 @@ impl Harness {
             .collect()
     }
 
+    fn ensure_trace(&mut self, id: &str) {
+        if !self.traces.contains_key(id) {
+            let t = build_traces(self.scale, id);
+            self.traces.insert(id.to_string(), Arc::new(t));
+        }
+    }
+
+    /// Builds any missing workload traces for `ids` in parallel on the
+    /// job pool. Each build is an actual render + backward pass, so this
+    /// is worth fanning out even before any simulation runs.
+    pub fn trace_batch(&mut self, ids: &[String]) {
+        let scale = self.scale;
+        let mut seen: HashSet<&str> = HashSet::new();
+        let missing: Vec<String> = ids
+            .iter()
+            .filter(|id| seen.insert(id.as_str()) && !self.traces.contains_key(id.as_str()))
+            .cloned()
+            .collect();
+        let built = par_map(self.jobs, missing, |id| {
+            let traces = Arc::new(build_traces(scale, &id));
+            (id, traces)
+        });
+        for (id, traces) in built {
+            self.traces.insert(id, traces);
+        }
+    }
+
     /// The (possibly scaled) traces for a workload, building them on
     /// first use.
     ///
@@ -58,17 +129,23 @@ impl Harness {
     ///
     /// Panics if `id` is not a Table-2 workload id.
     pub fn traces(&mut self, id: &str) -> &IterationTraces {
-        let scale = self.scale;
-        self.traces.entry(id.to_string()).or_insert_with(|| {
-            let spec = arc_workloads::spec(id)
-                .unwrap_or_else(|| panic!("unknown workload id `{id}`"));
-            let spec = if (scale - 1.0).abs() < 1e-9 {
-                spec
-            } else {
-                spec.scaled(scale)
-            };
-            spec.build()
-        })
+        self.ensure_trace(id);
+        self.traces[id].as_ref()
+    }
+
+    fn traces_arc(&mut self, id: &str) -> Arc<IterationTraces> {
+        self.ensure_trace(id);
+        Arc::clone(&self.traces[id])
+    }
+
+    fn sim_for(&mut self, cfg: &GpuConfig, path: AtomicPath) -> Arc<Simulator> {
+        let key = (cfg.name.clone(), path);
+        if let Some(sim) = self.sims.get(&key) {
+            return Arc::clone(sim);
+        }
+        let sim = Arc::new(Simulator::new(cfg.clone(), path).expect("valid config"));
+        self.sims.insert(key, Arc::clone(&sim));
+        sim
     }
 
     /// Simulates (with caching) the gradient-computation kernel of
@@ -83,10 +160,10 @@ impl Harness {
         if let Some(hit) = self.gradcomp_cache.get(&key) {
             return hit.clone();
         }
-        let trace = self.traces(id).gradcomp.clone();
-        let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
+        let traces = self.traces_arc(id);
+        let sim = self.sim_for(cfg, technique.path());
         let report = sim
-            .run(&technique.prepare(&trace))
+            .run(&technique.prepare_cow(&traces.gradcomp))
             .expect("kernel must drain");
         self.gradcomp_cache.insert(key, report.clone());
         report
@@ -97,16 +174,89 @@ impl Harness {
     /// # Panics
     ///
     /// Panics on unknown workload or simulator failure.
-    pub fn iteration(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> IterationReport {
+    pub fn iteration(
+        &mut self,
+        cfg: &GpuConfig,
+        technique: Technique,
+        id: &str,
+    ) -> IterationReport {
         let key = (cfg.name.clone(), technique.label(), id.to_string());
         if let Some(hit) = self.iteration_cache.get(&key) {
             return hit.clone();
         }
-        let traces = self.traces(id).clone();
-        let report =
-            arc_workloads::run_iteration(cfg, technique, &traces).expect("iteration must drain");
+        let traces = self.traces_arc(id);
+        let sim = self.sim_for(cfg, technique.path());
+        let report = arc_workloads::run_iteration_with(&sim, technique, &traces)
+            .expect("iteration must drain");
         self.iteration_cache.insert(key, report.clone());
         report
+    }
+
+    /// Computes every missing gradient-computation cell in parallel on
+    /// the job pool, filling the cache consulted by
+    /// [`Harness::gradcomp`] / [`Harness::gradcomp_speedup`] /
+    /// [`Harness::best_sw`]. Duplicate and already-cached cells are
+    /// skipped; results are identical to computing each cell serially.
+    pub fn gradcomp_batch(&mut self, cells: &[Cell]) {
+        self.prefill(cells, false);
+    }
+
+    /// Computes every missing full-iteration cell in parallel on the
+    /// job pool, filling the cache consulted by [`Harness::iteration`] /
+    /// [`Harness::e2e_speedup`].
+    pub fn iteration_batch(&mut self, cells: &[Cell]) {
+        self.prefill(cells, true);
+    }
+
+    fn prefill(&mut self, cells: &[Cell], iteration: bool) {
+        let jobs = self.jobs;
+
+        // Build every missing workload trace first (each is an actual
+        // render + backward pass — the other expensive step), also in
+        // parallel.
+        let ids: Vec<String> = cells.iter().map(|(_, _, id)| id.clone()).collect();
+        self.trace_batch(&ids);
+
+        // Collect the unique uncached cells with their shared inputs.
+        let mut claimed: HashSet<CacheKey> = HashSet::new();
+        let mut todo: Vec<PreparedCell> = Vec::new();
+        for (cfg, technique, id) in cells {
+            let key = (cfg.name.clone(), technique.label(), id.clone());
+            let cached = if iteration {
+                self.iteration_cache.contains_key(&key)
+            } else {
+                self.gradcomp_cache.contains_key(&key)
+            };
+            if cached || !claimed.insert(key.clone()) {
+                continue;
+            }
+            let sim = self.sim_for(cfg, technique.path());
+            let traces = Arc::clone(&self.traces[id.as_str()]);
+            todo.push((key, sim, *technique, traces));
+        }
+
+        // Simulate across the pool; inserting in input order keeps the
+        // whole operation deterministic regardless of `jobs`.
+        if iteration {
+            let reports = par_map(jobs, todo, |(key, sim, technique, traces)| {
+                let report = arc_workloads::run_iteration_with(&sim, technique, &traces)
+                    .expect("iteration must drain");
+                (key, report)
+            });
+            for (key, report) in reports {
+                self.iteration_cache.insert(key, report);
+            }
+        } else {
+            let reports = par_map(jobs, todo, |(key, sim, technique, traces)| {
+                let report = sim
+                    .run(&technique.prepare_cow(&traces.gradcomp))
+                    .expect("kernel must drain");
+                (key, report)
+            });
+            for (key, report) in reports {
+                self.gradcomp_cache.insert(key, report);
+            }
+        }
     }
 
     /// Gradient-computation speedup of `technique` over the baseline.
@@ -123,18 +273,25 @@ impl Harness {
         base as f64 / var as f64
     }
 
+    /// The techniques [`Harness::best_sw`] sweeps: both ARC-SW
+    /// algorithms over the paper's threshold grid.
+    pub fn sw_sweep() -> Vec<Technique> {
+        arc_core::BalanceThreshold::paper_sweep()
+            .into_iter()
+            .flat_map(|thr| [Technique::SwS(thr), Technique::SwB(thr)])
+            .collect()
+    }
+
     /// The best-performing ARC-SW configuration for a workload on a
     /// GPU, sweeping both algorithms over the paper's threshold grid
     /// (§7.2: "SW-B and SW-S with the best-performing balancing
     /// threshold").
     pub fn best_sw(&mut self, cfg: &GpuConfig, id: &str) -> (Technique, f64) {
         let mut best: Option<(Technique, f64)> = None;
-        for thr in arc_core::BalanceThreshold::paper_sweep() {
-            for technique in [Technique::SwS(thr), Technique::SwB(thr)] {
-                let s = self.gradcomp_speedup(cfg, technique, id);
-                if best.as_ref().is_none_or(|(_, b)| s > *b) {
-                    best = Some((technique, s));
-                }
+        for technique in Self::sw_sweep() {
+            let s = self.gradcomp_speedup(cfg, technique, id);
+            if best.as_ref().is_none_or(|(_, b)| s > *b) {
+                best = Some((technique, s));
             }
         }
         best.expect("sweep is non-empty")
@@ -169,5 +326,40 @@ mod tests {
     fn unknown_id_panics() {
         let mut h = Harness::new(0.2);
         let _ = h.traces("3D-XX");
+    }
+
+    #[test]
+    fn batch_prefill_matches_serial() {
+        let cfg = GpuConfig::tiny();
+        let mut cells: Vec<Cell> = Vec::new();
+        for id in ["PS-SS", "3D-LE"] {
+            for t in [Technique::Baseline, Technique::ArcHw] {
+                cells.push((cfg.clone(), t, id.to_string()));
+            }
+        }
+
+        let mut serial = Harness::new(0.2);
+        serial.set_jobs(1);
+        let mut parallel = Harness::new(0.2);
+        parallel.set_jobs(4);
+        parallel.gradcomp_batch(&cells);
+        parallel.iteration_batch(&cells);
+
+        for (cfg, technique, id) in &cells {
+            assert_eq!(
+                serial.gradcomp(cfg, *technique, id),
+                parallel.gradcomp(cfg, *technique, id),
+                "gradcomp mismatch for {} on {}",
+                technique.label(),
+                id
+            );
+            assert_eq!(
+                serial.iteration(cfg, *technique, id),
+                parallel.iteration(cfg, *technique, id),
+                "iteration mismatch for {} on {}",
+                technique.label(),
+                id
+            );
+        }
     }
 }

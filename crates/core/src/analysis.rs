@@ -181,7 +181,10 @@ mod tests {
         let low = predicted_sw_speedup(&m, &p, BalanceThreshold::new(8).unwrap());
         let high = predicted_sw_speedup(&m, &p, BalanceThreshold::new(24).unwrap());
         assert!(low > 1.5, "reducing threshold should accelerate: {low}");
-        assert!(high <= 1.0 + 1e-9, "threshold above mean ⇒ no reduction: {high}");
+        assert!(
+            high <= 1.0 + 1e-9,
+            "threshold above mean ⇒ no reduction: {high}"
+        );
     }
 
     #[test]

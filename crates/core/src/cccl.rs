@@ -9,9 +9,7 @@
 //! balancing threshold — everything eligible is reduced at the SM, and
 //! nothing is adaptively routed to the ROP units.
 
-use warp_trace::{
-    AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelTrace, LaneOp, WarpTrace,
-};
+use warp_trace::{AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelTrace, LaneOp, WarpTrace};
 
 use crate::reduce::{butterfly_reduce, densify};
 use crate::sw::{RewriteStats, RewrittenKernel};
@@ -152,9 +150,7 @@ mod tests {
                 value: 1.0,
             })
             .collect();
-        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![AtomicInstr::new(
-            ops,
-        )])));
+        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![AtomicInstr::new(ops)])));
         assert_eq!(out.trace.total_atomic_requests(), 31);
         assert_eq!(out.stats.groups_plain, 1);
         // ... but it still paid the check overhead.
@@ -170,9 +166,7 @@ mod tests {
                 value: 1.0,
             })
             .collect();
-        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![AtomicInstr::new(
-            ops,
-        )])));
+        let out = rewrite_kernel_cccl(&kernel_with(AtomicBundle::new(vec![AtomicInstr::new(ops)])));
         assert_eq!(out.trace.total_atomic_requests(), 32);
     }
 

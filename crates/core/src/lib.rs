@@ -41,5 +41,5 @@ pub use cccl::rewrite_kernel_cccl;
 pub use policy::{BalanceThreshold, GreedyHwScheduler, HwPath, SwPath};
 pub use reduce::{butterfly_reduce, serialized_reduce, ReductionKind};
 pub use sw::{rewrite_kernel_sw, SwAlgorithm, SwConfig, SwCostModel};
-pub use transaction::{coalesce_atomic, AtomicTransaction};
+pub use transaction::{coalesce_atomic, coalesce_atomic_sizes_into, AtomicTransaction};
 pub use tuner::{AutoTuner, TuneOutcome};

@@ -188,7 +188,10 @@ fn emit_compute(out: &mut Vec<Instr>, stats: &mut RewriteStats, kind: ComputeKin
     let mut remaining = repeat;
     while remaining > 0 {
         let chunk = remaining.min(u32::from(u16::MAX)) as u16;
-        out.push(Instr::Compute { kind, repeat: chunk });
+        out.push(Instr::Compute {
+            kind,
+            repeat: chunk,
+        });
         remaining -= u32::from(chunk);
     }
     stats.instrs_inserted += u64::from(repeat);
@@ -207,7 +210,12 @@ fn rewrite_bundle(
     }
 
     // `reduce_arc` preamble: match + popc/compare/branch (Fig. 14).
-    emit_compute(out, stats, ComputeKind::Match, u32::from(config.cost.match_instrs));
+    emit_compute(
+        out,
+        stats,
+        ComputeKind::Match,
+        u32::from(config.cost.match_instrs),
+    );
     emit_compute(
         out,
         stats,
@@ -360,11 +368,7 @@ fn rewrite_butterfly(
             ComputeKind::Branch,
             u32::from(config.cost.fallback_branch_instrs),
         );
-        let plain: Vec<Vec<LaneOp>> = bundle
-            .params
-            .iter()
-            .map(|p| p.ops().to_vec())
-            .collect();
+        let plain: Vec<Vec<LaneOp>> = bundle.params.iter().map(|p| p.ops().to_vec()).collect();
         push_bundle(out, stats, plain, bundle.uniform_iteration);
     }
 }
@@ -452,10 +456,7 @@ mod tests {
                 .collect(),
         );
         let trace = kernel_with(AtomicBundle::new(vec![instr]));
-        for cfg in [
-            SwConfig::serialized(thr(16)),
-            SwConfig::butterfly(thr(16)),
-        ] {
+        for cfg in [SwConfig::serialized(thr(16)), SwConfig::butterfly(thr(16))] {
             let out = rewrite_kernel_sw(&trace, &cfg);
             assert_eq!(out.trace.total_atomic_requests(), 4, "{}", cfg.label());
             assert_eq!(out.stats.groups_plain, 1);

@@ -77,6 +77,20 @@ pub fn coalesce_atomic(instr: &AtomicInstr) -> Vec<AtomicTransaction> {
     txs
 }
 
+/// Allocation-free variant of [`coalesce_atomic`] for simulator hot
+/// paths that only need each transaction's shape: fills `out` with
+/// `(address, request_count)` pairs in the same first-appearance order,
+/// reusing the caller's buffer.
+pub fn coalesce_atomic_sizes_into(instr: &AtomicInstr, out: &mut Vec<(u64, u32)>) {
+    out.clear();
+    for op in instr.ops() {
+        match out.iter_mut().find(|(addr, _)| *addr == op.addr) {
+            Some((_, count)) => *count += 1,
+            None => out.push((op.addr, 1)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,11 +22,7 @@ pub struct TuneOutcome {
 impl TuneOutcome {
     /// Speedup of the best threshold over the worst probed one.
     pub fn best_over_worst(&self) -> f64 {
-        let worst = self
-            .probes
-            .iter()
-            .map(|&(_, c)| c)
-            .fold(f64::MIN, f64::max);
+        let worst = self.probes.iter().map(|&(_, c)| c).fold(f64::MIN, f64::max);
         if self.best_cost > 0.0 {
             worst / self.best_cost
         } else {

@@ -160,10 +160,8 @@ pub fn densify_and_prune(
             // the major axis.
             let dir = major_axis(model, i) * size;
             let shrink = 1.6f32.ln();
-            model.log_scale[i] = Vec2::new(
-                model.log_scale[i].x - shrink,
-                model.log_scale[i].y - shrink,
-            );
+            model.log_scale[i] =
+                Vec2::new(model.log_scale[i].x - shrink, model.log_scale[i].y - shrink);
             let new_mean = model.mean[i] + dir;
             model.mean[i] = model.mean[i] - dir * 0.5;
             model.push(
@@ -259,7 +257,7 @@ mod tests {
     #[test]
     fn prunes_transparent_gaussians() {
         let mut model = model_with(&[
-            (Vec2::new(5.0, 5.0), Vec2::new(0.0, 0.0), 2.0),   // opaque
+            (Vec2::new(5.0, 5.0), Vec2::new(0.0, 0.0), 2.0), // opaque
             (Vec2::new(9.0, 9.0), Vec2::new(0.0, 0.0), -10.0), // transparent
         ]);
         let mut accum = GradAccumulator::new(2);

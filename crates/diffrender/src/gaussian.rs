@@ -87,7 +87,14 @@ impl GaussianModel {
     }
 
     /// Appends a Gaussian.
-    pub fn push(&mut self, mean: Vec2, log_scale: Vec2, theta: f32, opacity_logit: f32, color: Vec3) {
+    pub fn push(
+        &mut self,
+        mean: Vec2,
+        log_scale: Vec2,
+        theta: f32,
+        opacity_logit: f32,
+        color: Vec3,
+    ) {
         self.mean.push(mean);
         self.log_scale.push(log_scale);
         self.theta.push(theta);
@@ -407,12 +414,7 @@ fn build_tile_lists_prepared(
 
 /// Evaluates one Gaussian at a pixel; `None` if it fails the paper's
 /// `COND1`/`COND2` checks. Returns `(gauss_value, alpha, clamped)`.
-fn eval_alpha(
-    pix: Vec2,
-    mean: Vec2,
-    conic: Mat2Sym,
-    opacity: f32,
-) -> Option<(f32, f32, bool)> {
+fn eval_alpha(pix: Vec2, mean: Vec2, conic: Mat2Sym, opacity: f32) -> Option<(f32, f32, bool)> {
     let d = pix - mean;
     let power = -0.5 * conic.quad(d);
     if power > 0.0 {
@@ -443,7 +445,12 @@ fn eval_alpha(
 /// // The Gaussian's center pixel is strongly red.
 /// assert!(out.image.get(16, 16).x > 0.5);
 /// ```
-pub fn render(model: &GaussianModel, width: usize, height: usize, background: Vec3) -> RenderOutput {
+pub fn render(
+    model: &GaussianModel,
+    width: usize,
+    height: usize,
+    background: Vec3,
+) -> RenderOutput {
     render_scene(&model.to_splats(), width, height, background)
 }
 
@@ -529,7 +536,11 @@ pub fn backward_scene<R: GradRecorder>(
     let width = out.image.width();
     let height = out.image.height();
     assert_eq!(pixel_grads.width(), width, "gradient field width mismatch");
-    assert_eq!(pixel_grads.height(), height, "gradient field height mismatch");
+    assert_eq!(
+        pixel_grads.height(),
+        height,
+        "gradient field height mismatch"
+    );
     let mut grads = RasterGrads::zeros(scene.len());
 
     let warps_per_tile_y = TILE / WARP_H;
@@ -627,12 +638,9 @@ fn backward_warp<R: GradRecorder>(
             if (k as u32) >= st.n_processed {
                 continue; // this pixel never reached entry k (early stop)
             }
-            let Some((gauss, alpha, clamped)) = eval_alpha(
-                st.pix,
-                scene.mean[g],
-                prepared.conic[g],
-                scene.opacity[g],
-            ) else {
+            let Some((gauss, alpha, clamped)) =
+                eval_alpha(st.pix, scene.mean[g], prepared.conic[g], scene.opacity[g])
+            else {
                 continue; // COND1/COND2 skip, exactly as in the forward
             };
 
@@ -890,14 +898,23 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked > 10, "finite-difference check exercised too few params");
+        assert!(
+            checked > 10,
+            "finite-difference check exercised too few params"
+        );
     }
 
     #[test]
     fn backward_reduces_loss_when_stepped() {
         let mut model = small_model();
         let mut rng = StdRng::seed_from_u64(3);
-        let target = render(&GaussianModel::random(6, 32, 32, &mut rng), 32, 32, Vec3::splat(0.0)).image;
+        let target = render(
+            &GaussianModel::random(6, 32, 32, &mut rng),
+            32,
+            32,
+            Vec3::splat(0.0),
+        )
+        .image;
         let bg = Vec3::splat(0.0);
         let mut last = f32::INFINITY;
         let mut opt = crate::optim::Adam::new(model.len() * PARAMS_PER_GAUSSIAN, 0.02);
@@ -913,7 +930,10 @@ mod tests {
         }
         let out = render(&model, 32, 32, bg);
         let (final_loss, _) = l2_loss(&out.image, &target);
-        assert!(final_loss <= last * 1.05, "training diverged: {final_loss} vs {last}");
+        assert!(
+            final_loss <= last * 1.05,
+            "training diverged: {final_loss} vs {last}"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, x: usize, y: usize) -> Vec3 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -61,7 +64,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, x: usize, y: usize, color: Vec3) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = color;
     }
 

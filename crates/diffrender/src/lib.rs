@@ -18,8 +18,8 @@ pub mod math3d;
 pub mod nvdiff;
 pub mod optim;
 pub mod projection;
-pub mod sh;
 pub mod pulsar;
+pub mod sh;
 pub mod ssim;
 pub mod tracegen;
 pub mod train;

@@ -160,7 +160,11 @@ mod tests {
         render.pixels_mut()[0].x += h;
         let l1v = base(&render);
         let fd = (l1v - l0) / h;
-        assert!((grads.get(0, 0).x - fd).abs() < 1e-3, "{} vs {fd}", grads.get(0, 0).x);
+        assert!(
+            (grads.get(0, 0).x - fd).abs() < 1e-3,
+            "{} vs {fd}",
+            grads.get(0, 0).x
+        );
     }
 
     #[test]

@@ -221,12 +221,7 @@ pub fn covariance_from_scale_rot(sx: f32, sy: f32, theta: f32) -> Mat2Sym {
 /// The off-diagonal entry `b` appears once in the symmetric storage but
 /// twice in the matrix; `grad_cov.b` must be the derivative w.r.t. the
 /// *stored* `b` (i.e. already accounting for both occurrences).
-pub fn covariance_backward(
-    sx: f32,
-    sy: f32,
-    theta: f32,
-    grad_cov: Mat2Sym,
-) -> (f32, f32, f32) {
+pub fn covariance_backward(sx: f32, sy: f32, theta: f32, grad_cov: Mat2Sym) -> (f32, f32, f32) {
     let (sin, cos) = theta.sin_cos();
     let (vx, vy) = (sx * sx, sy * sy);
     // d a / d vx = cos², d a / d vy = sin², etc.

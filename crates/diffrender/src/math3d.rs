@@ -166,8 +166,7 @@ impl Quat {
 
         // dR/d(normalized components) — from the matrix entries above.
         let dw = 2.0
-            * (-z * g[0][1] + y * g[0][2] + z * g[1][0] - x * g[1][2] - y * g[2][0]
-                + x * g[2][1]);
+            * (-z * g[0][1] + y * g[0][2] + z * g[1][0] - x * g[1][2] - y * g[2][0] + x * g[2][1]);
         let dx = 2.0
             * (y * g[0][1] + z * g[0][2] + y * g[1][0] - 2.0 * x * g[1][1] - w * g[1][2]
                 + z * g[2][0]

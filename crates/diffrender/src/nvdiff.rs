@@ -68,10 +68,7 @@ impl Cubemap {
 
     /// Flat parameter view (3 floats per texel).
     pub fn to_params(&self) -> Vec<f32> {
-        self.texels
-            .iter()
-            .flat_map(|t| [t.x, t.y, t.z])
-            .collect()
+        self.texels.iter().flat_map(|t| [t.x, t.y, t.z]).collect()
     }
 
     /// Loads parameters from a flat vector.

@@ -140,7 +140,14 @@ impl Gaussian3DModel {
     }
 
     /// Appends a Gaussian.
-    pub fn push(&mut self, mean: Vec3, log_scale: Vec3, quat: Quat, opacity_logit: f32, color: Vec3) {
+    pub fn push(
+        &mut self,
+        mean: Vec3,
+        log_scale: Vec3,
+        quat: Quat,
+        opacity_logit: f32,
+        color: Vec3,
+    ) {
         self.mean.push(mean);
         self.log_scale.push(log_scale);
         self.quat.push(quat);
@@ -594,7 +601,11 @@ mod tests {
         let bg = Vec3::splat(0.1);
 
         let loss_of = |m: &Gaussian3DModel| {
-            l2_loss(&render_scene(&project(m, &cam).splats, 48, 48, bg).image, &target).0
+            l2_loss(
+                &render_scene(&project(m, &cam).splats, 48, 48, bg).image,
+                &target,
+            )
+            .0
         };
 
         let proj = project(&model, &cam);
@@ -641,9 +652,7 @@ mod tests {
             Vec3::new(-3.0, -0.5, -2.5),
         ]
         .into_iter()
-        .map(|pos| {
-            Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, 48, 48)
-        })
+        .map(|pos| Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, 48, 48))
         .collect();
         let gt = Gaussian3DModel::random(12, 0.8, &mut rng);
         let bg = Vec3::splat(0.0);

@@ -428,7 +428,13 @@ mod tests {
     fn backward_matches_finite_differences() {
         let mut model = small_model();
         let mut rng = StdRng::seed_from_u64(5);
-        let target = render(&SphereModel::random(5, 32, 32, &mut rng), 32, 32, Vec3::splat(0.1)).image;
+        let target = render(
+            &SphereModel::random(5, 32, 32, &mut rng),
+            32,
+            32,
+            Vec3::splat(0.1),
+        )
+        .image;
         let bg = Vec3::splat(0.1);
 
         let out = render(&model, 32, 32, bg);
@@ -465,7 +471,13 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let mut rng = StdRng::seed_from_u64(6);
-        let target = render(&SphereModel::random(8, 32, 32, &mut rng), 32, 32, Vec3::splat(0.0)).image;
+        let target = render(
+            &SphereModel::random(8, 32, 32, &mut rng),
+            32,
+            32,
+            Vec3::splat(0.0),
+        )
+        .image;
         let mut model = SphereModel::random(8, 32, 32, &mut rng);
         let mut opt = Adam::new(model.len() * PARAMS_PER_SPHERE, 0.05);
         let mut first = None;
@@ -487,7 +499,14 @@ mod tests {
     fn observer_sees_contributions() {
         struct Count(usize);
         impl SphereGradObserver for Count {
-            fn contribution(&mut self, _x: usize, _y: usize, _k: usize, _s: u32, _g: &SphereLaneGrad) {
+            fn contribution(
+                &mut self,
+                _x: usize,
+                _y: usize,
+                _k: usize,
+                _s: u32,
+                _g: &SphereLaneGrad,
+            ) {
                 self.0 += 1;
             }
         }

@@ -50,7 +50,13 @@ impl Sh1 {
 
     /// Random coefficients: moderate DC around gray, small linear terms.
     pub fn random<R: Rng>(rng: &mut R) -> Self {
-        let mut v = || Vec3::new(rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5, rng.gen::<f32>() - 0.5);
+        let mut v = || {
+            Vec3::new(
+                rng.gen::<f32>() - 0.5,
+                rng.gen::<f32>() - 0.5,
+                rng.gen::<f32>() - 0.5,
+            )
+        };
         Sh1 {
             c0: v() * 1.5,
             c1: v() * 0.8,
@@ -62,7 +68,10 @@ impl Sh1 {
 
 /// Forward SH-1 evaluation (pre-clamp value and the clamped color).
 fn eval_raw(sh: &Sh1, dir: Vec3) -> Vec3 {
-    Vec3::splat(0.5) + sh.c0 * SH_C0 + sh.c1 * (-SH_C1 * dir.y) + sh.c2 * (SH_C1 * dir.z)
+    Vec3::splat(0.5)
+        + sh.c0 * SH_C0
+        + sh.c1 * (-SH_C1 * dir.y)
+        + sh.c2 * (SH_C1 * dir.z)
         + sh.c3 * (-SH_C1 * dir.x)
 }
 
@@ -157,7 +166,11 @@ impl Sh1Bank {
     /// Panics on length mismatch.
     pub fn set_params(&mut self, params: &[f32]) {
         assert_eq!(params.len(), self.len() * PARAMS_PER_SH1, "length mismatch");
-        for (c, chunk) in self.coeffs.iter_mut().zip(params.chunks_exact(PARAMS_PER_SH1)) {
+        for (c, chunk) in self
+            .coeffs
+            .iter_mut()
+            .zip(params.chunks_exact(PARAMS_PER_SH1))
+        {
             c.c0 = Vec3::new(chunk[0], chunk[1], chunk[2]);
             c.c1 = Vec3::new(chunk[3], chunk[4], chunk[5]);
             c.c2 = Vec3::new(chunk[6], chunk[7], chunk[8]);
@@ -237,7 +250,10 @@ mod tests {
         sh.c3 = Vec3::new(1.0, 0.0, 0.0); // pairs with −d.x
         let from_left = eval_sh1(&sh, Vec3::new(-1.0, 0.0, 0.0));
         let from_right = eval_sh1(&sh, Vec3::new(1.0, 0.0, 0.0));
-        assert!(from_left.x > from_right.x, "{from_left:?} vs {from_right:?}");
+        assert!(
+            from_left.x > from_right.x,
+            "{from_left:?} vs {from_right:?}"
+        );
     }
 
     #[test]
@@ -337,8 +353,7 @@ mod tests {
         ];
         let grads = vec![Vec3::splat(1.0); 3];
         let mut mean_grads = vec![Vec3::splat(10.0); 3];
-        let sh_grads =
-            bank.view_colors_backward(&means, Vec3::default(), &grads, &mut mean_grads);
+        let sh_grads = bank.view_colors_backward(&means, Vec3::default(), &grads, &mut mean_grads);
         assert_eq!(sh_grads.len(), 3 * PARAMS_PER_SH1);
         // Accumulated on top of the existing 10.0, not overwritten.
         assert!(mean_grads.iter().all(|g| (g.x - 10.0).abs() < 1.0));

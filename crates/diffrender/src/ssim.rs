@@ -167,8 +167,7 @@ pub fn ssim_with_grads(a: &Image, b: &Image) -> (f32, PixelGrads) {
             let ds_dsx2 = ds_db2;
             let ds_dsxy = 2.0 * ds_da2;
             g_mu[i] = w
-                * (ds_da1 * 2.0 * uy + ds_db1 * 2.0 * ux + ds_dsx2 * (-2.0 * ux)
-                    + ds_dsxy * (-uy));
+                * (ds_da1 * 2.0 * uy + ds_db1 * 2.0 * ux + ds_dsx2 * (-2.0 * ux) + ds_dsxy * (-uy));
             g_m_x2[i] = w * ds_dsx2;
             g_m_xy[i] = w * ds_dsxy;
         }
@@ -188,10 +187,7 @@ pub fn ssim_with_grads(a: &Image, b: &Image) -> (f32, PixelGrads) {
     }
 
     let mean = (total / f64::from(n_valid)) as f32 * 3.0 / 3.0;
-    (
-        mean,
-        PixelGrads::from_raw(grads, width, height),
-    )
+    (mean, PixelGrads::from_raw(grads, width, height))
 }
 
 /// The 3DGS training loss `L = (1−λ)·L1 + λ·(1 − SSIM)` and its pixel

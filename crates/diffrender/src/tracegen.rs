@@ -113,7 +113,8 @@ impl GradRecorder for GaussianTraceRecorder {
         }
         self.iter_in_warp = self.iter_in_warp.wrapping_add(1);
         // COND evaluation happens for every lane, every iteration.
-        self.builder.compute(ComputeKind::IntAlu, self.costs.cond_cost);
+        self.builder
+            .compute(ComputeKind::IntAlu, self.costs.cond_cost);
 
         let mut params: Vec<Vec<LaneOp>> = vec![Vec::new(); GAUSSIAN_PARAM_COUNT];
         for (lane, grad) in grads.iter().enumerate() {
@@ -129,7 +130,8 @@ impl GradRecorder for GaussianTraceRecorder {
         if params[0].is_empty() {
             return; // whole warp skipped this Gaussian
         }
-        self.builder.compute(ComputeKind::Ffma, self.costs.grad_cost);
+        self.builder
+            .compute(ComputeKind::Ffma, self.costs.grad_cost);
         let instrs = params.into_iter().map(AtomicInstr::new).collect();
         // Tile loops are warp-uniform: SW-B's Fig. 17 transform applies.
         self.builder.atomic_bundle(AtomicBundle::new(instrs));
@@ -194,7 +196,8 @@ pub fn gaussian_forward_trace(out: &RenderOutput, costs: TraceCosts) -> KernelTr
                 }
                 // Forward blending: conic evaluation, exp, alpha test,
                 // blend per channel.
-                b.compute(ComputeKind::Ffma, 18).compute(ComputeKind::Sfu, 2);
+                b.compute(ComputeKind::Ffma, 18)
+                    .compute(ComputeKind::Sfu, 2);
             }
             b.store(2);
             warps.push(b.finish());
@@ -249,7 +252,8 @@ pub fn nvdiff_gradcomp_trace(
             b.load(4).compute(ComputeKind::IntAlu, 3);
             for s in 0..scene.samples {
                 // Reflection math for the sample.
-                b.compute(ComputeKind::Ffma, 10).compute(ComputeKind::Sfu, 2);
+                b.compute(ComputeKind::Ffma, 10)
+                    .compute(ComputeKind::Sfu, 2);
                 let mut params: Vec<Vec<LaneOp>> = vec![Vec::new(); 3];
                 for lane in 0..32usize {
                     let x = x0 + lane % 16;
@@ -477,7 +481,13 @@ mod tests {
     fn gaussian_fixture() -> (GaussianModel, RenderOutput, PixelGrads) {
         let mut rng = StdRng::seed_from_u64(11);
         let model = GaussianModel::random(20, 48, 32, &mut rng);
-        let target = render(&GaussianModel::random(20, 48, 32, &mut rng), 48, 32, Vec3::splat(0.0)).image;
+        let target = render(
+            &GaussianModel::random(20, 48, 32, &mut rng),
+            48,
+            32,
+            Vec3::splat(0.0),
+        )
+        .image;
         let out = render(&model, 48, 32, Vec3::splat(0.0));
         let (_, pg) = l2_loss(&out.image, &target);
         (model, out, pg)
@@ -591,9 +601,13 @@ mod tests {
     fn pulsar_trace_atomics_reproduce_sphere_grads() {
         let mut rng = StdRng::seed_from_u64(15);
         let model = SphereModel::random(30, 48, 32, &mut rng);
-        let target =
-            pulsar::render(&SphereModel::random(30, 48, 32, &mut rng), 48, 32, Vec3::splat(0.0))
-                .image;
+        let target = pulsar::render(
+            &SphereModel::random(30, 48, 32, &mut rng),
+            48,
+            32,
+            Vec3::splat(0.0),
+        )
+        .image;
         let out = pulsar::render(&model, 48, 32, Vec3::splat(0.0));
         let (_, pg) = l2_loss(&out.image, &target);
         let (trace, grads) = pulsar_gradcomp_trace(&model, &out, &pg, TraceCosts::default());

@@ -162,9 +162,13 @@ mod tests {
     #[test]
     fn train_2d_improves_psnr() {
         let mut rng = StdRng::seed_from_u64(31);
-        let target =
-            gaussian::render(&GaussianModel::random(30, 48, 48, &mut rng), 48, 48, Vec3::splat(0.0))
-                .image;
+        let target = gaussian::render(
+            &GaussianModel::random(30, 48, 48, &mut rng),
+            48,
+            48,
+            Vec3::splat(0.0),
+        )
+        .image;
         let mut model = GaussianModel::random(30, 48, 48, &mut rng);
         let before = psnr(
             &gaussian::render(&model, 48, 48, Vec3::splat(0.0)).image,
@@ -178,16 +182,25 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        assert!(stats.final_psnr > before, "{} -> {}", before, stats.final_psnr);
+        assert!(
+            stats.final_psnr > before,
+            "{} -> {}",
+            before,
+            stats.final_psnr
+        );
         assert!(stats.final_loss() < stats.initial_loss());
     }
 
     #[test]
     fn train_2d_with_dssim_loss_converges() {
         let mut rng = StdRng::seed_from_u64(32);
-        let target =
-            gaussian::render(&GaussianModel::random(20, 32, 32, &mut rng), 32, 32, Vec3::splat(0.1))
-                .image;
+        let target = gaussian::render(
+            &GaussianModel::random(20, 32, 32, &mut rng),
+            32,
+            32,
+            Vec3::splat(0.1),
+        )
+        .image;
         let mut model = GaussianModel::random(20, 32, 32, &mut rng);
         let stats = train_2d(
             &mut model,
@@ -206,23 +219,21 @@ mod tests {
     fn train_3d_multiview_improves() {
         let mut rng = StdRng::seed_from_u64(33);
         let gt = Gaussian3DModel::random(10, 0.7, &mut rng);
-        let views: Vec<(Camera, Image)> = [
-            Vec3::new(0.0, 0.0, -4.0),
-            Vec3::new(3.0, 1.0, -2.0),
-        ]
-        .into_iter()
-        .map(|pos| {
-            let cam = Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, 40, 40);
-            let img = gaussian::render_scene(
-                &projection::project(&gt, &cam).splats,
-                40,
-                40,
-                Vec3::splat(0.0),
-            )
-            .image;
-            (cam, img)
-        })
-        .collect();
+        let views: Vec<(Camera, Image)> = [Vec3::new(0.0, 0.0, -4.0), Vec3::new(3.0, 1.0, -2.0)]
+            .into_iter()
+            .map(|pos| {
+                let cam =
+                    Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, 40, 40);
+                let img = gaussian::render_scene(
+                    &projection::project(&gt, &cam).splats,
+                    40,
+                    40,
+                    Vec3::splat(0.0),
+                )
+                .image;
+                (cam, img)
+            })
+            .collect();
 
         let mut model = Gaussian3DModel::random(10, 0.7, &mut rng);
         let stats = train_3d(

@@ -7,7 +7,9 @@ use diffrender::image::{psnr, Image};
 use diffrender::loss::l2_loss;
 use diffrender::math::Vec3;
 use diffrender::optim::Adam;
-use diffrender::projection::{project, project_backward, Camera, Gaussian3DModel, PARAMS_PER_GAUSSIAN_3D};
+use diffrender::projection::{
+    project, project_backward, Camera, Gaussian3DModel, PARAMS_PER_GAUSSIAN_3D,
+};
 use diffrender::sh::{Sh1Bank, PARAMS_PER_SH1};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,7 +24,16 @@ fn cameras() -> Vec<Camera> {
         Vec3::new(0.5, 3.5, -2.0),
     ]
     .into_iter()
-    .map(|pos| Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, SIZE, SIZE))
+    .map(|pos| {
+        Camera::look_at(
+            pos,
+            Vec3::default(),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.9,
+            SIZE,
+            SIZE,
+        )
+    })
     .collect()
 }
 
@@ -32,7 +43,10 @@ fn render_sh(
     bank: &Sh1Bank,
     cam: &Camera,
     bg: Vec3,
-) -> (diffrender::gaussian::RenderOutput, diffrender::projection::Projection) {
+) -> (
+    diffrender::gaussian::RenderOutput,
+    diffrender::projection::Projection,
+) {
     let mut view_model = model.clone();
     view_model.color = bank.view_colors(&model.mean, cam.position);
     let proj = project(&view_model, cam);

@@ -319,7 +319,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for cfg in [GpuConfig::rtx4090(), GpuConfig::rtx3060(), GpuConfig::tiny()] {
+        for cfg in [
+            GpuConfig::rtx4090(),
+            GpuConfig::rtx3060(),
+            GpuConfig::tiny(),
+        ] {
             cfg.validate().unwrap();
         }
     }

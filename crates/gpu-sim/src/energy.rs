@@ -77,11 +77,9 @@ impl EnergyModel {
             + counters.rop_lane_ops as f64 * self.rop_nj
             + counters.redunit_lane_ops as f64 * self.redunit_nj
             + (counters.load_sectors + counters.store_sectors) as f64 * self.sector_nj
-            + (counters.buffer_merges + counters.buffer_evictions + counters.buffer_flushes)
-                as f64
+            + (counters.buffer_merges + counters.buffer_evictions + counters.buffer_flushes) as f64
                 * self.buffer_nj;
-        let static_e =
-            cycles as f64 * f64::from(cfg.num_sms) * self.static_per_sm_cycle_nj;
+        let static_e = cycles as f64 * f64::from(cfg.num_sms) * self.static_per_sm_cycle_nj;
         let compute_mj = compute * nj_to_mj;
         let memory_mj = memory * nj_to_mj;
         let static_mj = static_e * nj_to_mj;

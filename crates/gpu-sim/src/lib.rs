@@ -28,10 +28,12 @@
 mod config;
 mod energy;
 mod machine;
+pub mod parallel;
 mod sim;
 mod stats;
 
 pub use config::GpuConfig;
 pub use energy::{EnergyModel, EnergyReport};
+pub use parallel::{default_jobs, par_map};
 pub use sim::{AtomicPath, SimError, Simulator};
 pub use stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};

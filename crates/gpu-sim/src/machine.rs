@@ -7,11 +7,53 @@
 //! tracked internally in quarter-units per cycle so fractional rates
 //! (e.g. PHI's 1.5 lane-values/cycle tag-lookup port) stay integral.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::config::GpuConfig;
 use crate::stats::SimCounters;
+
+/// One SM's cycle-local window onto the memory partitions.
+///
+/// During the (possibly multi-threaded) SM phase no SM may touch the
+/// shared [`MemPartition`]s directly, so each SM sees a start-of-cycle
+/// occupancy *snapshot* plus its own `sent` tally, and buffers accepted
+/// requests in an `outbox` the coordinator delivers in SM-index order at
+/// the end of the cycle. Admission is therefore conservative per SM but
+/// *soft* across SMs: two SMs may each fit within the snapshot yet
+/// overshoot a partition's capacity together. The overshoot is bounded
+/// by one cycle's issue and models interconnect credit slack; crucially
+/// the decision depends only on the snapshot and this SM's own traffic,
+/// never on worker scheduling — the root of the engine's bit-for-bit
+/// determinism (see `sim.rs`).
+pub(crate) struct SmPort<'a> {
+    /// Start-of-cycle partition occupancies, written by the coordinator
+    /// before the SM phase begins (atomics only so the snapshot can be
+    /// shared with worker threads without `unsafe`).
+    pub occ: &'a [AtomicU32],
+    /// Units this SM has admitted per partition this cycle.
+    pub sent: &'a mut [u32],
+    /// Requests admitted this cycle, delivered after the barrier.
+    pub outbox: &'a mut Vec<MemReq>,
+    /// Partition input-buffer capacity.
+    pub capacity: u32,
+}
+
+impl SmPort<'_> {
+    /// Whether a request of `size` units fits in `partition`'s input
+    /// buffer, judging by the snapshot plus this SM's own traffic.
+    pub fn can_accept(&self, partition: u32, size: u32) -> bool {
+        let p = partition as usize;
+        self.occ[p].load(Ordering::Relaxed) + self.sent[p] + size <= self.capacity
+    }
+
+    /// Admits a request (caller must have checked [`Self::can_accept`]).
+    pub fn push(&mut self, req: MemReq) {
+        self.sent[req.partition as usize] += req.size;
+        self.outbox.push(req);
+    }
+}
 
 /// A memory request traveling from an SM toward the memory partitions.
 #[derive(Clone, Debug)]
@@ -44,7 +86,6 @@ pub(crate) struct MemPartition {
     atomics: VecDeque<MemReq>,
     data: VecDeque<MemReq>,
     occupancy: u32,
-    capacity: u32,
     rop_rate: u32,
     data_rate: u32,
     load_latency: u32,
@@ -58,7 +99,6 @@ impl MemPartition {
             atomics: VecDeque::new(),
             data: VecDeque::new(),
             occupancy: 0,
-            capacity: cfg.partition_queue_capacity,
             rop_rate: cfg.rops_per_partition,
             data_rate: cfg.l2_load_throughput,
             load_latency: cfg.l2_load_latency,
@@ -67,13 +107,9 @@ impl MemPartition {
         }
     }
 
-    /// Whether a request of `size` units fits in the input buffer.
-    pub fn can_accept(&self, size: u32) -> bool {
-        self.occupancy + size <= self.capacity
-    }
-
-
-    /// Enqueues a request (caller must have checked [`Self::can_accept`]).
+    /// Enqueues a request. Admission control lives in [`SmPort`] (the
+    /// snapshot-based check SMs run against this partition's capacity);
+    /// the partition itself accepts whatever the interconnect delivers.
     pub fn push(&mut self, req: MemReq) {
         self.occupancy += req.size;
         match req.kind {
@@ -185,7 +221,7 @@ impl RedUnit {
         throughput: u32,
         emit_reserve: u32,
         lsu: &mut LsuQueue,
-        partitions: &mut [MemPartition],
+        port: &mut SmPort<'_>,
         counters: &mut SimCounters,
     ) {
         let mut budget = throughput;
@@ -203,12 +239,11 @@ impl RedUnit {
                 addr: head.addr,
                 kind: ReqKind::Atomic,
             };
-            let part = &mut partitions[head.partition as usize];
-            if part.can_accept(1) {
+            if port.can_accept(head.partition, 1) {
                 budget -= head.remaining;
                 counters.redunit_lane_ops += u64::from(head.size);
                 counters.icnt_flits += 1;
-                part.push(req);
+                port.push(req);
                 self.queue.pop_front();
             } else if lsu.can_accept_reserved(1, emit_reserve) {
                 budget -= head.remaining;
@@ -287,7 +322,7 @@ impl LsuQueue {
         &mut self,
         base_rate_q: u32,
         buffer: &mut Option<AggBuffer>,
-        partitions: &mut [MemPartition],
+        port: &mut SmPort<'_>,
         counters: &mut SimCounters,
     ) {
         let rate_q = match (self.queue.front(), buffer.as_ref()) {
@@ -304,8 +339,7 @@ impl LsuQueue {
             if self.drain_progress_q < need_q {
                 break;
             }
-            let to_buffer =
-                matches!(head.kind, ReqKind::Atomic) && buffer.is_some();
+            let to_buffer = matches!(head.kind, ReqKind::Atomic) && buffer.is_some();
             if to_buffer {
                 let req = self.queue.pop_front().expect("head exists");
                 self.occupancy -= req.size;
@@ -315,8 +349,7 @@ impl LsuQueue {
                     .expect("buffer checked above")
                     .absorb(req, counters);
             } else {
-                let part = &mut partitions[head.partition as usize];
-                if !part.can_accept(head.size) {
+                if !port.can_accept(head.partition, head.size) {
                     // Back-pressure: cap banked progress so it resumes
                     // instantly once the partition frees up, without
                     // accumulating unbounded credit.
@@ -327,7 +360,7 @@ impl LsuQueue {
                 self.occupancy -= req.size;
                 self.drain_progress_q -= need_q;
                 counters.icnt_flits += u64::from(req.size);
-                part.push(req);
+                port.push(req);
             }
         }
         if self.queue.is_empty() {
@@ -433,8 +466,7 @@ impl AggBuffer {
             return;
         }
         counters.buffer_flushes += self.entries.len() as u64;
-        let keys: Vec<u64> = self.order.drain(..).collect();
-        for key in keys {
+        while let Some(key) = self.order.pop_front() {
             if self.entries.remove(&key).is_some() {
                 self.evict_out.push_back(self.entry_req(key));
             }
@@ -446,7 +478,7 @@ impl AggBuffer {
         &mut self,
         budget: u32,
         cfg: &GpuConfig,
-        partitions: &mut [MemPartition],
+        port: &mut SmPort<'_>,
         counters: &mut SimCounters,
     ) {
         for _ in 0..budget {
@@ -454,10 +486,9 @@ impl AggBuffer {
                 break;
             };
             req.partition = cfg.partition_of(req.addr) as u32;
-            let part = &mut partitions[req.partition as usize];
-            if part.can_accept(req.size) {
+            if port.can_accept(req.partition, req.size) {
                 counters.icnt_flits += u64::from(req.size);
-                part.push(req);
+                port.push(req);
             } else {
                 self.evict_out.push_front(req);
                 break;
@@ -472,6 +503,46 @@ mod tests {
 
     fn counters() -> SimCounters {
         SimCounters::default()
+    }
+
+    /// Owns the snapshot/sent/outbox backing one [`SmPort`] for a single
+    /// simulated cycle, mirroring what the coordinator does in `sim.rs`:
+    /// snapshot partition occupancies, lend out a port, then deliver the
+    /// outbox.
+    struct TestPort {
+        occ: Vec<AtomicU32>,
+        sent: Vec<u32>,
+        outbox: Vec<MemReq>,
+        capacity: u32,
+    }
+
+    impl TestPort {
+        fn new(parts: &[MemPartition], capacity: u32) -> Self {
+            TestPort {
+                occ: parts
+                    .iter()
+                    .map(|p| AtomicU32::new(p.occupancy()))
+                    .collect(),
+                sent: vec![0; parts.len()],
+                outbox: Vec::new(),
+                capacity,
+            }
+        }
+
+        fn port(&mut self) -> SmPort<'_> {
+            SmPort {
+                occ: &self.occ,
+                sent: &mut self.sent,
+                outbox: &mut self.outbox,
+                capacity: self.capacity,
+            }
+        }
+
+        fn deliver(self, parts: &mut [MemPartition]) {
+            for req in self.outbox {
+                parts[req.partition as usize].push(req);
+            }
+        }
     }
 
     #[test]
@@ -518,11 +589,31 @@ mod tests {
     }
 
     #[test]
-    fn partition_capacity_respected() {
+    fn port_respects_partition_capacity() {
         let cfg = GpuConfig::tiny();
-        let p = MemPartition::new(&cfg);
-        assert!(p.can_accept(cfg.partition_queue_capacity));
-        assert!(!p.can_accept(cfg.partition_queue_capacity + 1));
+        let parts = vec![MemPartition::new(&cfg)];
+        let cap = cfg.partition_queue_capacity;
+        let mut tp = TestPort::new(&parts, cap);
+        let port = tp.port();
+        assert!(port.can_accept(0, cap));
+        assert!(!port.can_accept(0, cap + 1));
+    }
+
+    #[test]
+    fn port_counts_own_traffic_against_snapshot() {
+        let cfg = GpuConfig::tiny();
+        let parts = vec![MemPartition::new(&cfg)];
+        let cap = cfg.partition_queue_capacity;
+        let mut tp = TestPort::new(&parts, cap);
+        let mut port = tp.port();
+        port.push(MemReq {
+            size: cap - 1,
+            partition: 0,
+            addr: 0,
+            kind: ReqKind::Atomic,
+        });
+        assert!(port.can_accept(0, 1), "one unit of headroom left");
+        assert!(!port.can_accept(0, 2), "own sent traffic must count");
     }
 
     #[test]
@@ -533,12 +624,20 @@ mod tests {
         let mut parts = vec![MemPartition::new(&cfg), MemPartition::new(&cfg)];
         let mut c = counters();
         ru.push(3, 0x100, 1);
-        ru.step(1, 0, &mut lsu, &mut parts, &mut c); // 2 left
-        ru.step(1, 0, &mut lsu, &mut parts, &mut c); // 1 left
-        assert_eq!(c.redunit_lane_ops, 0);
-        ru.step(1, 0, &mut lsu, &mut parts, &mut c); // finishes, emits
+        for expect_done in [false, false, true] {
+            let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+            ru.step(1, 0, &mut lsu, &mut tp.port(), &mut c);
+            tp.deliver(&mut parts);
+            if !expect_done {
+                assert_eq!(c.redunit_lane_ops, 0);
+            }
+        }
         assert_eq!(c.redunit_lane_ops, 3);
-        assert_eq!(parts[1].occupancy(), 1, "reduced atomic goes straight to its partition");
+        assert_eq!(
+            parts[1].occupancy(),
+            1,
+            "reduced atomic goes straight to its partition"
+        );
         assert_eq!(ru.pending(), 0);
     }
 
@@ -550,7 +649,12 @@ mod tests {
         let mut lsu = LsuQueue::new(1);
         let mut parts = vec![MemPartition::new(&cfg)];
         let mut c = counters();
-        parts[0].push(MemReq { size: 1, partition: 0, addr: 0, kind: ReqKind::Atomic });
+        parts[0].push(MemReq {
+            size: 1,
+            partition: 0,
+            addr: 0,
+            kind: ReqKind::Atomic,
+        });
         lsu.push(
             MemReq {
                 size: 1,
@@ -561,7 +665,9 @@ mod tests {
             &mut c,
         );
         ru.push(1, 0x0, 0);
-        ru.step(4, 0, &mut lsu, &mut parts, &mut c);
+        let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+        ru.step(4, 0, &mut lsu, &mut tp.port(), &mut c);
+        tp.deliver(&mut parts);
         assert_eq!(ru.pending(), 1, "must wait for partition or LSU space");
         assert_eq!(c.redunit_blocked_cycles, 1);
     }
@@ -583,7 +689,9 @@ mod tests {
         );
         // rate 2/cycle (8 quarters): a size-2 req needs one cycle.
         let mut buf = None;
-        lsu.drain(8, &mut buf, &mut parts, &mut c);
+        let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+        lsu.drain(8, &mut buf, &mut tp.port(), &mut c);
+        tp.deliver(&mut parts);
         assert!(lsu.is_empty());
         assert_eq!(parts[1].occupancy(), 2);
         assert_eq!(c.icnt_flits, 2);
@@ -606,10 +714,14 @@ mod tests {
         );
         let mut buf = None;
         for _ in 0..3 {
-            lsu.drain(8, &mut buf, &mut parts, &mut c); // 2 units/cycle
+            let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+            lsu.drain(8, &mut buf, &mut tp.port(), &mut c); // 2 units/cycle
+            tp.deliver(&mut parts);
             assert!(!lsu.is_empty());
         }
-        lsu.drain(8, &mut buf, &mut parts, &mut c);
+        let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+        lsu.drain(8, &mut buf, &mut tp.port(), &mut c);
+        tp.deliver(&mut parts);
         assert!(lsu.is_empty());
     }
 
@@ -709,7 +821,9 @@ mod tests {
         buf.flush(&mut c); // idempotent
         assert_eq!(c.buffer_flushes, 4);
         assert_eq!(buf.len(), 0);
-        buf.drain_evictions(10, &cfg, &mut parts, &mut c);
+        let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+        buf.drain_evictions(10, &cfg, &mut tp.port(), &mut c);
+        tp.deliver(&mut parts);
         assert_eq!(buf.evict_backlog(), 0);
         let total: u32 = parts.iter().map(|p| p.occupancy()).sum();
         assert_eq!(total, 4);

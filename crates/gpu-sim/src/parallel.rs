@@ -1,0 +1,132 @@
+//! A dependency-free work-stealing job pool built on `std::thread::scope`.
+//!
+//! Two layers of the engine use it:
+//!
+//! * **job-level** fan-out — the bench harness and experiment binaries map
+//!   independent (config, technique, workload) simulation cells across
+//!   cores with [`par_map`];
+//! * **intra-sim** sharding — `Simulator` splits SMs across worker
+//!   threads (see `sim.rs`), sized by [`default_sim_workers`].
+//!
+//! Both knobs deliberately live *outside* [`crate::GpuConfig`]: thread
+//! counts must never influence simulation results, only wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Default job-level parallelism: the `ARC_JOBS` environment variable if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn default_jobs() -> usize {
+    env_count("ARC_JOBS").unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Default number of worker threads sharding SMs inside one simulation:
+/// the `ARC_SIM_WORKERS` environment variable if set to a positive
+/// integer, otherwise 1 (serial). Kept conservative by default because
+/// job-level parallelism usually saturates the machine first; raise it
+/// for single large simulations.
+pub fn default_sim_workers() -> usize {
+    env_count("ARC_SIM_WORKERS").unwrap_or(1)
+}
+
+fn env_count(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results in input order.
+///
+/// Workers steal the next unclaimed index from a shared atomic cursor, so
+/// long and short items interleave without static partitioning. With
+/// `jobs <= 1` (or fewer than two items) this degrades to a plain serial
+/// map on the calling thread — same results, no thread overhead.
+///
+/// Panics in `f` propagate to the caller when the scope unwinds.
+pub fn par_map<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Per-slot mutexes hand each item to exactly one worker and carry its
+    // result back without any unsafe code; the cursor guarantees an index
+    // is claimed once, so every lock is uncontended.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("par_map: slot lock poisoned")
+                    .take()
+                    .expect("par_map: item claimed twice");
+                let out = f(item);
+                *results[i].lock().expect("par_map: result lock poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("par_map: result lock poisoned")
+                .expect("par_map: worker skipped an item")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(8, items.clone(), |x| x * x);
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u32> = (0..37).collect();
+        let serial = par_map(1, items.clone(), |x| x.wrapping_mul(2654435761));
+        let parallel = par_map(4, items, |x| x.wrapping_mul(2654435761));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(4, vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        assert_eq!(par_map(64, vec![1, 2, 3], |x| x * 10), vec![10, 20, 30]);
+    }
+}

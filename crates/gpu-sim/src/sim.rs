@@ -1,18 +1,46 @@
 //! The cycle-level simulator: warp scheduling, instruction issue, and the
 //! memory-system pipeline tying [`crate::machine`] components together.
+//!
+//! # Execution model
+//!
+//! Every cycle runs in four phases:
+//!
+//! 1. **Memory (serial)** — partitions retire ROP/L2 work, load
+//!    completions wake their warps (routed to the owning SM).
+//! 2. **Dispatch (serial)** — finished warps leave their sub-core slots
+//!    and the global block scheduler hands out pending warps in fixed
+//!    (SM, sub-core) order; partition occupancies are snapshotted.
+//! 3. **SM step (parallel)** — each SM independently drains its
+//!    aggregation buffer and LSU, folds reduction-unit work, and issues
+//!    from its sub-cores. SMs talk to the memory system only through an
+//!    [`SmPort`]: admission is judged against the phase-2 snapshot plus
+//!    the SM's own traffic, and accepted requests land in a per-SM
+//!    outbox.
+//! 4. **Delivery (serial)** — outboxes drain into the partitions in
+//!    SM-index order and retirement counts are folded in.
+//!
+//! Because a phase-3 SM step is a pure function of that SM's state and
+//! the frozen snapshot, sharding SMs across worker threads (see
+//! [`Simulator::with_sm_workers`] / the `ARC_SIM_WORKERS` environment
+//! variable) produces **bit-identical** results to the serial engine —
+//! cycles, stall breakdowns, counters, and energy all match exactly
+//! regardless of worker count or OS scheduling.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 use warp_trace::{ComputeKind, Instr, KernelTrace};
 
-use arc_core::coalesce_atomic;
+use arc_core::coalesce_atomic_sizes_into;
 
 use crate::config::GpuConfig;
 use crate::energy::EnergyModel;
-use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind};
+use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind, SmPort};
+use crate::parallel::default_sim_workers;
 use crate::stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};
 
 /// How the GPU handles atomic traffic — the paper's evaluated designs.
@@ -113,10 +141,16 @@ pub struct Simulator {
     cfg: GpuConfig,
     path: AtomicPath,
     energy: EnergyModel,
+    sm_workers: usize,
 }
 
 impl Simulator {
     /// Creates a simulator.
+    ///
+    /// The number of SM worker threads defaults to the `ARC_SIM_WORKERS`
+    /// environment variable (1 — serial — if unset). Worker count never
+    /// affects simulation results, only wall-clock time; that is why it
+    /// is not part of [`GpuConfig`].
     ///
     /// # Errors
     ///
@@ -128,12 +162,22 @@ impl Simulator {
             cfg,
             path,
             energy: EnergyModel::default(),
+            sm_workers: default_sim_workers(),
         })
     }
 
     /// Replaces the energy model.
     pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
         self.energy = energy;
+        self
+    }
+
+    /// Sets the number of worker threads that shard SMs inside each
+    /// [`Simulator::run`]. `1` runs serially on the calling thread;
+    /// higher values are clamped to the number of SMs. Results are
+    /// bit-identical for every value.
+    pub fn with_sm_workers(mut self, workers: usize) -> Self {
+        self.sm_workers = workers.max(1);
         self
     }
 
@@ -147,6 +191,11 @@ impl Simulator {
         self.path
     }
 
+    /// The configured number of SM worker threads.
+    pub fn sm_workers(&self) -> usize {
+        self.sm_workers
+    }
+
     /// Simulates one kernel to completion (all warps retired and every
     /// queue/buffer drained).
     ///
@@ -154,25 +203,26 @@ impl Simulator {
     ///
     /// [`SimError::ExceededMaxCycles`] if the kernel fails to drain.
     pub fn run(&self, trace: &KernelTrace) -> Result<KernelReport, SimError> {
-        let mut m = Machine::new(&self.cfg, self.path, trace);
+        let mut m = Machine::new(&self.cfg, self.path, trace, self.sm_workers);
         let cycles = m.run(trace)?;
-        let energy = self.energy.evaluate(&self.cfg, &m.counters, cycles);
+        let counters = m.hub.counters;
+        let stalls = m.hub.stalls;
+        let energy = self.energy.evaluate(&self.cfg, &counters, cycles);
         let slots = cycles.max(1) as f64;
         let rop_utilization =
-            m.counters.rop_lane_ops as f64 / (slots * f64::from(self.cfg.total_rops()));
-        let redunit_slots = slots
-            * f64::from(self.cfg.total_subcores())
-            * f64::from(self.cfg.redunit_throughput);
-        let redunit_utilization = m.counters.redunit_lane_ops as f64 / redunit_slots;
+            counters.rop_lane_ops as f64 / (slots * f64::from(self.cfg.total_rops()));
+        let redunit_slots =
+            slots * f64::from(self.cfg.total_subcores()) * f64::from(self.cfg.redunit_throughput);
+        let redunit_utilization = counters.redunit_lane_ops as f64 / redunit_slots;
         let issue_utilization =
-            m.counters.instructions_issued as f64 / (slots * f64::from(self.cfg.total_subcores()));
+            counters.instructions_issued as f64 / (slots * f64::from(self.cfg.total_subcores()));
         Ok(KernelReport {
             name: trace.name().to_string(),
             kind: trace.kind(),
             cycles,
             time_ms: self.cfg.cycles_to_ms(cycles),
-            counters: m.counters,
-            stalls: m.stalls,
+            counters,
+            stalls,
             energy,
             rop_utilization,
             redunit_utilization,
@@ -199,7 +249,7 @@ impl Simulator {
 // Internal per-run state.
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct WarpRt {
     pc: u32,
     /// Progress within the current instruction: compute repeats issued,
@@ -209,18 +259,50 @@ struct WarpRt {
     done: bool,
 }
 
+/// A warp resident in a sub-core slot. Warp state lives *inside* the
+/// owning sub-core (not a global array) so the parallel SM phase never
+/// touches another SM's warps.
+#[derive(Debug)]
+struct Warp {
+    id: u32,
+    rt: WarpRt,
+}
+
 struct SubCoreRt {
-    resident: Vec<u32>,
+    resident: Vec<Warp>,
     /// Rotation start for greedy-then-oldest scheduling.
     rr: usize,
     ldst_free_at: u64,
     redunit: RedUnit,
+    /// Reusable coalescing buffer: (addr, lane-values) per transaction.
+    tx_scratch: Vec<(u64, u32)>,
+    /// Reusable ARC-HW greedy plan (true = reduce).
+    plan_scratch: Vec<bool>,
 }
 
 struct SmRt {
     subcores: Vec<SubCoreRt>,
     lsu: LsuQueue,
     buffer: Option<AggBuffer>,
+}
+
+/// Everything one SM owns exclusively during the parallel phase.
+struct SmLane {
+    sm: SmRt,
+    /// Requests admitted this cycle, delivered to partitions in phase 4.
+    outbox: Vec<MemReq>,
+    /// Per-partition units admitted this cycle (reset each cycle).
+    sent: Vec<u32>,
+    /// SM-local event counters, merged into the hub after the run.
+    counters: SimCounters,
+    /// SM-local stall accounting, merged after the run.
+    stalls: StallBreakdown,
+    /// Per-SM hash stream for load/store partition + hit/miss draws
+    /// (seeded from the SM index so streams differ across SMs).
+    load_rr: u64,
+    /// Warps retired during this cycle's SM phase; folded into the hub's
+    /// `warps_remaining` in phase 4.
+    retired: u64,
 }
 
 enum Outcome {
@@ -237,33 +319,50 @@ enum StallClass {
     Other,
 }
 
-struct Machine<'a> {
+/// State shareable with worker threads during the SM phase: each lane is
+/// behind its own (uncontended) mutex, and the occupancy snapshot is
+/// atomics so the coordinator can refresh it through a shared reference.
+struct Shared<'a> {
     cfg: &'a GpuConfig,
     path: AtomicPath,
-    sms: Vec<SmRt>,
+    lanes: Vec<Mutex<SmLane>>,
+    occ: Vec<AtomicU32>,
+}
+
+/// State only the coordinator thread touches (serial phases).
+struct Hub {
     partitions: Vec<MemPartition>,
-    warps: Vec<WarpRt>,
     /// Global work-dispatch queue: like the hardware block scheduler,
     /// warps are handed to whichever sub-core frees a resident slot.
     pending: VecDeque<u32>,
     completions: BinaryHeap<Reverse<(u64, u32)>>,
+    /// warp id → owning SM index, written at dispatch (routes load
+    /// completions without scanning every SM).
+    owner: Vec<u32>,
     counters: SimCounters,
     stalls: StallBreakdown,
     warps_remaining: u64,
-    load_rr: u64,
+}
+
+struct Machine<'a> {
+    shared: Shared<'a>,
+    hub: Hub,
+    sm_workers: usize,
+}
+
+fn lock<'m>(lane: &'m Mutex<SmLane>) -> MutexGuard<'m, SmLane> {
+    lane.lock().expect("SM lane lock poisoned")
 }
 
 impl<'a> Machine<'a> {
-    fn new(cfg: &'a GpuConfig, path: AtomicPath, trace: &KernelTrace) -> Self {
+    fn new(cfg: &'a GpuConfig, path: AtomicPath, trace: &KernelTrace, sm_workers: usize) -> Self {
         let buffer_for = |sm_path: AtomicPath| -> Option<AggBuffer> {
             match sm_path {
                 AtomicPath::Lab => Some(AggBuffer::lab(
                     cfg.lab_entries as usize,
                     cfg.lab_l1_load_penalty,
                 )),
-                AtomicPath::LabIdeal => {
-                    Some(AggBuffer::lab(cfg.lab_ideal_entries as usize, 0))
-                }
+                AtomicPath::LabIdeal => Some(AggBuffer::lab(cfg.lab_ideal_entries as usize, 0)),
                 AtomicPath::Phi => Some(AggBuffer::phi(
                     cfg.phi_lines as usize,
                     cfg.phi_l1_load_penalty,
@@ -272,208 +371,391 @@ impl<'a> Machine<'a> {
             }
         };
 
-        let sms: Vec<SmRt> = (0..cfg.num_sms)
-            .map(|_| SmRt {
-                subcores: (0..cfg.subcores_per_sm)
-                    .map(|_| SubCoreRt {
-                        resident: Vec::new(),
-                        rr: 0,
-                        ldst_free_at: 0,
-                        redunit: RedUnit::default(),
-                    })
-                    .collect(),
-                lsu: LsuQueue::new(cfg.lsu_queue_capacity),
-                buffer: buffer_for(path),
+        let lanes: Vec<Mutex<SmLane>> = (0..cfg.num_sms)
+            .map(|sm_idx| {
+                Mutex::new(SmLane {
+                    sm: SmRt {
+                        subcores: (0..cfg.subcores_per_sm)
+                            .map(|_| SubCoreRt {
+                                resident: Vec::new(),
+                                rr: 0,
+                                ldst_free_at: 0,
+                                redunit: RedUnit::default(),
+                                tx_scratch: Vec::new(),
+                                plan_scratch: Vec::new(),
+                            })
+                            .collect(),
+                        lsu: LsuQueue::new(cfg.lsu_queue_capacity),
+                        buffer: buffer_for(path),
+                    },
+                    outbox: Vec::new(),
+                    sent: vec![0; cfg.num_mem_partitions as usize],
+                    counters: SimCounters::default(),
+                    stalls: StallBreakdown::default(),
+                    load_rr: u64::from(sm_idx).wrapping_mul(0x517C_C1B7_2722_0A95),
+                    retired: 0,
+                })
             })
             .collect();
 
-        let mut warps = Vec::with_capacity(trace.warps().len());
         let mut pending = VecDeque::with_capacity(trace.warps().len());
         let mut warps_remaining = 0u64;
         for (w, wt) in trace.warps().iter().enumerate() {
-            let done = wt.instrs.is_empty();
-            if !done {
+            if !wt.instrs.is_empty() {
                 warps_remaining += 1;
                 pending.push_back(w as u32);
             }
-            warps.push(WarpRt {
-                pc: 0,
-                sub: 0,
-                outstanding: 0,
-                done,
-            });
         }
 
         Machine {
-            cfg,
-            path,
-            sms,
-            pending,
-            partitions: (0..cfg.num_mem_partitions)
-                .map(|_| MemPartition::new(cfg))
-                .collect(),
-            warps,
-            completions: BinaryHeap::new(),
-            counters: SimCounters::default(),
-            stalls: StallBreakdown::default(),
-            warps_remaining,
-            load_rr: 0,
+            shared: Shared {
+                cfg,
+                path,
+                lanes,
+                occ: (0..cfg.num_mem_partitions)
+                    .map(|_| AtomicU32::new(0))
+                    .collect(),
+            },
+            hub: Hub {
+                partitions: (0..cfg.num_mem_partitions)
+                    .map(|_| MemPartition::new(cfg))
+                    .collect(),
+                pending,
+                completions: BinaryHeap::new(),
+                owner: vec![u32::MAX; trace.warps().len()],
+                counters: SimCounters::default(),
+                stalls: StallBreakdown::default(),
+                warps_remaining,
+            },
+            sm_workers,
         }
     }
 
     fn run(&mut self, trace: &KernelTrace) -> Result<u64, SimError> {
+        let workers = self.sm_workers.min(self.shared.lanes.len()).max(1);
+        let result = if workers <= 1 {
+            self.run_serial(trace)
+        } else {
+            self.run_parallel(trace, workers)
+        };
+        if result.is_ok() {
+            // Fold per-SM accounting into the hub totals (SM-index order,
+            // so merged counters are identical for any worker count).
+            for lane in &self.shared.lanes {
+                let lane = lock(lane);
+                self.hub.counters.merge(&lane.counters);
+                self.hub.stalls.merge(&lane.stalls);
+            }
+        }
+        result
+    }
+
+    fn run_serial(&mut self, trace: &KernelTrace) -> Result<u64, SimError> {
         let mut cycle: u64 = 0;
         loop {
-            // 1. Memory partitions retire work.
-            for p in &mut self.partitions {
-                p.step(cycle, &mut self.completions, &mut self.counters);
+            let flushing = phase_pre(&self.shared, &mut self.hub, trace, cycle);
+            for lane in &self.shared.lanes {
+                step_sm(&self.shared, trace, cycle, flushing, &mut lock(lane));
             }
-
-            // 2. Load completions wake warps.
-            while let Some(&Reverse((done, w))) = self.completions.peek() {
-                if done > cycle {
-                    break;
-                }
-                self.completions.pop();
-                let rt = &mut self.warps[w as usize];
-                rt.outstanding -= 1;
-                if rt.outstanding == 0 && rt.done_pc(trace, w) && !rt.done {
-                    rt.done = true;
-                    self.warps_remaining -= 1;
-                }
-            }
-
-            let flushing = self.warps_remaining == 0;
-
-            // 3. SMs: buffer flush/evictions, LSU drain, reduction units,
-            //    then instruction issue.
-            for sm in &mut self.sms {
-                if let Some(buf) = sm.buffer.as_mut() {
-                    if flushing {
-                        buf.flush(&mut self.counters);
-                    }
-                    buf.drain_evictions(4, self.cfg, &mut self.partitions, &mut self.counters);
-                }
-                sm.lsu.drain(
-                    self.cfg.lsu_drain_rate * 4,
-                    &mut sm.buffer,
-                    &mut self.partitions,
-                    &mut self.counters,
-                );
-                for sc in &mut sm.subcores {
-                    sc.redunit.step(
-                        self.cfg.redunit_throughput,
-                        self.cfg.redunit_emit_reserve,
-                        &mut sm.lsu,
-                        &mut self.partitions,
-                        &mut self.counters,
-                    );
-                }
-                // The SM-shared MIO port refreshes its shuffle budget
-                // every cycle (quarter-units).
-                let mut shfl_budget_q = self.cfg.shfl_throughput_q;
-                for sc_idx in 0..sm.subcores.len() {
-                    let outcome = issue_one(
-                        self.cfg,
-                        self.path,
-                        trace,
-                        cycle,
-                        &mut sm.subcores[sc_idx],
-                        &mut self.pending,
-                        &mut sm.lsu,
-                        &mut shfl_budget_q,
-                        sm.buffer.as_ref().map_or(0, |b| b.load_penalty),
-                        &mut self.warps,
-                        &mut self.counters,
-                        &mut self.warps_remaining,
-                        &mut self.load_rr,
-                    );
-                    match outcome {
-                        Outcome::Issued => {}
-                        Outcome::Stall(StallClass::LsuAtomic) => {
-                            self.stalls.lsu_full += 1;
-                            self.counters.atomic_stall_cycles += 1;
-                        }
-                        Outcome::Stall(StallClass::LsuData) => self.stalls.lsu_full += 1,
-                        Outcome::Stall(StallClass::Scoreboard) => {
-                            self.stalls.long_scoreboard += 1
-                        }
-                        Outcome::Stall(StallClass::NoWarp) => self.stalls.no_warp += 1,
-                        Outcome::Stall(StallClass::Other) => self.stalls.other += 1,
-                    }
-                }
-            }
-
+            phase_post(&self.shared, &mut self.hub);
             cycle += 1;
-            if self.drained() {
+            if drained(&self.shared, &self.hub) {
                 return Ok(cycle);
             }
-            if std::env::var_os("GPU_SIM_DEBUG").is_some() && cycle.is_multiple_of(10_000) {
-                let red_pending: usize = self
-                    .sms
-                    .iter()
-                    .flat_map(|s| s.subcores.iter())
-                    .map(|sc| sc.redunit.pending())
-                    .sum();
-                let red_empty: usize = self
-                    .sms
-                    .iter()
-                    .flat_map(|s| s.subcores.iter())
-                    .filter(|sc| sc.redunit.pending() == 0)
-                    .count();
-                eprintln!(
-                    "[dbg] cycle={cycle} warps_left={} red_pending={red_pending} red_empty_units={red_empty} lsu0={} part0={} issued={}",
-                    self.warps_remaining,
-                    self.sms[0].lsu.occupancy(),
-                    self.partitions[0].occupancy(),
-                    self.counters.instructions_issued
-                );
-            }
-            if std::env::var_os("GPU_SIM_DEBUG").is_some() && cycle.is_multiple_of(20_000) {
-                let lsu: u32 = self.sms.iter().map(|s| s.lsu.occupancy()).sum();
-                let part: u32 = self.partitions.iter().map(|p| p.occupancy()).sum();
-                let buf: usize = self
-                    .sms
-                    .iter()
-                    .filter_map(|s| s.buffer.as_ref())
-                    .map(|b| b.len() + b.evict_backlog())
-                    .sum();
-                eprintln!(
-                    "[gpu-sim] cycle={cycle} warps_remaining={} lsu={lsu} part={part} buf={buf} completions={}",
-                    self.warps_remaining,
-                    self.completions.len()
-                );
-            }
-            if cycle >= self.cfg.max_cycles {
+            debug_trace(&self.shared, &self.hub, cycle);
+            if cycle >= self.shared.cfg.max_cycles {
                 return Err(SimError::ExceededMaxCycles {
                     kernel: trace.name().to_string(),
-                    max_cycles: self.cfg.max_cycles,
+                    max_cycles: self.shared.cfg.max_cycles,
                 });
             }
         }
     }
 
-    fn drained(&self) -> bool {
-        if self.warps_remaining > 0 || !self.completions.is_empty() {
-            return false;
-        }
-        if self.partitions.iter().any(|p| p.occupancy() > 0) {
-            return false;
-        }
-        self.sms.iter().all(|sm| {
-            sm.lsu.is_empty()
-                && sm.subcores.iter().all(|sc| sc.redunit.pending() == 0)
-                && sm
-                    .buffer
-                    .as_ref()
-                    .is_none_or(|b| b.len() == 0 && b.evict_backlog() == 0)
+    fn run_parallel(&mut self, trace: &KernelTrace, workers: usize) -> Result<u64, SimError> {
+        let shared = &self.shared;
+        let hub = &mut self.hub;
+        // Two waits per cycle bracket the SM phase; `stop` (checked right
+        // after the first wait) shuts the pool down. The barrier also
+        // provides the happens-before edges that make Relaxed loads of
+        // the cycle/flushing/cursor cells sound.
+        let barrier = Barrier::new(workers + 1);
+        let stop = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
+        let cycle_now = AtomicU64::new(0);
+        let flush_now = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let cycle = cycle_now.load(Ordering::Relaxed);
+                    let flushing = flush_now.load(Ordering::Relaxed);
+                    // Work-stealing over SM indices: claim order varies
+                    // run to run, results do not (each step touches only
+                    // its own lane plus the frozen snapshot).
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= shared.lanes.len() {
+                            break;
+                        }
+                        step_sm(shared, trace, cycle, flushing, &mut lock(&shared.lanes[i]));
+                    }
+                    barrier.wait();
+                });
+            }
+
+            let result = (|| {
+                let mut cycle: u64 = 0;
+                loop {
+                    let flushing = phase_pre(shared, hub, trace, cycle);
+                    flush_now.store(flushing, Ordering::Relaxed);
+                    cycle_now.store(cycle, Ordering::Relaxed);
+                    cursor.store(0, Ordering::Relaxed);
+                    barrier.wait(); // open the SM phase
+                    barrier.wait(); // all SMs stepped
+                    phase_post(shared, hub);
+                    cycle += 1;
+                    if drained(shared, hub) {
+                        return Ok(cycle);
+                    }
+                    debug_trace(shared, hub, cycle);
+                    if cycle >= shared.cfg.max_cycles {
+                        return Err(SimError::ExceededMaxCycles {
+                            kernel: trace.name().to_string(),
+                            max_cycles: shared.cfg.max_cycles,
+                        });
+                    }
+                }
+            })();
+            stop.store(true, Ordering::Relaxed);
+            barrier.wait(); // release workers to observe `stop`
+            result
         })
     }
 }
 
-impl WarpRt {
-    fn done_pc(&self, trace: &KernelTrace, w: u32) -> bool {
-        self.pc as usize >= trace.warps()[w as usize].instrs.len()
+/// Phases 1–2: memory retirement, completion wake-up, retire/dispatch,
+/// and the occupancy snapshot. Returns whether buffers should flush.
+fn phase_pre(shared: &Shared<'_>, hub: &mut Hub, trace: &KernelTrace, cycle: u64) -> bool {
+    for p in &mut hub.partitions {
+        p.step(cycle, &mut hub.completions, &mut hub.counters);
+    }
+
+    while let Some(&Reverse((done, w))) = hub.completions.peek() {
+        if done > cycle {
+            break;
+        }
+        hub.completions.pop();
+        let sm = hub.owner[w as usize] as usize;
+        let len = trace.warps()[w as usize].instrs.len();
+        if wake_warp(&mut lock(&shared.lanes[sm]).sm, w, len) {
+            hub.warps_remaining -= 1;
+        }
+    }
+
+    let flushing = hub.warps_remaining == 0;
+
+    // Retire finished warps and hand out new ones in fixed (SM,
+    // sub-core) order — at most one new warp per sub-core per cycle, so
+    // launch work spreads evenly instead of flooding the first SMs.
+    for (sm_idx, lane) in shared.lanes.iter().enumerate() {
+        let mut lane = lock(lane);
+        for sc in &mut lane.sm.subcores {
+            sc.resident.retain(|warp| !warp.rt.done);
+            if sc.resident.len() < shared.cfg.max_warps_per_subcore as usize {
+                if let Some(w) = hub.pending.pop_front() {
+                    hub.owner[w as usize] = sm_idx as u32;
+                    sc.resident.push(Warp {
+                        id: w,
+                        rt: WarpRt::default(),
+                    });
+                }
+            }
+        }
+    }
+
+    for (cell, p) in shared.occ.iter().zip(&hub.partitions) {
+        cell.store(p.occupancy(), Ordering::Relaxed);
+    }
+    flushing
+}
+
+/// Decrements the woken warp's outstanding-load count; true if that
+/// retired it.
+fn wake_warp(sm: &mut SmRt, w: u32, instr_len: usize) -> bool {
+    for sc in &mut sm.subcores {
+        for warp in &mut sc.resident {
+            if warp.id != w {
+                continue;
+            }
+            let rt = &mut warp.rt;
+            rt.outstanding -= 1;
+            if rt.outstanding == 0 && rt.pc as usize >= instr_len && !rt.done {
+                rt.done = true;
+                return true;
+            }
+            return false;
+        }
+    }
+    panic!("load completion for warp {w} not resident in its owner SM");
+}
+
+/// Phase 3 for one SM: buffer flush/evictions, LSU drain, reduction
+/// units, then instruction issue — all against this SM's [`SmPort`].
+fn step_sm(
+    shared: &Shared<'_>,
+    trace: &KernelTrace,
+    cycle: u64,
+    flushing: bool,
+    lane: &mut SmLane,
+) {
+    let SmLane {
+        sm,
+        outbox,
+        sent,
+        counters,
+        stalls,
+        load_rr,
+        retired,
+    } = lane;
+    sent.iter_mut().for_each(|s| *s = 0);
+    let mut port = SmPort {
+        occ: &shared.occ,
+        sent,
+        outbox,
+        capacity: shared.cfg.partition_queue_capacity,
+    };
+    let SmRt {
+        subcores,
+        lsu,
+        buffer,
+    } = sm;
+
+    if let Some(buf) = buffer.as_mut() {
+        if flushing {
+            buf.flush(counters);
+        }
+        buf.drain_evictions(4, shared.cfg, &mut port, counters);
+    }
+    lsu.drain(shared.cfg.lsu_drain_rate * 4, buffer, &mut port, counters);
+    for sc in subcores.iter_mut() {
+        sc.redunit.step(
+            shared.cfg.redunit_throughput,
+            shared.cfg.redunit_emit_reserve,
+            lsu,
+            &mut port,
+            counters,
+        );
+    }
+
+    let load_penalty = buffer.as_ref().map_or(0, |b| b.load_penalty);
+    // The SM-shared MIO port refreshes its shuffle budget every cycle
+    // (quarter-units).
+    let mut shfl_budget_q = shared.cfg.shfl_throughput_q;
+    for sc in subcores.iter_mut() {
+        let outcome = issue_one(
+            shared.cfg,
+            shared.path,
+            trace,
+            cycle,
+            sc,
+            lsu,
+            &mut shfl_budget_q,
+            load_penalty,
+            counters,
+            retired,
+            load_rr,
+        );
+        match outcome {
+            Outcome::Issued => {}
+            Outcome::Stall(StallClass::LsuAtomic) => {
+                stalls.lsu_full += 1;
+                counters.atomic_stall_cycles += 1;
+            }
+            Outcome::Stall(StallClass::LsuData) => stalls.lsu_full += 1,
+            Outcome::Stall(StallClass::Scoreboard) => stalls.long_scoreboard += 1,
+            Outcome::Stall(StallClass::NoWarp) => stalls.no_warp += 1,
+            Outcome::Stall(StallClass::Other) => stalls.other += 1,
+        }
+    }
+}
+
+/// Phase 4: deliver every SM's outbox in SM-index order and fold in
+/// retirements. Delivery is unconditional — [`SmPort`] admission may
+/// overshoot a partition's capacity by at most one cycle's issue across
+/// SMs, modeling interconnect credit slack (see `machine::SmPort`).
+fn phase_post(shared: &Shared<'_>, hub: &mut Hub) {
+    for lane in &shared.lanes {
+        let mut lane = lock(lane);
+        let lane = &mut *lane;
+        for req in lane.outbox.drain(..) {
+            hub.partitions[req.partition as usize].push(req);
+        }
+        hub.warps_remaining -= std::mem::take(&mut lane.retired);
+    }
+}
+
+fn drained(shared: &Shared<'_>, hub: &Hub) -> bool {
+    if hub.warps_remaining > 0 || !hub.completions.is_empty() {
+        return false;
+    }
+    if hub.partitions.iter().any(|p| p.occupancy() > 0) {
+        return false;
+    }
+    shared.lanes.iter().all(|lane| {
+        let lane = lock(lane);
+        lane.sm.lsu.is_empty()
+            && lane.sm.subcores.iter().all(|sc| sc.redunit.pending() == 0)
+            && lane
+                .sm
+                .buffer
+                .as_ref()
+                .is_none_or(|b| b.len() == 0 && b.evict_backlog() == 0)
+    })
+}
+
+fn debug_trace(shared: &Shared<'_>, hub: &Hub, cycle: u64) {
+    if std::env::var_os("GPU_SIM_DEBUG").is_none() {
+        return;
+    }
+    if cycle.is_multiple_of(10_000) {
+        let mut red_pending = 0usize;
+        let mut red_empty = 0usize;
+        let mut issued = 0u64;
+        for lane in &shared.lanes {
+            let lane = lock(lane);
+            for sc in &lane.sm.subcores {
+                red_pending += sc.redunit.pending();
+                red_empty += usize::from(sc.redunit.pending() == 0);
+            }
+            issued += lane.counters.instructions_issued;
+        }
+        eprintln!(
+            "[dbg] cycle={cycle} warps_left={} red_pending={red_pending} red_empty_units={red_empty} lsu0={} part0={} issued={issued}",
+            hub.warps_remaining,
+            lock(&shared.lanes[0]).sm.lsu.occupancy(),
+            hub.partitions[0].occupancy(),
+        );
+    }
+    if cycle.is_multiple_of(20_000) {
+        let mut lsu = 0u32;
+        let mut buf = 0usize;
+        for lane in &shared.lanes {
+            let lane = lock(lane);
+            lsu += lane.sm.lsu.occupancy();
+            if let Some(b) = lane.sm.buffer.as_ref() {
+                buf += b.len() + b.evict_backlog();
+            }
+        }
+        let part: u32 = hub.partitions.iter().map(|p| p.occupancy()).sum();
+        eprintln!(
+            "[gpu-sim] cycle={cycle} warps_remaining={} lsu={lsu} part={part} buf={buf} completions={}",
+            hub.warps_remaining,
+            hub.completions.len()
+        );
     }
 }
 
@@ -489,39 +771,37 @@ fn issue_one(
     trace: &KernelTrace,
     cycle: u64,
     sc: &mut SubCoreRt,
-    pending: &mut VecDeque<u32>,
     lsu: &mut LsuQueue,
     shfl_budget_q: &mut u32,
     load_penalty: u32,
-    warps: &mut [WarpRt],
     counters: &mut SimCounters,
-    warps_remaining: &mut u64,
+    retired: &mut u64,
     load_rr: &mut u64,
 ) -> Outcome {
-    // Retire finished warps and pull in new ones from the global
-    // dispatch queue (work-conserving, like the hardware block
-    // scheduler handing CTAs to whichever SM has room).
-    sc.resident.retain(|&w| !warps[w as usize].done);
-    // At most one new warp per cycle, so launch work spreads evenly
-    // across all sub-cores instead of flooding the first ones scanned.
-    if sc.resident.len() < cfg.max_warps_per_subcore as usize {
-        if let Some(w) = pending.pop_front() {
-            sc.resident.push(w);
-        }
-    }
-    if sc.resident.is_empty() {
+    // Retire/dispatch happened in the serial pre-phase; an empty
+    // sub-core simply idles.
+    let SubCoreRt {
+        resident,
+        rr,
+        ldst_free_at,
+        redunit,
+        tx_scratch,
+        plan_scratch,
+    } = sc;
+    if resident.is_empty() {
         return Outcome::Stall(StallClass::NoWarp);
     }
 
-    let n = sc.resident.len();
+    let n = resident.len();
     let mut saw_scoreboard = false;
     let mut saw_lsu_atomic = false;
     let mut saw_lsu_data = false;
 
     'scan: for k in 0..n {
-        let pos = (sc.rr + k) % n;
-        let w = sc.resident[pos];
-        let rt = &mut warps[w as usize];
+        let pos = (*rr + k) % n;
+        let warp = &mut resident[pos];
+        let w = warp.id;
+        let rt = &mut warp.rt;
         if rt.done {
             continue;
         }
@@ -549,14 +829,14 @@ fn issue_one(
                 counters.instructions_issued += 1;
                 rt.sub += 1;
                 if rt.sub >= u32::from(*repeat) {
-                    advance(rt, warps_remaining, instrs.len());
+                    advance(rt, retired, instrs.len());
                 }
-                sc.rr = pos;
+                *rr = pos;
                 return Outcome::Issued;
             }
             Instr::Load { sectors } => {
                 let sectors = u32::from(*sectors).max(1);
-                if cycle < sc.ldst_free_at || !lsu.can_accept(sectors) {
+                if cycle < *ldst_free_at || !lsu.can_accept(sectors) {
                     saw_lsu_data = true;
                     continue;
                 }
@@ -578,15 +858,15 @@ fn issue_one(
                     counters,
                 );
                 rt.outstanding += 1;
-                sc.ldst_free_at = cycle + ldst_busy(sectors, cfg.ldst_dispatch_width);
+                *ldst_free_at = cycle + ldst_busy(sectors, cfg.ldst_dispatch_width);
                 counters.instructions_issued += 1;
-                advance(rt, warps_remaining, instrs.len());
-                sc.rr = pos;
+                advance(rt, retired, instrs.len());
+                *rr = pos;
                 return Outcome::Issued;
             }
             Instr::Store { sectors } => {
                 let sectors = u32::from(*sectors).max(1);
-                if cycle < sc.ldst_free_at || !lsu.can_accept(sectors) {
+                if cycle < *ldst_free_at || !lsu.can_accept(sectors) {
                     saw_lsu_data = true;
                     continue;
                 }
@@ -602,18 +882,27 @@ fn issue_one(
                     },
                     counters,
                 );
-                sc.ldst_free_at = cycle + ldst_busy(sectors, cfg.ldst_dispatch_width);
+                *ldst_free_at = cycle + ldst_busy(sectors, cfg.ldst_dispatch_width);
                 counters.instructions_issued += 1;
-                advance(rt, warps_remaining, instrs.len());
-                sc.rr = pos;
+                advance(rt, retired, instrs.len());
+                *rr = pos;
                 return Outcome::Issued;
             }
             Instr::Atomic(bundle) => {
                 match issue_plain_atomic(
-                    cfg, cycle, sc, lsu, bundle, rt, counters, warps_remaining, instrs.len(),
+                    cfg,
+                    cycle,
+                    ldst_free_at,
+                    lsu,
+                    bundle,
+                    rt,
+                    counters,
+                    retired,
+                    instrs.len(),
+                    tx_scratch,
                 ) {
                     AtomicIssue::Issued => {
-                        sc.rr = pos;
+                        *rr = pos;
                         return Outcome::Issued;
                     }
                     AtomicIssue::Blocked => {
@@ -626,10 +915,19 @@ fn issue_one(
                 // `atomred` on a GPU without ARC-HW behaves as a plain
                 // atomic ("the ARC reduction unit is bypassed", §5.6).
                 match issue_plain_atomic(
-                    cfg, cycle, sc, lsu, bundle, rt, counters, warps_remaining, instrs.len(),
+                    cfg,
+                    cycle,
+                    ldst_free_at,
+                    lsu,
+                    bundle,
+                    rt,
+                    counters,
+                    retired,
+                    instrs.len(),
+                    tx_scratch,
                 ) {
                     AtomicIssue::Issued => {
-                        sc.rr = pos;
+                        *rr = pos;
                         return Outcome::Issued;
                     }
                     AtomicIssue::Blocked => {
@@ -643,40 +941,39 @@ fn issue_one(
                 // and ROPs, decided per transaction (paper §4.3).
                 if bundle.params.is_empty() {
                     counters.instructions_issued += 1;
-                    advance(rt, warps_remaining, instrs.len());
-                    sc.rr = pos;
+                    advance(rt, retired, instrs.len());
+                    *rr = pos;
                     return Outcome::Issued;
                 }
                 let param = &bundle.params[rt.sub as usize];
                 if param.active_count() == 0 {
                     counters.instructions_issued += 1;
-                    advance_bundle(rt, warps_remaining, instrs.len(), bundle.params.len());
-                    sc.rr = pos;
+                    advance_bundle(rt, retired, instrs.len(), bundle.params.len());
+                    *rr = pos;
                     return Outcome::Issued;
                 }
-                if cycle < sc.ldst_free_at {
+                if cycle < *ldst_free_at {
                     saw_lsu_atomic = true;
                     continue;
                 }
                 // Cheap pre-check before paying for coalescing: if
                 // neither a reduction-unit slot nor a single LSU slot is
                 // available, nothing can be scheduled this cycle.
-                if sc.redunit.space(cfg.redunit_queue_capacity) == 0 && !lsu.can_accept(1) {
+                if redunit.space(cfg.redunit_queue_capacity) == 0 && !lsu.can_accept(1) {
                     saw_lsu_atomic = true;
                     continue;
                 }
-                let txs = coalesce_atomic(param);
+                coalesce_atomic_sizes_into(param, tx_scratch);
                 // Greedy scheduling "depending on which queue is free"
                 // (paper §4.3): each transaction goes to whichever of
                 // the reduction-unit queue and the LSU/ROP path is
                 // relatively emptier, overflowing to the other side.
                 // The LDST-stall signal is folded in: a stalled LSU
                 // reads as fully occupied.
-                let mut red_pending = sc.redunit.pending() as u32;
+                let mut red_pending = redunit.pending() as u32;
                 let mut rop_total = 0u32;
-                let mut plan: Vec<bool> = Vec::with_capacity(txs.len()); // true = reduce
-                for tx in &txs {
-                    let size = tx.request_count();
+                plan_scratch.clear();
+                for &(_, size) in tx_scratch.iter() {
                     let red_space = cfg.redunit_queue_capacity.saturating_sub(red_pending);
                     let red_frac =
                         f64::from(red_pending) / f64::from(cfg.redunit_queue_capacity.max(1));
@@ -688,13 +985,13 @@ fn issue_one(
                         .min(1.0)
                     };
                     if red_space > 0 && red_frac <= lsu_frac {
-                        plan.push(true);
+                        plan_scratch.push(true);
                         red_pending += 1;
                     } else if lsu.can_accept(rop_total + size) {
-                        plan.push(false);
+                        plan_scratch.push(false);
                         rop_total += size;
                     } else if red_space > 0 {
-                        plan.push(true);
+                        plan_scratch.push(true);
                         red_pending += 1;
                     } else {
                         saw_lsu_atomic = true;
@@ -702,19 +999,19 @@ fn issue_one(
                     }
                 }
                 let mut red_count = 0u64;
-                for (tx, &reduce) in txs.iter().zip(&plan) {
-                    let partition = cfg.partition_of(tx.addr) as u32;
+                for (&(addr, size), &reduce) in tx_scratch.iter().zip(plan_scratch.iter()) {
+                    let partition = cfg.partition_of(addr) as u32;
                     if reduce {
-                        sc.redunit.push(tx.request_count(), tx.addr, partition);
+                        redunit.push(size, addr, partition);
                         counters.redunit_transactions += 1;
                         red_count += 1;
                     } else {
                         counters.rop_routed_transactions += 1;
                         lsu.push(
                             MemReq {
-                                size: tx.request_count(),
+                                size,
                                 partition,
-                                addr: tx.addr,
+                                addr,
                                 kind: ReqKind::Atomic,
                             },
                             counters,
@@ -726,10 +1023,10 @@ fn issue_one(
                 } else {
                     0
                 } + red_count;
-                sc.ldst_free_at = cycle + busy.max(1);
+                *ldst_free_at = cycle + busy.max(1);
                 counters.instructions_issued += 1;
-                advance_bundle(rt, warps_remaining, instrs.len(), bundle.params.len());
-                sc.rr = pos;
+                advance_bundle(rt, retired, instrs.len(), bundle.params.len());
+                *rr = pos;
                 return Outcome::Issued;
             }
         }
@@ -756,17 +1053,18 @@ enum AtomicIssue {
 fn issue_plain_atomic(
     cfg: &GpuConfig,
     cycle: u64,
-    sc: &mut SubCoreRt,
+    ldst_free_at: &mut u64,
     lsu: &mut LsuQueue,
     bundle: &warp_trace::AtomicBundle,
     rt: &mut WarpRt,
     counters: &mut SimCounters,
-    warps_remaining: &mut u64,
+    retired: &mut u64,
     len: usize,
+    tx_scratch: &mut Vec<(u64, u32)>,
 ) -> AtomicIssue {
     if bundle.params.is_empty() {
         counters.instructions_issued += 1;
-        advance(rt, warps_remaining, len);
+        advance(rt, retired, len);
         return AtomicIssue::Issued;
     }
     let param = &bundle.params[rt.sub as usize];
@@ -775,44 +1073,44 @@ fn issue_plain_atomic(
     let total = param.active_count();
     if total == 0 {
         counters.instructions_issued += 1;
-        advance_bundle(rt, warps_remaining, len, bundle.params.len());
+        advance_bundle(rt, retired, len, bundle.params.len());
         return AtomicIssue::Issued;
     }
-    if cycle < sc.ldst_free_at || !lsu.can_accept(total) {
+    if cycle < *ldst_free_at || !lsu.can_accept(total) {
         return AtomicIssue::Blocked;
     }
-    let txs = coalesce_atomic(param);
-    for tx in &txs {
+    coalesce_atomic_sizes_into(param, tx_scratch);
+    for &(addr, size) in tx_scratch.iter() {
         lsu.push(
             MemReq {
-                size: tx.request_count(),
-                partition: cfg.partition_of(tx.addr) as u32,
-                addr: tx.addr,
+                size,
+                partition: cfg.partition_of(addr) as u32,
+                addr,
                 kind: ReqKind::Atomic,
             },
             counters,
         );
     }
-    sc.ldst_free_at = cycle + ldst_busy(total, cfg.ldst_dispatch_width);
+    *ldst_free_at = cycle + ldst_busy(total, cfg.ldst_dispatch_width);
     counters.instructions_issued += 1;
-    advance_bundle(rt, warps_remaining, len, bundle.params.len());
+    advance_bundle(rt, retired, len, bundle.params.len());
     AtomicIssue::Issued
 }
 
 /// Advances past a single-slot instruction (or the last repeat).
-fn advance(rt: &mut WarpRt, warps_remaining: &mut u64, len: usize) {
+fn advance(rt: &mut WarpRt, retired: &mut u64, len: usize) {
     rt.pc += 1;
     rt.sub = 0;
     if rt.pc as usize >= len && rt.outstanding == 0 && !rt.done {
         rt.done = true;
-        *warps_remaining -= 1;
+        *retired += 1;
     }
 }
 
 /// Advances within a multi-parameter atomic bundle.
-fn advance_bundle(rt: &mut WarpRt, warps_remaining: &mut u64, len: usize, params: usize) {
+fn advance_bundle(rt: &mut WarpRt, retired: &mut u64, len: usize, params: usize) {
     rt.sub += 1;
     if rt.sub as usize >= params {
-        advance(rt, warps_remaining, len);
+        advance(rt, retired, len);
     }
 }

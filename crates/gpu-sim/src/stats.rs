@@ -41,6 +41,21 @@ impl StallBreakdown {
             self.lsu_full as f64 / t as f64
         }
     }
+
+    /// Adds another breakdown into this one (used to combine per-SM
+    /// accounting after a sharded run).
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        let StallBreakdown {
+            lsu_full,
+            long_scoreboard,
+            no_warp,
+            other: misc,
+        } = *other;
+        self.lsu_full += lsu_full;
+        self.long_scoreboard += long_scoreboard;
+        self.no_warp += no_warp;
+        self.other += misc;
+    }
 }
 
 /// Raw event counters accumulated over one kernel run.
@@ -80,6 +95,46 @@ pub struct SimCounters {
     /// Cycles a reduction unit spent blocked on a full LSU while trying
     /// to emit its reduced atomic.
     pub redunit_blocked_cycles: u64,
+}
+
+impl SimCounters {
+    /// Adds another counter set into this one (used to combine per-SM
+    /// accounting after a sharded run). Destructures `other` so a new
+    /// counter field cannot be silently dropped from the merge.
+    pub fn merge(&mut self, other: &SimCounters) {
+        let SimCounters {
+            instructions_issued,
+            shfl_instructions,
+            lsu_accepted,
+            icnt_flits,
+            rop_lane_ops,
+            redunit_lane_ops,
+            redunit_transactions,
+            rop_routed_transactions,
+            load_sectors,
+            store_sectors,
+            buffer_merges,
+            buffer_evictions,
+            buffer_flushes,
+            atomic_stall_cycles,
+            redunit_blocked_cycles,
+        } = *other;
+        self.instructions_issued += instructions_issued;
+        self.shfl_instructions += shfl_instructions;
+        self.lsu_accepted += lsu_accepted;
+        self.icnt_flits += icnt_flits;
+        self.rop_lane_ops += rop_lane_ops;
+        self.redunit_lane_ops += redunit_lane_ops;
+        self.redunit_transactions += redunit_transactions;
+        self.rop_routed_transactions += rop_routed_transactions;
+        self.load_sectors += load_sectors;
+        self.store_sectors += store_sectors;
+        self.buffer_merges += buffer_merges;
+        self.buffer_evictions += buffer_evictions;
+        self.buffer_flushes += buffer_flushes;
+        self.atomic_stall_cycles += atomic_stall_cycles;
+        self.redunit_blocked_cycles += redunit_blocked_cycles;
+    }
 }
 
 /// The outcome of simulating one kernel.

@@ -70,8 +70,7 @@ fn arc_hw_beats_baseline_on_atomic_heavy_kernels() {
     assert!(hw.counters.redunit_lane_ops > 0);
     // All lane-values are accounted for between the two paths.
     assert_eq!(
-        hw.counters.redunit_lane_ops + hw.counters.rop_lane_ops
-            - hw.counters.redunit_transactions, // reduced txs re-emit 1 value each
+        hw.counters.redunit_lane_ops + hw.counters.rop_lane_ops - hw.counters.redunit_transactions, // reduced txs re-emit 1 value each
         base.counters.rop_lane_ops,
     );
 }
@@ -219,7 +218,7 @@ fn arc_hw_speedup_larger_on_4090_than_3060() {
     // Paper §7.2: the 4090's lower ROP:SM ratio makes the atomic
     // bottleneck — and ARC's gain — bigger. Use a workload large enough
     // to saturate both GPUs.
-    let trace = atomic_heavy_trace(768, 6, 4);
+    let trace = atomic_heavy_trace(1024, 6, 4);
     let speedup = |cfg: &GpuConfig| {
         let base = run(cfg, AtomicPath::Baseline, &trace);
         let hw = run(cfg, AtomicPath::ArcHw, &trace.clone().with_atomred());

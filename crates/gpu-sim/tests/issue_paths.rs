@@ -188,8 +188,7 @@ fn atomred_multi_address_transactions_conserve_values() {
             .collect();
         b.atomic(AtomicInstr::new(ops));
     }
-    let trace =
-        KernelTrace::new("multi", KernelKind::GradCompute, vec![b.finish()]).with_atomred();
+    let trace = KernelTrace::new("multi", KernelKind::GradCompute, vec![b.finish()]).with_atomred();
     let report = Simulator::new(cfg, AtomicPath::ArcHw)
         .expect("valid config")
         .run(&trace)

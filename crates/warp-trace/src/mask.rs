@@ -62,7 +62,10 @@ impl LaneMask {
     ///
     /// Panics if `n > 32`.
     pub fn first_n(n: usize) -> Self {
-        assert!(n <= WARP_SIZE, "cannot activate {n} lanes in a 32-lane warp");
+        assert!(
+            n <= WARP_SIZE,
+            "cannot activate {n} lanes in a 32-lane warp"
+        );
         if n == WARP_SIZE {
             LaneMask::FULL
         } else {

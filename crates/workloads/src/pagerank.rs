@@ -109,7 +109,8 @@ pub fn pagerank_trace(graph: &Graph, rank: &[f32], damping: f32) -> KernelTrace 
             if k % 8 == 0 {
                 b.load(2); // successor-list sectors
             }
-            b.compute(ComputeKind::IntAlu, 1).compute(ComputeKind::Fp32, 1);
+            b.compute(ComputeKind::IntAlu, 1)
+                .compute(ComputeKind::Fp32, 1);
             let mut ops = Vec::new();
             for lane in 0..32usize {
                 let v = base + lane;

@@ -1,6 +1,8 @@
 //! Experiment runner: applies a technique (hardware path and/or trace
 //! rewrite) to a workload and simulates it.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 use warp_trace::KernelTrace;
 
@@ -61,14 +63,26 @@ impl Technique {
     /// rewrite the atomics; ARC-HW swaps `atomicAdd` for `atomred`;
     /// hardware-buffering techniques leave the trace untouched.
     pub fn prepare(&self, trace: &KernelTrace) -> KernelTrace {
+        self.prepare_cow(trace).into_owned()
+    }
+
+    /// Like [`Technique::prepare`], but borrows the input when the
+    /// technique does not rewrite it — the hot path when the same shared
+    /// trace is simulated under many techniques (no per-run clone of a
+    /// multi-megabyte trace).
+    pub fn prepare_cow<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
         match self {
             Technique::Baseline | Technique::Lab | Technique::LabIdeal | Technique::Phi => {
-                trace.clone()
+                Cow::Borrowed(trace)
             }
-            Technique::ArcHw => trace.clone().with_atomred(),
-            Technique::SwS(t) => rewrite_kernel_sw(trace, &SwConfig::serialized(*t)).trace,
-            Technique::SwB(t) => rewrite_kernel_sw(trace, &SwConfig::butterfly(*t)).trace,
-            Technique::Cccl => rewrite_kernel_cccl(trace).trace,
+            Technique::ArcHw => Cow::Owned(trace.clone().with_atomred()),
+            Technique::SwS(t) => {
+                Cow::Owned(rewrite_kernel_sw(trace, &SwConfig::serialized(*t)).trace)
+            }
+            Technique::SwB(t) => {
+                Cow::Owned(rewrite_kernel_sw(trace, &SwConfig::butterfly(*t)).trace)
+            }
+            Technique::Cccl => Cow::Owned(rewrite_kernel_cccl(trace).trace),
         }
     }
 }
@@ -85,7 +99,7 @@ pub fn run_gradcomp(
     gradcomp: &KernelTrace,
 ) -> Result<KernelReport, SimError> {
     let sim = Simulator::new(cfg.clone(), technique.path())?;
-    sim.run(&technique.prepare(gradcomp))
+    sim.run(&technique.prepare_cow(gradcomp))
 }
 
 /// Simulates a full training iteration (forward + loss + gradient
@@ -101,10 +115,25 @@ pub fn run_iteration(
     traces: &IterationTraces,
 ) -> Result<IterationReport, SimError> {
     let sim = Simulator::new(cfg.clone(), technique.path())?;
+    run_iteration_with(&sim, technique, traces)
+}
+
+/// [`run_iteration`] against an already-built simulator — the batch APIs
+/// reuse one simulator per (config, path) instead of re-validating and
+/// cloning the config for every cache miss.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_iteration_with(
+    sim: &Simulator,
+    technique: Technique,
+    traces: &IterationTraces,
+) -> Result<IterationReport, SimError> {
     let kernels = vec![
         sim.run(&traces.forward)?,
         sim.run(&traces.loss)?,
-        sim.run(&technique.prepare(&traces.gradcomp))?,
+        sim.run(&technique.prepare_cow(&traces.gradcomp))?,
     ];
     Ok(IterationReport { kernels })
 }

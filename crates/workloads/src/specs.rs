@@ -312,16 +312,100 @@ fn ps_spec(
 /// The twelve Table-2 workloads.
 pub fn all_specs() -> Vec<WorkloadSpec> {
     vec![
-        gaussian_spec("3D-LE", "NeRF-Synthetic Lego (object)", 256, 192, 700, true, 101),
-        gaussian_spec("3D-SH", "NeRF-Synthetic Ship (object)", 256, 192, 900, true, 102),
-        gaussian_spec("3D-PR", "DB-COLMAP Playroom (large room)", 256, 192, 3200, false, 103),
-        gaussian_spec("3D-DR", "DB-COLMAP DrJohnson (large room)", 256, 192, 4200, false, 104),
-        gaussian_spec("3D-TK", "Tanks&Temples Truck (outdoor)", 256, 176, 1700, false, 105),
-        gaussian_spec("3D-TA", "Tanks&Temples Train (outdoor)", 256, 176, 2000, false, 106),
-        nv_spec("NV-BB", "Keenan-Crane Bob (mesh cubemap)", 256, 192, 16, 4, false, 201),
-        nv_spec("NV-SP", "Keenan-Crane Spot (mesh cubemap)", 256, 192, 16, 4, true, 202),
-        nv_spec("NV-LE", "NeRF-Synthetic Lego (cubemap)", 256, 192, 12, 6, true, 203),
-        nv_spec("NV-SH", "NeRF-Synthetic Ship (cubemap)", 256, 192, 12, 6, false, 204),
+        gaussian_spec(
+            "3D-LE",
+            "NeRF-Synthetic Lego (object)",
+            256,
+            192,
+            700,
+            true,
+            101,
+        ),
+        gaussian_spec(
+            "3D-SH",
+            "NeRF-Synthetic Ship (object)",
+            256,
+            192,
+            900,
+            true,
+            102,
+        ),
+        gaussian_spec(
+            "3D-PR",
+            "DB-COLMAP Playroom (large room)",
+            256,
+            192,
+            3200,
+            false,
+            103,
+        ),
+        gaussian_spec(
+            "3D-DR",
+            "DB-COLMAP DrJohnson (large room)",
+            256,
+            192,
+            4200,
+            false,
+            104,
+        ),
+        gaussian_spec(
+            "3D-TK",
+            "Tanks&Temples Truck (outdoor)",
+            256,
+            176,
+            1700,
+            false,
+            105,
+        ),
+        gaussian_spec(
+            "3D-TA",
+            "Tanks&Temples Train (outdoor)",
+            256,
+            176,
+            2000,
+            false,
+            106,
+        ),
+        nv_spec(
+            "NV-BB",
+            "Keenan-Crane Bob (mesh cubemap)",
+            256,
+            192,
+            16,
+            4,
+            false,
+            201,
+        ),
+        nv_spec(
+            "NV-SP",
+            "Keenan-Crane Spot (mesh cubemap)",
+            256,
+            192,
+            16,
+            4,
+            true,
+            202,
+        ),
+        nv_spec(
+            "NV-LE",
+            "NeRF-Synthetic Lego (cubemap)",
+            256,
+            192,
+            12,
+            6,
+            true,
+            203,
+        ),
+        nv_spec(
+            "NV-SH",
+            "NeRF-Synthetic Ship (cubemap)",
+            256,
+            192,
+            12,
+            6,
+            false,
+            204,
+        ),
         ps_spec("PS-SS", "Synthetic Spheres Small", 160, 128, 900, 301),
         ps_spec("PS-SL", "Synthetic Spheres Large", 256, 176, 3200, 302),
     ]

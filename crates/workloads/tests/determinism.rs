@@ -1,0 +1,42 @@
+//! Parallel-simulation determinism: sharding SMs across worker threads
+//! must be bit-identical to the serial simulator — same cycles, same
+//! stall breakdown, same energy — for every atomic path, on real
+//! workload traces from each application family.
+
+use arc_workloads::spec;
+use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+
+#[test]
+fn parallel_sim_is_bit_identical_to_serial() {
+    // One workload per application: 3DGS, NvDiffRec, Pulsar.
+    for id in ["3D-LE", "NV-LE", "PS-SS"] {
+        let traces = spec(id).expect("known workload").scaled(0.2).build();
+        for path in AtomicPath::ALL {
+            let trace = if path == AtomicPath::ArcHw {
+                traces.gradcomp.clone().with_atomred()
+            } else {
+                traces.gradcomp.clone()
+            };
+            let reference = Simulator::new(GpuConfig::tiny(), path)
+                .expect("valid config")
+                .with_sm_workers(1)
+                .run(&trace)
+                .expect("kernel drains");
+            // 2 exercises real sharding; 8 exceeds the SM count, so the
+            // worker pool is clamped and some workers stay idle.
+            for workers in [2, 8] {
+                let report = Simulator::new(GpuConfig::tiny(), path)
+                    .expect("valid config")
+                    .with_sm_workers(workers)
+                    .run(&trace)
+                    .expect("kernel drains");
+                assert_eq!(
+                    report,
+                    reference,
+                    "{} on {id} diverges with {workers} SM workers",
+                    path.label()
+                );
+            }
+        }
+    }
+}

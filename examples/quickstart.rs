@@ -33,14 +33,11 @@ fn main() {
     // 3. Simulate under each technique on the 3060 model (small
     //    demo workloads saturate it fully).
     let cfg = GpuConfig::rtx3060_sim();
-    let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp)
-        .expect("baseline simulation");
+    let base =
+        run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).expect("baseline simulation");
     println!(
         "\n{:<12} {:>10} cycles ({:.3} ms at {} GHz)",
-        "Baseline",
-        base.cycles,
-        base.time_ms,
-        cfg.clock_ghz
+        "Baseline", base.cycles, base.time_ms, cfg.clock_ghz
     );
 
     let thr = BalanceThreshold::new(8).expect("8 is in 0..=32");
@@ -53,8 +50,7 @@ fn main() {
         Technique::LabIdeal,
         Technique::Phi,
     ] {
-        let report = run_gradcomp(&cfg, technique, &traces.gradcomp)
-            .expect("simulation drains");
+        let report = run_gradcomp(&cfg, technique, &traces.gradcomp).expect("simulation drains");
         println!(
             "{:<12} {:>10} cycles  =>  {:.2}x speedup",
             technique.label(),

@@ -32,7 +32,14 @@ fn main() {
         .map(|k| {
             let angle = k as f32 * std::f32::consts::TAU / 6.0;
             let pos = Vec3::new(4.0 * angle.sin(), 1.0, -4.0 * angle.cos());
-            let cam = Camera::look_at(pos, Vec3::default(), Vec3::new(0.0, 1.0, 0.0), 0.9, SIZE, SIZE);
+            let cam = Camera::look_at(
+                pos,
+                Vec3::default(),
+                Vec3::new(0.0, 1.0, 0.0),
+                0.9,
+                SIZE,
+                SIZE,
+            );
             let img = render_scene(&project(&gt, &cam).splats, SIZE, SIZE, bg).image;
             (cam, img)
         })
@@ -42,9 +49,15 @@ fn main() {
     let mut model = Gaussian3DModel::random(GAUSSIANS, 0.9, &mut rng);
     let before = {
         let (cam, target) = &views[0];
-        psnr(&render_scene(&project(&model, cam).splats, SIZE, SIZE, bg).image, target)
+        psnr(
+            &render_scene(&project(&model, cam).splats, SIZE, SIZE, bg).image,
+            target,
+        )
     };
-    println!("training {GAUSSIANS} 3D Gaussians from {} views...", views.len());
+    println!(
+        "training {GAUSSIANS} 3D Gaussians from {} views...",
+        views.len()
+    );
     let stats = train_3d(
         &mut model,
         &views,
@@ -67,7 +80,8 @@ fn main() {
     let proj = project(&model, cam);
     let out = render_scene(&proj.splats, SIZE, SIZE, bg);
     let (_, pixel_grads) = l2_loss(&out.image, target);
-    let (trace, raster) = splat_gradcomp_trace(&proj.splats, &out, &pixel_grads, TraceCosts::default());
+    let (trace, raster) =
+        splat_gradcomp_trace(&proj.splats, &out, &pixel_grads, TraceCosts::default());
     // (Sanity: the same raster grads also feed the 3D parameter update.)
     let _grads3d = project_backward(&model, cam, &proj, &raster);
     let _ = backward_scene(&proj.splats, &out, &pixel_grads, &mut NoopRecorder);

@@ -59,7 +59,17 @@ fn main() {
     let final_psnr = psnr(&final_img, &target);
     println!("\nfinal PSNR: {final_psnr:.2} dB");
     assert!(
-        final_psnr > psnr(&render(&GaussianModel::random(GAUSSIANS, SIZE, SIZE, &mut rng), SIZE, SIZE, bg).image, &target),
+        final_psnr
+            > psnr(
+                &render(
+                    &GaussianModel::random(GAUSSIANS, SIZE, SIZE, &mut rng),
+                    SIZE,
+                    SIZE,
+                    bg
+                )
+                .image,
+                &target
+            ),
         "training should beat a random model"
     );
 }

@@ -34,7 +34,11 @@ fn main() {
     println!("\nlast profiling sweep:");
     for (thr, cycles) in &outcome.probes {
         let marker = if *thr == outcome.best { " <= best" } else { "" };
-        println!("  threshold {:>2}: {:>9.0} cycles{marker}", thr.value(), cycles);
+        println!(
+            "  threshold {:>2}: {:>9.0} cycles{marker}",
+            thr.value(),
+            cycles
+        );
     }
     println!(
         "\nbest threshold {} is {:.2}x faster than the worst candidate; \

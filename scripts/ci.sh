@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo CI: formatting, lints, release build, and the tier-1 test suite
+# with the parallel harness enabled (ARC_JOBS=2 exercises the job pool
+# even on single-core runners; results are identical at any job count).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (ARC_JOBS=2) =="
+ARC_JOBS=2 cargo test -q
+
+echo "CI OK"

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the benchmark-definition API this workspace's benches use
+//! (`Criterion::benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! the `criterion_group!`/`criterion_main!` macros) with a simple
+//! wall-clock timing loop: a short warm-up, then `sample_size` timed
+//! iterations, reporting mean time per iteration to stdout. There is
+//! no statistical analysis, HTML report, or saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(BenchmarkId::from(name.into()), f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        // Warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        report(&self.name, &id.0, &b);
+    }
+
+    /// Runs a benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        self.iters_per_sample = 1;
+        drop(out);
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let iters = b.samples.len() as u64 * b.iters_per_sample;
+    let mean = total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    println!("{label}: mean {mean:?} (min {min:?}, max {max:?}, n={iters})");
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// criterion's `criterion_group!(name, fn_a, fn_b, ...)` list form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

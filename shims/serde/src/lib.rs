@@ -1,0 +1,464 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization framework under the `serde` package
+//! name. It is intentionally *not* wire-compatible with real serde:
+//! the only guarantee is that values produced by this crate's
+//! [`Serialize`] round-trip through [`Deserialize`] (and the JSON
+//! writer/parser in the sibling `serde_json` shim). All consumers are
+//! inside this repository, so self-consistency is sufficient.
+//!
+//! Supported shapes (via `#[derive(Serialize, Deserialize)]`):
+//! structs with named fields, tuple structs, unit structs, and enums
+//! with unit / tuple / struct variants. `#[serde(...)]` attributes are
+//! accepted and ignored.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also `Option::None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer outside `i64` range.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// If `self` is not an object or the field is missing.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Indexes into an array value.
+    ///
+    /// # Errors
+    ///
+    /// If `self` is not an array or the index is out of bounds.
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| Error::new(format!("array index {i} out of bounds"))),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array value.
+    ///
+    /// # Errors
+    ///
+    /// If `self` is not an array.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// If the value's shape does not match `Self`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Int(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::new("integer out of range"))?,
+                    other => return Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| Error::new("negative integer for unsigned type"))?,
+                    Value::UInt(n) => *n,
+                    other => return Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        i64::deserialize(v).map(|n| n as isize)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = String::deserialize(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::new(format!("expected {N} elements, found {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::deserialize(v.index($i)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn serialize(&self) -> Value {
+        // Sort keys so output is deterministic.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::deserialize(&u64::MAX.serialize()).unwrap(), u64::MAX);
+        assert_eq!(i32::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert_eq!(f32::deserialize(&1.5f32.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let v: Vec<(String, f64)> = vec![("a".into(), 2.0)];
+        assert_eq!(
+            Vec::<(String, f64)>::deserialize(&v.serialize()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some = Some(3u32);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&some.serialize()).unwrap(), some);
+        assert_eq!(Option::<u32>::deserialize(&none.serialize()).unwrap(), none);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u32::deserialize(&Value::Str("x".into())).is_err());
+        assert!(Value::Null.field("missing").is_err());
+    }
+}

@@ -20,16 +20,16 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
         let id = spec_.id.clone();
         let traces = spec_.scaled(0.15).build();
         let stats = TraceStats::compute(&traces.gradcomp);
-        assert!(stats.atomic_requests > 0, "{id}: gradcomp must have atomics");
+        assert!(
+            stats.atomic_requests > 0,
+            "{id}: gradcomp must have atomics"
+        );
 
         // Baseline reference values.
         let mut reference = GlobalMemory::new();
         reference.apply_trace(&traces.gradcomp);
 
-        for cfg_sw in [
-            SwConfig::serialized(thr(8)),
-            SwConfig::butterfly(thr(8)),
-        ] {
+        for cfg_sw in [SwConfig::serialized(thr(8)), SwConfig::butterfly(thr(8))] {
             let rewritten = rewrite_kernel_sw(&traces.gradcomp, &cfg_sw);
             let mut mem = GlobalMemory::new();
             mem.apply_trace(&rewritten.trace);
@@ -46,7 +46,11 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
         assert!(reference.max_abs_diff(&mem) < 1e-2, "{id}/CCCL gradients");
 
         // Simulation drains under every technique.
-        for technique in [Technique::Baseline, Technique::ArcHw, Technique::SwB(thr(8))] {
+        for technique in [
+            Technique::Baseline,
+            Technique::ArcHw,
+            Technique::SwB(thr(8)),
+        ] {
             let report = run_gradcomp(&cfg, technique, &traces.gradcomp)
                 .unwrap_or_else(|e| panic!("{id}/{}: {e}", technique.label()));
             assert!(report.cycles > 0);
@@ -65,8 +69,18 @@ fn arc_accelerates_gradcomp_with_fewer_stalls_and_less_energy() {
     let hw = run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).unwrap();
     let sw = run_gradcomp(&cfg, Technique::SwB(thr(8)), &traces.gradcomp).unwrap();
 
-    assert!(hw.cycles < base.cycles, "ARC-HW: {} vs {}", hw.cycles, base.cycles);
-    assert!(sw.cycles < base.cycles, "ARC-SW: {} vs {}", sw.cycles, base.cycles);
+    assert!(
+        hw.cycles < base.cycles,
+        "ARC-HW: {} vs {}",
+        hw.cycles,
+        base.cycles
+    );
+    assert!(
+        sw.cycles < base.cycles,
+        "ARC-SW: {} vs {}",
+        sw.cycles,
+        base.cycles
+    );
     assert!(hw.counters.atomic_stall_cycles < base.counters.atomic_stall_cycles);
     assert!(hw.energy.total_mj < base.energy.total_mj);
     assert!(sw.energy.total_mj < base.energy.total_mj);
@@ -99,7 +113,10 @@ fn e2e_speedup_below_gradcomp_speedup() {
     let e2e = base_it.total_cycles() as f64 / sw_it.total_cycles() as f64;
     let grad = base_k.cycles as f64 / sw_k.cycles as f64;
     assert!(e2e > 1.0, "end-to-end should still improve, got {e2e:.2}");
-    assert!(e2e <= grad + 0.05, "e2e {e2e:.2} should not exceed gradcomp {grad:.2}");
+    assert!(
+        e2e <= grad + 0.05,
+        "e2e {e2e:.2} should not exceed gradcomp {grad:.2}"
+    );
 }
 
 /// ARC-HW instructions are simply bypassed by a baseline GPU — the same

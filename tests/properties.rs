@@ -7,8 +7,8 @@ use arc_dr::arc::{
     coalesce_atomic, rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig,
 };
 use arc_dr::trace::{
-    AtomicBundle, AtomicInstr, GlobalMemory, KernelKind, KernelTrace, LaneMask, LaneOp,
-    TraceStats, WarpTraceBuilder,
+    AtomicBundle, AtomicInstr, GlobalMemory, KernelKind, KernelTrace, LaneMask, LaneOp, TraceStats,
+    WarpTraceBuilder,
 };
 use proptest::prelude::*;
 
@@ -35,15 +35,17 @@ fn arb_atomic() -> impl Strategy<Value = AtomicInstr> {
 }
 
 fn arb_bundle() -> impl Strategy<Value = AtomicBundle> {
-    (proptest::collection::vec(arb_atomic(), 1..4), proptest::bool::ANY).prop_map(
-        |(params, uniform)| {
+    (
+        proptest::collection::vec(arb_atomic(), 1..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(params, uniform)| {
             if uniform {
                 AtomicBundle::new(params)
             } else {
                 AtomicBundle::non_uniform(params)
             }
-        },
-    )
+        })
 }
 
 fn kernel_of(bundles: Vec<AtomicBundle>) -> KernelTrace {
