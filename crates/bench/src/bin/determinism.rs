@@ -1,0 +1,88 @@
+//! Determinism probe for the CI matrix.
+//!
+//! Simulates a fixed grid of small cells — with telemetry off and on —
+//! and prints one canonical line per cell. The output depends only on
+//! the simulated machine, never on host parallelism, so CI runs this
+//! binary under every `ARC_JOBS` × `ARC_SIM_WORKERS` combination and
+//! `cmp`s the outputs byte-for-byte (see `scripts/ci.sh`). The
+//! telemetry-on run is also asserted, in-process, to produce the exact
+//! report of the telemetry-off run.
+//!
+//! ```text
+//! ARC_JOBS=8 ARC_SIM_WORKERS=2 cargo run --release -p arc-bench --bin determinism
+//! ```
+
+use arc_core::BalanceThreshold;
+use arc_workloads::{run_gradcomp, run_gradcomp_telemetry, Technique};
+use gpu_sim::{GpuConfig, TelemetryConfig};
+
+const SCALE: f64 = 0.2;
+const INTERVAL: u64 = 32;
+
+/// FNV-1a over the Chrome-trace bytes: a stable fingerprint that keeps
+/// the probe's output small while still covering the full timeline.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn main() {
+    let thr = BalanceThreshold::new(16).expect("0..=32");
+    let techniques = [
+        Technique::Baseline,
+        Technique::ArcHw,
+        Technique::SwB(thr),
+        Technique::Phi,
+    ];
+    let mut cells = Vec::new();
+    for id in ["3D-LE", "PS-SS"] {
+        for t in techniques {
+            cells.push((id, t));
+        }
+    }
+    println!(
+        "determinism probe: {} cells at scale {SCALE}, telemetry interval {INTERVAL}",
+        cells.len()
+    );
+
+    let cfg = GpuConfig::tiny();
+    let rows = gpu_sim::par_map(gpu_sim::default_jobs(), cells, |(id, technique)| {
+        let traces = arc_workloads::spec(id)
+            .expect("known workload")
+            .scaled(SCALE)
+            .build();
+        let plain = run_gradcomp(&cfg, technique, &traces.gradcomp).expect("kernel drains");
+        let (report, tel) = run_gradcomp_telemetry(
+            &cfg,
+            technique,
+            &traces.gradcomp,
+            TelemetryConfig::every(INTERVAL),
+        )
+        .expect("kernel drains");
+        assert_eq!(
+            plain,
+            report,
+            "telemetry changed the {id}/{} report",
+            technique.label()
+        );
+        let s = tel.summary();
+        format!(
+            "{id} {:<8} cycles={} instr={} lsu_full={} icnt={} rop_peak={}@{} chrome_fnv={:016x}",
+            technique.label(),
+            report.cycles,
+            report.counters.instructions_issued,
+            report.stalls.lsu_full,
+            report.counters.icnt_flits,
+            s.rop_queue_peak,
+            s.rop_queue_peak_cycle,
+            fnv1a(tel.chrome_trace().as_bytes())
+        )
+    });
+    for row in rows {
+        println!("{row}");
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! Usage:
 //! ```text
-//! figures [--scale S] [--jobs N] [all|tab1|fig4|obs1|fig7|fig8|fig18|
-//!          fig19|fig20|fig21|fig22|fig23|fig24|fig25|fig26|fig27|
-//!          fig28|area|pagerank|scaling|roofline|tune]
+//! figures [--scale S] [--jobs N] [--telemetry] [--chrome-trace <path>]
+//!         [all|tab1|fig4|obs1|fig7|fig8|fig18|fig19|fig20|fig21|fig22|
+//!          fig23|fig24|fig25|fig26|fig27|fig28|area|pagerank|scaling|
+//!          roofline|tune]
 //! ```
 //!
 //! `--jobs N` (or the `ARC_JOBS` environment variable) sets how many
@@ -14,14 +15,33 @@
 //!
 //! `all` runs everything (the default) and also writes
 //! `experiments/results.json` with the raw data.
+//!
+//! `--telemetry` additionally simulates the Baseline/ARC-HW gradcomp
+//! cells with the observability layer enabled and writes one
+//! machine-readable summary per cell to `experiments/telemetry.json`.
+//! `--chrome-trace <path>` dumps the Baseline 3D-DR run on the 4090
+//! model as a `chrome://tracing` / Perfetto JSON timeline.
 
 use std::collections::BTreeMap;
 use std::env;
 use std::fs;
 
 use arc_bench::figures::{self, BreakdownRow, StallRow, SwRow, ThresholdRow};
+use arc_bench::harness::Cell;
 use arc_bench::{Harness, Series};
-use gpu_sim::GpuConfig;
+use arc_workloads::Technique;
+use gpu_sim::{GpuConfig, TelemetrySummary};
+use serde::Serialize;
+
+/// One `experiments/telemetry.json` entry: the cell key plus its
+/// sampled summary.
+#[derive(Serialize)]
+struct TelemetryRow {
+    config: String,
+    technique: String,
+    workload: String,
+    summary: TelemetrySummary,
+}
 
 fn main() {
     let mut args = env::args().skip(1).collect::<Vec<_>>();
@@ -48,6 +68,20 @@ fn main() {
                     std::process::exit(2);
                 }),
         );
+        args.remove(pos);
+    }
+    let mut telemetry = false;
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(pos);
+        telemetry = true;
+    }
+    let mut chrome_trace = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
+        args.remove(pos);
+        chrome_trace = Some(args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--chrome-trace requires an output path");
+            std::process::exit(2);
+        }));
         args.remove(pos);
     }
     let which = args
@@ -245,6 +279,43 @@ fn main() {
             );
         }
         json.insert("tune".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if telemetry {
+        let mut cells: Vec<Cell> = Vec::new();
+        for cfg in [GpuConfig::rtx3060_sim(), GpuConfig::rtx4090_sim()] {
+            for t in [Technique::Baseline, Technique::ArcHw] {
+                for id in h.workload_ids() {
+                    cells.push((cfg.clone(), t, id));
+                }
+            }
+        }
+        println!("\ntelemetry: sampling {} gradcomp cells...", cells.len());
+        h.gradcomp_telemetry_batch(&cells);
+        let rows: Vec<TelemetryRow> = h
+            .telemetry_summaries()
+            .into_iter()
+            .map(|(config, technique, workload, summary)| TelemetryRow {
+                config,
+                technique,
+                workload,
+                summary,
+            })
+            .collect();
+        fs::create_dir_all("experiments").ok();
+        let path = "experiments/telemetry.json";
+        match fs::write(path, serde_json::to_string_pretty(&rows).unwrap()) {
+            Ok(()) => println!("telemetry summaries written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = chrome_trace {
+        let trace =
+            h.gradcomp_chrome_trace(&GpuConfig::rtx4090_sim(), Technique::Baseline, "3D-DR");
+        match fs::write(&path, trace) {
+            Ok(()) => println!("chrome trace (Baseline 3D-DR, 4090 model) written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 
     if run_all {

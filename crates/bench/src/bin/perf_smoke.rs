@@ -1,29 +1,48 @@
-//! Throughput smoke benchmark for the parallel simulation engine.
+//! Throughput smoke benchmark and perf-regression gate for the parallel
+//! simulation engine.
 //!
 //! Measures simulated cycles per wall-clock second at both parallelism
 //! levels — the job pool that fans (config, technique, workload) cells
 //! across cores, and the SM sharding inside a single simulation — each
-//! against its serial counterpart, and writes the numbers to
-//! `BENCH_parallel_sim.json` so the speedup can be tracked across PRs.
+//! against its serial counterpart, and appends the sample to
+//! `BENCH_parallel_sim.json` so the file becomes a perf trajectory
+//! across PRs.
 //!
 //! ```text
-//! cargo run --release -p arc-bench --bin perf_smoke [--scale S] [--jobs N]
+//! cargo run --release -p arc-bench --bin perf_smoke \
+//!     [--scale S] [--jobs N] [--gate TOL] [--out PATH]
 //! ```
+//!
+//! `--gate TOL` turns the run into a CI gate: the fresh sample is
+//! compared against the most recent recorded sample with the same
+//! scale, job count, and core count, and the run fails (exit 1, sample
+//! not recorded) if serial throughput dropped by more than `TOL`
+//! (e.g. `0.2` = 20%). With no comparable baseline the gate records
+//! the sample and passes. The legacy single-object format of
+//! `BENCH_parallel_sim.json` is read transparently as a one-sample
+//! history.
 //!
 //! Parallel and serial runs produce bit-identical reports (see the
 //! determinism tests); only wall-clock time differs. On a single-core
 //! machine both speedups are expected to hover around 1.0×.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use arc_bench::harness::Cell;
 use arc_bench::Harness;
 use arc_workloads::Technique;
 use gpu_sim::{GpuConfig, Simulator};
 
-#[derive(Serialize)]
+const DEFAULT_OUT: &str = "BENCH_parallel_sim.json";
+const NOTE: &str = "results are bit-identical between serial and parallel runs; \
+                    speedups near 1.0 are expected when machine_cores == 1";
+/// Cap on recorded history; the oldest samples are dropped beyond it.
+const MAX_HISTORY: usize = 64;
+
+#[derive(Clone, Serialize, Deserialize)]
 struct LevelResult {
     label: String,
     simulated_cycles: u64,
@@ -48,18 +67,83 @@ impl LevelResult {
     }
 }
 
-#[derive(Serialize)]
-struct SmokeResult {
-    bench: &'static str,
+/// One measurement of both parallelism levels.
+#[derive(Clone, Serialize, Deserialize)]
+struct Sample {
     scale: f64,
     machine_cores: usize,
     jobs: usize,
     cell_level: LevelResult,
     sm_level: LevelResult,
-    note: &'static str,
 }
 
-fn main() {
+impl Sample {
+    /// Whether `other` was measured under comparable conditions —
+    /// wall-clock throughput is only gateable against the same
+    /// workload size on the same class of machine.
+    fn comparable(&self, other: &Sample) -> bool {
+        (self.scale - other.scale).abs() < 1e-12
+            && self.jobs == other.jobs
+            && self.machine_cores == other.machine_cores
+    }
+}
+
+/// The on-disk trajectory: every recorded sample, oldest first.
+#[derive(Serialize, Deserialize)]
+struct Trajectory {
+    bench: String,
+    note: String,
+    history: Vec<Sample>,
+}
+
+impl Trajectory {
+    fn empty() -> Self {
+        Trajectory {
+            bench: "parallel_sim_throughput".to_string(),
+            note: NOTE.to_string(),
+            history: Vec::new(),
+        }
+    }
+}
+
+/// The pre-trajectory single-object layout, kept readable so existing
+/// baselines seed the history.
+#[derive(Deserialize)]
+struct LegacySmoke {
+    bench: String,
+    scale: f64,
+    machine_cores: usize,
+    jobs: usize,
+    cell_level: LevelResult,
+    sm_level: LevelResult,
+    note: String,
+}
+
+fn load_trajectory(path: &str) -> Trajectory {
+    let Ok(data) = std::fs::read_to_string(path) else {
+        return Trajectory::empty();
+    };
+    if let Ok(t) = serde_json::from_str::<Trajectory>(&data) {
+        return t;
+    }
+    if let Ok(old) = serde_json::from_str::<LegacySmoke>(&data) {
+        return Trajectory {
+            bench: old.bench,
+            note: old.note,
+            history: vec![Sample {
+                scale: old.scale,
+                machine_cores: old.machine_cores,
+                jobs: old.jobs,
+                cell_level: old.cell_level,
+                sm_level: old.sm_level,
+            }],
+        };
+    }
+    eprintln!("warning: could not parse {path}; starting a fresh history");
+    Trajectory::empty()
+}
+
+fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.5f64;
     if let Some(pos) = args.iter().position(|a| a == "--scale") {
@@ -83,6 +167,29 @@ fn main() {
                 eprintln!("--jobs requires a positive integer");
                 std::process::exit(2);
             });
+        args.remove(pos);
+    }
+    let mut gate: Option<f64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--gate") {
+        args.remove(pos);
+        gate = Some(
+            args.get(pos)
+                .and_then(|s| s.parse().ok())
+                .filter(|t: &f64| (0.0..1.0).contains(t))
+                .unwrap_or_else(|| {
+                    eprintln!("--gate requires a tolerance in [0, 1), e.g. 0.2");
+                    std::process::exit(2);
+                }),
+        );
+        args.remove(pos);
+    }
+    let mut out = DEFAULT_OUT.to_string();
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        out = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--out requires a path");
+            std::process::exit(2);
+        });
         args.remove(pos);
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -142,8 +249,7 @@ fn main() {
     let (sm_parallel_s, sm_cycles_par) = run_sim(jobs);
     assert_eq!(sm_cycles, sm_cycles_par, "parallel run changed results");
 
-    let result = SmokeResult {
-        bench: "parallel_sim_throughput",
+    let sample = Sample {
         scale,
         machine_cores: cores,
         jobs,
@@ -159,13 +265,68 @@ fn main() {
             sm_serial_s,
             sm_parallel_s,
         ),
-        note: "results are bit-identical between serial and parallel runs; \
-               speedups near 1.0 are expected when machine_cores == 1",
     };
-    let pretty = serde_json::to_string_pretty(&result).expect("serializable");
-    println!("{pretty}");
-    match std::fs::write("BENCH_parallel_sim.json", format!("{pretty}\n")) {
-        Ok(()) => println!("wrote BENCH_parallel_sim.json"),
-        Err(e) => eprintln!("could not write BENCH_parallel_sim.json: {e}"),
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&sample).expect("serializable")
+    );
+
+    let mut trajectory = load_trajectory(&out);
+
+    // --- Gate: compare against the last comparable sample. ------------
+    if let Some(tol) = gate {
+        let baseline = trajectory
+            .history
+            .iter()
+            .rev()
+            .find(|s| s.comparable(&sample));
+        match baseline {
+            None => println!(
+                "gate: no comparable baseline in {out} \
+                 (scale {scale}, jobs {jobs}, {cores} cores) — recording first sample"
+            ),
+            Some(prev) => {
+                let mut regressed = false;
+                for (level, new, old) in [
+                    ("cell-level", &sample.cell_level, &prev.cell_level),
+                    ("sm-level", &sample.sm_level, &prev.sm_level),
+                ] {
+                    let floor = old.serial_cycles_per_sec * (1.0 - tol);
+                    let ratio = new.serial_cycles_per_sec / old.serial_cycles_per_sec;
+                    println!(
+                        "gate: {level} serial {:.0} cycles/s vs baseline {:.0} \
+                         ({:+.1}%, floor {:.0})",
+                        new.serial_cycles_per_sec,
+                        old.serial_cycles_per_sec,
+                        100.0 * (ratio - 1.0),
+                        floor
+                    );
+                    if new.serial_cycles_per_sec < floor {
+                        regressed = true;
+                    }
+                }
+                if regressed {
+                    eprintln!(
+                        "gate: FAIL — serial throughput regressed more than {:.0}%; \
+                         sample not recorded",
+                        100.0 * tol
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("gate: PASS (tolerance {:.0}%)", 100.0 * tol);
+            }
+        }
     }
+
+    trajectory.history.push(sample);
+    if trajectory.history.len() > MAX_HISTORY {
+        let excess = trajectory.history.len() - MAX_HISTORY;
+        trajectory.history.drain(..excess);
+    }
+    let pretty = serde_json::to_string_pretty(&trajectory).expect("serializable");
+    match std::fs::write(&out, format!("{pretty}\n")) {
+        Ok(()) => println!("recorded sample {} in {out}", trajectory.history.len()),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+    ExitCode::SUCCESS
 }

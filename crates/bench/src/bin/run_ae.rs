@@ -14,8 +14,15 @@
 //! the 4090 model.
 //!
 //! ```text
-//! cargo run --release -p arc-bench --bin run_ae [--jobs N] [iters]
+//! cargo run --release -p arc-bench --bin run_ae [--jobs N] [--telemetry]
+//!     [--chrome-trace <out.json>] [iters]
 //! ```
+//!
+//! `--telemetry` samples each dataset's baseline gradient kernel with
+//! the observability layer and writes the per-dataset summaries to
+//! `experiments/ae_telemetry.json`. `--chrome-trace <out.json>` also
+//! dumps the first dataset's run as a `chrome://tracing` timeline
+//! (implies `--telemetry`).
 //!
 //! Each dataset (training run + technique grid) is independent, so the
 //! six datasets are fanned across `--jobs N` worker threads (default:
@@ -34,11 +41,27 @@ use diffrender::math::Vec3;
 use diffrender::projection::{project, Camera, Gaussian3DModel};
 use diffrender::tracegen::{gaussian_forward_trace, loss_trace, splat_gradcomp_trace, TraceCosts};
 use diffrender::train::{train_3d, LossKind, TrainConfig};
-use gpu_sim::GpuConfig;
+use gpu_sim::{GpuConfig, TelemetryConfig, TelemetrySummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 
 const SIZE: usize = 64;
+
+/// One `experiments/ae_telemetry.json` entry: a dataset's baseline
+/// gradcomp kernel observed through the telemetry layer.
+#[derive(Serialize)]
+struct AeTelemetry {
+    dataset: String,
+    summary: TelemetrySummary,
+}
+
+/// Telemetry carried back from a dataset worker: the JSON row plus an
+/// optional Chrome-trace timeline when the user asked for one.
+struct DatasetTelemetry {
+    row: AeTelemetry,
+    chrome: Option<String>,
+}
 
 struct AeDataset {
     id: &'static str,
@@ -110,6 +133,21 @@ fn main() {
             });
         args.remove(pos);
     }
+    let mut telemetry = false;
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(pos);
+        telemetry = true;
+    }
+    let mut chrome_trace = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
+        args.remove(pos);
+        chrome_trace = Some(args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--chrome-trace requires an output path");
+            std::process::exit(2);
+        }));
+        args.remove(pos);
+        telemetry = true;
+    }
     let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
     let cfg = GpuConfig::rtx4090_sim();
     let bg = Vec3::splat(0.02);
@@ -125,12 +163,21 @@ fn main() {
     // Each dataset's training run and technique grid is independent of
     // the others; fan them across the job pool and splice the finished
     // (table, csv) blocks back together in dataset order.
-    let blocks = gpu_sim::par_map(jobs, DATASETS.iter().collect(), |ds| {
-        dataset_rows(ds, &cfg, bg, iters)
+    let want_chrome = chrome_trace.is_some();
+    let blocks = gpu_sim::par_map(jobs, DATASETS.iter().enumerate().collect(), |(idx, ds)| {
+        dataset_rows(ds, &cfg, bg, iters, telemetry, want_chrome && idx == 0)
     });
-    for (table, csv_block) in blocks {
+    let mut tel_rows = Vec::new();
+    let mut chrome_json = None;
+    for (table, csv_block, tel) in blocks {
         print!("{table}");
         csv.push_str(&csv_block);
+        if let Some(tel) = tel {
+            if tel.chrome.is_some() {
+                chrome_json = tel.chrome;
+            }
+            tel_rows.push(tel.row);
+        }
     }
 
     fs::create_dir_all("experiments").ok();
@@ -138,11 +185,35 @@ fn main() {
         Ok(()) => println!("\nwrote experiments/ae_result.csv"),
         Err(e) => eprintln!("could not write ae_result.csv: {e}"),
     }
+    if telemetry {
+        let path = "experiments/ae_telemetry.json";
+        match fs::write(
+            path,
+            serde_json::to_string_pretty(&tel_rows).expect("serializable"),
+        ) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(json)) = (chrome_trace, chrome_json) {
+        match fs::write(&path, json) {
+            Ok(()) => println!("wrote chrome trace ({}) to {path}", DATASETS[0].id),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
 }
 
 /// Trains one dataset, simulates the artifact's technique grid, and
-/// renders its table and CSV rows.
-fn dataset_rows(ds: &AeDataset, cfg: &GpuConfig, bg: Vec3, iters: usize) -> (String, String) {
+/// renders its table and CSV rows — plus, when asked, the baseline
+/// gradcomp kernel's telemetry (and Chrome-trace timeline).
+fn dataset_rows(
+    ds: &AeDataset,
+    cfg: &GpuConfig,
+    bg: Vec3,
+    iters: usize,
+    telemetry: bool,
+    chrome: bool,
+) -> (String, String, Option<DatasetTelemetry>) {
     let mut table = String::new();
     let mut csv = String::new();
     let mut rng = StdRng::seed_from_u64(ds.seed);
@@ -222,7 +293,23 @@ fn dataset_rows(ds: &AeDataset, cfg: &GpuConfig, bg: Vec3, iters: usize) -> (Str
             );
         }
     }
-    (table, csv)
+    let tel = telemetry.then(|| {
+        let (_, tel) = arc_workloads::run_gradcomp_telemetry(
+            cfg,
+            Technique::Baseline,
+            &gradcomp,
+            TelemetryConfig::default(),
+        )
+        .expect("kernel drains");
+        DatasetTelemetry {
+            chrome: chrome.then(|| tel.chrome_trace()),
+            row: AeTelemetry {
+                dataset: ds.id.to_string(),
+                summary: tel.summary(),
+            },
+        }
+    });
+    (table, csv, tel)
 }
 
 type Variant = (&'static str, Vec<(String, Technique)>);

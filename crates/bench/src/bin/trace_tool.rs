@@ -7,13 +7,19 @@
 //! trace_tool stats   <trace.json>
 //! trace_tool rewrite <trace.json> <out.json> [sw-b|sw-s|cccl] [threshold]
 //! trace_tool sim     <trace.json> [baseline|arc-hw|lab|lab-ideal|phi] [4090|3060]
+//!                    [--telemetry] [--chrome-trace <out.json>]
 //! ```
+//!
+//! `sim --telemetry` enables the observability layer and prints the
+//! sampled summary (queue-occupancy peaks, interconnect throughput,
+//! warp spans). `--chrome-trace <out.json>` additionally writes the
+//! run's `chrome://tracing` / Perfetto timeline (implies `--telemetry`).
 
 use std::fs;
 use std::process::ExitCode;
 
 use arc_core::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
-use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+use gpu_sim::{AtomicPath, GpuConfig, Simulator, TelemetryConfig};
 use warp_trace::{KernelTrace, TraceStats};
 
 fn main() -> ExitCode {
@@ -115,9 +121,26 @@ fn rewrite(args: &[String]) -> Result<(), String> {
 }
 
 fn sim(args: &[String]) -> Result<(), String> {
-    let path = args
-        .first()
-        .ok_or("usage: trace_tool sim <trace.json> [path] [gpu]")?;
+    let mut args: Vec<String> = args.to_vec();
+    let mut telemetry = false;
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(pos);
+        telemetry = true;
+    }
+    let mut chrome_trace = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chrome-trace") {
+        args.remove(pos);
+        let out = args
+            .get(pos)
+            .cloned()
+            .ok_or("--chrome-trace requires an output path")?;
+        args.remove(pos);
+        chrome_trace = Some(out);
+        telemetry = true;
+    }
+    let path = args.first().ok_or(
+        "usage: trace_tool sim <trace.json> [path] [gpu] [--telemetry] [--chrome-trace <out.json>]",
+    )?;
     let atomic_path = match args.get(1).map_or("baseline", String::as_str) {
         "baseline" => AtomicPath::Baseline,
         "arc-hw" => AtomicPath::ArcHw,
@@ -135,8 +158,11 @@ fn sim(args: &[String]) -> Result<(), String> {
     if atomic_path == AtomicPath::ArcHw {
         trace = trace.with_atomred();
     }
-    let sim = Simulator::new(cfg.clone(), atomic_path).map_err(|e| e.to_string())?;
-    let report = sim.run(&trace).map_err(|e| e.to_string())?;
+    let mut sim = Simulator::new(cfg.clone(), atomic_path).map_err(|e| e.to_string())?;
+    if telemetry {
+        sim = sim.with_telemetry(TelemetryConfig::default());
+    }
+    let (report, tel) = sim.run_with_telemetry(&trace).map_err(|e| e.to_string())?;
     println!(
         "{} on {}: {} cycles ({:.3} ms), rop util {:.2}, redunit util {:.2}, \
          stalls/instr {:.2}",
@@ -148,5 +174,29 @@ fn sim(args: &[String]) -> Result<(), String> {
         report.redunit_utilization,
         report.stalls_per_instruction()
     );
+    if let Some(tel) = tel {
+        let s = tel.summary();
+        println!(
+            "telemetry: {} samples every {} cycles, rop.queue peak {} @ cycle {}, \
+             icnt {:.2} flits/cycle, {} warp spans ({} dropped)",
+            s.samples,
+            s.sample_interval,
+            s.rop_queue_peak,
+            s.rop_queue_peak_cycle,
+            s.icnt_flits_per_cycle,
+            s.warp_spans,
+            s.dropped_spans
+        );
+        for m in &s.metrics {
+            println!(
+                "  {:<22} total {:>14.1}  peak {:>10.1} @ cycle {:<10} mean {:>10.2}",
+                m.name, m.total, m.peak, m.peak_cycle, m.mean
+            );
+        }
+        if let Some(out) = chrome_trace {
+            fs::write(&out, tel.chrome_trace()).map_err(|e| format!("writing {out}: {e}"))?;
+            println!("chrome trace written to {out}");
+        }
+    }
     Ok(())
 }

@@ -4,7 +4,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use arc_workloads::{all_specs, IterationTraces, Technique};
-use gpu_sim::{par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, Simulator};
+use gpu_sim::{
+    par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, Simulator,
+    TelemetryConfig, TelemetrySummary,
+};
 
 /// Builds workload traces on demand (each is an actual render + backward
 /// pass) and caches simulation reports so figures sharing data points —
@@ -20,10 +23,12 @@ use gpu_sim::{par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, Sim
 pub struct Harness {
     scale: f64,
     jobs: usize,
+    telemetry: TelemetryConfig,
     traces: HashMap<String, Arc<IterationTraces>>,
     sims: HashMap<(String, AtomicPath), Arc<Simulator>>,
     gradcomp_cache: HashMap<CacheKey, KernelReport>,
     iteration_cache: HashMap<CacheKey, IterationReport>,
+    telemetry_cache: HashMap<CacheKey, KernelTelemetry>,
 }
 
 /// A simulation cell: one (config, technique, workload) point.
@@ -58,10 +63,12 @@ impl Harness {
         Harness {
             scale,
             jobs: gpu_sim::default_jobs(),
+            telemetry: TelemetryConfig::default(),
             traces: HashMap::new(),
             sims: HashMap::new(),
             gradcomp_cache: HashMap::new(),
             iteration_cache: HashMap::new(),
+            telemetry_cache: HashMap::new(),
         }
     }
 
@@ -79,6 +86,13 @@ impl Harness {
     /// only wall-clock time.
     pub fn set_jobs(&mut self, jobs: usize) {
         self.jobs = jobs.max(1);
+    }
+
+    /// Sets the telemetry configuration used by the telemetry APIs
+    /// ([`Harness::gradcomp_telemetry`] and friends). Plain report runs
+    /// never collect telemetry regardless of this setting.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryConfig) {
+        self.telemetry = telemetry;
     }
 
     /// All workload ids, in Table-2 order.
@@ -167,6 +181,110 @@ impl Harness {
             .expect("kernel must drain");
         self.gradcomp_cache.insert(key, report.clone());
         report
+    }
+
+    /// Simulates (with caching) the gradient-computation kernel with
+    /// telemetry collection, returning the report plus the sampled
+    /// [`KernelTelemetry`]. The report is byte-identical to the one
+    /// [`Harness::gradcomp`] returns (telemetry never changes results),
+    /// so this also warms the plain report cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload or simulator failure.
+    pub fn gradcomp_telemetry(
+        &mut self,
+        cfg: &GpuConfig,
+        technique: Technique,
+        id: &str,
+    ) -> (KernelReport, KernelTelemetry) {
+        let key = (cfg.name.clone(), technique.label(), id.to_string());
+        if let (Some(report), Some(tel)) = (
+            self.gradcomp_cache.get(&key),
+            self.telemetry_cache.get(&key),
+        ) {
+            return (report.clone(), tel.clone());
+        }
+        let traces = self.traces_arc(id);
+        let sim = self.telemetry_sim(cfg, technique.path());
+        let (report, tel) = sim
+            .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
+            .expect("kernel must drain");
+        let tel = tel.expect("telemetry was enabled");
+        self.gradcomp_cache.insert(key.clone(), report.clone());
+        self.telemetry_cache.insert(key, tel.clone());
+        (report, tel)
+    }
+
+    /// Computes every missing gradient-computation + telemetry cell in
+    /// parallel on the job pool (the telemetry analogue of
+    /// [`Harness::gradcomp_batch`]). Cells whose *report* is cached but
+    /// whose telemetry is not are re-run with telemetry enabled; results
+    /// are identical to computing each cell serially.
+    pub fn gradcomp_telemetry_batch(&mut self, cells: &[Cell]) {
+        let jobs = self.jobs;
+        let ids: Vec<String> = cells.iter().map(|(_, _, id)| id.clone()).collect();
+        self.trace_batch(&ids);
+
+        let mut claimed: HashSet<CacheKey> = HashSet::new();
+        let mut todo: Vec<PreparedCell> = Vec::new();
+        for (cfg, technique, id) in cells {
+            let key = (cfg.name.clone(), technique.label(), id.clone());
+            if self.telemetry_cache.contains_key(&key) || !claimed.insert(key.clone()) {
+                continue;
+            }
+            let sim = Arc::new(self.telemetry_sim(cfg, technique.path()));
+            let traces = Arc::clone(&self.traces[id.as_str()]);
+            todo.push((key, sim, *technique, traces));
+        }
+
+        let results = par_map(jobs, todo, |(key, sim, technique, traces)| {
+            let (report, tel) = sim
+                .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
+                .expect("kernel must drain");
+            (key, report, tel.expect("telemetry was enabled"))
+        });
+        for (key, report, tel) in results {
+            self.gradcomp_cache.insert(key.clone(), report);
+            self.telemetry_cache.insert(key, tel);
+        }
+    }
+
+    /// All collected telemetry summaries as
+    /// `(config, technique, workload, summary)` rows, sorted for
+    /// deterministic output — the payload of the machine-readable
+    /// `telemetry.json` the experiment binaries write.
+    pub fn telemetry_summaries(&self) -> Vec<(String, String, String, TelemetrySummary)> {
+        let mut rows: Vec<_> = self
+            .telemetry_cache
+            .iter()
+            .map(|((c, t, w), tel)| (c.clone(), t.clone(), w.clone(), tel.summary()))
+            .collect();
+        rows.sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
+        rows
+    }
+
+    /// Chrome-trace (`chrome://tracing`) JSON for one telemetry cell,
+    /// running it first if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload or simulator failure.
+    pub fn gradcomp_chrome_trace(
+        &mut self,
+        cfg: &GpuConfig,
+        technique: Technique,
+        id: &str,
+    ) -> String {
+        self.gradcomp_telemetry(cfg, technique, id).1.chrome_trace()
+    }
+
+    /// A telemetry-enabled clone of the cached simulator for this
+    /// (config, path). Kept out of the `sims` cache so plain report
+    /// runs never pay for sampling.
+    fn telemetry_sim(&mut self, cfg: &GpuConfig, path: AtomicPath) -> Simulator {
+        let base = self.sim_for(cfg, path);
+        (*base).clone().with_telemetry(self.telemetry.clone())
     }
 
     /// Simulates (with caching) the full training iteration.
@@ -326,6 +444,34 @@ mod tests {
     fn unknown_id_panics() {
         let mut h = Harness::new(0.2);
         let _ = h.traces("3D-XX");
+    }
+
+    #[test]
+    fn telemetry_batch_matches_serial_and_plain_reports() {
+        let cfg = GpuConfig::tiny();
+        let cells: Vec<Cell> = [Technique::Baseline, Technique::ArcHw]
+            .into_iter()
+            .map(|t| (cfg.clone(), t, "PS-SS".to_string()))
+            .collect();
+
+        let mut serial = Harness::new(0.2);
+        serial.set_jobs(1);
+        let mut parallel = Harness::new(0.2);
+        parallel.set_jobs(4);
+        parallel.gradcomp_telemetry_batch(&cells);
+
+        for (cfg, technique, id) in &cells {
+            let (sr, st) = serial.gradcomp_telemetry(cfg, *technique, id);
+            let (pr, pt) = parallel.gradcomp_telemetry(cfg, *technique, id);
+            assert_eq!(sr, pr, "telemetry report for {}", technique.label());
+            assert_eq!(st, pt, "telemetry for {}", technique.label());
+            // Telemetry runs also warm the plain report cache with
+            // identical results.
+            assert_eq!(serial.gradcomp(cfg, *technique, id), sr);
+        }
+        let rows = parallel.telemetry_summaries();
+        assert_eq!(rows.len(), cells.len());
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1), "rows sorted");
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub(crate) struct MemPartition {
     atomics: VecDeque<MemReq>,
     data: VecDeque<MemReq>,
     occupancy: u32,
+    /// The atomic (ROP-queue) share of `occupancy`, tracked separately
+    /// so telemetry can distinguish ROP back-pressure from load/store
+    /// buffering.
+    atomic_occupancy: u32,
     rop_rate: u32,
     data_rate: u32,
     load_latency: u32,
@@ -99,6 +103,7 @@ impl MemPartition {
             atomics: VecDeque::new(),
             data: VecDeque::new(),
             occupancy: 0,
+            atomic_occupancy: 0,
             rop_rate: cfg.rops_per_partition,
             data_rate: cfg.l2_load_throughput,
             load_latency: cfg.l2_load_latency,
@@ -113,7 +118,10 @@ impl MemPartition {
     pub fn push(&mut self, req: MemReq) {
         self.occupancy += req.size;
         match req.kind {
-            ReqKind::Atomic => self.atomics.push_back(req),
+            ReqKind::Atomic => {
+                self.atomic_occupancy += req.size;
+                self.atomics.push_back(req);
+            }
             _ => self.data.push_back(req),
         }
     }
@@ -121,6 +129,12 @@ impl MemPartition {
     /// Units currently buffered.
     pub fn occupancy(&self) -> u32 {
         self.occupancy
+    }
+
+    /// Atomic lane-values currently waiting for the ROP pipeline — the
+    /// "ROP queue" occupancy telemetry samples.
+    pub fn rop_occupancy(&self) -> u32 {
+        self.atomic_occupancy
     }
 
     /// Advances one cycle: ROP units retire atomic lane-values, the L2
@@ -139,6 +153,7 @@ impl MemPartition {
             if budget >= head.size {
                 budget -= head.size;
                 self.occupancy -= head.size;
+                self.atomic_occupancy -= head.size;
                 counters.rop_lane_ops += u64::from(head.size);
                 self.atomics.pop_front();
             } else {

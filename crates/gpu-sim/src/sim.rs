@@ -42,6 +42,7 @@ use crate::energy::EnergyModel;
 use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind, SmPort};
 use crate::parallel::default_sim_workers;
 use crate::stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};
+use crate::telemetry::{KernelTelemetry, SampleSnapshot, TelemetryConfig, TelemetryState};
 
 /// How the GPU handles atomic traffic — the paper's evaluated designs.
 ///
@@ -142,6 +143,7 @@ pub struct Simulator {
     path: AtomicPath,
     energy: EnergyModel,
     sm_workers: usize,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Simulator {
@@ -163,6 +165,7 @@ impl Simulator {
             path,
             energy: EnergyModel::default(),
             sm_workers: default_sim_workers(),
+            telemetry: None,
         })
     }
 
@@ -196,6 +199,23 @@ impl Simulator {
         self.sm_workers
     }
 
+    /// Enables telemetry collection (see [`crate::telemetry`]). Runs
+    /// started by [`Simulator::run_with_telemetry`] will sample queue
+    /// occupancies, stall/issue rates, and warp residency spans on the
+    /// configured cadence. Telemetry never changes simulation results:
+    /// samples are taken from the serial coordinator phases only, so
+    /// reports stay bit-identical with telemetry on or off and for any
+    /// worker count.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The telemetry configuration, if enabled.
+    pub fn telemetry_config(&self) -> Option<&TelemetryConfig> {
+        self.telemetry.as_ref()
+    }
+
     /// Simulates one kernel to completion (all warps retired and every
     /// queue/buffer drained).
     ///
@@ -203,8 +223,29 @@ impl Simulator {
     ///
     /// [`SimError::ExceededMaxCycles`] if the kernel fails to drain.
     pub fn run(&self, trace: &KernelTrace) -> Result<KernelReport, SimError> {
-        let mut m = Machine::new(&self.cfg, self.path, trace, self.sm_workers);
+        self.run_with_telemetry(trace).map(|(report, _)| report)
+    }
+
+    /// Simulates one kernel like [`Simulator::run`] and additionally
+    /// returns the collected [`KernelTelemetry`] when telemetry was
+    /// enabled with [`Simulator::with_telemetry`] (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ExceededMaxCycles`] if the kernel fails to drain.
+    pub fn run_with_telemetry(
+        &self,
+        trace: &KernelTrace,
+    ) -> Result<(KernelReport, Option<KernelTelemetry>), SimError> {
+        let mut m = Machine::new(
+            &self.cfg,
+            self.path,
+            trace,
+            self.sm_workers,
+            self.telemetry.as_ref(),
+        );
         let cycles = m.run(trace)?;
+        let telemetry = m.telemetry.take().map(|t| t.finish(trace.name(), cycles));
         let counters = m.hub.counters;
         let stalls = m.hub.stalls;
         let energy = self.energy.evaluate(&self.cfg, &counters, cycles);
@@ -216,18 +257,21 @@ impl Simulator {
         let redunit_utilization = counters.redunit_lane_ops as f64 / redunit_slots;
         let issue_utilization =
             counters.instructions_issued as f64 / (slots * f64::from(self.cfg.total_subcores()));
-        Ok(KernelReport {
-            name: trace.name().to_string(),
-            kind: trace.kind(),
-            cycles,
-            time_ms: self.cfg.cycles_to_ms(cycles),
-            counters,
-            stalls,
-            energy,
-            rop_utilization,
-            redunit_utilization,
-            issue_utilization,
-        })
+        Ok((
+            KernelReport {
+                name: trace.name().to_string(),
+                kind: trace.kind(),
+                cycles,
+                time_ms: self.cfg.cycles_to_ms(cycles),
+                counters,
+                stalls,
+                energy,
+                rop_utilization,
+                redunit_utilization,
+                issue_utilization,
+            },
+            telemetry,
+        ))
     }
 
     /// Simulates a training iteration: each kernel in order, reporting
@@ -348,6 +392,11 @@ struct Machine<'a> {
     shared: Shared<'a>,
     hub: Hub,
     sm_workers: usize,
+    /// Telemetry collection state, driven exclusively from the serial
+    /// coordinator phases so artifacts are identical for any worker
+    /// count. `None` when telemetry is disabled — the per-cycle cost is
+    /// then a single branch.
+    telemetry: Option<TelemetryState>,
 }
 
 fn lock<'m>(lane: &'m Mutex<SmLane>) -> MutexGuard<'m, SmLane> {
@@ -355,7 +404,13 @@ fn lock<'m>(lane: &'m Mutex<SmLane>) -> MutexGuard<'m, SmLane> {
 }
 
 impl<'a> Machine<'a> {
-    fn new(cfg: &'a GpuConfig, path: AtomicPath, trace: &KernelTrace, sm_workers: usize) -> Self {
+    fn new(
+        cfg: &'a GpuConfig,
+        path: AtomicPath,
+        trace: &KernelTrace,
+        sm_workers: usize,
+        telemetry: Option<&TelemetryConfig>,
+    ) -> Self {
         let buffer_for = |sm_path: AtomicPath| -> Option<AggBuffer> {
             match sm_path {
                 AtomicPath::Lab => Some(AggBuffer::lab(
@@ -428,6 +483,7 @@ impl<'a> Machine<'a> {
                 warps_remaining,
             },
             sm_workers,
+            telemetry: telemetry.map(|t| TelemetryState::new(t, trace.warps().len())),
         }
     }
 
@@ -439,6 +495,14 @@ impl<'a> Machine<'a> {
             self.run_parallel(trace, workers)
         };
         if result.is_ok() {
+            // Final telemetry sample at the drained end state, taken
+            // while counters still live split across hub and lanes —
+            // `telemetry_snapshot` performs the same merge itself, so
+            // it must run before the fold below to avoid double counts.
+            if let (Some(tel), Ok(cycles)) = (self.telemetry.as_mut(), &result) {
+                let snap = telemetry_snapshot(&self.shared, &self.hub);
+                tel.record_sample(*cycles, &snap);
+            }
             // Fold per-SM accounting into the hub totals (SM-index order,
             // so merged counters are identical for any worker count).
             for lane in &self.shared.lanes {
@@ -451,22 +515,26 @@ impl<'a> Machine<'a> {
     }
 
     fn run_serial(&mut self, trace: &KernelTrace) -> Result<u64, SimError> {
+        let shared = &self.shared;
+        let hub = &mut self.hub;
+        let tel = &mut self.telemetry;
         let mut cycle: u64 = 0;
         loop {
-            let flushing = phase_pre(&self.shared, &mut self.hub, trace, cycle);
-            for lane in &self.shared.lanes {
-                step_sm(&self.shared, trace, cycle, flushing, &mut lock(lane));
+            let flushing = phase_pre(shared, hub, tel, trace, cycle);
+            for lane in &shared.lanes {
+                step_sm(shared, trace, cycle, flushing, &mut lock(lane));
             }
-            phase_post(&self.shared, &mut self.hub);
+            phase_post(shared, hub);
+            sample_if_due(shared, hub, tel, cycle);
             cycle += 1;
-            if drained(&self.shared, &self.hub) {
+            if drained(shared, hub) {
                 return Ok(cycle);
             }
-            debug_trace(&self.shared, &self.hub, cycle);
-            if cycle >= self.shared.cfg.max_cycles {
+            debug_trace(shared, hub, cycle);
+            if cycle >= shared.cfg.max_cycles {
                 return Err(SimError::ExceededMaxCycles {
                     kernel: trace.name().to_string(),
-                    max_cycles: self.shared.cfg.max_cycles,
+                    max_cycles: shared.cfg.max_cycles,
                 });
             }
         }
@@ -475,6 +543,7 @@ impl<'a> Machine<'a> {
     fn run_parallel(&mut self, trace: &KernelTrace, workers: usize) -> Result<u64, SimError> {
         let shared = &self.shared;
         let hub = &mut self.hub;
+        let tel = &mut self.telemetry;
         // Two waits per cycle bracket the SM phase; `stop` (checked right
         // after the first wait) shuts the pool down. The barrier also
         // provides the happens-before edges that make Relaxed loads of
@@ -510,13 +579,14 @@ impl<'a> Machine<'a> {
             let result = (|| {
                 let mut cycle: u64 = 0;
                 loop {
-                    let flushing = phase_pre(shared, hub, trace, cycle);
+                    let flushing = phase_pre(shared, hub, tel, trace, cycle);
                     flush_now.store(flushing, Ordering::Relaxed);
                     cycle_now.store(cycle, Ordering::Relaxed);
                     cursor.store(0, Ordering::Relaxed);
                     barrier.wait(); // open the SM phase
                     barrier.wait(); // all SMs stepped
                     phase_post(shared, hub);
+                    sample_if_due(shared, hub, tel, cycle);
                     cycle += 1;
                     if drained(shared, hub) {
                         return Ok(cycle);
@@ -539,7 +609,17 @@ impl<'a> Machine<'a> {
 
 /// Phases 1–2: memory retirement, completion wake-up, retire/dispatch,
 /// and the occupancy snapshot. Returns whether buffers should flush.
-fn phase_pre(shared: &Shared<'_>, hub: &mut Hub, trace: &KernelTrace, cycle: u64) -> bool {
+///
+/// Telemetry warp events (dispatch/retire) are recorded here — this
+/// phase is always serial and walks SMs in index order, so the event
+/// stream is identical for any worker count.
+fn phase_pre(
+    shared: &Shared<'_>,
+    hub: &mut Hub,
+    tel: &mut Option<TelemetryState>,
+    trace: &KernelTrace,
+    cycle: u64,
+) -> bool {
     for p in &mut hub.partitions {
         p.step(cycle, &mut hub.completions, &mut hub.counters);
     }
@@ -563,11 +643,23 @@ fn phase_pre(shared: &Shared<'_>, hub: &mut Hub, trace: &KernelTrace, cycle: u64
     // launch work spreads evenly instead of flooding the first SMs.
     for (sm_idx, lane) in shared.lanes.iter().enumerate() {
         let mut lane = lock(lane);
-        for sc in &mut lane.sm.subcores {
+        for (sc_idx, sc) in lane.sm.subcores.iter_mut().enumerate() {
+            if let Some(t) = tel.as_mut() {
+                if t.wants_warp_events() {
+                    for warp in &sc.resident {
+                        if warp.rt.done {
+                            t.warp_retired(warp.id, cycle);
+                        }
+                    }
+                }
+            }
             sc.resident.retain(|warp| !warp.rt.done);
             if sc.resident.len() < shared.cfg.max_warps_per_subcore as usize {
                 if let Some(w) = hub.pending.pop_front() {
                     hub.owner[w as usize] = sm_idx as u32;
+                    if let Some(t) = tel.as_mut() {
+                        t.warp_dispatched(w, sm_idx as u32, sc_idx as u32, cycle);
+                    }
                     sc.resident.push(Warp {
                         id: w,
                         rt: WarpRt::default(),
@@ -695,6 +787,68 @@ fn phase_post(shared: &Shared<'_>, hub: &mut Hub) {
             hub.partitions[req.partition as usize].push(req);
         }
         hub.warps_remaining -= std::mem::take(&mut lane.retired);
+    }
+}
+
+/// Takes a telemetry sample at the end of `cycle` when one is due.
+/// Called from the serial coordinator only (after phase 4), so lane
+/// locks are uncontended and reads happen in SM-index order.
+fn sample_if_due(shared: &Shared<'_>, hub: &Hub, tel: &mut Option<TelemetryState>, cycle: u64) {
+    if let Some(t) = tel.as_mut() {
+        if t.due(cycle) {
+            let snap = telemetry_snapshot(shared, hub);
+            t.record_sample(cycle, &snap);
+        }
+    }
+}
+
+/// Assembles a point-in-time machine view for telemetry: hub state plus
+/// every SM shard, merged in SM-index order. Read-only with respect to
+/// simulation state.
+fn telemetry_snapshot(shared: &Shared<'_>, hub: &Hub) -> SampleSnapshot {
+    let mut counters = hub.counters;
+    let mut stalls = hub.stalls;
+    let mut lsu_occupancy = 0u64;
+    let mut lsu_occupancy_max = 0u32;
+    let mut redunit_pending = 0u64;
+    let mut aggbuf_entries = 0u64;
+    let mut aggbuf_backlog = 0u64;
+    for lane in &shared.lanes {
+        let lane = lock(lane);
+        counters.merge(&lane.counters);
+        stalls.merge(&lane.stalls);
+        let occ = lane.sm.lsu.occupancy();
+        lsu_occupancy += u64::from(occ);
+        lsu_occupancy_max = lsu_occupancy_max.max(occ);
+        for sc in &lane.sm.subcores {
+            redunit_pending += sc.redunit.pending() as u64;
+        }
+        if let Some(b) = lane.sm.buffer.as_ref() {
+            aggbuf_entries += b.len() as u64;
+            aggbuf_backlog += b.evict_backlog() as u64;
+        }
+    }
+    let mut partition_occupancy = 0u64;
+    let mut rop_queue = 0u64;
+    let mut rop_queue_max = 0u32;
+    for p in &hub.partitions {
+        partition_occupancy += u64::from(p.occupancy());
+        let rop = p.rop_occupancy();
+        rop_queue += u64::from(rop);
+        rop_queue_max = rop_queue_max.max(rop);
+    }
+    SampleSnapshot {
+        counters,
+        stalls,
+        lsu_occupancy,
+        lsu_occupancy_max,
+        partition_occupancy,
+        rop_queue,
+        rop_queue_max,
+        redunit_pending,
+        aggbuf_entries,
+        aggbuf_backlog,
+        warps_remaining: hub.warps_remaining,
     }
 }
 

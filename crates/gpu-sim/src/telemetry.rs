@@ -1,0 +1,850 @@
+//! Simulator observability: a metrics registry, periodic queue/stall
+//! sampling, warp-lifetime events, and Chrome-trace export.
+//!
+//! The end-of-run aggregates in [`crate::stats`] say *how much* a kernel
+//! stalled; this module says *when*. A [`MetricsRegistry`] holds three
+//! metric kinds:
+//!
+//! * **counters** — monotonically increasing totals (instructions
+//!   issued, ROP lane-ops, interconnect flits); each sample records the
+//!   delta since the previous sample, so a counter series is a rate
+//!   curve;
+//! * **gauges** — instantaneous levels (LSU/ROP/reduction-unit queue
+//!   occupancies, warps remaining); each sample records the current
+//!   value;
+//! * **histograms** — power-of-two bucketed distributions of sampled
+//!   values (e.g. ROP-queue occupancy across all samples).
+//!
+//! The simulator samples the registry every
+//! [`TelemetryConfig::sample_interval`] cycles **from the serial
+//! coordinator phase only**: per-SM shards are read under their (then
+//! uncontended) locks in SM-index order, so a sample is a pure function
+//! of simulation state and the engine's bit-identical-for-any-worker-
+//! count guarantee extends to every telemetry artifact. Telemetry never
+//! writes simulation state, so enabling it cannot change results; when
+//! disabled the engine pays one branch per cycle.
+//!
+//! [`KernelTelemetry::chrome_trace`] renders the whole run as a
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev) JSON
+//! timeline: one counter track per metric plus one slice per warp
+//! residency (pid = SM + 1, tid = sub-core). Timestamps are simulated
+//! cycles presented as microseconds (1 µs = 1 cycle).
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{SimCounters, StallBreakdown};
+
+/// Configuration for telemetry collection on a [`crate::Simulator`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Cycles between registry samples (clamped to ≥ 1). A final sample
+    /// is always recorded at kernel completion.
+    pub sample_interval: u64,
+    /// Record one timeline span per warp residency (dispatch → retire).
+    pub warp_events: bool,
+    /// Cap on recorded warp spans; spans beyond the cap are counted in
+    /// [`KernelTelemetry::dropped_spans`] rather than silently lost.
+    pub max_warp_spans: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_interval: 64,
+            warp_events: true,
+            max_warp_spans: 100_000,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A config sampling every `interval` cycles, warp events on.
+    pub fn every(interval: u64) -> Self {
+        TelemetryConfig {
+            sample_interval: interval,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// What a metric measures — see the module docs for sampling semantics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonic total; sampled as per-interval deltas.
+    Counter,
+    /// Instantaneous level; sampled as-is.
+    Gauge,
+    /// Power-of-two bucketed distribution of observed values.
+    Histogram,
+}
+
+/// Handle to a registered metric (an index into the registry).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+#[derive(Debug)]
+struct MetricState {
+    name: String,
+    kind: MetricKind,
+    /// Gauge level or counter running total.
+    current: f64,
+    /// Counter total at the previous sample.
+    last_total: f64,
+    points: Vec<(u64, f64)>,
+    /// Histogram buckets: index `k` counts values in `[2^(k-1), 2^k)`
+    /// (index 0 counts zeros).
+    buckets: Vec<u64>,
+}
+
+/// A registry of named metrics sampled on a fixed cycle cadence.
+///
+/// Registration order is the export order, and every mutation is driven
+/// by the (serial) simulation coordinator, so the output is fully
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<MetricState>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register(&mut self, name: &str, kind: MetricKind) -> MetricId {
+        assert!(
+            !self.metrics.iter().any(|m| m.name == name),
+            "metric `{name}` registered twice"
+        );
+        self.metrics.push(MetricState {
+            name: name.to_string(),
+            kind,
+            current: 0.0,
+            last_total: 0.0,
+            points: Vec::new(),
+            buckets: Vec::new(),
+        });
+        MetricId(self.metrics.len() - 1)
+    }
+
+    /// Registers a counter.
+    ///
+    /// # Panics
+    ///
+    /// If the name is already registered.
+    pub fn counter(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Counter)
+    }
+
+    /// Registers a gauge.
+    ///
+    /// # Panics
+    ///
+    /// If the name is already registered.
+    pub fn gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Gauge)
+    }
+
+    /// Registers a histogram.
+    ///
+    /// # Panics
+    ///
+    /// If the name is already registered.
+    pub fn histogram(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Histogram)
+    }
+
+    /// Adds to a counter's running total.
+    pub fn add(&mut self, id: MetricId, delta: f64) {
+        debug_assert_eq!(self.metrics[id.0].kind, MetricKind::Counter);
+        self.metrics[id.0].current += delta;
+    }
+
+    /// Sets a gauge's level.
+    pub fn set(&mut self, id: MetricId, value: f64) {
+        debug_assert_eq!(self.metrics[id.0].kind, MetricKind::Gauge);
+        self.metrics[id.0].current = value;
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        debug_assert_eq!(self.metrics[id.0].kind, MetricKind::Histogram);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        let m = &mut self.metrics[id.0];
+        if m.buckets.len() <= bucket {
+            m.buckets.resize(bucket + 1, 0);
+        }
+        m.buckets[bucket] += 1;
+    }
+
+    /// Takes a sample at `cycle`: gauges record their level, counters
+    /// record (and reset) their delta since the previous sample.
+    pub fn sample(&mut self, cycle: u64) {
+        for m in &mut self.metrics {
+            match m.kind {
+                MetricKind::Gauge => m.points.push((cycle, m.current)),
+                MetricKind::Counter => {
+                    m.points.push((cycle, m.current - m.last_total));
+                    m.last_total = m.current;
+                }
+                MetricKind::Histogram => {}
+            }
+        }
+    }
+
+    /// Exports the registry as series and histograms, consuming it.
+    pub fn export(self) -> (Vec<MetricSeries>, Vec<HistogramReport>) {
+        let mut series = Vec::new();
+        let mut hists = Vec::new();
+        for m in self.metrics {
+            match m.kind {
+                MetricKind::Histogram => hists.push(HistogramReport {
+                    name: m.name,
+                    total: m.buckets.iter().sum(),
+                    // Bucket k holds values < 2^k (k=0 holds exactly 0).
+                    buckets: m
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &n)| n > 0)
+                        .map(|(k, &n)| {
+                            let bound = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                            (bound, n)
+                        })
+                        .collect(),
+                }),
+                kind => series.push(MetricSeries {
+                    name: m.name,
+                    kind,
+                    total: match kind {
+                        MetricKind::Counter => m.current,
+                        _ => m.points.last().map_or(0.0, |&(_, v)| v),
+                    },
+                    points: m.points,
+                }),
+            }
+        }
+        (series, hists)
+    }
+}
+
+/// One exported metric: its sampled `(cycle, value)` points.
+///
+/// For counters each point is the per-interval delta and `total` is the
+/// end-of-run cumulative count; for gauges each point is a level and
+/// `total` is the final level.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricSeries {
+    /// Metric name (dotted, e.g. `"lsu.occupancy"`).
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// `(cycle, value)` samples in cycle order.
+    pub points: Vec<(u64, f64)>,
+    /// Cumulative total (counter) or final level (gauge).
+    pub total: f64,
+}
+
+impl MetricSeries {
+    /// The maximum sample and the cycle it occurred at (first maximum
+    /// on ties); `(0, 0.0)` for an empty series.
+    pub fn peak(&self) -> (u64, f64) {
+        let mut best = (0u64, f64::NEG_INFINITY);
+        for &(cycle, v) in &self.points {
+            if v > best.1 {
+                best = (cycle, v);
+            }
+        }
+        if best.1 == f64::NEG_INFINITY {
+            (0, 0.0)
+        } else {
+            best
+        }
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// An exported histogram: per-bucket counts keyed by the bucket's
+/// inclusive upper bound (`0`, `1`, `3`, `7`, `15`, ...).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Metric name.
+    pub name: String,
+    /// `(inclusive upper bound, count)` for each non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations.
+    pub total: u64,
+}
+
+/// One warp's residency on a sub-core: dispatch to retirement.
+///
+/// Retirement is observed by the serial dispatch phase, so `end` is the
+/// cycle the retire was *observed*, at most one cycle after the warp's
+/// final instruction completed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpSpan {
+    /// Warp id (trace index).
+    pub warp: u32,
+    /// Owning SM index.
+    pub sm: u32,
+    /// Owning sub-core index within the SM.
+    pub subcore: u32,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// Retirement cycle (≥ `start`).
+    pub end: u64,
+}
+
+/// Everything telemetry collected over one kernel run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelTelemetry {
+    /// Kernel name (from the trace).
+    pub kernel: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// The sampling cadence used.
+    pub sample_interval: u64,
+    /// Counter and gauge series, in registration order.
+    pub series: Vec<MetricSeries>,
+    /// Histograms, in registration order.
+    pub histograms: Vec<HistogramReport>,
+    /// Warp residency spans (empty when warp events are disabled).
+    pub warp_spans: Vec<WarpSpan>,
+    /// Spans not recorded because `max_warp_spans` was reached.
+    pub dropped_spans: u64,
+}
+
+impl KernelTelemetry {
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&MetricSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Condenses the full telemetry into the machine-readable summary
+    /// written to `telemetry.json`.
+    pub fn summary(&self) -> TelemetrySummary {
+        let samples = self.series.first().map_or(0, |s| s.points.len());
+        let (rop_peak_cycle, rop_peak) = self
+            .series("rop.queue")
+            .map_or((0, 0.0), MetricSeries::peak);
+        let icnt = self
+            .series("icnt.flits")
+            .map_or(0.0, |s| s.total / self.cycles.max(1) as f64);
+        TelemetrySummary {
+            kernel: self.kernel.clone(),
+            cycles: self.cycles,
+            sample_interval: self.sample_interval,
+            samples,
+            rop_queue_peak: rop_peak,
+            rop_queue_peak_cycle: rop_peak_cycle,
+            icnt_flits_per_cycle: icnt,
+            warp_spans: self.warp_spans.len() as u64,
+            dropped_spans: self.dropped_spans,
+            metrics: self
+                .series
+                .iter()
+                .map(|s| {
+                    let (peak_cycle, peak) = s.peak();
+                    MetricSummary {
+                        name: s.name.clone(),
+                        kind: s.kind,
+                        total: s.total,
+                        peak,
+                        peak_cycle,
+                        mean: s.mean(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the telemetry as Chrome-trace (`chrome://tracing` /
+    /// Perfetto) JSON. Deterministic: identical input produces
+    /// byte-identical output.
+    pub fn chrome_trace(&self) -> String {
+        use serde::Value;
+
+        fn obj(pairs: Vec<(&str, Value)>) -> Value {
+            Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+        let s = |s: &str| Value::Str(s.to_string());
+        let u = Value::UInt;
+
+        let mut events: Vec<Value> = Vec::new();
+        // Name pid 0 ("metrics") and each SM process for the UI.
+        events.push(obj(vec![
+            ("name", s("process_name")),
+            ("ph", s("M")),
+            ("pid", u(0)),
+            ("args", obj(vec![("name", s("metrics"))])),
+        ]));
+        let mut sms: Vec<u32> = self.warp_spans.iter().map(|w| w.sm).collect();
+        sms.sort_unstable();
+        sms.dedup();
+        for sm in sms {
+            events.push(obj(vec![
+                ("name", s("process_name")),
+                ("ph", s("M")),
+                ("pid", u(u64::from(sm) + 1)),
+                ("args", obj(vec![("name", s(&format!("SM {sm}")))])),
+            ]));
+        }
+        for series in &self.series {
+            for &(cycle, v) in &series.points {
+                events.push(obj(vec![
+                    ("name", s(&series.name)),
+                    ("ph", s("C")),
+                    ("ts", u(cycle)),
+                    ("pid", u(0)),
+                    ("tid", u(0)),
+                    ("args", obj(vec![("value", Value::Float(v))])),
+                ]));
+            }
+        }
+        for w in &self.warp_spans {
+            events.push(obj(vec![
+                ("name", s(&format!("warp {}", w.warp))),
+                ("cat", s("warp")),
+                ("ph", s("X")),
+                ("ts", u(w.start)),
+                ("dur", u(w.end - w.start)),
+                ("pid", u(u64::from(w.sm) + 1)),
+                ("tid", u(u64::from(w.subcore))),
+                ("args", obj(vec![("warp", u(u64::from(w.warp)))])),
+            ]));
+        }
+        let top = obj(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", s("ms")),
+            (
+                "otherData",
+                obj(vec![
+                    ("kernel", s(&self.kernel)),
+                    ("cycles", u(self.cycles)),
+                    ("sample_interval", u(self.sample_interval)),
+                    ("time_unit", s("1 ts = 1 simulated cycle")),
+                ]),
+            ),
+        ]);
+        serde_json::to_string(&top).expect("chrome trace serializes")
+    }
+}
+
+/// Per-metric roll-up inside a [`TelemetrySummary`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Cumulative total (counter) or final level (gauge).
+    pub total: f64,
+    /// Largest sample.
+    pub peak: f64,
+    /// Cycle of the largest sample (first on ties).
+    pub peak_cycle: u64,
+    /// Mean sample value.
+    pub mean: f64,
+}
+
+/// The machine-readable per-kernel summary emitted as `telemetry.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Kernel name.
+    pub kernel: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Sampling cadence.
+    pub sample_interval: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Peak ROP-queue occupancy (atomic lane-values buffered in the
+    /// memory partitions) — the paper's atomic-bottleneck signal.
+    pub rop_queue_peak: f64,
+    /// Cycle of the ROP-queue peak.
+    pub rop_queue_peak_cycle: u64,
+    /// Mean interconnect flits per cycle (crossbar utilization proxy).
+    pub icnt_flits_per_cycle: f64,
+    /// Warp spans recorded.
+    pub warp_spans: u64,
+    /// Warp spans dropped at the cap.
+    pub dropped_spans: u64,
+    /// Per-metric roll-ups, in registration order.
+    pub metrics: Vec<MetricSummary>,
+}
+
+impl TelemetrySummary {
+    /// Looks up a metric roll-up by name.
+    pub fn metric(&self, name: &str) -> Option<&MetricSummary> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collection state driven by the simulator's serial phases.
+// ---------------------------------------------------------------------
+
+/// The standard simulator metric set, registered in a fixed order.
+struct Ids {
+    // Gauges.
+    lsu_occ: MetricId,
+    lsu_occ_max: MetricId,
+    part_occ: MetricId,
+    rop_queue: MetricId,
+    rop_queue_max: MetricId,
+    red_pending: MetricId,
+    agg_entries: MetricId,
+    agg_backlog: MetricId,
+    warps_remaining: MetricId,
+    // Counters.
+    issued: MetricId,
+    stall_lsu: MetricId,
+    stall_scoreboard: MetricId,
+    stall_no_warp: MetricId,
+    stall_other: MetricId,
+    icnt: MetricId,
+    rop_ops: MetricId,
+    red_ops: MetricId,
+    rop_tx: MetricId,
+    red_tx: MetricId,
+    lsu_accepted: MetricId,
+    // Histograms.
+    hist_rop: MetricId,
+    hist_lsu: MetricId,
+}
+
+impl Ids {
+    fn register(reg: &mut MetricsRegistry) -> Ids {
+        Ids {
+            lsu_occ: reg.gauge("lsu.occupancy"),
+            lsu_occ_max: reg.gauge("lsu.occupancy_max"),
+            part_occ: reg.gauge("partition.occupancy"),
+            rop_queue: reg.gauge("rop.queue"),
+            rop_queue_max: reg.gauge("rop.queue_max"),
+            red_pending: reg.gauge("redunit.pending"),
+            agg_entries: reg.gauge("aggbuf.entries"),
+            agg_backlog: reg.gauge("aggbuf.evict_backlog"),
+            warps_remaining: reg.gauge("warps.remaining"),
+            issued: reg.counter("issue.instructions"),
+            stall_lsu: reg.counter("stall.lsu_full"),
+            stall_scoreboard: reg.counter("stall.long_scoreboard"),
+            stall_no_warp: reg.counter("stall.no_warp"),
+            stall_other: reg.counter("stall.other"),
+            icnt: reg.counter("icnt.flits"),
+            rop_ops: reg.counter("rop.lane_ops"),
+            red_ops: reg.counter("redunit.lane_ops"),
+            rop_tx: reg.counter("atomic.rop_tx"),
+            red_tx: reg.counter("atomic.redunit_tx"),
+            lsu_accepted: reg.counter("lsu.accepted"),
+            hist_rop: reg.histogram("rop.queue.dist"),
+            hist_lsu: reg.histogram("lsu.occupancy.dist"),
+        }
+    }
+}
+
+/// An aggregated point-in-time view of the machine, assembled by the
+/// serial coordinator (hub state plus every SM shard in SM-index order).
+pub(crate) struct SampleSnapshot {
+    /// Aggregate counters: hub totals merged with every SM shard.
+    pub counters: SimCounters,
+    /// Aggregate stall accounting across shards.
+    pub stalls: StallBreakdown,
+    /// Total LSU queue occupancy across SMs.
+    pub lsu_occupancy: u64,
+    /// Largest single-SM LSU occupancy.
+    pub lsu_occupancy_max: u32,
+    /// Total memory-partition input-buffer occupancy.
+    pub partition_occupancy: u64,
+    /// Atomic lane-values waiting for ROPs across partitions.
+    pub rop_queue: u64,
+    /// Largest single-partition ROP queue.
+    pub rop_queue_max: u32,
+    /// Pending reduction-unit transactions across sub-cores.
+    pub redunit_pending: u64,
+    /// LAB/PHI aggregation-buffer entries across SMs.
+    pub aggbuf_entries: u64,
+    /// Pending eviction/flush emissions across SMs.
+    pub aggbuf_backlog: u64,
+    /// Warps not yet retired.
+    pub warps_remaining: u64,
+}
+
+/// Live collection state owned by the simulation coordinator.
+pub(crate) struct TelemetryState {
+    interval: u64,
+    warp_events: bool,
+    max_warp_spans: usize,
+    reg: MetricsRegistry,
+    ids: Ids,
+    last_counters: SimCounters,
+    last_stalls: StallBreakdown,
+    /// Per-warp open span: (start cycle, sm, subcore).
+    open: Vec<Option<(u64, u32, u32)>>,
+    spans: Vec<WarpSpan>,
+    dropped_spans: u64,
+    last_sample_cycle: Option<u64>,
+}
+
+impl TelemetryState {
+    pub(crate) fn new(cfg: &TelemetryConfig, num_warps: usize) -> Self {
+        let mut reg = MetricsRegistry::new();
+        let ids = Ids::register(&mut reg);
+        TelemetryState {
+            interval: cfg.sample_interval.max(1),
+            warp_events: cfg.warp_events,
+            max_warp_spans: cfg.max_warp_spans,
+            reg,
+            ids,
+            last_counters: SimCounters::default(),
+            last_stalls: StallBreakdown::default(),
+            open: if cfg.warp_events {
+                vec![None; num_warps]
+            } else {
+                Vec::new()
+            },
+            spans: Vec::new(),
+            dropped_spans: 0,
+            last_sample_cycle: None,
+        }
+    }
+
+    /// Whether the end of `cycle` is a sampling point.
+    pub(crate) fn due(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.interval)
+    }
+
+    /// Whether warp dispatch/retire events should be reported.
+    pub(crate) fn wants_warp_events(&self) -> bool {
+        self.warp_events
+    }
+
+    /// Records a warp entering a sub-core slot.
+    pub(crate) fn warp_dispatched(&mut self, warp: u32, sm: u32, subcore: u32, cycle: u64) {
+        if self.warp_events {
+            self.open[warp as usize] = Some((cycle, sm, subcore));
+        }
+    }
+
+    /// Records a warp leaving its slot (observed retired).
+    pub(crate) fn warp_retired(&mut self, warp: u32, cycle: u64) {
+        if !self.warp_events {
+            return;
+        }
+        if let Some((start, sm, subcore)) = self.open[warp as usize].take() {
+            if self.spans.len() < self.max_warp_spans {
+                self.spans.push(WarpSpan {
+                    warp,
+                    sm,
+                    subcore,
+                    start,
+                    end: cycle,
+                });
+            } else {
+                self.dropped_spans += 1;
+            }
+        }
+    }
+
+    /// Feeds one snapshot into the registry and samples it.
+    pub(crate) fn record_sample(&mut self, cycle: u64, snap: &SampleSnapshot) {
+        if self.last_sample_cycle == Some(cycle) {
+            return;
+        }
+        self.last_sample_cycle = Some(cycle);
+        let ids = &self.ids;
+        let reg = &mut self.reg;
+        reg.set(ids.lsu_occ, snap.lsu_occupancy as f64);
+        reg.set(ids.lsu_occ_max, f64::from(snap.lsu_occupancy_max));
+        reg.set(ids.part_occ, snap.partition_occupancy as f64);
+        reg.set(ids.rop_queue, snap.rop_queue as f64);
+        reg.set(ids.rop_queue_max, f64::from(snap.rop_queue_max));
+        reg.set(ids.red_pending, snap.redunit_pending as f64);
+        reg.set(ids.agg_entries, snap.aggbuf_entries as f64);
+        reg.set(ids.agg_backlog, snap.aggbuf_backlog as f64);
+        reg.set(ids.warps_remaining, snap.warps_remaining as f64);
+        let c = &snap.counters;
+        let p = &self.last_counters;
+        let d = |new: u64, old: u64| (new - old) as f64;
+        reg.add(ids.issued, d(c.instructions_issued, p.instructions_issued));
+        reg.add(ids.icnt, d(c.icnt_flits, p.icnt_flits));
+        reg.add(ids.rop_ops, d(c.rop_lane_ops, p.rop_lane_ops));
+        reg.add(ids.red_ops, d(c.redunit_lane_ops, p.redunit_lane_ops));
+        reg.add(
+            ids.rop_tx,
+            d(c.rop_routed_transactions, p.rop_routed_transactions),
+        );
+        reg.add(
+            ids.red_tx,
+            d(c.redunit_transactions, p.redunit_transactions),
+        );
+        reg.add(ids.lsu_accepted, d(c.lsu_accepted, p.lsu_accepted));
+        let s = &snap.stalls;
+        let q = &self.last_stalls;
+        reg.add(ids.stall_lsu, d(s.lsu_full, q.lsu_full));
+        reg.add(
+            ids.stall_scoreboard,
+            d(s.long_scoreboard, q.long_scoreboard),
+        );
+        reg.add(ids.stall_no_warp, d(s.no_warp, q.no_warp));
+        reg.add(ids.stall_other, d(s.other, q.other));
+        reg.observe(ids.hist_rop, snap.rop_queue);
+        reg.observe(ids.hist_lsu, snap.lsu_occupancy);
+        self.last_counters = snap.counters;
+        self.last_stalls = snap.stalls;
+        reg.sample(cycle);
+    }
+
+    /// Finalizes collection into a [`KernelTelemetry`]: closes any
+    /// still-open warp spans at `cycles` and exports the registry.
+    pub(crate) fn finish(mut self, kernel: &str, cycles: u64) -> KernelTelemetry {
+        for warp in 0..self.open.len() {
+            if self.open[warp].is_some() {
+                self.warp_retired(warp as u32, cycles);
+            }
+        }
+        let (series, histograms) = self.reg.export();
+        KernelTelemetry {
+            kernel: kernel.to_string(),
+            cycles,
+            sample_interval: self.interval,
+            series,
+            histograms,
+            warp_spans: self.spans,
+            dropped_spans: self.dropped_spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_samples_are_deltas_and_total_is_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        reg.add(c, 3.0);
+        reg.sample(0);
+        reg.add(c, 2.0);
+        reg.add(c, 1.0);
+        reg.sample(10);
+        reg.sample(20);
+        let (series, _) = reg.export();
+        assert_eq!(series[0].points, vec![(0, 3.0), (10, 3.0), (20, 0.0)]);
+        assert_eq!(series[0].total, 6.0);
+    }
+
+    #[test]
+    fn gauge_samples_levels() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("g");
+        reg.set(g, 5.0);
+        reg.sample(0);
+        reg.set(g, 2.0);
+        reg.sample(7);
+        let (series, _) = reg.export();
+        assert_eq!(series[0].points, vec![(0, 5.0), (7, 2.0)]);
+        assert_eq!(series[0].total, 2.0);
+        assert_eq!(series[0].peak(), (0, 5.0));
+        assert!((series[0].mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for v in [0, 1, 2, 3, 4, 100] {
+            reg.observe(h, v);
+        }
+        let (_, hists) = reg.export();
+        // 0 → bound 0; 1 → bound 1; 2,3 → bound 3; 4 → bound 7; 100 → bound 127.
+        assert_eq!(
+            hists[0].buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 1), (127, 1)]
+        );
+        assert_eq!(hists[0].total, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_panic() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("dup");
+        reg.counter("dup");
+    }
+
+    #[test]
+    fn chrome_trace_is_parseable_json() {
+        let tel = KernelTelemetry {
+            kernel: "k".into(),
+            cycles: 10,
+            sample_interval: 2,
+            series: vec![MetricSeries {
+                name: "g".into(),
+                kind: MetricKind::Gauge,
+                points: vec![(0, 1.0), (2, 3.0)],
+                total: 3.0,
+            }],
+            histograms: Vec::new(),
+            warp_spans: vec![WarpSpan {
+                warp: 0,
+                sm: 1,
+                subcore: 0,
+                start: 0,
+                end: 9,
+            }],
+            dropped_spans: 0,
+        };
+        let json = tel.chrome_trace();
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.field("traceEvents").expect("traceEvents");
+        match events {
+            serde::Value::Array(items) => assert!(items.len() >= 4),
+            _ => panic!("traceEvents must be an array"),
+        }
+    }
+
+    #[test]
+    fn summary_exposes_rop_peak() {
+        let tel = KernelTelemetry {
+            kernel: "k".into(),
+            cycles: 100,
+            sample_interval: 10,
+            series: vec![
+                MetricSeries {
+                    name: "rop.queue".into(),
+                    kind: MetricKind::Gauge,
+                    points: vec![(0, 1.0), (50, 9.0), (90, 2.0)],
+                    total: 2.0,
+                },
+                MetricSeries {
+                    name: "icnt.flits".into(),
+                    kind: MetricKind::Counter,
+                    points: vec![(0, 10.0), (50, 40.0)],
+                    total: 50.0,
+                },
+            ],
+            histograms: Vec::new(),
+            warp_spans: Vec::new(),
+            dropped_spans: 0,
+        };
+        let s = tel.summary();
+        assert_eq!(s.rop_queue_peak, 9.0);
+        assert_eq!(s.rop_queue_peak_cycle, 50);
+        assert!((s.icnt_flits_per_cycle - 0.5).abs() < 1e-12);
+        assert_eq!(s.metric("rop.queue").unwrap().peak, 9.0);
+    }
+}

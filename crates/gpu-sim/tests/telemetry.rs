@@ -1,0 +1,209 @@
+//! Telemetry integration tests: hand-computed gauge values on a tiny
+//! synthetic trace, Chrome-trace well-formedness and stability across
+//! worker counts, and the telemetry-never-changes-results guarantee.
+
+use gpu_sim::{AtomicPath, GpuConfig, Simulator, TelemetryConfig};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+
+/// One warp, one 32-lane same-address atomic — every pipeline stage is
+/// hand-computable on the tiny config (LSU drain 4 lane-values/cycle,
+/// 1 ROP per partition).
+fn one_atomic_trace() -> KernelTrace {
+    let mut w = WarpTraceBuilder::new();
+    w.atomic(AtomicInstr::same_address(0x100, &[1.0; 32]));
+    KernelTrace::new("one_atomic", KernelKind::GradCompute, vec![w.finish()])
+}
+
+/// 64 warps × 4 same-address atomics: saturates the one target
+/// partition's ROP (1 lane-value/cycle) until the back-pressure fills
+/// the LSUs and stalls issue — the paper's Fig. 8 mechanism in
+/// miniature.
+fn saturating_trace() -> KernelTrace {
+    let warps = (0..64)
+        .map(|_| {
+            let mut w = WarpTraceBuilder::new();
+            for _ in 0..4 {
+                w.atomic(AtomicInstr::same_address(0x100, &[1.0; 32]));
+            }
+            w.finish()
+        })
+        .collect();
+    KernelTrace::new("saturating", KernelKind::GradCompute, warps)
+}
+
+fn sim(workers: usize, interval: u64) -> Simulator {
+    Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)
+        .expect("tiny config validates")
+        .with_sm_workers(workers)
+        .with_telemetry(TelemetryConfig::every(interval))
+}
+
+#[test]
+fn gauges_match_hand_computed_timeline() {
+    let trace = one_atomic_trace();
+    let (report, tel) = sim(1, 1).run_with_telemetry(&trace).unwrap();
+    let tel = tel.expect("telemetry enabled");
+
+    // Issue at cycle 0 parks 32 lane-values in the LSU; the drain moves
+    // 4/cycle starting cycle 1, so the whole transaction (drained as one
+    // coalesced request) leaves at cycle 8. One ROP retires it at 1
+    // lane-value/cycle: occupied through cycle 39, empty after the
+    // cycle-40 step, run drains at cycle 41.
+    assert_eq!(report.cycles, 41);
+
+    let lsu = tel.series("lsu.occupancy").expect("lsu gauge");
+    let rop = tel.series("rop.queue").expect("rop gauge");
+    // Samples at end of cycles 0..=40 plus the final end-state sample.
+    assert_eq!(lsu.points.len(), 42);
+    for &(cycle, v) in &lsu.points {
+        let expect = if cycle <= 7 { 32.0 } else { 0.0 };
+        assert_eq!(v, expect, "lsu.occupancy at cycle {cycle}");
+    }
+    for &(cycle, v) in &rop.points {
+        let expect = if (8..=39).contains(&cycle) { 32.0 } else { 0.0 };
+        assert_eq!(v, expect, "rop.queue at cycle {cycle}");
+    }
+    assert_eq!(rop.peak(), (8, 32.0));
+
+    // The single warp is dispatched at cycle 0 and observed retired by
+    // the next cycle's dispatch scan.
+    assert_eq!(tel.warp_spans.len(), 1);
+    let span = tel.warp_spans[0];
+    assert_eq!((span.warp, span.sm, span.subcore), (0, 0, 0));
+    assert_eq!((span.start, span.end), (0, 1));
+
+    // Counter totals agree with the end-of-run aggregate report.
+    let total = |name: &str| tel.series(name).expect(name).total;
+    assert_eq!(total("rop.lane_ops"), report.counters.rop_lane_ops as f64);
+    assert_eq!(total("icnt.flits"), report.counters.icnt_flits as f64);
+    assert_eq!(total("lsu.accepted"), report.counters.lsu_accepted as f64);
+    assert_eq!(
+        total("issue.instructions"),
+        report.counters.instructions_issued as f64
+    );
+}
+
+#[test]
+fn rop_queue_peak_aligns_with_lsu_full_stalls() {
+    let trace = saturating_trace();
+    let (report, tel) = sim(1, 64).run_with_telemetry(&trace).unwrap();
+    let tel = tel.expect("telemetry enabled");
+
+    assert!(report.stalls.lsu_full > 0, "workload must saturate the LSU");
+    let rop = tel.series("rop.queue").expect("rop gauge");
+    let stall = tel.series("stall.lsu_full").expect("stall counter");
+    let (peak_cycle, peak) = rop.peak();
+    assert!(peak > 0.0);
+    assert_eq!(tel.summary().rop_queue_peak_cycle, peak_cycle);
+
+    // At the sample where the ROP queue peaks, issue must be stalling on
+    // a full LSU: the queue only peaks because ROP service back-pressure
+    // has propagated all the way up (paper Fig. 8).
+    let idx = rop
+        .points
+        .iter()
+        .position(|&(c, _)| c == peak_cycle)
+        .expect("peak cycle is a sample");
+    assert!(
+        stall.points[idx].1 > 0.0,
+        "lsu_full stalls in the interval ending at the rop.queue peak \
+         (cycle {peak_cycle})"
+    );
+
+    // Stall-counter totals reconcile with the aggregate breakdown.
+    assert_eq!(stall.total, report.stalls.lsu_full as f64);
+    let total = |name: &str| tel.series(name).expect(name).total;
+    assert_eq!(total("stall.no_warp"), report.stalls.no_warp as f64);
+    assert_eq!(
+        total("stall.long_scoreboard"),
+        report.stalls.long_scoreboard as f64
+    );
+}
+
+#[test]
+fn telemetry_identical_across_worker_counts() {
+    let trace = saturating_trace();
+    let (base_report, base_tel) = sim(1, 32).run_with_telemetry(&trace).unwrap();
+    let base_tel = base_tel.unwrap();
+    let base_json = base_tel.chrome_trace();
+    for workers in [2, 8] {
+        let (report, tel) = sim(workers, 32).run_with_telemetry(&trace).unwrap();
+        let tel = tel.unwrap();
+        assert_eq!(report, base_report, "report with {workers} workers");
+        assert_eq!(tel, base_tel, "telemetry with {workers} workers");
+        assert_eq!(
+            tel.chrome_trace(),
+            base_json,
+            "chrome trace bytes with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn telemetry_does_not_change_results() {
+    let trace = saturating_trace();
+    for workers in [1, 2] {
+        let plain = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)
+            .unwrap()
+            .with_sm_workers(workers)
+            .run(&trace)
+            .unwrap();
+        let (with_tel, tel) = sim(workers, 16).run_with_telemetry(&trace).unwrap();
+        assert!(tel.is_some());
+        assert_eq!(plain, with_tel, "telemetry must be invisible to results");
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let trace = one_atomic_trace();
+    let (_, tel) = sim(1, 8).run_with_telemetry(&trace).unwrap();
+    let json = tel.unwrap().chrome_trace();
+    let v: serde::Value = serde_json::from_str(&json).expect("trace parses as JSON");
+    let events = match v.field("traceEvents") {
+        Ok(serde::Value::Array(items)) => items,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = match ev.field("ph") {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            other => panic!("event missing ph: {other:?}"),
+        };
+        assert!(
+            matches!(ph.as_str(), "C" | "X" | "M"),
+            "unexpected phase {ph}"
+        );
+        assert!(ev.field("pid").is_ok());
+        if ph != "M" {
+            assert!(ev.field("ts").is_ok(), "timed event needs ts");
+        }
+        if ph == "X" {
+            assert!(ev.field("dur").is_ok(), "complete event needs dur");
+        }
+    }
+}
+
+#[test]
+fn run_iteration_and_all_paths_accept_telemetry() {
+    // Telemetry must hold its determinism guarantee on every atomic
+    // path, including the buffered (LAB/PHI) and reduction-unit paths.
+    let trace = saturating_trace();
+    for path in AtomicPath::ALL {
+        let mk = |workers: usize| {
+            Simulator::new(GpuConfig::tiny(), path)
+                .unwrap()
+                .with_sm_workers(workers)
+                .with_telemetry(TelemetryConfig::every(32))
+                .run_with_telemetry(&trace)
+                .unwrap()
+        };
+        let (r1, t1) = mk(1);
+        let (r2, t2) = mk(2);
+        assert_eq!(r1, r2, "{path:?} report");
+        assert_eq!(t1, t2, "{path:?} telemetry");
+        let tel = t1.unwrap();
+        assert_eq!(tel.summary().cycles, r1.cycles);
+        assert!(tel.series("warps.remaining").unwrap().total == 0.0);
+    }
+}

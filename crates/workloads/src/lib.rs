@@ -15,5 +15,7 @@ pub mod pagerank;
 pub mod runner;
 pub mod specs;
 
-pub use runner::{run_gradcomp, run_iteration, run_iteration_with, Technique};
+pub use runner::{
+    run_gradcomp, run_gradcomp_telemetry, run_iteration, run_iteration_with, Technique,
+};
 pub use specs::{all_specs, spec, App, IterationTraces, WorkloadSpec};

@@ -7,7 +7,10 @@ use serde::{Deserialize, Serialize};
 use warp_trace::KernelTrace;
 
 use arc_core::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
-use gpu_sim::{AtomicPath, GpuConfig, IterationReport, KernelReport, SimError, Simulator};
+use gpu_sim::{
+    AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, SimError, Simulator,
+    TelemetryConfig,
+};
 
 use crate::specs::IterationTraces;
 
@@ -100,6 +103,27 @@ pub fn run_gradcomp(
 ) -> Result<KernelReport, SimError> {
     let sim = Simulator::new(cfg.clone(), technique.path())?;
     sim.run(&technique.prepare_cow(gradcomp))
+}
+
+/// [`run_gradcomp`] with telemetry collection: returns the report plus
+/// the sampled [`KernelTelemetry`] (queue occupancies, stall/issue
+/// rates, warp spans — see `gpu_sim::telemetry`).
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid config / cycle-cap overrun).
+pub fn run_gradcomp_telemetry(
+    cfg: &GpuConfig,
+    technique: Technique,
+    gradcomp: &KernelTrace,
+    telemetry: TelemetryConfig,
+) -> Result<(KernelReport, KernelTelemetry), SimError> {
+    let sim = Simulator::new(cfg.clone(), technique.path())?.with_telemetry(telemetry);
+    let (report, tel) = sim.run_with_telemetry(&technique.prepare_cow(gradcomp))?;
+    Ok((
+        report,
+        tel.expect("telemetry was enabled on this simulator"),
+    ))
 }
 
 /// Simulates a full training iteration (forward + loss + gradient

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Perf-regression gate: runs the perf_smoke throughput benchmark and
+# compares simulated cycles/second against the most recent comparable
+# sample recorded in BENCH_parallel_sim.json (same scale, jobs, and
+# core count). Throughput more than TOLERANCE below the baseline fails
+# the gate (exit 1); otherwise the fresh sample is appended so the file
+# accumulates a perf trajectory across PRs.
+#
+# Environment knobs:
+#   ARC_BENCH_TOLERANCE  fractional tolerance (default 0.2 = 20%)
+#   ARC_BENCH_SCALE      workload scale        (default 0.35, matching
+#                        the recorded baseline)
+#   ARC_BENCH_JOBS       parallel job count    (default 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${ARC_BENCH_TOLERANCE:-0.2}"
+SCALE="${ARC_BENCH_SCALE:-0.35}"
+JOBS="${ARC_BENCH_JOBS:-2}"
+
+echo "== perf gate: scale $SCALE, jobs $JOBS, tolerance $TOLERANCE =="
+cargo build --release -p arc-bench --bin perf_smoke
+./target/release/perf_smoke \
+  --scale "$SCALE" --jobs "$JOBS" --gate "$TOLERANCE" \
+  --out BENCH_parallel_sim.json
+echo "perf gate OK"

@@ -1,20 +1,54 @@
 #!/usr/bin/env bash
-# Repo CI: formatting, lints, release build, and the tier-1 test suite
-# with the parallel harness enabled (ARC_JOBS=2 exercises the job pool
-# even on single-core runners; results are identical at any job count).
+# Repo CI: formatting, lints, release build, the tier-1 test suite with
+# the parallel harness enabled, and a determinism matrix asserting that
+# simulation results (with telemetry off AND on) are bit-identical under
+# every host-parallelism combination.
+#
+# rustfmt and clippy are optional components: when a toolchain ships
+# without them the corresponding step warns and is skipped instead of
+# failing the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "== cargo fmt --check =="
+  cargo fmt --all -- --check
+else
+  echo "== cargo fmt not installed; skipping format check =="
+fi
 
-echo "== cargo clippy (-D warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "== cargo clippy (-D warnings) =="
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "== cargo clippy not installed; skipping lints =="
+fi
 
 echo "== cargo build --release =="
 cargo build --release
 
 echo "== cargo test (ARC_JOBS=2) =="
 ARC_JOBS=2 cargo test -q
+
+echo "== determinism matrix (ARC_JOBS x ARC_SIM_WORKERS) =="
+# The probe simulates a fixed cell grid with telemetry off and on and
+# prints one canonical line per cell; every host-parallelism combination
+# must produce byte-identical output.
+outdir="$(mktemp -d)"
+trap 'rm -rf "$outdir"' EXIT
+baseline="$outdir/det_1_1.txt"
+ARC_JOBS=1 ARC_SIM_WORKERS=1 ./target/release/determinism > "$baseline"
+for jobs in 2 8; do
+  for workers in 1 2 8; do
+    out="$outdir/det_${jobs}_${workers}.txt"
+    ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ./target/release/determinism > "$out"
+    if ! cmp -s "$baseline" "$out"; then
+      echo "determinism matrix FAILED: ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers diverges:"
+      diff "$baseline" "$out" || true
+      exit 1
+    fi
+    echo "ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers: identical"
+  done
+done
 
 echo "CI OK"
