@@ -1,0 +1,377 @@
+//! Deterministic, seeded generation of adversarial kernel traces and
+//! GPU configurations.
+//!
+//! The fuzzer is intentionally biased toward the shapes that have
+//! historically broken atomic-reduction machinery:
+//!
+//! * **degenerate warps** — empty warps, empty atomic instructions,
+//!   single-lane atomics, warps with no atomics at all;
+//! * **single-hot-address storms** — every lane of every warp hammers
+//!   one gradient word (the paper's §3.1 Observation 1 taken to its
+//!   extreme, and the worst case for ROP serialization);
+//! * **full-densify warps** — all 32 lanes active on one address, the
+//!   only shape SW-B's butterfly accepts without the Fig. 17 transform;
+//! * **scatter mixes** — per-lane random addresses with partial masks,
+//!   the shape that defeats warp-level reduction entirely;
+//! * **multi-parameter bundles** — 3DGS-style `num_params > 1` bundles,
+//!   both warp-uniform and per-thread (`non_uniform`, SW-B-ineligible).
+//!
+//! Every generator consumes only a [`rand::rngs::StdRng`] seeded from a
+//! `(base seed, case index)` pair, so any failing case is reproducible
+//! from the two integers a failure message prints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warp_trace::{
+    AtomicBundle, AtomicInstr, ComputeKind, KernelKind, KernelTrace, LaneOp, WarpTrace,
+    WarpTraceBuilder, WARP_SIZE,
+};
+
+use gpu_sim::GpuConfig;
+
+/// The adversarial trace families the fuzzer cycles through.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceShape {
+    /// Empty warps, empty atomics, single-lane atomics.
+    Degenerate,
+    /// Every warp's every atomic targets one shared hot address.
+    HotAddressStorm,
+    /// Full 32-lane single-address atomics (butterfly/densify eligible).
+    FullDensify,
+    /// Partial masks with per-lane scattered addresses.
+    ScatterMix,
+    /// Multi-parameter bundles, mixing uniform and non-uniform loops.
+    MultiParamBundle,
+}
+
+impl TraceShape {
+    /// All shapes in generation order.
+    pub const ALL: [TraceShape; 5] = [
+        TraceShape::Degenerate,
+        TraceShape::HotAddressStorm,
+        TraceShape::FullDensify,
+        TraceShape::ScatterMix,
+        TraceShape::MultiParamBundle,
+    ];
+
+    /// Short label used in trace names and failure messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceShape::Degenerate => "degenerate",
+            TraceShape::HotAddressStorm => "hot-storm",
+            TraceShape::FullDensify => "full-densify",
+            TraceShape::ScatterMix => "scatter-mix",
+            TraceShape::MultiParamBundle => "multi-param",
+        }
+    }
+}
+
+/// Deterministic trace/config generator for one `(seed, case)` pair.
+#[derive(Debug)]
+pub struct Fuzzer {
+    rng: StdRng,
+    seed: u64,
+    case: u64,
+}
+
+impl Fuzzer {
+    /// Creates the generator for fuzz case `case` of stream `seed`.
+    ///
+    /// Each case gets an independent RNG stream derived from both
+    /// numbers, so inserting a new case never perturbs later ones.
+    pub fn new(seed: u64, case: u64) -> Self {
+        // SplitMix-style mixing keeps (seed, case) streams independent.
+        let mixed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .rotate_left(31);
+        Fuzzer {
+            rng: StdRng::seed_from_u64(mixed),
+            seed,
+            case,
+        }
+    }
+
+    /// The shape this case exercises (cases cycle through
+    /// [`TraceShape::ALL`]).
+    pub fn shape(&self) -> TraceShape {
+        TraceShape::ALL[(self.case % TraceShape::ALL.len() as u64) as usize]
+    }
+
+    /// Generates this case's kernel trace. The trace name embeds
+    /// `(shape, seed, case)` so any report naming the kernel is already
+    /// a reproduction recipe.
+    pub fn trace(&mut self) -> KernelTrace {
+        let shape = self.shape();
+        let name = format!("fuzz-{}-s{:#x}-c{}", shape.label(), self.seed, self.case);
+        let warps = match shape {
+            TraceShape::Degenerate => self.degenerate_warps(),
+            TraceShape::HotAddressStorm => self.hot_storm_warps(),
+            TraceShape::FullDensify => self.full_densify_warps(),
+            TraceShape::ScatterMix => self.scatter_warps(),
+            TraceShape::MultiParamBundle => self.multi_param_warps(),
+        };
+        KernelTrace::new(name, KernelKind::GradCompute, warps)
+    }
+
+    /// Generates a stressed-but-valid GPU configuration: the tiny
+    /// preset with queue capacities, drain rates, and ROP counts pushed
+    /// to extremes (single-slot queues up to multi-thousand-entry
+    /// ones). Always passes `GpuConfig::validate()` and keeps the
+    /// deadlock guard (`max_cycles`) in place.
+    pub fn config(&mut self) -> GpuConfig {
+        let mut cfg = GpuConfig::tiny();
+        cfg.name = format!("Fuzz-Tiny-s{:#x}-c{}", self.seed, self.case);
+        cfg.lsu_queue_capacity = *pick(&mut self.rng, &[1, 2, 8, 128, 4096]);
+        cfg.lsu_drain_rate = *pick(&mut self.rng, &[1, 2, 4, 64]);
+        cfg.partition_queue_capacity = *pick(&mut self.rng, &[1, 4, 256, 8192]);
+        cfg.rops_per_partition = *pick(&mut self.rng, &[1, 2, 8]);
+        cfg.redunit_queue_capacity = *pick(&mut self.rng, &[1, 4, 32]);
+        cfg.ldst_dispatch_width = *pick(&mut self.rng, &[1, 8, 32]);
+        cfg.max_warps_per_subcore = *pick(&mut self.rng, &[1, 4, 16]);
+        cfg.validate().expect("fuzzed config must stay valid");
+        cfg
+    }
+
+    // --- trace families -------------------------------------------------
+
+    fn degenerate_warps(&mut self) -> Vec<WarpTrace> {
+        let n = self.rng.gen_range(1..=6usize);
+        let mut warps = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.rng.gen_range(0..4u32) {
+                // A completely empty warp.
+                0 => warps.push(WarpTrace::new()),
+                // Compute/loads only — no atomics at all.
+                1 => {
+                    let mut b = WarpTraceBuilder::new();
+                    b.compute_ffma(self.rng.gen_range(1..=8u16)).load(1);
+                    warps.push(b.finish());
+                }
+                // An atomic instruction with zero active lanes.
+                2 => {
+                    let mut b = WarpTraceBuilder::new();
+                    b.atomic(AtomicInstr::new(vec![]));
+                    warps.push(b.finish());
+                }
+                // Single-lane atomics on random lanes.
+                _ => {
+                    let mut b = WarpTraceBuilder::new();
+                    for _ in 0..self.rng.gen_range(1..=4usize) {
+                        let lane = self.rng.gen_range(0..WARP_SIZE as u8);
+                        b.atomic(AtomicInstr::new(vec![LaneOp {
+                            lane,
+                            addr: self.addr(),
+                            value: self.value(),
+                        }]));
+                    }
+                    warps.push(b.finish());
+                }
+            }
+        }
+        warps
+    }
+
+    fn hot_storm_warps(&mut self) -> Vec<WarpTrace> {
+        let hot = self.addr();
+        let warps = self.rng.gen_range(2..=12usize);
+        let atomics = self.rng.gen_range(2..=10usize);
+        (0..warps)
+            .map(|_| {
+                let mut b = WarpTraceBuilder::new();
+                for _ in 0..atomics {
+                    let mask = self.lane_mask(1..=WARP_SIZE);
+                    let ops = mask
+                        .iter()
+                        .map(|&lane| LaneOp {
+                            lane,
+                            addr: hot,
+                            value: self.value(),
+                        })
+                        .collect();
+                    b.compute_fp32(1).atomic(AtomicInstr::new(ops));
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
+    fn full_densify_warps(&mut self) -> Vec<WarpTrace> {
+        let warps = self.rng.gen_range(1..=8usize);
+        (0..warps)
+            .map(|_| {
+                let mut b = WarpTraceBuilder::new();
+                for _ in 0..self.rng.gen_range(1..=6usize) {
+                    let addr = self.addr();
+                    let mut values = [0.0f32; WARP_SIZE];
+                    for v in &mut values {
+                        *v = self.value();
+                    }
+                    b.atomic(AtomicInstr::same_address(addr, &values));
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
+    fn scatter_warps(&mut self) -> Vec<WarpTrace> {
+        let warps = self.rng.gen_range(1..=8usize);
+        (0..warps)
+            .map(|_| {
+                let mut b = WarpTraceBuilder::new();
+                for _ in 0..self.rng.gen_range(1..=6usize) {
+                    let mask = self.lane_mask(1..=WARP_SIZE);
+                    let ops = mask
+                        .iter()
+                        .map(|&lane| LaneOp {
+                            lane,
+                            addr: self.addr(),
+                            value: self.value(),
+                        })
+                        .collect();
+                    b.load(self.rng.gen_range(1..=4u16))
+                        .atomic(AtomicInstr::new(ops));
+                }
+                b.store(1);
+                b.finish()
+            })
+            .collect()
+    }
+
+    fn multi_param_warps(&mut self) -> Vec<WarpTrace> {
+        let warps = self.rng.gen_range(1..=6usize);
+        (0..warps)
+            .map(|_| {
+                let mut b = WarpTraceBuilder::new();
+                for _ in 0..self.rng.gen_range(1..=4usize) {
+                    let params = self.rng.gen_range(1..=9usize);
+                    let mask = self.lane_mask(1..=WARP_SIZE);
+                    // All parameters share the active mask (as in 3DGS)
+                    // but target distinct gradient arrays.
+                    let instrs: Vec<AtomicInstr> = (0..params)
+                        .map(|p| {
+                            let base = self.addr() + (p as u64) * 0x1_0000;
+                            let ops = mask
+                                .iter()
+                                .map(|&lane| LaneOp {
+                                    lane,
+                                    addr: base,
+                                    value: self.value(),
+                                })
+                                .collect();
+                            AtomicInstr::new(ops)
+                        })
+                        .collect();
+                    let bundle = if self.rng.gen_bool(0.5) {
+                        AtomicBundle::new(instrs)
+                    } else {
+                        AtomicBundle::non_uniform(instrs)
+                    };
+                    b.compute(ComputeKind::IntAlu, 2).atomic_bundle(bundle);
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
+    // --- primitive draws ------------------------------------------------
+
+    /// A word-aligned gradient address from a small pool, so distinct
+    /// atomics collide often (collisions are where reductions act).
+    fn addr(&mut self) -> u64 {
+        u64::from(self.rng.gen_range(0..64u32)) * 4
+    }
+
+    /// A gradient value in `[-1, 1]`. Magnitudes are bounded so the
+    /// documented oracle tolerance (a function of contribution count
+    /// and absolute sum) stays tight.
+    fn value(&mut self) -> f32 {
+        self.rng.gen_range(-1.0f32..=1.0)
+    }
+
+    /// A strictly-ascending random lane subset of the requested size
+    /// range.
+    fn lane_mask(&mut self, size: std::ops::RangeInclusive<usize>) -> Vec<u8> {
+        let want = self.rng.gen_range(size).min(WARP_SIZE);
+        let mut lanes: Vec<u8> = (0..WARP_SIZE as u8).collect();
+        // Partial Fisher-Yates: the first `want` entries are a uniform
+        // sample without replacement.
+        for i in 0..want {
+            let j = self.rng.gen_range(i..WARP_SIZE);
+            lanes.swap(i, j);
+        }
+        lanes.truncate(want);
+        lanes.sort_unstable();
+        lanes
+    }
+}
+
+fn pick<'a, T, R: Rng>(rng: &mut R, options: &'a [T]) -> &'a T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_and_case_is_reproducible() {
+        let a = Fuzzer::new(42, 7).trace();
+        let b = Fuzzer::new(42, 7).trace();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        // Shapes repeat every 5 cases, so compare two cases of the same
+        // shape; the RNG stream must still differ.
+        let a = Fuzzer::new(42, 1).trace();
+        let b = Fuzzer::new(42, 6).trace();
+        assert_eq!(Fuzzer::new(42, 1).shape(), Fuzzer::new(42, 6).shape());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_shapes_are_cycled() {
+        for (case, &shape) in TraceShape::ALL.iter().enumerate() {
+            assert_eq!(Fuzzer::new(0, case as u64).shape(), shape);
+        }
+    }
+
+    #[test]
+    fn fuzzed_configs_always_validate() {
+        for case in 0..50 {
+            let cfg = Fuzzer::new(9, case).config();
+            cfg.validate().unwrap();
+            assert!(cfg.max_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn hot_storm_is_single_address() {
+        let mut f = Fuzzer::new(3, 1); // case 1 = HotAddressStorm
+        assert_eq!(f.shape(), TraceShape::HotAddressStorm);
+        let t = f.trace();
+        let mut addrs: Vec<u64> = t
+            .bundles()
+            .flat_map(|b| b.params.iter())
+            .flat_map(|p| p.ops().iter().map(|op| op.addr))
+            .collect();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 1, "hot storm must hammer one address");
+    }
+
+    #[test]
+    fn full_densify_masks_are_full() {
+        let mut f = Fuzzer::new(3, 2); // case 2 = FullDensify
+        assert_eq!(f.shape(), TraceShape::FullDensify);
+        let t = f.trace();
+        assert!(t.total_atomic_requests() > 0);
+        for b in t.bundles() {
+            for p in &b.params {
+                assert_eq!(p.active_count(), WARP_SIZE as u32);
+                assert!(p.single_address());
+            }
+        }
+    }
+}

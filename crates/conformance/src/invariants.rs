@@ -1,0 +1,608 @@
+//! Metamorphic invariant suite: conservation laws on the simulator's
+//! raw counters, and trend cross-checks against the first-order
+//! analytical model in `arc_core::analysis`.
+//!
+//! The cycle simulator and the machine model were written against the
+//! same paper but share no code; where their *directions* must agree
+//! (more ROP throughput never hurts, ARC-HW never loses on contended
+//! storms, a bigger GPU is never slower on spread-out work), this suite
+//! pins the agreement. Where the model is knowingly blind — its
+//! mean-active all-or-nothing threshold approximation cannot see
+//! per-transaction group sizes — the invariant is stated on the
+//! simulator alone.
+//!
+//! Every conservation law here was derived from the queueing design and
+//! then verified empirically across fuzzed traces, all atomic paths,
+//! and stressed queue configurations before being pinned:
+//!
+//! * **issue**: every trace issue slot is issued exactly once;
+//! * **flits**: each interconnect flit is retired as exactly one ROP
+//!   lane-op, load sector, or store sector — nothing is dropped or
+//!   duplicated in flight;
+//! * **atomic lane-values**: per path, lane-values entering the machine
+//!   equal lane-values accounted at the ROPs / reduction units /
+//!   aggregation buffers (see [`check_atomic_value_conservation`]).
+//!
+//! The trend invariants use constructed workloads ([`storm`],
+//! [`spread_storm`], [`grouped_storm`]) whose contention structure is
+//! known by construction, so each check's precondition is guaranteed
+//! rather than assumed.
+
+use arc_core::analysis::{baseline_cycles, predicted_hw_speedup};
+use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig};
+use gpu_sim::{AtomicPath, GpuConfig, KernelReport, SimCounters, Simulator, TelemetryConfig};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, LaneOp, TraceStats, WarpTraceBuilder};
+
+/// How a metamorphic invariant failed.
+#[derive(Clone, Debug)]
+pub struct InvariantFailure {
+    /// Which invariant was violated (stable, greppable name).
+    pub invariant: &'static str,
+    /// Human-readable description with the offending numbers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+fn fail(invariant: &'static str, detail: String) -> InvariantFailure {
+    InvariantFailure { invariant, detail }
+}
+
+fn run(
+    cfg: &GpuConfig,
+    path: AtomicPath,
+    trace: &KernelTrace,
+) -> Result<KernelReport, InvariantFailure> {
+    Simulator::new(cfg.clone(), path)
+        .map_err(|e| fail("sim-construct", format!("{path:?}: {e:?}")))?
+        .run(trace)
+        .map_err(|e| fail("sim-run", format!("{path:?}: {e:?}")))
+}
+
+// ---------------------------------------------------------------------
+// Workload constructors with known contention structure.
+// ---------------------------------------------------------------------
+
+/// A single-hot-address storm: `warps` warps, each issuing `atomics`
+/// full-warp atomics to the *same* gradient word. Maximal contention —
+/// one memory partition, one ROP queue absorbs everything.
+pub fn storm(warps: usize, atomics: usize) -> KernelTrace {
+    let w = (0..warps)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            for _ in 0..atomics {
+                b.compute_fp32(1);
+                b.atomic(AtomicInstr::same_address(0x100, &[0.5; 32]));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("storm", KernelKind::GradCompute, w)
+}
+
+/// A storm spread over `addrs` distinct gradient words (round-robin),
+/// each atomic still warp-uniform. With many addresses the load spreads
+/// across memory partitions, so aggregate ROP throughput matters.
+pub fn spread_storm(warps: usize, atomics: usize, addrs: usize) -> KernelTrace {
+    assert!(addrs > 0, "need at least one address");
+    let w = (0..warps)
+        .map(|wi| {
+            let mut b = WarpTraceBuilder::new();
+            for a in 0..atomics {
+                let addr = ((wi * atomics + a) % addrs) as u64 * 256;
+                b.compute_fp32(1);
+                b.atomic(AtomicInstr::same_address(addr, &[0.5; 32]));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("spread-storm", KernelKind::GradCompute, w)
+}
+
+/// Full-warp atomics where consecutive runs of `group` lanes share an
+/// address (`group == 32` is warp-uniform, `group == 1` gives every
+/// lane its own word). Addresses are unique per instruction, so the
+/// per-transaction group size — the quantity the balancing threshold
+/// keys on — is exactly `group`.
+pub fn grouped_storm(warps: usize, atomics: usize, group: usize) -> KernelTrace {
+    assert!((1..=32).contains(&group), "group must be 1..=32");
+    let w = (0..warps)
+        .map(|wi| {
+            let mut b = WarpTraceBuilder::new();
+            for a in 0..atomics {
+                let ops = (0..32u8)
+                    .map(|lane| LaneOp {
+                        lane,
+                        addr: ((wi * atomics + a) * 32 + (lane as usize / group)) as u64 * 4,
+                        value: 0.5,
+                    })
+                    .collect();
+                b.compute_fp32(1);
+                b.atomic(AtomicInstr::new(ops));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("grouped-storm", KernelKind::GradCompute, w)
+}
+
+// ---------------------------------------------------------------------
+// Conservation laws (hold for every trace, every path, every config).
+// ---------------------------------------------------------------------
+
+fn issue_law(path: AtomicPath, c: &SimCounters, issue_slots: u64) -> Result<(), InvariantFailure> {
+    if c.instructions_issued != issue_slots {
+        return Err(fail(
+            "issue-conservation",
+            format!(
+                "{path:?}: issued {} instructions, trace has {issue_slots} issue slots",
+                c.instructions_issued
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// **Invariant `issue-conservation`** — on every atomic path, the
+/// number of warp instructions issued equals the trace's issue-slot
+/// count exactly: nothing is double-issued or lost at drain.
+pub fn check_issue_conservation(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    let want = trace.total_issue_slots();
+    for path in AtomicPath::ALL {
+        issue_law(path, &run(cfg, path, trace)?.counters, want)?;
+    }
+    Ok(())
+}
+
+/// **Invariant `flit-conservation`** — every interconnect flit is
+/// retired as exactly one ROP lane-op, load sector, or store sector:
+/// `icnt_flits == rop_lane_ops + load_sectors + store_sectors` on every
+/// path. On the baseline path the LSU additionally forwards everything
+/// it accepts (`lsu_accepted == icnt_flits`).
+pub fn check_flit_conservation(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    for path in AtomicPath::ALL {
+        flit_law(path, &run(cfg, path, trace)?.counters)?;
+    }
+    Ok(())
+}
+
+fn flit_law(path: AtomicPath, c: &SimCounters) -> Result<(), InvariantFailure> {
+    let retired = c.rop_lane_ops + c.load_sectors + c.store_sectors;
+    if c.icnt_flits != retired {
+        return Err(fail(
+            "flit-conservation",
+            format!(
+                "{path:?}: {} flits crossed the interconnect but {} units retired \
+                 (rop {} + load {} + store {})",
+                c.icnt_flits, retired, c.rop_lane_ops, c.load_sectors, c.store_sectors
+            ),
+        ));
+    }
+    if path == AtomicPath::Baseline && c.lsu_accepted != c.icnt_flits {
+        return Err(fail(
+            "flit-conservation",
+            format!(
+                "Baseline: LSU accepted {} units but {} flits crossed",
+                c.lsu_accepted, c.icnt_flits
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// **Invariant `atomic-value-conservation`** — atomic lane-values are
+/// neither dropped nor duplicated, with a per-path ledger:
+///
+/// * `Baseline`: all requests retire at the ROPs, none at reduction
+///   units (`rop_lane_ops == requests`, `redunit_lane_ops == 0`);
+/// * `ArcHw`: a reduction unit folds a k-lane transaction and emits one
+///   lane-value to the ROPs, so
+///   `rop_lane_ops + redunit_lane_ops == requests + redunit_transactions`;
+/// * `Lab` / `LabIdeal` / `Phi`: every request is merged into, evicted
+///   from, or flushed out of an aggregation-buffer entry
+///   (`merges + evictions + flushes == requests`), and the ROPs see
+///   exactly the evicted/flushed entries
+///   (`rop_lane_ops == evictions + flushes`).
+pub fn check_atomic_value_conservation(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    let requests = trace.total_atomic_requests();
+    for path in AtomicPath::ALL {
+        atomic_law(path, &run(cfg, path, trace)?.counters, requests)?;
+    }
+    Ok(())
+}
+
+fn atomic_law(path: AtomicPath, c: &SimCounters, requests: u64) -> Result<(), InvariantFailure> {
+    let violation = {
+        match path {
+            AtomicPath::Baseline => {
+                if c.rop_lane_ops != requests || c.redunit_lane_ops != 0 {
+                    Some(format!(
+                        "rop {} (want {requests}), redunit {} (want 0)",
+                        c.rop_lane_ops, c.redunit_lane_ops
+                    ))
+                } else {
+                    None
+                }
+            }
+            AtomicPath::ArcHw => {
+                let folded = c.rop_lane_ops + c.redunit_lane_ops;
+                let sourced = requests + c.redunit_transactions;
+                if folded != sourced {
+                    Some(format!(
+                        "rop {} + redunit {} = {folded}, want requests {requests} + \
+                         redunit_tx {} = {sourced}",
+                        c.rop_lane_ops, c.redunit_lane_ops, c.redunit_transactions
+                    ))
+                } else {
+                    None
+                }
+            }
+            AtomicPath::Lab | AtomicPath::LabIdeal | AtomicPath::Phi => {
+                let absorbed = c.buffer_merges + c.buffer_evictions + c.buffer_flushes;
+                let emitted = c.buffer_evictions + c.buffer_flushes;
+                if absorbed != requests || c.rop_lane_ops != emitted {
+                    Some(format!(
+                        "merges {} + evictions {} + flushes {} = {absorbed} (want \
+                         {requests}); rop {} (want evictions+flushes = {emitted})",
+                        c.buffer_merges, c.buffer_evictions, c.buffer_flushes, c.rop_lane_ops
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    if let Some(detail) = violation {
+        return Err(fail(
+            "atomic-value-conservation",
+            format!("{path:?}: {detail}"),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Trend invariants (simulator vs. analytical model direction).
+// ---------------------------------------------------------------------
+
+/// **Invariant `rop-monotonicity`** — raising per-partition ROP
+/// throughput never increases simulated cycles (baseline path, tiny
+/// base config, `rops_per_partition` swept 1 → 2 → 4 → 8), and the
+/// analytical model's `baseline_cycles` agrees on the direction when
+/// `rop_rate` is scaled the same way.
+pub fn check_rop_monotonicity(trace: &KernelTrace) -> Result<(), InvariantFailure> {
+    let profile = KernelProfile::from_stats(&TraceStats::compute(trace));
+    let mut prev_sim = u64::MAX;
+    let mut prev_model = f64::INFINITY;
+    for rops in [1u32, 2, 4, 8] {
+        let mut cfg = GpuConfig::tiny();
+        cfg.rops_per_partition = rops;
+        let sim = run(&cfg, AtomicPath::Baseline, trace)?.cycles;
+        if sim > prev_sim {
+            return Err(fail(
+                "rop-monotonicity",
+                format!("sim: {prev_sim} cycles -> {sim} cycles going to {rops} rops/partition"),
+            ));
+        }
+        let model = baseline_cycles(&cfg.machine_model(), &profile);
+        if model > prev_model {
+            return Err(fail(
+                "rop-monotonicity",
+                format!("model: {prev_model} -> {model} going to {rops} rops/partition"),
+            ));
+        }
+        prev_sim = sim;
+        prev_model = model;
+    }
+    Ok(())
+}
+
+/// **Invariant `config-ordering`** — on a spread storm the bigger GPU
+/// (RTX 4090-Sim: more SMs, more ROP partitions) never takes more
+/// cycles than the smaller one (RTX 3060-Sim), strictly fewer once the
+/// storm spans many addresses (`addrs >= 16`, so multiple partitions
+/// are engaged); the analytical model agrees on the ordering. A
+/// single-address storm is allowed to tie — one partition's ROP queue
+/// is the bottleneck on both machines.
+pub fn check_config_ordering(
+    warps: usize,
+    atomics: usize,
+    addrs: usize,
+) -> Result<(), InvariantFailure> {
+    let trace = spread_storm(warps, atomics, addrs);
+    let big = GpuConfig::rtx4090_sim();
+    let small = GpuConfig::rtx3060_sim();
+    let big_cycles = run(&big, AtomicPath::Baseline, &trace)?.cycles;
+    let small_cycles = run(&small, AtomicPath::Baseline, &trace)?.cycles;
+    let strict = addrs >= 16;
+    if big_cycles > small_cycles || (strict && big_cycles == small_cycles) {
+        return Err(fail(
+            "config-ordering",
+            format!(
+                "sim: 4090-Sim took {big_cycles} cycles vs 3060-Sim {small_cycles} on a \
+                 {addrs}-address storm (strict ordering expected: {strict})"
+            ),
+        ));
+    }
+    let profile = KernelProfile::from_stats(&TraceStats::compute(&trace));
+    let big_model = baseline_cycles(&big.machine_model(), &profile);
+    let small_model = baseline_cycles(&small.machine_model(), &profile);
+    if big_model > small_model {
+        return Err(fail(
+            "config-ordering",
+            format!("model: 4090-Sim {big_model} > 3060-Sim {small_model}"),
+        ));
+    }
+    Ok(())
+}
+
+/// **Invariant `adaptive-wins-contended`** — on a single-hot-address
+/// storm the ARC-HW adaptive path never takes more cycles than the
+/// baseline (the reduction units offload the saturated ROP queue), and
+/// the model's `predicted_hw_speedup` agrees the direction is >= 1.
+pub fn check_adaptive_wins_contended(
+    cfg: &GpuConfig,
+    warps: usize,
+    atomics: usize,
+) -> Result<(), InvariantFailure> {
+    let trace = storm(warps, atomics);
+    let base = run(cfg, AtomicPath::Baseline, &trace)?.cycles;
+    // Convert to `atomred` for the ARC run: plain atomics bypass the
+    // reduction units entirely, so the adaptive path only differs on
+    // converted kernels (paper §5.6).
+    let arc = run(cfg, AtomicPath::ArcHw, &trace.clone().with_atomred())?.cycles;
+    if arc > base {
+        return Err(fail(
+            "adaptive-wins-contended",
+            format!("sim: ArcHw took {arc} cycles vs Baseline {base} on a hot storm"),
+        ));
+    }
+    let profile = KernelProfile::from_stats(&TraceStats::compute(&trace));
+    let predicted = predicted_hw_speedup(&cfg.machine_model(), &profile);
+    if predicted < 1.0 {
+        return Err(fail(
+            "adaptive-wins-contended",
+            format!("model: predicted_hw_speedup = {predicted} < 1 on a hot storm"),
+        ));
+    }
+    Ok(())
+}
+
+/// **Invariant `threshold-crossover`** — the balancing threshold's
+/// crossover direction (paper §4.4), on the simulator:
+///
+/// * contended small groups (8 lanes per address): always reducing
+///   (threshold 0) beats never reducing (threshold 32) because each
+///   software reduction collapses 8 ROP lane-values into one;
+/// * contention-free (1 lane per address): the SW rewrite's shuffle and
+///   instruction overhead buys nothing, so the rewritten kernel is no
+///   faster than the untouched baseline at *any* threshold.
+///
+/// Stated on the simulator alone: the analytical model's mean-active
+/// approximation sees 32 active lanes in both workloads and cannot
+/// distinguish them — exactly the blindness that motivates empirical
+/// threshold tuning in the paper.
+pub fn check_threshold_crossover(cfg: &GpuConfig) -> Result<(), InvariantFailure> {
+    let thr = |v: u8| BalanceThreshold::new(v).expect("threshold in range");
+    let rewritten = |trace: &KernelTrace, v: u8| -> Result<u64, InvariantFailure> {
+        let r = rewrite_kernel_sw(trace, &SwConfig::serialized(thr(v)));
+        Ok(run(cfg, AtomicPath::Baseline, &r.trace)?.cycles)
+    };
+
+    let contended = grouped_storm(48, 4, 8);
+    let always = rewritten(&contended, 0)?;
+    let never = rewritten(&contended, 32)?;
+    if always >= never {
+        return Err(fail(
+            "threshold-crossover",
+            format!(
+                "contended 8-lane groups: threshold 0 took {always} cycles, \
+                 threshold 32 took {never} — reducing should win"
+            ),
+        ));
+    }
+
+    let free = grouped_storm(48, 4, 1);
+    let plain = run(cfg, AtomicPath::Baseline, &free)?.cycles;
+    for v in [0u8, 32] {
+        let rw = rewritten(&free, v)?;
+        if rw < plain {
+            return Err(fail(
+                "threshold-crossover",
+                format!(
+                    "contention-free: SW rewrite at threshold {v} took {rw} cycles, \
+                     beating the untouched baseline at {plain} — overhead should not pay off"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Determinism and observability invariants.
+// ---------------------------------------------------------------------
+
+/// **Invariant `worker-determinism`** — the parallel cycle loop is
+/// bit-identical: simulating with 1, 2, and 8 SM workers produces the
+/// same [`KernelReport`] and the same telemetry, on every atomic path.
+pub fn check_worker_determinism(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    for path in AtomicPath::ALL {
+        let mut reference = None;
+        for workers in [1usize, 2, 8] {
+            let sim = Simulator::new(cfg.clone(), path)
+                .map_err(|e| fail("sim-construct", format!("{path:?}: {e:?}")))?
+                .with_sm_workers(workers)
+                .with_telemetry(TelemetryConfig::every(4));
+            let out = sim
+                .run_with_telemetry(trace)
+                .map_err(|e| fail("sim-run", format!("{path:?}: {e:?}")))?;
+            match &reference {
+                None => reference = Some(out),
+                Some(want) => {
+                    if out != *want {
+                        return Err(fail(
+                            "worker-determinism",
+                            format!(
+                                "{path:?}: {workers} SM workers diverged from the \
+                                 single-worker report/telemetry"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Invariant `telemetry-consistency`** — the telemetry layer is a
+/// view, not a second set of books: every counter series' cumulative
+/// total equals the corresponding [`KernelReport`] counter, stall
+/// series match the stall breakdown, and the `warps.remaining` gauge
+/// has drained to zero at kernel end.
+pub fn check_telemetry_consistency(
+    cfg: &GpuConfig,
+    path: AtomicPath,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    let sim = Simulator::new(cfg.clone(), path)
+        .map_err(|e| fail("sim-construct", format!("{path:?}: {e:?}")))?
+        .with_telemetry(TelemetryConfig::every(4));
+    let (report, telemetry) = sim
+        .run_with_telemetry(trace)
+        .map_err(|e| fail("sim-run", format!("{path:?}: {e:?}")))?;
+    let t = telemetry.ok_or_else(|| {
+        fail(
+            "telemetry-consistency",
+            "telemetry enabled but none returned".into(),
+        )
+    })?;
+
+    let c = &report.counters;
+    let s = &report.stalls;
+    let pairs: [(&str, u64); 10] = [
+        ("issue.instructions", c.instructions_issued),
+        ("icnt.flits", c.icnt_flits),
+        ("rop.lane_ops", c.rop_lane_ops),
+        ("redunit.lane_ops", c.redunit_lane_ops),
+        ("lsu.accepted", c.lsu_accepted),
+        ("atomic.redunit_tx", c.redunit_transactions),
+        ("stall.lsu_full", s.lsu_full),
+        ("stall.long_scoreboard", s.long_scoreboard),
+        ("stall.no_warp", s.no_warp),
+        ("stall.other", s.other),
+    ];
+    for (name, want) in pairs {
+        let series = t.series(name).ok_or_else(|| {
+            fail(
+                "telemetry-consistency",
+                format!("{path:?}: series `{name}` missing"),
+            )
+        })?;
+        if series.total != want as f64 {
+            return Err(fail(
+                "telemetry-consistency",
+                format!(
+                    "{path:?}: series `{name}` totals {} but the report counter is {want}",
+                    series.total
+                ),
+            ));
+        }
+    }
+    let remaining = t.series("warps.remaining").ok_or_else(|| {
+        fail(
+            "telemetry-consistency",
+            format!("{path:?}: series `warps.remaining` missing"),
+        )
+    })?;
+    if remaining.total != 0.0 {
+        return Err(fail(
+            "telemetry-consistency",
+            format!(
+                "{path:?}: warps.remaining gauge ended at {} — kernel did not drain",
+                remaining.total
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs every per-trace invariant (conservation laws, worker
+/// determinism, telemetry consistency on the baseline and ARC-HW paths)
+/// against one trace/config pair. The workload-constructing trend
+/// invariants ([`check_rop_monotonicity`], [`check_config_ordering`],
+/// [`check_adaptive_wins_contended`], [`check_threshold_crossover`])
+/// are invoked separately by the suite since they pick their own
+/// traces or sweep their own configs.
+pub fn check_trace(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), InvariantFailure> {
+    let issue_slots = trace.total_issue_slots();
+    let requests = trace.total_atomic_requests();
+    // One sim per path; all three counter laws applied to the same run.
+    for path in AtomicPath::ALL {
+        let c = run(cfg, path, trace)?.counters;
+        issue_law(path, &c, issue_slots)?;
+        flit_law(path, &c)?;
+        atomic_law(path, &c, requests)?;
+    }
+    // The ArcHw ledger only has non-trivial reduction-unit terms on
+    // `atomred` kernels, so check the converted trace too.
+    let converted = trace.clone().with_atomred();
+    let c = run(cfg, AtomicPath::ArcHw, &converted)?.counters;
+    issue_law(AtomicPath::ArcHw, &c, converted.total_issue_slots())?;
+    flit_law(AtomicPath::ArcHw, &c)?;
+    atomic_law(AtomicPath::ArcHw, &c, requests)?;
+    check_worker_determinism(cfg, trace)?;
+    check_telemetry_consistency(cfg, AtomicPath::Baseline, trace)?;
+    check_telemetry_consistency(cfg, AtomicPath::ArcHw, trace)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_holds_on_a_storm() {
+        let t = storm(6, 3);
+        check_trace(&GpuConfig::tiny(), &t).unwrap();
+    }
+
+    #[test]
+    fn conservation_holds_on_an_empty_trace() {
+        let t = KernelTrace::new("empty", KernelKind::GradCompute, vec![]);
+        check_trace(&GpuConfig::tiny(), &t).unwrap();
+    }
+
+    #[test]
+    fn trend_invariants_hold() {
+        check_rop_monotonicity(&storm(6, 3)).unwrap();
+        check_adaptive_wins_contended(&GpuConfig::tiny(), 8, 4).unwrap();
+    }
+
+    #[test]
+    fn constructors_have_the_advertised_structure() {
+        let s = storm(4, 2);
+        assert_eq!(s.total_atomic_requests(), 4 * 2 * 32);
+        let stats = TraceStats::compute(&grouped_storm(2, 2, 8));
+        assert!((stats.mean_active_lanes() - 32.0).abs() < 1e-9);
+        let spread = spread_storm(2, 3, 4);
+        assert_eq!(spread.total_atomic_requests(), 2 * 3 * 32);
+    }
+}

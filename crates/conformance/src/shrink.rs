@@ -1,0 +1,322 @@
+//! Greedy delta-debugging shrinker for failing kernel traces.
+//!
+//! The vendored `proptest` shim deliberately has no shrinking, so the
+//! conformance suite carries its own: given a trace and a predicate
+//! "does this trace still fail?", [`shrink_trace`] greedily removes
+//! structure while the predicate holds, in coarse-to-fine order:
+//!
+//! 1. drop whole warps (front/back halves first, then singletons);
+//! 2. drop instructions within each warp;
+//! 3. drop parameters within each atomic bundle;
+//! 4. drop lane operations within each atomic instruction;
+//! 5. canonicalize surviving lane values to `1.0` where the failure
+//!    persists.
+//!
+//! The result is a local minimum: removing any single remaining element
+//! makes the failure disappear. [`emit_golden`] serializes it as JSON
+//! (via the trace IR's serde derives) so the minimal reproducer can be
+//! pinned under `tests/golden/` and replayed forever; [`load_golden`]
+//! reads one back.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use warp_trace::{AtomicInstr, Instr, KernelTrace, LaneOp, WarpTrace};
+
+/// Shrinks `trace` to a locally-minimal trace still satisfying `fails`.
+///
+/// `fails(&trace)` must be `true` on entry (otherwise the input is
+/// returned unchanged). The predicate is invoked O(elements × passes)
+/// times; passes repeat until a fixpoint, bounded by the element count,
+/// so shrinking always terminates.
+pub fn shrink_trace<F>(trace: &KernelTrace, fails: F) -> KernelTrace
+where
+    F: Fn(&KernelTrace) -> bool,
+{
+    if !fails(trace) {
+        return trace.clone();
+    }
+    let mut best = trace.clone();
+    loop {
+        let before = size_of(&best);
+        best = drop_warps(best, &fails);
+        best = drop_instrs(best, &fails);
+        best = drop_params(best, &fails);
+        best = drop_lanes(best, &fails);
+        best = canonicalize_values(best, &fails);
+        if size_of(&best) >= before {
+            return best;
+        }
+    }
+}
+
+/// A crude structural size: elements the shrinker can still remove.
+fn size_of(t: &KernelTrace) -> usize {
+    let mut n = t.warps().len();
+    for w in t.warps() {
+        n += w.instrs.len();
+        for i in &w.instrs {
+            if let Instr::Atomic(b) | Instr::AtomRed(b) = i {
+                n += b.params.len();
+                n += b.params.iter().map(|p| p.ops().len()).sum::<usize>();
+            }
+        }
+    }
+    n
+}
+
+fn rebuild(t: &KernelTrace, warps: Vec<WarpTrace>) -> KernelTrace {
+    KernelTrace::new(t.name(), t.kind(), warps)
+}
+
+fn drop_warps<F: Fn(&KernelTrace) -> bool>(t: KernelTrace, fails: &F) -> KernelTrace {
+    let mut best = t;
+    // Halves first (logarithmic progress on large traces).
+    loop {
+        let n = best.warps().len();
+        if n < 2 {
+            break;
+        }
+        let halves = [
+            rebuild(&best, best.warps()[n / 2..].to_vec()),
+            rebuild(&best, best.warps()[..n / 2].to_vec()),
+        ];
+        match halves.into_iter().find(|c| fails(c)) {
+            Some(smaller) => best = smaller,
+            None => break,
+        }
+    }
+    // Then individual warps.
+    let mut i = 0;
+    while i < best.warps().len() {
+        if best.warps().len() == 1 {
+            break;
+        }
+        let mut warps = best.warps().to_vec();
+        warps.remove(i);
+        let candidate = rebuild(&best, warps);
+        if fails(&candidate) {
+            best = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+fn drop_instrs<F: Fn(&KernelTrace) -> bool>(t: KernelTrace, fails: &F) -> KernelTrace {
+    let mut best = t;
+    for w in 0..best.warps().len() {
+        let mut i = 0;
+        while i < best.warps()[w].instrs.len() {
+            let mut warps = best.warps().to_vec();
+            warps[w].instrs.remove(i);
+            let candidate = rebuild(&best, warps);
+            if fails(&candidate) {
+                best = candidate;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    best
+}
+
+fn drop_params<F: Fn(&KernelTrace) -> bool>(t: KernelTrace, fails: &F) -> KernelTrace {
+    mutate_bundles(t, fails, |params, i| {
+        if params.len() > 1 {
+            params.remove(i);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+fn drop_lanes<F: Fn(&KernelTrace) -> bool>(t: KernelTrace, fails: &F) -> KernelTrace {
+    let mut best = t;
+    loop {
+        let mut progressed = false;
+        'outer: for w in 0..best.warps().len() {
+            for ii in 0..best.warps()[w].instrs.len() {
+                let (params_len, ops_lens) = match &best.warps()[w].instrs[ii] {
+                    Instr::Atomic(b) | Instr::AtomRed(b) => (
+                        b.params.len(),
+                        b.params.iter().map(|p| p.ops().len()).collect::<Vec<_>>(),
+                    ),
+                    _ => continue,
+                };
+                for (p, &ops_len) in ops_lens.iter().enumerate().take(params_len) {
+                    for lane_i in 0..ops_len {
+                        let mut warps = best.warps().to_vec();
+                        if let Instr::Atomic(b) | Instr::AtomRed(b) = &mut warps[w].instrs[ii] {
+                            let mut ops: Vec<LaneOp> = b.params[p].ops().to_vec();
+                            ops.remove(lane_i);
+                            b.params[p] = AtomicInstr::new(ops);
+                        }
+                        let candidate = rebuild(&best, warps);
+                        if fails(&candidate) {
+                            best = candidate;
+                            progressed = true;
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+fn canonicalize_values<F: Fn(&KernelTrace) -> bool>(t: KernelTrace, fails: &F) -> KernelTrace {
+    let mut best = t;
+    for w in 0..best.warps().len() {
+        for ii in 0..best.warps()[w].instrs.len() {
+            let params_len = match &best.warps()[w].instrs[ii] {
+                Instr::Atomic(b) | Instr::AtomRed(b) => b.params.len(),
+                _ => continue,
+            };
+            for p in 0..params_len {
+                let ops_len = match &best.warps()[w].instrs[ii] {
+                    Instr::Atomic(b) | Instr::AtomRed(b) => b.params[p].ops().len(),
+                    _ => 0,
+                };
+                for lane_i in 0..ops_len {
+                    let mut warps = best.warps().to_vec();
+                    if let Instr::Atomic(b) | Instr::AtomRed(b) = &mut warps[w].instrs[ii] {
+                        let mut ops: Vec<LaneOp> = b.params[p].ops().to_vec();
+                        if ops[lane_i].value == 1.0 {
+                            continue;
+                        }
+                        ops[lane_i].value = 1.0;
+                        b.params[p] = AtomicInstr::new(ops);
+                    }
+                    let candidate = rebuild(&best, warps);
+                    if fails(&candidate) {
+                        best = candidate;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+fn mutate_bundles<F, M>(t: KernelTrace, fails: &F, mutate: M) -> KernelTrace
+where
+    F: Fn(&KernelTrace) -> bool,
+    M: Fn(&mut Vec<AtomicInstr>, usize) -> bool,
+{
+    let mut best = t;
+    for w in 0..best.warps().len() {
+        for ii in 0..best.warps()[w].instrs.len() {
+            'insn: while let Instr::Atomic(b) | Instr::AtomRed(b) = &best.warps()[w].instrs[ii] {
+                let params_len = b.params.len();
+                for p in 0..params_len {
+                    let mut warps = best.warps().to_vec();
+                    let changed = match &mut warps[w].instrs[ii] {
+                        Instr::Atomic(b) | Instr::AtomRed(b) => mutate(&mut b.params, p),
+                        _ => false,
+                    };
+                    if !changed {
+                        continue;
+                    }
+                    let candidate = rebuild(&best, warps);
+                    if fails(&candidate) {
+                        best = candidate;
+                        continue 'insn;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Serializes a shrunk trace as pretty-printed JSON into `dir` under
+/// `<name>.json`, creating the directory if needed. Returns the path.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file cannot be
+/// written — a conformance failure that cannot be recorded should be
+/// loud.
+pub fn emit_golden(dir: &Path, name: &str, trace: &KernelTrace) -> PathBuf {
+    fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(trace).expect("trace serializes");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Reads a golden trace back.
+///
+/// # Panics
+///
+/// Panics if the file is missing or not a valid serialized trace.
+pub fn load_golden(path: &Path) -> KernelTrace {
+    let json = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::{AtomicInstr, KernelKind, WarpTraceBuilder};
+
+    /// A "bug" that fires whenever any atomic touches address 0x40.
+    fn touches_hot(t: &KernelTrace) -> bool {
+        t.bundles()
+            .flat_map(|b| b.params.iter())
+            .any(|p| p.ops().iter().any(|op| op.addr == 0x40))
+    }
+
+    fn noisy_trace() -> KernelTrace {
+        let mut warps = Vec::new();
+        for i in 0..8 {
+            let mut b = WarpTraceBuilder::new();
+            b.compute_fp32(4);
+            b.atomic(AtomicInstr::same_address(0x100 + i * 8, &[0.5; 32]));
+            if i == 5 {
+                b.atomic(AtomicInstr::same_address(0x40, &[2.0; 32]));
+            }
+            b.load(2);
+            warps.push(b.finish());
+        }
+        KernelTrace::new("noisy", KernelKind::GradCompute, warps)
+    }
+
+    #[test]
+    fn shrinks_to_single_lane_reproducer() {
+        let shrunk = shrink_trace(&noisy_trace(), touches_hot);
+        assert!(touches_hot(&shrunk), "shrunk trace must still fail");
+        assert_eq!(shrunk.warps().len(), 1);
+        let instrs = &shrunk.warps()[0].instrs;
+        assert_eq!(instrs.len(), 1, "non-atomic instructions removed");
+        assert_eq!(shrunk.total_atomic_requests(), 1, "one lane suffices");
+        // Value canonicalization kicked in.
+        let op = shrunk.bundles().next().unwrap().params[0].ops()[0];
+        assert_eq!(op.addr, 0x40);
+        assert_eq!(op.value, 1.0);
+    }
+
+    #[test]
+    fn passing_trace_is_returned_unchanged() {
+        let t = noisy_trace();
+        let same = shrink_trace(&t, |_| false);
+        assert_eq!(same, t);
+    }
+
+    #[test]
+    fn golden_round_trip() {
+        let shrunk = shrink_trace(&noisy_trace(), touches_hot);
+        let dir = std::env::temp_dir().join("arc-conformance-shrink-test");
+        let path = emit_golden(&dir, "hot-addr", &shrunk);
+        let back = load_golden(&path);
+        assert_eq!(back, shrunk);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,99 @@
+//! Golden-trace replay, and the end-to-end shrink-to-golden
+//! demonstration on an intentionally seeded reducer bug.
+//!
+//! The checked-in golden under `tests/golden/` was produced by exactly
+//! the flow replayed in [`seeded_bug_is_caught_and_shrinks_to_golden`]:
+//! plant a bug (a serialized reducer that drops the last active lane),
+//! fuzz until the oracle-style comparison catches it, shrink the
+//! offending trace, and pin the minimal reproducer. Re-bless with
+//! `CONFORMANCE_BLESS=1` if the fuzzer or shrinker intentionally
+//! changes.
+
+use std::path::{Path, PathBuf};
+
+use arc_core::{coalesce_atomic, AtomicTransaction};
+use conformance::fuzz::Fuzzer;
+use conformance::{invariants, oracle, shrink};
+use gpu_sim::GpuConfig;
+use warp_trace::KernelTrace;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The intentionally buggy reducer: sums every lane value *except the
+/// last* — the classic off-by-one a hand-rolled `for (i = 0; i < n-1)`
+/// loop produces.
+fn buggy_serialized_reduce(tx: &AtomicTransaction) -> f32 {
+    let n = tx.values.len();
+    tx.values[..n.saturating_sub(1)].iter().sum()
+}
+
+/// The same comparison the functional oracle applies to the real
+/// reducers, aimed at the buggy one: true iff the bug is observable on
+/// this trace within the documented tolerance.
+fn buggy_reducer_caught(trace: &KernelTrace) -> bool {
+    trace.bundles().flat_map(|b| b.params.iter()).any(|p| {
+        coalesce_atomic(p).iter().any(|tx| {
+            let want = tx.total();
+            let abs_sum: f64 = tx.values.iter().map(|&v| f64::from(v).abs()).sum();
+            let tol = oracle::tolerance(u64::from(tx.request_count()), abs_sum);
+            (f64::from(buggy_serialized_reduce(tx)) - want).abs() > tol
+        })
+    })
+}
+
+#[test]
+fn seeded_bug_is_caught_and_shrinks_to_golden() {
+    // Fixed seed (not the CONFORMANCE_SEED override): the golden's
+    // identity depends on it.
+    let seed = conformance::DEFAULT_SEED;
+    let (case, trace) = (0..50u64)
+        .find_map(|case| {
+            let t = Fuzzer::new(seed, case).trace();
+            buggy_reducer_caught(&t).then_some((case, t))
+        })
+        .expect("50 fuzz cases never caught a reducer that drops a lane");
+    // The bug must be found fast — a fuzzer that needs thousands of
+    // cases to see a dropped lane is not adversarial enough.
+    assert!(case < 5, "bug first caught only at case {case}");
+
+    let shrunk = shrink::shrink_trace(&trace, buggy_reducer_caught);
+    if std::env::var("CONFORMANCE_BLESS").is_ok() {
+        shrink::emit_golden(&golden_dir(), "buggy-reducer-min", &shrunk);
+    }
+    let golden = shrink::load_golden(&golden_dir().join("buggy-reducer-min.json"));
+    assert_eq!(
+        shrunk, golden,
+        "shrinker no longer reproduces the checked-in minimal trace; \
+         re-bless with CONFORMANCE_BLESS=1 if the change is intentional"
+    );
+
+    // The golden still bites the buggy reducer, is minimal, and is
+    // perfectly fine under the *real* reducers.
+    assert!(buggy_reducer_caught(&golden));
+    assert_eq!(golden.warps().len(), 1, "golden should be one warp");
+    assert_eq!(
+        golden.warps()[0].instrs.len(),
+        1,
+        "golden should be one instruction"
+    );
+    oracle::check_trace(&golden).expect("real reducers must pass on the golden");
+}
+
+#[test]
+fn goldens_pass_the_oracle_and_all_invariants() {
+    let dir = golden_dir();
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let trace = shrink::load_golden(&path);
+            oracle::check_trace(&trace).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            invariants::check_trace(&GpuConfig::tiny(), &trace)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 1, "no goldens found in {}", dir.display());
+}

@@ -1,0 +1,96 @@
+//! Metamorphic suite: conservation laws on fuzzed traces under fuzzed
+//! and preset GPU configurations, plus the trend invariants that
+//! cross-check the cycle simulator against the analytical model.
+//!
+//! Failures shrink to a minimal trace (re-checked under the same
+//! config), land in [`conformance::failure_dir`], and print the
+//! `(seed, case)` reproduction pair.
+
+use conformance::fuzz::Fuzzer;
+use conformance::{invariants, shrink};
+use gpu_sim::GpuConfig;
+
+/// Runs the per-trace invariant battery, shrinking on failure.
+fn check_or_shrink(cfg: &GpuConfig, trace: &warp_trace::KernelTrace, seed: u64, case: u64) {
+    if let Err(e) = invariants::check_trace(cfg, trace) {
+        let shrunk = shrink::shrink_trace(trace, |t| invariants::check_trace(cfg, t).is_err());
+        let out = shrink::emit_golden(
+            &conformance::failure_dir(),
+            &format!("invariant-s{seed:#x}-c{case}"),
+            &shrunk,
+        );
+        panic!(
+            "metamorphic invariant failed: {e}\n  \
+             reproduce: CONFORMANCE_SEED={seed:#x} (case {case})\n  \
+             shrunk trace: {}",
+            out.display()
+        );
+    }
+}
+
+#[test]
+fn conservation_laws_hold_on_fuzzed_configs() {
+    let seed = conformance::seed();
+    let iters = conformance::iters(12) as u64;
+    for case in 0..iters {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace();
+        let cfg = f.config();
+        check_or_shrink(&cfg, &trace, seed, case);
+    }
+}
+
+#[test]
+fn conservation_laws_hold_on_both_gpu_presets() {
+    let seed = conformance::seed();
+    let iters = conformance::iters(6) as u64;
+    for case in 0..iters {
+        let mut f = Fuzzer::new(seed.wrapping_add(1), case);
+        let trace = f.trace();
+        for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
+            check_or_shrink(&cfg, &trace, seed.wrapping_add(1), case);
+        }
+    }
+}
+
+#[test]
+fn rop_throughput_is_monotone_on_fuzzed_traces() {
+    let seed = conformance::seed();
+    let iters = conformance::iters(10) as u64;
+    for case in 0..iters {
+        let mut f = Fuzzer::new(seed.wrapping_add(2), case);
+        let trace = f.trace();
+        if let Err(e) = invariants::check_rop_monotonicity(&trace) {
+            panic!(
+                "{e}\n  reproduce: CONFORMANCE_SEED={:#x} (case {case})",
+                seed.wrapping_add(2)
+            );
+        }
+    }
+}
+
+#[test]
+fn bigger_gpu_is_never_slower_on_spread_storms() {
+    // Single hot address: one partition bottleneck, a tie is legal.
+    invariants::check_config_ordering(24, 4, 1).unwrap();
+    // Mildly spread: ordering must hold, tie still legal.
+    invariants::check_config_ordering(24, 4, 4).unwrap();
+    // Widely spread: the extra partitions must actually pay off.
+    invariants::check_config_ordering(32, 4, 64).unwrap();
+}
+
+#[test]
+fn adaptive_routing_never_loses_on_hot_storms() {
+    for cfg in [
+        GpuConfig::tiny(),
+        GpuConfig::rtx4090_sim(),
+        GpuConfig::rtx3060_sim(),
+    ] {
+        invariants::check_adaptive_wins_contended(&cfg, 24, 4).unwrap();
+    }
+}
+
+#[test]
+fn balancing_threshold_crossover_direction_holds() {
+    invariants::check_threshold_crossover(&GpuConfig::rtx3060_sim()).unwrap();
+}

@@ -43,9 +43,18 @@ pub(crate) struct SmPort<'a> {
 impl SmPort<'_> {
     /// Whether a request of `size` units fits in `partition`'s input
     /// buffer, judging by the snapshot plus this SM's own traffic.
+    ///
+    /// A request larger than the whole buffer is admitted once the
+    /// buffer is empty (store-and-forward of an oversized packet);
+    /// otherwise a 32-lane transaction aimed at a sub-warp-sized buffer
+    /// could never be accepted and the machine would livelock against
+    /// an *empty* queue. For every size within capacity the plain
+    /// headroom check governs, so timing on realistic configurations is
+    /// unchanged.
     pub fn can_accept(&self, partition: u32, size: u32) -> bool {
         let p = partition as usize;
-        self.occ[p].load(Ordering::Relaxed) + self.sent[p] + size <= self.capacity
+        let used = self.occ[p].load(Ordering::Relaxed) + self.sent[p];
+        used + size <= self.capacity || used == 0
     }
 
     /// Admits a request (caller must have checked [`Self::can_accept`]).
@@ -292,15 +301,19 @@ impl LsuQueue {
         }
     }
 
+    /// Like the partition port, an empty queue accepts even a request
+    /// larger than its whole capacity (store-and-forward), otherwise a
+    /// full-warp memory instruction could never issue against a
+    /// sub-warp-sized queue and the warp would stall forever.
     pub fn can_accept(&self, size: u32) -> bool {
-        self.occupancy + size <= self.capacity
+        self.occupancy + size <= self.capacity || self.occupancy == 0
     }
 
     /// Acceptance check with extra reserved headroom (used by the ARC
     /// reduction units, whose single-value emissions must not deadlock
     /// behind the bulk traffic they replace).
     pub fn can_accept_reserved(&self, size: u32, reserve: u32) -> bool {
-        self.occupancy + size <= self.capacity + reserve
+        self.occupancy + size <= self.capacity + reserve || self.occupancy == 0
     }
 
     pub fn occupancy(&self) -> u32 {
@@ -609,9 +622,22 @@ mod tests {
         let parts = vec![MemPartition::new(&cfg)];
         let cap = cfg.partition_queue_capacity;
         let mut tp = TestPort::new(&parts, cap);
-        let port = tp.port();
+        let mut port = tp.port();
         assert!(port.can_accept(0, cap));
-        assert!(!port.can_accept(0, cap + 1));
+        assert!(
+            port.can_accept(0, cap + 1),
+            "an oversized packet streams through an empty buffer"
+        );
+        port.push(MemReq {
+            size: 1,
+            partition: 0,
+            addr: 0,
+            kind: ReqKind::Atomic,
+        });
+        assert!(
+            !port.can_accept(0, cap),
+            "once occupied, capacity governs again"
+        );
     }
 
     #[test]
@@ -710,6 +736,37 @@ mod tests {
         assert!(lsu.is_empty());
         assert_eq!(parts[1].occupancy(), 2);
         assert_eq!(c.icnt_flits, 2);
+    }
+
+    #[test]
+    fn oversized_request_streams_through_tiny_partition_buffer() {
+        // Found by the conformance fuzzer: a full-warp (size-32) atomic
+        // aimed at a partition buffer of capacity 1 used to fail
+        // admission forever and livelock the whole machine against an
+        // empty queue.
+        let mut cfg = GpuConfig::tiny();
+        cfg.partition_queue_capacity = 1;
+        let mut lsu = LsuQueue::new(64);
+        let mut parts = vec![MemPartition::new(&cfg)];
+        let mut c = counters();
+        lsu.push(
+            MemReq {
+                size: 32,
+                partition: 0,
+                addr: 0,
+                kind: ReqKind::Atomic,
+            },
+            &mut c,
+        );
+        let mut buf = None;
+        let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+        lsu.drain(32 * 4, &mut buf, &mut tp.port(), &mut c);
+        tp.deliver(&mut parts);
+        assert!(lsu.is_empty(), "oversized head must stream through");
+        assert_eq!(parts[0].occupancy(), 32);
+        // But it must still wait its turn behind queued traffic.
+        let mut tp = TestPort::new(&parts, cfg.partition_queue_capacity);
+        assert!(!tp.port().can_accept(0, 32));
     }
 
     #[test]

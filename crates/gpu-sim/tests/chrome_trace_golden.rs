@@ -1,0 +1,132 @@
+//! Golden-file round trip for [`KernelTelemetry::chrome_trace`]: the
+//! rendered JSON is pinned byte-for-byte under `tests/golden/`, must
+//! stay identical across `with_sm_workers` counts, and must satisfy the
+//! Chrome-trace ordering contract (per-track timestamps never run
+//! backwards).
+//!
+//! Re-bless with `CONFORMANCE_BLESS=1 cargo test -p gpu-sim --test
+//! chrome_trace_golden` after an *intentional* format change.
+
+use std::path::{Path, PathBuf};
+
+use gpu_sim::{AtomicPath, GpuConfig, Simulator, TelemetryConfig};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json")
+}
+
+/// Small but non-trivial: two warps of mixed compute/load/atomic work so
+/// the trace has counter series, stall series, and warp spans on more
+/// than one subcore.
+fn golden_trace() -> KernelTrace {
+    let warps = (0..2)
+        .map(|wi| {
+            let mut b = WarpTraceBuilder::new();
+            for i in 0..3 {
+                b.compute_fp32(1);
+                b.load(1);
+                b.atomic(AtomicInstr::same_address(
+                    0x100 + (wi * 3 + i) % 2 * 0x40,
+                    &[0.25; 32],
+                ));
+            }
+            b.store(1);
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("chrome-golden", KernelKind::GradCompute, warps)
+}
+
+fn render(workers: usize) -> String {
+    let (_, tel) = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)
+        .expect("tiny config validates")
+        .with_sm_workers(workers)
+        .with_telemetry(TelemetryConfig::every(4))
+        .run_with_telemetry(&golden_trace())
+        .expect("golden trace simulates");
+    tel.expect("telemetry enabled").chrome_trace()
+}
+
+#[test]
+fn chrome_trace_matches_golden_across_worker_counts() {
+    let json = render(1);
+    let path = golden_path();
+    if std::env::var("CONFORMANCE_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (bless with CONFORMANCE_BLESS=1)", path.display()));
+    assert_eq!(
+        json, golden,
+        "chrome_trace bytes drifted from the checked-in golden; \
+         re-bless with CONFORMANCE_BLESS=1 if the change is intentional"
+    );
+    for workers in [2, 8] {
+        assert_eq!(
+            render(workers),
+            golden,
+            "chrome_trace must not depend on ARC_SIM_WORKERS ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn golden_round_trips_and_timestamps_never_run_backwards() {
+    let json = std::fs::read_to_string(golden_path())
+        .unwrap_or_else(|e| panic!("{e} (bless with CONFORMANCE_BLESS=1)"));
+    let v: serde::Value = serde_json::from_str(&json).expect("golden parses as JSON");
+    // Round trip: what the simulator renders now parses to the same
+    // value tree as the checked-in bytes.
+    let fresh: serde::Value = serde_json::from_str(&render(1)).unwrap();
+    assert_eq!(v, fresh, "parsed golden diverged from a fresh render");
+
+    let events = v
+        .field("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let str_of = |ev: &serde::Value, k: &str| match ev.field(k) {
+        Ok(serde::Value::Str(s)) => s.clone(),
+        other => panic!("event field {k}: {other:?}"),
+    };
+    let uint_of = |ev: &serde::Value, k: &str| match ev.field(k) {
+        Ok(&serde::Value::UInt(n)) => n,
+        Ok(&serde::Value::Int(n)) if n >= 0 => n as u64,
+        other => panic!("event field {k}: {other:?}"),
+    };
+
+    // Chrome-trace contract: within one track — a (pid, tid, name)
+    // triple for counter samples, a (pid, tid) pair for duration events
+    // — timestamps must be monotonically non-decreasing.
+    let mut last_ts: std::collections::BTreeMap<(u64, u64, String), u64> =
+        std::collections::BTreeMap::new();
+    let mut counters = 0u32;
+    let mut spans = 0u32;
+    for ev in events {
+        let ph = str_of(ev, "ph");
+        let key = match ph.as_str() {
+            "C" => {
+                counters += 1;
+                (uint_of(ev, "pid"), uint_of(ev, "tid"), str_of(ev, "name"))
+            }
+            "X" => {
+                spans += 1;
+                (uint_of(ev, "pid"), uint_of(ev, "tid"), String::new())
+            }
+            _ => continue,
+        };
+        let ts = uint_of(ev, "ts");
+        if let Some(&prev) = last_ts.get(&key) {
+            assert!(
+                ts >= prev,
+                "track {key:?}: ts {ts} after ts {prev} runs backwards"
+            );
+        }
+        last_ts.insert(key, ts);
+    }
+    assert!(counters > 0, "golden must carry counter samples");
+    assert!(spans > 0, "golden must carry warp spans");
+}

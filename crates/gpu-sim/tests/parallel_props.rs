@@ -1,0 +1,57 @@
+//! Property tests for the job pool behind the experiment harness:
+//! `par_map` must behave like a plain `map` regardless of worker count,
+//! and a panicking job must not corrupt or discard its siblings' work.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use gpu_sim::par_map;
+
+/// Order and values match a serial map for every worker count, even when
+/// item runtimes vary enough that workers finish out of order.
+#[test]
+fn result_order_matches_input_order_for_any_worker_count() {
+    let items: Vec<usize> = (0..64).collect();
+    let expected: Vec<usize> = items.iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).collect();
+    for jobs in [1, 2, 8] {
+        let out = par_map(jobs, items.clone(), |x| {
+            // Stagger runtimes so later indices routinely *complete*
+            // before earlier ones on multi-worker runs.
+            if x % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            x.wrapping_mul(0x9E37_79B9)
+        });
+        assert_eq!(out, expected, "jobs={jobs}: order or values diverged");
+    }
+}
+
+/// A panic in one job propagates to the caller (no silent loss), but the
+/// surviving workers still drain every other item: exactly `n - 1` jobs
+/// run to completion.
+#[test]
+fn panicking_job_does_not_poison_sibling_results() {
+    const N: usize = 16;
+    const BAD: usize = 7;
+    let completed = AtomicUsize::new(0);
+    // The worker thread's panic is expected; keep it out of test output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        par_map(4, (0..N).collect::<Vec<_>>(), |i| {
+            if i == BAD {
+                panic!("job {i} exploded");
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+            i
+        })
+    }));
+    std::panic::set_hook(prev_hook);
+    assert!(result.is_err(), "the job's panic must reach the caller");
+    assert_eq!(
+        completed.load(Ordering::SeqCst),
+        N - 1,
+        "every job except the panicking one must still complete"
+    );
+}

@@ -30,6 +30,13 @@ cargo build --release
 echo "== cargo test (ARC_JOBS=2) =="
 ARC_JOBS=2 cargo test -q
 
+echo "== conformance suite (fuzzer + oracle + metamorphic invariants) =="
+# Fixed seed so a CI failure is reproducible verbatim on any machine:
+#   CONFORMANCE_SEED=0xA12C2025 cargo test -p conformance
+# Shrunk minimal reproducers for any failure land in
+# target/conformance-failures/ (uploaded as a CI artifact).
+CONFORMANCE_SEED=0xA12C2025 cargo test -q -p conformance
+
 echo "== determinism matrix (ARC_JOBS x ARC_SIM_WORKERS) =="
 # The probe simulates a fixed cell grid with telemetry off and on and
 # prints one canonical line per cell; every host-parallelism combination

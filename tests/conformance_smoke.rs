@@ -1,0 +1,32 @@
+//! Tier-1 smoke run of the conformance subsystem: a small, bounded
+//! slice of the fuzzer → oracle → invariant pipeline so the top-level
+//! `cargo test` exercises it on every change. The full-budget suite
+//! lives in `crates/conformance/tests/` (`cargo test -p conformance`).
+
+use conformance::fuzz::Fuzzer;
+use conformance::{invariants, oracle};
+use gpu_sim::GpuConfig;
+
+#[test]
+fn fuzz_oracle_invariant_pipeline_smoke() {
+    let seed = conformance::seed();
+    let iters = conformance::iters(4) as u64;
+    let cfg = GpuConfig::tiny();
+    for case in 0..iters {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace();
+        oracle::check_trace(&trace).unwrap_or_else(|e| {
+            panic!("oracle (reproduce: CONFORMANCE_SEED={seed:#x}, case {case}): {e}")
+        });
+        invariants::check_trace(&cfg, &trace).unwrap_or_else(|e| {
+            panic!("invariants (reproduce: CONFORMANCE_SEED={seed:#x}, case {case}): {e}")
+        });
+    }
+}
+
+#[test]
+fn trend_invariants_smoke() {
+    invariants::check_adaptive_wins_contended(&GpuConfig::tiny(), 16, 4)
+        .unwrap_or_else(|e| panic!("{e}"));
+    invariants::check_config_ordering(16, 4, 32).unwrap_or_else(|e| panic!("{e}"));
+}
