@@ -17,14 +17,23 @@
 //! compared against the most recent recorded sample with the same
 //! scale, job count, and core count, and the run fails (exit 1, sample
 //! not recorded) if serial throughput dropped by more than `TOL`
-//! (e.g. `0.2` = 20%). With no comparable baseline the gate records
-//! the sample and passes. The legacy single-object format of
-//! `BENCH_parallel_sim.json` is read transparently as a one-sample
-//! history.
+//! (e.g. `0.2` = 20%) at either parallelism level **or** on any
+//! fast-forward workload's FF-on throughput. With no comparable
+//! baseline the gate records the sample and passes. The legacy formats
+//! of `BENCH_parallel_sim.json` (single object, and trajectories
+//! recorded before the fast-forward section existed) are read
+//! transparently.
 //!
-//! Parallel and serial runs produce bit-identical reports (see the
-//! determinism tests); only wall-clock time differs. On a single-core
-//! machine both speedups are expected to hover around 1.0×.
+//! Besides the two parallelism levels, each sample records the
+//! event-driven fast-forward engine (`ARC_FF`, see `gpu-sim`): for a
+//! hot-address storm, a full-densify sweep, and the 3D-DR gradient
+//! kernel, the skip ratio (`cycles_stepped` vs `cycles_simulated`) and
+//! the FF-on / FF-off wall-clock ratio.
+//!
+//! Parallel and serial runs — and FF-on and FF-off runs — produce
+//! bit-identical reports (see the determinism and conformance tests);
+//! only wall-clock time differs. On a single-core machine both
+//! parallelism speedups are expected to hover around 1.0×.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -34,7 +43,8 @@ use serde::{Deserialize, Serialize};
 use arc_bench::harness::Cell;
 use arc_bench::Harness;
 use arc_workloads::Technique;
-use gpu_sim::{GpuConfig, Simulator};
+use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
 
 const DEFAULT_OUT: &str = "BENCH_parallel_sim.json";
 const NOTE: &str = "results are bit-identical between serial and parallel runs; \
@@ -67,7 +77,41 @@ impl LevelResult {
     }
 }
 
-/// One measurement of both parallelism levels.
+/// One fast-forward measurement: the same kernel run with the
+/// event-driven engine on and off, plus the engine's own accounting.
+#[derive(Clone, Serialize, Deserialize)]
+struct FastForwardResult {
+    label: String,
+    cycles_simulated: u64,
+    /// Cycles the FF-on run actually stepped one at a time; the rest
+    /// were covered by jumps and the lane active-set.
+    cycles_stepped: u64,
+    /// `1 - cycles_stepped / cycles_simulated`.
+    skip_ratio: f64,
+    ff_on_s: f64,
+    ff_off_s: f64,
+    ff_on_cycles_per_sec: f64,
+    /// FF-off wall-clock over FF-on wall-clock (higher is better).
+    ff_speedup: f64,
+}
+
+impl FastForwardResult {
+    fn new(label: String, stats: gpu_sim::EngineStats, ff_on_s: f64, ff_off_s: f64) -> Self {
+        FastForwardResult {
+            label,
+            cycles_simulated: stats.cycles_simulated,
+            cycles_stepped: stats.cycles_stepped,
+            skip_ratio: stats.skip_ratio(),
+            ff_on_s,
+            ff_off_s,
+            ff_on_cycles_per_sec: stats.cycles_simulated as f64 / ff_on_s,
+            ff_speedup: ff_off_s / ff_on_s,
+        }
+    }
+}
+
+/// One measurement of both parallelism levels and the fast-forward
+/// engine.
 #[derive(Clone, Serialize, Deserialize)]
 struct Sample {
     scale: f64,
@@ -75,6 +119,7 @@ struct Sample {
     jobs: usize,
     cell_level: LevelResult,
     sm_level: LevelResult,
+    fast_forward: Vec<FastForwardResult>,
 }
 
 impl Sample {
@@ -106,6 +151,40 @@ impl Trajectory {
     }
 }
 
+/// A sample recorded before the fast-forward section existed. The JSON
+/// shim errors on missing fields (no `#[serde(default)]`), so the old
+/// layout is parsed explicitly and migrated with an empty `fast_forward`
+/// list — the gate then simply has no FF baseline to compare against.
+#[derive(Deserialize)]
+struct LegacySample {
+    scale: f64,
+    machine_cores: usize,
+    jobs: usize,
+    cell_level: LevelResult,
+    sm_level: LevelResult,
+}
+
+impl LegacySample {
+    fn migrate(self) -> Sample {
+        Sample {
+            scale: self.scale,
+            machine_cores: self.machine_cores,
+            jobs: self.jobs,
+            cell_level: self.cell_level,
+            sm_level: self.sm_level,
+            fast_forward: Vec::new(),
+        }
+    }
+}
+
+/// A trajectory whose history predates the fast-forward section.
+#[derive(Deserialize)]
+struct LegacyTrajectory {
+    bench: String,
+    note: String,
+    history: Vec<LegacySample>,
+}
+
 /// The pre-trajectory single-object layout, kept readable so existing
 /// baselines seed the history.
 #[derive(Deserialize)]
@@ -126,21 +205,87 @@ fn load_trajectory(path: &str) -> Trajectory {
     if let Ok(t) = serde_json::from_str::<Trajectory>(&data) {
         return t;
     }
+    if let Ok(old) = serde_json::from_str::<LegacyTrajectory>(&data) {
+        return Trajectory {
+            bench: old.bench,
+            note: old.note,
+            history: old.history.into_iter().map(LegacySample::migrate).collect(),
+        };
+    }
     if let Ok(old) = serde_json::from_str::<LegacySmoke>(&data) {
         return Trajectory {
             bench: old.bench,
             note: old.note,
-            history: vec![Sample {
+            history: vec![LegacySample {
                 scale: old.scale,
                 machine_cores: old.machine_cores,
                 jobs: old.jobs,
                 cell_level: old.cell_level,
                 sm_level: old.sm_level,
-            }],
+            }
+            .migrate()],
         };
     }
     eprintln!("warning: could not parse {path}; starting a fresh history");
     Trajectory::empty()
+}
+
+/// A hot-address storm: every warp hammers one gradient word with
+/// full-warp atomics — one partition's ROP queue absorbs everything.
+fn storm_trace(warps: usize, atomics: usize) -> KernelTrace {
+    let w = (0..warps)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            for _ in 0..atomics {
+                b.compute_fp32(1)
+                    .atomic(AtomicInstr::same_address(0x100, &[0.5; 32]));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("ff-hot-storm", KernelKind::GradCompute, w)
+}
+
+/// A full-densify sweep: full-warp single-address atomics, each
+/// instruction on a distinct word, spreading across partitions.
+fn densify_trace(warps: usize, atomics: usize) -> KernelTrace {
+    let w = (0..warps)
+        .map(|wi| {
+            let mut b = WarpTraceBuilder::new();
+            for a in 0..atomics {
+                let addr = ((wi * atomics + a) as u64) * 256;
+                b.compute_fp32(1)
+                    .atomic(AtomicInstr::same_address(addr, &[0.5; 32]));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("ff-full-densify", KernelKind::GradCompute, w)
+}
+
+/// Times one kernel with fast-forward on and off (serial SM loop, so
+/// the measurement isolates the FF engine from worker scheduling) and
+/// checks the reports agree bit-for-bit.
+fn measure_ff(label: &str, cfg: &GpuConfig, trace: &KernelTrace) -> FastForwardResult {
+    let run = |ff: bool| {
+        let sim = Simulator::new(cfg.clone(), AtomicPath::Baseline)
+            .expect("valid config")
+            .with_fast_forward(ff);
+        let start = Instant::now();
+        let (report, _, stats) = sim.run_detailed(trace).expect("kernel drains");
+        (start.elapsed().as_secs_f64(), report, stats)
+    };
+    let (ff_on_s, on_report, on_stats) = run(true);
+    let (ff_off_s, off_report, off_stats) = run(false);
+    assert_eq!(
+        on_report, off_report,
+        "{label}: fast-forward changed results"
+    );
+    assert_eq!(
+        off_stats.cycles_stepped, off_stats.cycles_simulated,
+        "{label}: FF-off run skipped cycles"
+    );
+    FastForwardResult::new(label.to_string(), on_stats, ff_on_s, ff_off_s)
 }
 
 fn main() -> ExitCode {
@@ -249,6 +394,23 @@ fn main() -> ExitCode {
     let (sm_parallel_s, sm_cycles_par) = run_sim(jobs);
     assert_eq!(sm_cycles, sm_cycles_par, "parallel run changed results");
 
+    // --- Level 3: the event-driven fast-forward engine. ---------------
+    let atomics = ((64.0 * scale).round() as usize).max(4);
+    let mut fast_forward = Vec::new();
+    for (label, trace) in [
+        ("hot-address storm", storm_trace(24, atomics)),
+        ("full densify", densify_trace(24, atomics)),
+        ("3D-DR gradcomp", traces.gradcomp.clone()),
+    ] {
+        println!("fast-forward: {label}...");
+        let r = measure_ff(label, &cfg, &trace);
+        println!(
+            "  skip ratio {:.3} ({} of {} cycles stepped), {:.2}x wall-clock",
+            r.skip_ratio, r.cycles_stepped, r.cycles_simulated, r.ff_speedup
+        );
+        fast_forward.push(r);
+    }
+
     let sample = Sample {
         scale,
         machine_cores: cores,
@@ -265,6 +427,7 @@ fn main() -> ExitCode {
             sm_serial_s,
             sm_parallel_s,
         ),
+        fast_forward,
     };
     println!(
         "{}",
@@ -305,9 +468,32 @@ fn main() -> ExitCode {
                         regressed = true;
                     }
                 }
+                // Fast-forward gate: the FF-on number is the one every
+                // consumer actually sees (FF defaults on), so it is the
+                // gated quantity. Labels only present on one side (e.g.
+                // a migrated pre-FF baseline) are skipped.
+                for new in &sample.fast_forward {
+                    let Some(old) = prev.fast_forward.iter().find(|o| o.label == new.label) else {
+                        continue;
+                    };
+                    let floor = old.ff_on_cycles_per_sec * (1.0 - tol);
+                    let ratio = new.ff_on_cycles_per_sec / old.ff_on_cycles_per_sec;
+                    println!(
+                        "gate: ff {} {:.0} cycles/s vs baseline {:.0} \
+                         ({:+.1}%, floor {:.0})",
+                        new.label,
+                        new.ff_on_cycles_per_sec,
+                        old.ff_on_cycles_per_sec,
+                        100.0 * (ratio - 1.0),
+                        floor
+                    );
+                    if new.ff_on_cycles_per_sec < floor {
+                        regressed = true;
+                    }
+                }
                 if regressed {
                     eprintln!(
-                        "gate: FAIL — serial throughput regressed more than {:.0}%; \
+                        "gate: FAIL — throughput regressed more than {:.0}%; \
                          sample not recorded",
                         100.0 * tol
                     );

@@ -42,16 +42,22 @@ pub enum TraceShape {
     ScatterMix,
     /// Multi-parameter bundles, mixing uniform and non-uniform loops.
     MultiParamBundle,
+    /// A handful of warps separated by huge load-latency gaps — almost
+    /// every cycle is dead time, the shape where the event-driven
+    /// fast-forward engine must shine and where off-by-one jump bugs
+    /// hide.
+    SparseIdle,
 }
 
 impl TraceShape {
     /// All shapes in generation order.
-    pub const ALL: [TraceShape; 5] = [
+    pub const ALL: [TraceShape; 6] = [
         TraceShape::Degenerate,
         TraceShape::HotAddressStorm,
         TraceShape::FullDensify,
         TraceShape::ScatterMix,
         TraceShape::MultiParamBundle,
+        TraceShape::SparseIdle,
     ];
 
     /// Short label used in trace names and failure messages.
@@ -62,6 +68,7 @@ impl TraceShape {
             TraceShape::FullDensify => "full-densify",
             TraceShape::ScatterMix => "scatter-mix",
             TraceShape::MultiParamBundle => "multi-param",
+            TraceShape::SparseIdle => "sparse-idle",
         }
     }
 }
@@ -110,6 +117,7 @@ impl Fuzzer {
             TraceShape::FullDensify => self.full_densify_warps(),
             TraceShape::ScatterMix => self.scatter_warps(),
             TraceShape::MultiParamBundle => self.multi_param_warps(),
+            TraceShape::SparseIdle => self.sparse_idle_warps(),
         };
         KernelTrace::new(name, KernelKind::GradCompute, warps)
     }
@@ -129,6 +137,13 @@ impl Fuzzer {
         cfg.redunit_queue_capacity = *pick(&mut self.rng, &[1, 4, 32]);
         cfg.ldst_dispatch_width = *pick(&mut self.rng, &[1, 8, 32]);
         cfg.max_warps_per_subcore = *pick(&mut self.rng, &[1, 4, 16]);
+        // Load-latency extremes (drawn after the queue knobs so older
+        // seed/case streams keep their queue geometry): multi-thousand
+        // cycle DRAM gaps make almost every cycle dead time, which is
+        // exactly where fast-forward jump arithmetic must stay exact.
+        cfg.l2_load_latency = *pick(&mut self.rng, &[20, 200, 2000]);
+        cfg.dram_extra_latency = *pick(&mut self.rng, &[30, 500, 5000]);
+        cfg.l2_hit_rate = *pick(&mut self.rng, &[1.0, 0.97, 0.5]);
         cfg.validate().expect("fuzzed config must stay valid");
         cfg
     }
@@ -274,6 +289,37 @@ impl Fuzzer {
             .collect()
     }
 
+    fn sparse_idle_warps(&mut self) -> Vec<WarpTrace> {
+        // Deliberately tiny population: with 1-3 warps spread across the
+        // machine, most sub-cores idle and the few busy ones spend their
+        // time parked on outstanding loads. Each iteration is a load
+        // dependency chain with an optional trickle of compute and a
+        // rare single-lane atomic, so the simulated-cycle count is
+        // dominated by (fuzzed, possibly multi-thousand-cycle) load
+        // latency rather than throughput.
+        let warps = self.rng.gen_range(1..=3usize);
+        (0..warps)
+            .map(|_| {
+                let mut b = WarpTraceBuilder::new();
+                for _ in 0..self.rng.gen_range(2..=5usize) {
+                    b.load(self.rng.gen_range(1..=2u16));
+                    if self.rng.gen_bool(0.5) {
+                        b.compute_fp32(1);
+                    }
+                    if self.rng.gen_bool(0.3) {
+                        let lane = self.rng.gen_range(0..WARP_SIZE as u8);
+                        b.atomic(AtomicInstr::new(vec![LaneOp {
+                            lane,
+                            addr: self.addr(),
+                            value: self.value(),
+                        }]));
+                    }
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
     // --- primitive draws ------------------------------------------------
 
     /// A word-aligned gradient address from a small pool, so distinct
@@ -323,11 +369,11 @@ mod tests {
 
     #[test]
     fn different_cases_differ() {
-        // Shapes repeat every 5 cases, so compare two cases of the same
+        // Shapes repeat every 6 cases, so compare two cases of the same
         // shape; the RNG stream must still differ.
         let a = Fuzzer::new(42, 1).trace();
-        let b = Fuzzer::new(42, 6).trace();
-        assert_eq!(Fuzzer::new(42, 1).shape(), Fuzzer::new(42, 6).shape());
+        let b = Fuzzer::new(42, 7).trace();
+        assert_eq!(Fuzzer::new(42, 1).shape(), Fuzzer::new(42, 7).shape());
         assert_ne!(a, b);
     }
 
@@ -359,6 +405,22 @@ mod tests {
             .collect();
         addrs.dedup();
         assert_eq!(addrs.len(), 1, "hot storm must hammer one address");
+    }
+
+    #[test]
+    fn sparse_idle_is_load_dominated() {
+        let mut f = Fuzzer::new(3, 5); // case 5 = SparseIdle
+        assert_eq!(f.shape(), TraceShape::SparseIdle);
+        let t = f.trace();
+        assert!(t.warps().len() <= 3, "sparse-idle keeps the machine empty");
+        for w in t.warps() {
+            let loads = w
+                .instrs
+                .iter()
+                .filter(|i| matches!(i, warp_trace::Instr::Load { .. }))
+                .count();
+            assert!(loads >= 2, "each warp chains at least two loads");
+        }
     }
 
     #[test]

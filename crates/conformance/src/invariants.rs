@@ -30,7 +30,9 @@
 
 use arc_core::analysis::{baseline_cycles, predicted_hw_speedup};
 use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig};
-use gpu_sim::{AtomicPath, GpuConfig, KernelReport, SimCounters, Simulator, TelemetryConfig};
+use gpu_sim::{
+    AtomicPath, GpuConfig, KernelReport, KernelTelemetry, SimCounters, Simulator, TelemetryConfig,
+};
 use warp_trace::{AtomicInstr, KernelKind, KernelTrace, LaneOp, TraceStats, WarpTraceBuilder};
 
 /// How a metamorphic invariant failed.
@@ -472,6 +474,61 @@ pub fn check_worker_determinism(
     Ok(())
 }
 
+/// **Invariant `fast-forward`** — the event-driven fast-forward engine
+/// is an observationally pure optimization: with `ARC_FF=1` and
+/// `ARC_FF=0` semantics (forced through `with_fast_forward`, so the
+/// check is independent of the live environment) the simulator produces
+/// byte-identical [`KernelReport`]s, telemetry, and chrome-trace
+/// exports, on every atomic path and across `ARC_SIM_WORKERS`-style
+/// worker counts 1, 2 and 8.
+pub fn check_fast_forward(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), InvariantFailure> {
+    for path in AtomicPath::ALL {
+        for workers in [1usize, 2, 8] {
+            let engine = |ff: bool| {
+                Simulator::new(cfg.clone(), path)
+                    .map_err(|e| fail("sim-construct", format!("{path:?}: {e:?}")))?
+                    .with_sm_workers(workers)
+                    .with_fast_forward(ff)
+                    .with_telemetry(TelemetryConfig::every(4))
+                    .run_with_telemetry(trace)
+                    .map_err(|e| fail("sim-run", format!("{path:?}: {e:?}")))
+            };
+            let naive = engine(false)?;
+            let fast = engine(true)?;
+            if fast.0 != naive.0 {
+                return Err(fail(
+                    "fast-forward",
+                    format!(
+                        "{path:?}/{workers} workers: fast-forward report diverged from \
+                         the naive cycle loop"
+                    ),
+                ));
+            }
+            if fast.1 != naive.1 {
+                return Err(fail(
+                    "fast-forward",
+                    format!(
+                        "{path:?}/{workers} workers: fast-forward telemetry diverged \
+                         from the naive cycle loop"
+                    ),
+                ));
+            }
+            let naive_trace = naive.1.as_ref().map(KernelTelemetry::chrome_trace);
+            let fast_trace = fast.1.as_ref().map(KernelTelemetry::chrome_trace);
+            if fast_trace != naive_trace {
+                return Err(fail(
+                    "fast-forward",
+                    format!(
+                        "{path:?}/{workers} workers: fast-forward chrome-trace bytes \
+                         diverged from the naive cycle loop"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// **Invariant `telemetry-consistency`** — the telemetry layer is a
 /// view, not a second set of books: every counter series' cumulative
 /// total equals the corresponding [`KernelReport`] counter, stall
@@ -569,6 +626,7 @@ pub fn check_trace(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), Invariant
     flit_law(AtomicPath::ArcHw, &c)?;
     atomic_law(AtomicPath::ArcHw, &c, requests)?;
     check_worker_determinism(cfg, trace)?;
+    check_fast_forward(cfg, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::Baseline, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::ArcHw, trace)?;
     Ok(())

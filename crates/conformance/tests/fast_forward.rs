@@ -1,0 +1,103 @@
+//! Fast-forward equivalence suite: the event-driven cycle loop
+//! (`ARC_FF=1`) must be observationally indistinguishable from the
+//! naive one (`ARC_FF=0`) — same [`gpu_sim::KernelReport`], same
+//! telemetry, same chrome-trace bytes — on every fuzz shape, every
+//! atomic path, every preset, and across SM-worker counts.
+//!
+//! The shapes are exercised one-per-test (rather than folded into one
+//! loop) so a failure names the family immediately; each test sweeps
+//! several fuzz cases of its shape so the RNG varies masks, bundle
+//! widths, and queue geometry.
+
+use conformance::fuzz::{Fuzzer, TraceShape};
+use conformance::invariants;
+use gpu_sim::GpuConfig;
+
+/// Fuzz cases `base, base + ALL.len(), ...` all have the same shape;
+/// run each through the full FF-on/FF-off equivalence battery under its
+/// fuzzed config.
+fn shape_cases(shape: TraceShape, rounds: u64) {
+    let seed = conformance::seed();
+    let stride = TraceShape::ALL.len() as u64;
+    let base = TraceShape::ALL
+        .iter()
+        .position(|&s| s == shape)
+        .expect("shape is in ALL") as u64;
+    for round in 0..rounds {
+        let case = base + round * stride;
+        let mut f = Fuzzer::new(seed, case);
+        assert_eq!(f.shape(), shape);
+        let trace = f.trace();
+        let cfg = f.config();
+        if let Err(e) = invariants::check_fast_forward(&cfg, &trace) {
+            panic!("{e}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})");
+        }
+    }
+}
+
+#[test]
+fn ff_equivalence_degenerate() {
+    shape_cases(TraceShape::Degenerate, 3);
+}
+
+#[test]
+fn ff_equivalence_hot_storm() {
+    shape_cases(TraceShape::HotAddressStorm, 3);
+}
+
+#[test]
+fn ff_equivalence_full_densify() {
+    shape_cases(TraceShape::FullDensify, 3);
+}
+
+#[test]
+fn ff_equivalence_scatter_mix() {
+    shape_cases(TraceShape::ScatterMix, 3);
+}
+
+#[test]
+fn ff_equivalence_multi_param() {
+    shape_cases(TraceShape::MultiParamBundle, 3);
+}
+
+#[test]
+fn ff_equivalence_sparse_idle() {
+    // The headline shape for fast-forward: huge latency gaps mean the
+    // engine spends most of the run jumping, so give it extra rounds.
+    shape_cases(TraceShape::SparseIdle, 5);
+}
+
+#[test]
+fn ff_equivalence_on_full_presets() {
+    // The fuzzed configs above are tiny-based; also pin equivalence on
+    // the real machine models (many SMs, deep queues, realistic
+    // latencies) with one trace per shape.
+    let seed = conformance::seed().wrapping_add(3);
+    for (case, _) in TraceShape::ALL.iter().enumerate() {
+        let trace = Fuzzer::new(seed, case as u64).trace();
+        for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
+            if let Err(e) = invariants::check_fast_forward(&cfg, &trace) {
+                panic!(
+                    "{e} on {}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})",
+                    cfg.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ff_equivalence_on_atomred_conversions() {
+    // `atomred` kernels drive the ARC-HW reduction units — the issue
+    // path with the most intricate LDST-port bookkeeping — so check the
+    // converted traces explicitly.
+    let seed = conformance::seed().wrapping_add(4);
+    for case in 0..TraceShape::ALL.len() as u64 {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace().with_atomred();
+        let cfg = f.config();
+        if let Err(e) = invariants::check_fast_forward(&cfg, &trace) {
+            panic!("{e}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})");
+        }
+    }
+}

@@ -35,9 +35,9 @@ pub mod telemetry;
 
 pub use config::GpuConfig;
 pub use energy::{EnergyModel, EnergyReport};
-pub use parallel::{default_jobs, par_map};
+pub use parallel::{default_fast_forward, default_jobs, par_map};
 pub use sim::{AtomicPath, SimError, Simulator};
-pub use stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};
+pub use stats::{EngineStats, IterationReport, KernelReport, SimCounters, StallBreakdown};
 pub use telemetry::{
     HistogramReport, KernelTelemetry, MetricKind, MetricSeries, MetricsRegistry, TelemetryConfig,
     TelemetrySummary, WarpSpan,

@@ -35,6 +35,18 @@ pub fn default_sim_workers() -> usize {
     env_count("ARC_SIM_WORKERS").unwrap_or(1)
 }
 
+/// Default for the event-driven fast-forward engine (see `sim.rs`):
+/// enabled unless the `ARC_FF` environment variable is set to `0`,
+/// `false`, or `off`. Fast-forward never changes simulation results —
+/// only wall-clock time — so, like the worker knobs above, it lives
+/// outside [`crate::GpuConfig`].
+pub fn default_fast_forward() -> bool {
+    match std::env::var("ARC_FF") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
+        Err(_) => true,
+    }
+}
+
 fn env_count(var: &str) -> Option<usize> {
     std::env::var(var)
         .ok()?
@@ -102,6 +114,23 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fast_forward_env_parsing() {
+        // `default_fast_forward` reads the live environment, so pin the
+        // parsing logic on the match arms directly.
+        let parse = |v: Option<&str>| match v {
+            Some(v) => !matches!(v.trim(), "0" | "false" | "off"),
+            None => true,
+        };
+        assert!(parse(None));
+        assert!(parse(Some("1")));
+        assert!(parse(Some("on")));
+        assert!(!parse(Some("0")));
+        assert!(!parse(Some(" 0 ")));
+        assert!(!parse(Some("false")));
+        assert!(!parse(Some("off")));
+    }
 
     #[test]
     fn preserves_input_order() {

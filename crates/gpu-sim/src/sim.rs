@@ -40,8 +40,8 @@ use arc_core::coalesce_atomic_sizes_into;
 use crate::config::GpuConfig;
 use crate::energy::EnergyModel;
 use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind, SmPort};
-use crate::parallel::default_sim_workers;
-use crate::stats::{IterationReport, KernelReport, SimCounters, StallBreakdown};
+use crate::parallel::{default_fast_forward, default_sim_workers};
+use crate::stats::{EngineStats, IterationReport, KernelReport, SimCounters, StallBreakdown};
 use crate::telemetry::{KernelTelemetry, SampleSnapshot, TelemetryConfig, TelemetryState};
 
 /// How the GPU handles atomic traffic — the paper's evaluated designs.
@@ -143,6 +143,7 @@ pub struct Simulator {
     path: AtomicPath,
     energy: EnergyModel,
     sm_workers: usize,
+    fast_forward: bool,
     telemetry: Option<TelemetryConfig>,
 }
 
@@ -165,6 +166,7 @@ impl Simulator {
             path,
             energy: EnergyModel::default(),
             sm_workers: default_sim_workers(),
+            fast_forward: default_fast_forward(),
             telemetry: None,
         })
     }
@@ -197,6 +199,24 @@ impl Simulator {
     /// The configured number of SM worker threads.
     pub fn sm_workers(&self) -> usize {
         self.sm_workers
+    }
+
+    /// Enables or disables the event-driven fast-forward engine: when no
+    /// SM can issue and every queue is idle, the cycle loop jumps
+    /// straight to the next event (load completion, LDST port release,
+    /// telemetry boundary) and bulk-credits the skipped stall cycles.
+    /// Defaults to the `ARC_FF` environment variable (on unless set to
+    /// `0`/`false`/`off`). Results are bit-identical either way — reports,
+    /// stall breakdowns, telemetry, and chrome traces all match the naive
+    /// loop exactly; only wall-clock time changes.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
+    }
+
+    /// Whether the fast-forward engine is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Enables telemetry collection (see [`crate::telemetry`]). Runs
@@ -237,14 +257,35 @@ impl Simulator {
         &self,
         trace: &KernelTrace,
     ) -> Result<(KernelReport, Option<KernelTelemetry>), SimError> {
+        self.run_detailed(trace).map(|(r, t, _)| (r, t))
+    }
+
+    /// Simulates one kernel like [`Simulator::run_with_telemetry`] and
+    /// additionally returns [`EngineStats`] describing how the cycle
+    /// loop ran (simulated vs. stepped cycles — the fast-forward skip
+    /// ratio). Engine stats are observability only and never feed back
+    /// into the report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ExceededMaxCycles`] if the kernel fails to drain.
+    pub fn run_detailed(
+        &self,
+        trace: &KernelTrace,
+    ) -> Result<(KernelReport, Option<KernelTelemetry>, EngineStats), SimError> {
         let mut m = Machine::new(
             &self.cfg,
             self.path,
             trace,
             self.sm_workers,
+            self.fast_forward,
             self.telemetry.as_ref(),
         );
         let cycles = m.run(trace)?;
+        let engine = EngineStats {
+            cycles_simulated: cycles,
+            cycles_stepped: m.cycles_stepped,
+        };
         let telemetry = m.telemetry.take().map(|t| t.finish(trace.name(), cycles));
         let counters = m.hub.counters;
         let stalls = m.hub.stalls;
@@ -271,6 +312,7 @@ impl Simulator {
                 issue_utilization,
             },
             telemetry,
+            engine,
         ))
     }
 
@@ -371,6 +413,13 @@ struct Shared<'a> {
     path: AtomicPath,
     lanes: Vec<Mutex<SmLane>>,
     occ: Vec<AtomicU32>,
+    /// Active-set membership per lane (fast-forward engine only). A lane
+    /// leaves the set in phase 4 when it is fully quiescent — no resident
+    /// warps, empty LSU/reduction units/buffer — and re-enters in phase 2
+    /// when dispatch is about to refill it. Workers read these flags
+    /// during the SM phase; only the coordinator writes them, and only in
+    /// serial phases, so the barriers order every access.
+    active: Vec<AtomicBool>,
 }
 
 /// State only the coordinator thread touches (serial phases).
@@ -386,12 +435,39 @@ struct Hub {
     counters: SimCounters,
     stalls: StallBreakdown,
     warps_remaining: u64,
+    /// First cycle each inactive lane has not yet been credited for
+    /// (fast-forward engine only). While a lane sits outside the active
+    /// set its `no_warp` stalls are owed but not yet booked; they are
+    /// settled lazily — at reactivation, at telemetry samples, and at end
+    /// of run — so quiescent lanes cost nothing per cycle.
+    idle_from: Vec<u64>,
+}
+
+/// Per-lane stall classification for one fast-forward span: how many
+/// sub-cores sit in each stall class while the span is skipped.
+#[derive(Clone, Copy, Default)]
+struct FfCredit {
+    lane: usize,
+    lsu_atomic: u32,
+    lsu_data: u32,
+    scoreboard: u32,
+    no_warp: u32,
 }
 
 struct Machine<'a> {
     shared: Shared<'a>,
     hub: Hub,
     sm_workers: usize,
+    /// Event-driven fast-forward enabled? Forced off under
+    /// `GPU_SIM_DEBUG` (the per-cycle debug trace must observe every
+    /// cycle).
+    ff: bool,
+    /// Cycles executed by the naive per-cycle loop (vs. skipped by
+    /// fast-forward jumps). Feeds [`EngineStats`].
+    cycles_stepped: u64,
+    /// Reused scratch for fast-forward span credits — no per-cycle
+    /// allocation.
+    ff_credits: Vec<FfCredit>,
     /// Telemetry collection state, driven exclusively from the serial
     /// coordinator phases so artifacts are identical for any worker
     /// count. `None` when telemetry is disabled — the per-cycle cost is
@@ -409,6 +485,7 @@ impl<'a> Machine<'a> {
         path: AtomicPath,
         trace: &KernelTrace,
         sm_workers: usize,
+        fast_forward: bool,
         telemetry: Option<&TelemetryConfig>,
     ) -> Self {
         let buffer_for = |sm_path: AtomicPath| -> Option<AggBuffer> {
@@ -462,6 +539,7 @@ impl<'a> Machine<'a> {
             }
         }
 
+        let num_sms = cfg.num_sms as usize;
         Machine {
             shared: Shared {
                 cfg,
@@ -470,6 +548,7 @@ impl<'a> Machine<'a> {
                 occ: (0..cfg.num_mem_partitions)
                     .map(|_| AtomicU32::new(0))
                     .collect(),
+                active: (0..num_sms).map(|_| AtomicBool::new(true)).collect(),
             },
             hub: Hub {
                 partitions: (0..cfg.num_mem_partitions)
@@ -481,8 +560,15 @@ impl<'a> Machine<'a> {
                 counters: SimCounters::default(),
                 stalls: StallBreakdown::default(),
                 warps_remaining,
+                idle_from: vec![0; num_sms],
             },
             sm_workers,
+            // The debug trace prints live state every N cycles; skipping
+            // cycles would change what it sees, so debugging forces the
+            // naive loop.
+            ff: fast_forward && std::env::var_os("GPU_SIM_DEBUG").is_none(),
+            cycles_stepped: 0,
+            ff_credits: Vec::new(),
             telemetry: telemetry.map(|t| TelemetryState::new(t, trace.warps().len())),
         }
     }
@@ -495,6 +581,13 @@ impl<'a> Machine<'a> {
             self.run_parallel(trace, workers)
         };
         if result.is_ok() {
+            // Book the idle spans of lanes that left the active set —
+            // their `no_warp` stalls were deferred while they were
+            // skipped. The run finished after simulating cycles
+            // 0..cycles-1, so settle through the last simulated cycle.
+            if let (true, Ok(cycles)) = (self.ff, &result) {
+                settle_idle_lanes(&self.shared, &mut self.hub, cycles.saturating_sub(1));
+            }
             // Final telemetry sample at the drained end state, taken
             // while counters still live split across hub and lanes —
             // `telemetry_snapshot` performs the same merge itself, so
@@ -515,19 +608,37 @@ impl<'a> Machine<'a> {
     }
 
     fn run_serial(&mut self, trace: &KernelTrace) -> Result<u64, SimError> {
+        let ff = self.ff;
         let shared = &self.shared;
         let hub = &mut self.hub;
         let tel = &mut self.telemetry;
+        let credits = &mut self.ff_credits;
         let mut cycle: u64 = 0;
         loop {
-            let flushing = phase_pre(shared, hub, tel, trace, cycle);
-            for lane in &shared.lanes {
+            if ff {
+                if let Some(j) = fast_forward_jump(shared, hub, tel, trace, cycle, credits) {
+                    cycle = j;
+                    if cycle >= shared.cfg.max_cycles {
+                        return Err(SimError::ExceededMaxCycles {
+                            kernel: trace.name().to_string(),
+                            max_cycles: shared.cfg.max_cycles,
+                        });
+                    }
+                    continue;
+                }
+            }
+            let flushing = phase_pre(shared, hub, tel, trace, cycle, ff);
+            for (i, lane) in shared.lanes.iter().enumerate() {
+                if ff && !shared.active[i].load(Ordering::Relaxed) {
+                    continue;
+                }
                 step_sm(shared, trace, cycle, flushing, &mut lock(lane));
             }
-            phase_post(shared, hub);
-            sample_if_due(shared, hub, tel, cycle);
+            phase_post(shared, hub, cycle, ff);
+            sample_if_due(shared, hub, tel, cycle, ff);
+            self.cycles_stepped += 1;
             cycle += 1;
-            if drained(shared, hub) {
+            if drained(shared, hub, ff) {
                 return Ok(cycle);
             }
             debug_trace(shared, hub, cycle);
@@ -541,9 +652,12 @@ impl<'a> Machine<'a> {
     }
 
     fn run_parallel(&mut self, trace: &KernelTrace, workers: usize) -> Result<u64, SimError> {
+        let ff = self.ff;
         let shared = &self.shared;
         let hub = &mut self.hub;
         let tel = &mut self.telemetry;
+        let credits = &mut self.ff_credits;
+        let stepped = &mut self.cycles_stepped;
         // Two waits per cycle bracket the SM phase; `stop` (checked right
         // after the first wait) shuts the pool down. The barrier also
         // provides the happens-before edges that make Relaxed loads of
@@ -570,6 +684,9 @@ impl<'a> Machine<'a> {
                         if i >= shared.lanes.len() {
                             break;
                         }
+                        if ff && !shared.active[i].load(Ordering::Relaxed) {
+                            continue;
+                        }
                         step_sm(shared, trace, cycle, flushing, &mut lock(&shared.lanes[i]));
                     }
                     barrier.wait();
@@ -579,16 +696,33 @@ impl<'a> Machine<'a> {
             let result = (|| {
                 let mut cycle: u64 = 0;
                 loop {
-                    let flushing = phase_pre(shared, hub, tel, trace, cycle);
+                    // The jump happens entirely between barrier rounds:
+                    // workers stay parked at their first `wait`, so
+                    // barrier symmetry is preserved.
+                    if ff {
+                        if let Some(j) = fast_forward_jump(shared, hub, tel, trace, cycle, credits)
+                        {
+                            cycle = j;
+                            if cycle >= shared.cfg.max_cycles {
+                                return Err(SimError::ExceededMaxCycles {
+                                    kernel: trace.name().to_string(),
+                                    max_cycles: shared.cfg.max_cycles,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                    let flushing = phase_pre(shared, hub, tel, trace, cycle, ff);
                     flush_now.store(flushing, Ordering::Relaxed);
                     cycle_now.store(cycle, Ordering::Relaxed);
                     cursor.store(0, Ordering::Relaxed);
                     barrier.wait(); // open the SM phase
                     barrier.wait(); // all SMs stepped
-                    phase_post(shared, hub);
-                    sample_if_due(shared, hub, tel, cycle);
+                    phase_post(shared, hub, cycle, ff);
+                    sample_if_due(shared, hub, tel, cycle, ff);
+                    *stepped += 1;
                     cycle += 1;
-                    if drained(shared, hub) {
+                    if drained(shared, hub, ff) {
                         return Ok(cycle);
                     }
                     debug_trace(shared, hub, cycle);
@@ -619,6 +753,7 @@ fn phase_pre(
     tel: &mut Option<TelemetryState>,
     trace: &KernelTrace,
     cycle: u64,
+    ff: bool,
 ) -> bool {
     for p in &mut hub.partitions {
         p.step(cycle, &mut hub.completions, &mut hub.counters);
@@ -642,6 +777,22 @@ fn phase_pre(
     // sub-core) order — at most one new warp per sub-core per cycle, so
     // launch work spreads evenly instead of flooding the first SMs.
     for (sm_idx, lane) in shared.lanes.iter().enumerate() {
+        if ff && !shared.active[sm_idx].load(Ordering::Relaxed) {
+            // A quiescent lane has nothing to retire and cannot be the
+            // target of a completion, so it only matters here when
+            // dispatch is about to refill it.
+            if hub.pending.is_empty() {
+                continue;
+            }
+            // Settle the deferred idle span before the lane rejoins the
+            // active set: the naive loop would have booked one `no_warp`
+            // per sub-core for every skipped cycle.
+            let from = hub.idle_from[sm_idx];
+            if cycle > from {
+                lock(lane).stalls.no_warp += (cycle - from) * u64::from(shared.cfg.subcores_per_sm);
+            }
+            shared.active[sm_idx].store(true, Ordering::Relaxed);
+        }
         let mut lane = lock(lane);
         for (sc_idx, sc) in lane.sm.subcores.iter_mut().enumerate() {
             if let Some(t) = tel.as_mut() {
@@ -779,23 +930,81 @@ fn step_sm(
 /// retirements. Delivery is unconditional — [`SmPort`] admission may
 /// overshoot a partition's capacity by at most one cycle's issue across
 /// SMs, modeling interconnect credit slack (see `machine::SmPort`).
-fn phase_post(shared: &Shared<'_>, hub: &mut Hub) {
-    for lane in &shared.lanes {
+///
+/// With fast-forward on, this is also where lanes leave the active set:
+/// a lane that ends the cycle fully quiescent (no resident warps, empty
+/// LSU, idle reduction units, empty aggregation buffer) can only be
+/// re-engaged by warp dispatch, which phase 2 detects — so it is skipped
+/// entirely (no lock, no step) until then, with its pure `no_warp` idle
+/// span credited lazily via `Hub::idle_from`.
+fn phase_post(shared: &Shared<'_>, hub: &mut Hub, cycle: u64, ff: bool) {
+    for (idx, lane) in shared.lanes.iter().enumerate() {
+        if ff && !shared.active[idx].load(Ordering::Relaxed) {
+            continue;
+        }
         let mut lane = lock(lane);
         let lane = &mut *lane;
         for req in lane.outbox.drain(..) {
             hub.partitions[req.partition as usize].push(req);
         }
         hub.warps_remaining -= std::mem::take(&mut lane.retired);
+        if ff && lane_quiescent(lane) {
+            shared.active[idx].store(false, Ordering::Relaxed);
+            hub.idle_from[idx] = cycle + 1;
+        }
+    }
+}
+
+/// Whether a lane can safely leave the active set: stepping it could
+/// only ever produce `no_warp` stalls. Resident warps, queued LSU work,
+/// pending reductions, or a non-empty aggregation buffer (its entries
+/// must flush once the kernel drains) all keep the lane active.
+fn lane_quiescent(lane: &SmLane) -> bool {
+    lane.sm
+        .subcores
+        .iter()
+        .all(|sc| sc.resident.is_empty() && sc.redunit.pending() == 0)
+        && lane.sm.lsu.is_empty()
+        && lane
+            .sm
+            .buffer
+            .as_ref()
+            .is_none_or(|b| b.len() == 0 && b.evict_backlog() == 0)
+}
+
+/// Books the deferred `no_warp` idle spans of every inactive lane
+/// through the end of cycle `through` — called before any state
+/// observation (telemetry samples, the end-of-run fold) so observers
+/// see exactly the stall totals the naive loop would have accumulated.
+fn settle_idle_lanes(shared: &Shared<'_>, hub: &mut Hub, through: u64) {
+    for (idx, lane) in shared.lanes.iter().enumerate() {
+        if shared.active[idx].load(Ordering::Relaxed) {
+            continue;
+        }
+        let from = hub.idle_from[idx];
+        if through + 1 > from {
+            lock(lane).stalls.no_warp +=
+                (through + 1 - from) * u64::from(shared.cfg.subcores_per_sm);
+            hub.idle_from[idx] = through + 1;
+        }
     }
 }
 
 /// Takes a telemetry sample at the end of `cycle` when one is due.
 /// Called from the serial coordinator only (after phase 4), so lane
 /// locks are uncontended and reads happen in SM-index order.
-fn sample_if_due(shared: &Shared<'_>, hub: &Hub, tel: &mut Option<TelemetryState>, cycle: u64) {
+fn sample_if_due(
+    shared: &Shared<'_>,
+    hub: &mut Hub,
+    tel: &mut Option<TelemetryState>,
+    cycle: u64,
+    ff: bool,
+) {
     if let Some(t) = tel.as_mut() {
         if t.due(cycle) {
+            if ff {
+                settle_idle_lanes(shared, hub, cycle);
+            }
             let snap = telemetry_snapshot(shared, hub);
             t.record_sample(cycle, &snap);
         }
@@ -852,14 +1061,19 @@ fn telemetry_snapshot(shared: &Shared<'_>, hub: &Hub) -> SampleSnapshot {
     }
 }
 
-fn drained(shared: &Shared<'_>, hub: &Hub) -> bool {
+fn drained(shared: &Shared<'_>, hub: &Hub, ff: bool) -> bool {
     if hub.warps_remaining > 0 || !hub.completions.is_empty() {
         return false;
     }
     if hub.partitions.iter().any(|p| p.occupancy() > 0) {
         return false;
     }
-    shared.lanes.iter().all(|lane| {
+    shared.lanes.iter().enumerate().all(|(i, lane)| {
+        // Inactive lanes satisfy the drain conditions by construction
+        // (see `lane_quiescent`) — skip the lock.
+        if ff && !shared.active[i].load(Ordering::Relaxed) {
+            return true;
+        }
         let lane = lock(lane);
         lane.sm.lsu.is_empty()
             && lane.sm.subcores.iter().all(|sc| sc.redunit.pending() == 0)
@@ -869,6 +1083,189 @@ fn drained(shared: &Shared<'_>, hub: &Hub) -> bool {
                 .as_ref()
                 .is_none_or(|b| b.len() == 0 && b.evict_backlog() == 0)
     })
+}
+
+/// The event-driven fast-forward check, run at the top of every cycle.
+///
+/// Decides whether simulating cycle `cycle` (and possibly many after it)
+/// would change any machine state besides stall counters — and if so
+/// returns `None` so the caller runs the naive cycle. Otherwise every
+/// phase is provably a no-op for a span of cycles:
+///
+/// * partitions are empty, so `MemPartition::step` does nothing;
+/// * no load completion is due, so no warp wakes or retires;
+/// * no lane has queued LSU work, pending reductions, buffer backlog, or
+///   a retire in flight, so `step_sm` only books stall counters;
+/// * every resident warp is either waiting on a load (`long_scoreboard`)
+///   or blocked on its sub-core's LDST port (`lsu_full`), and both wake
+///   conditions — the earliest completion and the earliest
+///   `ldst_free_at` — are known in advance;
+/// * dispatch cannot place a warp (nothing pending, or no free slot).
+///
+/// The jump target is the minimum over those wake-up cycles, clamped to
+/// the next telemetry sample boundary (the sample at the boundary must
+/// observe exactly the state the naive loop would have shown it) and to
+/// `max_cycles`. The skipped span's stalls are bulk-credited per lane
+/// with the same per-sub-core classification `issue_one` would have
+/// produced each cycle, so reports are bit-identical to the naive loop.
+fn fast_forward_jump(
+    shared: &Shared<'_>,
+    hub: &mut Hub,
+    tel: &mut Option<TelemetryState>,
+    trace: &KernelTrace,
+    cycle: u64,
+    credits: &mut Vec<FfCredit>,
+) -> Option<u64> {
+    // Hub-side gates: any due/ongoing memory-system work means real
+    // state changes this cycle.
+    if hub.warps_remaining == 0 {
+        return None;
+    }
+    let mut next = u64::MAX;
+    if let Some(&Reverse((done, _))) = hub.completions.peek() {
+        if done <= cycle {
+            return None;
+        }
+        next = done;
+    }
+    if hub.partitions.iter().any(|p| p.occupancy() > 0) {
+        return None;
+    }
+    let pending = !hub.pending.is_empty();
+
+    credits.clear();
+    for (idx, lane_mx) in shared.lanes.iter().enumerate() {
+        if !shared.active[idx].load(Ordering::Relaxed) {
+            // An inactive lane has free slots; if dispatch could refill
+            // it this cycle the span is not dead.
+            if pending {
+                return None;
+            }
+            continue;
+        }
+        let lane = lock(lane_mx);
+        if !lane.sm.lsu.is_empty() {
+            return None;
+        }
+        if let Some(b) = lane.sm.buffer.as_ref() {
+            // `warps_remaining > 0` means no flush happens this cycle,
+            // so resident entries are inert — but a queued eviction
+            // would still drain.
+            if b.evict_backlog() > 0 {
+                return None;
+            }
+        }
+        let mut credit = FfCredit {
+            lane: idx,
+            ..FfCredit::default()
+        };
+        for sc in &lane.sm.subcores {
+            if sc.redunit.pending() > 0 {
+                return None;
+            }
+            if pending && sc.resident.len() < shared.cfg.max_warps_per_subcore as usize {
+                return None;
+            }
+            if sc.resident.is_empty() {
+                credit.no_warp += 1;
+                continue;
+            }
+            let mut saw_scoreboard = false;
+            let mut blocked_atomic = false;
+            let mut blocked_data = false;
+            for warp in &sc.resident {
+                let rt = &warp.rt;
+                if rt.done {
+                    // A retire is pending in the next phase 2.
+                    return None;
+                }
+                if rt.outstanding > 0 {
+                    saw_scoreboard = true;
+                    continue;
+                }
+                let instrs = &trace.warps()[warp.id as usize].instrs;
+                let Some(instr) = instrs.get(rt.pc as usize) else {
+                    continue;
+                };
+                match instr {
+                    // A ready compute issues this cycle (a starved
+                    // shuffle could stall, but bailing out is merely
+                    // conservative — the naive cycle handles it).
+                    Instr::Compute { .. } => return None,
+                    Instr::Load { .. } | Instr::Store { .. } => {
+                        if cycle >= sc.ldst_free_at {
+                            // The LSU is empty, so `can_accept` holds
+                            // and the instruction issues this cycle.
+                            return None;
+                        }
+                        blocked_data = true;
+                    }
+                    Instr::Atomic(bundle) | Instr::AtomRed(bundle) => {
+                        // Degenerate bundles (no params / no active
+                        // lanes) issue unconditionally; otherwise — with
+                        // the LSU and reduction units empty — every
+                        // atomic path issues exactly when the LDST port
+                        // is free.
+                        let trivial = match bundle.params.get(rt.sub as usize) {
+                            None => true,
+                            Some(p) => p.active_count() == 0,
+                        };
+                        if trivial || cycle >= sc.ldst_free_at {
+                            return None;
+                        }
+                        blocked_atomic = true;
+                    }
+                }
+            }
+            // Mirror `issue_one`'s fall-through priority exactly:
+            // LsuAtomic > LsuData > Scoreboard > Other.
+            if blocked_atomic || blocked_data {
+                next = next.min(sc.ldst_free_at);
+            }
+            if blocked_atomic {
+                credit.lsu_atomic += 1;
+            } else if blocked_data {
+                credit.lsu_data += 1;
+            } else if saw_scoreboard {
+                credit.scoreboard += 1;
+            } else {
+                // Every resident warp was drained past its last
+                // instruction without an outstanding load — an `Other`
+                // stall the naive loop should classify itself.
+                return None;
+            }
+        }
+        credits.push(credit);
+    }
+
+    // Never jump across a telemetry boundary: the sample at the end of
+    // cycle `b` must see the stall totals of cycles `..=b` and nothing
+    // more, so the span is clamped to land just past the boundary.
+    if let Some(t) = tel.as_ref() {
+        next = next.min(t.next_due(cycle) + 1);
+    }
+    // No wake-up event at all (warps deadlocked with nothing in flight):
+    // run straight to the deadlock guard.
+    let j = next.min(shared.cfg.max_cycles);
+    if j <= cycle {
+        return None;
+    }
+    let span = j - cycle;
+    for c in credits.iter() {
+        let mut lane = lock(&shared.lanes[c.lane]);
+        lane.stalls.lsu_full += u64::from(c.lsu_atomic + c.lsu_data) * span;
+        lane.counters.atomic_stall_cycles += u64::from(c.lsu_atomic) * span;
+        lane.stalls.long_scoreboard += u64::from(c.scoreboard) * span;
+        lane.stalls.no_warp += u64::from(c.no_warp) * span;
+    }
+    if let Some(t) = tel.as_mut() {
+        if t.due(j - 1) {
+            settle_idle_lanes(shared, hub, j - 1);
+            let snap = telemetry_snapshot(shared, hub);
+            t.record_sample(j - 1, &snap);
+        }
+    }
+    Some(j)
 }
 
 fn debug_trace(shared: &Shared<'_>, hub: &Hub, cycle: u64) {

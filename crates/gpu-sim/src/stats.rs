@@ -137,6 +137,32 @@ impl SimCounters {
     }
 }
 
+/// How the cycle loop itself ran: simulated cycles vs. cycles that were
+/// actually stepped one at a time. The difference is the span covered by
+/// event-driven fast-forward jumps (see `sim.rs`). Deliberately kept out
+/// of [`KernelReport`] so reports stay bit-identical whether fast-forward
+/// is on or off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total simulated cycles (equals [`KernelReport::cycles`]).
+    pub cycles_simulated: u64,
+    /// Cycles executed by the naive per-cycle loop (every cycle when
+    /// fast-forward is disabled).
+    pub cycles_stepped: u64,
+}
+
+impl EngineStats {
+    /// Fraction of simulated cycles skipped by fast-forward jumps
+    /// (0.0 when every cycle was stepped).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.cycles_simulated == 0 {
+            0.0
+        } else {
+            1.0 - self.cycles_stepped as f64 / self.cycles_simulated as f64
+        }
+    }
+}
+
 /// The outcome of simulating one kernel.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KernelReport {
@@ -222,6 +248,21 @@ impl IterationReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn skip_ratio_bounds() {
+        assert_eq!(EngineStats::default().skip_ratio(), 0.0);
+        let full = EngineStats {
+            cycles_simulated: 100,
+            cycles_stepped: 100,
+        };
+        assert_eq!(full.skip_ratio(), 0.0);
+        let half = EngineStats {
+            cycles_simulated: 100,
+            cycles_stepped: 50,
+        };
+        assert!((half.skip_ratio() - 0.5).abs() < 1e-12);
+    }
 
     #[test]
     fn stall_fractions() {

@@ -626,6 +626,12 @@ impl TelemetryState {
         cycle.is_multiple_of(self.interval)
     }
 
+    /// The earliest cycle `>= cycle` whose end is a sampling point —
+    /// the boundary fast-forward jumps must not cross (see `sim.rs`).
+    pub(crate) fn next_due(&self, cycle: u64) -> u64 {
+        cycle.next_multiple_of(self.interval)
+    }
+
     /// Whether warp dispatch/retire events should be reported.
     pub(crate) fn wants_warp_events(&self) -> bool {
         self.warp_events

@@ -1,0 +1,112 @@
+//! Pins the cycle loop's steady-state allocation behavior: per-cycle
+//! work (`phase_pre`/`step_sm`/`phase_post`, the partition service
+//! loop, and the fast-forward bookkeeping) reuses scratch buffers
+//! (`tx_scratch`, `plan_scratch`, `ff_credits`), so the number of heap
+//! allocations in a run must **not** scale with the number of simulated
+//! cycles.
+//!
+//! The check: run the same trace under a short-latency and a 100×
+//! longer-latency configuration. Cycle counts differ by well over an
+//! order of magnitude; allocation counts must stay within a small
+//! additive slack. A counting `#[global_allocator]` lives here (an
+//! integration test is its own binary, so the simulator library's
+//! `forbid(unsafe_code)` is not weakened).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Loads, compute, and a few atomics — touches the LSU, the scratch
+/// buffers in the atomic issue path, and the partition service loop.
+fn trace() -> KernelTrace {
+    let warps = (0..4)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            for i in 0..5 {
+                b.load(1).compute_fp32(1);
+                b.atomic(AtomicInstr::same_address(
+                    0x40 * (i as u64 % 3),
+                    &[0.25; 32],
+                ));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("alloc-probe", KernelKind::GradCompute, warps)
+}
+
+fn cfg(latency: u32) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny();
+    cfg.l2_load_latency = latency;
+    cfg
+}
+
+/// Runs the trace and returns (simulated cycles, allocations during the
+/// run). The `Simulator` is built outside the measured window; one
+/// machine construction per run is inside it (identical for both
+/// configs — same trace, same machine geometry).
+fn measure(latency: u32, ff: bool) -> (u64, u64) {
+    let sim = Simulator::new(cfg(latency), AtomicPath::Baseline)
+        .unwrap()
+        .with_fast_forward(ff);
+    let t = trace();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = sim.run(&t).unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (report.cycles, after - before)
+}
+
+fn assert_cycle_independent(ff: bool) {
+    // Warm-up: take any one-time lazy initialization out of the
+    // measured runs.
+    let _ = measure(5, ff);
+    let (short_cycles, short_allocs) = measure(5, ff);
+    let (long_cycles, long_allocs) = measure(5000, ff);
+    assert!(
+        long_cycles > 10 * short_cycles,
+        "latency sweep did not stretch the run: {short_cycles} -> {long_cycles} cycles"
+    );
+    // The long run must not pay per-cycle allocations for its extra
+    // cycles. The slack absorbs amortized container growth (heaps,
+    // queues) that can land on different cycles, not O(cycles) churn:
+    // the cycle gap is tens of thousands.
+    let slack = 32;
+    assert!(
+        long_allocs <= short_allocs + slack,
+        "allocations scale with cycles (ff={ff}): {short_allocs} allocs over \
+         {short_cycles} cycles vs {long_allocs} allocs over {long_cycles} cycles"
+    );
+}
+
+#[test]
+fn allocations_do_not_scale_with_cycles() {
+    // Single test (not one per mode) so the global counter is never
+    // perturbed by a concurrently running sibling test.
+    assert_cycle_independent(false);
+    assert_cycle_independent(true);
+}

@@ -1,0 +1,134 @@
+//! Behavior of the event-driven fast-forward engine: the escape hatch,
+//! the skip-ratio accounting in [`EngineStats`], and report/telemetry
+//! equality against the naive loop (the exhaustive fuzz-shape sweep
+//! lives in the conformance crate; this is the cheap in-crate pin).
+
+use gpu_sim::{AtomicPath, EngineStats, GpuConfig, Simulator, TelemetryConfig};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+
+/// A latency-dominated workload: two warps chaining dependent loads
+/// with a long L2 latency, so almost every cycle is dead time.
+fn latency_trace() -> KernelTrace {
+    let warps = (0..2)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            for _ in 0..6 {
+                b.load(1).compute_fp32(1);
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("latency-chain", KernelKind::GradCompute, warps)
+}
+
+fn slow_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::tiny();
+    cfg.l2_load_latency = 1000;
+    cfg
+}
+
+/// A throughput-bound storm: contention keeps the issue stage busy, so
+/// the fast-forward win comes from the drain tail, not the issue phase.
+fn storm_trace() -> KernelTrace {
+    let warps = (0..8)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            for _ in 0..4 {
+                b.compute_fp32(1)
+                    .atomic(AtomicInstr::same_address(0x100, &[0.5; 32]));
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("storm", KernelKind::GradCompute, warps)
+}
+
+#[test]
+fn fast_forward_skips_latency_gaps() {
+    let sim = Simulator::new(slow_cfg(), AtomicPath::Baseline)
+        .unwrap()
+        .with_fast_forward(true);
+    let (report, _, stats) = sim.run_detailed(&latency_trace()).unwrap();
+    assert_eq!(stats.cycles_simulated, report.cycles);
+    assert!(
+        stats.cycles_stepped < stats.cycles_simulated,
+        "no cycles were skipped: stepped {} of {}",
+        stats.cycles_stepped,
+        stats.cycles_simulated
+    );
+    // Six kilocycle-long load gaps per warp: the loop should step only
+    // a small fraction of the simulated cycles.
+    assert!(
+        stats.skip_ratio() > 0.9,
+        "skip ratio {} too low on a latency chain",
+        stats.skip_ratio()
+    );
+}
+
+#[test]
+fn escape_hatch_forces_the_naive_loop() {
+    let sim = Simulator::new(slow_cfg(), AtomicPath::Baseline)
+        .unwrap()
+        .with_fast_forward(false);
+    assert!(!sim.fast_forward());
+    let (report, _, stats) = sim.run_detailed(&latency_trace()).unwrap();
+    assert_eq!(stats.cycles_stepped, stats.cycles_simulated);
+    assert_eq!(stats.cycles_simulated, report.cycles);
+    assert_eq!(stats.skip_ratio(), 0.0);
+}
+
+#[test]
+fn engine_stats_do_not_leak_into_the_report() {
+    // EngineStats is the only FF-visible observable; the report and
+    // telemetry must be bit-identical either way.
+    for trace in [latency_trace(), storm_trace()] {
+        let run = |ff: bool| {
+            Simulator::new(slow_cfg(), AtomicPath::Baseline)
+                .unwrap()
+                .with_fast_forward(ff)
+                .with_telemetry(TelemetryConfig::every(7))
+                .run_with_telemetry(&trace)
+                .unwrap()
+        };
+        assert_eq!(run(true), run(false), "trace {}", trace.name());
+    }
+}
+
+#[test]
+fn dense_storms_fall_back_to_the_naive_loop() {
+    // A contended storm is throughput-bound: partitions hold queued
+    // lane-values almost every cycle, so there are no dead spans to
+    // jump over (the wall-clock win there comes from the active-set
+    // skipping drained SM lanes, not from cycle jumps). The engine must
+    // recognize this and never overcount.
+    let sim = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)
+        .unwrap()
+        .with_fast_forward(true);
+    let (report, _, stats) = sim.run_detailed(&storm_trace()).unwrap();
+    assert_eq!(stats.cycles_simulated, report.cycles);
+    assert!(
+        stats.cycles_stepped <= stats.cycles_simulated,
+        "stepped {} of {}",
+        stats.cycles_stepped,
+        stats.cycles_simulated
+    );
+}
+
+#[test]
+fn stats_equal_under_any_worker_count() {
+    // `cycles_stepped` is coordinator-side state: worker count must not
+    // change how many cycles the loop fast-forwards over.
+    let reference: Option<EngineStats> = None;
+    let mut want = reference;
+    for workers in [1usize, 2, 8] {
+        let sim = Simulator::new(slow_cfg(), AtomicPath::Baseline)
+            .unwrap()
+            .with_sm_workers(workers)
+            .with_fast_forward(true);
+        let (_, _, stats) = sim.run_detailed(&latency_trace()).unwrap();
+        match &want {
+            None => want = Some(stats),
+            Some(w) => assert_eq!(stats, *w, "{workers} workers"),
+        }
+    }
+}

@@ -2,9 +2,12 @@
 # Perf-regression gate: runs the perf_smoke throughput benchmark and
 # compares simulated cycles/second against the most recent comparable
 # sample recorded in BENCH_parallel_sim.json (same scale, jobs, and
-# core count). Throughput more than TOLERANCE below the baseline fails
-# the gate (exit 1); otherwise the fresh sample is appended so the file
-# accumulates a perf trajectory across PRs.
+# core count). Throughput more than TOLERANCE below the baseline — at
+# either parallelism level, or on any fast-forward workload's FF-on
+# cycles/second (the number every consumer sees, since ARC_FF defaults
+# on) — fails the gate (exit 1); otherwise the fresh sample, including
+# per-workload skip ratios and FF-on/FF-off wall-clock ratios, is
+# appended so the file accumulates a perf trajectory across PRs.
 #
 # Environment knobs:
 #   ARC_BENCH_TOLERANCE  fractional tolerance (default 0.2 = 20%)

@@ -2,7 +2,8 @@
 # Repo CI: formatting, lints, release build, the tier-1 test suite with
 # the parallel harness enabled, and a determinism matrix asserting that
 # simulation results (with telemetry off AND on) are bit-identical under
-# every host-parallelism combination.
+# every host-parallelism combination and with the event-driven
+# fast-forward engine on and off (ARC_FF).
 #
 # rustfmt and clippy are optional components: when a toolchain ships
 # without them the corresponding step warns and is skipped instead of
@@ -37,25 +38,39 @@ echo "== conformance suite (fuzzer + oracle + metamorphic invariants) =="
 # target/conformance-failures/ (uploaded as a CI artifact).
 CONFORMANCE_SEED=0xA12C2025 cargo test -q -p conformance
 
-echo "== determinism matrix (ARC_JOBS x ARC_SIM_WORKERS) =="
+echo "== determinism matrix (ARC_JOBS x ARC_SIM_WORKERS x ARC_FF) =="
 # The probe simulates a fixed cell grid with telemetry off and on and
 # prints one canonical line per cell; every host-parallelism combination
-# must produce byte-identical output.
+# must produce byte-identical output. The ARC_FF axis keeps the
+# fast-forward escape hatch honest: the naive cycle loop (ARC_FF=0) must
+# stay byte-identical to the event-driven one (ARC_FF=1, the default).
 outdir="$(mktemp -d)"
 trap 'rm -rf "$outdir"' EXIT
-baseline="$outdir/det_1_1.txt"
-ARC_JOBS=1 ARC_SIM_WORKERS=1 ./target/release/determinism > "$baseline"
-for jobs in 2 8; do
-  for workers in 1 2 8; do
-    out="$outdir/det_${jobs}_${workers}.txt"
-    ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ./target/release/determinism > "$out"
-    if ! cmp -s "$baseline" "$out"; then
-      echo "determinism matrix FAILED: ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers diverges:"
-      diff "$baseline" "$out" || true
-      exit 1
-    fi
-    echo "ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers: identical"
+baseline="$outdir/det_1_1_1.txt"
+ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=1 ./target/release/determinism > "$baseline"
+for ff in 1 0; do
+  for jobs in 2 8; do
+    for workers in 1 2 8; do
+      out="$outdir/det_${jobs}_${workers}_${ff}.txt"
+      ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff \
+        ./target/release/determinism > "$out"
+      if ! cmp -s "$baseline" "$out"; then
+        echo "determinism matrix FAILED: ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff diverges:"
+        diff "$baseline" "$out" || true
+        exit 1
+      fi
+      echo "ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff: identical"
+    done
   done
 done
+# The escape hatch alone, serial: the smallest FF-off configuration.
+out="$outdir/det_1_1_0.txt"
+ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0 ./target/release/determinism > "$out"
+if ! cmp -s "$baseline" "$out"; then
+  echo "determinism matrix FAILED: ARC_FF=0 serial diverges:"
+  diff "$baseline" "$out" || true
+  exit 1
+fi
+echo "ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0: identical"
 
 echo "CI OK"
