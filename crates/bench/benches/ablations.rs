@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use arc_workloads::{spec, Technique};
+use arc_workloads::{spec, Technique, TechniquePath};
 use diffrender::gaussian::{backward, render, GaussianModel, NoopRecorder};
 use diffrender::loss::l2_loss;
 use diffrender::math::Vec3;

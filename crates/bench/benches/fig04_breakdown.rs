@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use arc_workloads::{spec, Technique};
+use arc_workloads::{spec, Technique, TechniquePath};
 use gpu_sim::{GpuConfig, Simulator};
 
 fn bench_breakdown(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //!
 //! Usage:
 //! ```text
-//! figures [--scale S] [--jobs N] [--telemetry] [--chrome-trace <path>]
+//! figures [--scale S] [--jobs N] [--telemetry] [--technique <name>]
+//!         [--chrome-trace <path>]
 //!         [all|tab1|fig4|obs1|fig7|fig8|fig18|fig19|fig20|fig21|fig22|
 //!          fig23|fig24|fig25|fig26|fig27|fig28|area|pagerank|scaling|
 //!          roofline|tune]
@@ -19,6 +20,9 @@
 //! `--telemetry` additionally simulates the Baseline/ARC-HW gradcomp
 //! cells with the observability layer enabled and writes one
 //! machine-readable summary per cell to `experiments/telemetry.json`.
+//! `--technique <name>` restricts the telemetry sweep to one registered
+//! technique instead (any registry label or CLI name — `sw-b-16`,
+//! `phi`, …; a bad name lists every valid spelling).
 //! `--chrome-trace <path>` dumps the Baseline 3D-DR run on the 4090
 //! model as a `chrome://tracing` / Perfetto JSON timeline.
 
@@ -73,6 +77,25 @@ fn main() {
     let mut telemetry = false;
     if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
         args.remove(pos);
+        telemetry = true;
+    }
+    let mut telemetry_techniques = vec![Technique::Baseline, Technique::ArcHw];
+    if let Some(pos) = args.iter().position(|a| a == "--technique") {
+        args.remove(pos);
+        let name = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--technique requires a technique name");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        // Registry parse: accepts any registered label or CLI name and
+        // reports the full list of valid spellings on a bad argument.
+        match name.parse::<Technique>() {
+            Ok(t) => telemetry_techniques = vec![t],
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
         telemetry = true;
     }
     let mut chrome_trace = None;
@@ -284,7 +307,7 @@ fn main() {
     if telemetry {
         let mut cells: Vec<Cell> = Vec::new();
         for cfg in [GpuConfig::rtx3060_sim(), GpuConfig::rtx4090_sim()] {
-            for t in [Technique::Baseline, Technique::ArcHw] {
+            for &t in &telemetry_techniques {
                 for id in h.workload_ids() {
                     cells.push((cfg.clone(), t, id));
                 }

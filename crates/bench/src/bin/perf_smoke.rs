@@ -43,7 +43,7 @@ use serde::{Deserialize, Serialize};
 use arc_bench::harness::Cell;
 use arc_bench::Harness;
 use arc_workloads::Technique;
-use gpu_sim::{AtomicPath, GpuConfig, Simulator};
+use gpu_sim::{AtomicPath, GpuConfig, Simulator, TechniquePath};
 use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
 
 const DEFAULT_OUT: &str = "BENCH_parallel_sim.json";

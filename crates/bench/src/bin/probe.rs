@@ -8,7 +8,7 @@
 //! ```
 
 use arc_core::BalanceThreshold;
-use arc_workloads::{spec, Technique};
+use arc_workloads::{spec, Technique, TechniquePath};
 use gpu_sim::{GpuConfig, Simulator};
 
 fn main() {
@@ -28,16 +28,8 @@ fn main() {
     let thr = BalanceThreshold::new(8).expect("valid");
     for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
         println!("--- {} ---", cfg.name);
-        for t in [
-            Technique::Baseline,
-            Technique::ArcHw,
-            Technique::SwB(thr),
-            Technique::SwS(thr),
-            Technique::Cccl,
-            Technique::Lab,
-            Technique::LabIdeal,
-            Technique::Phi,
-        ] {
+        // Every registered technique, parametric families at thr=8.
+        for t in Technique::all_with(&[thr]) {
             let sim = Simulator::new(cfg.clone(), t.path()).expect("valid config");
             let r = sim.run(&t.prepare(&traces.gradcomp)).expect("drains");
             println!(

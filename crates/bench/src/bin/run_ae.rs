@@ -317,22 +317,21 @@ type Variant = (&'static str, Vec<(String, Technique)>);
 /// The artifact's four backward implementations; `org` and `CCCL`
 /// ignore the threshold (§A.6).
 fn variants() -> Vec<Variant> {
-    let thr = |v: u8| BalanceThreshold::new(v).expect("0..=32");
-    let sweep = [0u8, 8, 16, 24, 32];
+    let sweep = BalanceThreshold::paper_sweep();
     vec![
         ("org", vec![("-".to_string(), Technique::Baseline)]),
         (
             "ARC-SW-S",
             sweep
                 .iter()
-                .map(|&v| (v.to_string(), Technique::SwS(thr(v))))
+                .map(|&t| (t.value().to_string(), Technique::SwS(t)))
                 .collect(),
         ),
         (
             "ARC-SW-B",
             sweep
                 .iter()
-                .map(|&v| (v.to_string(), Technique::SwB(thr(v))))
+                .map(|&t| (t.value().to_string(), Technique::SwB(t)))
                 .collect(),
         ),
         ("CCCL", vec![("-".to_string(), Technique::Cccl)]),

@@ -5,10 +5,16 @@
 //! ```text
 //! trace_tool export  <workload-id> <out.json> [scale]
 //! trace_tool stats   <trace.json>
-//! trace_tool rewrite <trace.json> <out.json> [sw-b|sw-s|cccl] [threshold]
-//! trace_tool sim     <trace.json> [baseline|arc-hw|lab|lab-ideal|phi] [4090|3060]
+//! trace_tool rewrite <trace.json> <out.json> [technique] [threshold]
+//! trace_tool sim     <trace.json> [technique] [4090|3060]
 //!                    [--telemetry] [--chrome-trace <out.json>]
 //! ```
+//!
+//! Technique names are resolved through the canonical registry
+//! (`arc_core::technique`) — any registered label or CLI name is
+//! accepted (`sw-b`, `SW-B-16`, `arc-hw`, …), and a bad name lists
+//! every valid spelling. `rewrite` accepts the trace-rewriting
+//! techniques; `sim` accepts them all.
 //!
 //! `sim --telemetry` enables the observability layer and prints the
 //! sampled summary (queue-occupancy peaks, interconnect throughput,
@@ -18,8 +24,8 @@
 use std::fs;
 use std::process::ExitCode;
 
-use arc_core::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
-use gpu_sim::{AtomicPath, GpuConfig, Simulator, TelemetryConfig};
+use arc_core::{BalanceThreshold, Technique, TECHNIQUES};
+use gpu_sim::{GpuConfig, Simulator, TechniquePath, TelemetryConfig};
 use warp_trace::{KernelTrace, TraceStats};
 
 fn main() -> ExitCode {
@@ -95,21 +101,28 @@ fn rewrite(args: &[String]) -> Result<(), String> {
     let (input, out) = args
         .first()
         .zip(args.get(1))
-        .ok_or("usage: trace_tool rewrite <in.json> <out.json> [sw-b|sw-s|cccl] [threshold]")?;
+        .ok_or("usage: trace_tool rewrite <in.json> <out.json> [technique] [threshold]")?;
     let algo = args.get(2).map_or("sw-b", String::as_str);
     let thr: u8 = args.get(3).map_or(Ok(8), |s| {
         s.parse()
             .map_err(|_| "threshold must be 0..=32".to_string())
     })?;
     let threshold = BalanceThreshold::new(thr).map_err(|e| e.to_string())?;
+    let technique = Technique::from_cli(algo, Some(threshold)).map_err(|e| e.to_string())?;
+    if !technique.rewrites_trace() {
+        let rewriters: Vec<&str> = TECHNIQUES
+            .iter()
+            .filter(|d| d.rewrites_trace)
+            .map(|d| d.cli_name)
+            .collect();
+        return Err(format!(
+            "technique `{algo}` does not rewrite traces; rewriting techniques: {}",
+            rewriters.join(", ")
+        ));
+    }
     let trace = load(input)?;
     let before = trace.total_atomic_requests();
-    let rewritten = match algo {
-        "sw-b" => rewrite_kernel_sw(&trace, &SwConfig::butterfly(threshold)).trace,
-        "sw-s" => rewrite_kernel_sw(&trace, &SwConfig::serialized(threshold)).trace,
-        "cccl" => rewrite_kernel_cccl(&trace).trace,
-        other => return Err(format!("unknown algorithm `{other}`")),
-    };
+    let rewritten = technique.prepare(&trace);
     save(&rewritten, out)?;
     println!(
         "{algo} rewrite: {} -> {} atomic requests ({:.1}% removed)",
@@ -139,26 +152,20 @@ fn sim(args: &[String]) -> Result<(), String> {
         telemetry = true;
     }
     let path = args.first().ok_or(
-        "usage: trace_tool sim <trace.json> [path] [gpu] [--telemetry] [--chrome-trace <out.json>]",
+        "usage: trace_tool sim <trace.json> [technique] [gpu] [--telemetry] [--chrome-trace <out.json>]",
     )?;
-    let atomic_path = match args.get(1).map_or("baseline", String::as_str) {
-        "baseline" => AtomicPath::Baseline,
-        "arc-hw" => AtomicPath::ArcHw,
-        "lab" => AtomicPath::Lab,
-        "lab-ideal" => AtomicPath::LabIdeal,
-        "phi" => AtomicPath::Phi,
-        other => return Err(format!("unknown atomic path `{other}`")),
-    };
+    let technique: Technique = args
+        .get(1)
+        .map_or("baseline", String::as_str)
+        .parse()
+        .map_err(|e: arc_core::UnknownTechniqueError| e.to_string())?;
     let cfg = match args.get(2).map_or("4090", String::as_str) {
         "4090" => GpuConfig::rtx4090_sim(),
         "3060" => GpuConfig::rtx3060_sim(),
         other => return Err(format!("unknown GPU `{other}` (4090|3060)")),
     };
-    let mut trace = load(path)?;
-    if atomic_path == AtomicPath::ArcHw {
-        trace = trace.with_atomred();
-    }
-    let mut sim = Simulator::new(cfg.clone(), atomic_path).map_err(|e| e.to_string())?;
+    let trace = technique.prepare(&load(path)?);
+    let mut sim = Simulator::new(cfg.clone(), technique.path()).map_err(|e| e.to_string())?;
     if telemetry {
         sim = sim.with_telemetry(TelemetryConfig::default());
     }
@@ -166,7 +173,7 @@ fn sim(args: &[String]) -> Result<(), String> {
     println!(
         "{} on {}: {} cycles ({:.3} ms), rop util {:.2}, redunit util {:.2}, \
          stalls/instr {:.2}",
-        atomic_path.label(),
+        technique.label(),
         cfg.name,
         report.cycles,
         report.time_ms,

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use arc_workloads::{all_specs, IterationTraces, Technique};
+use arc_workloads::{all_specs, IterationTraces, Technique, TechniquePath};
 use gpu_sim::{
     par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, Simulator,
     TelemetryConfig, TelemetrySummary,
@@ -24,8 +24,10 @@ pub struct Harness {
     scale: f64,
     jobs: usize,
     telemetry: TelemetryConfig,
+    config_names: Interner,
+    workload_names: Interner,
     traces: HashMap<String, Arc<IterationTraces>>,
-    sims: HashMap<(String, AtomicPath), Arc<Simulator>>,
+    sims: HashMap<(ConfigId, AtomicPath), Arc<Simulator>>,
     gradcomp_cache: HashMap<CacheKey, KernelReport>,
     iteration_cache: HashMap<CacheKey, IterationReport>,
     telemetry_cache: HashMap<CacheKey, KernelTelemetry>,
@@ -34,8 +36,47 @@ pub struct Harness {
 /// A simulation cell: one (config, technique, workload) point.
 pub type Cell = (GpuConfig, Technique, String);
 
-/// Cache key: (config name, technique label, workload id).
-type CacheKey = (String, String, String);
+/// Interned GPU-config name (see [`Interner`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct ConfigId(u32);
+
+/// A registered technique, keyed as the typed value itself — two
+/// distinct techniques can never collide the way formatted labels
+/// could.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct TechniqueId(Technique);
+
+/// Interned workload id (see [`Interner`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct WorkloadId(u32);
+
+/// Typed cache key: no `String` triple allocation per lookup on the
+/// hot batch path, and no label-collision foot-gun.
+type CacheKey = (ConfigId, TechniqueId, WorkloadId);
+
+/// Bidirectional name ↔ small-id map for config/workload names. Keys
+/// are interned once; every subsequent lookup is a `Copy` id.
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+}
 
 /// A cache miss prepared for the job pool: its key plus the shared
 /// simulator and traces it runs on.
@@ -64,6 +105,8 @@ impl Harness {
             scale,
             jobs: gpu_sim::default_jobs(),
             telemetry: TelemetryConfig::default(),
+            config_names: Interner::default(),
+            workload_names: Interner::default(),
             traces: HashMap::new(),
             sims: HashMap::new(),
             gradcomp_cache: HashMap::new(),
@@ -152,8 +195,18 @@ impl Harness {
         Arc::clone(&self.traces[id])
     }
 
+    /// The typed cache key for one cell, interning the names on first
+    /// sight.
+    fn key(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> CacheKey {
+        (
+            ConfigId(self.config_names.intern(&cfg.name)),
+            TechniqueId(technique),
+            WorkloadId(self.workload_names.intern(id)),
+        )
+    }
+
     fn sim_for(&mut self, cfg: &GpuConfig, path: AtomicPath) -> Arc<Simulator> {
-        let key = (cfg.name.clone(), path);
+        let key = (ConfigId(self.config_names.intern(&cfg.name)), path);
         if let Some(sim) = self.sims.get(&key) {
             return Arc::clone(sim);
         }
@@ -170,7 +223,7 @@ impl Harness {
     /// Panics on unknown workload or simulator failure (the workloads
     /// and configs shipped here always drain).
     pub fn gradcomp(&mut self, cfg: &GpuConfig, technique: Technique, id: &str) -> KernelReport {
-        let key = (cfg.name.clone(), technique.label(), id.to_string());
+        let key = self.key(cfg, technique, id);
         if let Some(hit) = self.gradcomp_cache.get(&key) {
             return hit.clone();
         }
@@ -198,7 +251,7 @@ impl Harness {
         technique: Technique,
         id: &str,
     ) -> (KernelReport, KernelTelemetry) {
-        let key = (cfg.name.clone(), technique.label(), id.to_string());
+        let key = self.key(cfg, technique, id);
         if let (Some(report), Some(tel)) = (
             self.gradcomp_cache.get(&key),
             self.telemetry_cache.get(&key),
@@ -211,7 +264,7 @@ impl Harness {
             .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
             .expect("kernel must drain");
         let tel = tel.expect("telemetry was enabled");
-        self.gradcomp_cache.insert(key.clone(), report.clone());
+        self.gradcomp_cache.insert(key, report.clone());
         self.telemetry_cache.insert(key, tel.clone());
         (report, tel)
     }
@@ -229,8 +282,8 @@ impl Harness {
         let mut claimed: HashSet<CacheKey> = HashSet::new();
         let mut todo: Vec<PreparedCell> = Vec::new();
         for (cfg, technique, id) in cells {
-            let key = (cfg.name.clone(), technique.label(), id.clone());
-            if self.telemetry_cache.contains_key(&key) || !claimed.insert(key.clone()) {
+            let key = self.key(cfg, *technique, id);
+            if self.telemetry_cache.contains_key(&key) || !claimed.insert(key) {
                 continue;
             }
             let sim = Arc::new(self.telemetry_sim(cfg, technique.path()));
@@ -245,7 +298,7 @@ impl Harness {
             (key, report, tel.expect("telemetry was enabled"))
         });
         for (key, report, tel) in results {
-            self.gradcomp_cache.insert(key.clone(), report);
+            self.gradcomp_cache.insert(key, report);
             self.telemetry_cache.insert(key, tel);
         }
     }
@@ -258,7 +311,14 @@ impl Harness {
         let mut rows: Vec<_> = self
             .telemetry_cache
             .iter()
-            .map(|((c, t, w), tel)| (c.clone(), t.clone(), w.clone(), tel.summary()))
+            .map(|(&(c, t, w), tel)| {
+                (
+                    self.config_names.name(c.0).to_string(),
+                    t.0.label(),
+                    self.workload_names.name(w.0).to_string(),
+                    tel.summary(),
+                )
+            })
             .collect();
         rows.sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
         rows
@@ -298,7 +358,7 @@ impl Harness {
         technique: Technique,
         id: &str,
     ) -> IterationReport {
-        let key = (cfg.name.clone(), technique.label(), id.to_string());
+        let key = self.key(cfg, technique, id);
         if let Some(hit) = self.iteration_cache.get(&key) {
             return hit.clone();
         }
@@ -339,13 +399,13 @@ impl Harness {
         let mut claimed: HashSet<CacheKey> = HashSet::new();
         let mut todo: Vec<PreparedCell> = Vec::new();
         for (cfg, technique, id) in cells {
-            let key = (cfg.name.clone(), technique.label(), id.clone());
+            let key = self.key(cfg, *technique, id);
             let cached = if iteration {
                 self.iteration_cache.contains_key(&key)
             } else {
                 self.gradcomp_cache.contains_key(&key)
             };
-            if cached || !claimed.insert(key.clone()) {
+            if cached || !claimed.insert(key) {
                 continue;
             }
             let sim = self.sim_for(cfg, technique.path());

@@ -36,8 +36,8 @@ use std::collections::HashMap;
 
 use arc_core::reduce::densify;
 use arc_core::{
-    butterfly_reduce, coalesce_atomic, rewrite_kernel_cccl, rewrite_kernel_sw, serialized_reduce,
-    AtomicTransaction, BalanceThreshold, SwConfig,
+    butterfly_reduce, coalesce_atomic, serialized_reduce, AtomicTransaction, BalanceThreshold,
+    Technique,
 };
 use warp_trace::{GlobalMemory, Instr, KernelTrace};
 
@@ -46,7 +46,7 @@ use warp_trace::{GlobalMemory, Instr, KernelTrace};
 #[derive(Clone, Debug)]
 pub struct OracleFailure {
     /// Which reduction path diverged (e.g. `"serialized"`, `"sw-b-0"`).
-    pub path: &'static str,
+    pub path: String,
     /// Human-readable description with address, got/want, and tolerance.
     pub detail: String,
 }
@@ -112,15 +112,9 @@ fn check_transactions(trace: &KernelTrace, stats: &mut OracleStats) -> Result<()
     Ok(())
 }
 
-fn tx_failure(
-    path: &'static str,
-    tx: &AtomicTransaction,
-    got: f64,
-    want: f64,
-    tol: f64,
-) -> OracleFailure {
+fn tx_failure(path: &str, tx: &AtomicTransaction, got: f64, want: f64, tol: f64) -> OracleFailure {
     OracleFailure {
-        path,
+        path: path.to_string(),
         detail: format!(
             "addr {:#x} ({} lanes): got {got}, want {want} (|diff| {} > tol {tol})",
             tx.addr,
@@ -155,27 +149,16 @@ fn check_rewrites(trace: &KernelTrace, stats: &mut OracleStats) -> Result<(), Or
     }
     stats.addresses += reference.len() as u64;
 
+    // Every registered trace-rewriting technique, parametric families
+    // at both sweep endpoints — single-sourced from the technique
+    // registry, so a new rewrite pass is covered the moment it is
+    // registered in `arc_core::technique::TECHNIQUES`.
     let thr = |v: u8| BalanceThreshold::new(v).expect("threshold in range");
-    let paths: Vec<(&'static str, KernelTrace)> = vec![
-        (
-            "sw-s-0",
-            rewrite_kernel_sw(trace, &SwConfig::serialized(thr(0))).trace,
-        ),
-        (
-            "sw-s-16",
-            rewrite_kernel_sw(trace, &SwConfig::serialized(thr(16))).trace,
-        ),
-        (
-            "sw-b-0",
-            rewrite_kernel_sw(trace, &SwConfig::butterfly(thr(0))).trace,
-        ),
-        (
-            "sw-b-16",
-            rewrite_kernel_sw(trace, &SwConfig::butterfly(thr(16))).trace,
-        ),
-        ("cccl", rewrite_kernel_cccl(trace).trace),
-        ("atomred", trace.clone().with_atomred()),
-    ];
+    let paths: Vec<(String, KernelTrace)> = Technique::all_with(&[thr(0), thr(16)])
+        .into_iter()
+        .filter(Technique::rewrites_trace)
+        .map(|t| (t.cli_name(), t.prepare(trace)))
+        .collect();
 
     for (label, rewritten) in paths {
         stats.paths += 1;

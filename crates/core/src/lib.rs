@@ -17,7 +17,11 @@
 //! * trace rewrite passes ([`sw`] and [`cccl`]) that transform a baseline
 //!   kernel trace into its ARC-SW / CCCL equivalent;
 //! * the threshold auto-tuner of §5.5.3 ([`tuner`]);
-//! * the area-overhead model of §5.4 ([`area`]).
+//! * the area-overhead model of §5.4 ([`area`]);
+//! * the canonical technique registry ([`technique`]) — one descriptor
+//!   per evaluated technique (stable label, CLI name, parameters),
+//!   with the rewrite passes unified behind the
+//!   [`TraceTransform`] trait.
 //!
 //! The cycle-level behaviour of ARC-HW (the sub-core reduction unit and
 //! its interaction with the LSU) lives in the `gpu-sim` crate, which
@@ -32,6 +36,7 @@ pub mod cccl;
 pub mod policy;
 pub mod reduce;
 pub mod sw;
+pub mod technique;
 pub mod transaction;
 pub mod tuner;
 
@@ -41,5 +46,6 @@ pub use cccl::rewrite_kernel_cccl;
 pub use policy::{BalanceThreshold, GreedyHwScheduler, HwPath, SwPath};
 pub use reduce::{butterfly_reduce, serialized_reduce, ReductionKind};
 pub use sw::{rewrite_kernel_sw, SwAlgorithm, SwConfig, SwCostModel};
+pub use technique::{Technique, TechniqueDesc, TraceTransform, UnknownTechniqueError, TECHNIQUES};
 pub use transaction::{coalesce_atomic, coalesce_atomic_sizes_into, AtomicTransaction};
 pub use tuner::{AutoTuner, TuneOutcome};

@@ -1,0 +1,567 @@
+//! The canonical technique registry: one definition of every evaluated
+//! atomic-reduction technique, shared by the workload runner, the bench
+//! harness, the CLI tools, and the conformance suite.
+//!
+//! The paper's evaluation is a sweep over techniques — baseline
+//! `atomicAdd`, ARC-HW, the ARC-SW serialized/butterfly rewrites, the
+//! CCCL comparator, and the LAB/PHI hardware-buffering comparators.
+//! Each registered family is described once, in [`TECHNIQUES`]: its
+//! stable figure label, its CLI spelling, whether it takes a
+//! [`BalanceThreshold`] parameter, and whether it rewrites the input
+//! trace. Every layer above derives its labels, parsers, and
+//! enumerations from this table, so adding a technique means adding one
+//! registry entry (plus, for a new hardware path, one backend module in
+//! `gpu-sim` — see DESIGN.md §7).
+//!
+//! Trace preparation is unified behind the [`TraceTransform`] trait:
+//! the ARC-SW and CCCL rewrite passes, the `atomred` conversion, and
+//! the identity (for techniques that only change hardware behaviour)
+//! all implement the same interface, and [`Technique::prepare_cow`]
+//! dispatches through it.
+//!
+//! ```
+//! use arc_core::{BalanceThreshold, Technique};
+//!
+//! let t: Technique = "sw-b-16".parse().unwrap();
+//! assert_eq!(t, Technique::SwB(BalanceThreshold::new(16).unwrap()));
+//! assert_eq!(t.label(), "SW-B-16");
+//! // Labels and CLI names round-trip through the registry parser.
+//! assert_eq!(Technique::parse(&t.label()).unwrap(), t);
+//! assert_eq!(Technique::parse(&t.cli_name()).unwrap(), t);
+//! ```
+
+// Every dispatch over `Technique` in this module must be exhaustive:
+// a technique added to the enum without full wiring must fail to
+// compile here, not fall through a `_` arm.
+#![deny(
+    clippy::match_wildcard_for_single_variants,
+    clippy::wildcard_enum_match_arm
+)]
+
+use std::borrow::Cow;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use warp_trace::KernelTrace;
+
+use crate::cccl::rewrite_kernel_cccl;
+use crate::policy::BalanceThreshold;
+use crate::sw::{rewrite_kernel_sw, SwConfig};
+
+/// An evaluated technique — the union of the paper's hardware paths and
+/// software rewrites.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Plain `atomicAdd` to the ROPs.
+    Baseline,
+    /// ARC-HW (`atomred` + greedy scheduling + reduction units).
+    ArcHw,
+    /// ARC-SW serialized reduction with a balancing threshold.
+    SwS(BalanceThreshold),
+    /// ARC-SW butterfly reduction with a balancing threshold.
+    SwB(BalanceThreshold),
+    /// CCCL-style full-warp software reduction.
+    Cccl,
+    /// LAB atomic buffering in partitioned L1 SRAM.
+    Lab,
+    /// Idealized LAB with a dedicated buffer.
+    LabIdeal,
+    /// PHI-style L1 aggregation of commutative atomics.
+    Phi,
+}
+
+/// One registered technique family: the single source of truth for its
+/// labels, CLI spelling, and parameterization.
+pub struct TechniqueDesc {
+    /// Stable figure-label prefix (`"SW-B"` yields labels like
+    /// `"SW-B-16"`; non-parametric families use the prefix verbatim).
+    pub label: &'static str,
+    /// CLI spelling (`"sw-b"` parses `sw-b` and `sw-b-16`).
+    pub cli_name: &'static str,
+    /// Whether the family takes a [`BalanceThreshold`] parameter.
+    pub takes_threshold: bool,
+    /// Whether [`Technique::prepare`] rewrites the input trace (as
+    /// opposed to only selecting a hardware path).
+    pub rewrites_trace: bool,
+    /// One-line description (the README technique table is cross-checked
+    /// against this registry).
+    pub summary: &'static str,
+    construct: fn(BalanceThreshold) -> Technique,
+}
+
+impl TechniqueDesc {
+    /// Instantiates the family at `threshold` (ignored by families with
+    /// `takes_threshold == false`).
+    pub fn instantiate(&self, threshold: BalanceThreshold) -> Technique {
+        (self.construct)(threshold)
+    }
+
+    /// Instantiates the family at the default balancing threshold.
+    pub fn default_technique(&self) -> Technique {
+        self.instantiate(BalanceThreshold::default())
+    }
+}
+
+impl fmt::Debug for TechniqueDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TechniqueDesc")
+            .field("label", &self.label)
+            .field("cli_name", &self.cli_name)
+            .field("takes_threshold", &self.takes_threshold)
+            .field("rewrites_trace", &self.rewrites_trace)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The static registry of every built-in technique, in canonical
+/// (figure/enum) order.
+pub static TECHNIQUES: [TechniqueDesc; 8] = [
+    TechniqueDesc {
+        label: "Baseline",
+        cli_name: "baseline",
+        takes_threshold: false,
+        rewrites_trace: false,
+        summary: "plain `atomicAdd` to the L2 ROP units",
+        construct: |_| Technique::Baseline,
+    },
+    TechniqueDesc {
+        label: "ARC-HW",
+        cli_name: "arc-hw",
+        takes_threshold: false,
+        rewrites_trace: true,
+        summary: "`atomred` + greedy scheduling onto per-sub-core reduction units",
+        construct: |_| Technique::ArcHw,
+    },
+    TechniqueDesc {
+        label: "SW-S",
+        cli_name: "sw-s",
+        takes_threshold: true,
+        rewrites_trace: true,
+        summary: "ARC-SW serialized warp reduction (Fig. 15) with a balancing threshold",
+        construct: Technique::SwS,
+    },
+    TechniqueDesc {
+        label: "SW-B",
+        cli_name: "sw-b",
+        takes_threshold: true,
+        rewrites_trace: true,
+        summary: "ARC-SW butterfly/densify warp reduction (Fig. 16) with a balancing threshold",
+        construct: Technique::SwB,
+    },
+    TechniqueDesc {
+        label: "CCCL",
+        cli_name: "cccl",
+        takes_threshold: false,
+        rewrites_trace: true,
+        summary: "CCCL-style unconditional full-warp software reduction",
+        construct: |_| Technique::Cccl,
+    },
+    TechniqueDesc {
+        label: "LAB",
+        cli_name: "lab",
+        takes_threshold: false,
+        rewrites_trace: false,
+        summary: "atomic buffering in partitioned L1 SRAM (Dalmia et al., HPCA'22)",
+        construct: |_| Technique::Lab,
+    },
+    TechniqueDesc {
+        label: "LAB-ideal",
+        cli_name: "lab-ideal",
+        takes_threshold: false,
+        rewrites_trace: false,
+        summary: "idealized LAB with a dedicated contention-free buffer",
+        construct: |_| Technique::LabIdeal,
+    },
+    TechniqueDesc {
+        label: "PHI",
+        cli_name: "phi",
+        takes_threshold: false,
+        rewrites_trace: false,
+        summary: "commutative atomics aggregated in L1 lines (Mukkara et al., MICRO'19)",
+        construct: |_| Technique::Phi,
+    },
+];
+
+/// A technique name that matched nothing in the registry. Its
+/// [`Display`](fmt::Display) output lists every valid spelling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownTechniqueError(pub String);
+
+impl fmt::Display for UnknownTechniqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown technique `{}`; valid techniques:", self.0)?;
+        for (i, d) in TECHNIQUES.iter().enumerate() {
+            let sep = if i == 0 { ' ' } else { ',' };
+            if d.takes_threshold {
+                write!(
+                    f,
+                    "{sep} {}[-<0..=32>] ({}[-<0..=32>])",
+                    d.cli_name, d.label
+                )?;
+            } else {
+                write!(f, "{sep} {} ({})", d.cli_name, d.label)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownTechniqueError {}
+
+/// `Some(rest)` when `s` is `family-rest` (case-insensitive family
+/// match); `None` otherwise. Slices only at checked char boundaries.
+fn strip_family<'a>(s: &'a str, family: &str) -> Option<&'a str> {
+    let head = s.get(..family.len())?;
+    if !head.eq_ignore_ascii_case(family) {
+        return None;
+    }
+    s[family.len()..].strip_prefix('-')
+}
+
+impl Technique {
+    /// The registry entry describing this technique's family.
+    pub fn descriptor(&self) -> &'static TechniqueDesc {
+        let idx = match self {
+            Technique::Baseline => 0,
+            Technique::ArcHw => 1,
+            Technique::SwS(_) => 2,
+            Technique::SwB(_) => 3,
+            Technique::Cccl => 4,
+            Technique::Lab => 5,
+            Technique::LabIdeal => 6,
+            Technique::Phi => 7,
+        };
+        &TECHNIQUES[idx]
+    }
+
+    /// The balancing threshold, for parametric families.
+    pub fn threshold(&self) -> Option<BalanceThreshold> {
+        match self {
+            Technique::SwS(t) | Technique::SwB(t) => Some(*t),
+            Technique::Baseline
+            | Technique::ArcHw
+            | Technique::Cccl
+            | Technique::Lab
+            | Technique::LabIdeal
+            | Technique::Phi => None,
+        }
+    }
+
+    /// The figure label for this technique (e.g. `"SW-B-16"`).
+    pub fn label(&self) -> String {
+        let d = self.descriptor();
+        match self.threshold() {
+            Some(t) => format!("{}-{t}", d.label),
+            None => d.label.to_string(),
+        }
+    }
+
+    /// The CLI spelling for this technique (e.g. `"sw-b-16"`), accepted
+    /// back by [`Technique::parse`].
+    pub fn cli_name(&self) -> String {
+        let d = self.descriptor();
+        match self.threshold() {
+            Some(t) => format!("{}-{t}", d.cli_name),
+            None => d.cli_name.to_string(),
+        }
+    }
+
+    /// Whether [`Technique::prepare`] rewrites the input trace.
+    pub fn rewrites_trace(&self) -> bool {
+        self.descriptor().rewrites_trace
+    }
+
+    /// Parses a technique name — a figure label (`"SW-B-16"`,
+    /// `"ARC-HW"`) or CLI spelling (`"sw-b-16"`, `"arc-hw"`), case
+    /// insensitively. A bare parametric family name (`"sw-b"`) uses the
+    /// default balancing threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownTechniqueError`] (listing every valid name) when the
+    /// input matches no registered technique.
+    pub fn parse(s: &str) -> Result<Technique, UnknownTechniqueError> {
+        let norm = s.trim();
+        // Exact family names first, so `lab-ideal` is never read as
+        // family `lab` with a malformed threshold.
+        for d in &TECHNIQUES {
+            if norm.eq_ignore_ascii_case(d.label) || norm.eq_ignore_ascii_case(d.cli_name) {
+                return Ok(d.default_technique());
+            }
+        }
+        // `family-<threshold>` for parametric families.
+        for d in TECHNIQUES.iter().filter(|d| d.takes_threshold) {
+            for family in [d.cli_name, d.label] {
+                if let Some(rest) = strip_family(norm, family) {
+                    if let Ok(t) = rest.parse::<BalanceThreshold>() {
+                        return Ok(d.instantiate(t));
+                    }
+                }
+            }
+        }
+        Err(UnknownTechniqueError(norm.to_string()))
+    }
+
+    /// Looks up a technique by bare family name with an optional
+    /// explicit threshold — the two-argument CLI form
+    /// (`rewrite … sw-b 8`). Non-parametric families ignore the
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownTechniqueError`] when `name` is not a registered family.
+    pub fn from_cli(
+        name: &str,
+        threshold: Option<BalanceThreshold>,
+    ) -> Result<Technique, UnknownTechniqueError> {
+        let norm = name.trim();
+        for d in &TECHNIQUES {
+            if norm.eq_ignore_ascii_case(d.cli_name) || norm.eq_ignore_ascii_case(d.label) {
+                return Ok(d.instantiate(threshold.unwrap_or_default()));
+            }
+        }
+        Err(UnknownTechniqueError(norm.to_string()))
+    }
+
+    /// Every registered technique, instantiating parametric families at
+    /// each of `thresholds`, in registry order.
+    pub fn all_with(thresholds: &[BalanceThreshold]) -> Vec<Technique> {
+        let mut out = Vec::new();
+        for d in &TECHNIQUES {
+            if d.takes_threshold {
+                out.extend(thresholds.iter().map(|&t| d.instantiate(t)));
+            } else {
+                out.push(d.default_technique());
+            }
+        }
+        out
+    }
+
+    /// One instance of every registered family (parametric families at
+    /// the default threshold), in registry order.
+    pub fn registered() -> Vec<Technique> {
+        Self::all_with(&[BalanceThreshold::default()])
+    }
+
+    /// Prepares a kernel trace for this technique: software techniques
+    /// rewrite the atomics; ARC-HW swaps `atomicAdd` for `atomred`;
+    /// hardware-buffering techniques leave the trace untouched.
+    pub fn prepare(&self, trace: &KernelTrace) -> KernelTrace {
+        self.prepare_cow(trace).into_owned()
+    }
+
+    /// Like [`Technique::prepare`], but borrows the input when the
+    /// technique does not rewrite it — the hot path when the same shared
+    /// trace is simulated under many techniques (no per-run clone of a
+    /// multi-megabyte trace). Dispatches through the [`TraceTransform`]
+    /// implementations.
+    pub fn prepare_cow<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        match self {
+            Technique::Baseline | Technique::Lab | Technique::LabIdeal | Technique::Phi => {
+                Identity.apply(trace)
+            }
+            Technique::ArcHw => AtomRedConvert.apply(trace),
+            Technique::SwS(t) => SwRewrite(SwConfig::serialized(*t)).apply(trace),
+            Technique::SwB(t) => SwRewrite(SwConfig::butterfly(*t)).apply(trace),
+            Technique::Cccl => CcclRewrite.apply(trace),
+        }
+    }
+
+    /// The trace transform this technique applies, as a trait object —
+    /// for callers that iterate transforms generically.
+    /// [`Technique::prepare_cow`] performs the same dispatch statically.
+    pub fn transform(&self) -> Box<dyn TraceTransform + Send + Sync> {
+        match self {
+            Technique::Baseline | Technique::Lab | Technique::LabIdeal | Technique::Phi => {
+                Box::new(Identity)
+            }
+            Technique::ArcHw => Box::new(AtomRedConvert),
+            Technique::SwS(t) => Box::new(SwRewrite(SwConfig::serialized(*t))),
+            Technique::SwB(t) => Box::new(SwRewrite(SwConfig::butterfly(*t))),
+            Technique::Cccl => Box::new(CcclRewrite),
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl FromStr for Technique {
+    type Err = UnknownTechniqueError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Technique::parse(s)
+    }
+}
+
+/// A kernel-trace transformation applied before simulation — the common
+/// interface over the ARC-SW rewrite passes ([`rewrite_kernel_sw`]),
+/// the CCCL comparator ([`rewrite_kernel_cccl`]), the ARC-HW `atomred`
+/// conversion, and the identity.
+pub trait TraceTransform {
+    /// Stable name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Applies the transform. Implementations borrow the input when
+    /// they are the identity, so shared traces are never cloned.
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace>;
+}
+
+/// The identity transform: hardware-only techniques simulate the trace
+/// as emitted.
+pub struct Identity;
+
+impl TraceTransform for Identity {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        Cow::Borrowed(trace)
+    }
+}
+
+/// Swaps every `atomicAdd` bundle for its `atomred` form (ARC-HW).
+pub struct AtomRedConvert;
+
+impl TraceTransform for AtomRedConvert {
+    fn name(&self) -> &'static str {
+        "atomred"
+    }
+
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        Cow::Owned(trace.clone().with_atomred())
+    }
+}
+
+/// The ARC-SW rewrite pass at a fixed [`SwConfig`] (algorithm +
+/// balancing threshold).
+pub struct SwRewrite(pub SwConfig);
+
+impl TraceTransform for SwRewrite {
+    fn name(&self) -> &'static str {
+        "arc-sw"
+    }
+
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        Cow::Owned(rewrite_kernel_sw(trace, &self.0).trace)
+    }
+}
+
+/// The CCCL-style unconditional full-warp reduction rewrite.
+pub struct CcclRewrite;
+
+impl TraceTransform for CcclRewrite {
+    fn name(&self) -> &'static str {
+        "cccl"
+    }
+
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        Cow::Owned(rewrite_kernel_cccl(trace).trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thr(v: u8) -> BalanceThreshold {
+        BalanceThreshold::new(v).unwrap()
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Technique::SwB(thr(16)).label(), "SW-B-16");
+        assert_eq!(Technique::ArcHw.label(), "ARC-HW");
+        assert_eq!(Technique::LabIdeal.label(), "LAB-ideal");
+        assert_eq!(Technique::Baseline.to_string(), "Baseline");
+    }
+
+    #[test]
+    fn descriptor_round_trips_through_instantiate() {
+        for t in Technique::all_with(&[thr(0), thr(7), thr(32)]) {
+            let d = t.descriptor();
+            assert_eq!(d.instantiate(t.threshold().unwrap_or_default()), t);
+            assert_eq!(d.takes_threshold, t.threshold().is_some());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_labels_and_cli_names() {
+        for t in Technique::all_with(&[thr(0), thr(16)]) {
+            assert_eq!(Technique::parse(&t.label()).unwrap(), t);
+            assert_eq!(Technique::parse(&t.cli_name()).unwrap(), t);
+            assert_eq!(t.label().to_lowercase().parse::<Technique>().unwrap(), t);
+        }
+        // Bare parametric families use the default threshold.
+        assert_eq!(
+            Technique::parse("sw-s").unwrap(),
+            Technique::SwS(BalanceThreshold::default())
+        );
+        // `lab-ideal` must not parse as family `lab` + junk threshold.
+        assert_eq!(Technique::parse("lab-ideal").unwrap(), Technique::LabIdeal);
+    }
+
+    #[test]
+    fn parse_rejects_unknowns_and_lists_valid_names() {
+        for bad in ["", "sw", "sw-b-33", "sw-b-", "arc", "lab-", "SW-Ş-8"] {
+            let err = Technique::parse(bad).unwrap_err();
+            let msg = err.to_string();
+            for d in &TECHNIQUES {
+                assert!(msg.contains(d.cli_name), "{msg} should list {}", d.cli_name);
+            }
+        }
+    }
+
+    #[test]
+    fn from_cli_matches_two_argument_form() {
+        assert_eq!(
+            Technique::from_cli("sw-b", Some(thr(8))).unwrap(),
+            Technique::SwB(thr(8))
+        );
+        assert_eq!(
+            Technique::from_cli("cccl", Some(thr(8))).unwrap(),
+            Technique::Cccl
+        );
+        assert!(Technique::from_cli("nope", None).is_err());
+    }
+
+    #[test]
+    fn registry_enumeration_covers_every_family_once() {
+        let all = Technique::registered();
+        assert_eq!(all.len(), TECHNIQUES.len());
+        let rewriters = Technique::all_with(&[thr(0), thr(16)])
+            .into_iter()
+            .filter(Technique::rewrites_trace)
+            .count();
+        // arc-hw, sw-s x2, sw-b x2, cccl.
+        assert_eq!(rewriters, 6);
+    }
+
+    #[test]
+    fn transform_objects_agree_with_prepare_cow() {
+        use warp_trace::{AtomicInstr, KernelKind, WarpTraceBuilder};
+        let mut b = WarpTraceBuilder::new();
+        b.compute_fp32(4)
+            .atomic(AtomicInstr::same_address(0x40, &[0.5; 32]));
+        let trace = KernelTrace::new("t", KernelKind::GradCompute, vec![b.finish()]);
+        for t in Technique::all_with(&[thr(0), thr(16)]) {
+            assert_eq!(
+                t.transform().apply(&trace).as_ref(),
+                t.prepare_cow(&trace).as_ref(),
+                "transform mismatch for {}",
+                t.label()
+            );
+            assert_eq!(
+                t.rewrites_trace(),
+                matches!(t.prepare_cow(&trace), Cow::Owned(_)),
+                "rewrites_trace flag wrong for {}",
+                t.label()
+            );
+        }
+    }
+}

@@ -29,6 +29,7 @@ mod config;
 mod energy;
 mod machine;
 pub mod parallel;
+pub mod paths;
 mod sim;
 mod stats;
 pub mod telemetry;
@@ -36,7 +37,8 @@ pub mod telemetry;
 pub use config::GpuConfig;
 pub use energy::{EnergyModel, EnergyReport};
 pub use parallel::{default_fast_forward, default_jobs, par_map};
-pub use sim::{AtomicPath, SimError, Simulator};
+pub use paths::{AtomicPath, TechniquePath};
+pub use sim::{SimError, Simulator};
 pub use stats::{EngineStats, IterationReport, KernelReport, SimCounters, StallBreakdown};
 pub use telemetry::{
     HistogramReport, KernelTelemetry, MetricKind, MetricSeries, MetricsRegistry, TelemetryConfig,

@@ -1,0 +1,120 @@
+//! ARC-HW path: greedy scheduling of `atomred` transactions between
+//! the per-sub-core reduction units and the ROPs (paper §4.3/§5.1).
+
+use warp_trace::AtomicBundle;
+
+use arc_core::coalesce_atomic_sizes_into;
+
+use crate::config::GpuConfig;
+use crate::machine::{AggBuffer, MemReq, ReqKind};
+use crate::paths::{AtomicBackend, AtomicIssue, AtomicIssueCtx};
+use crate::sim::{advance, advance_bundle, ldst_busy, WarpRt};
+
+/// ARC-HW: the paper's hardware design. No aggregation buffer — the
+/// added state is the per-sub-core reduction unit, which the greedy
+/// issue below feeds.
+pub(crate) struct ArcHw;
+
+impl AtomicBackend for ArcHw {
+    fn label(&self) -> &'static str {
+        "ARC-HW"
+    }
+
+    fn description(&self) -> &'static str {
+        "`atomred` scheduled greedily between per-sub-core reduction units and the ROPs"
+    }
+
+    fn agg_buffer(&self, _cfg: &GpuConfig) -> Option<AggBuffer> {
+        None
+    }
+
+    fn issue_atomred(
+        &self,
+        ctx: &mut AtomicIssueCtx<'_>,
+        bundle: &AtomicBundle,
+        rt: &mut WarpRt,
+    ) -> AtomicIssue {
+        if bundle.params.is_empty() {
+            ctx.counters.instructions_issued += 1;
+            advance(rt, ctx.retired, ctx.instr_len);
+            return AtomicIssue::Issued;
+        }
+        let param = &bundle.params[rt.sub as usize];
+        if param.active_count() == 0 {
+            ctx.counters.instructions_issued += 1;
+            advance_bundle(rt, ctx.retired, ctx.instr_len, bundle.params.len());
+            return AtomicIssue::Issued;
+        }
+        if ctx.cycle < *ctx.ldst_free_at {
+            return AtomicIssue::Blocked;
+        }
+        // Cheap pre-check before paying for coalescing: if neither a
+        // reduction-unit slot nor a single LSU slot is available,
+        // nothing can be scheduled this cycle.
+        if ctx.redunit.space(ctx.cfg.redunit_queue_capacity) == 0 && !ctx.lsu.can_accept(1) {
+            return AtomicIssue::Blocked;
+        }
+        coalesce_atomic_sizes_into(param, ctx.tx_scratch);
+        // Greedy scheduling "depending on which queue is free" (paper
+        // §4.3): each transaction goes to whichever of the
+        // reduction-unit queue and the LSU/ROP path is relatively
+        // emptier, overflowing to the other side. The LDST-stall signal
+        // is folded in: a stalled LSU reads as fully occupied.
+        let mut red_pending = ctx.redunit.pending() as u32;
+        let mut rop_total = 0u32;
+        ctx.plan_scratch.clear();
+        for &(_, size) in ctx.tx_scratch.iter() {
+            let red_space = ctx.cfg.redunit_queue_capacity.saturating_sub(red_pending);
+            let red_frac =
+                f64::from(red_pending) / f64::from(ctx.cfg.redunit_queue_capacity.max(1));
+            let lsu_frac = if ctx.lsu.stalled(ctx.cfg.lsu_stall_threshold) {
+                1.0
+            } else {
+                (ctx.lsu.occupancy_fraction()
+                    + f64::from(rop_total) / f64::from(ctx.cfg.lsu_queue_capacity))
+                .min(1.0)
+            };
+            if red_space > 0 && red_frac <= lsu_frac {
+                ctx.plan_scratch.push(true);
+                red_pending += 1;
+            } else if ctx.lsu.can_accept(rop_total + size) {
+                ctx.plan_scratch.push(false);
+                rop_total += size;
+            } else if red_space > 0 {
+                ctx.plan_scratch.push(true);
+                red_pending += 1;
+            } else {
+                return AtomicIssue::Blocked;
+            }
+        }
+        let mut red_count = 0u64;
+        for (&(addr, size), &reduce) in ctx.tx_scratch.iter().zip(ctx.plan_scratch.iter()) {
+            let partition = ctx.cfg.partition_of(addr) as u32;
+            if reduce {
+                ctx.redunit.push(size, addr, partition);
+                ctx.counters.redunit_transactions += 1;
+                red_count += 1;
+            } else {
+                ctx.counters.rop_routed_transactions += 1;
+                ctx.lsu.push(
+                    MemReq {
+                        size,
+                        partition,
+                        addr,
+                        kind: ReqKind::Atomic,
+                    },
+                    ctx.counters,
+                );
+            }
+        }
+        let busy = if rop_total > 0 {
+            ldst_busy(rop_total, ctx.cfg.ldst_dispatch_width)
+        } else {
+            0
+        } + red_count;
+        *ctx.ldst_free_at = ctx.cycle + busy.max(1);
+        ctx.counters.instructions_issued += 1;
+        advance_bundle(rt, ctx.retired, ctx.instr_len, bundle.params.len());
+        AtomicIssue::Issued
+    }
+}

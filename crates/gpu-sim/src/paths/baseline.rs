@@ -1,0 +1,25 @@
+//! Baseline path: every atomic goes to the L2 ROP units.
+
+use crate::config::GpuConfig;
+use crate::machine::AggBuffer;
+use crate::paths::AtomicBackend;
+
+/// Plain `atomicAdd` hardware — the reference the paper measures
+/// against. No SM-side aggregation; `atomred` instructions fall back to
+/// the default plain-atomic issue ("the ARC reduction unit is
+/// bypassed", §5.6).
+pub(crate) struct Baseline;
+
+impl AtomicBackend for Baseline {
+    fn label(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn description(&self) -> &'static str {
+        "all atomics go to the L2 ROP units (`atomicAdd` semantics)"
+    }
+
+    fn agg_buffer(&self, _cfg: &GpuConfig) -> Option<AggBuffer> {
+        None
+    }
+}

@@ -1,0 +1,46 @@
+//! LAB paths: atomics aggregate in L1-resident SRAM buffers
+//! (Dalmia et al., HPCA'22), in the realistic and idealized variants.
+
+use crate::config::GpuConfig;
+use crate::machine::AggBuffer;
+use crate::paths::AtomicBackend;
+
+/// LAB: atomic buffering in a partition of the L1/shared-memory SRAM.
+/// Buffered loads pay the L1-contention penalty; `atomred` has no
+/// special hardware and issues as a plain atomic.
+pub(crate) struct Lab;
+
+impl AtomicBackend for Lab {
+    fn label(&self) -> &'static str {
+        "LAB"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomics aggregate in a partition of the L1/shared-memory SRAM, contending with loads"
+    }
+
+    fn agg_buffer(&self, cfg: &GpuConfig) -> Option<AggBuffer> {
+        Some(AggBuffer::lab(
+            cfg.lab_entries as usize,
+            cfg.lab_l1_load_penalty,
+        ))
+    }
+}
+
+/// LAB-ideal: a dedicated same-capacity SRAM with no tag/L1 contention
+/// overheads — the paper's idealized comparator.
+pub(crate) struct LabIdeal;
+
+impl AtomicBackend for LabIdeal {
+    fn label(&self) -> &'static str {
+        "LAB-ideal"
+    }
+
+    fn description(&self) -> &'static str {
+        "idealized LAB: dedicated SRAM, no tag/L1 contention overheads"
+    }
+
+    fn agg_buffer(&self, cfg: &GpuConfig) -> Option<AggBuffer> {
+        Some(AggBuffer::lab(cfg.lab_ideal_entries as usize, 0))
+    }
+}

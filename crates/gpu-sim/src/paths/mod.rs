@@ -1,0 +1,277 @@
+//! Pluggable atomic-path backends.
+//!
+//! [`AtomicPath`] is a thin enum: each variant delegates its
+//! path-specific behaviour — which aggregation buffer the SMs carry and
+//! how an `atomred` instruction is issued — to a backend module
+//! implementing the crate-internal `AtomicBackend` trait
+//! (`baseline`, `arc_hw`, `lab`, `phi`). The queue/scheduler
+//! plumbing in `sim`/`machine` stays path-agnostic: it asks the backend
+//! at the two decision points instead of matching on the path inline.
+//!
+//! Energy is attributed from event counters (`SimCounters` →
+//! `EnergyModel::evaluate`), so a backend's energy hook *is* the
+//! counters it increments while issuing (`redunit_transactions`,
+//! `rop_routed_transactions`, buffer hits/evictions via the
+//! `AggBuffer` it installs) — there is no separate per-path energy
+//! dispatch to implement.
+//!
+//! Adding a hardware path = one backend module here + one registry
+//! entry in `arc_core::technique` (see DESIGN.md §7).
+
+// Path dispatch must be exhaustive: a variant added to `AtomicPath` or
+// `Technique` without full wiring must fail to compile here, not fall
+// through a `_` arm.
+#![deny(
+    clippy::match_wildcard_for_single_variants,
+    clippy::wildcard_enum_match_arm
+)]
+
+pub(crate) mod arc_hw;
+pub(crate) mod baseline;
+pub(crate) mod lab;
+pub(crate) mod phi;
+
+use serde::{Deserialize, Serialize};
+use warp_trace::AtomicBundle;
+
+use arc_core::{coalesce_atomic_sizes_into, Technique};
+
+use crate::config::GpuConfig;
+use crate::machine::{AggBuffer, LsuQueue, MemReq, RedUnit, ReqKind};
+use crate::sim::{advance, advance_bundle, ldst_busy, WarpRt};
+use crate::stats::SimCounters;
+
+/// How the GPU handles atomic traffic — the paper's evaluated designs.
+///
+/// ARC-SW and CCCL are not separate paths: they are trace *rewrites*
+/// (see `arc_core::sw` / `arc_core::cccl`) executed on [`Baseline`].
+///
+/// [`Baseline`]: AtomicPath::Baseline
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicPath {
+    /// All atomics go to the L2 ROP units (`atomicAdd` semantics).
+    Baseline,
+    /// ARC-HW: greedy scheduling between per-sub-core reduction units
+    /// and the ROPs for `AtomRed` instructions (paper §4.3/§5.1).
+    ArcHw,
+    /// LAB: atomics aggregate in a partition of the L1/shared-memory
+    /// SRAM (Dalmia et al., HPCA'22), contending with normal loads.
+    Lab,
+    /// LAB-ideal: a dedicated same-capacity SRAM with no tag/L1
+    /// contention overheads (the paper's idealized comparator).
+    LabIdeal,
+    /// PHI: commutative atomics aggregate in L1 cache lines (Mukkara et
+    /// al., MICRO'19); every request still traverses the LSU first.
+    Phi,
+}
+
+impl AtomicPath {
+    /// Figure-label name.
+    pub fn label(self) -> &'static str {
+        self.backend().label()
+    }
+
+    /// One-line description of the modeled design.
+    pub fn description(self) -> &'static str {
+        self.backend().description()
+    }
+
+    /// All evaluated hardware paths.
+    pub const ALL: [AtomicPath; 5] = [
+        AtomicPath::Baseline,
+        AtomicPath::ArcHw,
+        AtomicPath::Lab,
+        AtomicPath::LabIdeal,
+        AtomicPath::Phi,
+    ];
+
+    /// The backend module implementing this path's behaviour.
+    pub(crate) fn backend(self) -> &'static dyn AtomicBackend {
+        match self {
+            AtomicPath::Baseline => &baseline::Baseline,
+            AtomicPath::ArcHw => &arc_hw::ArcHw,
+            AtomicPath::Lab => &lab::Lab,
+            AtomicPath::LabIdeal => &lab::LabIdeal,
+            AtomicPath::Phi => &phi::Phi,
+        }
+    }
+}
+
+/// Maps a registered [`Technique`] to the hardware [`AtomicPath`] it
+/// runs on. Lives here — not in `arc_core` — because the core crate is
+/// substrate-independent and must not name simulator types.
+pub trait TechniquePath {
+    /// The hardware path simulating this technique.
+    fn path(&self) -> AtomicPath;
+}
+
+impl TechniquePath for Technique {
+    fn path(&self) -> AtomicPath {
+        match self {
+            Technique::Baseline | Technique::SwS(_) | Technique::SwB(_) | Technique::Cccl => {
+                AtomicPath::Baseline
+            }
+            Technique::ArcHw => AtomicPath::ArcHw,
+            Technique::Lab => AtomicPath::Lab,
+            Technique::LabIdeal => AtomicPath::LabIdeal,
+            Technique::Phi => AtomicPath::Phi,
+        }
+    }
+}
+
+/// Whether an atomic issue attempt succeeded this cycle.
+pub(crate) enum AtomicIssue {
+    /// The instruction (or one bundle parameter) was issued.
+    Issued,
+    /// The warp stalls on the LSU-atomic class this cycle.
+    Blocked,
+}
+
+/// Everything a backend may touch while issuing one atomic instruction:
+/// the issuing sub-core's LDST port and reduction unit, the SM's LSU,
+/// and the SM-local accounting. Reborrowed per attempt inside the
+/// sub-core scan loop.
+pub(crate) struct AtomicIssueCtx<'a> {
+    pub(crate) cfg: &'a GpuConfig,
+    pub(crate) cycle: u64,
+    /// Instruction count of the issuing warp's trace (for retirement).
+    pub(crate) instr_len: usize,
+    pub(crate) ldst_free_at: &'a mut u64,
+    pub(crate) redunit: &'a mut RedUnit,
+    /// Reusable coalescing buffer: (addr, lane-values) per transaction.
+    pub(crate) tx_scratch: &'a mut Vec<(u64, u32)>,
+    /// Reusable ARC-HW greedy plan (true = reduce).
+    pub(crate) plan_scratch: &'a mut Vec<bool>,
+    pub(crate) lsu: &'a mut LsuQueue,
+    pub(crate) counters: &'a mut SimCounters,
+    pub(crate) retired: &'a mut u64,
+}
+
+/// One atomic-path backend: the per-path behaviour carved out of the
+/// cycle loop. Everything else in `sim`/`machine` is path-agnostic.
+pub(crate) trait AtomicBackend: Sync {
+    /// Figure-label name (single source: [`AtomicPath::label`]).
+    fn label(&self) -> &'static str;
+
+    /// One-line description of the modeled design.
+    fn description(&self) -> &'static str;
+
+    /// The aggregation buffer each SM carries under this path, if any
+    /// (admission + service timing of buffered atomics live in
+    /// [`AggBuffer`]; its drain is driven path-agnostically by the
+    /// cycle loop).
+    fn agg_buffer(&self, cfg: &GpuConfig) -> Option<AggBuffer>;
+
+    /// Issues one `atomred` instruction (or one parameter of its
+    /// bundle). The default models hardware without ARC support:
+    /// "the ARC reduction unit is bypassed" (§5.6) and the instruction
+    /// behaves as a plain atomic.
+    fn issue_atomred(
+        &self,
+        ctx: &mut AtomicIssueCtx<'_>,
+        bundle: &AtomicBundle,
+        rt: &mut WarpRt,
+    ) -> AtomicIssue {
+        issue_plain_atomic(ctx, bundle, rt)
+    }
+}
+
+/// Issues one parameter of a plain atomic bundle to the LSU → ROP path.
+/// Path-independent: every backend routes `Instr::Atomic` through here,
+/// and the default [`AtomicBackend::issue_atomred`] reuses it.
+pub(crate) fn issue_plain_atomic(
+    ctx: &mut AtomicIssueCtx<'_>,
+    bundle: &AtomicBundle,
+    rt: &mut WarpRt,
+) -> AtomicIssue {
+    if bundle.params.is_empty() {
+        ctx.counters.instructions_issued += 1;
+        advance(rt, ctx.retired, ctx.instr_len);
+        return AtomicIssue::Issued;
+    }
+    let param = &bundle.params[rt.sub as usize];
+    // Cheap pre-check (no allocation): the total lane-value size equals
+    // the active-lane count regardless of how the coalescer groups it.
+    let total = param.active_count();
+    if total == 0 {
+        ctx.counters.instructions_issued += 1;
+        advance_bundle(rt, ctx.retired, ctx.instr_len, bundle.params.len());
+        return AtomicIssue::Issued;
+    }
+    if ctx.cycle < *ctx.ldst_free_at || !ctx.lsu.can_accept(total) {
+        return AtomicIssue::Blocked;
+    }
+    coalesce_atomic_sizes_into(param, ctx.tx_scratch);
+    for &(addr, size) in ctx.tx_scratch.iter() {
+        ctx.lsu.push(
+            MemReq {
+                size,
+                partition: ctx.cfg.partition_of(addr) as u32,
+                addr,
+                kind: ReqKind::Atomic,
+            },
+            ctx.counters,
+        );
+    }
+    *ctx.ldst_free_at = ctx.cycle + ldst_busy(total, ctx.cfg.ldst_dispatch_width);
+    ctx.counters.instructions_issued += 1;
+    advance_bundle(rt, ctx.retired, ctx.instr_len, bundle.params.len());
+    AtomicIssue::Issued
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_are_the_path_labels() {
+        for path in AtomicPath::ALL {
+            let backend = path.backend();
+            assert_eq!(path.label(), backend.label());
+            assert!(!backend.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn technique_to_path_mapping() {
+        use arc_core::BalanceThreshold;
+        let thr = BalanceThreshold::default();
+        // Software techniques run on the baseline hardware path.
+        for t in [
+            Technique::Baseline,
+            Technique::SwS(thr),
+            Technique::SwB(thr),
+            Technique::Cccl,
+        ] {
+            assert_eq!(t.path(), AtomicPath::Baseline);
+        }
+        assert_eq!(Technique::ArcHw.path(), AtomicPath::ArcHw);
+        assert_eq!(Technique::Lab.path(), AtomicPath::Lab);
+        assert_eq!(Technique::LabIdeal.path(), AtomicPath::LabIdeal);
+        assert_eq!(Technique::Phi.path(), AtomicPath::Phi);
+        // Every hardware path is reachable from some registered
+        // technique, and labels agree where the concepts coincide.
+        for path in AtomicPath::ALL {
+            let t = Technique::registered()
+                .into_iter()
+                .find(|t| t.path() == path)
+                .expect("unreachable hardware path");
+            if !t.rewrites_trace() || t == Technique::ArcHw {
+                assert_eq!(t.label(), path.label());
+            }
+        }
+    }
+
+    #[test]
+    fn only_lab_and_phi_install_buffers() {
+        let cfg = GpuConfig::tiny();
+        for path in AtomicPath::ALL {
+            let has_buffer = path.backend().agg_buffer(&cfg).is_some();
+            let expected = matches!(
+                path,
+                AtomicPath::Lab | AtomicPath::LabIdeal | AtomicPath::Phi
+            );
+            assert_eq!(has_buffer, expected, "buffer mismatch for {path:?}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! PHI path: commutative atomics aggregate in L1 cache lines
+//! (Mukkara et al., MICRO'19).
+
+use crate::config::GpuConfig;
+use crate::machine::AggBuffer;
+use crate::paths::AtomicBackend;
+
+/// PHI: every atomic still traverses the LSU, then aggregates in an
+/// L1 line until eviction. `atomred` has no special hardware and issues
+/// as a plain atomic.
+pub(crate) struct Phi;
+
+impl AtomicBackend for Phi {
+    fn label(&self) -> &'static str {
+        "PHI"
+    }
+
+    fn description(&self) -> &'static str {
+        "commutative atomics aggregate in L1 cache lines; requests still traverse the LSU"
+    }
+
+    fn agg_buffer(&self, cfg: &GpuConfig) -> Option<AggBuffer> {
+        Some(AggBuffer::phi(
+            cfg.phi_lines as usize,
+            cfg.phi_l1_load_penalty,
+        ))
+    }
+}

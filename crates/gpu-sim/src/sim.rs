@@ -32,63 +32,15 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 
-use serde::{Deserialize, Serialize};
 use warp_trace::{ComputeKind, Instr, KernelTrace};
-
-use arc_core::coalesce_atomic_sizes_into;
 
 use crate::config::GpuConfig;
 use crate::energy::EnergyModel;
 use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind, SmPort};
 use crate::parallel::{default_fast_forward, default_sim_workers};
+use crate::paths::{issue_plain_atomic, AtomicIssue, AtomicIssueCtx, AtomicPath};
 use crate::stats::{EngineStats, IterationReport, KernelReport, SimCounters, StallBreakdown};
 use crate::telemetry::{KernelTelemetry, SampleSnapshot, TelemetryConfig, TelemetryState};
-
-/// How the GPU handles atomic traffic — the paper's evaluated designs.
-///
-/// ARC-SW and CCCL are not separate paths: they are trace *rewrites*
-/// (see `arc_core::sw` / `arc_core::cccl`) executed on [`Baseline`].
-///
-/// [`Baseline`]: AtomicPath::Baseline
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum AtomicPath {
-    /// All atomics go to the L2 ROP units (`atomicAdd` semantics).
-    Baseline,
-    /// ARC-HW: greedy scheduling between per-sub-core reduction units
-    /// and the ROPs for `AtomRed` instructions (paper §4.3/§5.1).
-    ArcHw,
-    /// LAB: atomics aggregate in a partition of the L1/shared-memory
-    /// SRAM (Dalmia et al., HPCA'22), contending with normal loads.
-    Lab,
-    /// LAB-ideal: a dedicated same-capacity SRAM with no tag/L1
-    /// contention overheads (the paper's idealized comparator).
-    LabIdeal,
-    /// PHI: commutative atomics aggregate in L1 cache lines (Mukkara et
-    /// al., MICRO'19); every request still traverses the LSU first.
-    Phi,
-}
-
-impl AtomicPath {
-    /// Figure-label name.
-    pub fn label(self) -> &'static str {
-        match self {
-            AtomicPath::Baseline => "Baseline",
-            AtomicPath::ArcHw => "ARC-HW",
-            AtomicPath::Lab => "LAB",
-            AtomicPath::LabIdeal => "LAB-ideal",
-            AtomicPath::Phi => "PHI",
-        }
-    }
-
-    /// All evaluated hardware paths.
-    pub const ALL: [AtomicPath; 5] = [
-        AtomicPath::Baseline,
-        AtomicPath::ArcHw,
-        AtomicPath::Lab,
-        AtomicPath::LabIdeal,
-        AtomicPath::Phi,
-    ];
-}
 
 /// Errors from constructing or running a simulation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -336,13 +288,13 @@ impl Simulator {
 // ---------------------------------------------------------------------
 
 #[derive(Clone, Copy, Debug, Default)]
-struct WarpRt {
-    pc: u32,
+pub(crate) struct WarpRt {
+    pub(crate) pc: u32,
     /// Progress within the current instruction: compute repeats issued,
     /// or bundle params issued.
-    sub: u32,
-    outstanding: u32,
-    done: bool,
+    pub(crate) sub: u32,
+    pub(crate) outstanding: u32,
+    pub(crate) done: bool,
 }
 
 /// A warp resident in a sub-core slot. Warp state lives *inside* the
@@ -488,21 +440,6 @@ impl<'a> Machine<'a> {
         fast_forward: bool,
         telemetry: Option<&TelemetryConfig>,
     ) -> Self {
-        let buffer_for = |sm_path: AtomicPath| -> Option<AggBuffer> {
-            match sm_path {
-                AtomicPath::Lab => Some(AggBuffer::lab(
-                    cfg.lab_entries as usize,
-                    cfg.lab_l1_load_penalty,
-                )),
-                AtomicPath::LabIdeal => Some(AggBuffer::lab(cfg.lab_ideal_entries as usize, 0)),
-                AtomicPath::Phi => Some(AggBuffer::phi(
-                    cfg.phi_lines as usize,
-                    cfg.phi_l1_load_penalty,
-                )),
-                _ => None,
-            }
-        };
-
         let lanes: Vec<Mutex<SmLane>> = (0..cfg.num_sms)
             .map(|sm_idx| {
                 Mutex::new(SmLane {
@@ -518,7 +455,7 @@ impl<'a> Machine<'a> {
                             })
                             .collect(),
                         lsu: LsuQueue::new(cfg.lsu_queue_capacity),
-                        buffer: buffer_for(path),
+                        buffer: path.backend().agg_buffer(cfg),
                     },
                     outbox: Vec::new(),
                     sent: vec![0; cfg.num_mem_partitions as usize],
@@ -1311,7 +1248,7 @@ fn debug_trace(shared: &Shared<'_>, hub: &Hub, cycle: u64) {
 }
 
 /// Cycles the LDST port stays busy dispatching `units` lane-values.
-fn ldst_busy(units: u32, width: u32) -> u64 {
+pub(crate) fn ldst_busy(units: u32, width: u32) -> u64 {
     u64::from(units.div_ceil(width).max(1))
 }
 
@@ -1348,7 +1285,7 @@ fn issue_one(
     let mut saw_lsu_atomic = false;
     let mut saw_lsu_data = false;
 
-    'scan: for k in 0..n {
+    for k in 0..n {
         let pos = (*rr + k) % n;
         let warp = &mut resident[pos];
         let w = warp.id;
@@ -1440,43 +1377,19 @@ fn issue_one(
                 return Outcome::Issued;
             }
             Instr::Atomic(bundle) => {
-                match issue_plain_atomic(
+                let mut ctx = AtomicIssueCtx {
                     cfg,
                     cycle,
-                    ldst_free_at,
-                    lsu,
-                    bundle,
-                    rt,
-                    counters,
-                    retired,
-                    instrs.len(),
-                    tx_scratch,
-                ) {
-                    AtomicIssue::Issued => {
-                        *rr = pos;
-                        return Outcome::Issued;
-                    }
-                    AtomicIssue::Blocked => {
-                        saw_lsu_atomic = true;
-                        continue;
-                    }
-                }
-            }
-            Instr::AtomRed(bundle) if path != AtomicPath::ArcHw => {
-                // `atomred` on a GPU without ARC-HW behaves as a plain
-                // atomic ("the ARC reduction unit is bypassed", §5.6).
-                match issue_plain_atomic(
-                    cfg,
-                    cycle,
-                    ldst_free_at,
-                    lsu,
-                    bundle,
-                    rt,
-                    counters,
-                    retired,
-                    instrs.len(),
-                    tx_scratch,
-                ) {
+                    instr_len: instrs.len(),
+                    ldst_free_at: &mut *ldst_free_at,
+                    redunit: &mut *redunit,
+                    tx_scratch: &mut *tx_scratch,
+                    plan_scratch: &mut *plan_scratch,
+                    lsu: &mut *lsu,
+                    counters: &mut *counters,
+                    retired: &mut *retired,
+                };
+                match issue_plain_atomic(&mut ctx, bundle, rt) {
                     AtomicIssue::Issued => {
                         *rr = pos;
                         return Outcome::Issued;
@@ -1488,97 +1401,32 @@ fn issue_one(
                 }
             }
             Instr::AtomRed(bundle) => {
-                // ARC-HW path: greedy scheduling between reduction unit
-                // and ROPs, decided per transaction (paper §4.3).
-                if bundle.params.is_empty() {
-                    counters.instructions_issued += 1;
-                    advance(rt, retired, instrs.len());
-                    *rr = pos;
-                    return Outcome::Issued;
-                }
-                let param = &bundle.params[rt.sub as usize];
-                if param.active_count() == 0 {
-                    counters.instructions_issued += 1;
-                    advance_bundle(rt, retired, instrs.len(), bundle.params.len());
-                    *rr = pos;
-                    return Outcome::Issued;
-                }
-                if cycle < *ldst_free_at {
-                    saw_lsu_atomic = true;
-                    continue;
-                }
-                // Cheap pre-check before paying for coalescing: if
-                // neither a reduction-unit slot nor a single LSU slot is
-                // available, nothing can be scheduled this cycle.
-                if redunit.space(cfg.redunit_queue_capacity) == 0 && !lsu.can_accept(1) {
-                    saw_lsu_atomic = true;
-                    continue;
-                }
-                coalesce_atomic_sizes_into(param, tx_scratch);
-                // Greedy scheduling "depending on which queue is free"
-                // (paper §4.3): each transaction goes to whichever of
-                // the reduction-unit queue and the LSU/ROP path is
-                // relatively emptier, overflowing to the other side.
-                // The LDST-stall signal is folded in: a stalled LSU
-                // reads as fully occupied.
-                let mut red_pending = redunit.pending() as u32;
-                let mut rop_total = 0u32;
-                plan_scratch.clear();
-                for &(_, size) in tx_scratch.iter() {
-                    let red_space = cfg.redunit_queue_capacity.saturating_sub(red_pending);
-                    let red_frac =
-                        f64::from(red_pending) / f64::from(cfg.redunit_queue_capacity.max(1));
-                    let lsu_frac = if lsu.stalled(cfg.lsu_stall_threshold) {
-                        1.0
-                    } else {
-                        (lsu.occupancy_fraction()
-                            + f64::from(rop_total) / f64::from(cfg.lsu_queue_capacity))
-                        .min(1.0)
-                    };
-                    if red_space > 0 && red_frac <= lsu_frac {
-                        plan_scratch.push(true);
-                        red_pending += 1;
-                    } else if lsu.can_accept(rop_total + size) {
-                        plan_scratch.push(false);
-                        rop_total += size;
-                    } else if red_space > 0 {
-                        plan_scratch.push(true);
-                        red_pending += 1;
-                    } else {
+                // Path-specific: ARC-HW schedules greedily between its
+                // reduction units and the ROPs; every other backend
+                // bypasses the (absent) reduction unit and issues a
+                // plain atomic (§5.6).
+                let mut ctx = AtomicIssueCtx {
+                    cfg,
+                    cycle,
+                    instr_len: instrs.len(),
+                    ldst_free_at: &mut *ldst_free_at,
+                    redunit: &mut *redunit,
+                    tx_scratch: &mut *tx_scratch,
+                    plan_scratch: &mut *plan_scratch,
+                    lsu: &mut *lsu,
+                    counters: &mut *counters,
+                    retired: &mut *retired,
+                };
+                match path.backend().issue_atomred(&mut ctx, bundle, rt) {
+                    AtomicIssue::Issued => {
+                        *rr = pos;
+                        return Outcome::Issued;
+                    }
+                    AtomicIssue::Blocked => {
                         saw_lsu_atomic = true;
-                        continue 'scan;
+                        continue;
                     }
                 }
-                let mut red_count = 0u64;
-                for (&(addr, size), &reduce) in tx_scratch.iter().zip(plan_scratch.iter()) {
-                    let partition = cfg.partition_of(addr) as u32;
-                    if reduce {
-                        redunit.push(size, addr, partition);
-                        counters.redunit_transactions += 1;
-                        red_count += 1;
-                    } else {
-                        counters.rop_routed_transactions += 1;
-                        lsu.push(
-                            MemReq {
-                                size,
-                                partition,
-                                addr,
-                                kind: ReqKind::Atomic,
-                            },
-                            counters,
-                        );
-                    }
-                }
-                let busy = if rop_total > 0 {
-                    ldst_busy(rop_total, cfg.ldst_dispatch_width)
-                } else {
-                    0
-                } + red_count;
-                *ldst_free_at = cycle + busy.max(1);
-                counters.instructions_issued += 1;
-                advance_bundle(rt, retired, instrs.len(), bundle.params.len());
-                *rr = pos;
-                return Outcome::Issued;
             }
         }
     }
@@ -1594,62 +1442,8 @@ fn issue_one(
     }
 }
 
-enum AtomicIssue {
-    Issued,
-    Blocked,
-}
-
-/// Issues one parameter of a plain atomic bundle to the LSU → ROP path.
-#[allow(clippy::too_many_arguments)]
-fn issue_plain_atomic(
-    cfg: &GpuConfig,
-    cycle: u64,
-    ldst_free_at: &mut u64,
-    lsu: &mut LsuQueue,
-    bundle: &warp_trace::AtomicBundle,
-    rt: &mut WarpRt,
-    counters: &mut SimCounters,
-    retired: &mut u64,
-    len: usize,
-    tx_scratch: &mut Vec<(u64, u32)>,
-) -> AtomicIssue {
-    if bundle.params.is_empty() {
-        counters.instructions_issued += 1;
-        advance(rt, retired, len);
-        return AtomicIssue::Issued;
-    }
-    let param = &bundle.params[rt.sub as usize];
-    // Cheap pre-check (no allocation): the total lane-value size equals
-    // the active-lane count regardless of how the coalescer groups it.
-    let total = param.active_count();
-    if total == 0 {
-        counters.instructions_issued += 1;
-        advance_bundle(rt, retired, len, bundle.params.len());
-        return AtomicIssue::Issued;
-    }
-    if cycle < *ldst_free_at || !lsu.can_accept(total) {
-        return AtomicIssue::Blocked;
-    }
-    coalesce_atomic_sizes_into(param, tx_scratch);
-    for &(addr, size) in tx_scratch.iter() {
-        lsu.push(
-            MemReq {
-                size,
-                partition: cfg.partition_of(addr) as u32,
-                addr,
-                kind: ReqKind::Atomic,
-            },
-            counters,
-        );
-    }
-    *ldst_free_at = cycle + ldst_busy(total, cfg.ldst_dispatch_width);
-    counters.instructions_issued += 1;
-    advance_bundle(rt, retired, len, bundle.params.len());
-    AtomicIssue::Issued
-}
-
 /// Advances past a single-slot instruction (or the last repeat).
-fn advance(rt: &mut WarpRt, retired: &mut u64, len: usize) {
+pub(crate) fn advance(rt: &mut WarpRt, retired: &mut u64, len: usize) {
     rt.pc += 1;
     rt.sub = 0;
     if rt.pc as usize >= len && rt.outstanding == 0 && !rt.done {
@@ -1659,7 +1453,7 @@ fn advance(rt: &mut WarpRt, retired: &mut u64, len: usize) {
 }
 
 /// Advances within a multi-parameter atomic bundle.
-fn advance_bundle(rt: &mut WarpRt, retired: &mut u64, len: usize, params: usize) {
+pub(crate) fn advance_bundle(rt: &mut WarpRt, retired: &mut u64, len: usize, params: usize) {
     rt.sub += 1;
     if rt.sub as usize >= params {
         advance(rt, retired, len);

@@ -1,7 +1,7 @@
 //! Simulator observability: a metrics registry, periodic queue/stall
 //! sampling, warp-lifetime events, and Chrome-trace export.
 //!
-//! The end-of-run aggregates in [`crate::stats`] say *how much* a kernel
+//! The end-of-run aggregates in `crate::stats` say *how much* a kernel
 //! stalled; this module says *when*. A [`MetricsRegistry`] holds three
 //! metric kinds:
 //!

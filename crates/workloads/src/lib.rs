@@ -15,6 +15,7 @@ pub mod pagerank;
 pub mod runner;
 pub mod specs;
 
+pub use gpu_sim::TechniquePath;
 pub use runner::{
     run_gradcomp, run_gradcomp_telemetry, run_iteration, run_iteration_with, Technique,
 };

@@ -1,94 +1,20 @@
 //! Experiment runner: applies a technique (hardware path and/or trace
 //! rewrite) to a workload and simulates it.
+//!
+//! The technique catalogue itself lives in the canonical registry
+//! (`arc_core::technique`); this module re-exports [`Technique`] and
+//! binds it to the simulator via [`TechniquePath`].
 
-use std::borrow::Cow;
-
-use serde::{Deserialize, Serialize};
 use warp_trace::KernelTrace;
 
-use arc_core::{rewrite_kernel_cccl, rewrite_kernel_sw, BalanceThreshold, SwConfig};
 use gpu_sim::{
-    AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, SimError, Simulator,
+    GpuConfig, IterationReport, KernelReport, KernelTelemetry, SimError, Simulator, TechniquePath,
     TelemetryConfig,
 };
 
+pub use arc_core::Technique;
+
 use crate::specs::IterationTraces;
-
-/// An evaluated technique — the union of the paper's hardware paths and
-/// software rewrites.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub enum Technique {
-    /// Plain `atomicAdd` to the ROPs.
-    Baseline,
-    /// ARC-HW (`atomred` + greedy scheduling + reduction units).
-    ArcHw,
-    /// ARC-SW serialized reduction with a balancing threshold.
-    SwS(BalanceThreshold),
-    /// ARC-SW butterfly reduction with a balancing threshold.
-    SwB(BalanceThreshold),
-    /// CCCL-style full-warp software reduction.
-    Cccl,
-    /// LAB atomic buffering in partitioned L1 SRAM.
-    Lab,
-    /// Idealized LAB with a dedicated buffer.
-    LabIdeal,
-    /// PHI-style L1 aggregation of commutative atomics.
-    Phi,
-}
-
-impl Technique {
-    /// The figure label for this technique.
-    pub fn label(&self) -> String {
-        match self {
-            Technique::Baseline => "Baseline".to_string(),
-            Technique::ArcHw => "ARC-HW".to_string(),
-            Technique::SwS(t) => format!("SW-S-{t}"),
-            Technique::SwB(t) => format!("SW-B-{t}"),
-            Technique::Cccl => "CCCL".to_string(),
-            Technique::Lab => "LAB".to_string(),
-            Technique::LabIdeal => "LAB-ideal".to_string(),
-            Technique::Phi => "PHI".to_string(),
-        }
-    }
-
-    /// The simulator atomic path this technique runs on.
-    pub fn path(&self) -> AtomicPath {
-        match self {
-            Technique::ArcHw => AtomicPath::ArcHw,
-            Technique::Lab => AtomicPath::Lab,
-            Technique::LabIdeal => AtomicPath::LabIdeal,
-            Technique::Phi => AtomicPath::Phi,
-            _ => AtomicPath::Baseline,
-        }
-    }
-
-    /// Prepares a kernel trace for this technique: software techniques
-    /// rewrite the atomics; ARC-HW swaps `atomicAdd` for `atomred`;
-    /// hardware-buffering techniques leave the trace untouched.
-    pub fn prepare(&self, trace: &KernelTrace) -> KernelTrace {
-        self.prepare_cow(trace).into_owned()
-    }
-
-    /// Like [`Technique::prepare`], but borrows the input when the
-    /// technique does not rewrite it — the hot path when the same shared
-    /// trace is simulated under many techniques (no per-run clone of a
-    /// multi-megabyte trace).
-    pub fn prepare_cow<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
-        match self {
-            Technique::Baseline | Technique::Lab | Technique::LabIdeal | Technique::Phi => {
-                Cow::Borrowed(trace)
-            }
-            Technique::ArcHw => Cow::Owned(trace.clone().with_atomred()),
-            Technique::SwS(t) => {
-                Cow::Owned(rewrite_kernel_sw(trace, &SwConfig::serialized(*t)).trace)
-            }
-            Technique::SwB(t) => {
-                Cow::Owned(rewrite_kernel_sw(trace, &SwConfig::butterfly(*t)).trace)
-            }
-            Technique::Cccl => Cow::Owned(rewrite_kernel_cccl(trace).trace),
-        }
-    }
-}
 
 /// Simulates just the gradient-computation kernel of a workload under a
 /// technique.
@@ -166,6 +92,8 @@ pub fn run_iteration_with(
 mod tests {
     use super::*;
     use crate::specs::spec;
+    use arc_core::BalanceThreshold;
+    use gpu_sim::AtomicPath;
 
     fn thr(v: u8) -> BalanceThreshold {
         BalanceThreshold::new(v).unwrap()

@@ -28,6 +28,11 @@ fi
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== cargo doc (-D warnings) =="
+# API docs must build clean: broken intra-doc links (e.g. a registry
+# item renamed without its references) fail CI here.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test (ARC_JOBS=2) =="
 ARC_JOBS=2 cargo test -q
 

@@ -1,0 +1,151 @@
+//! Registry-level integration tests.
+//!
+//! The canonical technique registry (`arc_core::technique::TECHNIQUES`)
+//! is the single source of truth for technique identity: labels, CLI
+//! names, thresholds, trace rewrites, and (through
+//! `gpu_sim::TechniquePath`) the atomic-path backend each technique
+//! drives. These tests pin the properties the rest of the stack relies
+//! on:
+//!
+//! * every spelling the registry can produce parses back to the same
+//!   technique, at every legal threshold (round-trip property);
+//! * every registered technique actually simulates on both GPU presets
+//!   (exhaustiveness — a registry entry can never be a dead label);
+//! * the README technique table lists every registered technique.
+
+use arc_dr::arc::{BalanceThreshold, Technique, TECHNIQUES};
+use arc_dr::sim::{GpuConfig, Simulator, TechniquePath};
+use arc_dr::trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
+use proptest::prelude::*;
+
+/// A tiny gradcomp-shaped kernel: two warps, contended and scattered
+/// atomics — enough to exercise every backend's issue path in a few
+/// hundred cycles.
+fn tiny_trace() -> KernelTrace {
+    let mut contended = WarpTraceBuilder::new();
+    contended.atomic(AtomicInstr::same_address(0x100, &[0.25; 32]));
+    contended.atomic(AtomicInstr::same_address(0x140, &[1.0; 32]));
+    let mut scattered = WarpTraceBuilder::new();
+    scattered.atomic(AtomicInstr::same_address(0x180, &[0.5; 32]));
+    KernelTrace::new(
+        "registry-tiny",
+        KernelKind::GradCompute,
+        vec![contended.finish(), scattered.finish()],
+    )
+}
+
+#[test]
+fn every_spelling_round_trips_at_every_threshold() {
+    let thresholds: Vec<BalanceThreshold> = BalanceThreshold::all().collect();
+    let techniques = Technique::all_with(&thresholds);
+    // 6 fixed techniques + 2 parametric families × 33 thresholds.
+    assert_eq!(techniques.len(), 6 + 2 * 33);
+    for t in techniques {
+        assert_eq!(t.label().parse::<Technique>().unwrap(), t, "label");
+        assert_eq!(t.cli_name().parse::<Technique>().unwrap(), t, "cli name");
+        // Spellings are case-insensitive in both directions.
+        assert_eq!(t.label().to_uppercase().parse::<Technique>().unwrap(), t);
+        assert_eq!(t.cli_name().to_uppercase().parse::<Technique>().unwrap(), t);
+        assert_eq!(t.label().to_lowercase().parse::<Technique>().unwrap(), t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fuzzed thresholds: the parametric families round-trip through
+    /// both the one-argument (`"sw-b-7"`) and two-argument
+    /// (`("sw-b", 7)`) CLI forms.
+    #[test]
+    fn parametric_families_round_trip(raw in 0u8..33) {
+        let thr = BalanceThreshold::new(raw).unwrap();
+        for t in [Technique::SwS(thr), Technique::SwB(thr)] {
+            prop_assert_eq!(t.label().parse::<Technique>().unwrap(), t);
+            prop_assert_eq!(t.cli_name().parse::<Technique>().unwrap(), t);
+            let family = t.descriptor().cli_name;
+            prop_assert_eq!(Technique::from_cli(family, Some(thr)).unwrap(), t);
+        }
+    }
+}
+
+#[test]
+fn every_registered_technique_simulates_on_both_presets() {
+    let trace = tiny_trace();
+    for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
+        for t in Technique::registered() {
+            let sim = Simulator::new(cfg.clone(), t.path())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", t.label(), cfg.name));
+            let report = sim
+                .run(&t.prepare(&trace))
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", t.label(), cfg.name));
+            assert!(
+                report.cycles > 0,
+                "{} on {} retired no cycles",
+                t.label(),
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn readme_technique_table_covers_the_registry() {
+    let readme = include_str!("../README.md");
+    for d in &TECHNIQUES {
+        assert!(
+            readme.contains(d.label),
+            "README.md technique table is missing label `{}`",
+            d.label
+        );
+        assert!(
+            readme.contains(d.cli_name),
+            "README.md technique table is missing CLI name `{}`",
+            d.cli_name
+        );
+    }
+}
+
+/// The "add a technique" recipe (DESIGN.md §7) as runnable
+/// documentation. A new *software* technique is one [`TraceTransform`]
+/// implementation plus one `TechniqueDesc` entry in
+/// `crates/core/src/technique.rs`; a new *hardware* path additionally
+/// needs one backend module under `crates/gpu-sim/src/paths/`. This
+/// walkthrough exercises the software half with a scratch transform and
+/// drives it through the simulator on an existing backend.
+///
+/// `#[ignore]`d because it is a recipe, not an invariant — run it with
+/// `cargo test --test technique_registry -- --ignored`.
+#[test]
+#[ignore = "DESIGN.md §7 recipe walkthrough; run with --ignored"]
+fn add_a_technique_recipe() {
+    use arc_dr::arc::TraceTransform;
+    use arc_dr::sim::AtomicPath;
+    use std::borrow::Cow;
+
+    // Step 1: implement the transform (what `prepare` will run).
+    struct HalveContention;
+    impl TraceTransform for HalveContention {
+        fn name(&self) -> &'static str {
+            "halve-contention"
+        }
+        fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+            // A real pass would rewrite the atomics; the recipe only
+            // needs the shape, so pass the trace through untouched.
+            Cow::Borrowed(trace)
+        }
+    }
+
+    // Step 2 (not shown executable here): add a `TechniqueDesc` row to
+    // `TECHNIQUES` with the new label/CLI name and a constructor; the
+    // registry tests above then cover parsing, and the conformance
+    // oracle picks the pass up automatically if it rewrites traces.
+
+    // The transform slots straight into the existing machinery: apply
+    // it, then simulate on whichever atomic path the technique maps to
+    // via `TechniquePath` (baseline here, as for all software passes).
+    let trace = tiny_trace();
+    let prepared = HalveContention.apply(&trace);
+    let sim = Simulator::new(GpuConfig::rtx4090_sim(), AtomicPath::Baseline).unwrap();
+    let report = sim.run(&prepared).unwrap();
+    assert!(report.cycles > 0);
+}
