@@ -31,7 +31,9 @@ fn main() {
         // Every registered technique, parametric families at thr=8.
         for t in Technique::all_with(&[thr]) {
             let sim = Simulator::new(cfg.clone(), t.path()).expect("valid config");
-            let r = sim.run(&t.prepare(&traces.gradcomp)).expect("drains");
+            let (r, _, engine) = sim
+                .run_detailed(&t.prepare(&traces.gradcomp))
+                .expect("drains");
             println!(
                 "{:10} cycles={:8} rop_util={:4.2} red_util={:4.2} issue_util={:4.2} \
                  rop_ops={:8} red_ops={:8} atomic_stalls={}",
@@ -43,6 +45,19 @@ fn main() {
                 r.counters.rop_lane_ops,
                 r.counters.redunit_lane_ops,
                 r.counters.atomic_stall_cycles
+            );
+            println!(
+                "{:10} stepped={:8} skip={:4.2} epochs={:6} epoch_cycles={:8} \
+                 mean_len={:5.1} max_len={:3} waits_avoided={:8} boundary_flits={}",
+                "",
+                engine.cycles_stepped,
+                engine.skip_ratio(),
+                engine.epochs,
+                engine.epoch_cycles,
+                engine.mean_epoch_len(),
+                engine.epoch_len_max,
+                engine.barrier_waits_avoided,
+                engine.boundary_flits
             );
         }
     }

@@ -47,17 +47,27 @@ pub enum TraceShape {
     /// fast-forward engine must shine and where off-by-one jump bugs
     /// hide.
     SparseIdle,
+    /// Every SM blasts multi-unit traffic (full-warp atomics on distinct
+    /// words, multi-sector loads and stores) across all memory
+    /// partitions at once, holding queue occupancies near their
+    /// capacity boundary — the regime where the epoch-safety analysis
+    /// must flip between accept-certain, reject-certain, and per-cycle
+    /// stepping without changing observable behavior.
+    IcntFlood,
 }
 
 impl TraceShape {
-    /// All shapes in generation order.
-    pub const ALL: [TraceShape; 6] = [
+    /// All shapes in generation order. New shapes are appended so the
+    /// `case -> shape` mapping of earlier cases (and everything derived
+    /// from their RNG streams, like the checked-in golden) is stable.
+    pub const ALL: [TraceShape; 7] = [
         TraceShape::Degenerate,
         TraceShape::HotAddressStorm,
         TraceShape::FullDensify,
         TraceShape::ScatterMix,
         TraceShape::MultiParamBundle,
         TraceShape::SparseIdle,
+        TraceShape::IcntFlood,
     ];
 
     /// Short label used in trace names and failure messages.
@@ -69,6 +79,7 @@ impl TraceShape {
             TraceShape::ScatterMix => "scatter-mix",
             TraceShape::MultiParamBundle => "multi-param",
             TraceShape::SparseIdle => "sparse-idle",
+            TraceShape::IcntFlood => "icnt-flood",
         }
     }
 }
@@ -118,6 +129,7 @@ impl Fuzzer {
             TraceShape::ScatterMix => self.scatter_warps(),
             TraceShape::MultiParamBundle => self.multi_param_warps(),
             TraceShape::SparseIdle => self.sparse_idle_warps(),
+            TraceShape::IcntFlood => self.icnt_flood_warps(),
         };
         KernelTrace::new(name, KernelKind::GradCompute, warps)
     }
@@ -320,6 +332,35 @@ impl Fuzzer {
             .collect()
     }
 
+    fn icnt_flood_warps(&mut self) -> Vec<WarpTrace> {
+        // Enough warps to keep every SM of the tiny config resident, and
+        // every instruction moves multi-unit traffic: full-warp atomics
+        // on per-instruction distinct words (striding the partition
+        // interleave), multi-sector loads, and an occasional store
+        // burst. The sustained cross-SM flood keeps partition queues
+        // hovering at their capacity boundary.
+        let warps = self.rng.gen_range(6..=12usize);
+        let atomics = self.rng.gen_range(2..=6usize);
+        (0..warps)
+            .map(|wi| {
+                let mut b = WarpTraceBuilder::new();
+                for a in 0..atomics {
+                    let addr = ((wi * atomics + a) as u64) * 256;
+                    let mut values = [0.0f32; WARP_SIZE];
+                    for v in &mut values {
+                        *v = self.value();
+                    }
+                    b.load(self.rng.gen_range(2..=8u16));
+                    b.atomic(AtomicInstr::same_address(addr, &values));
+                    if self.rng.gen_bool(0.5) {
+                        b.store(self.rng.gen_range(1..=4u16));
+                    }
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
     // --- primitive draws ------------------------------------------------
 
     /// A word-aligned gradient address from a small pool, so distinct
@@ -369,11 +410,15 @@ mod tests {
 
     #[test]
     fn different_cases_differ() {
-        // Shapes repeat every 6 cases, so compare two cases of the same
-        // shape; the RNG stream must still differ.
+        // Shapes repeat every `ALL.len()` cases, so compare two cases of
+        // the same shape; the RNG stream must still differ.
+        let stride = TraceShape::ALL.len() as u64;
         let a = Fuzzer::new(42, 1).trace();
-        let b = Fuzzer::new(42, 7).trace();
-        assert_eq!(Fuzzer::new(42, 1).shape(), Fuzzer::new(42, 7).shape());
+        let b = Fuzzer::new(42, 1 + stride).trace();
+        assert_eq!(
+            Fuzzer::new(42, 1).shape(),
+            Fuzzer::new(42, 1 + stride).shape()
+        );
         assert_ne!(a, b);
     }
 
@@ -420,6 +465,32 @@ mod tests {
                 .filter(|i| matches!(i, warp_trace::Instr::Load { .. }))
                 .count();
             assert!(loads >= 2, "each warp chains at least two loads");
+        }
+    }
+
+    #[test]
+    fn icnt_flood_spreads_heavy_traffic() {
+        let mut f = Fuzzer::new(3, 6); // case 6 = IcntFlood
+        assert_eq!(f.shape(), TraceShape::IcntFlood);
+        let t = f.trace();
+        assert!(t.warps().len() >= 6, "flood keeps many SMs busy");
+        let mut addrs: Vec<u64> = t
+            .bundles()
+            .flat_map(|b| b.params.iter())
+            .flat_map(|p| p.ops().iter().map(|op| op.addr))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert!(
+            addrs.len() >= 12,
+            "flood must spread across many words, got {}",
+            addrs.len()
+        );
+        for w in t.warps() {
+            assert!(w
+                .instrs
+                .iter()
+                .any(|i| matches!(i, warp_trace::Instr::Load { .. })));
         }
     }
 

@@ -31,7 +31,8 @@
 use arc_core::analysis::{baseline_cycles, predicted_hw_speedup};
 use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig};
 use gpu_sim::{
-    AtomicPath, GpuConfig, KernelReport, KernelTelemetry, SimCounters, Simulator, TelemetryConfig,
+    AtomicPath, EpochMode, GpuConfig, KernelReport, KernelTelemetry, SimCounters, Simulator,
+    TelemetryConfig,
 };
 use warp_trace::{AtomicInstr, KernelKind, KernelTrace, LaneOp, TraceStats, WarpTraceBuilder};
 
@@ -529,6 +530,58 @@ pub fn check_fast_forward(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), In
     Ok(())
 }
 
+/// **Invariant `epoch-equivalence`** — epoch-based SM synchronization
+/// is observationally pure: across `ARC_SIM_EPOCH` ∈ {1, 4, auto}
+/// (forced through `with_epoch`, so the check is independent of the
+/// live environment) × SM workers {1, 2, 8} × fast-forward on/off, the
+/// simulator produces byte-identical [`KernelReport`]s, telemetry, and
+/// chrome-trace exports on every atomic path. The per-cycle
+/// single-worker naive loop is the reference semantics.
+pub fn check_epoch_equivalence(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    let modes = [
+        ("1", EpochMode::PerCycle),
+        ("4", EpochMode::Fixed(4)),
+        ("auto", EpochMode::Auto),
+    ];
+    for path in AtomicPath::ALL {
+        let mut reference = None;
+        for (label, mode) in modes {
+            for workers in [1usize, 2, 8] {
+                for ff in [true, false] {
+                    let out = Simulator::new(cfg.clone(), path)
+                        .map_err(|e| fail("sim-construct", format!("{path:?}: {e:?}")))?
+                        .with_epoch(mode)
+                        .with_sm_workers(workers)
+                        .with_fast_forward(ff)
+                        .with_telemetry(TelemetryConfig::every(4))
+                        .run_with_telemetry(trace)
+                        .map_err(|e| fail("sim-run", format!("{path:?}: {e:?}")))?;
+                    let chrome = out.1.as_ref().map(KernelTelemetry::chrome_trace);
+                    match &reference {
+                        None => reference = Some((out, chrome)),
+                        Some((want, want_chrome)) => {
+                            if out != *want || chrome != *want_chrome {
+                                return Err(fail(
+                                    "epoch-equivalence",
+                                    format!(
+                                        "{path:?}: ARC_SIM_EPOCH={label}, {workers} workers, \
+                                         ff={ff} diverged from the per-cycle reference \
+                                         (report/telemetry/chrome-trace bytes)"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// **Invariant `telemetry-consistency`** — the telemetry layer is a
 /// view, not a second set of books: every counter series' cumulative
 /// total equals the corresponding [`KernelReport`] counter, stall
@@ -602,8 +655,9 @@ pub fn check_telemetry_consistency(
 }
 
 /// Runs every per-trace invariant (conservation laws, worker
-/// determinism, telemetry consistency on the baseline and ARC-HW paths)
-/// against one trace/config pair. The workload-constructing trend
+/// determinism, fast-forward and epoch-synchronization equivalence,
+/// telemetry consistency on the baseline and ARC-HW paths) against one
+/// trace/config pair. The workload-constructing trend
 /// invariants ([`check_rop_monotonicity`], [`check_config_ordering`],
 /// [`check_adaptive_wins_contended`], [`check_threshold_crossover`])
 /// are invoked separately by the suite since they pick their own
@@ -627,6 +681,7 @@ pub fn check_trace(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), Invariant
     atomic_law(AtomicPath::ArcHw, &c, requests)?;
     check_worker_determinism(cfg, trace)?;
     check_fast_forward(cfg, trace)?;
+    check_epoch_equivalence(cfg, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::Baseline, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::ArcHw, trace)?;
     Ok(())

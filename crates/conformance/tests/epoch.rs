@@ -1,0 +1,118 @@
+//! Epoch-synchronization equivalence suite: the epoch-based cycle loop
+//! (`ARC_SIM_EPOCH` ∈ {4, auto}) must be observationally
+//! indistinguishable from the per-cycle loop (`ARC_SIM_EPOCH=1`) — same
+//! [`gpu_sim::KernelReport`], same telemetry, same chrome-trace bytes —
+//! on every fuzz shape, every atomic path, across SM-worker counts 1/2/8
+//! and with fast-forward both on and off.
+//!
+//! The shapes are exercised one-per-test (rather than folded into one
+//! loop) so a failure names the family immediately; each test sweeps
+//! fuzz cases of its shape so the RNG varies masks, bundle widths, and
+//! queue geometry — including the single-slot and multi-thousand-entry
+//! partition queues where the epoch-safety analysis sits right on its
+//! accept/reject decision boundaries.
+
+use conformance::fuzz::{Fuzzer, TraceShape};
+use conformance::invariants;
+use gpu_sim::GpuConfig;
+
+/// Fuzz cases `base, base + ALL.len(), ...` all have the same shape;
+/// run each through the full epoch × workers × fast-forward equivalence
+/// battery under its fuzzed config.
+fn shape_cases(shape: TraceShape, rounds: u64) {
+    let seed = conformance::seed();
+    let stride = TraceShape::ALL.len() as u64;
+    let base = TraceShape::ALL
+        .iter()
+        .position(|&s| s == shape)
+        .expect("shape is in ALL") as u64;
+    for round in 0..rounds {
+        let case = base + round * stride;
+        let mut f = Fuzzer::new(seed, case);
+        assert_eq!(f.shape(), shape);
+        let trace = f.trace();
+        let cfg = f.config();
+        if let Err(e) = invariants::check_epoch_equivalence(&cfg, &trace) {
+            panic!("{e}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})");
+        }
+    }
+}
+
+#[test]
+fn epoch_equivalence_degenerate() {
+    shape_cases(TraceShape::Degenerate, 2);
+}
+
+#[test]
+fn epoch_equivalence_hot_storm() {
+    shape_cases(TraceShape::HotAddressStorm, 2);
+}
+
+#[test]
+fn epoch_equivalence_full_densify() {
+    shape_cases(TraceShape::FullDensify, 2);
+}
+
+#[test]
+fn epoch_equivalence_scatter_mix() {
+    shape_cases(TraceShape::ScatterMix, 2);
+}
+
+#[test]
+fn epoch_equivalence_multi_param() {
+    shape_cases(TraceShape::MultiParamBundle, 2);
+}
+
+#[test]
+fn epoch_equivalence_sparse_idle() {
+    // Long idle spans are where epochs and fast-forward jumps hand off
+    // to each other, so give this shape extra rounds.
+    shape_cases(TraceShape::SparseIdle, 3);
+}
+
+#[test]
+fn epoch_equivalence_icnt_flood() {
+    // The headline shape for the epoch-safety analysis: sustained
+    // cross-SM traffic keeps partition occupancy at the accept/reject
+    // decision boundary.
+    shape_cases(TraceShape::IcntFlood, 3);
+}
+
+#[test]
+fn epoch_equivalence_on_full_presets() {
+    // The fuzzed configs above are tiny-based; also pin equivalence on
+    // the real machine models (many SMs, deep queues, realistic
+    // latencies) for the two shapes with the most interconnect churn.
+    let seed = conformance::seed().wrapping_add(5);
+    for shape in [TraceShape::SparseIdle, TraceShape::IcntFlood] {
+        let case = TraceShape::ALL
+            .iter()
+            .position(|&s| s == shape)
+            .expect("shape is in ALL") as u64;
+        let trace = Fuzzer::new(seed, case).trace();
+        for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
+            if let Err(e) = invariants::check_epoch_equivalence(&cfg, &trace) {
+                panic!(
+                    "{e} on {}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})",
+                    cfg.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_equivalence_on_atomred_conversions() {
+    // `atomred` kernels drive the ARC-HW reduction units, whose pending
+    // queues are exactly what disqualifies a lane from the
+    // reject-certain epoch mode — check the converted traces explicitly.
+    let seed = conformance::seed().wrapping_add(6);
+    for case in 0..TraceShape::ALL.len() as u64 {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace().with_atomred();
+        let cfg = f.config();
+        if let Err(e) = invariants::check_epoch_equivalence(&cfg, &trace) {
+            panic!("{e}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})");
+        }
+    }
+}

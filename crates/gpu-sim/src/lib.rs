@@ -36,7 +36,9 @@ pub mod telemetry;
 
 pub use config::GpuConfig;
 pub use energy::{EnergyModel, EnergyReport};
-pub use parallel::{default_fast_forward, default_jobs, par_map};
+pub use parallel::{
+    default_epoch_mode, default_fast_forward, default_jobs, par_map, parse_epoch_mode, EpochMode,
+};
 pub use paths::{AtomicPath, TechniquePath};
 pub use sim::{SimError, Simulator};
 pub use stats::{EngineStats, IterationReport, KernelReport, SimCounters, StallBreakdown};

@@ -38,6 +38,26 @@ pub(crate) struct SmPort<'a> {
     pub outbox: &'a mut Vec<MemReq>,
     /// Partition input-buffer capacity.
     pub capacity: u32,
+    /// How admission decisions are made this cycle.
+    pub mode: PortMode,
+}
+
+/// How an [`SmPort`] answers admission checks.
+///
+/// During an epoch (see `sim.rs`) the occupancy snapshot goes stale, so
+/// SMs may only run detached from it when the coordinator has *proved*
+/// every admission decision in advance: either that all of them would
+/// succeed ([`PortMode::AllAccept`]) or that all of them would fail
+/// ([`PortMode::AllReject`]). Outside epochs the live snapshot governs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PortMode {
+    /// Judge against the start-of-cycle occupancy snapshot (the
+    /// historical per-cycle behavior).
+    Live,
+    /// Epoch-certified: every admission this epoch is known to fit.
+    AllAccept,
+    /// Epoch-certified: every admission this epoch is known to bounce.
+    AllReject,
 }
 
 impl SmPort<'_> {
@@ -52,9 +72,15 @@ impl SmPort<'_> {
     /// headroom check governs, so timing on realistic configurations is
     /// unchanged.
     pub fn can_accept(&self, partition: u32, size: u32) -> bool {
-        let p = partition as usize;
-        let used = self.occ[p].load(Ordering::Relaxed) + self.sent[p];
-        used + size <= self.capacity || used == 0
+        match self.mode {
+            PortMode::AllAccept => true,
+            PortMode::AllReject => false,
+            PortMode::Live => {
+                let p = partition as usize;
+                let used = self.occ[p].load(Ordering::Relaxed) + self.sent[p];
+                used + size <= self.capacity || used == 0
+            }
+        }
     }
 
     /// Admits a request (caller must have checked [`Self::can_accept`]).
@@ -144,6 +170,21 @@ impl MemPartition {
     /// "ROP queue" occupancy telemetry samples.
     pub fn rop_occupancy(&self) -> u32 {
         self.atomic_occupancy
+    }
+
+    /// Maximum units this partition can retire per cycle from steady
+    /// state (ROP plus L2 data pipelines), excluding banked progress.
+    /// Used by the epoch-safety analysis in `sim.rs`.
+    pub fn drain_rate(&self) -> u32 {
+        self.rop_rate + self.data_rate
+    }
+
+    /// Partial-progress credit currently banked on the two pipeline
+    /// heads. Over `E` cycles the partition can retire at most
+    /// `banked_progress() + E * drain_rate()` units — the bound the
+    /// epoch-safety analysis leans on.
+    pub fn banked_progress(&self) -> u32 {
+        self.rop_progress + self.data_progress
     }
 
     /// Advances one cycle: ROP units retire atomic lane-values, the L2
@@ -341,6 +382,19 @@ impl LsuQueue {
 
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// The request at the drain head, if any (epoch-safety analysis).
+    pub fn head(&self) -> Option<&MemReq> {
+        self.queue.front()
+    }
+
+    /// Banked drain credit in quarter-units. Bounded by the head's own
+    /// need whenever the head is back-pressured, so over `E` cycles at
+    /// most `banked_q()/4 + E * rate` units can leave the queue — the
+    /// inflow bound the epoch-safety analysis uses.
+    pub fn banked_q(&self) -> u32 {
+        self.drain_progress_q
     }
 
     /// Drains head requests toward the memory partitions (or, for
@@ -563,6 +617,7 @@ mod tests {
                 sent: &mut self.sent,
                 outbox: &mut self.outbox,
                 capacity: self.capacity,
+                mode: PortMode::Live,
             }
         }
 
@@ -655,6 +710,26 @@ mod tests {
         });
         assert!(port.can_accept(0, 1), "one unit of headroom left");
         assert!(!port.can_accept(0, 2), "own sent traffic must count");
+    }
+
+    #[test]
+    fn port_modes_override_snapshot() {
+        let cfg = GpuConfig::tiny();
+        let parts = vec![MemPartition::new(&cfg)];
+        let cap = cfg.partition_queue_capacity;
+        let mut tp = TestPort::new(&parts, cap);
+        let mut port = tp.port();
+        port.push(MemReq {
+            size: cap,
+            partition: 0,
+            addr: 0,
+            kind: ReqKind::Atomic,
+        });
+        assert!(!port.can_accept(0, 1), "live mode: full");
+        port.mode = PortMode::AllAccept;
+        assert!(port.can_accept(0, 1), "certified accept ignores snapshot");
+        port.mode = PortMode::AllReject;
+        assert!(!port.can_accept(0, 0), "certified reject ignores snapshot");
     }
 
     #[test]

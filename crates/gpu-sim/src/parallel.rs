@@ -11,8 +11,8 @@
 //! Both knobs deliberately live *outside* [`crate::GpuConfig`]: thread
 //! counts must never influence simulation results, only wall-clock time.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
 /// Default job-level parallelism: the `ARC_JOBS` environment variable if
@@ -44,6 +44,48 @@ pub fn default_fast_forward() -> bool {
     match std::env::var("ARC_FF") {
         Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
         Err(_) => true,
+    }
+}
+
+/// How the cycle loop synchronizes SM shards (see `sim.rs`).
+///
+/// Like the worker-count and fast-forward knobs, the epoch mode can only
+/// change wall-clock time, never simulation results: the conservative
+/// epoch-safety analysis clamps every epoch to a span it can prove is
+/// observationally equivalent to the per-cycle loop, and the knob merely
+/// *caps* the length that analysis may pick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Synchronize every cycle — reproduces the historical loop exactly.
+    PerCycle,
+    /// Cap epochs at a fixed length (>= 2); the safety analysis may still
+    /// choose shorter epochs (or none) where it cannot prove isolation.
+    Fixed(u64),
+    /// Cap epochs at the engine's built-in maximum (the default).
+    Auto,
+}
+
+/// Default epoch mode: parsed from the `ARC_SIM_EPOCH` environment
+/// variable (`auto` / `1` / fixed-N); unset means [`EpochMode::Auto`].
+pub fn default_epoch_mode() -> EpochMode {
+    match std::env::var("ARC_SIM_EPOCH") {
+        Ok(v) => parse_epoch_mode(&v),
+        Err(_) => EpochMode::Auto,
+    }
+}
+
+/// Parses an `ARC_SIM_EPOCH` value: `0`/`1`/`off` force the per-cycle
+/// loop, an integer N >= 2 caps epochs at N cycles, and `auto`, the empty
+/// string, or anything unrecognized selects [`EpochMode::Auto`].
+pub fn parse_epoch_mode(v: &str) -> EpochMode {
+    let v = v.trim();
+    match v {
+        "0" | "1" | "off" => EpochMode::PerCycle,
+        "" | "auto" => EpochMode::Auto,
+        _ => match v.parse::<u64>() {
+            Ok(n) if n >= 2 => EpochMode::Fixed(n),
+            _ => EpochMode::Auto,
+        },
     }
 }
 
@@ -111,6 +153,75 @@ where
         .collect()
 }
 
+/// A reusable rendezvous barrier that spins briefly before parking.
+///
+/// The sharded cycle loop crosses a barrier twice per epoch, and with
+/// per-cycle epochs the wait is usually sub-microsecond — far shorter
+/// than a futex sleep/wake round-trip. `std::sync::Barrier` parks
+/// immediately; this one spins for a bounded number of iterations first
+/// and only then falls back to a condvar, which is the difference
+/// between the sharded loop beating serial and trailing it.
+///
+/// The spin budget is sized at construction: when the host has fewer
+/// cores than barrier participants, spinning only steals time from the
+/// thread we are waiting for, so the budget collapses to near zero.
+pub struct HybridBarrier {
+    parties: usize,
+    spin: u32,
+    count: AtomicUsize,
+    generation: AtomicU64,
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl HybridBarrier {
+    /// Creates a barrier for `parties` participants.
+    pub fn new(parties: usize) -> Self {
+        let cores = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Oversubscribed hosts get a token spin; otherwise ~16k
+        // spin-loop hints comfortably covers a few microseconds of skew.
+        let spin = if cores < parties { 64 } else { 16_384 };
+        HybridBarrier {
+            parties,
+            spin,
+            count: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `parties` threads have called `wait` for this
+    /// generation. The last arriver releases everyone; the release/acquire
+    /// pair on `generation` (plus the release sequence on `count`)
+    /// publishes all pre-barrier writes to every post-barrier reader.
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            // Bump the generation under the lock so a parker that saw the
+            // old generation cannot miss the notification.
+            let _guard = self.lock.lock().expect("barrier lock poisoned");
+            self.generation.store(gen + 1, Ordering::Release);
+            drop(_guard);
+            self.cvar.notify_all();
+            return;
+        }
+        for _ in 0..self.spin {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().expect("barrier lock poisoned");
+        while self.generation.load(Ordering::Acquire) == gen {
+            guard = self.cvar.wait(guard).expect("barrier lock poisoned");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +241,46 @@ mod tests {
         assert!(!parse(Some(" 0 ")));
         assert!(!parse(Some("false")));
         assert!(!parse(Some("off")));
+    }
+
+    #[test]
+    fn epoch_mode_parsing() {
+        // `default_epoch_mode` reads the live environment, so pin the
+        // parser directly.
+        assert_eq!(parse_epoch_mode("0"), EpochMode::PerCycle);
+        assert_eq!(parse_epoch_mode("1"), EpochMode::PerCycle);
+        assert_eq!(parse_epoch_mode("off"), EpochMode::PerCycle);
+        assert_eq!(parse_epoch_mode(" 1 "), EpochMode::PerCycle);
+        assert_eq!(parse_epoch_mode(""), EpochMode::Auto);
+        assert_eq!(parse_epoch_mode("auto"), EpochMode::Auto);
+        assert_eq!(parse_epoch_mode("bogus"), EpochMode::Auto);
+        assert_eq!(parse_epoch_mode("2"), EpochMode::Fixed(2));
+        assert_eq!(parse_epoch_mode("64"), EpochMode::Fixed(64));
+        assert_eq!(parse_epoch_mode(" 4 "), EpochMode::Fixed(4));
+    }
+
+    #[test]
+    fn hybrid_barrier_synchronizes() {
+        use std::sync::atomic::AtomicU64;
+        let rounds = 200u64;
+        let parties = 4usize;
+        let barrier = HybridBarrier::new(parties);
+        let counter = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..parties {
+                s.spawn(|| {
+                    for r in 0..rounds {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // Every thread must observe all increments for
+                        // this round before anyone starts the next one.
+                        assert!(counter.load(Ordering::Relaxed) >= (r + 1) * parties as u64);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), rounds * parties as u64);
     }
 
     #[test]

@@ -30,14 +30,18 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard};
 
 use warp_trace::{ComputeKind, Instr, KernelTrace};
 
 use crate::config::GpuConfig;
 use crate::energy::EnergyModel;
-use crate::machine::{AggBuffer, LsuQueue, MemPartition, MemReq, RedUnit, ReqKind, SmPort};
-use crate::parallel::{default_fast_forward, default_sim_workers};
+use crate::machine::{
+    AggBuffer, LsuQueue, MemPartition, MemReq, PortMode, RedUnit, ReqKind, SmPort,
+};
+use crate::parallel::{
+    default_epoch_mode, default_fast_forward, default_sim_workers, EpochMode, HybridBarrier,
+};
 use crate::paths::{issue_plain_atomic, AtomicIssue, AtomicIssueCtx, AtomicPath};
 use crate::stats::{EngineStats, IterationReport, KernelReport, SimCounters, StallBreakdown};
 use crate::telemetry::{KernelTelemetry, SampleSnapshot, TelemetryConfig, TelemetryState};
@@ -96,6 +100,7 @@ pub struct Simulator {
     energy: EnergyModel,
     sm_workers: usize,
     fast_forward: bool,
+    epoch: EpochMode,
     telemetry: Option<TelemetryConfig>,
 }
 
@@ -119,6 +124,7 @@ impl Simulator {
             energy: EnergyModel::default(),
             sm_workers: default_sim_workers(),
             fast_forward: default_fast_forward(),
+            epoch: default_epoch_mode(),
             telemetry: None,
         })
     }
@@ -169,6 +175,25 @@ impl Simulator {
     /// Whether the fast-forward engine is enabled.
     pub fn fast_forward(&self) -> bool {
         self.fast_forward
+    }
+
+    /// Sets the epoch synchronization mode (see [`EpochMode`]): how many
+    /// cycles SM shards may run privately between coordinator phases.
+    /// Defaults to the `ARC_SIM_EPOCH` environment variable
+    /// ([`EpochMode::Auto`] if unset). Like the worker-count knob, the
+    /// epoch mode never changes simulation results — the conservative
+    /// epoch-safety analysis (see `plan_epoch` in this module) clamps
+    /// every epoch to a span it can prove observationally equivalent to
+    /// the per-cycle loop, and [`EpochMode::PerCycle`] reproduces that
+    /// loop exactly.
+    pub fn with_epoch(mut self, mode: EpochMode) -> Self {
+        self.epoch = mode;
+        self
+    }
+
+    /// The epoch synchronization mode in use.
+    pub fn epoch(&self) -> EpochMode {
+        self.epoch
     }
 
     /// Enables telemetry collection (see [`crate::telemetry`]). Runs
@@ -231,12 +256,20 @@ impl Simulator {
             trace,
             self.sm_workers,
             self.fast_forward,
+            self.epoch,
             self.telemetry.as_ref(),
         );
         let cycles = m.run(trace)?;
         let engine = EngineStats {
             cycles_simulated: cycles,
             cycles_stepped: m.cycles_stepped,
+            epochs: m.epoch_stats.epochs,
+            epoch_cycles: m.epoch_stats.cycles,
+            epoch_len_max: m.epoch_stats.len_max,
+            // Two barrier crossings bracket each SM phase; an epoch of
+            // `len` cycles pays them once instead of `len` times.
+            barrier_waits_avoided: 2 * (m.epoch_stats.cycles - m.epoch_stats.epochs),
+            boundary_flits: m.epoch_stats.flits,
         };
         let telemetry = m.telemetry.take().map(|t| t.finish(trace.name(), cycles));
         let counters = m.hub.counters;
@@ -341,6 +374,18 @@ struct SmLane {
     /// Warps retired during this cycle's SM phase; folded into the hub's
     /// `warps_remaining` in phase 4.
     retired: u64,
+    /// Load completions pre-routed to this lane for the current epoch,
+    /// in global heap-pop order: `(due_cycle, warp)`.
+    epoch_wakes: VecDeque<(u64, u32)>,
+    /// Telemetry retire events recorded during the epoch: `(cycle, warp)`
+    /// in the exact order the serial pre-phase would have emitted them.
+    epoch_events: Vec<(u64, u32)>,
+    /// Outbox length after each private epoch cycle, so the coordinator
+    /// replay can deliver per-cycle slices in the serial interleaving.
+    epoch_marks: Vec<u32>,
+    /// Active-set departure decided during the epoch (fast-forward only):
+    /// the first cycle the lane is owed idle credit for.
+    epoch_deact: Option<u64>,
 }
 
 enum Outcome {
@@ -406,6 +451,42 @@ struct FfCredit {
     no_warp: u32,
 }
 
+/// Maximum epoch length [`EpochMode::Auto`] will attempt. Long enough to
+/// amortize coordination, short enough that the conservative occupancy
+/// bounds in `plan_epoch` still have a chance to hold.
+const MAX_EPOCH: u64 = 64;
+
+/// After `plan_epoch` declines, skip re-analysis for this many cycles.
+/// The analysis scans every active lane, so retrying it every cycle in a
+/// regime where it keeps failing would tax the per-cycle path.
+const EPOCH_RETRY_COOLDOWN: u64 = 32;
+
+/// One lane's epoch products, moved out under a single lock so the
+/// coordinator replay can run without touching lane mutexes per cycle.
+#[derive(Default)]
+struct EpochTake {
+    outbox: Vec<MemReq>,
+    marks: Vec<u32>,
+    events: Vec<(u64, u32)>,
+    /// Next unreplayed entry of `events`.
+    cursor: usize,
+    /// Outbox units already delivered (index into `outbox`).
+    delivered: usize,
+    retired: u64,
+    deact: Option<u64>,
+}
+
+/// Engine-stat accumulators for the epoch loop (observability only —
+/// never part of reports or telemetry, so artifacts stay byte-identical
+/// across `ARC_SIM_EPOCH` values).
+#[derive(Default)]
+struct EpochStatsAcc {
+    epochs: u64,
+    cycles: u64,
+    len_max: u64,
+    flits: u64,
+}
+
 struct Machine<'a> {
     shared: Shared<'a>,
     hub: Hub,
@@ -414,12 +495,23 @@ struct Machine<'a> {
     /// `GPU_SIM_DEBUG` (the per-cycle debug trace must observe every
     /// cycle).
     ff: bool,
+    /// Epoch-length cap from [`EpochMode`]: 0 disables epochs entirely
+    /// (`PerCycle`, or `GPU_SIM_DEBUG` — the debug trace must observe
+    /// every cycle from the coordinator).
+    epoch_cap: u64,
+    /// Largest single request the trace can produce (sectors per
+    /// load/store, capped lane-values per atomic transaction) — the size
+    /// margin `plan_epoch`'s accept-certainty bound must leave.
+    max_req_size: u32,
     /// Cycles executed by the naive per-cycle loop (vs. skipped by
     /// fast-forward jumps). Feeds [`EngineStats`].
     cycles_stepped: u64,
     /// Reused scratch for fast-forward span credits — no per-cycle
     /// allocation.
     ff_credits: Vec<FfCredit>,
+    /// Reused per-lane scratch for epoch boundary replay.
+    epoch_takes: Vec<EpochTake>,
+    epoch_stats: EpochStatsAcc,
     /// Telemetry collection state, driven exclusively from the serial
     /// coordinator phases so artifacts are identical for any worker
     /// count. `None` when telemetry is disabled — the per-cycle cost is
@@ -438,6 +530,7 @@ impl<'a> Machine<'a> {
         trace: &KernelTrace,
         sm_workers: usize,
         fast_forward: bool,
+        epoch: EpochMode,
         telemetry: Option<&TelemetryConfig>,
     ) -> Self {
         let lanes: Vec<Mutex<SmLane>> = (0..cfg.num_sms)
@@ -463,6 +556,10 @@ impl<'a> Machine<'a> {
                     stalls: StallBreakdown::default(),
                     load_rr: u64::from(sm_idx).wrapping_mul(0x517C_C1B7_2722_0A95),
                     retired: 0,
+                    epoch_wakes: VecDeque::new(),
+                    epoch_events: Vec::new(),
+                    epoch_marks: Vec::new(),
+                    epoch_deact: None,
                 })
             })
             .collect();
@@ -475,6 +572,36 @@ impl<'a> Machine<'a> {
                 pending.push_back(w as u32);
             }
         }
+
+        // Largest single request this trace can put on the interconnect:
+        // load/store sector counts straight from the trace; atomics
+        // coalesce into transactions of at most one warp's 32 lane-values
+        // (eviction and reduction-unit emissions are size 1).
+        let mut max_req_size = 1u32;
+        for wt in trace.warps() {
+            for instr in &wt.instrs {
+                match instr {
+                    Instr::Load { sectors } | Instr::Store { sectors } => {
+                        max_req_size = max_req_size.max(u32::from(*sectors).max(1));
+                    }
+                    Instr::Atomic(_) | Instr::AtomRed(_) => {
+                        max_req_size = max_req_size.max(32);
+                    }
+                    Instr::Compute { .. } => {}
+                }
+            }
+        }
+
+        let debug = std::env::var_os("GPU_SIM_DEBUG").is_some();
+        let epoch_cap = if debug {
+            0
+        } else {
+            match epoch {
+                EpochMode::PerCycle => 0,
+                EpochMode::Fixed(n) => n.max(2),
+                EpochMode::Auto => MAX_EPOCH,
+            }
+        };
 
         let num_sms = cfg.num_sms as usize;
         Machine {
@@ -503,9 +630,13 @@ impl<'a> Machine<'a> {
             // The debug trace prints live state every N cycles; skipping
             // cycles would change what it sees, so debugging forces the
             // naive loop.
-            ff: fast_forward && std::env::var_os("GPU_SIM_DEBUG").is_none(),
+            ff: fast_forward && !debug,
+            epoch_cap,
+            max_req_size,
             cycles_stepped: 0,
             ff_credits: Vec::new(),
+            epoch_takes: (0..num_sms).map(|_| EpochTake::default()).collect(),
+            epoch_stats: EpochStatsAcc::default(),
             telemetry: telemetry.map(|t| TelemetryState::new(t, trace.warps().len())),
         }
     }
@@ -546,10 +677,15 @@ impl<'a> Machine<'a> {
 
     fn run_serial(&mut self, trace: &KernelTrace) -> Result<u64, SimError> {
         let ff = self.ff;
+        let epoch_cap = self.epoch_cap;
+        let max_req = self.max_req_size;
         let shared = &self.shared;
         let hub = &mut self.hub;
         let tel = &mut self.telemetry;
         let credits = &mut self.ff_credits;
+        let takes = &mut self.epoch_takes;
+        let warp_events = tel.as_ref().is_some_and(TelemetryState::wants_warp_events);
+        let mut cooldown_until = 0u64;
         let mut cycle: u64 = 0;
         loop {
             if ff {
@@ -564,12 +700,57 @@ impl<'a> Machine<'a> {
                     continue;
                 }
             }
+            if epoch_cap >= 2 && cycle >= cooldown_until {
+                if let Some((len, mode)) =
+                    plan_epoch(shared, hub, tel.as_ref(), trace, cycle, epoch_cap, max_req)
+                {
+                    preroute_wakes(shared, hub, cycle, len);
+                    for (i, lane) in shared.lanes.iter().enumerate() {
+                        if ff && !shared.active[i].load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        step_lane_epoch(
+                            shared,
+                            trace,
+                            &mut lock(lane),
+                            cycle,
+                            len,
+                            mode,
+                            ff,
+                            warp_events,
+                        );
+                    }
+                    let flits = finish_epoch(shared, hub, tel, takes, cycle, len, ff);
+                    self.cycles_stepped += len;
+                    self.epoch_stats.epochs += 1;
+                    self.epoch_stats.cycles += len;
+                    self.epoch_stats.len_max = self.epoch_stats.len_max.max(len);
+                    self.epoch_stats.flits += flits;
+                    cycle += len;
+                    debug_assert!(hub.warps_remaining > 0, "epoch retire-safety violated");
+                    if cycle >= shared.cfg.max_cycles {
+                        return Err(SimError::ExceededMaxCycles {
+                            kernel: trace.name().to_string(),
+                            max_cycles: shared.cfg.max_cycles,
+                        });
+                    }
+                    continue;
+                }
+                cooldown_until = cycle + EPOCH_RETRY_COOLDOWN;
+            }
             let flushing = phase_pre(shared, hub, tel, trace, cycle, ff);
             for (i, lane) in shared.lanes.iter().enumerate() {
                 if ff && !shared.active[i].load(Ordering::Relaxed) {
                     continue;
                 }
-                step_sm(shared, trace, cycle, flushing, &mut lock(lane));
+                step_sm(
+                    shared,
+                    trace,
+                    cycle,
+                    flushing,
+                    &mut lock(lane),
+                    PortMode::Live,
+                );
             }
             phase_post(shared, hub, cycle, ff);
             sample_if_due(shared, hub, tel, cycle, ff);
@@ -590,20 +771,30 @@ impl<'a> Machine<'a> {
 
     fn run_parallel(&mut self, trace: &KernelTrace, workers: usize) -> Result<u64, SimError> {
         let ff = self.ff;
+        let epoch_cap = self.epoch_cap;
+        let max_req = self.max_req_size;
         let shared = &self.shared;
         let hub = &mut self.hub;
         let tel = &mut self.telemetry;
         let credits = &mut self.ff_credits;
         let stepped = &mut self.cycles_stepped;
-        // Two waits per cycle bracket the SM phase; `stop` (checked right
-        // after the first wait) shuts the pool down. The barrier also
-        // provides the happens-before edges that make Relaxed loads of
-        // the cycle/flushing/cursor cells sound.
-        let barrier = Barrier::new(workers + 1);
+        let takes = &mut self.epoch_takes;
+        let estats = &mut self.epoch_stats;
+        let warp_events = tel.as_ref().is_some_and(TelemetryState::wants_warp_events);
+        // Two waits per round bracket the SM phase (a round is one cycle,
+        // or one multi-cycle epoch); `stop` (checked right after the
+        // first wait) shuts the pool down. The barrier also provides the
+        // happens-before edges that make Relaxed loads of the
+        // cycle/flushing/cursor/epoch cells sound.
+        let barrier = HybridBarrier::new(workers + 1);
         let stop = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
         let cycle_now = AtomicU64::new(0);
         let flush_now = AtomicBool::new(false);
+        // Epoch opened this round: length (1 = plain cycle) and port
+        // mode (see `PortMode`; only read when length > 1).
+        let epoch_len_now = AtomicU64::new(1);
+        let epoch_accept_now = AtomicBool::new(false);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -612,7 +803,17 @@ impl<'a> Machine<'a> {
                         break;
                     }
                     let cycle = cycle_now.load(Ordering::Relaxed);
+                    let elen = epoch_len_now.load(Ordering::Relaxed);
                     let flushing = flush_now.load(Ordering::Relaxed);
+                    let mode = if elen > 1 {
+                        if epoch_accept_now.load(Ordering::Relaxed) {
+                            PortMode::AllAccept
+                        } else {
+                            PortMode::AllReject
+                        }
+                    } else {
+                        PortMode::Live
+                    };
                     // Work-stealing over SM indices: claim order varies
                     // run to run, results do not (each step touches only
                     // its own lane plus the frozen snapshot).
@@ -624,13 +825,28 @@ impl<'a> Machine<'a> {
                         if ff && !shared.active[i].load(Ordering::Relaxed) {
                             continue;
                         }
-                        step_sm(shared, trace, cycle, flushing, &mut lock(&shared.lanes[i]));
+                        let lane = &mut lock(&shared.lanes[i]);
+                        if elen > 1 {
+                            step_lane_epoch(
+                                shared,
+                                trace,
+                                lane,
+                                cycle,
+                                elen,
+                                mode,
+                                ff,
+                                warp_events,
+                            );
+                        } else {
+                            step_sm(shared, trace, cycle, flushing, lane, mode);
+                        }
                     }
                     barrier.wait();
                 });
             }
 
             let result = (|| {
+                let mut cooldown_until = 0u64;
                 let mut cycle: u64 = 0;
                 loop {
                     // The jump happens entirely between barrier rounds:
@@ -649,8 +865,38 @@ impl<'a> Machine<'a> {
                             continue;
                         }
                     }
+                    if epoch_cap >= 2 && cycle >= cooldown_until {
+                        if let Some((len, mode)) =
+                            plan_epoch(shared, hub, tel.as_ref(), trace, cycle, epoch_cap, max_req)
+                        {
+                            preroute_wakes(shared, hub, cycle, len);
+                            epoch_len_now.store(len, Ordering::Relaxed);
+                            epoch_accept_now.store(mode == PortMode::AllAccept, Ordering::Relaxed);
+                            cycle_now.store(cycle, Ordering::Relaxed);
+                            cursor.store(0, Ordering::Relaxed);
+                            barrier.wait(); // open the epoch
+                            barrier.wait(); // all lanes ran their epoch
+                            let flits = finish_epoch(shared, hub, tel, takes, cycle, len, ff);
+                            *stepped += len;
+                            estats.epochs += 1;
+                            estats.cycles += len;
+                            estats.len_max = estats.len_max.max(len);
+                            estats.flits += flits;
+                            cycle += len;
+                            debug_assert!(hub.warps_remaining > 0, "epoch retire-safety violated");
+                            if cycle >= shared.cfg.max_cycles {
+                                return Err(SimError::ExceededMaxCycles {
+                                    kernel: trace.name().to_string(),
+                                    max_cycles: shared.cfg.max_cycles,
+                                });
+                            }
+                            continue;
+                        }
+                        cooldown_until = cycle + EPOCH_RETRY_COOLDOWN;
+                    }
                     let flushing = phase_pre(shared, hub, tel, trace, cycle, ff);
                     flush_now.store(flushing, Ordering::Relaxed);
+                    epoch_len_now.store(1, Ordering::Relaxed);
                     cycle_now.store(cycle, Ordering::Relaxed);
                     cursor.store(0, Ordering::Relaxed);
                     barrier.wait(); // open the SM phase
@@ -791,6 +1037,7 @@ fn step_sm(
     cycle: u64,
     flushing: bool,
     lane: &mut SmLane,
+    mode: PortMode,
 ) {
     let SmLane {
         sm,
@@ -800,6 +1047,7 @@ fn step_sm(
         stalls,
         load_rr,
         retired,
+        ..
     } = lane;
     sent.iter_mut().for_each(|s| *s = 0);
     let mut port = SmPort {
@@ -807,6 +1055,7 @@ fn step_sm(
         sent,
         outbox,
         capacity: shared.cfg.partition_queue_capacity,
+        mode,
     };
     let SmRt {
         subcores,
@@ -907,6 +1156,345 @@ fn lane_quiescent(lane: &SmLane) -> bool {
             .buffer
             .as_ref()
             .is_none_or(|b| b.len() == 0 && b.evict_backlog() == 0)
+}
+
+/// The epoch-safety analysis: decides whether the next `>= 2` cycles can
+/// run with every SM stepping privately (no per-cycle coordination) and
+/// still produce state byte-identical to the per-cycle loop.
+///
+/// The per-cycle loop's serial phases touch cross-SM state in four ways,
+/// and each is either provably a no-op for the span or handled exactly:
+///
+/// * **Load completions** are pre-routed: every completion due inside
+///   the epoch is handed to its owner lane up front (possible because
+///   completions scheduled *during* the epoch land at least
+///   `l2_load_latency` cycles out, and epochs never exceed that).
+/// * **Dispatch** is a no-op: the epoch only opens while the pending
+///   queue is empty, and retired warps never re-enter it.
+/// * **Partition steps and outbox delivery** are replayed afterwards in
+///   the exact serial interleaving (see `finish_epoch`) — sound because
+///   no SM *observes* partition state mid-epoch, which is what the two
+///   port-certainty modes guarantee:
+///   - [`PortMode::AllAccept`]: even if every producer aims every cycle
+///     at the fullest partition, occupancy stays under capacity with a
+///     full-size margin, so every live admission check would pass. The
+///     inflow bound sums each lane's LSU drain rate and banked credit,
+///     eviction budget, and (ARC-HW) reduction-unit emissions; drains
+///     are ignored, so occupancy is over- never under-estimated.
+///   - [`PortMode::AllReject`]: every active lane is either *idle* (no
+///     residents, empty LSU/reduction units, no eviction backlog —
+///     nothing ever reaches the port) or *sealed*: its head-blocking
+///     LSU head targets a partition that stays both non-empty and too
+///     full throughout the span even at maximum drain rate, so the head
+///     bounces every cycle exactly as it would live. Lanes with an
+///     aggregation buffer (atomic heads bypass the port into the
+///     buffer) or under ARC-HW (reduction units could emit to *other*,
+///     unsaturated partitions) cannot be sealed.
+/// * **Retires** fold at the boundary: the epoch only opens when the
+///   warps that could possibly retire within it (pc within reach of the
+///   end, or already past it and waiting on loads) number strictly
+///   fewer than `warps_remaining`, so the kernel can neither drain nor
+///   start flushing mid-epoch and `flushing` stays `false` throughout.
+///
+/// The returned length also respects the telemetry cadence (the
+/// boundary lands exactly on the next due sample, never past it), the
+/// `max_cycles` guard, and the [`EpochMode`] cap. Telemetry warp-retire
+/// events are recorded per lane with cycle stamps and replayed in the
+/// serial order at the boundary.
+fn plan_epoch(
+    shared: &Shared<'_>,
+    hub: &Hub,
+    tel: Option<&TelemetryState>,
+    trace: &KernelTrace,
+    cycle: u64,
+    cap: u64,
+    max_req: u32,
+) -> Option<(u64, PortMode)> {
+    let cfg = shared.cfg;
+    if hub.warps_remaining == 0 || !hub.pending.is_empty() {
+        return None;
+    }
+    let mut e_max = cap
+        .min(u64::from(cfg.l2_load_latency))
+        .min(cfg.max_cycles.saturating_sub(cycle));
+    if let Some(t) = tel {
+        e_max = e_max.min(t.next_due(cycle) + 1 - cycle);
+    }
+    if e_max < 2 {
+        return None;
+    }
+
+    let arc_hw = shared.path == AtomicPath::ArcHw;
+    let mut retire_risk = 0u64;
+    // Accept-certainty inflow bound: one-time banked LSU credit plus
+    // per-cycle producer rates, summed over active lanes.
+    let mut inflow_bank = 0u64;
+    let mut inflow_rate = 0u64;
+    // Reject-certainty: every active lane idle or sealed, and the
+    // tightest sealed span.
+    let mut reject_ok = true;
+    let mut e_reject = e_max;
+    for (idx, lane_mx) in shared.lanes.iter().enumerate() {
+        if !shared.active[idx].load(Ordering::Relaxed) {
+            continue;
+        }
+        let lane = lock(lane_mx);
+        for sc in &lane.sm.subcores {
+            for warp in &sc.resident {
+                if warp.rt.done {
+                    // Already counted out of `warps_remaining`.
+                    continue;
+                }
+                let len = trace.warps()[warp.id as usize].instrs.len() as u64;
+                if u64::from(warp.rt.pc) + e_max >= len {
+                    retire_risk += 1;
+                }
+            }
+        }
+        let has_buffer = lane.sm.buffer.is_some();
+        inflow_bank += u64::from(lane.sm.lsu.banked_q().div_ceil(4));
+        inflow_rate += u64::from(cfg.lsu_drain_rate);
+        if has_buffer {
+            inflow_rate += 4;
+        }
+        if arc_hw {
+            inflow_rate += u64::from(cfg.subcores_per_sm) * u64::from(cfg.redunit_throughput);
+        }
+        if reject_ok {
+            let idle = lane
+                .sm
+                .subcores
+                .iter()
+                .all(|sc| sc.resident.is_empty() && sc.redunit.pending() == 0)
+                && lane.sm.lsu.is_empty()
+                && lane
+                    .sm
+                    .buffer
+                    .as_ref()
+                    .is_none_or(|b| b.evict_backlog() == 0);
+            if !idle {
+                match lane.sm.lsu.head() {
+                    Some(head) if !has_buffer && !arc_hw => {
+                        debug_assert!(
+                            lane.sm.subcores.iter().all(|sc| sc.redunit.pending() == 0),
+                            "non-ARC-HW paths never queue reduction-unit work"
+                        );
+                        let p = &hub.partitions[head.partition as usize];
+                        e_reject = e_reject.min(reject_span(p, head.size, cfg));
+                    }
+                    _ => reject_ok = false,
+                }
+            }
+        }
+    }
+    if retire_risk >= hub.warps_remaining {
+        return None;
+    }
+
+    let cap_units = u64::from(cfg.partition_queue_capacity);
+    let max_occ = hub
+        .partitions
+        .iter()
+        .map(|p| u64::from(p.occupancy()))
+        .max()
+        .unwrap_or(0);
+    let head = max_occ + inflow_bank + u64::from(max_req);
+    let e_accept = if head > cap_units {
+        0
+    } else {
+        (cap_units - head)
+            .checked_div(inflow_rate)
+            .unwrap_or(e_max)
+            .min(e_max)
+    };
+    if e_accept >= 2 {
+        return Some((e_accept, PortMode::AllAccept));
+    }
+    if reject_ok && e_reject >= 2 {
+        return Some((e_reject, PortMode::AllReject));
+    }
+    None
+}
+
+/// How many cycles a head request of `size` units aimed at partition `p`
+/// is *certain* to keep bouncing: even draining at full rate (plus its
+/// currently banked pipeline credit), the partition stays non-empty (so
+/// the store-and-forward clause cannot admit it) and too full for the
+/// headroom check. Returns 0 when no cycle is certain.
+fn reject_span(p: &MemPartition, size: u32, cfg: &GpuConfig) -> u64 {
+    let occ = u64::from(p.occupancy());
+    let bank = u64::from(p.banked_progress());
+    let rate = u64::from(p.drain_rate());
+    let size = u64::from(size);
+    let cap = u64::from(cfg.partition_queue_capacity);
+    // After k steps at most `bank + k*rate` units have drained. Require
+    // for every k <= E:  occ - drained >= 1  and  occ + size - drained > cap.
+    if occ < bank + 1 || occ + size < bank + cap + 1 {
+        return 0;
+    }
+    if rate == 0 {
+        return u64::MAX;
+    }
+    ((occ - bank - 1) / rate).min((occ + size - bank - cap - 1) / rate)
+}
+
+/// Hands every load completion due inside the epoch `[start, start+len)`
+/// to its owner lane, preserving the global heap-pop order the serial
+/// pre-phase would have used. Completions scheduled during the epoch
+/// replay land `l2_load_latency` or more cycles out, so this list is
+/// complete by construction.
+fn preroute_wakes(shared: &Shared<'_>, hub: &mut Hub, start: u64, len: u64) {
+    let end = start + len;
+    while let Some(&Reverse((done, w))) = hub.completions.peek() {
+        if done >= end {
+            break;
+        }
+        hub.completions.pop();
+        debug_assert!(done >= start, "stale completion predates the epoch");
+        let sm = hub.owner[w as usize] as usize;
+        debug_assert!(
+            shared.active[sm].load(Ordering::Relaxed),
+            "completion targets an inactive lane"
+        );
+        lock(&shared.lanes[sm]).epoch_wakes.push_back((done, w));
+    }
+}
+
+/// Runs one lane privately through the epoch `[start, start+len)`: per
+/// cycle, due pre-routed wake-ups, the retire scan (with telemetry
+/// events recorded for boundary replay), and the normal SM step under
+/// the certified port mode. Outbox growth is marked per cycle so the
+/// coordinator can replay deliveries in the serial interleaving. With
+/// fast-forward on, a lane that goes fully quiescent stops early and
+/// records its active-set departure (it cannot have pending wake-ups:
+/// an outstanding load keeps its warp resident).
+#[allow(clippy::too_many_arguments)]
+fn step_lane_epoch(
+    shared: &Shared<'_>,
+    trace: &KernelTrace,
+    lane: &mut SmLane,
+    start: u64,
+    len: u64,
+    mode: PortMode,
+    ff: bool,
+    warp_events: bool,
+) {
+    debug_assert!(lane.epoch_events.is_empty() && lane.epoch_marks.is_empty());
+    lane.epoch_deact = None;
+    for t in start..start + len {
+        while let Some(&(due, w)) = lane.epoch_wakes.front() {
+            if due > t {
+                break;
+            }
+            lane.epoch_wakes.pop_front();
+            let instr_len = trace.warps()[w as usize].instrs.len();
+            if wake_warp(&mut lane.sm, w, instr_len) {
+                lane.retired += 1;
+            }
+        }
+        {
+            let SmLane {
+                sm, epoch_events, ..
+            } = &mut *lane;
+            for sc in &mut sm.subcores {
+                if warp_events {
+                    for warp in &sc.resident {
+                        if warp.rt.done {
+                            epoch_events.push((t, warp.id));
+                        }
+                    }
+                }
+                sc.resident.retain(|warp| !warp.rt.done);
+            }
+        }
+        // Mid-epoch cycles never flush: retire safety keeps warps in
+        // flight through the whole span.
+        step_sm(shared, trace, t, false, lane, mode);
+        lane.epoch_marks.push(lane.outbox.len() as u32);
+        if ff && lane_quiescent(lane) {
+            lane.epoch_deact = Some(t + 1);
+            break;
+        }
+    }
+    debug_assert!(lane.epoch_wakes.is_empty());
+}
+
+/// The serial boundary phase closing an epoch: collects every lane's
+/// epoch products, replays partition steps and outbox deliveries in the
+/// exact per-cycle interleaving (partitions step at `t`, then cycle-`t`
+/// outboxes land in SM-index order), replays telemetry retire events in
+/// serial order, folds retirements and active-set departures, and takes
+/// the boundary telemetry sample. Returns the units delivered (the
+/// epoch-boundary flush size).
+fn finish_epoch(
+    shared: &Shared<'_>,
+    hub: &mut Hub,
+    tel: &mut Option<TelemetryState>,
+    takes: &mut [EpochTake],
+    start: u64,
+    len: u64,
+    ff: bool,
+) -> u64 {
+    // One short lock per lane; the replay below then runs lock-free.
+    // Vec capacities migrate between lane and scratch each epoch, so
+    // the steady state allocates nothing.
+    for (lane_mx, take) in shared.lanes.iter().zip(takes.iter_mut()) {
+        let mut lane = lock(lane_mx);
+        std::mem::swap(&mut lane.outbox, &mut take.outbox);
+        std::mem::swap(&mut lane.epoch_marks, &mut take.marks);
+        std::mem::swap(&mut lane.epoch_events, &mut take.events);
+        take.retired = std::mem::take(&mut lane.retired);
+        take.deact = lane.epoch_deact.take();
+        take.cursor = 0;
+        take.delivered = 0;
+    }
+
+    let mut flits = 0u64;
+    for k in 0..len {
+        let t = start + k;
+        for p in &mut hub.partitions {
+            p.step(t, &mut hub.completions, &mut hub.counters);
+        }
+        for take in takes.iter_mut() {
+            // Lanes that stopped early (quiescent) have short mark
+            // lists; their outbox stopped growing at the same point.
+            let end = take
+                .marks
+                .get(k as usize)
+                .map_or(take.outbox.len(), |&m| m as usize);
+            for req in &take.outbox[take.delivered..end] {
+                flits += u64::from(req.size);
+                hub.partitions[req.partition as usize].push(req.clone());
+            }
+            take.delivered = end;
+        }
+        if let Some(ts) = tel.as_mut() {
+            for take in takes.iter_mut() {
+                while let Some(&(et, w)) = take.events.get(take.cursor) {
+                    if et != t {
+                        break;
+                    }
+                    ts.warp_retired(w, et);
+                    take.cursor += 1;
+                }
+            }
+        }
+    }
+
+    for (idx, take) in takes.iter_mut().enumerate() {
+        hub.warps_remaining -= std::mem::take(&mut take.retired);
+        if let Some(from) = take.deact.take() {
+            shared.active[idx].store(false, Ordering::Relaxed);
+            hub.idle_from[idx] = from;
+        }
+        take.outbox.clear();
+        take.marks.clear();
+        take.events.clear();
+        take.cursor = 0;
+        take.delivered = 0;
+    }
+    sample_if_due(shared, hub, tel, start + len - 1, ff);
+    flits
 }
 
 /// Books the deferred `no_warp` idle spans of every inactive lane

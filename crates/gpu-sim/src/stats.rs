@@ -149,6 +149,27 @@ pub struct EngineStats {
     /// Cycles executed by the naive per-cycle loop (every cycle when
     /// fast-forward is disabled).
     pub cycles_stepped: u64,
+    /// Multi-cycle epochs executed by the epoch-synchronized loop
+    /// (see `sim.rs`; 0 under `ARC_SIM_EPOCH=1`).
+    #[serde(default)]
+    pub epochs: u64,
+    /// Cycles covered by those epochs (each also counts in
+    /// `cycles_stepped`: epochs step every cycle, they just skip the
+    /// per-cycle coordination).
+    #[serde(default)]
+    pub epoch_cycles: u64,
+    /// Longest single epoch.
+    #[serde(default)]
+    pub epoch_len_max: u64,
+    /// Barrier round-trips the per-cycle loop would have paid that the
+    /// epoch loop did not: `2 * (len - 1)` per epoch, counted
+    /// identically regardless of worker count.
+    #[serde(default)]
+    pub barrier_waits_avoided: u64,
+    /// Cross-SM requests delivered at epoch boundaries (units buffered
+    /// privately during epochs and merged by the coordinator replay).
+    #[serde(default)]
+    pub boundary_flits: u64,
 }
 
 impl EngineStats {
@@ -159,6 +180,15 @@ impl EngineStats {
             0.0
         } else {
             1.0 - self.cycles_stepped as f64 / self.cycles_simulated as f64
+        }
+    }
+
+    /// Mean epoch length in cycles (0.0 when no epochs ran).
+    pub fn mean_epoch_len(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.epoch_cycles as f64 / self.epochs as f64
         }
     }
 }
@@ -255,13 +285,36 @@ mod tests {
         let full = EngineStats {
             cycles_simulated: 100,
             cycles_stepped: 100,
+            ..EngineStats::default()
         };
         assert_eq!(full.skip_ratio(), 0.0);
         let half = EngineStats {
             cycles_simulated: 100,
             cycles_stepped: 50,
+            ..EngineStats::default()
         };
         assert!((half.skip_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_epoch_len() {
+        assert_eq!(EngineStats::default().mean_epoch_len(), 0.0);
+        let s = EngineStats {
+            epochs: 4,
+            epoch_cycles: 40,
+            ..EngineStats::default()
+        };
+        assert!((s.mean_epoch_len() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_stats_deserialize_old_format() {
+        // Pre-epoch history files carry only the two original fields;
+        // they must still parse (epoch counters default to zero).
+        let old = r#"{"cycles_simulated": 10, "cycles_stepped": 7}"#;
+        let s: EngineStats = serde_json::from_str(old).expect("old format parses");
+        assert_eq!(s.cycles_simulated, 10);
+        assert_eq!(s.epochs, 0);
     }
 
     #[test]

@@ -375,6 +375,23 @@ impl KernelTelemetry {
     /// Perfetto) JSON. Deterministic: identical input produces
     /// byte-identical output.
     pub fn chrome_trace(&self) -> String {
+        self.chrome_trace_impl(None)
+    }
+
+    /// Like [`KernelTelemetry::chrome_trace`], with an extra
+    /// "coordinator" process track carrying the cycle-loop engine
+    /// counters (epochs executed, epoch cycles, max epoch length,
+    /// barrier waits avoided, boundary flush flits).
+    ///
+    /// Engine stats describe *how* the loop ran, which legitimately
+    /// varies with `ARC_SIM_EPOCH`/`ARC_FF`; keeping them out of the
+    /// plain [`KernelTelemetry::chrome_trace`] is what lets conformance
+    /// compare that export byte-for-byte across those knobs.
+    pub fn chrome_trace_with_engine(&self, engine: &crate::stats::EngineStats) -> String {
+        self.chrome_trace_impl(Some(engine))
+    }
+
+    fn chrome_trace_impl(&self, engine: Option<&crate::stats::EngineStats>) -> String {
         use serde::Value;
 
         fn obj(pairs: Vec<(&str, Value)>) -> Value {
@@ -424,6 +441,45 @@ impl KernelTelemetry {
                 ("pid", u(u64::from(w.sm) + 1)),
                 ("tid", u(u64::from(w.subcore))),
                 ("args", obj(vec![("warp", u(u64::from(w.warp)))])),
+            ]));
+        }
+        if let Some(e) = engine {
+            // The coordinator gets a pid far above any SM's so the track
+            // sorts last and never collides.
+            const COORD_PID: u64 = 1_000_000;
+            events.push(obj(vec![
+                ("name", s("process_name")),
+                ("ph", s("M")),
+                ("pid", u(COORD_PID)),
+                ("args", obj(vec![("name", s("coordinator"))])),
+            ]));
+            for (name, v) in [
+                ("engine.cycles_stepped", e.cycles_stepped),
+                ("engine.epochs", e.epochs),
+                ("engine.epoch_cycles", e.epoch_cycles),
+                ("engine.epoch_len_max", e.epoch_len_max),
+                ("engine.barrier_waits_avoided", e.barrier_waits_avoided),
+                ("engine.boundary_flits", e.boundary_flits),
+            ] {
+                events.push(obj(vec![
+                    ("name", s(name)),
+                    ("ph", s("C")),
+                    ("ts", u(0)),
+                    ("pid", u(COORD_PID)),
+                    ("tid", u(0)),
+                    ("args", obj(vec![("value", u(v))])),
+                ]));
+            }
+            events.push(obj(vec![
+                ("name", s("engine.mean_epoch_len")),
+                ("ph", s("C")),
+                ("ts", u(0)),
+                ("pid", u(COORD_PID)),
+                ("tid", u(0)),
+                (
+                    "args",
+                    obj(vec![("value", Value::Float(e.mean_epoch_len()))]),
+                ),
             ]));
         }
         let top = obj(vec![
@@ -821,6 +877,23 @@ mod tests {
             serde::Value::Array(items) => assert!(items.len() >= 4),
             _ => panic!("traceEvents must be an array"),
         }
+
+        // The engine-annotated export adds the coordinator track without
+        // disturbing the plain trace (which conformance byte-compares).
+        let engine = crate::stats::EngineStats {
+            cycles_simulated: 10,
+            cycles_stepped: 8,
+            epochs: 2,
+            epoch_cycles: 6,
+            epoch_len_max: 4,
+            barrier_waits_avoided: 8,
+            boundary_flits: 12,
+        };
+        let with = tel.chrome_trace_with_engine(&engine);
+        assert!(with.contains("coordinator"));
+        assert!(with.contains("engine.barrier_waits_avoided"));
+        assert!(!json.contains("coordinator"));
+        serde_json::from_str::<serde::Value>(&with).expect("valid JSON with engine track");
     }
 
     #[test]

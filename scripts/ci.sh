@@ -2,8 +2,9 @@
 # Repo CI: formatting, lints, release build, the tier-1 test suite with
 # the parallel harness enabled, and a determinism matrix asserting that
 # simulation results (with telemetry off AND on) are bit-identical under
-# every host-parallelism combination and with the event-driven
-# fast-forward engine on and off (ARC_FF).
+# every host-parallelism combination, with the event-driven fast-forward
+# engine on and off (ARC_FF), and across epoch-synchronization modes
+# (ARC_SIM_EPOCH: per-cycle, fixed-length, and the auto default).
 #
 # rustfmt and clippy are optional components: when a toolchain ships
 # without them the corresponding step warns and is skipped instead of
@@ -77,5 +78,27 @@ if ! cmp -s "$baseline" "$out"; then
   exit 1
 fi
 echo "ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0: identical"
+
+echo "== determinism matrix (ARC_SIM_EPOCH axis) =="
+# The baseline above already runs the default epoch mode (auto); the
+# epoch axis pins the per-cycle escape hatch (1), a fixed cap (4), and
+# an explicit auto against it, crossed with worker counts and the
+# fast-forward toggle. All byte-identical: the epoch-safety analysis
+# may only change wall-clock time, never output.
+for epoch in 1 4 auto; do
+  for workers in 1 8; do
+    for ff in 1 0; do
+      out="$outdir/det_e${epoch}_${workers}_${ff}.txt"
+      ARC_SIM_EPOCH=$epoch ARC_JOBS=2 ARC_SIM_WORKERS=$workers ARC_FF=$ff \
+        ./target/release/determinism > "$out"
+      if ! cmp -s "$baseline" "$out"; then
+        echo "determinism matrix FAILED: ARC_SIM_EPOCH=$epoch ARC_SIM_WORKERS=$workers ARC_FF=$ff diverges:"
+        diff "$baseline" "$out" || true
+        exit 1
+      fi
+      echo "ARC_SIM_EPOCH=$epoch ARC_SIM_WORKERS=$workers ARC_FF=$ff: identical"
+    done
+  done
+done
 
 echo "CI OK"

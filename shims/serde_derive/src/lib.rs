@@ -2,8 +2,11 @@
 //!
 //! Parses the item's token stream directly (no `syn`/`quote`, which are
 //! unavailable offline) and emits `Serialize`/`Deserialize` impls that
-//! target the shim's `Value` tree. `#[serde(...)]` attributes are
-//! accepted and ignored — only internal round-trip consistency matters.
+//! target the shim's `Value` tree. Of the `#[serde(...)]` attributes only
+//! `#[serde(default)]` on a named field is honored (the field falls back
+//! to `Default::default()` when absent, enabling forward-compatible
+//! formats); everything else is accepted and ignored — only internal
+//! round-trip consistency matters.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,10 +17,15 @@ struct Input {
 }
 
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -28,7 +36,7 @@ struct Variant {
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derives the shim `serde::Serialize` trait.
@@ -136,16 +144,20 @@ fn parse_input(input: TokenStream) -> Input {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, noting a
+        // `#[serde(default)]` marker along the way.
+        let mut default = false;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        default |= is_serde_default(&g);
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     toks.next();
@@ -159,7 +171,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
         match toks.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             None => break,
             other => panic!("serde_derive: expected field name, found {other:?}"),
         }
@@ -180,6 +195,34 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// True for a `[serde(...)]` attribute group whose argument list contains
+/// a bare `default` (the path form `default = "..."` is not supported and
+/// stays ignored, like every other serde attribute).
+fn is_serde_default(attr: &proc_macro::Group) -> bool {
+    if attr.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let mut toks = attr.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return false;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(t) = args.next() {
+        if let TokenTree::Ident(id) = &t {
+            if id.to_string() == "default"
+                && !matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+            {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Counts comma-separated segments (tuple fields / variant payload arity).
@@ -287,7 +330,12 @@ fn gen_serialize(item: &Input) -> String {
         Kind::NamedStruct(fields) => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f}))"))
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f}))",
+                        f = f.name
+                    )
+                })
                 .collect();
             format!("serde::Value::Object(vec![{}])", pairs.join(", "))
         }
@@ -320,12 +368,17 @@ fn gen_serialize(item: &Input) -> String {
                             )
                         }
                         Shape::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pairs: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
                                     format!(
-                                        "(\"{f}\".to_string(), serde::Serialize::serialize({f}))"
+                                        "(\"{f}\".to_string(), serde::Serialize::serialize({f}))",
+                                        f = f.name
                                     )
                                 })
                                 .collect();
@@ -346,15 +399,33 @@ fn gen_serialize(item: &Input) -> String {
     )
 }
 
+/// One named-field initializer for a deserialize impl reading from the
+/// object value bound to `src`. `#[serde(default)]` fields tolerate a
+/// missing key; all others propagate the shim's missing-field error.
+fn field_init_from(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match {src}.field(\"{name}\") {{ \
+                 Ok(fv) => serde::Deserialize::deserialize(fv)?, \
+                 Err(_) => ::core::default::Default::default(), \
+             }},"
+        )
+    } else {
+        format!("{name}: serde::Deserialize::deserialize({src}.field(\"{name}\")?)?,")
+    }
+}
+
+fn field_init(f: &Field) -> String {
+    field_init_from(f, "v")
+}
+
 fn gen_deserialize(item: &Input) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
         Kind::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: serde::Deserialize::deserialize(v.field(\"{f}\")?)?,"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
             if fields.is_empty() {
                 format!("{{ let _ = v; Ok({name} {{}}) }}")
             } else {
@@ -391,14 +462,8 @@ fn gen_deserialize(item: &Input) -> String {
                             ))
                         }
                         Shape::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: serde::Deserialize::deserialize(inner.field(\"{f}\")?)?,"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init_from(f, "inner")).collect();
                             Some(format!(
                                 "\"{vname}\" => Ok({name}::{vname} {{ {} }}),",
                                 inits.join(" ")
