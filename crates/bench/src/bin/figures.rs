@@ -3,7 +3,7 @@
 //! Usage:
 //! ```text
 //! figures [--scale S] [--jobs N] [--telemetry] [--technique <name>]
-//!         [--chrome-trace <path>]
+//!         [--chrome-trace <path>] [--store DIR] [--daemon SOCK]
 //!         [all|tab1|fig4|obs1|fig7|fig8|fig18|fig19|fig20|fig21|fig22|
 //!          fig23|fig24|fig25|fig26|fig27|fig28|area|pagerank|scaling|
 //!          roofline|tune]
@@ -25,6 +25,12 @@
 //! `phi`, …; a bad name lists every valid spelling).
 //! `--chrome-trace <path>` dumps the Baseline 3D-DR run on the 4090
 //! model as a `chrome://tracing` / Perfetto JSON timeline.
+//!
+//! `--store DIR` (or `ARC_STORE`) routes simulations through the
+//! persistent result store — reruns at the same scale skip every
+//! already-simulated cell. `--daemon SOCK` sends cells to a running
+//! `simserved` instead. Both produce byte-identical output to a plain
+//! run.
 
 use std::collections::BTreeMap;
 use std::env;
@@ -74,6 +80,24 @@ fn main() {
         );
         args.remove(pos);
     }
+    let mut store = None;
+    if let Some(pos) = args.iter().position(|a| a == "--store") {
+        args.remove(pos);
+        store = Some(args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--store requires a directory");
+            std::process::exit(2);
+        }));
+        args.remove(pos);
+    }
+    let mut daemon = None;
+    if let Some(pos) = args.iter().position(|a| a == "--daemon") {
+        args.remove(pos);
+        daemon = Some(args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--daemon requires a socket path");
+            std::process::exit(2);
+        }));
+        args.remove(pos);
+    }
     let mut telemetry = false;
     if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
         args.remove(pos);
@@ -115,6 +139,18 @@ fn main() {
     let mut h = Harness::new(scale);
     if let Some(jobs) = jobs {
         h.set_jobs(jobs);
+    }
+    if let Some(dir) = &store {
+        if let Err(e) = h.set_store_dir(dir) {
+            eprintln!("cannot open result store {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(sock) = &daemon {
+        if let Err(e) = h.set_daemon(sock) {
+            eprintln!("cannot reach simserved at {sock}: {e}");
+            std::process::exit(1);
+        }
     }
     let mut json = BTreeMap::<String, serde_json::Value>::new();
 

@@ -14,17 +14,20 @@
 //! ```
 //!
 //! `--gate TOL` turns the run into a CI gate: the fresh sample is
-//! compared against the most recent recorded sample with the same
-//! scale, job count, and core count, and the run fails (exit 1, sample
-//! not recorded) if serial throughput dropped by more than `TOL`
-//! (e.g. `0.2` = 20%) at either parallelism level **or** on any
-//! fast-forward workload's FF-on throughput. On a host with more than
-//! one core (and more than one worker) the gate additionally requires
-//! `sm_level.speedup > 1.0` — epoch-synchronized SM sharding must beat
-//! serial; on a single-core host the sm-level gate is skipped entirely
-//! and the sample carries an explicit note saying so, because gating a
-//! parallelism benchmark there measures scheduler noise. With no
-//! comparable baseline the gate records the sample and passes. The
+//! compared against the most recent **gateable** recorded sample with
+//! the same scale, job count, and core count, and the run fails
+//! (exit 1, sample not recorded) if serial throughput dropped by more
+//! than `TOL` (e.g. `0.2` = 20%) at either parallelism level **or** on
+//! any fast-forward workload's FF-on throughput. On a host with more
+//! than one core (and more than one worker) the gate additionally
+//! requires `sm_level.speedup > 1.0` — epoch-synchronized SM sharding
+//! must beat serial; on a single-core (or single-job) host the gate is
+//! skipped entirely and the sample carries an explicit note saying so,
+//! because gating a parallelism benchmark there measures scheduler
+//! noise. Such gate-skipped samples are also never used as baselines:
+//! the search seeks backwards past them to the most recent sample
+//! recorded as meaningful signal (see [`find_baseline`]). With no
+//! gateable baseline the gate records the sample and passes. The
 //! legacy formats of `BENCH_parallel_sim.json` (single object, and
 //! trajectories recorded before the fast-forward section existed) are
 //! read transparently.
@@ -35,10 +38,17 @@
 //! kernel, the skip ratio (`cycles_stepped` vs `cycles_simulated`) and
 //! the FF-on / FF-off wall-clock ratio.
 //!
-//! Parallel and serial runs — and FF-on and FF-off runs — produce
-//! bit-identical reports (see the determinism and conformance tests);
-//! only wall-clock time differs. On a single-core machine both
-//! parallelism speedups are expected to hover around 1.0×.
+//! Each sample also measures the persistent result store
+//! (`sim-service`): the cell grid runs cold then warm against a
+//! throwaway store, recording both wall-clock times and the warm-pass
+//! hit ratio, so the cache win is tracked in the trajectory alongside
+//! `sm_epoch` and `fast_forward`.
+//!
+//! Parallel and serial runs — and FF-on and FF-off runs, and
+//! store-served and freshly simulated runs — produce bit-identical
+//! reports (see the determinism and conformance tests); only
+//! wall-clock time differs. On a single-core machine both parallelism
+//! speedups are expected to hover around 1.0×.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -141,6 +151,43 @@ impl EpochResult {
     }
 }
 
+/// The persistent result store measured cold (every cell simulated and
+/// written) and warm (every cell served from disk) over the same cell
+/// grid, each pass through a fresh [`Harness`] so the in-memory caches
+/// cannot mask the store.
+#[derive(Clone, Serialize, Deserialize)]
+struct StoreResult {
+    cells: usize,
+    cold_s: f64,
+    warm_s: f64,
+    /// Cold wall-clock over warm (higher = the store pays off).
+    speedup: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    /// `warm_hits / (warm_hits + warm_misses)`; 1.0 means the warm pass
+    /// never touched the simulator.
+    hit_ratio: f64,
+}
+
+impl StoreResult {
+    fn new(cells: usize, cold_s: f64, warm_s: f64, warm_hits: u64, warm_misses: u64) -> Self {
+        let lookups = warm_hits + warm_misses;
+        StoreResult {
+            cells,
+            cold_s,
+            warm_s,
+            speedup: cold_s / warm_s,
+            warm_hits,
+            warm_misses,
+            hit_ratio: if lookups == 0 {
+                0.0
+            } else {
+                warm_hits as f64 / lookups as f64
+            },
+        }
+    }
+}
+
 /// One measurement of both parallelism levels and the fast-forward
 /// engine.
 #[derive(Clone, Serialize, Deserialize)]
@@ -155,8 +202,12 @@ struct Sample {
     /// samples recorded before epoch mode existed.
     #[serde(default)]
     sm_epoch: Option<EpochResult>,
+    /// Result-store cold/warm measurement; `None` in samples recorded
+    /// before the store existed.
+    #[serde(default)]
+    store: Option<StoreResult>,
     /// Gating decisions worth preserving next to the numbers they
-    /// affected (e.g. "sm-level not gated: single-core host").
+    /// affected (e.g. "not gated: single-core host").
     #[serde(default)]
     notes: Vec<String>,
 }
@@ -170,6 +221,31 @@ impl Sample {
             && self.jobs == other.jobs
             && self.machine_cores == other.machine_cores
     }
+
+    /// Whether this sample's throughput numbers were recorded as
+    /// meaningful signal. A sample measured on a single-core host or
+    /// with a single job skipped the gate when it was taken (its
+    /// `notes` say "not gated"), so its wall-clock numbers are
+    /// scheduler noise and it must never anchor a future gate — even
+    /// after migration strips the structural evidence, the note
+    /// survives.
+    fn gateable(&self) -> bool {
+        self.machine_cores > 1
+            && self.jobs > 1
+            && self.notes.iter().all(|n| !n.contains("not gated"))
+    }
+}
+
+/// The most recent sample `fresh` can be gated against: comparable
+/// measurement conditions *and* recorded as meaningful signal. The
+/// search seeks backwards past gate-skipped samples (see
+/// [`Sample::gateable`]) instead of blindly taking the last comparable
+/// entry.
+fn find_baseline<'a>(history: &'a [Sample], fresh: &Sample) -> Option<&'a Sample> {
+    history
+        .iter()
+        .rev()
+        .find(|prev| fresh.comparable(prev) && prev.gateable())
 }
 
 /// The on-disk trajectory: every recorded sample, oldest first.
@@ -213,6 +289,7 @@ impl LegacySample {
             sm_level: self.sm_level,
             fast_forward: Vec::new(),
             sm_epoch: None,
+            store: None,
             notes: Vec::new(),
         }
     }
@@ -462,6 +539,53 @@ fn main() -> ExitCode {
         fast_forward.push(r);
     }
 
+    // --- Level 4: the persistent result store (cold vs warm). ---------
+    let store_dir =
+        std::env::temp_dir().join(format!("arc-perf-smoke-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_path = store_dir.to_str().expect("temp dir is utf-8").to_string();
+    // Each pass gets a fresh harness so only the on-disk store carries
+    // state between them; trace building is excluded from the timing
+    // like in the cell-level measurement.
+    let run_store_pass = |label: &str| -> (f64, u64, u64, u64) {
+        println!(
+            "store: {label} pass ({} cells, {jobs} jobs)...",
+            cells.len()
+        );
+        let mut h = Harness::new(scale);
+        h.set_jobs(jobs);
+        h.set_store_dir(&store_path).expect("temp store opens");
+        h.trace_batch(&id_strings);
+        let start = Instant::now();
+        h.gradcomp_batch(&cells);
+        let elapsed = start.elapsed().as_secs_f64();
+        let cycles = cells
+            .iter()
+            .map(|(cfg, t, id)| h.gradcomp(cfg, *t, id).cycles)
+            .sum();
+        let stats = h.store_stats().expect("store was configured");
+        (elapsed, cycles, stats.hits, stats.misses)
+    };
+    let (store_cold_s, store_cycles, _, _) = run_store_pass("cold");
+    let (store_warm_s, store_cycles_warm, warm_hits, warm_misses) = run_store_pass("warm");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert_eq!(store_cycles, store_cycles_warm, "store hit changed results");
+    assert_eq!(
+        store_cycles, cell_cycles,
+        "store-backed run changed results"
+    );
+    let store = StoreResult::new(
+        cells.len(),
+        store_cold_s,
+        store_warm_s,
+        warm_hits,
+        warm_misses,
+    );
+    println!(
+        "store: warm {:.3}s vs cold {:.3}s ({:.1}x), hit ratio {:.2}",
+        store.warm_s, store.cold_s, store.speedup, store.hit_ratio
+    );
+
     let mut sample = Sample {
         scale,
         machine_cores: cores,
@@ -480,17 +604,19 @@ fn main() -> ExitCode {
         ),
         fast_forward,
         sm_epoch: Some(EpochResult::new(&sm_stats)),
+        store: Some(store),
         notes: Vec::new(),
     };
     // A parallelism speedup measured on a single core (or with a single
     // worker) is scheduling noise, not signal — record it, but say so
-    // and never gate on it.
+    // and never gate on it (nor, via `find_baseline`, against it).
     let sm_speedup_meaningful = cores > 1 && jobs > 1;
+    let skip_note = format!(
+        "not gated: machine_cores == {cores}, jobs == {jobs} \
+         (a parallelism benchmark needs > 1 of both)"
+    );
     if !sm_speedup_meaningful {
-        sample.notes.push(format!(
-            "sm_level.speedup not gated: machine_cores == {cores}, jobs == {jobs} \
-             (a parallelism benchmark needs > 1 of both)"
-        ));
+        sample.notes.push(skip_note.clone());
     }
     println!(
         "{}",
@@ -499,83 +625,82 @@ fn main() -> ExitCode {
 
     let mut trajectory = load_trajectory(&out);
 
-    // --- Gate: compare against the last comparable sample. ------------
+    // --- Gate: compare against the last gateable sample. --------------
     if let Some(tol) = gate {
-        // Epoch-synchronized sharding must actually beat serial where
-        // the hardware gives it a chance.
-        if sm_speedup_meaningful && sample.sm_level.speedup <= 1.0 {
+        if !sm_speedup_meaningful {
+            // Nothing measured here is gateable signal, and
+            // `find_baseline` will never hand this sample to a future
+            // gate either — record it and pass.
+            println!("gate: skipped — {skip_note}");
+        } else if sample.sm_level.speedup <= 1.0 {
+            // Epoch-synchronized sharding must actually beat serial
+            // where the hardware gives it a chance.
             eprintln!(
                 "gate: FAIL — sm-level speedup {:.2}x <= 1.0 with {jobs} workers \
                  on a {cores}-core host; sample not recorded",
                 sample.sm_level.speedup
             );
             return ExitCode::FAILURE;
-        }
-        let baseline = trajectory
-            .history
-            .iter()
-            .rev()
-            .find(|s| s.comparable(&sample));
-        match baseline {
-            None => println!(
-                "gate: no comparable baseline in {out} \
+        } else {
+            match find_baseline(&trajectory.history, &sample) {
+                None => println!(
+                    "gate: no gateable baseline in {out} \
                  (scale {scale}, jobs {jobs}, {cores} cores) — recording first sample"
-            ),
-            Some(prev) => {
-                let mut regressed = false;
-                let mut levels = vec![("cell-level", &sample.cell_level, &prev.cell_level)];
-                if sm_speedup_meaningful {
-                    levels.push(("sm-level", &sample.sm_level, &prev.sm_level));
-                } else {
-                    println!("gate: sm-level skipped — {}", sample.notes[0]);
-                }
-                for (level, new, old) in levels {
-                    let floor = old.serial_cycles_per_sec * (1.0 - tol);
-                    let ratio = new.serial_cycles_per_sec / old.serial_cycles_per_sec;
-                    println!(
-                        "gate: {level} serial {:.0} cycles/s vs baseline {:.0} \
+                ),
+                Some(prev) => {
+                    let mut regressed = false;
+                    for (level, new, old) in [
+                        ("cell-level", &sample.cell_level, &prev.cell_level),
+                        ("sm-level", &sample.sm_level, &prev.sm_level),
+                    ] {
+                        let floor = old.serial_cycles_per_sec * (1.0 - tol);
+                        let ratio = new.serial_cycles_per_sec / old.serial_cycles_per_sec;
+                        println!(
+                            "gate: {level} serial {:.0} cycles/s vs baseline {:.0} \
                          ({:+.1}%, floor {:.0})",
-                        new.serial_cycles_per_sec,
-                        old.serial_cycles_per_sec,
-                        100.0 * (ratio - 1.0),
-                        floor
-                    );
-                    if new.serial_cycles_per_sec < floor {
-                        regressed = true;
+                            new.serial_cycles_per_sec,
+                            old.serial_cycles_per_sec,
+                            100.0 * (ratio - 1.0),
+                            floor
+                        );
+                        if new.serial_cycles_per_sec < floor {
+                            regressed = true;
+                        }
                     }
-                }
-                // Fast-forward gate: the FF-on number is the one every
-                // consumer actually sees (FF defaults on), so it is the
-                // gated quantity. Labels only present on one side (e.g.
-                // a migrated pre-FF baseline) are skipped.
-                for new in &sample.fast_forward {
-                    let Some(old) = prev.fast_forward.iter().find(|o| o.label == new.label) else {
-                        continue;
-                    };
-                    let floor = old.ff_on_cycles_per_sec * (1.0 - tol);
-                    let ratio = new.ff_on_cycles_per_sec / old.ff_on_cycles_per_sec;
-                    println!(
-                        "gate: ff {} {:.0} cycles/s vs baseline {:.0} \
+                    // Fast-forward gate: the FF-on number is the one every
+                    // consumer actually sees (FF defaults on), so it is the
+                    // gated quantity. Labels only present on one side (e.g.
+                    // a migrated pre-FF baseline) are skipped.
+                    for new in &sample.fast_forward {
+                        let Some(old) = prev.fast_forward.iter().find(|o| o.label == new.label)
+                        else {
+                            continue;
+                        };
+                        let floor = old.ff_on_cycles_per_sec * (1.0 - tol);
+                        let ratio = new.ff_on_cycles_per_sec / old.ff_on_cycles_per_sec;
+                        println!(
+                            "gate: ff {} {:.0} cycles/s vs baseline {:.0} \
                          ({:+.1}%, floor {:.0})",
-                        new.label,
-                        new.ff_on_cycles_per_sec,
-                        old.ff_on_cycles_per_sec,
-                        100.0 * (ratio - 1.0),
-                        floor
-                    );
-                    if new.ff_on_cycles_per_sec < floor {
-                        regressed = true;
+                            new.label,
+                            new.ff_on_cycles_per_sec,
+                            old.ff_on_cycles_per_sec,
+                            100.0 * (ratio - 1.0),
+                            floor
+                        );
+                        if new.ff_on_cycles_per_sec < floor {
+                            regressed = true;
+                        }
                     }
-                }
-                if regressed {
-                    eprintln!(
-                        "gate: FAIL — throughput regressed more than {:.0}%; \
+                    if regressed {
+                        eprintln!(
+                            "gate: FAIL — throughput regressed more than {:.0}%; \
                          sample not recorded",
-                        100.0 * tol
-                    );
-                    return ExitCode::FAILURE;
+                            100.0 * tol
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    println!("gate: PASS (tolerance {:.0}%)", 100.0 * tol);
                 }
-                println!("gate: PASS (tolerance {:.0}%)", 100.0 * tol);
             }
         }
     }
@@ -591,4 +716,88 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("could not write {out}: {e}"),
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(serial_s: f64) -> LevelResult {
+        LevelResult::new("test".to_string(), 1_000, serial_s, serial_s / 2.0)
+    }
+
+    fn sample(cores: usize, jobs: usize, notes: Vec<String>) -> Sample {
+        Sample {
+            scale: 0.35,
+            machine_cores: cores,
+            jobs,
+            cell_level: level(1.0),
+            sm_level: level(1.0),
+            fast_forward: Vec::new(),
+            sm_epoch: None,
+            store: None,
+            notes,
+        }
+    }
+
+    #[test]
+    fn baseline_is_the_most_recent_comparable_sample() {
+        let history = vec![
+            sample(8, 2, Vec::new()),
+            sample(8, 4, Vec::new()), // different jobs: not comparable
+            sample(8, 2, Vec::new()),
+        ];
+        let fresh = sample(8, 2, Vec::new());
+        let picked = find_baseline(&history, &fresh).expect("a baseline exists");
+        assert!(
+            std::ptr::eq(picked, &history[2]),
+            "most recent comparable wins"
+        );
+    }
+
+    #[test]
+    fn gate_skipped_samples_are_sought_past() {
+        // The most recent comparable sample carries a gate-skip note;
+        // the search must seek backwards to the older clean one instead
+        // of blindly taking the last entry.
+        let history = vec![
+            sample(8, 2, Vec::new()),
+            sample(
+                8,
+                2,
+                vec!["not gated: machine load made this run noise".to_string()],
+            ),
+        ];
+        let fresh = sample(8, 2, Vec::new());
+        let picked = find_baseline(&history, &fresh).expect("the clean sample anchors");
+        assert!(std::ptr::eq(picked, &history[0]));
+        assert!(picked.notes.is_empty());
+    }
+
+    #[test]
+    fn single_core_runs_never_anchor_the_gate() {
+        // A single-core (or single-job) sample is scheduler noise even
+        // when its notes were lost to a legacy migration: the
+        // structural check alone rejects it.
+        let history = vec![sample(1, 2, Vec::new()), sample(8, 1, Vec::new())];
+        assert!(find_baseline(&history, &sample(1, 2, Vec::new())).is_none());
+        assert!(find_baseline(&history, &sample(8, 1, Vec::new())).is_none());
+    }
+
+    #[test]
+    fn incomparable_conditions_are_not_baselines() {
+        let mut other_scale = sample(8, 2, Vec::new());
+        other_scale.scale = 0.5;
+        let history = vec![other_scale, sample(4, 2, Vec::new())];
+        assert!(find_baseline(&history, &sample(8, 2, Vec::new())).is_none());
+    }
+
+    #[test]
+    fn store_hit_ratio_is_guarded_against_zero_lookups() {
+        let r = StoreResult::new(16, 10.0, 1.0, 0, 0);
+        assert_eq!(r.hit_ratio, 0.0);
+        let r = StoreResult::new(16, 10.0, 2.0, 15, 1);
+        assert!((r.speedup - 5.0).abs() < 1e-12);
+        assert!((r.hit_ratio - 15.0 / 16.0).abs() < 1e-12);
+    }
 }

@@ -15,8 +15,13 @@
 //!
 //! ```text
 //! cargo run --release -p arc-bench --bin run_ae [--jobs N] [--telemetry]
-//!     [--chrome-trace <out.json>] [iters]
+//!     [--chrome-trace <out.json>] [--store DIR] [--daemon SOCK] [iters]
 //! ```
+//!
+//! `--store DIR` (or `ARC_STORE`) routes kernel simulations through the
+//! persistent result store; `--daemon SOCK` sends them to a running
+//! `simserved`. Training always runs locally — only the simulated
+//! kernels are served — and output bytes are identical either way.
 //!
 //! `--telemetry` samples each dataset's baseline gradient kernel with
 //! the observability layer and writes the per-dataset summaries to
@@ -31,6 +36,7 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::Arc;
 
 use arc_core::BalanceThreshold;
 use arc_workloads::Technique;
@@ -41,10 +47,15 @@ use diffrender::math::Vec3;
 use diffrender::projection::{project, Camera, Gaussian3DModel};
 use diffrender::tracegen::{gaussian_forward_trace, loss_trace, splat_gradcomp_trace, TraceCosts};
 use diffrender::train::{train_3d, LossKind, TrainConfig};
-use gpu_sim::{GpuConfig, TelemetryConfig, TelemetrySummary};
+use gpu_sim::{GpuConfig, KernelReport, KernelTelemetry, TelemetryConfig, TelemetrySummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use sim_service::{
+    run_cell_with_digest, trace_digest, DaemonClient, Digest, EngineOpts, ResultStore, SimRequest,
+    WireCell,
+};
+use warp_trace::KernelTrace;
 
 const SIZE: usize = 64;
 
@@ -102,6 +113,68 @@ const DATASETS: [AeDataset; 6] = [
     },
 ];
 
+/// How this binary runs simulated kernels: in-process, through the
+/// persistent result store, or via a `simserved` daemon.
+enum SimBackend {
+    Engine,
+    Store(Arc<ResultStore>),
+    Daemon(DaemonClient),
+}
+
+impl SimBackend {
+    /// Runs one gradcomp-style kernel cell, optionally with telemetry.
+    /// `digest` is the precomputed digest of `trace` (unused by the
+    /// engine and daemon paths).
+    fn run(
+        &self,
+        cfg: &GpuConfig,
+        technique: Technique,
+        trace: &Arc<KernelTrace>,
+        digest: &Digest,
+        telemetry: Option<TelemetryConfig>,
+    ) -> (KernelReport, Option<KernelTelemetry>) {
+        match self {
+            SimBackend::Engine => match telemetry {
+                Some(tcfg) => {
+                    let (r, t) = arc_workloads::run_gradcomp_telemetry(cfg, technique, trace, tcfg)
+                        .expect("kernel drains");
+                    (r, Some(t))
+                }
+                None => (
+                    arc_workloads::run_gradcomp(cfg, technique, trace).expect("kernel drains"),
+                    None,
+                ),
+            },
+            SimBackend::Store(store) => {
+                let req = SimRequest {
+                    config: cfg.clone(),
+                    technique,
+                    trace: Arc::clone(trace),
+                    rewrite: true,
+                    telemetry,
+                    want_chrome: false,
+                };
+                let r = run_cell_with_digest(Some(store), &req, &EngineOpts::default(), digest)
+                    .expect("kernel drains");
+                (r.report, r.telemetry)
+            }
+            SimBackend::Daemon(client) => {
+                let r = client
+                    .sim(WireCell {
+                        config: cfg.clone(),
+                        technique,
+                        trace: (**trace).clone(),
+                        rewrite: true,
+                        telemetry,
+                        want_chrome: false,
+                    })
+                    .expect("daemon sim must succeed");
+                (r.report, r.telemetry)
+            }
+        }
+    }
+}
+
 fn orbit_cameras(n: usize) -> Vec<Camera> {
     (0..n)
         .map(|k| {
@@ -148,6 +221,48 @@ fn main() {
         args.remove(pos);
         telemetry = true;
     }
+    let mut backend = SimBackend::Engine;
+    if let Some(pos) = args.iter().position(|a| a == "--store") {
+        args.remove(pos);
+        let dir = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--store requires a directory");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        let store = ResultStore::open(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot open result store {dir}: {e}");
+            std::process::exit(1);
+        });
+        backend = SimBackend::Store(Arc::new(store));
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--daemon") {
+        args.remove(pos);
+        let sock = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--daemon requires a socket path");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        let client = DaemonClient::connect(&sock).unwrap_or_else(|e| {
+            eprintln!("cannot reach simserved at {sock}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = client.ping() {
+            eprintln!("cannot reach simserved at {sock}: {e}");
+            std::process::exit(1);
+        }
+        backend = SimBackend::Daemon(client);
+    }
+    if matches!(backend, SimBackend::Engine) {
+        if let Ok(dir) = std::env::var("ARC_STORE") {
+            if !dir.is_empty() {
+                let store = ResultStore::open(&dir).unwrap_or_else(|e| {
+                    eprintln!("ARC_STORE={dir}: cannot open result store: {e}");
+                    std::process::exit(1);
+                });
+                backend = SimBackend::Store(Arc::new(store));
+            }
+        }
+    }
     let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
     let cfg = GpuConfig::rtx4090_sim();
     let bg = Vec3::splat(0.02);
@@ -164,8 +279,17 @@ fn main() {
     // the others; fan them across the job pool and splice the finished
     // (table, csv) blocks back together in dataset order.
     let want_chrome = chrome_trace.is_some();
+    let backend = &backend;
     let blocks = gpu_sim::par_map(jobs, DATASETS.iter().enumerate().collect(), |(idx, ds)| {
-        dataset_rows(ds, &cfg, bg, iters, telemetry, want_chrome && idx == 0)
+        dataset_rows(
+            ds,
+            &cfg,
+            bg,
+            iters,
+            telemetry,
+            want_chrome && idx == 0,
+            backend,
+        )
     });
     let mut tel_rows = Vec::new();
     let mut chrome_json = None;
@@ -206,6 +330,7 @@ fn main() {
 /// Trains one dataset, simulates the artifact's technique grid, and
 /// renders its table and CSV rows — plus, when asked, the baseline
 /// gradcomp kernel's telemetry (and Chrome-trace timeline).
+#[allow(clippy::too_many_arguments)]
 fn dataset_rows(
     ds: &AeDataset,
     cfg: &GpuConfig,
@@ -213,6 +338,7 @@ fn dataset_rows(
     iters: usize,
     telemetry: bool,
     chrome: bool,
+    backend: &SimBackend,
 ) -> (String, String, Option<DatasetTelemetry>) {
     let mut table = String::new();
     let mut csv = String::new();
@@ -262,23 +388,26 @@ fn dataset_rows(
     let _ = backward_scene(&proj.splats, &out, &pixel_grads, &mut NoopRecorder);
     let (gradcomp, _) =
         splat_gradcomp_trace(&proj.splats, &out, &pixel_grads, TraceCosts::default());
-    let forward = gaussian_forward_trace(&out, TraceCosts::default());
-    let loss_k = loss_trace(SIZE, SIZE);
+    let gradcomp = Arc::new(gradcomp);
+    let forward = Arc::new(gaussian_forward_trace(&out, TraceCosts::default()));
+    let loss_k = Arc::new(loss_trace(SIZE, SIZE));
+    // One digest per trace; the store-backed path reuses it across the
+    // whole technique grid.
+    let gradcomp_digest = trace_digest(&gradcomp);
+    let forward_digest = trace_digest(&forward);
+    let loss_digest = trace_digest(&loss_k);
 
-    let fixed_ms: f64 = [&forward, &loss_k]
+    let fixed_ms: f64 = [(&forward, &forward_digest), (&loss_k, &loss_digest)]
         .iter()
-        .map(|t| {
-            arc_workloads::run_gradcomp(cfg, Technique::Baseline, t)
-                .expect("kernel drains")
-                .time_ms
-        })
+        .map(|(t, d)| backend.run(cfg, Technique::Baseline, t, d, None).0.time_ms)
         .sum();
 
     // The artifact's grid: 4 implementations × thresholds.
     for (impl_name, techniques) in variants() {
         for (thr_label, technique) in techniques {
-            let grad_ms = arc_workloads::run_gradcomp(cfg, technique, &gradcomp)
-                .expect("kernel drains")
+            let grad_ms = backend
+                .run(cfg, technique, &gradcomp, &gradcomp_digest, None)
+                .0
                 .time_ms;
             let e2e_ms = (fixed_ms + grad_ms) * iters as f64;
             let _ = writeln!(
@@ -294,13 +423,14 @@ fn dataset_rows(
         }
     }
     let tel = telemetry.then(|| {
-        let (_, tel) = arc_workloads::run_gradcomp_telemetry(
+        let (_, tel) = backend.run(
             cfg,
             Technique::Baseline,
             &gradcomp,
-            TelemetryConfig::default(),
-        )
-        .expect("kernel drains");
+            &gradcomp_digest,
+            Some(TelemetryConfig::default()),
+        );
+        let tel = tel.expect("telemetry was requested");
         DatasetTelemetry {
             chrome: chrome.then(|| tel.chrome_trace()),
             row: AeTelemetry {

@@ -8,6 +8,7 @@
 //! trace_tool rewrite <trace.json> <out.json> [technique] [threshold]
 //! trace_tool sim     <trace.json> [technique] [4090|3060]
 //!                    [--telemetry] [--chrome-trace <out.json>]
+//!                    [--store DIR] [--daemon SOCK]
 //! ```
 //!
 //! Technique names are resolved through the canonical registry
@@ -20,12 +21,19 @@
 //! sampled summary (queue-occupancy peaks, interconnect throughput,
 //! warp spans). `--chrome-trace <out.json>` additionally writes the
 //! run's `chrome://tracing` / Perfetto timeline (implies `--telemetry`).
+//!
+//! `sim --store DIR` (or `ARC_STORE`) serves repeated runs from the
+//! persistent result store; `sim --daemon SOCK` asks a running
+//! `simserved` instead of simulating in-process. Output is
+//! byte-identical on every path.
 
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use arc_core::{BalanceThreshold, Technique, TECHNIQUES};
 use gpu_sim::{GpuConfig, Simulator, TechniquePath, TelemetryConfig};
+use sim_service::{run_cell, DaemonClient, EngineOpts, ResultStore, SimRequest, WireCell};
 use warp_trace::{KernelTrace, TraceStats};
 
 fn main() -> ExitCode {
@@ -151,8 +159,31 @@ fn sim(args: &[String]) -> Result<(), String> {
         chrome_trace = Some(out);
         telemetry = true;
     }
+    let mut store_dir = None;
+    if let Some(pos) = args.iter().position(|a| a == "--store") {
+        args.remove(pos);
+        let dir = args
+            .get(pos)
+            .cloned()
+            .ok_or("--store requires a directory")?;
+        args.remove(pos);
+        store_dir = Some(dir);
+    }
+    let mut daemon_sock = None;
+    if let Some(pos) = args.iter().position(|a| a == "--daemon") {
+        args.remove(pos);
+        let sock = args
+            .get(pos)
+            .cloned()
+            .ok_or("--daemon requires a socket path")?;
+        args.remove(pos);
+        daemon_sock = Some(sock);
+    }
+    // The environment opt-in mirrors the harness.
+    let store_dir = store_dir.or_else(|| std::env::var("ARC_STORE").ok().filter(|s| !s.is_empty()));
     let path = args.first().ok_or(
-        "usage: trace_tool sim <trace.json> [technique] [gpu] [--telemetry] [--chrome-trace <out.json>]",
+        "usage: trace_tool sim <trace.json> [technique] [gpu] [--telemetry] \
+         [--chrome-trace <out.json>] [--store DIR] [--daemon SOCK]",
     )?;
     let technique: Technique = args
         .get(1)
@@ -164,12 +195,42 @@ fn sim(args: &[String]) -> Result<(), String> {
         "3060" => GpuConfig::rtx3060_sim(),
         other => return Err(format!("unknown GPU `{other}` (4090|3060)")),
     };
-    let trace = technique.prepare(&load(path)?);
-    let mut sim = Simulator::new(cfg.clone(), technique.path()).map_err(|e| e.to_string())?;
-    if telemetry {
-        sim = sim.with_telemetry(TelemetryConfig::default());
-    }
-    let (report, tel) = sim.run_with_telemetry(&trace).map_err(|e| e.to_string())?;
+    let trace = Arc::new(load(path)?);
+    let tcfg = telemetry.then(TelemetryConfig::default);
+    let (report, tel) = if let Some(sock) = daemon_sock {
+        let client = DaemonClient::connect(&sock).map_err(|e| format!("connecting {sock}: {e}"))?;
+        let r = client
+            .sim(WireCell {
+                config: cfg.clone(),
+                technique,
+                trace: (*trace).clone(),
+                rewrite: true,
+                telemetry: tcfg,
+                want_chrome: false,
+            })
+            .map_err(|e| e.to_string())?;
+        (r.report, r.telemetry)
+    } else if let Some(dir) = store_dir {
+        let store = ResultStore::open(&dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        let req = SimRequest {
+            config: cfg.clone(),
+            technique,
+            trace: Arc::clone(&trace),
+            rewrite: true,
+            telemetry: tcfg,
+            want_chrome: false,
+        };
+        let r = run_cell(Some(&store), &req, &EngineOpts::default()).map_err(|e| e.to_string())?;
+        (r.report, r.telemetry)
+    } else {
+        let prepared = technique.prepare(&trace);
+        let mut sim = Simulator::new(cfg.clone(), technique.path()).map_err(|e| e.to_string())?;
+        if telemetry {
+            sim = sim.with_telemetry(TelemetryConfig::default());
+        }
+        sim.run_with_telemetry(&prepared)
+            .map_err(|e| e.to_string())?
+    };
     println!(
         "{} on {}: {} cycles ({:.3} ms), rop util {:.2}, redunit util {:.2}, \
          stalls/instr {:.2}",

@@ -8,6 +8,11 @@ use gpu_sim::{
     par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, Simulator,
     TelemetryConfig, TelemetrySummary,
 };
+use sim_service::{
+    run_cell_with_digest, trace_digest, DaemonClient, Digest, EngineOpts, ResultStore, SimRequest,
+    StoreStats, WireCell,
+};
+use warp_trace::KernelTrace;
 
 /// Builds workload traces on demand (each is an actual render + backward
 /// pass) and caches simulation reports so figures sharing data points —
@@ -20,6 +25,15 @@ use gpu_sim::{
 /// `ARC_JOBS` environment variable or the machine's core count); the
 /// per-cell accessors then serve warm cache hits, so figure code keeps
 /// its simple serial loops and deterministic output order.
+///
+/// Beyond the in-memory caches, simulations can be routed through the
+/// persistent result store or a `simserved` daemon: set `ARC_STORE` to
+/// a directory (or call [`Harness::set_store`] /
+/// [`Harness::set_daemon`]) and every kernel run first consults the
+/// store, simulating and populating it only on a miss. Results are
+/// byte-identical with and without a store — the conformance
+/// `store-equivalence` invariant pins this — so the default stays off
+/// and nothing changes unless explicitly opted in.
 pub struct Harness {
     scale: f64,
     jobs: usize,
@@ -31,6 +45,9 @@ pub struct Harness {
     gradcomp_cache: HashMap<CacheKey, KernelReport>,
     iteration_cache: HashMap<CacheKey, IterationReport>,
     telemetry_cache: HashMap<CacheKey, KernelTelemetry>,
+    store: Option<Arc<ResultStore>>,
+    daemon: Option<Arc<DaemonClient>>,
+    service_traces: HashMap<(WorkloadId, KernelSel), (Arc<KernelTrace>, Digest)>,
 }
 
 /// A simulation cell: one (config, technique, workload) point.
@@ -82,6 +99,39 @@ impl Interner {
 /// simulator and traces it runs on.
 type PreparedCell = (CacheKey, Arc<Simulator>, Technique, Arc<IterationTraces>);
 
+/// Which kernel of an iteration a service-backend request targets.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum KernelSel {
+    Forward,
+    Loss,
+    Gradcomp,
+}
+
+/// One kernel-level request prepared for the service backend (store or
+/// daemon), with the trace digest already computed.
+struct ServiceCell {
+    cfg: GpuConfig,
+    technique: Technique,
+    trace: Arc<KernelTrace>,
+    rewrite: bool,
+    digest: Digest,
+    telemetry: Option<TelemetryConfig>,
+}
+
+/// The canonical non-rewriting technique for a hardware path: what the
+/// forward/loss kernels of an iteration run as (they are never
+/// trace-rewritten — see `run_iteration_with`), so every technique
+/// sharing a path also shares their store entries.
+fn path_technique(path: AtomicPath) -> Technique {
+    match path {
+        AtomicPath::Baseline => Technique::Baseline,
+        AtomicPath::ArcHw => Technique::ArcHw,
+        AtomicPath::Lab => Technique::Lab,
+        AtomicPath::LabIdeal => Technique::LabIdeal,
+        AtomicPath::Phi => Technique::Phi,
+    }
+}
+
 fn build_traces(scale: f64, id: &str) -> IterationTraces {
     let spec = arc_workloads::spec(id).unwrap_or_else(|| panic!("unknown workload id `{id}`"));
     let spec = if (scale - 1.0).abs() < 1e-9 {
@@ -101,6 +151,18 @@ impl Harness {
     /// Panics if `scale` is not positive.
     pub fn new(scale: f64) -> Self {
         assert!(scale > 0.0, "scale must be positive");
+        // Opt into the persistent result store via the environment so
+        // every binary built on the harness gets it without plumbing;
+        // unset (the default) leaves behaviour byte-identical to a
+        // store-less build.
+        let store = match std::env::var("ARC_STORE") {
+            Ok(dir) if !dir.is_empty() => {
+                let store = ResultStore::open(&dir)
+                    .unwrap_or_else(|e| panic!("ARC_STORE={dir}: cannot open result store: {e}"));
+                Some(Arc::new(store))
+            }
+            _ => None,
+        };
         Harness {
             scale,
             jobs: gpu_sim::default_jobs(),
@@ -112,6 +174,9 @@ impl Harness {
             gradcomp_cache: HashMap::new(),
             iteration_cache: HashMap::new(),
             telemetry_cache: HashMap::new(),
+            store,
+            daemon: None,
+            service_traces: HashMap::new(),
         }
     }
 
@@ -136,6 +201,140 @@ impl Harness {
     /// never collect telemetry regardless of this setting.
     pub fn set_telemetry(&mut self, telemetry: TelemetryConfig) {
         self.telemetry = telemetry;
+    }
+
+    /// Routes simulations through an on-disk result store: hits skip
+    /// the simulation entirely, misses simulate and populate. Byte
+    /// behaviour is unchanged (pinned by the conformance
+    /// `store-equivalence` invariant).
+    pub fn set_store(&mut self, store: Arc<ResultStore>) {
+        self.store = Some(store);
+    }
+
+    /// [`Harness::set_store`] by directory path, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created or its
+    /// index cannot be read.
+    pub fn set_store_dir(&mut self, dir: &str) -> std::io::Result<()> {
+        self.store = Some(Arc::new(ResultStore::open(dir)?));
+        Ok(())
+    }
+
+    /// Routes simulations to a running `simserved` daemon on `sock`
+    /// (which typically has its own store). Takes precedence over a
+    /// local store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect/ping error if no daemon answers on `sock`.
+    pub fn set_daemon(&mut self, sock: &str) -> Result<(), sim_service::ClientError> {
+        let client = DaemonClient::connect(sock)?;
+        client.ping()?;
+        self.daemon = Some(Arc::new(client));
+        Ok(())
+    }
+
+    /// Hit/miss/put counters of the local store, if one is configured.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// True when simulations route through the store or a daemon
+    /// instead of the plain in-process engine.
+    fn service_enabled(&self) -> bool {
+        self.store.is_some() || self.daemon.is_some()
+    }
+
+    /// The shared trace + digest for one kernel of a workload, cloned
+    /// out of the iteration bundle and hashed once on first use.
+    fn service_trace(&mut self, id: &str, kernel: KernelSel) -> (Arc<KernelTrace>, Digest) {
+        let wid = WorkloadId(self.workload_names.intern(id));
+        if let Some((trace, digest)) = self.service_traces.get(&(wid, kernel)) {
+            return (Arc::clone(trace), *digest);
+        }
+        let traces = self.traces_arc(id);
+        let trace = Arc::new(match kernel {
+            KernelSel::Forward => traces.forward.clone(),
+            KernelSel::Loss => traces.loss.clone(),
+            KernelSel::Gradcomp => traces.gradcomp.clone(),
+        });
+        let digest = trace_digest(&trace);
+        self.service_traces
+            .insert((wid, kernel), (Arc::clone(&trace), digest));
+        (trace, digest)
+    }
+
+    /// Builds one service request. Forward/loss kernels run unrewritten
+    /// under the path's canonical technique; gradcomp carries the real
+    /// technique and its trace rewrite.
+    fn service_cell(
+        &mut self,
+        cfg: &GpuConfig,
+        technique: Technique,
+        id: &str,
+        kernel: KernelSel,
+        telemetry: bool,
+    ) -> ServiceCell {
+        let (trace, digest) = self.service_trace(id, kernel);
+        let (technique, rewrite) = match kernel {
+            KernelSel::Gradcomp => (technique, true),
+            KernelSel::Forward | KernelSel::Loss => (path_technique(technique.path()), false),
+        };
+        ServiceCell {
+            cfg: cfg.clone(),
+            technique,
+            trace,
+            rewrite,
+            digest,
+            telemetry: if telemetry {
+                Some(self.telemetry.clone())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Runs kernel cells through the service backend — the daemon if
+    /// connected, the local store otherwise — preserving input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator or daemon failure, like the engine path.
+    fn service_run(&self, cells: Vec<ServiceCell>) -> Vec<(KernelReport, Option<KernelTelemetry>)> {
+        if let Some(client) = &self.daemon {
+            let wire: Vec<WireCell> = cells
+                .iter()
+                .map(|c| WireCell {
+                    config: c.cfg.clone(),
+                    technique: c.technique,
+                    trace: (*c.trace).clone(),
+                    rewrite: c.rewrite,
+                    telemetry: c.telemetry.clone(),
+                    want_chrome: false,
+                })
+                .collect();
+            let results = client.batch(wire).expect("daemon batch must succeed");
+            return results
+                .into_iter()
+                .map(|r| (r.report, r.telemetry))
+                .collect();
+        }
+        let store = self.store.as_ref().expect("service_run without a backend");
+        par_map(self.jobs, cells, |c| {
+            let req = SimRequest {
+                config: c.cfg,
+                technique: c.technique,
+                trace: c.trace,
+                rewrite: c.rewrite,
+                telemetry: c.telemetry,
+                want_chrome: false,
+            };
+            let r = run_cell_with_digest(Some(store), &req, &EngineOpts::default(), &c.digest)
+                .expect("kernel must drain");
+            (r.report, r.telemetry)
+        })
     }
 
     /// All workload ids, in Table-2 order.
@@ -227,11 +426,15 @@ impl Harness {
         if let Some(hit) = self.gradcomp_cache.get(&key) {
             return hit.clone();
         }
-        let traces = self.traces_arc(id);
-        let sim = self.sim_for(cfg, technique.path());
-        let report = sim
-            .run(&technique.prepare_cow(&traces.gradcomp))
-            .expect("kernel must drain");
+        let report = if self.service_enabled() {
+            let cell = self.service_cell(cfg, technique, id, KernelSel::Gradcomp, false);
+            self.service_run(vec![cell]).remove(0).0
+        } else {
+            let traces = self.traces_arc(id);
+            let sim = self.sim_for(cfg, technique.path());
+            sim.run(&technique.prepare_cow(&traces.gradcomp))
+                .expect("kernel must drain")
+        };
         self.gradcomp_cache.insert(key, report.clone());
         report
     }
@@ -258,12 +461,18 @@ impl Harness {
         ) {
             return (report.clone(), tel.clone());
         }
-        let traces = self.traces_arc(id);
-        let sim = self.telemetry_sim(cfg, technique.path());
-        let (report, tel) = sim
-            .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
-            .expect("kernel must drain");
-        let tel = tel.expect("telemetry was enabled");
+        let (report, tel) = if self.service_enabled() {
+            let cell = self.service_cell(cfg, technique, id, KernelSel::Gradcomp, true);
+            let (report, tel) = self.service_run(vec![cell]).remove(0);
+            (report, tel.expect("telemetry was requested"))
+        } else {
+            let traces = self.traces_arc(id);
+            let sim = self.telemetry_sim(cfg, technique.path());
+            let (report, tel) = sim
+                .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
+                .expect("kernel must drain");
+            (report, tel.expect("telemetry was enabled"))
+        };
         self.gradcomp_cache.insert(key, report.clone());
         self.telemetry_cache.insert(key, tel.clone());
         (report, tel)
@@ -280,17 +489,36 @@ impl Harness {
         self.trace_batch(&ids);
 
         let mut claimed: HashSet<CacheKey> = HashSet::new();
-        let mut todo: Vec<PreparedCell> = Vec::new();
-        for (cfg, technique, id) in cells {
+        let mut misses: Vec<Cell> = Vec::new();
+        let mut keys: Vec<CacheKey> = Vec::new();
+        for cell @ (cfg, technique, id) in cells {
             let key = self.key(cfg, *technique, id);
             if self.telemetry_cache.contains_key(&key) || !claimed.insert(key) {
                 continue;
             }
-            let sim = Arc::new(self.telemetry_sim(cfg, technique.path()));
-            let traces = Arc::clone(&self.traces[id.as_str()]);
-            todo.push((key, sim, *technique, traces));
+            misses.push(cell.clone());
+            keys.push(key);
         }
 
+        if self.service_enabled() {
+            let svc: Vec<ServiceCell> = misses
+                .iter()
+                .map(|(cfg, t, id)| self.service_cell(cfg, *t, id, KernelSel::Gradcomp, true))
+                .collect();
+            for (key, (report, tel)) in keys.into_iter().zip(self.service_run(svc)) {
+                self.gradcomp_cache.insert(key, report);
+                self.telemetry_cache
+                    .insert(key, tel.expect("telemetry was requested"));
+            }
+            return;
+        }
+
+        let mut todo: Vec<PreparedCell> = Vec::new();
+        for ((cfg, technique, id), key) in misses.iter().zip(&keys) {
+            let sim = Arc::new(self.telemetry_sim(cfg, technique.path()));
+            let traces = Arc::clone(&self.traces[id.as_str()]);
+            todo.push((*key, sim, *technique, traces));
+        }
         let results = par_map(jobs, todo, |(key, sim, technique, traces)| {
             let (report, tel) = sim
                 .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
@@ -362,10 +590,20 @@ impl Harness {
         if let Some(hit) = self.iteration_cache.get(&key) {
             return hit.clone();
         }
-        let traces = self.traces_arc(id);
-        let sim = self.sim_for(cfg, technique.path());
-        let report = arc_workloads::run_iteration_with(&sim, technique, &traces)
-            .expect("iteration must drain");
+        let report = if self.service_enabled() {
+            let svc = vec![
+                self.service_cell(cfg, technique, id, KernelSel::Forward, false),
+                self.service_cell(cfg, technique, id, KernelSel::Loss, false),
+                self.service_cell(cfg, technique, id, KernelSel::Gradcomp, false),
+            ];
+            let kernels = self.service_run(svc).into_iter().map(|(r, _)| r).collect();
+            IterationReport { kernels }
+        } else {
+            let traces = self.traces_arc(id);
+            let sim = self.sim_for(cfg, technique.path());
+            arc_workloads::run_iteration_with(&sim, technique, &traces)
+                .expect("iteration must drain")
+        };
         self.iteration_cache.insert(key, report.clone());
         report
     }
@@ -395,10 +633,11 @@ impl Harness {
         let ids: Vec<String> = cells.iter().map(|(_, _, id)| id.clone()).collect();
         self.trace_batch(&ids);
 
-        // Collect the unique uncached cells with their shared inputs.
+        // Collect the unique uncached cells.
         let mut claimed: HashSet<CacheKey> = HashSet::new();
-        let mut todo: Vec<PreparedCell> = Vec::new();
-        for (cfg, technique, id) in cells {
+        let mut misses: Vec<Cell> = Vec::new();
+        let mut keys: Vec<CacheKey> = Vec::new();
+        for cell @ (cfg, technique, id) in cells {
             let key = self.key(cfg, *technique, id);
             let cached = if iteration {
                 self.iteration_cache.contains_key(&key)
@@ -408,9 +647,46 @@ impl Harness {
             if cached || !claimed.insert(key) {
                 continue;
             }
+            misses.push(cell.clone());
+            keys.push(key);
+        }
+
+        if self.service_enabled() {
+            if iteration {
+                // Three kernel requests per iteration cell, flattened so
+                // the pool (or daemon) schedules them all at once.
+                let mut svc = Vec::new();
+                for (cfg, t, id) in &misses {
+                    svc.push(self.service_cell(cfg, *t, id, KernelSel::Forward, false));
+                    svc.push(self.service_cell(cfg, *t, id, KernelSel::Loss, false));
+                    svc.push(self.service_cell(cfg, *t, id, KernelSel::Gradcomp, false));
+                }
+                let mut results = self.service_run(svc).into_iter();
+                for key in keys {
+                    let mut kernels = Vec::with_capacity(3);
+                    for _ in 0..3 {
+                        kernels.push(results.next().expect("three kernels per cell").0);
+                    }
+                    self.iteration_cache
+                        .insert(key, IterationReport { kernels });
+                }
+            } else {
+                let svc: Vec<ServiceCell> = misses
+                    .iter()
+                    .map(|(cfg, t, id)| self.service_cell(cfg, *t, id, KernelSel::Gradcomp, false))
+                    .collect();
+                for (key, (report, _)) in keys.into_iter().zip(self.service_run(svc)) {
+                    self.gradcomp_cache.insert(key, report);
+                }
+            }
+            return;
+        }
+
+        let mut todo: Vec<PreparedCell> = Vec::new();
+        for ((cfg, technique, id), key) in misses.iter().zip(&keys) {
             let sim = self.sim_for(cfg, technique.path());
             let traces = Arc::clone(&self.traces[id.as_str()]);
-            todo.push((key, sim, *technique, traces));
+            todo.push((*key, sim, *technique, traces));
         }
 
         // Simulate across the pool; inserting in input order keeps the
@@ -532,6 +808,43 @@ mod tests {
         let rows = parallel.telemetry_summaries();
         assert_eq!(rows.len(), cells.len());
         assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1), "rows sorted");
+    }
+
+    #[test]
+    fn store_backed_harness_matches_engine() {
+        let dir = std::env::temp_dir().join(format!("arc-harness-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = GpuConfig::tiny();
+        let cells: Vec<Cell> = [Technique::Baseline, Technique::ArcHw]
+            .into_iter()
+            .map(|t| (cfg.clone(), t, "PS-SS".to_string()))
+            .collect();
+
+        let mut plain = Harness::new(0.2);
+        let mut stored = Harness::new(0.2);
+        stored.set_store_dir(dir.to_str().unwrap()).unwrap();
+        stored.gradcomp_batch(&cells);
+        stored.iteration_batch(&cells);
+        for (cfg, t, id) in &cells {
+            assert_eq!(plain.gradcomp(cfg, *t, id), stored.gradcomp(cfg, *t, id));
+            assert_eq!(plain.iteration(cfg, *t, id), stored.iteration(cfg, *t, id));
+            let (pr, pt) = plain.gradcomp_telemetry(cfg, *t, id);
+            let (sr, st) = stored.gradcomp_telemetry(cfg, *t, id);
+            assert_eq!(pr, sr, "telemetry report via store for {}", t.label());
+            assert_eq!(pt, st, "telemetry via store for {}", t.label());
+        }
+
+        // A fresh harness over the same store serves everything warm.
+        let mut warm = Harness::new(0.2);
+        warm.set_store_dir(dir.to_str().unwrap()).unwrap();
+        for (cfg, t, id) in &cells {
+            assert_eq!(plain.gradcomp(cfg, *t, id), warm.gradcomp(cfg, *t, id));
+            assert_eq!(plain.iteration(cfg, *t, id), warm.iteration(cfg, *t, id));
+        }
+        let stats = warm.store_stats().unwrap();
+        assert_eq!(stats.misses, 0, "warm pass must not simulate");
+        assert!(stats.hits > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

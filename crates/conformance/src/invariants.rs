@@ -28,11 +28,19 @@
 //! known by construction, so each check's precondition is guaranteed
 //! rather than assumed.
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use arc_core::analysis::{baseline_cycles, predicted_hw_speedup};
-use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig};
+use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig, Technique};
 use gpu_sim::{
     AtomicPath, EpochMode, GpuConfig, KernelReport, KernelTelemetry, SimCounters, Simulator,
     TelemetryConfig,
+};
+use sim_service::{
+    run_cell, store_key, trace_digest, DaemonClient, EngineOpts, ResultStore, SimRequest,
+    SimResult, WireCell,
 };
 use warp_trace::{AtomicInstr, KernelKind, KernelTrace, LaneOp, TraceStats, WarpTraceBuilder};
 
@@ -436,6 +444,210 @@ pub fn check_threshold_crossover(cfg: &GpuConfig) -> Result<(), InvariantFailure
 }
 
 // ---------------------------------------------------------------------
+// Store / service equivalence.
+// ---------------------------------------------------------------------
+
+/// A unique scratch directory for one store-equivalence run. The caller
+/// removes it when done; a crashed run leaves only temp-dir litter.
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "arc-conformance-store-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The full observable output of one cell as comparable bytes:
+/// serialized report, serialized telemetry, and the chrome-trace JSON.
+fn cell_bytes(
+    report: &KernelReport,
+    telemetry: Option<&KernelTelemetry>,
+    chrome: Option<&str>,
+) -> Result<(String, String, String), InvariantFailure> {
+    let enc = |label, r: Result<String, serde_json::Error>| {
+        r.map_err(|e| fail("store-equivalence", format!("serializing {label}: {e}")))
+    };
+    let tel = match telemetry {
+        Some(t) => enc("telemetry", serde_json::to_string(t))?,
+        None => String::new(),
+    };
+    Ok((
+        enc("report", serde_json::to_string(report))?,
+        tel,
+        chrome.unwrap_or_default().to_string(),
+    ))
+}
+
+fn result_bytes(r: &SimResult) -> Result<(String, String, String), InvariantFailure> {
+    cell_bytes(&r.report, r.telemetry.as_ref(), r.chrome.as_deref())
+}
+
+/// **Invariant `store-equivalence`** — the result store and the
+/// `simserved` daemon are observationally invisible: a store hit is
+/// byte-identical (report, telemetry, and chrome-trace serialization)
+/// to a fresh engine run. Checked per atomic path (one canonical
+/// technique each, plus a rewriting SW technique): a cold run through a
+/// fresh store must match a store-less reference run; the bytes
+/// persisted on disk must re-serialize to the same output; every warm
+/// run across the engine matrix — SM workers {1, 2, 8} × fast-forward
+/// {on, off} × epoch {per-cycle, auto}, knobs that are deliberately
+/// *not* part of the store key — must hit and match; and a daemon
+/// round-trip over the same store must serve the same bytes.
+pub fn check_store_equivalence(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    let dir = scratch_dir();
+    let result = store_equivalence_in(cfg, trace, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn store_equivalence_in(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+    dir: &Path,
+) -> Result<(), InvariantFailure> {
+    const INV: &str = "store-equivalence";
+    let err = |detail: String| fail(INV, detail);
+    // One canonical technique per atomic path, plus SW-B to cover a
+    // trace-rewriting technique sharing the baseline path.
+    let techniques = [
+        Technique::Baseline,
+        Technique::ArcHw,
+        Technique::SwB(BalanceThreshold::new(8).expect("threshold in range")),
+        Technique::Lab,
+        Technique::LabIdeal,
+        Technique::Phi,
+    ];
+    let store = Arc::new(
+        ResultStore::open(dir.join("store")).map_err(|e| err(format!("opening store: {e}")))?,
+    );
+    let trace = Arc::new(trace.clone());
+    let digest = trace_digest(&trace);
+    let tcfg = TelemetryConfig::every(4);
+
+    // The engine knobs that must never change served bytes (they are
+    // not part of the store key). The first combo does the cold run.
+    let mut combos = Vec::new();
+    for workers in [1usize, 2, 8] {
+        for ff in [false, true] {
+            for epoch in [EpochMode::PerCycle, EpochMode::Auto] {
+                combos.push(EngineOpts {
+                    workers: Some(workers),
+                    fast_forward: Some(ff),
+                    epoch: Some(epoch),
+                });
+            }
+        }
+    }
+
+    let mut daemon =
+        sim_service::daemon::spawn(dir.join("simserved.sock"), Some(Arc::clone(&store)), 2)
+            .map_err(|e| err(format!("spawning daemon: {e}")))?;
+    let client = DaemonClient::connect(daemon.socket_path())
+        .map_err(|e| err(format!("connecting to daemon: {e}")))?;
+
+    for technique in techniques {
+        let req = SimRequest {
+            config: cfg.clone(),
+            technique,
+            trace: Arc::clone(&trace),
+            rewrite: true,
+            telemetry: Some(tcfg.clone()),
+            want_chrome: true,
+        };
+
+        // Reference semantics: a fresh engine run with no store at all.
+        let fresh = run_cell(None, &req, &combos[0])
+            .map_err(|e| err(format!("{technique:?}: store-less reference run: {e:?}")))?;
+        let want = result_bytes(&fresh)?;
+
+        // Cold run populates the store and must already match.
+        let cold = run_cell(Some(&store), &req, &combos[0])
+            .map_err(|e| err(format!("{technique:?}: cold run: {e:?}")))?;
+        if cold.cached {
+            return Err(err(format!(
+                "{technique:?}: cold run against an empty store claims `cached`"
+            )));
+        }
+        if result_bytes(&cold)? != want {
+            return Err(err(format!(
+                "{technique:?}: cold store run diverged from the store-less reference"
+            )));
+        }
+
+        // The persisted entry must re-serialize to the same bytes.
+        let key = store_key(
+            gpu_sim::SIM_VERSION,
+            cfg,
+            technique,
+            true,
+            Some(&tcfg),
+            &digest,
+        );
+        let stored = store.get(&key).ok_or_else(|| {
+            err(format!(
+                "{technique:?}: entry absent right after cold populate"
+            ))
+        })?;
+        let chrome = stored
+            .chrome
+            .clone()
+            .or_else(|| stored.telemetry.as_ref().map(KernelTelemetry::chrome_trace));
+        if cell_bytes(&stored.report, stored.telemetry.as_ref(), chrome.as_deref())? != want {
+            return Err(err(format!(
+                "{technique:?}: bytes persisted on disk diverged from the fresh serialization"
+            )));
+        }
+
+        // Warm runs: every remaining engine combo must hit, byte-equal.
+        for opts in &combos[1..] {
+            let warm = run_cell(Some(&store), &req, opts)
+                .map_err(|e| err(format!("{technique:?}: warm run {opts:?}: {e:?}")))?;
+            if !warm.cached {
+                return Err(err(format!(
+                    "{technique:?}: warm run missed the store under {opts:?}"
+                )));
+            }
+            if result_bytes(&warm)? != want {
+                return Err(err(format!(
+                    "{technique:?}: warm store hit diverged under {opts:?}"
+                )));
+            }
+        }
+
+        // Daemon round-trip over the same store: same bytes, from cache.
+        let served = client
+            .sim(WireCell {
+                config: cfg.clone(),
+                technique,
+                trace: (*trace).clone(),
+                rewrite: true,
+                telemetry: Some(tcfg.clone()),
+                want_chrome: true,
+            })
+            .map_err(|e| err(format!("{technique:?}: daemon round-trip: {e}")))?;
+        if !served.cached {
+            return Err(err(format!(
+                "{technique:?}: daemon missed the store it was spawned with"
+            )));
+        }
+        if result_bytes(&served)? != want {
+            return Err(err(format!(
+                "{technique:?}: daemon round-trip diverged from the store-less reference"
+            )));
+        }
+    }
+    // Close the connection before joining the daemon: its handler
+    // thread sits in a blocking read until the client hangs up.
+    drop(client);
+    daemon.shutdown();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Determinism and observability invariants.
 // ---------------------------------------------------------------------
 
@@ -656,8 +868,8 @@ pub fn check_telemetry_consistency(
 
 /// Runs every per-trace invariant (conservation laws, worker
 /// determinism, fast-forward and epoch-synchronization equivalence,
-/// telemetry consistency on the baseline and ARC-HW paths) against one
-/// trace/config pair. The workload-constructing trend
+/// result-store/daemon equivalence, telemetry consistency on the
+/// baseline and ARC-HW paths) against one trace/config pair. The workload-constructing trend
 /// invariants ([`check_rop_monotonicity`], [`check_config_ordering`],
 /// [`check_adaptive_wins_contended`], [`check_threshold_crossover`])
 /// are invoked separately by the suite since they pick their own
@@ -682,6 +894,7 @@ pub fn check_trace(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), Invariant
     check_worker_determinism(cfg, trace)?;
     check_fast_forward(cfg, trace)?;
     check_epoch_equivalence(cfg, trace)?;
+    check_store_equivalence(cfg, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::Baseline, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::ArcHw, trace)?;
     Ok(())

@@ -24,7 +24,10 @@
 //!   (monotonicity in ROP throughput, RTX 4090 ≥ RTX 3060 on contended
 //!   workloads, threshold-crossover direction) and conservation laws on
 //!   the raw counters (issued = trace issue slots at drain; interconnect
-//!   flits in = lane-ops/sectors retired out).
+//!   flits in = lane-ops/sectors retired out), plus the
+//!   `store-equivalence` invariant pinning the PR 7 result store and
+//!   `simserved` daemon: a cache hit must be byte-identical to a fresh
+//!   engine run across worker/fast-forward/epoch combinations.
 //!
 //! [`shrink`] closes the loop: when a fuzz case fails, a greedy
 //! delta-debugging pass minimizes the trace (warps → instructions →

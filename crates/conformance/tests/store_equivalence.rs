@@ -1,0 +1,158 @@
+//! Store-equivalence suite: the result store must never change bytes,
+//! and a *poisoned* store — stale `SIM_VERSION`, truncated object blob —
+//! must degrade to a recompute, never to a wrong or failed result.
+//!
+//! The happy path (cold = warm = daemon = store-less reference, across
+//! the engine matrix) lives in `invariants::check_store_equivalence`
+//! and runs as part of the per-trace battery; here it is additionally
+//! driven over fuzzed traces, and the corruption cases get targeted
+//! coverage.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use arc_core::Technique;
+use conformance::fuzz::Fuzzer;
+use conformance::invariants;
+use gpu_sim::{GpuConfig, TelemetryConfig};
+use sim_service::{
+    run_cell, store_key, trace_digest, EngineOpts, ResultStore, SimRequest, SimResult,
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "arc-store-equivalence-{}-{name}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The comparable output of one cell: serialized report + telemetry and
+/// the chrome-trace bytes.
+fn bytes(r: &SimResult) -> (String, String, String) {
+    (
+        serde_json::to_string(&r.report).expect("report serializes"),
+        r.telemetry
+            .as_ref()
+            .map(|t| serde_json::to_string(t).expect("telemetry serializes"))
+            .unwrap_or_default(),
+        r.chrome.clone().unwrap_or_default(),
+    )
+}
+
+fn request(trace: Arc<warp_trace::KernelTrace>) -> SimRequest {
+    SimRequest {
+        config: GpuConfig::tiny(),
+        technique: Technique::ArcHw,
+        trace,
+        rewrite: true,
+        telemetry: Some(TelemetryConfig::every(8)),
+        want_chrome: true,
+    }
+}
+
+#[test]
+fn fuzzed_traces_survive_store_equivalence() {
+    // A slice of the fuzz stream through the full invariant (cold /
+    // warm / disk-bytes / daemon, across the engine matrix); the main
+    // metamorphic battery covers many more cases via `check_trace`.
+    let seed = conformance::seed().wrapping_add(7);
+    for case in 0..conformance::iters(3) as u64 {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace();
+        let cfg = f.config();
+        if let Err(e) = invariants::check_store_equivalence(&cfg, &trace) {
+            panic!("{e}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})");
+        }
+    }
+}
+
+#[test]
+fn stale_sim_version_is_a_miss_and_recomputes() {
+    let dir = scratch("stale-version");
+    let trace = Arc::new(invariants::storm(4, 2));
+    let req = request(Arc::clone(&trace));
+    let opts = EngineOpts::default();
+
+    let fresh = run_cell(None, &req, &opts).expect("reference run");
+
+    // Populate through a store stamped with a different SIM_VERSION:
+    // the entry lands at the right key but carries the wrong version,
+    // exactly what a store written by an older binary looks like.
+    let stale =
+        ResultStore::open_versioned(dir.join("store"), "arc-sim-0000.00-stale").expect("open");
+    let seeded = run_cell(Some(&stale), &req, &opts).expect("populate");
+    assert!(!seeded.cached, "empty store cannot hit");
+
+    let store = ResultStore::open(dir.join("store")).expect("reopen at current version");
+    let key = store_key(
+        gpu_sim::SIM_VERSION,
+        &req.config,
+        req.technique,
+        true,
+        req.telemetry.as_ref(),
+        &trace_digest(&req.trace),
+    );
+    assert!(
+        store.get(&key).is_none(),
+        "a stale-version entry must never be served"
+    );
+
+    let recomputed = run_cell(Some(&store), &req, &opts).expect("recompute");
+    assert!(!recomputed.cached, "poisoned entry must force a recompute");
+    assert_eq!(bytes(&recomputed), bytes(&fresh));
+
+    // The recompute repaired the store: next run is a real hit.
+    let warm = run_cell(Some(&store), &req, &opts).expect("warm");
+    assert!(warm.cached);
+    assert_eq!(bytes(&warm), bytes(&fresh));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_blob_is_a_miss_and_recomputes() {
+    let dir = scratch("truncated-blob");
+    let trace = Arc::new(invariants::storm(4, 2));
+    let req = request(Arc::clone(&trace));
+    let opts = EngineOpts::default();
+
+    let store = ResultStore::open(dir.join("store")).expect("open");
+    let fresh = run_cell(Some(&store), &req, &opts).expect("populate");
+    assert!(!fresh.cached);
+
+    // Truncate the object blob in place: a torn write / partial copy.
+    let key = store_key(
+        gpu_sim::SIM_VERSION,
+        &req.config,
+        req.technique,
+        true,
+        req.telemetry.as_ref(),
+        &trace_digest(&req.trace),
+    );
+    let object = dir
+        .join("store")
+        .join("objects")
+        .join(format!("{}.json", key.to_hex()));
+    let blob = fs::read(&object).expect("object exists after populate");
+    assert!(blob.len() > 2, "blob should be non-trivial");
+    fs::write(&object, &blob[..blob.len() / 2]).expect("truncate");
+
+    assert!(
+        store.get(&key).is_none(),
+        "a truncated entry must never be served"
+    );
+
+    let recomputed = run_cell(Some(&store), &req, &opts).expect("recompute");
+    assert!(!recomputed.cached, "truncated entry must force a recompute");
+    assert_eq!(bytes(&recomputed), bytes(&fresh));
+
+    // Repaired: the rewritten blob serves again, byte-identical.
+    let warm = run_cell(Some(&store), &req, &opts).expect("warm");
+    assert!(warm.cached);
+    assert_eq!(bytes(&warm), bytes(&fresh));
+
+    let _ = fs::remove_dir_all(&dir);
+}

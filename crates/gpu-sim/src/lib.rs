@@ -25,6 +25,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Semantic fingerprint of the simulator, mixed into every persistent
+/// result-store key (see the `sim-service` crate).
+///
+/// Bump this string whenever a change to `gpu-sim` (or to the trace
+/// rewrites it consumes) can alter the *output* of a simulation for the
+/// same inputs — a different [`KernelReport`], telemetry series, or
+/// chrome-trace byte stream. Pure wall-clock optimisations that are
+/// pinned byte-identical by the conformance determinism invariants
+/// (worker sharding, fast-forward, epoch synchronization) do NOT
+/// require a bump. Stale entries carrying an old version are treated as
+/// store misses and recomputed, so forgetting a bump is a correctness
+/// bug while bumping spuriously only costs warm-cache hits.
+pub const SIM_VERSION: &str = "arc-sim-2026.07-pr7";
+
 mod config;
 mod energy;
 mod machine;

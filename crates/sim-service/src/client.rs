@@ -1,0 +1,222 @@
+//! Client side of the `simserved` protocol.
+
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::exec::SimResult;
+use crate::proto::{read_frame, write_frame, WireCell, WireRequest, WireResponse};
+use crate::store::StoreStats;
+
+/// Errors from talking to a daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (socket gone, truncated frame, …).
+    Io(io::Error),
+    /// The daemon answered with an error frame.
+    Remote(String),
+    /// The daemon answered with a frame that makes no sense for the
+    /// request (protocol bug).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "daemon I/O error: {e}"),
+            ClientError::Remote(msg) => write!(f, "daemon error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn to_result(resp: WireResponse) -> Result<SimResult, ClientError> {
+    if !resp.ok {
+        return Err(ClientError::Remote(
+            resp.error.unwrap_or_else(|| "unspecified".to_string()),
+        ));
+    }
+    let Some(r) = resp.result else {
+        return Err(ClientError::Protocol("ok frame without result".to_string()));
+    };
+    Ok(SimResult {
+        report: r.report,
+        telemetry: r.telemetry,
+        chrome: r.chrome,
+        cached: r.cached,
+    })
+}
+
+/// A connection to a running `simserved`. One request is in flight at a
+/// time per client (the stream is locked for the round-trip); clone a
+/// second client for overlap.
+pub struct DaemonClient {
+    stream: Mutex<UnixStream>,
+    next_id: AtomicU64,
+}
+
+impl DaemonClient {
+    /// Connect to the daemon socket at `path`.
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<DaemonClient> {
+        Ok(DaemonClient {
+            stream: Mutex::new(UnixStream::connect(path)?),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    fn request(&self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        let mut stream = self.stream.lock().unwrap();
+        write_frame(&mut *stream, req)?;
+        match read_frame::<_, WireResponse>(&mut *stream)? {
+            Some(resp) => Ok(resp),
+            None => Err(ClientError::Protocol(
+                "daemon closed the stream mid-request".to_string(),
+            )),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        let resp = self.request(&WireRequest {
+            id: self.fresh_id(),
+            op: "ping".to_string(),
+            cell: None,
+            cells: None,
+        })?;
+        if resp.ok {
+            Ok(())
+        } else {
+            Err(ClientError::Remote(
+                resp.error.unwrap_or_else(|| "ping failed".to_string()),
+            ))
+        }
+    }
+
+    /// Store hit/miss counters from the daemon (None if it runs
+    /// storeless).
+    pub fn stats(&self) -> Result<Option<StoreStats>, ClientError> {
+        let resp = self.request(&WireRequest {
+            id: self.fresh_id(),
+            op: "stats".to_string(),
+            cell: None,
+            cells: None,
+        })?;
+        if resp.ok {
+            Ok(resp.stats)
+        } else {
+            Err(ClientError::Remote(
+                resp.error.unwrap_or_else(|| "stats failed".to_string()),
+            ))
+        }
+    }
+
+    /// Ask the daemon to exit after answering.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let resp = self.request(&WireRequest {
+            id: self.fresh_id(),
+            op: "shutdown".to_string(),
+            cell: None,
+            cells: None,
+        })?;
+        if resp.ok {
+            Ok(())
+        } else {
+            Err(ClientError::Remote(
+                resp.error.unwrap_or_else(|| "shutdown failed".to_string()),
+            ))
+        }
+    }
+
+    /// Simulate one cell remotely.
+    pub fn sim(&self, cell: WireCell) -> Result<SimResult, ClientError> {
+        let resp = self.request(&WireRequest {
+            id: self.fresh_id(),
+            op: "sim".to_string(),
+            cell: Some(cell),
+            cells: None,
+        })?;
+        to_result(resp)
+    }
+
+    /// Simulate a batch remotely; results come back in input order
+    /// (the daemon streams them unordered, the client reassembles).
+    ///
+    /// The first failed cell aborts with its error after the stream
+    /// drains, matching the fail-fast behaviour of local batch APIs.
+    pub fn batch(&self, cells: Vec<WireCell>) -> Result<Vec<SimResult>, ClientError> {
+        let n = cells.len();
+        let id = self.fresh_id();
+        let mut stream = self.stream.lock().unwrap();
+        write_frame(
+            &mut *stream,
+            &WireRequest {
+                id,
+                op: "batch".to_string(),
+                cell: None,
+                cells: Some(cells),
+            },
+        )?;
+        let mut slots: Vec<Option<SimResult>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<ClientError> = None;
+        loop {
+            let Some(resp) = read_frame::<_, WireResponse>(&mut *stream)? else {
+                return Err(ClientError::Protocol(
+                    "daemon closed the stream mid-batch".to_string(),
+                ));
+            };
+            if resp.id != id {
+                return Err(ClientError::Protocol(format!(
+                    "response id {} for request {id}",
+                    resp.id
+                )));
+            }
+            if resp.done {
+                break;
+            }
+            let Some(item) = resp.item else {
+                return Err(ClientError::Protocol(
+                    "batch frame without item index".to_string(),
+                ));
+            };
+            let idx = item as usize;
+            if idx >= n {
+                return Err(ClientError::Protocol(format!(
+                    "batch item {idx} out of range ({n} cells)"
+                )));
+            }
+            match to_result(resp) {
+                Ok(result) => slots[idx] = Some(result),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| ClientError::Protocol(format!("batch item {i} never answered")))
+            })
+            .collect()
+    }
+}

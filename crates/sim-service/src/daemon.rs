@@ -1,0 +1,351 @@
+//! The `simserved` daemon: a long-lived simulation server on a Unix
+//! socket.
+//!
+//! Per connection, a thread reads request frames and answers them.
+//! Simulation work flows through two shared mechanisms:
+//!
+//! * a **job semaphore** bounding concurrently running simulations
+//!   across *all* connections to the configured job count (the same
+//!   knob `gpu_sim::par_map` uses for in-process fan-out);
+//! * an **in-flight table** deduplicating identical requests: when two
+//!   clients (or one client's batch twice) ask for the same store key
+//!   while the first computation is still running, the later arrivals
+//!   block on the first one's slot and receive a clone of the same
+//!   result — one simulation, N answers, all byte-identical.
+//!
+//! Batches stream: each cell's frame is written as soon as that cell
+//! finishes (tagged with its index), so a client can overlap its own
+//! post-processing with the daemon's remaining work.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::exec::{run_cell_with_digest, EngineOpts, SimRequest, SimResult};
+use crate::hash::Digest;
+use crate::key::trace_digest;
+use crate::proto::{read_frame, write_frame, WireCell, WireRequest, WireResponse, WireResult};
+use crate::store::ResultStore;
+
+/// Counting semaphore (std has none): bounds concurrent simulations.
+struct Semaphore {
+    slots: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(slots: usize) -> Self {
+        Semaphore {
+            slots: Mutex::new(slots.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> SemGuard<'_> {
+        let mut slots = self.slots.lock().unwrap();
+        while *slots == 0 {
+            slots = self.cv.wait(slots).unwrap();
+        }
+        *slots -= 1;
+        SemGuard { sem: self }
+    }
+}
+
+struct SemGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemGuard<'_> {
+    fn drop(&mut self) {
+        *self.sem.slots.lock().unwrap() += 1;
+        self.sem.cv.notify_one();
+    }
+}
+
+/// One deduplicated computation slot.
+struct Inflight {
+    done: Mutex<Option<Result<SimResult, String>>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<SimResult, String> {
+        let mut done = self.done.lock().unwrap();
+        while done.is_none() {
+            done = self.cv.wait(done).unwrap();
+        }
+        done.clone().unwrap()
+    }
+
+    fn fulfill(&self, result: Result<SimResult, String>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Shared daemon state.
+struct Shared {
+    store: Option<Arc<ResultStore>>,
+    opts: EngineOpts,
+    sock: PathBuf,
+    jobs: usize,
+    sem: Semaphore,
+    inflight: Mutex<HashMap<Digest, Arc<Inflight>>>,
+    /// Dedup diagnostics: requests that piggybacked on an in-flight
+    /// computation instead of starting their own.
+    coalesced: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Run one cell with dedup + the job semaphore.
+    fn exec(&self, cell: &WireCell) -> Result<SimResult, String> {
+        let req = SimRequest {
+            config: cell.config.clone(),
+            technique: cell.technique,
+            trace: Arc::new(cell.trace.clone()),
+            rewrite: cell.rewrite,
+            telemetry: cell.telemetry.clone(),
+            want_chrome: cell.want_chrome,
+        };
+        let digest = trace_digest(&req.trace);
+        // Dedup on the *request identity*: the store key plus the
+        // output-shape flag the key doesn't carry (want_chrome), so a
+        // chrome-less waiter never receives a chrome-less clone of a
+        // richer request or vice versa. Hash the flag into the slot id.
+        let mut slot_key = crate::exec::request_key(&req, &digest);
+        if cell.want_chrome {
+            slot_key.0[0] ^= 0x80;
+        }
+
+        let (slot, leader) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&slot_key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Inflight::new());
+                    inflight.insert(slot_key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if !leader {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return slot.wait();
+        }
+
+        let result = {
+            let _permit = self.sem.acquire();
+            run_cell_with_digest(self.store.as_deref(), &req, &self.opts, &digest)
+                .map_err(|e| e.to_string())
+        };
+        self.inflight.lock().unwrap().remove(&slot_key);
+        slot.fulfill(result.clone());
+        result
+    }
+}
+
+fn to_wire(result: SimResult) -> WireResult {
+    WireResult {
+        report: result.report,
+        telemetry: result.telemetry,
+        chrome: result.chrome,
+        cached: result.cached,
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: UnixStream) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+    loop {
+        let Some(req): Option<WireRequest> = read_frame(&mut reader)? else {
+            return Ok(());
+        };
+        match req.op.as_str() {
+            "ping" => {
+                write_frame(&mut *writer.lock().unwrap(), &WireResponse::ack(req.id))?;
+            }
+            "stats" => {
+                let mut resp = WireResponse::ack(req.id);
+                resp.stats = shared.store.as_ref().map(|s| s.stats());
+                write_frame(&mut *writer.lock().unwrap(), &resp)?;
+            }
+            "shutdown" => {
+                shared.stop.store(true, Ordering::SeqCst);
+                write_frame(&mut *writer.lock().unwrap(), &WireResponse::ack(req.id))?;
+                // Wake the accept loop so it observes the stop flag.
+                let _ = UnixStream::connect(&shared.sock);
+                return Ok(());
+            }
+            "sim" => {
+                let Some(cell) = req.cell else {
+                    write_frame(
+                        &mut *writer.lock().unwrap(),
+                        &WireResponse::err(req.id, None, "sim request without cell"),
+                    )?;
+                    continue;
+                };
+                let resp = match shared.exec(&cell) {
+                    Ok(result) => {
+                        let mut r = WireResponse::ack(req.id);
+                        r.result = Some(to_wire(result));
+                        r
+                    }
+                    Err(e) => WireResponse::err(req.id, None, e),
+                };
+                write_frame(&mut *writer.lock().unwrap(), &resp)?;
+            }
+            "batch" => {
+                let cells = req.cells.unwrap_or_default();
+                let id = req.id;
+                // Stream results as cells finish: a shared cursor hands
+                // indices to a bounded set of worker threads; each
+                // worker writes its own frames (writer mutex keeps
+                // frames whole). The job semaphore inside exec() still
+                // bounds *global* simulation concurrency across
+                // connections.
+                let cursor = AtomicUsize::new(0);
+                let workers = shared.jobs.max(1).min(cells.len().max(1));
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= cells.len() {
+                                return;
+                            }
+                            let resp = match shared.exec(&cells[i]) {
+                                Ok(result) => {
+                                    let mut r = WireResponse::ack(id);
+                                    r.item = Some(i as u64);
+                                    r.result = Some(to_wire(result));
+                                    r
+                                }
+                                Err(e) => WireResponse::err(id, Some(i as u64), e),
+                            };
+                            let _ = write_frame(&mut *writer.lock().unwrap(), &resp);
+                        });
+                    }
+                });
+                let mut done = WireResponse::ack(id);
+                done.done = true;
+                write_frame(&mut *writer.lock().unwrap(), &done)?;
+            }
+            other => {
+                write_frame(
+                    &mut *writer.lock().unwrap(),
+                    &WireResponse::err(req.id, None, format!("unknown op `{other}`")),
+                )?;
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle shuts it down and removes the
+/// socket file.
+pub struct DaemonHandle {
+    sock: PathBuf,
+    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl DaemonHandle {
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.sock
+    }
+
+    /// Requests deduplicated onto an already-running computation so far.
+    pub fn coalesced(&self) -> usize {
+        self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Block until the daemon stops (a client sent `shutdown`).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.sock);
+    }
+
+    /// Ask the daemon to stop and wait for the accept loop to exit.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = UnixStream::connect(&self.sock);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.sock);
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start a daemon listening on `sock`, serving through `store` (if
+/// any), running at most `jobs` simulations concurrently.
+///
+/// This is a library entry point so tests and the conformance suite can
+/// spin up an in-process daemon on a temp socket; the `simserved serve`
+/// subcommand is a thin wrapper.
+pub fn spawn(
+    sock: impl Into<PathBuf>,
+    store: Option<Arc<ResultStore>>,
+    jobs: usize,
+) -> io::Result<DaemonHandle> {
+    let sock = sock.into();
+    // A stale socket file from a dead daemon would fail the bind.
+    let _ = std::fs::remove_file(&sock);
+    let listener = UnixListener::bind(&sock)?;
+    let shared = Arc::new(Shared {
+        store,
+        opts: EngineOpts::default(),
+        sock: sock.clone(),
+        jobs: jobs.max(1),
+        sem: Semaphore::new(jobs),
+        inflight: Mutex::new(HashMap::new()),
+        coalesced: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || {
+        let mut conn_threads = Vec::new();
+        for stream in listener.incoming() {
+            if accept_shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { break };
+            let conn_shared = Arc::clone(&accept_shared);
+            conn_threads.push(std::thread::spawn(move || {
+                let _ = handle_connection(&conn_shared, stream);
+            }));
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+    });
+
+    Ok(DaemonHandle {
+        sock,
+        accept_thread: Some(accept_thread),
+        shared,
+    })
+}

@@ -1,0 +1,180 @@
+//! Cell execution: run one simulation through the store (check before,
+//! populate after) or straight through the engine.
+//!
+//! This is the single choke point both the in-process API and the
+//! daemon use, so the "store hit is byte-identical to a fresh run"
+//! guarantee is enforced in exactly one place.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use arc_core::technique::Technique;
+use gpu_sim::telemetry::{KernelTelemetry, TelemetryConfig};
+use gpu_sim::{EpochMode, GpuConfig, KernelReport, SimError, Simulator, TechniquePath};
+use warp_trace::KernelTrace;
+
+use crate::hash::Digest;
+use crate::key::{store_key, trace_digest};
+use crate::store::ResultStore;
+
+/// One simulation cell: everything that determines the output.
+#[derive(Clone, Debug)]
+pub struct SimRequest {
+    /// GPU model.
+    pub config: GpuConfig,
+    /// Atomic-reduction technique (selects path + trace rewrite).
+    pub technique: Technique,
+    /// The kernel to run (pre-rewrite; the executor applies the
+    /// technique's trace transform when `rewrite` is set).
+    pub trace: Arc<KernelTrace>,
+    /// Apply the technique's trace rewrite before simulating. True for
+    /// gradcomp kernels; false for forward/loss kernels, which run
+    /// unrewritten on the technique's hardware path (mirroring
+    /// `run_iteration_with`).
+    pub rewrite: bool,
+    /// Telemetry sampling configuration; `None` = report only.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Also produce the `chrome://tracing` export (requires
+    /// `telemetry`).
+    pub want_chrome: bool,
+}
+
+/// Engine execution knobs. These never change results (pinned by the
+/// conformance determinism invariants) and are therefore *not* part of
+/// the store key; they only apply when a cell actually simulates.
+/// `None` fields fall back to the engine's environment-variable
+/// defaults (`ARC_SIM_WORKERS`, `ARC_FF`, `ARC_SIM_EPOCH`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOpts {
+    /// SM worker threads.
+    pub workers: Option<usize>,
+    /// Event-driven fast-forward.
+    pub fast_forward: Option<bool>,
+    /// Epoch synchronization mode.
+    pub epoch: Option<EpochMode>,
+}
+
+/// The observable output of one cell, plus whether it came from the
+/// store.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The kernel report.
+    pub report: KernelReport,
+    /// Telemetry (present iff requested).
+    pub telemetry: Option<KernelTelemetry>,
+    /// Chrome-trace JSON (present iff requested).
+    pub chrome: Option<String>,
+    /// True when served from the store without simulating.
+    pub cached: bool,
+}
+
+/// Derive the store key for `req` given a precomputed trace digest.
+pub fn request_key(req: &SimRequest, trace: &Digest) -> Digest {
+    store_key(
+        gpu_sim::SIM_VERSION,
+        &req.config,
+        req.technique,
+        req.rewrite,
+        req.telemetry.as_ref(),
+        trace,
+    )
+}
+
+/// Run one cell, consulting `store` first when present and populating
+/// it after a miss. `digest` is the precomputed digest of `req.trace`
+/// (see [`trace_digest`]); batch callers hash each trace once.
+pub fn run_cell_with_digest(
+    store: Option<&ResultStore>,
+    req: &SimRequest,
+    opts: &EngineOpts,
+    digest: &Digest,
+) -> Result<SimResult, SimError> {
+    let key = store.map(|s| (s, request_key(req, digest)));
+
+    if let Some((store, key)) = &key {
+        if let Some(mut hit) = store.get(key) {
+            // A hit must be able to serve everything the request wants;
+            // an entry produced without telemetry cannot answer a
+            // telemetry request (the key includes the telemetry config,
+            // so this only happens with hand-built entries — treat as a
+            // defect, i.e. a miss).
+            let servable = (req.telemetry.is_none() || hit.telemetry.is_some())
+                && (!req.want_chrome || hit.telemetry.is_some());
+            if servable {
+                let chrome = if req.want_chrome {
+                    // chrome_trace is a pure function of the telemetry,
+                    // which round-trips exactly through JSON — so a
+                    // derived export is byte-identical to a fresh one.
+                    match hit.chrome.take() {
+                        Some(c) => Some(c),
+                        None => hit.telemetry.as_ref().map(KernelTelemetry::chrome_trace),
+                    }
+                } else {
+                    None
+                };
+                return Ok(SimResult {
+                    report: hit.report,
+                    telemetry: if req.telemetry.is_some() {
+                        hit.telemetry
+                    } else {
+                        None
+                    },
+                    chrome,
+                    cached: true,
+                });
+            }
+        }
+    }
+
+    // Miss: simulate.
+    let mut sim = Simulator::new(req.config.clone(), req.technique.path())?;
+    if let Some(w) = opts.workers {
+        sim = sim.with_sm_workers(w);
+    }
+    if let Some(ff) = opts.fast_forward {
+        sim = sim.with_fast_forward(ff);
+    }
+    if let Some(e) = opts.epoch {
+        sim = sim.with_epoch(e);
+    }
+    let prepared: Cow<'_, KernelTrace> = if req.rewrite {
+        req.technique.prepare_cow(&req.trace)
+    } else {
+        Cow::Borrowed(&*req.trace)
+    };
+    let (report, telemetry) = match &req.telemetry {
+        Some(tcfg) => {
+            let sim = sim.with_telemetry(tcfg.clone());
+            sim.run_with_telemetry(&prepared)?
+        }
+        None => (sim.run(&prepared)?, None),
+    };
+    let chrome = if req.want_chrome {
+        telemetry.as_ref().map(KernelTelemetry::chrome_trace)
+    } else {
+        None
+    };
+
+    if let Some((store, key)) = &key {
+        // Population failures (disk full, permissions) must not fail
+        // the simulation itself — the result is already in hand.
+        let _ = store.put(key, &report, telemetry.as_ref(), chrome.as_deref());
+    }
+
+    Ok(SimResult {
+        report,
+        telemetry,
+        chrome,
+        cached: false,
+    })
+}
+
+/// [`run_cell_with_digest`] with the trace digest computed on the spot.
+pub fn run_cell(
+    store: Option<&ResultStore>,
+    req: &SimRequest,
+    opts: &EngineOpts,
+) -> Result<SimResult, SimError> {
+    let digest = trace_digest(&req.trace);
+    run_cell_with_digest(store, req, opts, &digest)
+}

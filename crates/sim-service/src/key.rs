@@ -1,0 +1,177 @@
+//! Content-addressed store keys.
+//!
+//! A key is the BLAKE2s-256 digest of a domain-separated, length-prefixed
+//! concatenation of everything that determines a simulation's *output*:
+//!
+//! ```text
+//! key = H( tag("arc-store-key-v1")
+//!        ‖ seg(SIM_VERSION)
+//!        ‖ seg(canonical GpuConfig JSON)
+//!        ‖ seg(canonical Technique JSON)
+//!        ‖ seg("rewritten" | "raw")
+//!        ‖ seg(canonical TelemetryConfig JSON)   (or seg("none"))
+//!        ‖ seg(trace digest bytes) )
+//! ```
+//!
+//! where `seg(x)` is `u64_le(len(x)) ‖ x` — the length prefixes make the
+//! encoding injective, so no two distinct input tuples collide by
+//! concatenation tricks. The trace enters via its own digest (hash of
+//! its canonical JSON) so harness callers can hash each workload trace
+//! once and reuse the digest across every (config, technique) cell.
+//!
+//! Deliberately *excluded* from the key: engine execution knobs — worker
+//! count, fast-forward, epoch mode, job fan-out. The conformance
+//! invariants `worker-determinism`, `fast-forward`, and
+//! `epoch-equivalence` pin those to be byte-identical, so they can only
+//! change how fast a result is produced, never the result. Folding them
+//! in would shatter the cache across machines for no correctness gain.
+//! The telemetry configuration *is* keyed: it changes the telemetry and
+//! chrome-trace bytes stored alongside the report.
+
+use crate::hash::{Blake2s, Digest};
+use arc_core::technique::Technique;
+use gpu_sim::telemetry::TelemetryConfig;
+use gpu_sim::GpuConfig;
+use warp_trace::KernelTrace;
+
+/// Append one length-prefixed segment.
+fn seg(h: &mut Blake2s, bytes: &[u8]) {
+    h.update(&(bytes.len() as u64).to_le_bytes());
+    h.update(bytes);
+}
+
+/// Digest of a trace's canonical JSON serialization.
+///
+/// This is the expensive part of key derivation for large traces;
+/// callers batching many cells over the same trace should compute it
+/// once and pass it to [`store_key`].
+pub fn trace_digest(trace: &KernelTrace) -> Digest {
+    let json = serde_json::to_string(trace).expect("KernelTrace serializes");
+    let mut h = Blake2s::new();
+    seg(&mut h, b"arc-trace-v1");
+    seg(&mut h, json.as_bytes());
+    h.finalize()
+}
+
+/// Derive the store key for one simulation cell.
+///
+/// `telemetry = None` keys a report-only run; `Some(cfg)` keys a run
+/// whose stored value also carries the telemetry (and derived chrome
+/// trace) produced under `cfg`. `rewrite` says whether the technique's
+/// trace transform is applied before simulating (true for gradcomp
+/// kernels, false for forward/loss kernels, which run unrewritten on
+/// the technique's hardware path — see `run_iteration_with`).
+pub fn store_key(
+    sim_version: &str,
+    config: &GpuConfig,
+    technique: Technique,
+    rewrite: bool,
+    telemetry: Option<&TelemetryConfig>,
+    trace: &Digest,
+) -> Digest {
+    let mut h = Blake2s::new();
+    seg(&mut h, b"arc-store-key-v1");
+    seg(&mut h, sim_version.as_bytes());
+    let cfg_json = serde_json::to_string(config).expect("GpuConfig serializes");
+    seg(&mut h, cfg_json.as_bytes());
+    let tech_json = serde_json::to_string(&technique).expect("Technique serializes");
+    seg(&mut h, tech_json.as_bytes());
+    seg(&mut h, if rewrite { b"rewritten" } else { b"raw" });
+    match telemetry {
+        Some(t) => {
+            let t_json = serde_json::to_string(t).expect("TelemetryConfig serializes");
+            seg(&mut h, t_json.as_bytes());
+        }
+        None => seg(&mut h, b"none"),
+    }
+    seg(&mut h, &trace.0);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::{KernelKind, WarpTraceBuilder};
+
+    fn tiny_trace(name: &str) -> KernelTrace {
+        let mut w = WarpTraceBuilder::new();
+        w.compute_fp32(1);
+        KernelTrace::new(name, KernelKind::GradCompute, vec![w.finish()])
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let cfg = GpuConfig::tiny();
+        let mut cfg2 = cfg.clone();
+        cfg2.num_sms += 1;
+        let t = trace_digest(&tiny_trace("a"));
+        let t2 = trace_digest(&tiny_trace("b"));
+        let base = store_key("v1", &cfg, Technique::Baseline, true, None, &t);
+        // Every input moves the key.
+        assert_ne!(
+            base,
+            store_key("v2", &cfg, Technique::Baseline, true, None, &t)
+        );
+        assert_ne!(
+            base,
+            store_key("v1", &cfg2, Technique::Baseline, true, None, &t)
+        );
+        assert_ne!(
+            base,
+            store_key("v1", &cfg, Technique::ArcHw, true, None, &t)
+        );
+        assert_ne!(
+            base,
+            store_key("v1", &cfg, Technique::Baseline, false, None, &t)
+        );
+        assert_ne!(
+            base,
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t2)
+        );
+        assert_ne!(
+            base,
+            store_key(
+                "v1",
+                &cfg,
+                Technique::Baseline,
+                true,
+                Some(&TelemetryConfig::every(4)),
+                &t
+            )
+        );
+        // Telemetry interval is keyed too.
+        assert_ne!(
+            store_key(
+                "v1",
+                &cfg,
+                Technique::Baseline,
+                true,
+                Some(&TelemetryConfig::every(4)),
+                &t
+            ),
+            store_key(
+                "v1",
+                &cfg,
+                Technique::Baseline,
+                true,
+                Some(&TelemetryConfig::every(8)),
+                &t
+            ),
+        );
+        // And it is deterministic.
+        assert_eq!(
+            base,
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t)
+        );
+    }
+
+    #[test]
+    fn trace_digest_reflects_content() {
+        let a = tiny_trace("k");
+        let mut w = WarpTraceBuilder::new();
+        w.compute_fp32(2);
+        let b = KernelTrace::new("k", KernelKind::GradCompute, vec![w.finish()]);
+        assert_ne!(trace_digest(&a), trace_digest(&b));
+        assert_eq!(trace_digest(&a), trace_digest(&tiny_trace("k")));
+    }
+}

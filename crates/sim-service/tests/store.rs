@@ -1,0 +1,308 @@
+//! Store and daemon behaviour under concurrency and byte-identity
+//! checks (the crate-local half; the cross-engine-matrix half lives in
+//! the conformance `store-equivalence` invariant).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use arc_core::technique::Technique;
+use gpu_sim::telemetry::TelemetryConfig;
+use gpu_sim::GpuConfig;
+use sim_service::{
+    daemon, run_cell, trace_digest, DaemonClient, EngineOpts, ResultStore, SimRequest, WireCell,
+};
+use warp_trace::KernelTrace;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory (no tempfile crate in the workspace).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "arc-sim-service-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn gradcomp_trace(scale: f64) -> Arc<KernelTrace> {
+    Arc::new(
+        arc_workloads::spec("3D-LE")
+            .expect("known workload")
+            .scaled(scale)
+            .build()
+            .gradcomp,
+    )
+}
+
+fn request(trace: &Arc<KernelTrace>, technique: Technique) -> SimRequest {
+    SimRequest {
+        config: GpuConfig::tiny(),
+        technique,
+        trace: Arc::clone(trace),
+        rewrite: true,
+        telemetry: Some(TelemetryConfig::every(16)),
+        want_chrome: true,
+    }
+}
+
+/// Serialize the full observable output for byte comparison.
+fn result_bytes(r: &sim_service::SimResult) -> (String, String, String) {
+    (
+        serde_json::to_string(&r.report).unwrap(),
+        serde_json::to_string(&r.telemetry).unwrap(),
+        r.chrome.clone().unwrap_or_default(),
+    )
+}
+
+#[test]
+fn warm_hit_is_byte_identical_to_cold_run() {
+    let dir = scratch_dir("roundtrip");
+    let store = ResultStore::open(&dir).unwrap();
+    let trace = gradcomp_trace(0.05);
+    let req = request(&trace, Technique::ArcHw);
+    let opts = EngineOpts::default();
+
+    let cold = run_cell(None, &req, &opts).unwrap();
+    assert!(!cold.cached);
+    let miss = run_cell(Some(&store), &req, &opts).unwrap();
+    assert!(!miss.cached);
+    let warm = run_cell(Some(&store), &req, &opts).unwrap();
+    assert!(warm.cached, "second store pass must hit");
+
+    assert_eq!(result_bytes(&cold), result_bytes(&miss));
+    assert_eq!(result_bytes(&cold), result_bytes(&warm));
+    let stats = store.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.puts, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_same_key_writes_race_safely() {
+    let dir = scratch_dir("race");
+    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    let trace = gradcomp_trace(0.02);
+    let req = request(&trace, Technique::Baseline);
+    let opts = EngineOpts::default();
+
+    // Establish the entry once; from here on a reader must never see a
+    // torn or absent state, no matter how many writers overwrite it.
+    let expected = run_cell(Some(&store), &req, &opts).unwrap();
+    let expected_bytes = result_bytes(&expected);
+    let digest = trace_digest(&req.trace);
+    let key = sim_service::exec::request_key(&req, &digest);
+
+    let writers = 4;
+    let readers = 4;
+    let barrier = Arc::new(Barrier::new(writers + readers));
+    std::thread::scope(|scope| {
+        for _ in 0..writers {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let report = expected.report.clone();
+            let telemetry = expected.telemetry.clone();
+            let chrome = expected.chrome.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..25 {
+                    store
+                        .put(&key, &report, telemetry.as_ref(), chrome.as_deref())
+                        .unwrap();
+                }
+            });
+        }
+        for _ in 0..readers {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let req = req.clone();
+            let expected_bytes = expected_bytes.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..50 {
+                    let got = run_cell(Some(&store), &req, &opts).unwrap();
+                    assert!(got.cached, "entry vanished or tore mid-overwrite");
+                    assert_eq!(result_bytes(&got), expected_bytes);
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_never_evicts_a_pinned_entry() {
+    let dir = scratch_dir("gc-pin");
+    let store = ResultStore::open(&dir).unwrap();
+    let trace = gradcomp_trace(0.02);
+    let opts = EngineOpts::default();
+
+    // Three entries under distinct keys.
+    let techniques = [Technique::Baseline, Technique::ArcHw, Technique::Phi];
+    let mut keys = Vec::new();
+    for t in techniques {
+        let req = request(&trace, t);
+        let digest = trace_digest(&req.trace);
+        run_cell(Some(&store), &req, &opts).unwrap();
+        keys.push(sim_service::exec::request_key(&req, &digest));
+    }
+    assert_eq!(store.entry_count(), 3);
+
+    // Pin the middle one (a reader holding it open) and squeeze to zero.
+    {
+        let _pin = store.pin(keys[1]);
+        let gc = store.gc(0).unwrap();
+        assert_eq!(gc.pinned_kept, 1, "the pinned entry must be skipped");
+        assert_eq!(gc.evicted, 2);
+        assert!(store.get(&keys[1]).is_some(), "pinned entry still readable");
+        assert!(store.get(&keys[0]).is_none());
+        assert!(store.get(&keys[2]).is_none());
+    }
+    // Pin released: now it can go.
+    let gc = store.gc(0).unwrap();
+    assert_eq!(gc.evicted, 1);
+    assert_eq!(store.entry_count(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_evicts_oldest_first_and_respects_budget() {
+    let dir = scratch_dir("gc-order");
+    let store = ResultStore::open(&dir).unwrap();
+    let trace = gradcomp_trace(0.02);
+    let opts = EngineOpts::default();
+    let order = [Technique::Baseline, Technique::ArcHw, Technique::Phi];
+    let mut keys = Vec::new();
+    for t in order {
+        let req = request(&trace, t);
+        let digest = trace_digest(&req.trace);
+        run_cell(Some(&store), &req, &opts).unwrap();
+        keys.push(sim_service::exec::request_key(&req, &digest));
+    }
+    // Budget that fits roughly the two newest entries.
+    let sizes: Vec<u64> = keys
+        .iter()
+        .map(|k| {
+            let obj = dir.join("objects").join(format!("{}.json", k.to_hex()));
+            std::fs::metadata(obj).unwrap().len()
+        })
+        .collect();
+    let budget = sizes[1] + sizes[2];
+    let gc = store.gc(budget).unwrap();
+    assert_eq!(gc.evicted, 1, "only the oldest entry should go");
+    assert!(store.get(&keys[0]).is_none(), "oldest evicted");
+    assert!(store.get(&keys[1]).is_some());
+    assert!(store.get(&keys[2]).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_removes_garbage_and_keeps_valid_entries() {
+    let dir = scratch_dir("fsck");
+    let store = ResultStore::open(&dir).unwrap();
+    let trace = gradcomp_trace(0.02);
+    let req = request(&trace, Technique::Baseline);
+    run_cell(Some(&store), &req, &EngineOpts::default()).unwrap();
+
+    // Plant garbage: a truncated object under a plausible key, and an
+    // orphaned temp file.
+    let bogus_key = sim_service::blake2s(b"bogus");
+    std::fs::write(
+        dir.join("objects")
+            .join(format!("{}.json", bogus_key.to_hex())),
+        "{\"key\": \"truncat",
+    )
+    .unwrap();
+    std::fs::write(dir.join("objects").join("x.json.tmp.99.1"), "junk").unwrap();
+
+    let report = store.fsck().unwrap();
+    assert_eq!(report.valid, 1);
+    assert_eq!(report.removed, 1);
+    assert_eq!(report.temps_swept, 1);
+    assert_eq!(store.entry_count(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_dedup_delivers_identical_bytes_to_concurrent_clients() {
+    let dir = scratch_dir("daemon");
+    let sock = std::env::temp_dir().join(format!(
+        "arc-simserved-test-{}-{}.sock",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    let mut handle = daemon::spawn(&sock, Some(Arc::clone(&store)), 2).unwrap();
+
+    // A cell big enough that 8 barrier-released clients overlap with
+    // the first computation.
+    let trace = gradcomp_trace(0.15);
+    let cell = WireCell {
+        config: GpuConfig::tiny(),
+        technique: Technique::SwB(arc_core::BalanceThreshold::new(16).unwrap()),
+        trace: (*trace).clone(),
+        rewrite: true,
+        telemetry: Some(TelemetryConfig::every(16)),
+        want_chrome: true,
+    };
+
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let mut outputs = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..n {
+            let barrier = Arc::clone(&barrier);
+            let cell = cell.clone();
+            let sock = sock.clone();
+            joins.push(scope.spawn(move || {
+                let client = DaemonClient::connect(&sock).unwrap();
+                barrier.wait();
+                let r = client.sim(cell).unwrap();
+                (
+                    serde_json::to_string(&r.report).unwrap(),
+                    serde_json::to_string(&r.telemetry).unwrap(),
+                    r.chrome.unwrap_or_default(),
+                )
+            }));
+        }
+        for j in joins {
+            outputs.push(j.join().unwrap());
+        }
+    });
+    for other in &outputs[1..] {
+        assert_eq!(
+            &outputs[0], other,
+            "all clients must receive the same bytes"
+        );
+    }
+    // With a multi-hundred-ms simulation and barrier-released clients,
+    // at least one request must have coalesced onto the in-flight run
+    // (and the rest hit the now-populated store).
+    let coalesced = handle.coalesced();
+    let stats = store.stats();
+    assert_eq!(
+        stats.puts, 1,
+        "dedup + store must yield exactly one simulation (coalesced={coalesced}, stats={stats:?})"
+    );
+
+    // Batch round-trip: input order restored, all served from the store.
+    let client = DaemonClient::connect(&sock).unwrap();
+    let batch = client
+        .batch(vec![cell.clone(), cell.clone(), cell])
+        .unwrap();
+    assert_eq!(batch.len(), 3);
+    for r in &batch {
+        assert!(r.cached, "everything is in the store now");
+        assert_eq!(
+            serde_json::to_string(&r.report).unwrap(),
+            outputs[0].0,
+            "batch bytes match the first client's"
+        );
+    }
+    client.shutdown().unwrap();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,7 +23,13 @@ JOBS="${ARC_BENCH_JOBS:-2}"
 
 echo "== perf gate: scale $SCALE, jobs $JOBS, tolerance $TOLERANCE =="
 cargo build --release -p arc-bench --bin perf_smoke
-./target/release/perf_smoke \
-  --scale "$SCALE" --jobs "$JOBS" --gate "$TOLERANCE" \
-  --out BENCH_parallel_sim.json
+if ! ./target/release/perf_smoke \
+    --scale "$SCALE" --jobs "$JOBS" --gate "$TOLERANCE" \
+    --out BENCH_parallel_sim.json; then
+  # GitHub Actions annotation: surfaces the regression on the PR's
+  # checks tab without digging through the job log. Harmless noise when
+  # running locally.
+  echo "::error title=perf-regression gate::simulated throughput fell more than ${TOLERANCE} below the recorded baseline (scale ${SCALE}, jobs ${JOBS}); see the perf_smoke output in this step's log"
+  exit 1
+fi
 echo "perf gate OK"

@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
-# Repo CI: formatting, lints, release build, the tier-1 test suite with
-# the parallel harness enabled, and a determinism matrix asserting that
-# simulation results (with telemetry off AND on) are bit-identical under
-# every host-parallelism combination, with the event-driven fast-forward
-# engine on and off (ARC_FF), and across epoch-synchronization modes
-# (ARC_SIM_EPOCH: per-cycle, fixed-length, and the auto default).
+# Repo CI, runnable whole or per step:
+#
+#   scripts/ci.sh                 run every step (the full pipeline)
+#   scripts/ci.sh build test      run only the named steps, in order
+#
+# Steps:
+#   fmt          cargo fmt --check (skipped when rustfmt is absent)
+#   clippy       cargo clippy -D warnings (skipped when clippy is absent)
+#   build        cargo build --release, failing on any compiler warning
+#   doc          cargo doc with -D warnings (broken intra-doc links fail)
+#   test         tier-1 test suite with the parallel harness enabled
+#   conformance  fuzzer + oracle + metamorphic invariants, fixed seed
+#   determinism  byte-identity matrix over ARC_JOBS x ARC_SIM_WORKERS x
+#                ARC_FF x ARC_SIM_EPOCH
+#   store        result-store round-trip: the fixed `simserved sweep`
+#                grid runs cold then warm against a temp store; stdout
+#                must be byte-identical, the warm pass must be all hits
+#                and >= 5x faster
+#
+# `determinism` and `store` need release binaries and build the ones
+# they use, so each step also works standalone on a fresh checkout.
 #
 # rustfmt and clippy are optional components: when a toolchain ships
 # without them the corresponding step warns and is skipped instead of
@@ -12,93 +27,202 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if cargo fmt --version >/dev/null 2>&1; then
-  echo "== cargo fmt --check =="
-  cargo fmt --all -- --check
-else
-  echo "== cargo fmt not installed; skipping format check =="
-fi
+TMPROOT="$(mktemp -d)"
+trap 'rm -rf "$TMPROOT"' EXIT
 
-if cargo clippy --version >/dev/null 2>&1; then
-  echo "== cargo clippy (-D warnings) =="
-  cargo clippy --workspace --all-targets -- -D warnings
-else
-  echo "== cargo clippy not installed; skipping lints =="
-fi
+step_fmt() {
+  if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+  else
+    echo "== cargo fmt not installed; skipping format check =="
+  fi
+}
 
-echo "== cargo build --release =="
-cargo build --release
+step_clippy() {
+  if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy (-D warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+  else
+    echo "== cargo clippy not installed; skipping lints =="
+  fi
+}
 
-echo "== cargo doc (-D warnings) =="
-# API docs must build clean: broken intra-doc links (e.g. a registry
-# item renamed without its references) fail CI here.
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+step_build() {
+  echo "== cargo build --release (must be warning-clean) =="
+  local log="$TMPROOT/build.log"
+  cargo build --release 2>&1 | tee "$log"
+  local warnings
+  warnings=$(grep -c '^warning' "$log" || true)
+  if [ "$warnings" -ne 0 ]; then
+    echo "build emitted $warnings warning line(s); the release build must be warning-clean"
+    exit 1
+  fi
+}
 
-echo "== cargo test (ARC_JOBS=2) =="
-ARC_JOBS=2 cargo test -q
+step_doc() {
+  echo "== cargo doc (-D warnings) =="
+  # API docs must build clean: broken intra-doc links (e.g. a registry
+  # item renamed without its references) fail CI here.
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
-echo "== conformance suite (fuzzer + oracle + metamorphic invariants) =="
-# Fixed seed so a CI failure is reproducible verbatim on any machine:
-#   CONFORMANCE_SEED=0xA12C2025 cargo test -p conformance
-# Shrunk minimal reproducers for any failure land in
-# target/conformance-failures/ (uploaded as a CI artifact).
-CONFORMANCE_SEED=0xA12C2025 cargo test -q -p conformance
+step_test() {
+  echo "== cargo test (ARC_JOBS=2) =="
+  ARC_JOBS=2 cargo test -q
+}
 
-echo "== determinism matrix (ARC_JOBS x ARC_SIM_WORKERS x ARC_FF) =="
-# The probe simulates a fixed cell grid with telemetry off and on and
-# prints one canonical line per cell; every host-parallelism combination
-# must produce byte-identical output. The ARC_FF axis keeps the
-# fast-forward escape hatch honest: the naive cycle loop (ARC_FF=0) must
-# stay byte-identical to the event-driven one (ARC_FF=1, the default).
-outdir="$(mktemp -d)"
-trap 'rm -rf "$outdir"' EXIT
-baseline="$outdir/det_1_1_1.txt"
-ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=1 ./target/release/determinism > "$baseline"
-for ff in 1 0; do
-  for jobs in 2 8; do
-    for workers in 1 2 8; do
-      out="$outdir/det_${jobs}_${workers}_${ff}.txt"
-      ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff \
-        ./target/release/determinism > "$out"
-      if ! cmp -s "$baseline" "$out"; then
-        echo "determinism matrix FAILED: ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff diverges:"
-        diff "$baseline" "$out" || true
-        exit 1
-      fi
-      echo "ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff: identical"
+step_conformance() {
+  echo "== conformance suite (fuzzer + oracle + metamorphic invariants) =="
+  # Fixed seed so a CI failure is reproducible verbatim on any machine:
+  #   CONFORMANCE_SEED=0xA12C2025 cargo test -p conformance
+  # Shrunk minimal reproducers for any failure land in
+  # target/conformance-failures/ (uploaded as a CI artifact).
+  CONFORMANCE_SEED=0xA12C2025 cargo test -q -p conformance
+}
+
+step_determinism() {
+  cargo build --release -q -p arc-bench --bin determinism
+
+  echo "== determinism matrix (ARC_JOBS x ARC_SIM_WORKERS x ARC_FF) =="
+  # The probe simulates a fixed cell grid with telemetry off and on and
+  # prints one canonical line per cell; every host-parallelism
+  # combination must produce byte-identical output. The ARC_FF axis
+  # keeps the fast-forward escape hatch honest: the naive cycle loop
+  # (ARC_FF=0) must stay byte-identical to the event-driven one
+  # (ARC_FF=1, the default).
+  local outdir="$TMPROOT/determinism"
+  mkdir -p "$outdir"
+  local baseline="$outdir/det_1_1_1.txt"
+  ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=1 ./target/release/determinism > "$baseline"
+  local ff jobs workers out
+  for ff in 1 0; do
+    for jobs in 2 8; do
+      for workers in 1 2 8; do
+        out="$outdir/det_${jobs}_${workers}_${ff}.txt"
+        ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff \
+          ./target/release/determinism > "$out"
+        if ! cmp -s "$baseline" "$out"; then
+          echo "determinism matrix FAILED: ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff diverges:"
+          diff "$baseline" "$out" || true
+          exit 1
+        fi
+        echo "ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers ARC_FF=$ff: identical"
+      done
     done
   done
-done
-# The escape hatch alone, serial: the smallest FF-off configuration.
-out="$outdir/det_1_1_0.txt"
-ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0 ./target/release/determinism > "$out"
-if ! cmp -s "$baseline" "$out"; then
-  echo "determinism matrix FAILED: ARC_FF=0 serial diverges:"
-  diff "$baseline" "$out" || true
-  exit 1
-fi
-echo "ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0: identical"
+  # The escape hatch alone, serial: the smallest FF-off configuration.
+  out="$outdir/det_1_1_0.txt"
+  ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0 ./target/release/determinism > "$out"
+  if ! cmp -s "$baseline" "$out"; then
+    echo "determinism matrix FAILED: ARC_FF=0 serial diverges:"
+    diff "$baseline" "$out" || true
+    exit 1
+  fi
+  echo "ARC_JOBS=1 ARC_SIM_WORKERS=1 ARC_FF=0: identical"
 
-echo "== determinism matrix (ARC_SIM_EPOCH axis) =="
-# The baseline above already runs the default epoch mode (auto); the
-# epoch axis pins the per-cycle escape hatch (1), a fixed cap (4), and
-# an explicit auto against it, crossed with worker counts and the
-# fast-forward toggle. All byte-identical: the epoch-safety analysis
-# may only change wall-clock time, never output.
-for epoch in 1 4 auto; do
-  for workers in 1 8; do
-    for ff in 1 0; do
-      out="$outdir/det_e${epoch}_${workers}_${ff}.txt"
-      ARC_SIM_EPOCH=$epoch ARC_JOBS=2 ARC_SIM_WORKERS=$workers ARC_FF=$ff \
-        ./target/release/determinism > "$out"
-      if ! cmp -s "$baseline" "$out"; then
-        echo "determinism matrix FAILED: ARC_SIM_EPOCH=$epoch ARC_SIM_WORKERS=$workers ARC_FF=$ff diverges:"
-        diff "$baseline" "$out" || true
-        exit 1
-      fi
-      echo "ARC_SIM_EPOCH=$epoch ARC_SIM_WORKERS=$workers ARC_FF=$ff: identical"
+  echo "== determinism matrix (ARC_SIM_EPOCH axis) =="
+  # The baseline above already runs the default epoch mode (auto); the
+  # epoch axis pins the per-cycle escape hatch (1), a fixed cap (4), and
+  # an explicit auto against it, crossed with worker counts and the
+  # fast-forward toggle. All byte-identical: the epoch-safety analysis
+  # may only change wall-clock time, never output.
+  local epoch
+  for epoch in 1 4 auto; do
+    for workers in 1 8; do
+      for ff in 1 0; do
+        out="$outdir/det_e${epoch}_${workers}_${ff}.txt"
+        ARC_SIM_EPOCH=$epoch ARC_JOBS=2 ARC_SIM_WORKERS=$workers ARC_FF=$ff \
+          ./target/release/determinism > "$out"
+        if ! cmp -s "$baseline" "$out"; then
+          echo "determinism matrix FAILED: ARC_SIM_EPOCH=$epoch ARC_SIM_WORKERS=$workers ARC_FF=$ff diverges:"
+          diff "$baseline" "$out" || true
+          exit 1
+        fi
+        echo "ARC_SIM_EPOCH=$epoch ARC_SIM_WORKERS=$workers ARC_FF=$ff: identical"
+      done
     done
   done
-done
+}
 
+step_store() {
+  cargo build --release -q -p sim-service --bin simserved
+
+  echo "== result store round-trip (simserved sweep, cold vs warm) =="
+  # The fixed sweep grid runs twice against a fresh temp store. The
+  # second pass must (a) print byte-identical rows — a cache hit may
+  # never change results — (b) serve every cell from the store, and
+  # (c) be at least 5x faster than the cold pass, the whole point of
+  # persisting results.
+  local storedir="$TMPROOT/store"
+  local cold="$TMPROOT/sweep-cold" warm="$TMPROOT/sweep-warm"
+  ./target/release/simserved sweep --store "$storedir" --scale 1.0 --jobs 2 \
+    > "$cold.out" 2> "$cold.err"
+  ./target/release/simserved sweep --store "$storedir" --scale 1.0 --jobs 2 \
+    > "$warm.out" 2> "$warm.err"
+
+  if ! cmp -s "$cold.out" "$warm.out"; then
+    echo "store round-trip FAILED: warm sweep rows differ from cold:"
+    diff "$cold.out" "$warm.out" || true
+    exit 1
+  fi
+  echo "cold and warm sweep rows are byte-identical ($(wc -l < "$cold.out") cells)"
+
+  # The store must not be poisoned by its own writes.
+  ./target/release/simserved fsck --store "$storedir" | tee "$TMPROOT/fsck.out"
+  if ! grep -q ' 0 removed' "$TMPROOT/fsck.out"; then
+    echo "store round-trip FAILED: fsck removed entries from a freshly written store"
+    exit 1
+  fi
+
+  grep '^sweep-wall-seconds ' "$cold.err" "$warm.err"
+  local cold_s warm_s warm_misses
+  cold_s=$(awk '/^sweep-wall-seconds/{print $2}' "$cold.err")
+  warm_s=$(awk '/^sweep-wall-seconds/{print $2}' "$warm.err")
+  warm_misses=$(awk '/^sweep-wall-seconds/{print $6}' "$warm.err")
+  if [ "$warm_misses" != "0" ]; then
+    echo "store round-trip FAILED: warm sweep recorded $warm_misses misses (want 0)"
+    exit 1
+  fi
+  if ! awk -v c="$cold_s" -v w="$warm_s" \
+      'BEGIN { exit (w > 0 && c / w >= 5.0) ? 0 : 1 }'; then
+    echo "store round-trip FAILED: warm pass ${warm_s}s vs cold ${cold_s}s — want >= 5x speedup"
+    exit 1
+  fi
+  awk -v c="$cold_s" -v w="$warm_s" \
+    'BEGIN { printf "warm sweep %.3fs vs cold %.3fs: %.1fx\n", w, c, c / w }'
+}
+
+usage() {
+  echo "usage: scripts/ci.sh [fmt|clippy|build|doc|test|conformance|determinism|store|all]..." >&2
+  exit 2
+}
+
+steps=("$@")
+if [ "${#steps[@]}" -eq 0 ]; then
+  steps=(all)
+fi
+for s in "${steps[@]}"; do
+  case "$s" in
+    fmt) step_fmt ;;
+    clippy) step_clippy ;;
+    build) step_build ;;
+    doc) step_doc ;;
+    test) step_test ;;
+    conformance) step_conformance ;;
+    determinism) step_determinism ;;
+    store) step_store ;;
+    all)
+      step_fmt
+      step_clippy
+      step_build
+      step_doc
+      step_test
+      step_conformance
+      step_determinism
+      step_store
+      ;;
+    *) usage ;;
+  esac
+done
 echo "CI OK"

@@ -359,12 +359,22 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar from the remaining text.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run of unescaped bytes up to the
+                    // next quote or backslash in one step — validating
+                    // UTF-8 per run, not per character, keeps parsing
+                    // linear in the string length.
+                    let start = self.pos;
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
+                    self.pos = end;
                 }
                 None => return Err(Error::new("unterminated string")),
             }
