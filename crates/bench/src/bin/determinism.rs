@@ -11,7 +11,14 @@
 //! ```text
 //! ARC_JOBS=8 ARC_SIM_WORKERS=2 cargo run --release -p arc-bench --bin determinism
 //! ```
+//!
+//! `ARC_PASSES` selects the trace-IR optimizer pipeline applied before
+//! each cell's technique rewrite; CI also compares runs with
+//! `ARC_PASSES=all` among themselves (the pipeline is deterministic)
+//! and pins `ARC_PASSES` unset against the plain baseline output.
 
+use arc_core::passes::PassPipeline;
+use arc_core::technique::TraceTransform;
 use arc_core::BalanceThreshold;
 use arc_workloads::{run_gradcomp, run_gradcomp_telemetry, Technique};
 use gpu_sim::{GpuConfig, TelemetryConfig};
@@ -50,19 +57,21 @@ fn main() {
     );
 
     let cfg = GpuConfig::tiny();
+    let passes = PassPipeline::from_env().unwrap_or_else(|e| {
+        eprintln!("ARC_PASSES: {e}");
+        std::process::exit(2);
+    });
+    let passes = &passes;
     let rows = gpu_sim::par_map(gpu_sim::default_jobs(), cells, |(id, technique)| {
         let traces = arc_workloads::spec(id)
             .expect("known workload")
             .scaled(SCALE)
             .build();
-        let plain = run_gradcomp(&cfg, technique, &traces.gradcomp).expect("kernel drains");
-        let (report, tel) = run_gradcomp_telemetry(
-            &cfg,
-            technique,
-            &traces.gradcomp,
-            TelemetryConfig::every(INTERVAL),
-        )
-        .expect("kernel drains");
+        let piped = passes.apply(&traces.gradcomp);
+        let plain = run_gradcomp(&cfg, technique, &piped).expect("kernel drains");
+        let (report, tel) =
+            run_gradcomp_telemetry(&cfg, technique, &piped, TelemetryConfig::every(INTERVAL))
+                .expect("kernel drains");
         assert_eq!(
             plain,
             report,

@@ -4,6 +4,7 @@
 //! ```text
 //! figures [--scale S] [--jobs N] [--telemetry] [--technique <name>]
 //!         [--chrome-trace <path>] [--store DIR] [--daemon SOCK]
+//!         [--passes SPEC]
 //!         [all|tab1|fig4|obs1|fig7|fig8|fig18|fig19|fig20|fig21|fig22|
 //!          fig23|fig24|fig25|fig26|fig27|fig28|area|pagerank|scaling|
 //!          roofline|tune]
@@ -31,6 +32,12 @@
 //! already-simulated cell. `--daemon SOCK` sends cells to a running
 //! `simserved` instead. Both produce byte-identical output to a plain
 //! run.
+//!
+//! `--passes SPEC` (or `ARC_PASSES`) runs the trace-IR optimizer pass
+//! pipeline (`arc_core::passes`) on every kernel before its technique
+//! rewrite: `all`, `none`, or a comma list like `dead-lane,coalesce`.
+//! The pipeline is part of the result-store key, so piped and plain
+//! runs never collide.
 
 use std::collections::BTreeMap;
 use std::env;
@@ -98,6 +105,22 @@ fn main() {
         }));
         args.remove(pos);
     }
+    let mut passes = None;
+    if let Some(pos) = args.iter().position(|a| a == "--passes") {
+        args.remove(pos);
+        let spec = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--passes requires a pass list (`all`, `none`, or comma-separated names)");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        match arc_core::passes::PassPipeline::parse(&spec) {
+            Ok(p) => passes = Some(p),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut telemetry = false;
     if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
         args.remove(pos);
@@ -139,6 +162,10 @@ fn main() {
     let mut h = Harness::new(scale);
     if let Some(jobs) = jobs {
         h.set_jobs(jobs);
+    }
+    // `Harness::new` already honors `ARC_PASSES`; the flag overrides it.
+    if let Some(p) = passes {
+        h.set_passes(p);
     }
     if let Some(dir) = &store {
         if let Err(e) = h.set_store_dir(dir) {

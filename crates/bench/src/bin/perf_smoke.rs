@@ -38,6 +38,12 @@
 //! kernel, the skip ratio (`cycles_stepped` vs `cycles_simulated`) and
 //! the FF-on / FF-off wall-clock ratio.
 //!
+//! Each sample records a `passes` section: the hot-address storm and
+//! the 3D-DR gradient kernel simulated with the trace-IR optimizer
+//! pipeline off and with `ARC_PASSES=all`, recording the
+//! simulated-cycle reduction and both wall-clock times — the
+//! perf-trajectory axis for the optimizer.
+//!
 //! Each sample also measures the persistent result store
 //! (`sim-service`): the cell grid runs cold then warm against a
 //! throwaway store, recording both wall-clock times and the warm-pass
@@ -57,6 +63,7 @@ use serde::{Deserialize, Serialize};
 
 use arc_bench::harness::Cell;
 use arc_bench::Harness;
+use arc_core::passes::PassPipeline;
 use arc_workloads::Technique;
 use gpu_sim::{AtomicPath, GpuConfig, Simulator, TechniquePath};
 use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
@@ -151,6 +158,27 @@ impl EpochResult {
     }
 }
 
+/// One trace-IR optimizer measurement: the same kernel simulated with
+/// the pass pipeline off and with `ARC_PASSES=all`, recording the
+/// simulated-cycle reduction the optimized trace buys and both
+/// wall-clock times (the pass-on time includes running the pipeline
+/// itself).
+#[derive(Clone, Serialize, Deserialize)]
+struct PassesResult {
+    label: String,
+    /// Canonical pipeline key (`PassPipeline::key`), e.g.
+    /// `dead-lane,hoist,coalesce,fma`.
+    pass_set: String,
+    cycles_off: u64,
+    cycles_on: u64,
+    /// `1 - cycles_on / cycles_off` (higher = the passes pay off).
+    cycle_reduction: f64,
+    /// Issue slots the pipeline removed from the trace.
+    issue_slots_removed: u64,
+    wall_off_s: f64,
+    wall_on_s: f64,
+}
+
 /// The persistent result store measured cold (every cell simulated and
 /// written) and warm (every cell served from disk) over the same cell
 /// grid, each pass through a fresh [`Harness`] so the in-memory caches
@@ -206,6 +234,10 @@ struct Sample {
     /// before the store existed.
     #[serde(default)]
     store: Option<StoreResult>,
+    /// Trace-IR optimizer pass measurements (`ARC_PASSES=all` vs off);
+    /// empty in samples recorded before the pipeline existed.
+    #[serde(default)]
+    passes: Vec<PassesResult>,
     /// Gating decisions worth preserving next to the numbers they
     /// affected (e.g. "not gated: single-core host").
     #[serde(default)]
@@ -290,6 +322,7 @@ impl LegacySample {
             fast_forward: Vec::new(),
             sm_epoch: None,
             store: None,
+            passes: Vec::new(),
             notes: Vec::new(),
         }
     }
@@ -404,6 +437,34 @@ fn measure_ff(label: &str, cfg: &GpuConfig, trace: &KernelTrace) -> FastForwardR
         "{label}: FF-off run skipped cycles"
     );
     FastForwardResult::new(label.to_string(), on_stats, ff_on_s, ff_off_s)
+}
+
+/// Simulates one kernel with the pass pipeline off and with every pass
+/// on, timing both (the pass-on wall clock includes the pipeline run
+/// itself — the optimizer must pay for its own analysis).
+fn measure_passes(label: &str, cfg: &GpuConfig, trace: &KernelTrace) -> PassesResult {
+    let pipeline = PassPipeline::all();
+    let sim = Simulator::new(cfg.clone(), AtomicPath::Baseline).expect("valid config");
+
+    let start = Instant::now();
+    let off = sim.run(trace).expect("kernel drains");
+    let wall_off_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let (piped, stats) = pipeline.run(trace);
+    let on = sim.run(&piped).expect("kernel drains");
+    let wall_on_s = start.elapsed().as_secs_f64();
+
+    PassesResult {
+        label: label.to_string(),
+        pass_set: pipeline.key(),
+        cycles_off: off.cycles,
+        cycles_on: on.cycles,
+        cycle_reduction: 1.0 - on.cycles as f64 / off.cycles.max(1) as f64,
+        issue_slots_removed: stats.iter().map(|(_, s)| s.issue_slots_removed).sum(),
+        wall_off_s,
+        wall_on_s,
+    }
 }
 
 fn main() -> ExitCode {
@@ -539,7 +600,25 @@ fn main() -> ExitCode {
         fast_forward.push(r);
     }
 
-    // --- Level 4: the persistent result store (cold vs warm). ---------
+    // --- Level 4: the trace-IR optimizer pass pipeline. ---------------
+    let mut passes = Vec::new();
+    for (label, trace) in [
+        ("hot-address storm", &storm_trace(24, atomics)),
+        ("3D-DR gradcomp", &traces.gradcomp),
+    ] {
+        println!("passes: {label} (ARC_PASSES=all vs off)...");
+        let r = measure_passes(label, &cfg, trace);
+        println!(
+            "  {} -> {} cycles ({:.1}% fewer), {} issue slots removed",
+            r.cycles_off,
+            r.cycles_on,
+            100.0 * r.cycle_reduction,
+            r.issue_slots_removed
+        );
+        passes.push(r);
+    }
+
+    // --- Level 5: the persistent result store (cold vs warm). ---------
     let store_dir =
         std::env::temp_dir().join(format!("arc-perf-smoke-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
@@ -605,6 +684,7 @@ fn main() -> ExitCode {
         fast_forward,
         sm_epoch: Some(EpochResult::new(&sm_stats)),
         store: Some(store),
+        passes,
         notes: Vec::new(),
     };
     // A parallelism speedup measured on a single core (or with a single
@@ -736,6 +816,7 @@ mod tests {
             fast_forward: Vec::new(),
             sm_epoch: None,
             store: None,
+            passes: Vec::new(),
             notes,
         }
     }

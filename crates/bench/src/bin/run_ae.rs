@@ -15,13 +15,18 @@
 //!
 //! ```text
 //! cargo run --release -p arc-bench --bin run_ae [--jobs N] [--telemetry]
-//!     [--chrome-trace <out.json>] [--store DIR] [--daemon SOCK] [iters]
+//!     [--chrome-trace <out.json>] [--store DIR] [--daemon SOCK]
+//!     [--passes SPEC] [iters]
 //! ```
 //!
 //! `--store DIR` (or `ARC_STORE`) routes kernel simulations through the
 //! persistent result store; `--daemon SOCK` sends them to a running
 //! `simserved`. Training always runs locally — only the simulated
 //! kernels are served — and output bytes are identical either way.
+//!
+//! `--passes SPEC` (or `ARC_PASSES`) runs the trace-IR optimizer pass
+//! pipeline on every simulated kernel before the technique rewrite; it
+//! applies identically on the engine, store, and daemon backends.
 //!
 //! `--telemetry` samples each dataset's baseline gradient kernel with
 //! the observability layer and writes the per-dataset summaries to
@@ -38,6 +43,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::sync::Arc;
 
+use arc_core::passes::PassPipeline;
+use arc_core::technique::TraceTransform;
 use arc_core::BalanceThreshold;
 use arc_workloads::Technique;
 use diffrender::gaussian::{backward_scene, render_scene, NoopRecorder};
@@ -125,6 +132,7 @@ impl SimBackend {
     /// Runs one gradcomp-style kernel cell, optionally with telemetry.
     /// `digest` is the precomputed digest of `trace` (unused by the
     /// engine and daemon paths).
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
         cfg: &GpuConfig,
@@ -132,19 +140,24 @@ impl SimBackend {
         trace: &Arc<KernelTrace>,
         digest: &Digest,
         telemetry: Option<TelemetryConfig>,
+        passes: &PassPipeline,
     ) -> (KernelReport, Option<KernelTelemetry>) {
         match self {
-            SimBackend::Engine => match telemetry {
-                Some(tcfg) => {
-                    let (r, t) = arc_workloads::run_gradcomp_telemetry(cfg, technique, trace, tcfg)
-                        .expect("kernel drains");
-                    (r, Some(t))
+            SimBackend::Engine => {
+                let piped = passes.apply(trace);
+                match telemetry {
+                    Some(tcfg) => {
+                        let (r, t) =
+                            arc_workloads::run_gradcomp_telemetry(cfg, technique, &piped, tcfg)
+                                .expect("kernel drains");
+                        (r, Some(t))
+                    }
+                    None => (
+                        arc_workloads::run_gradcomp(cfg, technique, &piped).expect("kernel drains"),
+                        None,
+                    ),
                 }
-                None => (
-                    arc_workloads::run_gradcomp(cfg, technique, trace).expect("kernel drains"),
-                    None,
-                ),
-            },
+            }
             SimBackend::Store(store) => {
                 let req = SimRequest {
                     config: cfg.clone(),
@@ -153,6 +166,7 @@ impl SimBackend {
                     rewrite: true,
                     telemetry,
                     want_chrome: false,
+                    passes: passes.clone(),
                 };
                 let r = run_cell_with_digest(Some(store), &req, &EngineOpts::default(), digest)
                     .expect("kernel drains");
@@ -167,6 +181,7 @@ impl SimBackend {
                         rewrite: true,
                         telemetry,
                         want_chrome: false,
+                        passes: passes.clone(),
                     })
                     .expect("daemon sim must succeed");
                 (r.report, r.telemetry)
@@ -252,6 +267,25 @@ fn main() {
         }
         backend = SimBackend::Daemon(client);
     }
+    let mut passes_spec = None;
+    if let Some(pos) = args.iter().position(|a| a == "--passes") {
+        args.remove(pos);
+        passes_spec = Some(args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--passes requires a pass list (`all`, `none`, or comma-separated names)");
+            std::process::exit(2);
+        }));
+        args.remove(pos);
+    }
+    let passes = match passes_spec {
+        Some(spec) => PassPipeline::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("--passes: {e}");
+            std::process::exit(2);
+        }),
+        None => PassPipeline::from_env().unwrap_or_else(|e| {
+            eprintln!("ARC_PASSES: {e}");
+            std::process::exit(2);
+        }),
+    };
     if matches!(backend, SimBackend::Engine) {
         if let Ok(dir) = std::env::var("ARC_STORE") {
             if !dir.is_empty() {
@@ -280,6 +314,7 @@ fn main() {
     // (table, csv) blocks back together in dataset order.
     let want_chrome = chrome_trace.is_some();
     let backend = &backend;
+    let passes = &passes;
     let blocks = gpu_sim::par_map(jobs, DATASETS.iter().enumerate().collect(), |(idx, ds)| {
         dataset_rows(
             ds,
@@ -289,6 +324,7 @@ fn main() {
             telemetry,
             want_chrome && idx == 0,
             backend,
+            passes,
         )
     });
     let mut tel_rows = Vec::new();
@@ -339,6 +375,7 @@ fn dataset_rows(
     telemetry: bool,
     chrome: bool,
     backend: &SimBackend,
+    passes: &PassPipeline,
 ) -> (String, String, Option<DatasetTelemetry>) {
     let mut table = String::new();
     let mut csv = String::new();
@@ -399,14 +436,19 @@ fn dataset_rows(
 
     let fixed_ms: f64 = [(&forward, &forward_digest), (&loss_k, &loss_digest)]
         .iter()
-        .map(|(t, d)| backend.run(cfg, Technique::Baseline, t, d, None).0.time_ms)
+        .map(|(t, d)| {
+            backend
+                .run(cfg, Technique::Baseline, t, d, None, passes)
+                .0
+                .time_ms
+        })
         .sum();
 
     // The artifact's grid: 4 implementations × thresholds.
     for (impl_name, techniques) in variants() {
         for (thr_label, technique) in techniques {
             let grad_ms = backend
-                .run(cfg, technique, &gradcomp, &gradcomp_digest, None)
+                .run(cfg, technique, &gradcomp, &gradcomp_digest, None, passes)
                 .0
                 .time_ms;
             let e2e_ms = (fixed_ms + grad_ms) * iters as f64;
@@ -429,6 +471,7 @@ fn dataset_rows(
             &gradcomp,
             &gradcomp_digest,
             Some(TelemetryConfig::default()),
+            passes,
         );
         let tel = tel.expect("telemetry was requested");
         DatasetTelemetry {

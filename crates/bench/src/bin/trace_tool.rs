@@ -8,7 +8,7 @@
 //! trace_tool rewrite <trace.json> <out.json> [technique] [threshold]
 //! trace_tool sim     <trace.json> [technique] [4090|3060]
 //!                    [--telemetry] [--chrome-trace <out.json>]
-//!                    [--store DIR] [--daemon SOCK]
+//!                    [--store DIR] [--daemon SOCK] [--passes SPEC]
 //! ```
 //!
 //! Technique names are resolved through the canonical registry
@@ -26,11 +26,19 @@
 //! persistent result store; `sim --daemon SOCK` asks a running
 //! `simserved` instead of simulating in-process. Output is
 //! byte-identical on every path.
+//!
+//! `sim --passes SPEC` (or `ARC_PASSES`) runs the trace-IR optimizer
+//! pass pipeline (`arc_core::passes`) before the technique rewrite —
+//! `all`, `none`, or a comma list like `dead-lane,coalesce`. The
+//! pipeline applies identically on the engine, store, and daemon paths,
+//! and a non-empty pipeline keys its own store entries.
 
 use std::fs;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use arc_core::passes::PassPipeline;
+use arc_core::technique::TraceTransform;
 use arc_core::{BalanceThreshold, Technique, TECHNIQUES};
 use gpu_sim::{GpuConfig, Simulator, TechniquePath, TelemetryConfig};
 use sim_service::{run_cell, DaemonClient, EngineOpts, ResultStore, SimRequest, WireCell};
@@ -179,11 +187,25 @@ fn sim(args: &[String]) -> Result<(), String> {
         args.remove(pos);
         daemon_sock = Some(sock);
     }
-    // The environment opt-in mirrors the harness.
+    let mut passes_spec = None;
+    if let Some(pos) = args.iter().position(|a| a == "--passes") {
+        args.remove(pos);
+        let spec = args
+            .get(pos)
+            .cloned()
+            .ok_or("--passes requires a pass list (`all`, `none`, or comma-separated names)")?;
+        args.remove(pos);
+        passes_spec = Some(spec);
+    }
+    // The environment opt-ins mirror the harness.
     let store_dir = store_dir.or_else(|| std::env::var("ARC_STORE").ok().filter(|s| !s.is_empty()));
+    let passes = match passes_spec {
+        Some(spec) => PassPipeline::parse(&spec).map_err(|e| e.to_string())?,
+        None => PassPipeline::from_env().map_err(|e| e.to_string())?,
+    };
     let path = args.first().ok_or(
         "usage: trace_tool sim <trace.json> [technique] [gpu] [--telemetry] \
-         [--chrome-trace <out.json>] [--store DIR] [--daemon SOCK]",
+         [--chrome-trace <out.json>] [--store DIR] [--daemon SOCK] [--passes SPEC]",
     )?;
     let technique: Technique = args
         .get(1)
@@ -207,6 +229,7 @@ fn sim(args: &[String]) -> Result<(), String> {
                 rewrite: true,
                 telemetry: tcfg,
                 want_chrome: false,
+                passes: passes.clone(),
             })
             .map_err(|e| e.to_string())?;
         (r.report, r.telemetry)
@@ -219,11 +242,13 @@ fn sim(args: &[String]) -> Result<(), String> {
             rewrite: true,
             telemetry: tcfg,
             want_chrome: false,
+            passes: passes.clone(),
         };
         let r = run_cell(Some(&store), &req, &EngineOpts::default()).map_err(|e| e.to_string())?;
         (r.report, r.telemetry)
     } else {
-        let prepared = technique.prepare(&trace);
+        let piped = passes.apply(&trace);
+        let prepared = technique.prepare(&piped);
         let mut sim = Simulator::new(cfg.clone(), technique.path()).map_err(|e| e.to_string())?;
         if telemetry {
             sim = sim.with_telemetry(TelemetryConfig::default());

@@ -3,6 +3,8 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use arc_core::passes::PassPipeline;
+use arc_core::technique::TraceTransform;
 use arc_workloads::{all_specs, IterationTraces, Technique, TechniquePath};
 use gpu_sim::{
     par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, Simulator,
@@ -34,6 +36,13 @@ use warp_trace::KernelTrace;
 /// byte-identical with and without a store — the conformance
 /// `store-equivalence` invariant pins this — so the default stays off
 /// and nothing changes unless explicitly opted in.
+///
+/// Independently of the backend, a trace-IR optimizer pass pipeline
+/// (`arc_core::passes`) can run on every kernel before the technique
+/// rewrite: set `ARC_PASSES` (or call [`Harness::set_passes`]). The
+/// default (empty) pipeline is byte-identical to a build without the
+/// pipeline; a non-empty pipeline is part of the result-store key, so
+/// optimized and unoptimized results never alias.
 pub struct Harness {
     scale: f64,
     jobs: usize,
@@ -48,6 +57,7 @@ pub struct Harness {
     store: Option<Arc<ResultStore>>,
     daemon: Option<Arc<DaemonClient>>,
     service_traces: HashMap<(WorkloadId, KernelSel), (Arc<KernelTrace>, Digest)>,
+    passes: PassPipeline,
 }
 
 /// A simulation cell: one (config, technique, workload) point.
@@ -163,6 +173,9 @@ impl Harness {
             }
             _ => None,
         };
+        // Same story for the optimizer pass pipeline: `ARC_PASSES`
+        // opts in, unset keeps the trace untouched.
+        let passes = PassPipeline::from_env().unwrap_or_else(|e| panic!("ARC_PASSES: {e}"));
         Harness {
             scale,
             jobs: gpu_sim::default_jobs(),
@@ -177,7 +190,26 @@ impl Harness {
             store,
             daemon: None,
             service_traces: HashMap::new(),
+            passes,
         }
+    }
+
+    /// The optimizer pass pipeline applied before every simulation.
+    pub fn passes(&self) -> &PassPipeline {
+        &self.passes
+    }
+
+    /// Overrides the optimizer pass pipeline (`ARC_PASSES` sets it at
+    /// construction). The report caches are keyed by cell only, so
+    /// changing the pipeline mid-flight drops anything already cached
+    /// rather than serving results computed under the old pipeline.
+    pub fn set_passes(&mut self, passes: PassPipeline) {
+        if passes != self.passes {
+            self.gradcomp_cache.clear();
+            self.iteration_cache.clear();
+            self.telemetry_cache.clear();
+        }
+        self.passes = passes;
     }
 
     /// The workload scale in use.
@@ -313,6 +345,7 @@ impl Harness {
                     rewrite: c.rewrite,
                     telemetry: c.telemetry.clone(),
                     want_chrome: false,
+                    passes: self.passes.clone(),
                 })
                 .collect();
             let results = client.batch(wire).expect("daemon batch must succeed");
@@ -322,7 +355,8 @@ impl Harness {
                 .collect();
         }
         let store = self.store.as_ref().expect("service_run without a backend");
-        par_map(self.jobs, cells, |c| {
+        let passes = self.passes.clone();
+        par_map(self.jobs, cells, move |c| {
             let req = SimRequest {
                 config: c.cfg,
                 technique: c.technique,
@@ -330,6 +364,7 @@ impl Harness {
                 rewrite: c.rewrite,
                 telemetry: c.telemetry,
                 want_chrome: false,
+                passes: passes.clone(),
             };
             let r = run_cell_with_digest(Some(store), &req, &EngineOpts::default(), &c.digest)
                 .expect("kernel must drain");
@@ -432,7 +467,8 @@ impl Harness {
         } else {
             let traces = self.traces_arc(id);
             let sim = self.sim_for(cfg, technique.path());
-            sim.run(&technique.prepare_cow(&traces.gradcomp))
+            let piped = self.passes.apply(&traces.gradcomp);
+            sim.run(&technique.prepare_cow(&piped))
                 .expect("kernel must drain")
         };
         self.gradcomp_cache.insert(key, report.clone());
@@ -468,8 +504,9 @@ impl Harness {
         } else {
             let traces = self.traces_arc(id);
             let sim = self.telemetry_sim(cfg, technique.path());
+            let piped = self.passes.apply(&traces.gradcomp);
             let (report, tel) = sim
-                .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
+                .run_with_telemetry(&technique.prepare_cow(&piped))
                 .expect("kernel must drain");
             (report, tel.expect("telemetry was enabled"))
         };
@@ -519,9 +556,11 @@ impl Harness {
             let traces = Arc::clone(&self.traces[id.as_str()]);
             todo.push((*key, sim, *technique, traces));
         }
-        let results = par_map(jobs, todo, |(key, sim, technique, traces)| {
+        let passes = self.passes.clone();
+        let results = par_map(jobs, todo, move |(key, sim, technique, traces)| {
+            let piped = passes.apply(&traces.gradcomp);
             let (report, tel) = sim
-                .run_with_telemetry(&technique.prepare_cow(&traces.gradcomp))
+                .run_with_telemetry(&technique.prepare_cow(&piped))
                 .expect("kernel must drain");
             (key, report, tel.expect("telemetry was enabled"))
         });
@@ -601,7 +640,7 @@ impl Harness {
         } else {
             let traces = self.traces_arc(id);
             let sim = self.sim_for(cfg, technique.path());
-            arc_workloads::run_iteration_with(&sim, technique, &traces)
+            arc_workloads::run_iteration_piped(&sim, technique, &traces, &self.passes)
                 .expect("iteration must drain")
         };
         self.iteration_cache.insert(key, report.clone());
@@ -691,9 +730,10 @@ impl Harness {
 
         // Simulate across the pool; inserting in input order keeps the
         // whole operation deterministic regardless of `jobs`.
+        let passes = self.passes.clone();
         if iteration {
-            let reports = par_map(jobs, todo, |(key, sim, technique, traces)| {
-                let report = arc_workloads::run_iteration_with(&sim, technique, &traces)
+            let reports = par_map(jobs, todo, move |(key, sim, technique, traces)| {
+                let report = arc_workloads::run_iteration_piped(&sim, technique, &traces, &passes)
                     .expect("iteration must drain");
                 (key, report)
             });
@@ -701,9 +741,10 @@ impl Harness {
                 self.iteration_cache.insert(key, report);
             }
         } else {
-            let reports = par_map(jobs, todo, |(key, sim, technique, traces)| {
+            let reports = par_map(jobs, todo, move |(key, sim, technique, traces)| {
+                let piped = passes.apply(&traces.gradcomp);
                 let report = sim
-                    .run(&technique.prepare_cow(&traces.gradcomp))
+                    .run(&technique.prepare_cow(&piped))
                     .expect("kernel must drain");
                 (key, report)
             });

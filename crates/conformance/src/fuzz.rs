@@ -54,13 +54,20 @@ pub enum TraceShape {
     /// must flip between accept-certain, reject-certain, and per-cycle
     /// stepping without changing observable behavior.
     IcntFlood,
+    /// Unrolled-loop shape: each warp repeats near-identical
+    /// `load; compute; same-address atomic` iterations, the
+    /// redundant-load / mergeable-atomic structure the trace-IR
+    /// optimizer passes (`arc_core::passes`) are built to shrink.
+    /// Occasional stores break the spans so hoisting must respect
+    /// write barriers.
+    LoopHeavy,
 }
 
 impl TraceShape {
     /// All shapes in generation order. New shapes are appended so the
     /// `case -> shape` mapping of earlier cases (and everything derived
     /// from their RNG streams, like the checked-in golden) is stable.
-    pub const ALL: [TraceShape; 7] = [
+    pub const ALL: [TraceShape; 8] = [
         TraceShape::Degenerate,
         TraceShape::HotAddressStorm,
         TraceShape::FullDensify,
@@ -68,6 +75,7 @@ impl TraceShape {
         TraceShape::MultiParamBundle,
         TraceShape::SparseIdle,
         TraceShape::IcntFlood,
+        TraceShape::LoopHeavy,
     ];
 
     /// Short label used in trace names and failure messages.
@@ -80,6 +88,7 @@ impl TraceShape {
             TraceShape::MultiParamBundle => "multi-param",
             TraceShape::SparseIdle => "sparse-idle",
             TraceShape::IcntFlood => "icnt-flood",
+            TraceShape::LoopHeavy => "loop-heavy",
         }
     }
 }
@@ -130,6 +139,7 @@ impl Fuzzer {
             TraceShape::MultiParamBundle => self.multi_param_warps(),
             TraceShape::SparseIdle => self.sparse_idle_warps(),
             TraceShape::IcntFlood => self.icnt_flood_warps(),
+            TraceShape::LoopHeavy => self.loop_heavy_warps(),
         };
         KernelTrace::new(name, KernelKind::GradCompute, warps)
     }
@@ -361,6 +371,43 @@ impl Fuzzer {
             .collect()
     }
 
+    fn loop_heavy_warps(&mut self) -> Vec<WarpTrace> {
+        // An unrolled gradient-accumulation loop: every iteration
+        // re-issues the same-sector load, a short compute burst, and an
+        // atomic on the warp's accumulator word. Back-to-back
+        // iterations are exactly what load hoisting (duplicate load,
+        // no intervening store) and atomic coalescing (same-address
+        // atomics separated only by compute) fold away; the occasional
+        // store closes both windows mid-warp, so passes must re-open
+        // them on the far side.
+        let warps = self.rng.gen_range(2..=6usize);
+        (0..warps)
+            .map(|_| {
+                let accumulator = self.addr();
+                let sectors = self.rng.gen_range(1..=4u16);
+                let mask = self.lane_mask(1..=WARP_SIZE);
+                let mut b = WarpTraceBuilder::new();
+                for _ in 0..self.rng.gen_range(3..=10usize) {
+                    b.load(sectors);
+                    b.compute_fp32(self.rng.gen_range(1..=3u16));
+                    let ops = mask
+                        .iter()
+                        .map(|&lane| LaneOp {
+                            lane,
+                            addr: accumulator,
+                            value: self.value(),
+                        })
+                        .collect();
+                    b.atomic(AtomicInstr::new(ops));
+                    if self.rng.gen_bool(0.2) {
+                        b.store(1);
+                    }
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
     // --- primitive draws ------------------------------------------------
 
     /// A word-aligned gradient address from a small pool, so distinct
@@ -491,6 +538,39 @@ mod tests {
                 .instrs
                 .iter()
                 .any(|i| matches!(i, warp_trace::Instr::Load { .. })));
+        }
+    }
+
+    #[test]
+    fn loop_heavy_repeats_foldable_iterations() {
+        let mut f = Fuzzer::new(3, 7); // case 7 = LoopHeavy
+        assert_eq!(f.shape(), TraceShape::LoopHeavy);
+        let t = f.trace();
+        for w in t.warps() {
+            // Per warp: one accumulator address and one load sector
+            // count, repeated every iteration — the redundancy the
+            // optimizer passes exist to remove.
+            let mut addrs: Vec<u64> = w
+                .instrs
+                .iter()
+                .filter_map(|i| i.bundle())
+                .flat_map(|b| b.params.iter())
+                .flat_map(|p| p.ops().iter().map(|op| op.addr))
+                .collect();
+            addrs.sort_unstable();
+            addrs.dedup();
+            assert_eq!(addrs.len(), 1, "one accumulator word per warp");
+            let mut sectors: Vec<u16> = w
+                .instrs
+                .iter()
+                .filter_map(|i| match i {
+                    warp_trace::Instr::Load { sectors } => Some(*sectors),
+                    _ => None,
+                })
+                .collect();
+            assert!(sectors.len() >= 3, "at least three loop iterations");
+            sectors.dedup();
+            assert_eq!(sectors.len(), 1, "identical load per iteration");
         }
     }
 

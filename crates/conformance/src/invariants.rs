@@ -33,6 +33,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use arc_core::analysis::{baseline_cycles, predicted_hw_speedup};
+use arc_core::passes::{Pass, PassPipeline};
+use arc_core::technique::TraceTransform;
 use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig, Technique};
 use gpu_sim::{
     AtomicPath, EpochMode, GpuConfig, KernelReport, KernelTelemetry, SimCounters, Simulator,
@@ -557,6 +559,7 @@ fn store_equivalence_in(
             rewrite: true,
             telemetry: Some(tcfg.clone()),
             want_chrome: true,
+            passes: PassPipeline::empty(),
         };
 
         // Reference semantics: a fresh engine run with no store at all.
@@ -586,6 +589,7 @@ fn store_equivalence_in(
             true,
             Some(&tcfg),
             &digest,
+            &PassPipeline::empty(),
         );
         let stored = store.get(&key).ok_or_else(|| {
             err(format!(
@@ -627,6 +631,7 @@ fn store_equivalence_in(
                 rewrite: true,
                 telemetry: Some(tcfg.clone()),
                 want_chrome: true,
+                passes: PassPipeline::empty(),
             })
             .map_err(|e| err(format!("{technique:?}: daemon round-trip: {e}")))?;
         if !served.cached {
@@ -644,6 +649,113 @@ fn store_equivalence_in(
     // thread sits in a blocking read until the client hangs up.
     drop(client);
     daemon.shutdown();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Trace-IR optimizer pass invariants.
+// ---------------------------------------------------------------------
+
+/// **Invariant `pass-equivalence`** — the optimizer pass pipeline
+/// (`arc_core::passes`) is functionally invisible: for every pass
+/// subset (the empty set, each pass alone, and all passes together),
+/// the transformed trace's final gradient memory image matches the
+/// unoptimized trace's within the oracle's documented f32 tolerance
+/// (`tol(n, S) = (n + 4)·ε₃₂·max(S, 1)` per address — only the
+/// coalescing pass reassociates sums, and it stays inside that bound).
+/// The empty subset is held to a stronger standard: it must return the
+/// *borrowed* input trace, so a build with the pipeline compiled in but
+/// `ARC_PASSES` unset simulates byte-identically to a build without
+/// it — pinned here by comparing serialized baseline reports.
+pub fn check_pass_equivalence(
+    cfg: &GpuConfig,
+    trace: &KernelTrace,
+) -> Result<(), InvariantFailure> {
+    const INV: &str = "pass-equivalence";
+    let err = |detail: String| fail(INV, detail);
+
+    // Per-address contribution counts and absolute sums from the
+    // *unoptimized* trace drive the tolerance (same accounting as the
+    // functional oracle's rewrite check).
+    let mut reference = warp_trace::GlobalMemory::new();
+    reference.apply_trace(trace);
+    let mut contribs: std::collections::HashMap<u64, (u64, f64)> = std::collections::HashMap::new();
+    for warp in trace.warps() {
+        for instr in &warp.instrs {
+            if let warp_trace::Instr::Atomic(b) | warp_trace::Instr::AtomRed(b) = instr {
+                for param in &b.params {
+                    for op in param.ops() {
+                        let e = contribs.entry(op.addr).or_insert((0, 0.0));
+                        e.0 += 1;
+                        e.1 += f64::from(op.value).abs();
+                    }
+                }
+            }
+        }
+    }
+
+    let mut subsets: Vec<PassPipeline> = vec![PassPipeline::empty()];
+    subsets.extend(Pass::ALL.iter().map(|&p| PassPipeline::new([p])));
+    subsets.push(PassPipeline::all());
+
+    for pipeline in &subsets {
+        let piped = pipeline.apply(trace);
+        let key = pipeline.key();
+
+        // Passes only ever remove or merge work.
+        if piped.total_issue_slots() > trace.total_issue_slots() {
+            return Err(err(format!(
+                "[{key}] grew the trace: {} issue slots from {}",
+                piped.total_issue_slots(),
+                trace.total_issue_slots()
+            )));
+        }
+
+        let mut mem = warp_trace::GlobalMemory::new();
+        mem.apply_trace(&piped);
+        for (addr, want) in reference.iter() {
+            let got = mem.read_f64(addr);
+            let (n, abs_sum) = contribs.get(&addr).copied().unwrap_or((1, 1.0));
+            let tol = crate::oracle::tolerance(n, abs_sum);
+            if (got - want).abs() > tol {
+                return Err(err(format!(
+                    "[{key}] addr {addr:#x} ({n} contributions): got {got}, want {want} \
+                     (|diff| {} > tol {tol})",
+                    (got - want).abs(),
+                )));
+            }
+        }
+        for (addr, got) in mem.iter() {
+            if !reference.iter().any(|(a, _)| a == addr) {
+                return Err(err(format!(
+                    "[{key}] invented gradient word at addr {addr:#x} = {got}"
+                )));
+            }
+        }
+    }
+
+    // Empty-set byte identity: the pipeline must hand back the borrowed
+    // input (no rebuild, however faithful, is accepted) and the
+    // simulated baseline report must serialize to the same bytes as a
+    // run that never saw the pipeline.
+    let empty = PassPipeline::empty();
+    let piped = empty.apply(trace);
+    if !matches!(piped, std::borrow::Cow::Borrowed(_)) {
+        return Err(err(
+            "empty pipeline returned an owned trace instead of the borrowed input".to_string(),
+        ));
+    }
+    let plain = run(cfg, AtomicPath::Baseline, trace)?;
+    let through = run(cfg, AtomicPath::Baseline, &piped)?;
+    let plain_bytes =
+        serde_json::to_string(&plain).map_err(|e| err(format!("serializing plain report: {e}")))?;
+    let through_bytes = serde_json::to_string(&through)
+        .map_err(|e| err(format!("serializing piped report: {e}")))?;
+    if plain_bytes != through_bytes {
+        return Err(err(
+            "empty pipeline changed the serialized baseline report".to_string()
+        ));
+    }
     Ok(())
 }
 
@@ -868,8 +980,9 @@ pub fn check_telemetry_consistency(
 
 /// Runs every per-trace invariant (conservation laws, worker
 /// determinism, fast-forward and epoch-synchronization equivalence,
-/// result-store/daemon equivalence, telemetry consistency on the
-/// baseline and ARC-HW paths) against one trace/config pair. The workload-constructing trend
+/// result-store/daemon equivalence, optimizer-pass equivalence,
+/// telemetry consistency on the baseline and ARC-HW paths) against one
+/// trace/config pair. The workload-constructing trend
 /// invariants ([`check_rop_monotonicity`], [`check_config_ordering`],
 /// [`check_adaptive_wins_contended`], [`check_threshold_crossover`])
 /// are invoked separately by the suite since they pick their own
@@ -895,6 +1008,7 @@ pub fn check_trace(cfg: &GpuConfig, trace: &KernelTrace) -> Result<(), Invariant
     check_fast_forward(cfg, trace)?;
     check_epoch_equivalence(cfg, trace)?;
     check_store_equivalence(cfg, trace)?;
+    check_pass_equivalence(cfg, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::Baseline, trace)?;
     check_telemetry_consistency(cfg, AtomicPath::ArcHw, trace)?;
     Ok(())

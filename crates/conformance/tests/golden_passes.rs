@@ -1,0 +1,103 @@
+//! Pass-pipeline golden: a fuzzer-found, shrinker-minimized trace on
+//! which the atomic-coalescing pass fires, with the optimized form
+//! pinned byte-exactly.
+//!
+//! The flow mirrors `golden.rs`: fuzz from the fixed default seed until
+//! coalescing finds work, shrink while it still fires, and pin both the
+//! minimal input (`coalesce-min.json`) and its optimized output
+//! (`coalesce-min.optimized.json`). Any change to the fuzzer, shrinker,
+//! or the pass itself that moves either file must be deliberate —
+//! re-bless with `CONFORMANCE_BLESS=1`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use arc_core::passes::Pass;
+use arc_core::technique::TraceTransform;
+use conformance::fuzz::Fuzzer;
+use conformance::{oracle, shrink};
+use warp_trace::{GlobalMemory, KernelTrace};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// True iff the coalescing pass merges at least one atomic on `trace`
+/// *and* the merge sums a shared lane — the reassociating path the
+/// oracle tolerance exists for, not just a union of disjoint lanes.
+fn coalesce_fires(trace: &KernelTrace) -> bool {
+    let stats = Pass::AtomicCoalesce.apply_with_stats(trace).1;
+    stats.atomics_coalesced > 0 && stats.lane_ops_removed > 0
+}
+
+fn mem_of(trace: &KernelTrace) -> GlobalMemory {
+    let mut mem = GlobalMemory::new();
+    mem.apply_trace(trace);
+    mem
+}
+
+#[test]
+fn coalesce_golden_is_minimal_and_its_optimized_form_is_pinned() {
+    // Fixed seed (not the CONFORMANCE_SEED override): the golden's
+    // identity depends on it.
+    let seed = conformance::DEFAULT_SEED;
+    let (case, trace) = (0..50u64)
+        .find_map(|case| {
+            let t = Fuzzer::new(seed, case).trace();
+            coalesce_fires(&t).then_some((case, t))
+        })
+        .expect("50 fuzz cases never gave the coalescing pass any work");
+    // A fuzzer that rarely emits back-to-back compatible atomics is not
+    // exercising the pass; the storm/loop-heavy shapes should hit fast.
+    assert!(case < 10, "coalescing first fired only at case {case}");
+
+    let shrunk = shrink::shrink_trace(&trace, coalesce_fires);
+    let dir = golden_dir();
+    let optimized_path = dir.join("coalesce-min.optimized.json");
+    if std::env::var("CONFORMANCE_BLESS").is_ok() {
+        shrink::emit_golden(&dir, "coalesce-min", &shrunk);
+        let optimized = Pass::AtomicCoalesce.apply(&shrunk).into_owned();
+        let json = serde_json::to_string_pretty(&optimized).expect("trace serializes");
+        fs::write(&optimized_path, json).expect("write optimized golden");
+    }
+
+    let golden = shrink::load_golden(&dir.join("coalesce-min.json"));
+    assert_eq!(
+        shrunk, golden,
+        "shrinker no longer reproduces the checked-in minimal trace; \
+         re-bless with CONFORMANCE_BLESS=1 if the change is intentional"
+    );
+
+    // The optimized form is pinned byte-exactly: the pass must keep
+    // producing this output, byte for byte, forever.
+    let optimized = Pass::AtomicCoalesce.apply(&golden).into_owned();
+    let want = serde_json::to_string_pretty(&optimized).expect("trace serializes");
+    let pinned = fs::read_to_string(&optimized_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", optimized_path.display()));
+    assert_eq!(
+        pinned, want,
+        "the coalescing pass no longer produces the pinned optimized \
+         trace; re-bless with CONFORMANCE_BLESS=1 if the change is \
+         intentional"
+    );
+
+    // The pass still fires on the golden, actually shrank it, and kept
+    // the functional memory image within the oracle's reassociation
+    // tolerance.
+    assert!(coalesce_fires(&golden));
+    assert!(optimized.total_issue_slots() < golden.total_issue_slots());
+    let (reference, piped) = (mem_of(&golden), mem_of(&optimized));
+    for (addr, want) in reference.iter() {
+        let (n, abs_sum) = golden
+            .bundles()
+            .flat_map(|b| b.params.iter())
+            .flat_map(|p| p.ops().iter())
+            .filter(|op| op.addr == addr)
+            .fold((0u64, 0.0f64), |(n, s), op| {
+                (n + 1, s + f64::from(op.value.abs()))
+            });
+        let diff = (want - piped.read_f64(addr)).abs();
+        let tol = oracle::tolerance(n, abs_sum);
+        assert!(diff <= tol, "addr {addr:#x}: diff {diff} > tolerance {tol}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Targeted pass-equivalence suite: the `pass-equivalence` invariant
+//! (`invariants::check_pass_equivalence`) driven over every fuzz shape.
+//!
+//! The invariant also runs inside the full per-trace battery
+//! (`check_trace`, exercised by the metamorphic suite); this file is
+//! the fast subset CI invokes as `scripts/ci.sh passes` — one case per
+//! `TraceShape` (including `loop-heavy`, the shape built for the
+//! hoisting and coalescing passes) plus a slice of the open fuzz
+//! stream, with shrink-to-golden on failure.
+
+use conformance::fuzz::{Fuzzer, TraceShape};
+use conformance::{invariants, shrink};
+
+#[test]
+fn every_fuzz_shape_survives_pass_equivalence() {
+    let seed = conformance::seed().wrapping_add(11);
+    // case % ALL.len() selects the shape, so one round of consecutive
+    // cases covers every shape exactly once.
+    for case in 0..TraceShape::ALL.len() as u64 {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace();
+        let cfg = f.config();
+        assert_eq!(
+            f.shape(),
+            TraceShape::ALL[case as usize % TraceShape::ALL.len()]
+        );
+        if let Err(e) = invariants::check_pass_equivalence(&cfg, &trace) {
+            let shrunk = shrink::shrink_trace(&trace, |t| {
+                invariants::check_pass_equivalence(&cfg, t).is_err()
+            });
+            let out = shrink::emit_golden(
+                &conformance::failure_dir(),
+                &format!("pass-equivalence-s{seed:#x}-c{case}"),
+                &shrunk,
+            );
+            panic!(
+                "{e}\n  shrunk reproducer: {}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})",
+                out.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzed_traces_survive_pass_equivalence() {
+    let seed = conformance::seed().wrapping_add(13);
+    for case in 0..conformance::iters(8) as u64 {
+        let mut f = Fuzzer::new(seed, case);
+        let trace = f.trace();
+        let cfg = f.config();
+        if let Err(e) = invariants::check_pass_equivalence(&cfg, &trace) {
+            panic!("{e}\n  reproduce: CONFORMANCE_SEED={seed:#x} (case {case})");
+        }
+    }
+}

@@ -12,6 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use arc_core::passes::PassPipeline;
 use arc_core::Technique;
 use conformance::fuzz::Fuzzer;
 use conformance::invariants;
@@ -50,6 +51,7 @@ fn request(trace: Arc<warp_trace::KernelTrace>) -> SimRequest {
         rewrite: true,
         telemetry: Some(TelemetryConfig::every(8)),
         want_chrome: true,
+        passes: PassPipeline::empty(),
     }
 }
 
@@ -94,6 +96,7 @@ fn stale_sim_version_is_a_miss_and_recomputes() {
         true,
         req.telemetry.as_ref(),
         &trace_digest(&req.trace),
+        &req.passes,
     );
     assert!(
         store.get(&key).is_none(),
@@ -131,6 +134,7 @@ fn truncated_blob_is_a_miss_and_recomputes() {
         true,
         req.telemetry.as_ref(),
         &trace_digest(&req.trace),
+        &req.passes,
     );
     let object = dir
         .join("store")

@@ -21,7 +21,11 @@
 //! * the canonical technique registry ([`technique`]) — one descriptor
 //!   per evaluated technique (stable label, CLI name, parameters),
 //!   with the rewrite passes unified behind the
-//!   [`TraceTransform`] trait.
+//!   [`TraceTransform`] trait;
+//! * the trace-IR optimizer pass pipeline ([`passes`]) — dead-lane
+//!   elimination, loop-invariant load hoisting, atomic coalescing, and
+//!   FMA fusion, composed by [`PassPipeline`] behind the `ARC_PASSES`
+//!   knob and verified by the conformance oracle.
 //!
 //! The cycle-level behaviour of ARC-HW (the sub-core reduction unit and
 //! its interaction with the LSU) lives in the `gpu-sim` crate, which
@@ -33,6 +37,7 @@
 pub mod analysis;
 pub mod area;
 pub mod cccl;
+pub mod passes;
 pub mod policy;
 pub mod reduce;
 pub mod sw;
@@ -43,6 +48,7 @@ pub mod tuner;
 pub use analysis::{KernelProfile, MachineModel};
 pub use area::AreaModel;
 pub use cccl::rewrite_kernel_cccl;
+pub use passes::{Pass, PassPipeline, PassStats, UnknownPassError};
 pub use policy::{BalanceThreshold, GreedyHwScheduler, HwPath, SwPath};
 pub use reduce::{butterfly_reduce, serialized_reduce, ReductionKind};
 pub use sw::{rewrite_kernel_sw, SwAlgorithm, SwConfig, SwCostModel};

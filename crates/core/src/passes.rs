@@ -1,0 +1,875 @@
+//! Trace-IR optimizer pass pipeline (the Dr.Jit direction).
+//!
+//! A [`Pass`] is a semantics-preserving rewrite of a [`KernelTrace`]:
+//! it may shorten warps, merge instructions, or drop dead work, but the
+//! functional memory image (`warp_trace::GlobalMemory::apply_trace`)
+//! of the result must match the input within the conformance oracle's
+//! documented f32 tolerance. A [`PassPipeline`] chains passes in a
+//! fixed canonical order and reports per-pass [`PassStats`].
+//!
+//! The four initial passes:
+//!
+//! * **`dead-lane`** ([`Pass::DeadLaneElim`]) — removes atomic
+//!   parameters whose lane set is empty (lanes masked out for the
+//!   whole warp's lifetime contribute no `LaneOp`s, but an empty
+//!   parameter still costs an issue slot), instructions whose bundles
+//!   end up empty, and warps left with no instructions at all.
+//!   Functionally invisible: empty parameters perform no memory
+//!   operation.
+//! * **`hoist`** ([`Pass::LoadHoist`]) — loop-invariant load hoisting.
+//!   A load that repeats an earlier load in the same warp with no
+//!   intervening store re-reads unchanged memory, so only the first
+//!   occurrence is kept. Loads in this IR carry only a sector count
+//!   (addresses are already coalesced away), so "the same load" means
+//!   the same sector footprint within a store-free span; atomics do
+//!   not invalidate the span because they target the write-only
+//!   gradient accumulators, not load sources. Functionally invisible:
+//!   loads have no functional semantics.
+//! * **`coalesce`** ([`Pass::AtomicCoalesce`]) — merges an atomic
+//!   (or atomred) instruction into the previous compatible atomic when
+//!   every instruction between them is pure compute. Two bundles are
+//!   compatible when they have the same variant, the same parameter
+//!   count, the same uniformity flag, and no lane disagrees on its
+//!   target address. A lane present in both has its values summed in
+//!   f32 — this is the one pass that *reassociates* floating-point
+//!   reduction order, and is exactly the reassociation the oracle
+//!   tolerance (see `crates/conformance/src/oracle.rs`) is sized for.
+//! * **`fma`** ([`Pass::FmaFusion`]) — fuses mul→add chains: every
+//!   adjacent pair within an FP32 run becomes one FFMA issue slot
+//!   (`Fp32 × n` → `Ffma × n/2` plus a leftover `Fp32 × n%2`). The IR
+//!   does not distinguish FMUL from FADD, so this models the peak
+//!   fusion a scheduler could find; compute instructions have no
+//!   functional semantics, so the rewrite is functionally invisible.
+//!
+//! Every pass is *idempotent* (running it twice equals running it
+//! once) and only ever shrinks the trace's instruction count, issue
+//! slots, and atomic request count — [`Pass::apply_with_stats`]
+//! derives those three deltas structurally so they always agree with
+//! the traces themselves.
+//!
+//! Pipelines always apply in the canonical order [`Pass::ALL`]:
+//! dead-lane first (shrinks bundles), hoisting second (removes the
+//! loads that would otherwise block coalescing windows), coalescing
+//! third, fusion last (over the compute runs the other passes have
+//! exposed). Keeping the order a function of the *set* is what lets
+//! the `sim-service` store key identify a cached result by the pass
+//! set alone ([`PassPipeline::key`]).
+//!
+//! The set is selected at runtime by the `ARC_PASSES` environment
+//! variable (or the `--passes` flag on the CLI tools): `all`, `none`
+//! (or empty/unset), or a comma-separated subset of
+//! `dead-lane,hoist,coalesce,fma`. The empty pipeline returns
+//! [`Cow::Borrowed`], so default-off runs are byte-identical to a
+//! build without this module.
+
+use std::borrow::Cow;
+use std::collections::HashSet;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use warp_trace::{AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelTrace, LaneOp, WarpTrace};
+
+use crate::technique::TraceTransform;
+
+/// One optimizer pass over the trace IR. See the module docs for the
+/// contract each pass satisfies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pass {
+    /// Drop empty atomic parameters, empty bundles, and empty warps.
+    DeadLaneElim,
+    /// Drop loads that repeat an earlier load with no store between.
+    LoadHoist,
+    /// Merge compatible atomics separated only by compute.
+    AtomicCoalesce,
+    /// Fuse adjacent FP32 pairs into FFMA slots.
+    FmaFusion,
+}
+
+impl Pass {
+    /// Every pass, in the canonical application order.
+    pub const ALL: [Pass; 4] = [
+        Pass::DeadLaneElim,
+        Pass::LoadHoist,
+        Pass::AtomicCoalesce,
+        Pass::FmaFusion,
+    ];
+
+    /// Stable CLI/`ARC_PASSES` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::DeadLaneElim => "dead-lane",
+            Pass::LoadHoist => "hoist",
+            Pass::AtomicCoalesce => "coalesce",
+            Pass::FmaFusion => "fma",
+        }
+    }
+
+    /// Position in the canonical order.
+    fn rank(self) -> usize {
+        Pass::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("every pass is in ALL")
+    }
+
+    /// Parses one pass name.
+    ///
+    /// # Errors
+    ///
+    /// If `s` is not a registered pass name.
+    pub fn parse(s: &str) -> Result<Pass, UnknownPassError> {
+        Pass::ALL
+            .iter()
+            .copied()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| UnknownPassError {
+                input: s.to_string(),
+            })
+    }
+
+    /// Applies this pass, reporting what it removed.
+    ///
+    /// Returns [`Cow::Borrowed`] (and all-zero stats) when the pass
+    /// changes nothing. The structural fields of the stats
+    /// (`instrs_removed`, `issue_slots_removed`, `lane_ops_removed`)
+    /// are computed from the traces themselves, so they are consistent
+    /// with the trace-length deltas by construction.
+    pub fn apply_with_stats<'t>(self, trace: &'t KernelTrace) -> (Cow<'t, KernelTrace>, PassStats) {
+        let mut stats = PassStats::default();
+        let rewritten = match self {
+            Pass::DeadLaneElim => dead_lane_elim(trace, &mut stats),
+            Pass::LoadHoist => load_hoist(trace, &mut stats),
+            Pass::AtomicCoalesce => atomic_coalesce(trace, &mut stats),
+            Pass::FmaFusion => fma_fusion(trace, &mut stats),
+        };
+        if rewritten.warps() == trace.warps() {
+            return (Cow::Borrowed(trace), PassStats::default());
+        }
+        stats.instrs_removed = instr_count(trace).saturating_sub(instr_count(&rewritten));
+        stats.issue_slots_removed = trace
+            .total_issue_slots()
+            .saturating_sub(rewritten.total_issue_slots());
+        stats.lane_ops_removed = trace
+            .total_atomic_requests()
+            .saturating_sub(rewritten.total_atomic_requests());
+        (Cow::Owned(rewritten), stats)
+    }
+}
+
+impl TraceTransform for Pass {
+    fn name(&self) -> &'static str {
+        Pass::name(*self)
+    }
+
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        self.apply_with_stats(trace).0
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Pass {
+    type Err = UnknownPassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pass::parse(s)
+    }
+}
+
+/// A pass spec that names no registered pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownPassError {
+    /// The rejected spelling.
+    pub input: String,
+}
+
+impl fmt::Display for UnknownPassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = Pass::ALL.iter().map(|p| p.name()).collect();
+        write!(
+            f,
+            "unknown pass `{}`; valid specs: all, none, or a comma-separated subset of {}",
+            self.input,
+            names.join(",")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPassError {}
+
+/// What one pass application removed from the trace.
+///
+/// The first three fields are structural deltas (old minus new) over
+/// the whole trace; the rest count the individual rewrite events each
+/// pass performs. All fields are zero when a pass changed nothing.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassStats {
+    /// Instruction entries removed (trace-wide count delta).
+    pub instrs_removed: u64,
+    /// Issue slots removed (`KernelTrace::total_issue_slots` delta).
+    pub issue_slots_removed: u64,
+    /// Atomic lane requests removed (`total_atomic_requests` delta).
+    pub lane_ops_removed: u64,
+    /// Empty atomic parameters dropped (dead-lane).
+    pub params_removed: u64,
+    /// Warps left empty and dropped (dead-lane).
+    pub warps_removed: u64,
+    /// Later atomics merged into an earlier one (coalesce).
+    pub atomics_coalesced: u64,
+    /// Redundant loads removed (hoist).
+    pub loads_hoisted: u64,
+    /// FP32 pairs fused into FFMA slots (fma).
+    pub fma_fused: u64,
+}
+
+impl PassStats {
+    /// Field-wise accumulate, for pipeline totals.
+    pub fn absorb(&mut self, other: &PassStats) {
+        self.instrs_removed += other.instrs_removed;
+        self.issue_slots_removed += other.issue_slots_removed;
+        self.lane_ops_removed += other.lane_ops_removed;
+        self.params_removed += other.params_removed;
+        self.warps_removed += other.warps_removed;
+        self.atomics_coalesced += other.atomics_coalesced;
+        self.loads_hoisted += other.loads_hoisted;
+        self.fma_fused += other.fma_fused;
+    }
+
+    /// True when the pass changed nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == PassStats::default()
+    }
+}
+
+/// An ordered set of passes, always held in canonical order.
+///
+/// Construction sorts and deduplicates, so two pipelines over the same
+/// *set* of passes are identical — including their [`key`] — no matter
+/// how the set was spelled. The empty pipeline is the default and is a
+/// guaranteed no-op ([`Cow::Borrowed`]).
+///
+/// [`key`]: PassPipeline::key
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassPipeline {
+    passes: Vec<Pass>,
+}
+
+impl PassPipeline {
+    /// The no-op pipeline.
+    pub fn empty() -> Self {
+        PassPipeline::default()
+    }
+
+    /// Every pass, canonical order.
+    pub fn all() -> Self {
+        PassPipeline {
+            passes: Pass::ALL.to_vec(),
+        }
+    }
+
+    /// Builds a pipeline from any collection of passes, deduplicating
+    /// and re-ordering into the canonical order.
+    pub fn new(passes: impl IntoIterator<Item = Pass>) -> Self {
+        let set: HashSet<Pass> = passes.into_iter().collect();
+        let mut passes: Vec<Pass> = set.into_iter().collect();
+        passes.sort_by_key(|p| p.rank());
+        PassPipeline { passes }
+    }
+
+    /// Parses an `ARC_PASSES`-style spec: `all`, `none` (or the empty
+    /// string), or a comma-separated subset of the pass names.
+    ///
+    /// # Errors
+    ///
+    /// If any comma-separated element is not a registered pass name.
+    pub fn parse(spec: &str) -> Result<Self, UnknownPassError> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(PassPipeline::empty());
+        }
+        if spec == "all" {
+            return Ok(PassPipeline::all());
+        }
+        let passes: Vec<Pass> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Pass::parse)
+            .collect::<Result<_, _>>()?;
+        Ok(PassPipeline::new(passes))
+    }
+
+    /// Reads the `ARC_PASSES` environment variable (unset = empty).
+    ///
+    /// # Errors
+    ///
+    /// If the variable is set to an invalid spec.
+    pub fn from_env() -> Result<Self, UnknownPassError> {
+        match std::env::var("ARC_PASSES") {
+            Ok(spec) => PassPipeline::parse(&spec),
+            Err(_) => Ok(PassPipeline::empty()),
+        }
+    }
+
+    /// The passes, in application order.
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// True for the no-op pipeline.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Canonical string form: `none`, or the pass names joined with
+    /// commas in canonical order. Injective over pass sets; used as
+    /// the store-key segment (see `sim-service::key`) and round-trips
+    /// through [`PassPipeline::parse`].
+    pub fn key(&self) -> String {
+        if self.passes.is_empty() {
+            return "none".to_string();
+        }
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        names.join(",")
+    }
+
+    /// Applies every pass in order, returning the transformed trace and
+    /// per-pass statistics (one entry per pass, in application order).
+    pub fn run<'t>(
+        &self,
+        trace: &'t KernelTrace,
+    ) -> (Cow<'t, KernelTrace>, Vec<(Pass, PassStats)>) {
+        let mut cur: Cow<'t, KernelTrace> = Cow::Borrowed(trace);
+        let mut stats = Vec::with_capacity(self.passes.len());
+        for &pass in &self.passes {
+            let (next, s) = pass.apply_with_stats(cur.as_ref());
+            if let Cow::Owned(t) = next {
+                cur = Cow::Owned(t);
+            }
+            stats.push((pass, s));
+        }
+        (cur, stats)
+    }
+}
+
+impl TraceTransform for PassPipeline {
+    fn name(&self) -> &'static str {
+        "passes"
+    }
+
+    fn apply<'t>(&self, trace: &'t KernelTrace) -> Cow<'t, KernelTrace> {
+        self.run(trace).0
+    }
+}
+
+impl fmt::Display for PassPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+impl FromStr for PassPipeline {
+    type Err = UnknownPassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PassPipeline::parse(s)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass implementations. Each returns a full rebuilt trace; the caller
+// compares against the input to decide borrowed-vs-owned, so these can
+// rebuild unconditionally without risking spurious "changed" results.
+// ---------------------------------------------------------------------
+
+fn instr_count(trace: &KernelTrace) -> u64 {
+    trace.warps().iter().map(|w| w.instrs.len() as u64).sum()
+}
+
+fn rebuild(trace: &KernelTrace, warps: Vec<WarpTrace>) -> KernelTrace {
+    KernelTrace::new(trace.name(), trace.kind(), warps)
+}
+
+/// Pushes a compute entry, merging into a trailing run of the same kind
+/// (the same normalization `WarpTraceBuilder::compute` performs).
+fn push_compute(out: &mut Vec<Instr>, kind: ComputeKind, n: u16) {
+    if n == 0 {
+        return;
+    }
+    if let Some(Instr::Compute {
+        kind: last_kind,
+        repeat,
+    }) = out.last_mut()
+    {
+        if *last_kind == kind {
+            let total = u32::from(*repeat) + u32::from(n);
+            if total <= u32::from(u16::MAX) {
+                *repeat = total as u16;
+                return;
+            }
+        }
+    }
+    out.push(Instr::Compute { kind, repeat: n });
+}
+
+fn dead_lane_elim(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
+    let mut warps = Vec::with_capacity(trace.warps().len());
+    for warp in trace.warps() {
+        let mut instrs = Vec::with_capacity(warp.instrs.len());
+        for instr in &warp.instrs {
+            match instr {
+                Instr::Atomic(b) | Instr::AtomRed(b) => {
+                    let params: Vec<AtomicInstr> = b
+                        .params
+                        .iter()
+                        .filter(|p| {
+                            let dead = p.is_empty();
+                            if dead {
+                                stats.params_removed += 1;
+                            }
+                            !dead
+                        })
+                        .cloned()
+                        .collect();
+                    if params.is_empty() {
+                        continue; // the whole bundle was dead
+                    }
+                    let bundle = AtomicBundle {
+                        params,
+                        uniform_iteration: b.uniform_iteration,
+                    };
+                    instrs.push(match instr {
+                        Instr::Atomic(_) => Instr::Atomic(bundle),
+                        Instr::AtomRed(_) => Instr::AtomRed(bundle),
+                        Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                            unreachable!("outer match filtered to atomics")
+                        }
+                    });
+                }
+                Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                    instrs.push(instr.clone());
+                }
+            }
+        }
+        if instrs.is_empty() {
+            stats.warps_removed += 1;
+            continue;
+        }
+        warps.push(WarpTrace { instrs });
+    }
+    rebuild(trace, warps)
+}
+
+fn load_hoist(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
+    let mut warps = Vec::with_capacity(trace.warps().len());
+    for warp in trace.warps() {
+        let mut seen: HashSet<u16> = HashSet::new();
+        let mut instrs = Vec::with_capacity(warp.instrs.len());
+        for instr in &warp.instrs {
+            match instr {
+                Instr::Load { sectors } => {
+                    if seen.contains(sectors) {
+                        stats.loads_hoisted += 1;
+                    } else {
+                        seen.insert(*sectors);
+                        instrs.push(instr.clone());
+                    }
+                }
+                Instr::Store { .. } => {
+                    // A store may overwrite what any prior load read.
+                    seen.clear();
+                    instrs.push(instr.clone());
+                }
+                // Atomics target the write-only gradient accumulators,
+                // never a load source, so they keep the span open.
+                Instr::Compute { .. } | Instr::Atomic(_) | Instr::AtomRed(_) => {
+                    instrs.push(instr.clone());
+                }
+            }
+        }
+        warps.push(WarpTrace { instrs });
+    }
+    rebuild(trace, warps)
+}
+
+/// Whether two bundles can merge into one: same shape, and no lane
+/// disagrees with itself about its target address.
+fn coalescable(a: &AtomicBundle, b: &AtomicBundle) -> bool {
+    a.uniform_iteration == b.uniform_iteration
+        && a.num_params() == b.num_params()
+        && a.params.iter().zip(&b.params).all(|(x, y)| {
+            y.ops().iter().all(|op| {
+                x.ops()
+                    .iter()
+                    .find(|o| o.lane == op.lane)
+                    .is_none_or(|o| o.addr == op.addr)
+            })
+        })
+}
+
+/// Merges `b` into `a` parameter-by-parameter: lane unions, with values
+/// of shared lanes summed in f32 (the reassociation the oracle
+/// tolerance covers).
+fn merge_bundles(a: &AtomicBundle, b: &AtomicBundle) -> AtomicBundle {
+    let params = a
+        .params
+        .iter()
+        .zip(&b.params)
+        .map(|(x, y)| {
+            // Both op lists are strictly ascending by lane (an
+            // `AtomicInstr` invariant), so a two-pointer merge keeps
+            // the union strictly ascending for `AtomicInstr::new`.
+            let (xs, ys) = (x.ops(), y.ops());
+            let mut ops = Vec::with_capacity(xs.len() + ys.len());
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                if xs[i].lane < ys[j].lane {
+                    ops.push(xs[i]);
+                    i += 1;
+                } else if xs[i].lane > ys[j].lane {
+                    ops.push(ys[j]);
+                    j += 1;
+                } else {
+                    ops.push(LaneOp {
+                        lane: xs[i].lane,
+                        addr: xs[i].addr,
+                        value: xs[i].value + ys[j].value,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+            ops.extend_from_slice(&xs[i..]);
+            ops.extend_from_slice(&ys[j..]);
+            AtomicInstr::new(ops)
+        })
+        .collect();
+    AtomicBundle {
+        params,
+        uniform_iteration: a.uniform_iteration,
+    }
+}
+
+fn atomic_coalesce(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
+    let mut warps = Vec::with_capacity(trace.warps().len());
+    for warp in trace.warps() {
+        // Index into `out` of the atomic the next atomic may merge
+        // into; any load or store closes the window (conservative
+        // memory ordering), compute keeps it open.
+        let mut candidate: Option<usize> = None;
+        let mut out: Vec<Instr> = Vec::with_capacity(warp.instrs.len());
+        for instr in &warp.instrs {
+            match instr {
+                Instr::Compute { kind, repeat } => push_compute(&mut out, *kind, *repeat),
+                Instr::Load { .. } | Instr::Store { .. } => {
+                    candidate = None;
+                    out.push(instr.clone());
+                }
+                Instr::Atomic(b) | Instr::AtomRed(b) => {
+                    let merged = candidate.is_some_and(|ci| match (&out[ci], instr) {
+                        (Instr::Atomic(prev), Instr::Atomic(_))
+                        | (Instr::AtomRed(prev), Instr::AtomRed(_)) => coalescable(prev, b),
+                        _ => false,
+                    });
+                    if merged {
+                        let ci = candidate.expect("checked above");
+                        let bundle = match &out[ci] {
+                            Instr::Atomic(prev) | Instr::AtomRed(prev) => merge_bundles(prev, b),
+                            Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                                unreachable!("candidate always indexes an atomic")
+                            }
+                        };
+                        out[ci] = match &out[ci] {
+                            Instr::Atomic(_) => Instr::Atomic(bundle),
+                            Instr::AtomRed(_) => Instr::AtomRed(bundle),
+                            Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                                unreachable!("candidate always indexes an atomic")
+                            }
+                        };
+                        stats.atomics_coalesced += 1;
+                    } else {
+                        out.push(instr.clone());
+                        candidate = Some(out.len() - 1);
+                    }
+                }
+            }
+        }
+        warps.push(WarpTrace { instrs: out });
+    }
+    rebuild(trace, warps)
+}
+
+fn fma_fusion(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
+    let mut warps = Vec::with_capacity(trace.warps().len());
+    for warp in trace.warps() {
+        let mut out: Vec<Instr> = Vec::with_capacity(warp.instrs.len());
+        for instr in &warp.instrs {
+            match instr {
+                Instr::Compute {
+                    kind: ComputeKind::Fp32,
+                    repeat,
+                } => {
+                    let pairs = repeat / 2;
+                    if pairs > 0 {
+                        stats.fma_fused += u64::from(pairs);
+                        push_compute(&mut out, ComputeKind::Ffma, pairs);
+                    }
+                    push_compute(&mut out, ComputeKind::Fp32, repeat % 2);
+                }
+                Instr::Compute { kind, repeat } => push_compute(&mut out, *kind, *repeat),
+                Instr::Load { .. } | Instr::Store { .. } | Instr::Atomic(_) | Instr::AtomRed(_) => {
+                    out.push(instr.clone())
+                }
+            }
+        }
+        warps.push(WarpTrace { instrs: out });
+    }
+    rebuild(trace, warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_trace::{GlobalMemory, KernelKind, WarpTraceBuilder, WARP_SIZE};
+
+    fn kernel(warps: Vec<WarpTrace>) -> KernelTrace {
+        KernelTrace::new("passes-test", KernelKind::GradCompute, warps)
+    }
+
+    /// A hot-address storm: atomics on one address interleaved with
+    /// single FP32 computes — the coalescing pass's home turf.
+    fn storm(iters: usize) -> KernelTrace {
+        let mut b = WarpTraceBuilder::new();
+        for i in 0..iters {
+            b.compute_fp32(1);
+            b.atomic(AtomicInstr::same_address(
+                0x100,
+                &[i as f32 + 0.25; WARP_SIZE],
+            ));
+        }
+        kernel(vec![b.finish()])
+    }
+
+    fn mem_of(trace: &KernelTrace) -> GlobalMemory {
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(trace);
+        mem
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(PassPipeline::parse("").unwrap(), PassPipeline::empty());
+        assert_eq!(PassPipeline::parse("none").unwrap(), PassPipeline::empty());
+        assert_eq!(PassPipeline::parse("all").unwrap(), PassPipeline::all());
+        assert_eq!(
+            PassPipeline::parse("fma , dead-lane").unwrap().passes(),
+            &[Pass::DeadLaneElim, Pass::FmaFusion]
+        );
+        assert!(PassPipeline::parse("fma,bogus").is_err());
+    }
+
+    #[test]
+    fn key_is_canonical_and_round_trips() {
+        assert_eq!(PassPipeline::empty().key(), "none");
+        assert_eq!(PassPipeline::all().key(), "dead-lane,hoist,coalesce,fma");
+        // Same set, any spelling, same key.
+        let a = PassPipeline::parse("coalesce,hoist").unwrap();
+        let b = PassPipeline::parse("hoist,coalesce,hoist").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.key(), "hoist,coalesce");
+        assert_eq!(PassPipeline::parse(&a.key()).unwrap(), a);
+    }
+
+    #[test]
+    fn empty_pipeline_borrows() {
+        let t = storm(4);
+        let (out, stats) = PassPipeline::empty().run(&t);
+        assert!(matches!(out, Cow::Borrowed(_)));
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn noop_pass_borrows() {
+        // A trace with nothing for dead-lane to do.
+        let t = storm(2);
+        let (out, stats) = Pass::DeadLaneElim.apply_with_stats(&t);
+        assert!(matches!(out, Cow::Borrowed(_)));
+        assert!(stats.is_noop());
+    }
+
+    #[test]
+    fn dead_lane_drops_empty_params_and_warps() {
+        let empty = AtomicInstr::new(vec![]);
+        let live = AtomicInstr::same_address(0x40, &[1.0; WARP_SIZE]);
+        let mut b = WarpTraceBuilder::new();
+        b.atomic_bundle(AtomicBundle::new(vec![empty.clone(), live.clone()]));
+        let dead_warp = WarpTrace {
+            instrs: vec![Instr::Atomic(AtomicBundle::new(vec![empty]))],
+        };
+        let t = kernel(vec![b.finish(), dead_warp]);
+        let (out, stats) = Pass::DeadLaneElim.apply_with_stats(&t);
+        assert_eq!(out.warps().len(), 1);
+        assert_eq!(stats.params_removed, 2);
+        assert_eq!(stats.warps_removed, 1);
+        // 2-param bundle -> 1 slot, 1-param bundle gone -> 1 slot.
+        assert_eq!(stats.issue_slots_removed, 2);
+        assert_eq!(stats.instrs_removed, 1);
+        assert_eq!(mem_of(&t).max_abs_diff(&mem_of(&out)), 0.0);
+    }
+
+    #[test]
+    fn hoist_removes_repeat_loads_until_store() {
+        let mut b = WarpTraceBuilder::new();
+        b.load(4).compute_fp32(1).load(4).load(2).store(1).load(4);
+        let t = kernel(vec![b.finish()]);
+        let (out, stats) = Pass::LoadHoist.apply_with_stats(&t);
+        assert_eq!(stats.loads_hoisted, 1);
+        // load(4), fp32, load(2), store, load(4) survive.
+        assert_eq!(out.warps()[0].instrs.len(), 5);
+    }
+
+    #[test]
+    fn coalesce_merges_across_compute_only_spans() {
+        let t = storm(6);
+        let (out, stats) = Pass::AtomicCoalesce.apply_with_stats(&t);
+        assert_eq!(stats.atomics_coalesced, 5);
+        // One merged atomic remains; the computes that followed it
+        // collapse into a single run behind it.
+        assert_eq!(out.warps()[0].instrs.len(), 3);
+        let diff = mem_of(&t).max_abs_diff(&mem_of(&out));
+        // 6 values per lane, all ~i+0.25: tiny f32 reassociation error.
+        assert!(diff < 1e-3, "diff {diff}");
+        assert!(out.total_issue_slots() < t.total_issue_slots());
+    }
+
+    #[test]
+    fn coalesce_respects_loads_and_address_conflicts() {
+        let a1 = AtomicInstr::same_address(0x10, &[1.0; WARP_SIZE]);
+        let a2 = AtomicInstr::same_address(0x20, &[1.0; WARP_SIZE]);
+        let mut b = WarpTraceBuilder::new();
+        b.atomic(a1.clone()).load(1).atomic(a1.clone());
+        let mut c = WarpTraceBuilder::new();
+        c.atomic(a1).atomic(a2);
+        let t = kernel(vec![b.finish(), c.finish()]);
+        let (out, stats) = Pass::AtomicCoalesce.apply_with_stats(&t);
+        // Load blocks the first warp; conflicting addresses block the
+        // second (every lane disagrees about its target).
+        assert!(matches!(out, Cow::Borrowed(_)));
+        assert!(stats.is_noop());
+    }
+
+    #[test]
+    fn coalesce_merges_disjoint_lane_sets() {
+        let lo = AtomicInstr::new(
+            (0..16)
+                .map(|lane| LaneOp {
+                    lane,
+                    addr: 0x8,
+                    value: 1.0,
+                })
+                .collect(),
+        );
+        let hi = AtomicInstr::new(
+            (16..32)
+                .map(|lane| LaneOp {
+                    lane,
+                    addr: 0x8,
+                    value: 2.0,
+                })
+                .collect(),
+        );
+        let mut b = WarpTraceBuilder::new();
+        b.atomic(lo).atomic(hi);
+        let t = kernel(vec![b.finish()]);
+        let (out, stats) = Pass::AtomicCoalesce.apply_with_stats(&t);
+        assert_eq!(stats.atomics_coalesced, 1);
+        let merged = out.warps()[0].instrs[0].bundle().unwrap();
+        assert_eq!(merged.params[0].active_count(), 32);
+        // Disjoint lanes: no value was reassociated, exact match.
+        assert_eq!(mem_of(&t).max_abs_diff(&mem_of(&out)), 0.0);
+    }
+
+    #[test]
+    fn fma_fuses_pairs() {
+        let mut b = WarpTraceBuilder::new();
+        b.compute_fp32(5).load(1).compute_fp32(2);
+        let t = kernel(vec![b.finish()]);
+        let (out, stats) = Pass::FmaFusion.apply_with_stats(&t);
+        assert_eq!(stats.fma_fused, 3);
+        assert_eq!(stats.issue_slots_removed, 3);
+        assert_eq!(
+            out.warps()[0].instrs,
+            vec![
+                Instr::Compute {
+                    kind: ComputeKind::Ffma,
+                    repeat: 2
+                },
+                Instr::Compute {
+                    kind: ComputeKind::Fp32,
+                    repeat: 1
+                },
+                Instr::Load { sectors: 1 },
+                Instr::Compute {
+                    kind: ComputeKind::Ffma,
+                    repeat: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn passes_are_idempotent() {
+        let t = storm(8);
+        for pass in Pass::ALL {
+            let once = pass.apply(&t).into_owned();
+            let twice = pass.apply(&once);
+            assert!(
+                matches!(twice, Cow::Borrowed(_)),
+                "{} not idempotent",
+                pass.name()
+            );
+        }
+        let all = PassPipeline::all();
+        let once = all.apply(&t).into_owned();
+        let twice = all.apply(&once);
+        assert!(matches!(twice, Cow::Borrowed(_)), "pipeline not idempotent");
+    }
+
+    #[test]
+    fn pipeline_stats_sum_to_slot_delta() {
+        let t = storm(10);
+        let (out, stats) = PassPipeline::all().run(&t);
+        let total: u64 = stats.iter().map(|(_, s)| s.issue_slots_removed).sum();
+        assert_eq!(
+            total,
+            t.total_issue_slots() - out.total_issue_slots(),
+            "per-pass slot deltas must telescope"
+        );
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn hoist_unblocks_coalescing() {
+        // load; atomic repeated: coalesce alone is blocked by the
+        // loads, but after hoisting only the first load remains.
+        let a = AtomicInstr::same_address(0x30, &[0.5; WARP_SIZE]);
+        let mut b = WarpTraceBuilder::new();
+        for _ in 0..4 {
+            b.load(2).atomic(a.clone());
+        }
+        let t = kernel(vec![b.finish()]);
+        let (blocked, s1) = Pass::AtomicCoalesce.apply_with_stats(&t);
+        assert!(matches!(blocked, Cow::Borrowed(_)));
+        assert!(s1.is_noop());
+        let (_, stats) = PassPipeline::all().run(&t);
+        let coalesced: u64 = stats.iter().map(|(_, s)| s.atomics_coalesced).sum();
+        let hoisted: u64 = stats.iter().map(|(_, s)| s.loads_hoisted).sum();
+        assert_eq!(hoisted, 3);
+        assert_eq!(coalesced, 3);
+    }
+}

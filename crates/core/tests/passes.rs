@@ -1,0 +1,332 @@
+//! Property-based tests for the trace-IR optimizer pass pipeline
+//! (`arc_core::passes`): idempotence, order-independence of the
+//! functional result, and consistency of the per-pass statistics with
+//! the trace-length deltas they claim to describe.
+//!
+//! The conformance crate's oracle battery (`check_pass_equivalence`)
+//! proves the same contracts against the full simulator over fuzzed
+//! traces; these tests pin the *algebraic* properties of the passes
+//! themselves on randomized step sequences, with no simulator in the
+//! loop.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use arc_core::passes::{Pass, PassPipeline, PassStats};
+use arc_core::technique::TraceTransform;
+use proptest::prelude::*;
+use warp_trace::{
+    AtomicInstr, GlobalMemory, Instr, KernelKind, KernelTrace, LaneOp, WarpTraceBuilder,
+};
+
+/// One abstract instruction of a generated warp. Interpreted by
+/// [`build_trace`]; kept abstract so the strategy stays a plain
+/// `prop_oneof!` (the vendored proptest has no `prop_flat_map`).
+#[derive(Clone, Debug)]
+enum Step {
+    /// `true` → FP32 run (fma fodder), `false` → IntAlu run.
+    Compute {
+        fp32: bool,
+        n: u16,
+    },
+    Load(u16),
+    Store(u16),
+    /// Single-parameter atomic: one lane per set bit of `mask` (an
+    /// all-zero mask yields an *empty* parameter — dead-lane fodder),
+    /// all lanes targeting the word at slot `slot`.
+    Atomic {
+        slot: u8,
+        mask: u32,
+        value: f32,
+    },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..2, 1u16..6).prop_map(|(k, n)| Step::Compute { fp32: k == 0, n }),
+        (1u16..5).prop_map(Step::Load),
+        (1u16..3).prop_map(Step::Store),
+        (0u8..4, 0u32..=u32::MAX, -2.0f32..2.0).prop_map(|(slot, mask, value)| Step::Atomic {
+            slot,
+            mask,
+            value
+        }),
+    ]
+}
+
+fn arb_warps() -> impl Strategy<Value = Vec<Vec<Step>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_step(), 1..10), 1..4)
+}
+
+fn arb_pass() -> impl Strategy<Value = Pass> {
+    prop_oneof![
+        Just(Pass::DeadLaneElim),
+        Just(Pass::LoadHoist),
+        Just(Pass::AtomicCoalesce),
+        Just(Pass::FmaFusion),
+    ]
+}
+
+fn build_trace(warps: &[Vec<Step>]) -> KernelTrace {
+    let warps = warps
+        .iter()
+        .map(|steps| {
+            let mut b = WarpTraceBuilder::new();
+            for s in steps {
+                match *s {
+                    Step::Compute { fp32: true, n } => {
+                        b.compute_fp32(n);
+                    }
+                    Step::Compute { fp32: false, n } => {
+                        b.compute_int(n);
+                    }
+                    Step::Load(sectors) => {
+                        b.load(sectors);
+                    }
+                    Step::Store(sectors) => {
+                        b.store(sectors);
+                    }
+                    Step::Atomic { slot, mask, value } => {
+                        let ops = (0u8..32)
+                            .filter(|i| mask >> i & 1 == 1)
+                            .map(|lane| LaneOp {
+                                lane,
+                                addr: 0x40 + u64::from(slot) * 8,
+                                // Vary values across lanes so summation
+                                // order is observable.
+                                value: value + f32::from(lane) * 0.03125,
+                            })
+                            .collect();
+                        b.atomic(AtomicInstr::new(ops));
+                    }
+                }
+            }
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("pass-props", KernelKind::GradCompute, warps)
+}
+
+/// The pass subset selected by the low 4 bits of `mask` (one bit per
+/// entry of `Pass::ALL`), canonicalized by `PassPipeline::new`.
+fn subset(mask: u8) -> PassPipeline {
+    PassPipeline::new(
+        Pass::ALL
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, p)| p),
+    )
+}
+
+fn mem_of(trace: &KernelTrace) -> GlobalMemory {
+    let mut mem = GlobalMemory::new();
+    mem.apply_trace(trace);
+    mem
+}
+
+/// Per-address `(lane-op count, Σ|value|)` over the raw trace — the
+/// inputs to the reassociation tolerance below.
+fn contribs(trace: &KernelTrace) -> HashMap<u64, (u64, f64)> {
+    let mut m: HashMap<u64, (u64, f64)> = HashMap::new();
+    for warp in trace.warps() {
+        for instr in &warp.instrs {
+            if let Instr::Atomic(b) | Instr::AtomRed(b) = instr {
+                for param in &b.params {
+                    for op in param.ops() {
+                        let e = m.entry(op.addr).or_insert((0, 0.0));
+                        e.0 += 1;
+                        e.1 += f64::from(op.value.abs());
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The conformance oracle's reassociation bound (see
+/// `crates/conformance/src/oracle.rs::tolerance`): summing `n` f32
+/// values in any order stays within `(n + 4)·ε·max(Σ|v|, 1)` of the
+/// f64 reference.
+fn tolerance(n: u64, abs_sum: f64) -> f64 {
+    (n as f64 + 4.0) * f64::from(f32::EPSILON) * abs_sum.max(1.0)
+}
+
+/// Asserts `got`'s memory image matches the raw trace's f64 reference
+/// within the per-address reassociation tolerance (scaled by `slack`
+/// to cover repeated coalescing in multi-pass sequences).
+fn assert_functional(
+    raw: &KernelTrace,
+    got: &KernelTrace,
+    slack: f64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let reference = mem_of(raw);
+    let piped = mem_of(got);
+    let weights = contribs(raw);
+    for (addr, (n, abs_sum)) in &weights {
+        let diff = (reference.read_f64(*addr) - piped.read_f64(*addr)).abs();
+        let tol = slack * tolerance(*n, *abs_sum);
+        prop_assert!(
+            diff <= tol,
+            "addr {addr:#x}: diff {diff} exceeds tolerance {tol}"
+        );
+    }
+    // No invented gradient words: every address the output touches was
+    // touched by the input.
+    for (addr, _) in piped.iter() {
+        prop_assert!(
+            weights.contains_key(&addr),
+            "pass invented address {addr:#x}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Running any pipeline twice equals running it once, and the
+    /// second run is a guaranteed no-op (`Cow::Borrowed`).
+    #[test]
+    fn pipeline_is_idempotent(warps in arb_warps(), mask in 0u8..16) {
+        let t = build_trace(&warps);
+        let p = subset(mask);
+        let (once, _) = p.run(&t);
+        let (twice, stats) = p.run(&once);
+        prop_assert_eq!(twice.as_ref(), once.as_ref());
+        prop_assert!(
+            matches!(twice, Cow::Borrowed(_)),
+            "second run must not rebuild"
+        );
+        prop_assert!(
+            stats.iter().all(|(_, s)| s.is_noop()),
+            "second run must report all-zero stats"
+        );
+    }
+
+    /// The satellite's named case: fusing FMAs before or after
+    /// dead-lane elimination never changes the functional result.
+    /// Neither pass touches a live lane value, so the memory images
+    /// are *exactly* equal — and the structural totals (issue slots,
+    /// atomic requests) agree too, even though the instruction lists
+    /// may differ (fma merges compute runs that dead-lane leaves
+    /// adjacent-but-split).
+    #[test]
+    fn fma_and_dead_lane_commute_functionally(warps in arb_warps()) {
+        let t = build_trace(&warps);
+        let fd = {
+            let f = Pass::FmaFusion.apply(&t);
+            Pass::DeadLaneElim.apply(f.as_ref()).into_owned()
+        };
+        let df = {
+            let d = Pass::DeadLaneElim.apply(&t);
+            Pass::FmaFusion.apply(d.as_ref()).into_owned()
+        };
+        prop_assert_eq!(mem_of(&fd).max_abs_diff(&mem_of(&df)), 0.0);
+        prop_assert_eq!(mem_of(&fd).max_abs_diff(&mem_of(&t)), 0.0);
+        prop_assert_eq!(fd.total_issue_slots(), df.total_issue_slots());
+        prop_assert_eq!(fd.total_atomic_requests(), df.total_atomic_requests());
+        prop_assert_eq!(
+            fd.warps().len(),
+            df.warps().len(),
+            "only dead-lane drops warps, and it drops the same ones"
+        );
+    }
+
+    /// Any sequence of passes, in any order and with repeats, preserves
+    /// the functional memory image within the reassociation tolerance,
+    /// and never grows the trace's issue slots or atomic requests.
+    #[test]
+    fn arbitrary_pass_sequences_preserve_semantics(
+        warps in arb_warps(),
+        seq in proptest::collection::vec(arb_pass(), 0..6),
+    ) {
+        let t = build_trace(&warps);
+        let mut cur = t.clone();
+        for pass in &seq {
+            let next = pass.apply(&cur).into_owned();
+            prop_assert!(
+                next.total_issue_slots() <= cur.total_issue_slots(),
+                "{} grew issue slots",
+                pass.name()
+            );
+            prop_assert!(
+                next.total_atomic_requests() <= cur.total_atomic_requests(),
+                "{} grew atomic requests",
+                pass.name()
+            );
+            cur = next;
+        }
+        // Slack 4: each coalesce application resums in f32, and the
+        // sequence may coalesce more than once.
+        assert_functional(&t, &cur, 4.0)?;
+        // The canonical pipeline over the same *set* lands in the same
+        // tolerance band.
+        let canonical = PassPipeline::new(seq.iter().copied());
+        assert_functional(&t, canonical.apply(&t).as_ref(), 4.0)?;
+    }
+
+    /// Per-pass statistics telescope: summed across a pipeline, the
+    /// structural fields equal the whole-trace deltas, and each pass's
+    /// event counters account for its structural claims.
+    #[test]
+    fn stats_telescope_with_trace_deltas(warps in arb_warps(), mask in 0u8..16) {
+        let t = build_trace(&warps);
+        let p = subset(mask);
+        let (out, stats) = p.run(&t);
+        let mut total = PassStats::default();
+        for (_, s) in &stats {
+            total.absorb(s);
+        }
+        prop_assert_eq!(
+            total.issue_slots_removed,
+            t.total_issue_slots() - out.total_issue_slots()
+        );
+        prop_assert_eq!(
+            total.lane_ops_removed,
+            t.total_atomic_requests() - out.total_atomic_requests()
+        );
+        prop_assert_eq!(
+            total.warps_removed,
+            (t.warps().len() - out.warps().len()) as u64
+        );
+        // Instruction-entry counts are not monotone (fma splits an
+        // `Fp32×n` entry into `Ffma + Fp32`), so per-pass
+        // `instrs_removed` saturates at zero and the sum bounds the
+        // real delta from above.
+        let instrs = |k: &KernelTrace| -> u64 {
+            k.warps().iter().map(|w| w.instrs.len() as u64).sum()
+        };
+        prop_assert!(
+            i128::from(total.instrs_removed) >= i128::from(instrs(&t)) - i128::from(instrs(&out))
+        );
+
+        // Event counters vs structural claims, per pass. Every bundle
+        // the generator emits has exactly one parameter (one issue
+        // slot), which the coalesce merge preserves — so each event
+        // maps to a known slot count.
+        for (pass, s) in &stats {
+            match pass {
+                Pass::DeadLaneElim => {
+                    prop_assert_eq!(s.issue_slots_removed, s.params_removed);
+                    prop_assert_eq!(s.lane_ops_removed, 0);
+                }
+                Pass::LoadHoist => {
+                    prop_assert_eq!(s.instrs_removed, s.loads_hoisted);
+                    prop_assert_eq!(s.issue_slots_removed, s.loads_hoisted);
+                    prop_assert_eq!(s.lane_ops_removed, 0);
+                }
+                Pass::AtomicCoalesce => {
+                    prop_assert_eq!(s.issue_slots_removed, s.atomics_coalesced);
+                }
+                Pass::FmaFusion => {
+                    prop_assert_eq!(s.issue_slots_removed, s.fma_fused);
+                    prop_assert_eq!(s.lane_ops_removed, 0);
+                    prop_assert_eq!(s.warps_removed, 0);
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use arc_core::passes::PassPipeline;
 use arc_core::technique::Technique;
 use arc_core::BalanceThreshold;
 use gpu_sim::telemetry::TelemetryConfig;
@@ -231,6 +232,9 @@ fn sweep(dir: &str, scale: f64, jobs: usize, daemon_sock: Option<&str>) -> ExitC
                 rewrite: true,
                 telemetry: Some(telemetry.clone()),
                 want_chrome: true,
+                // The sweep is a byte-compared CI fixture: always
+                // pass-free so its output never depends on ARC_PASSES.
+                passes: PassPipeline::empty(),
             })
             .collect();
         match client.batch(wire) {
@@ -253,6 +257,7 @@ fn sweep(dir: &str, scale: f64, jobs: usize, daemon_sock: Option<&str>) -> ExitC
                 rewrite: true,
                 telemetry: Some(telemetry.clone()),
                 want_chrome: true,
+                passes: PassPipeline::empty(),
             };
             exec::run_cell_with_digest(Some(&store), &req, &EngineOpts::default(), &digest)
                 .map(|r| render_row(id, technique, &r))

@@ -118,6 +118,7 @@ impl Shared {
             rewrite: cell.rewrite,
             telemetry: cell.telemetry.clone(),
             want_chrome: cell.want_chrome,
+            passes: cell.passes.clone(),
         };
         let digest = trace_digest(&req.trace);
         // Dedup on the *request identity*: the store key plus the

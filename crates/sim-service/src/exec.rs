@@ -8,7 +8,8 @@
 use std::borrow::Cow;
 use std::sync::Arc;
 
-use arc_core::technique::Technique;
+use arc_core::passes::PassPipeline;
+use arc_core::technique::{Technique, TraceTransform};
 use gpu_sim::telemetry::{KernelTelemetry, TelemetryConfig};
 use gpu_sim::{EpochMode, GpuConfig, KernelReport, SimError, Simulator, TechniquePath};
 use warp_trace::KernelTrace;
@@ -37,6 +38,11 @@ pub struct SimRequest {
     /// Also produce the `chrome://tracing` export (requires
     /// `telemetry`).
     pub want_chrome: bool,
+    /// Optimizer pass pipeline applied to the trace *before* any
+    /// technique rewrite (`ARC_PASSES`). Part of the store key; the
+    /// empty pipeline keys and simulates exactly like a build without
+    /// passes.
+    pub passes: PassPipeline,
 }
 
 /// Engine execution knobs. These never change results (pinned by the
@@ -77,6 +83,7 @@ pub fn request_key(req: &SimRequest, trace: &Digest) -> Digest {
         req.rewrite,
         req.telemetry.as_ref(),
         trace,
+        &req.passes,
     )
 }
 
@@ -137,10 +144,14 @@ pub fn run_cell_with_digest(
     if let Some(e) = opts.epoch {
         sim = sim.with_epoch(e);
     }
+    let piped: Cow<'_, KernelTrace> = req.passes.apply(&req.trace);
     let prepared: Cow<'_, KernelTrace> = if req.rewrite {
-        req.technique.prepare_cow(&req.trace)
+        match req.technique.prepare_cow(&piped) {
+            Cow::Borrowed(_) => piped,
+            Cow::Owned(t) => Cow::Owned(t),
+        }
     } else {
-        Cow::Borrowed(&*req.trace)
+        piped
     };
     let (report, telemetry) = match &req.telemetry {
         Some(tcfg) => {

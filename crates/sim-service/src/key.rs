@@ -10,7 +10,8 @@
 //!        ‖ seg(canonical Technique JSON)
 //!        ‖ seg("rewritten" | "raw")
 //!        ‖ seg(canonical TelemetryConfig JSON)   (or seg("none"))
-//!        ‖ seg(trace digest bytes) )
+//!        ‖ seg(trace digest bytes)
+//!        ‖ seg(pass-pipeline key)                (omitted when empty) )
 //! ```
 //!
 //! where `seg(x)` is `u64_le(len(x)) ‖ x` — the length prefixes make the
@@ -27,8 +28,19 @@
 //! in would shatter the cache across machines for no correctness gain.
 //! The telemetry configuration *is* keyed: it changes the telemetry and
 //! chrome-trace bytes stored alongside the report.
+//!
+//! The `ARC_PASSES` optimizer pipeline (`arc_core::passes`) is keyed
+//! too — unlike the engine knobs, passes rewrite the trace the
+//! simulator sees, so results legitimately differ per pass set. The
+//! segment is appended *only* for a non-empty pipeline, which keeps
+//! every pre-pipeline key (and every on-disk store populated before
+//! passes existed) byte-identical for default-off runs. This stays
+//! injective: the trace-digest segment before it is fixed-length
+//! (8-byte prefix + 32-byte digest), so a keyless stream can never
+//! alias a stream that carries the extra segment.
 
 use crate::hash::{Blake2s, Digest};
+use arc_core::passes::PassPipeline;
 use arc_core::technique::Technique;
 use gpu_sim::telemetry::TelemetryConfig;
 use gpu_sim::GpuConfig;
@@ -60,7 +72,10 @@ pub fn trace_digest(trace: &KernelTrace) -> Digest {
 /// trace) produced under `cfg`. `rewrite` says whether the technique's
 /// trace transform is applied before simulating (true for gradcomp
 /// kernels, false for forward/loss kernels, which run unrewritten on
-/// the technique's hardware path — see `run_iteration_with`).
+/// the technique's hardware path — see `run_iteration_with`). `passes`
+/// is the optimizer pipeline applied to the trace before any technique
+/// rewrite; an empty pipeline keys identically to a build without the
+/// pipeline (see the module docs for why that stays injective).
 pub fn store_key(
     sim_version: &str,
     config: &GpuConfig,
@@ -68,6 +83,7 @@ pub fn store_key(
     rewrite: bool,
     telemetry: Option<&TelemetryConfig>,
     trace: &Digest,
+    passes: &PassPipeline,
 ) -> Digest {
     let mut h = Blake2s::new();
     seg(&mut h, b"arc-store-key-v1");
@@ -85,6 +101,9 @@ pub fn store_key(
         None => seg(&mut h, b"none"),
     }
     seg(&mut h, &trace.0);
+    if !passes.is_empty() {
+        seg(&mut h, passes.key().as_bytes());
+    }
     h.finalize()
 }
 
@@ -106,27 +125,28 @@ mod tests {
         cfg2.num_sms += 1;
         let t = trace_digest(&tiny_trace("a"));
         let t2 = trace_digest(&tiny_trace("b"));
-        let base = store_key("v1", &cfg, Technique::Baseline, true, None, &t);
+        let none = PassPipeline::empty();
+        let base = store_key("v1", &cfg, Technique::Baseline, true, None, &t, &none);
         // Every input moves the key.
         assert_ne!(
             base,
-            store_key("v2", &cfg, Technique::Baseline, true, None, &t)
+            store_key("v2", &cfg, Technique::Baseline, true, None, &t, &none)
         );
         assert_ne!(
             base,
-            store_key("v1", &cfg2, Technique::Baseline, true, None, &t)
+            store_key("v1", &cfg2, Technique::Baseline, true, None, &t, &none)
         );
         assert_ne!(
             base,
-            store_key("v1", &cfg, Technique::ArcHw, true, None, &t)
+            store_key("v1", &cfg, Technique::ArcHw, true, None, &t, &none)
         );
         assert_ne!(
             base,
-            store_key("v1", &cfg, Technique::Baseline, false, None, &t)
+            store_key("v1", &cfg, Technique::Baseline, false, None, &t, &none)
         );
         assert_ne!(
             base,
-            store_key("v1", &cfg, Technique::Baseline, true, None, &t2)
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t2, &none)
         );
         assert_ne!(
             base,
@@ -136,7 +156,8 @@ mod tests {
                 Technique::Baseline,
                 true,
                 Some(&TelemetryConfig::every(4)),
-                &t
+                &t,
+                &none
             )
         );
         // Telemetry interval is keyed too.
@@ -147,7 +168,8 @@ mod tests {
                 Technique::Baseline,
                 true,
                 Some(&TelemetryConfig::every(4)),
-                &t
+                &t,
+                &none
             ),
             store_key(
                 "v1",
@@ -155,13 +177,25 @@ mod tests {
                 Technique::Baseline,
                 true,
                 Some(&TelemetryConfig::every(8)),
-                &t
+                &t,
+                &none
             ),
+        );
+        // The pass set is keyed, and distinct sets key distinctly.
+        let all = PassPipeline::all();
+        let one = PassPipeline::parse("coalesce").unwrap();
+        assert_ne!(
+            base,
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t, &all)
+        );
+        assert_ne!(
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t, &one),
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t, &all)
         );
         // And it is deterministic.
         assert_eq!(
             base,
-            store_key("v1", &cfg, Technique::Baseline, true, None, &t)
+            store_key("v1", &cfg, Technique::Baseline, true, None, &t, &none)
         );
     }
 

@@ -19,6 +19,7 @@
 
 use std::io::{self, Read, Write};
 
+use arc_core::passes::PassPipeline;
 use arc_core::technique::Technique;
 use gpu_sim::telemetry::{KernelTelemetry, TelemetryConfig};
 use gpu_sim::{GpuConfig, KernelReport};
@@ -47,6 +48,11 @@ pub struct WireCell {
     pub telemetry: Option<TelemetryConfig>,
     /// Also render the chrome-trace export.
     pub want_chrome: bool,
+    /// Optimizer pass pipeline applied before the technique rewrite.
+    /// Defaults to empty so frames from pre-pipeline clients still
+    /// parse (and mean exactly what they used to).
+    #[serde(default)]
+    pub passes: PassPipeline,
 }
 
 /// A request frame.

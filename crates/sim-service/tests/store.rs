@@ -6,13 +6,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
+use arc_core::passes::PassPipeline;
 use arc_core::technique::Technique;
 use gpu_sim::telemetry::TelemetryConfig;
 use gpu_sim::GpuConfig;
 use sim_service::{
     daemon, run_cell, trace_digest, DaemonClient, EngineOpts, ResultStore, SimRequest, WireCell,
 };
-use warp_trace::KernelTrace;
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -37,6 +38,28 @@ fn gradcomp_trace(scale: f64) -> Arc<KernelTrace> {
     )
 }
 
+/// A hot-address storm whose repeated same-address atomics the
+/// `coalesce` pass merges, so `ARC_PASSES=all` visibly shortens the
+/// simulated kernel (a tiny gradcomp slice can round-trip to the same
+/// cycle count and make the liveness half of the test vacuous).
+fn storm_trace(warps: usize, atomics: usize) -> Arc<KernelTrace> {
+    let w = (0..warps)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            for _ in 0..atomics {
+                b.compute_fp32(1)
+                    .atomic(AtomicInstr::same_address(0x100, &[0.5; 32]));
+            }
+            b.finish()
+        })
+        .collect();
+    Arc::new(KernelTrace::new(
+        "store-hot-storm",
+        KernelKind::GradCompute,
+        w,
+    ))
+}
+
 fn request(trace: &Arc<KernelTrace>, technique: Technique) -> SimRequest {
     SimRequest {
         config: GpuConfig::tiny(),
@@ -45,6 +68,7 @@ fn request(trace: &Arc<KernelTrace>, technique: Technique) -> SimRequest {
         rewrite: true,
         telemetry: Some(TelemetryConfig::every(16)),
         want_chrome: true,
+        passes: PassPipeline::empty(),
     }
 }
 
@@ -77,6 +101,45 @@ fn warm_hit_is_byte_identical_to_cold_run() {
     let stats = store.stats();
     assert_eq!(stats.hits, 1);
     assert_eq!(stats.puts, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pass_sets_key_separate_entries_and_round_trip() {
+    let dir = scratch_dir("passes");
+    let store = ResultStore::open(&dir).unwrap();
+    let trace = storm_trace(8, 6);
+    let opts = EngineOpts::default();
+
+    let mut plain = request(&trace, Technique::Baseline);
+    plain.telemetry = None;
+    plain.want_chrome = false;
+    let mut piped = plain.clone();
+    piped.passes = PassPipeline::all();
+
+    // Distinct pass sets never share a store entry.
+    let digest = trace_digest(&trace);
+    assert_ne!(
+        sim_service::exec::request_key(&plain, &digest),
+        sim_service::exec::request_key(&piped, &digest)
+    );
+
+    let plain_cold = run_cell(Some(&store), &plain, &opts).unwrap();
+    let piped_cold = run_cell(Some(&store), &piped, &opts).unwrap();
+    assert!(!plain_cold.cached && !piped_cold.cached);
+    assert_eq!(store.stats().puts, 2, "two entries, one per pass set");
+
+    // Warm hits are byte-identical to their own cold runs — and the
+    // pass pipeline really changed the simulated result.
+    let plain_warm = run_cell(Some(&store), &plain, &opts).unwrap();
+    let piped_warm = run_cell(Some(&store), &piped, &opts).unwrap();
+    assert!(plain_warm.cached && piped_warm.cached);
+    assert_eq!(result_bytes(&plain_cold), result_bytes(&plain_warm));
+    assert_eq!(result_bytes(&piped_cold), result_bytes(&piped_warm));
+    assert_ne!(
+        plain_cold.report.cycles, piped_cold.report.cycles,
+        "ARC_PASSES=all should shorten the simulated storm kernel"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -246,6 +309,7 @@ fn daemon_dedup_delivers_identical_bytes_to_concurrent_clients() {
         rewrite: true,
         telemetry: Some(TelemetryConfig::every(16)),
         want_chrome: true,
+        passes: PassPipeline::empty(),
     };
 
     let n = 8;

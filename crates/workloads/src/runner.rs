@@ -7,6 +7,8 @@
 
 use warp_trace::KernelTrace;
 
+use arc_core::passes::PassPipeline;
+use arc_core::technique::TraceTransform;
 use gpu_sim::{
     GpuConfig, IterationReport, KernelReport, KernelTelemetry, SimError, Simulator, TechniquePath,
     TelemetryConfig,
@@ -80,10 +82,30 @@ pub fn run_iteration_with(
     technique: Technique,
     traces: &IterationTraces,
 ) -> Result<IterationReport, SimError> {
+    run_iteration_piped(sim, technique, traces, &PassPipeline::empty())
+}
+
+/// [`run_iteration_with`] with an optimizer pass pipeline applied to
+/// every kernel before simulation (and before the gradcomp rewrite).
+/// Passes run on all three kernels — the same contract as the
+/// sim-service executor, which applies `SimRequest::passes` to each
+/// cell's trace whether or not the cell asks for a rewrite — so the
+/// engine and service paths stay byte-identical under `ARC_PASSES`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_iteration_piped(
+    sim: &Simulator,
+    technique: Technique,
+    traces: &IterationTraces,
+    passes: &PassPipeline,
+) -> Result<IterationReport, SimError> {
+    let gradcomp = passes.apply(&traces.gradcomp);
     let kernels = vec![
-        sim.run(&traces.forward)?,
-        sim.run(&traces.loss)?,
-        sim.run(&technique.prepare_cow(&traces.gradcomp))?,
+        sim.run(&passes.apply(&traces.forward))?,
+        sim.run(&passes.apply(&traces.loss))?,
+        sim.run(&technique.prepare_cow(&gradcomp))?,
     ];
     Ok(IterationReport { kernels })
 }

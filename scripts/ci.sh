@@ -17,9 +17,15 @@
 #                grid runs cold then warm against a temp store; stdout
 #                must be byte-identical, the warm pass must be all hits
 #                and >= 5x faster
+#   passes       trace-IR optimizer pipeline: the pass-equivalence
+#                conformance subset, plus a determinism matrix cell with
+#                ARC_PASSES=all (byte-identical across host parallelism,
+#                observably different from the baseline) and the
+#                ARC_PASSES-unset / ARC_PASSES=none default-off pins
 #
-# `determinism` and `store` need release binaries and build the ones
-# they use, so each step also works standalone on a fresh checkout.
+# `determinism`, `store`, and `passes` need release binaries and build
+# the ones they use, so each step also works standalone on a fresh
+# checkout.
 #
 # rustfmt and clippy are optional components: when a toolchain ships
 # without them the corresponding step warns and is skipped instead of
@@ -193,8 +199,62 @@ step_store() {
     'BEGIN { printf "warm sweep %.3fs vs cold %.3fs: %.1fx\n", w, c, c / w }'
 }
 
+step_passes() {
+  cargo build --release -q -p arc-bench --bin determinism
+
+  echo "== pass-equivalence conformance subset =="
+  # The full battery runs the invariant over every fuzzed trace in the
+  # conformance step; this is the fast targeted slice — one case per
+  # fuzz shape (including loop-heavy) plus a stream sample.
+  CONFORMANCE_SEED=0xA12C2025 cargo test -q -p conformance --test pass_equivalence
+
+  echo "== determinism matrix (ARC_PASSES axis) =="
+  local outdir="$TMPROOT/passes"
+  mkdir -p "$outdir"
+  local plain="$outdir/det_plain.txt"
+  ARC_JOBS=1 ARC_SIM_WORKERS=1 ./target/release/determinism > "$plain"
+
+  # Default-off pins: unset and `none` are byte-identical to each other
+  # and (by construction: the empty pipeline is Cow::Borrowed) to any
+  # build without the pass module at all.
+  local none="$outdir/det_none.txt"
+  ARC_PASSES=none ARC_JOBS=1 ARC_SIM_WORKERS=1 ./target/release/determinism > "$none"
+  if ! cmp -s "$plain" "$none"; then
+    echo "passes matrix FAILED: ARC_PASSES=none diverges from unset:"
+    diff "$plain" "$none" || true
+    exit 1
+  fi
+  echo "ARC_PASSES=none == unset: identical"
+
+  # ARC_PASSES=all is deterministic in itself across host parallelism.
+  local baseline="$outdir/det_all_1_1.txt"
+  ARC_PASSES=all ARC_JOBS=1 ARC_SIM_WORKERS=1 ./target/release/determinism > "$baseline"
+  local jobs workers out
+  for jobs in 2 8; do
+    for workers in 1 8; do
+      out="$outdir/det_all_${jobs}_${workers}.txt"
+      ARC_PASSES=all ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers \
+        ./target/release/determinism > "$out"
+      if ! cmp -s "$baseline" "$out"; then
+        echo "passes matrix FAILED: ARC_PASSES=all ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers diverges:"
+        diff "$baseline" "$out" || true
+        exit 1
+      fi
+      echo "ARC_PASSES=all ARC_JOBS=$jobs ARC_SIM_WORKERS=$workers: identical"
+    done
+  done
+
+  # The pipeline must actually do something on these workloads —
+  # identical output would mean the knob is silently dead.
+  if cmp -s "$plain" "$baseline"; then
+    echo "passes matrix FAILED: ARC_PASSES=all output is identical to the baseline"
+    exit 1
+  fi
+  echo "ARC_PASSES=all changes the probe output (pipeline is live)"
+}
+
 usage() {
-  echo "usage: scripts/ci.sh [fmt|clippy|build|doc|test|conformance|determinism|store|all]..." >&2
+  echo "usage: scripts/ci.sh [fmt|clippy|build|doc|test|conformance|determinism|store|passes|all]..." >&2
   exit 2
 }
 
@@ -212,6 +272,7 @@ for s in "${steps[@]}"; do
     conformance) step_conformance ;;
     determinism) step_determinism ;;
     store) step_store ;;
+    passes) step_passes ;;
     all)
       step_fmt
       step_clippy
@@ -221,6 +282,7 @@ for s in "${steps[@]}"; do
       step_conformance
       step_determinism
       step_store
+      step_passes
       ;;
     *) usage ;;
   esac
