@@ -17,8 +17,10 @@
 //! compared against the most recent **gateable** recorded sample with
 //! the same scale, job count, and core count, and the run fails
 //! (exit 1, sample not recorded) if serial throughput dropped by more
-//! than `TOL` (e.g. `0.2` = 20%) at either parallelism level **or** on
-//! any fast-forward workload's FF-on throughput. On a host with more
+//! than `TOL` (e.g. `0.2` = 20%) at either parallelism level, **or** on
+//! any fast-forward workload's FF-on throughput, **or** if any `passes`
+//! workload's pass overhead (`wall_on_s / wall_off_s`) grew by more
+//! than `TOL` over the baseline's ratio. On a host with more
 //! than one core (and more than one worker) the gate additionally
 //! requires `sm_level.speedup > 1.0` — epoch-synchronized SM sharding
 //! must beat serial; on a single-core (or single-job) host the gate is
@@ -41,8 +43,12 @@
 //! Each sample records a `passes` section: the hot-address storm and
 //! the 3D-DR gradient kernel simulated with the trace-IR optimizer
 //! pipeline off and with `ARC_PASSES=all`, recording the
-//! simulated-cycle reduction and both wall-clock times — the
-//! perf-trajectory axis for the optimizer.
+//! simulated-cycle reduction, both wall-clock times, and the pipeline's
+//! own cost (`pass_apply_s`) — the perf-trajectory axis for the
+//! optimizer. A `pass_cache` section runs the full cell grid with
+//! `ARC_PASSES=all` through the harness and records how far its
+//! memoization amortizes the fused traversals (traversal counts come
+//! from `arc_core::passes::trace_traversals`).
 //!
 //! Each sample also measures the persistent result store
 //! (`sim-service`): the cell grid runs cold then warm against a
@@ -115,6 +121,14 @@ struct FastForwardResult {
     ff_on_cycles_per_sec: f64,
     /// FF-off wall-clock over FF-on wall-clock (higher is better).
     ff_speedup: f64,
+    /// SM-cycle steps the active set skipped — the second FF win, which
+    /// `skip_ratio` is blind to (dense storms jump no cycles yet skip
+    /// most lane steps). Zero in samples recorded before the counter.
+    #[serde(default)]
+    lane_steps_skipped: u64,
+    /// `lane_steps_skipped / (cycles_stepped * SMs)`.
+    #[serde(default)]
+    lane_skip_ratio: f64,
 }
 
 impl FastForwardResult {
@@ -128,6 +142,8 @@ impl FastForwardResult {
             ff_off_s,
             ff_on_cycles_per_sec: stats.cycles_simulated as f64 / ff_on_s,
             ff_speedup: ff_off_s / ff_on_s,
+            lane_steps_skipped: stats.lane_steps_skipped,
+            lane_skip_ratio: stats.lane_skip_ratio(),
         }
     }
 }
@@ -177,6 +193,27 @@ struct PassesResult {
     issue_slots_removed: u64,
     wall_off_s: f64,
     wall_on_s: f64,
+    /// Time spent running the pass pipeline itself (included in
+    /// `wall_on_s`); zero in samples recorded before the metric.
+    #[serde(default)]
+    pass_apply_s: f64,
+}
+
+/// Memoized pass application measured over the full cell grid: with
+/// the harness's `PassCache`, the fused traversal runs once per
+/// distinct kernel trace instead of once per cell.
+#[derive(Clone, Serialize, Deserialize)]
+struct PassCacheResult {
+    cells: usize,
+    /// Trace traversals the grid actually performed (one per fused
+    /// `PassPipeline` run; warm cache hits perform none).
+    traversals: u64,
+    /// Traversals the same grid would perform without memoization —
+    /// one fused run per cell.
+    traversals_uncached: u64,
+    /// `traversals_uncached / traversals` (higher = memoization pays).
+    amortization: f64,
+    wall_s: f64,
 }
 
 /// The persistent result store measured cold (every cell simulated and
@@ -238,6 +275,10 @@ struct Sample {
     /// empty in samples recorded before the pipeline existed.
     #[serde(default)]
     passes: Vec<PassesResult>,
+    /// Pass-memoization amortization over the cell grid; `None` in
+    /// samples recorded before the harness pass cache existed.
+    #[serde(default)]
+    pass_cache: Option<PassCacheResult>,
     /// Gating decisions worth preserving next to the numbers they
     /// affected (e.g. "not gated: single-core host").
     #[serde(default)]
@@ -323,6 +364,7 @@ impl LegacySample {
             sm_epoch: None,
             store: None,
             passes: Vec::new(),
+            pass_cache: None,
             notes: Vec::new(),
         }
     }
@@ -452,6 +494,7 @@ fn measure_passes(label: &str, cfg: &GpuConfig, trace: &KernelTrace) -> PassesRe
 
     let start = Instant::now();
     let (piped, stats) = pipeline.run(trace);
+    let pass_apply_s = start.elapsed().as_secs_f64();
     let on = sim.run(&piped).expect("kernel drains");
     let wall_on_s = start.elapsed().as_secs_f64();
 
@@ -464,6 +507,7 @@ fn measure_passes(label: &str, cfg: &GpuConfig, trace: &KernelTrace) -> PassesRe
         issue_slots_removed: stats.iter().map(|(_, s)| s.issue_slots_removed).sum(),
         wall_off_s,
         wall_on_s,
+        pass_apply_s,
     }
 }
 
@@ -594,8 +638,14 @@ fn main() -> ExitCode {
         println!("fast-forward: {label}...");
         let r = measure_ff(label, &cfg, &trace);
         println!(
-            "  skip ratio {:.3} ({} of {} cycles stepped), {:.2}x wall-clock",
-            r.skip_ratio, r.cycles_stepped, r.cycles_simulated, r.ff_speedup
+            "  skip ratio {:.3} ({} of {} cycles stepped), \
+             lane skip ratio {:.3} ({} lane steps skipped), {:.2}x wall-clock",
+            r.skip_ratio,
+            r.cycles_stepped,
+            r.cycles_simulated,
+            r.lane_skip_ratio,
+            r.lane_steps_skipped,
+            r.ff_speedup
         );
         fast_forward.push(r);
     }
@@ -617,6 +667,42 @@ fn main() -> ExitCode {
         );
         passes.push(r);
     }
+
+    // --- Level 4b: pass memoization across the cell grid. -------------
+    // The same 16-cell grid with `ARC_PASSES=all` through a fresh
+    // harness: the pass cache must collapse per-cell pipeline runs to
+    // one fused traversal per distinct kernel trace.
+    let pass_cache = {
+        println!(
+            "pass-cache: {} cells with ARC_PASSES=all ({jobs} jobs)...",
+            cells.len()
+        );
+        let mut h = Harness::new(scale);
+        h.set_jobs(jobs);
+        h.set_passes(PassPipeline::all());
+        h.trace_batch(&id_strings);
+        let before = arc_core::passes::trace_traversals();
+        let start = Instant::now();
+        h.gradcomp_batch(&cells);
+        let wall_s = start.elapsed().as_secs_f64();
+        let traversals = arc_core::passes::trace_traversals() - before;
+        let traversals_uncached = cells.len() as u64;
+        let r = PassCacheResult {
+            cells: cells.len(),
+            traversals,
+            traversals_uncached,
+            amortization: traversals_uncached as f64 / traversals.max(1) as f64,
+            wall_s,
+        };
+        println!(
+            "  {} traversals for {} cells ({:.1}x amortization, {} memoized traces)",
+            r.traversals,
+            r.cells,
+            r.amortization,
+            h.pass_cache_len()
+        );
+        r
+    };
 
     // --- Level 5: the persistent result store (cold vs warm). ---------
     let store_dir =
@@ -685,6 +771,7 @@ fn main() -> ExitCode {
         sm_epoch: Some(EpochResult::new(&sm_stats)),
         store: Some(store),
         passes,
+        pass_cache: Some(pass_cache),
         notes: Vec::new(),
     };
     // A parallelism speedup measured on a single core (or with a single
@@ -771,6 +858,31 @@ fn main() -> ExitCode {
                             regressed = true;
                         }
                     }
+                    // Pass-overhead gate: running the optimizer must not
+                    // get relatively more expensive — wall_on_s/wall_off_s
+                    // per workload must stay within tolerance of the
+                    // baseline's ratio. Labels only on one side (migrated
+                    // pre-pipeline baselines) are skipped.
+                    for new in &sample.passes {
+                        let Some(old) = prev.passes.iter().find(|o| o.label == new.label) else {
+                            continue;
+                        };
+                        let new_overhead = new.wall_on_s / new.wall_off_s;
+                        let old_overhead = old.wall_on_s / old.wall_off_s;
+                        let ceiling = old_overhead * (1.0 + tol);
+                        println!(
+                            "gate: passes {} overhead {:.2}x vs baseline {:.2}x \
+                         ({:+.1}%, ceiling {:.2}x)",
+                            new.label,
+                            new_overhead,
+                            old_overhead,
+                            100.0 * (new_overhead / old_overhead - 1.0),
+                            ceiling
+                        );
+                        if new_overhead > ceiling {
+                            regressed = true;
+                        }
+                    }
                     if regressed {
                         eprintln!(
                             "gate: FAIL — throughput regressed more than {:.0}%; \
@@ -817,6 +929,7 @@ mod tests {
             sm_epoch: None,
             store: None,
             passes: Vec::new(),
+            pass_cache: None,
             notes,
         }
     }

@@ -47,11 +47,14 @@ fn main() {
                 r.counters.atomic_stall_cycles
             );
             println!(
-                "{:10} stepped={:8} skip={:4.2} epochs={:6} epoch_cycles={:8} \
-                 mean_len={:5.1} max_len={:3} waits_avoided={:8} boundary_flits={}",
+                "{:10} stepped={:8} skip={:4.2} lane_skip={:4.2} lane_skipped={:10} \
+                 epochs={:6} epoch_cycles={:8} mean_len={:5.1} max_len={:3} \
+                 waits_avoided={:8} boundary_flits={}",
                 "",
                 engine.cycles_stepped,
                 engine.skip_ratio(),
+                engine.lane_skip_ratio(),
+                engine.lane_steps_skipped,
                 engine.epochs,
                 engine.epoch_cycles,
                 engine.mean_epoch_len(),

@@ -3,8 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use arc_core::passes::PassPipeline;
-use arc_core::technique::TraceTransform;
+use arc_core::passes::{PassCache, PassPipeline};
 use arc_workloads::{all_specs, IterationTraces, Technique, TechniquePath};
 use gpu_sim::{
     par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, Simulator,
@@ -58,6 +57,12 @@ pub struct Harness {
     daemon: Option<Arc<DaemonClient>>,
     service_traces: HashMap<(WorkloadId, KernelSel), (Arc<KernelTrace>, Digest)>,
     passes: PassPipeline,
+    /// Memoized optimized traces, keyed `workload-id/kernel`: across
+    /// the full (config × technique) grid each kernel trace pays for
+    /// the fused pass traversal once; every other cell gets the cached
+    /// `Arc`. The stored pipeline acts as the cache generation, so
+    /// [`Harness::set_passes`] invalidation is automatic.
+    pass_cache: PassCache,
 }
 
 /// A simulation cell: one (config, technique, workload) point.
@@ -106,8 +111,15 @@ impl Interner {
 }
 
 /// A cache miss prepared for the job pool: its key plus the shared
-/// simulator and traces it runs on.
-type PreparedCell = (CacheKey, Arc<Simulator>, Technique, Arc<IterationTraces>);
+/// simulator and traces it runs on, and the workload id (the pass-cache
+/// key prefix).
+type PreparedCell = (
+    CacheKey,
+    Arc<Simulator>,
+    Technique,
+    Arc<IterationTraces>,
+    String,
+);
 
 /// Which kernel of an iteration a service-backend request targets.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -140,6 +152,24 @@ fn path_technique(path: AtomicPath) -> Technique {
         AtomicPath::LabIdeal => Technique::LabIdeal,
         AtomicPath::Phi => Technique::Phi,
     }
+}
+
+/// Memoized pass application (see [`Harness::optimized`]); free
+/// function so the batch closures can call it while borrowing only the
+/// cache and pipeline fields. The cold path fans the fused traversal's
+/// per-warp work over [`par_map`] when `jobs > 1`.
+fn optimize_cached(
+    cache: &PassCache,
+    passes: &PassPipeline,
+    id: &str,
+    kernel: &str,
+    trace: &KernelTrace,
+    jobs: usize,
+) -> Arc<KernelTrace> {
+    let key = format!("{id}/{kernel}");
+    cache.apply_with(passes, &key, trace, |p, t| {
+        gpu_sim::apply_passes(p, t, jobs).0.into_owned()
+    })
 }
 
 fn build_traces(scale: f64, id: &str) -> IterationTraces {
@@ -191,6 +221,7 @@ impl Harness {
             daemon: None,
             service_traces: HashMap::new(),
             passes,
+            pass_cache: PassCache::new(),
         }
     }
 
@@ -203,6 +234,9 @@ impl Harness {
     /// construction). The report caches are keyed by cell only, so
     /// changing the pipeline mid-flight drops anything already cached
     /// rather than serving results computed under the old pipeline.
+    /// The memoized optimized traces invalidate themselves: the pass
+    /// cache stores the pipeline it was filled under and clears on the
+    /// first apply with a different one.
     pub fn set_passes(&mut self, passes: PassPipeline) {
         if passes != self.passes {
             self.gradcomp_cache.clear();
@@ -439,6 +473,29 @@ impl Harness {
         )
     }
 
+    /// Memoized pass application for one kernel of a workload: the
+    /// fused traversal runs once per (pipeline, workload, kernel) and
+    /// every later cell sharing the kernel reuses the cached trace
+    /// (pointer-identical `Arc` — the `pass-equivalence` conformance
+    /// invariant pins it). `jobs` sizes the cold-path warp fan-out;
+    /// the batch paths pass 1 because they already parallelize at cell
+    /// granularity.
+    fn optimized(
+        &self,
+        id: &str,
+        kernel: &str,
+        trace: &KernelTrace,
+        jobs: usize,
+    ) -> Arc<KernelTrace> {
+        optimize_cached(&self.pass_cache, &self.passes, id, kernel, trace, jobs)
+    }
+
+    /// The number of distinct kernel traces whose optimized form is
+    /// currently memoized (observability for tests and perf_smoke).
+    pub fn pass_cache_len(&self) -> usize {
+        self.pass_cache.len()
+    }
+
     fn sim_for(&mut self, cfg: &GpuConfig, path: AtomicPath) -> Arc<Simulator> {
         let key = (ConfigId(self.config_names.intern(&cfg.name)), path);
         if let Some(sim) = self.sims.get(&key) {
@@ -467,7 +524,7 @@ impl Harness {
         } else {
             let traces = self.traces_arc(id);
             let sim = self.sim_for(cfg, technique.path());
-            let piped = self.passes.apply(&traces.gradcomp);
+            let piped = self.optimized(id, "gradcomp", &traces.gradcomp, self.jobs);
             sim.run(&technique.prepare_cow(&piped))
                 .expect("kernel must drain")
         };
@@ -504,7 +561,7 @@ impl Harness {
         } else {
             let traces = self.traces_arc(id);
             let sim = self.telemetry_sim(cfg, technique.path());
-            let piped = self.passes.apply(&traces.gradcomp);
+            let piped = self.optimized(id, "gradcomp", &traces.gradcomp, self.jobs);
             let (report, tel) = sim
                 .run_with_telemetry(&technique.prepare_cow(&piped))
                 .expect("kernel must drain");
@@ -554,11 +611,12 @@ impl Harness {
         for ((cfg, technique, id), key) in misses.iter().zip(&keys) {
             let sim = Arc::new(self.telemetry_sim(cfg, technique.path()));
             let traces = Arc::clone(&self.traces[id.as_str()]);
-            todo.push((*key, sim, *technique, traces));
+            todo.push((*key, sim, *technique, traces, id.clone()));
         }
-        let passes = self.passes.clone();
-        let results = par_map(jobs, todo, move |(key, sim, technique, traces)| {
-            let piped = passes.apply(&traces.gradcomp);
+        let cache = &self.pass_cache;
+        let passes = &self.passes;
+        let results = par_map(jobs, todo, move |(key, sim, technique, traces, id)| {
+            let piped = optimize_cached(cache, passes, &id, "gradcomp", &traces.gradcomp, 1);
             let (report, tel) = sim
                 .run_with_telemetry(&technique.prepare_cow(&piped))
                 .expect("kernel must drain");
@@ -640,7 +698,10 @@ impl Harness {
         } else {
             let traces = self.traces_arc(id);
             let sim = self.sim_for(cfg, technique.path());
-            arc_workloads::run_iteration_piped(&sim, technique, &traces, &self.passes)
+            let forward = self.optimized(id, "forward", &traces.forward, self.jobs);
+            let loss = self.optimized(id, "loss", &traces.loss, self.jobs);
+            let gradcomp = self.optimized(id, "gradcomp", &traces.gradcomp, self.jobs);
+            arc_workloads::run_iteration_optimized(&sim, technique, &forward, &loss, &gradcomp)
                 .expect("iteration must drain")
         };
         self.iteration_cache.insert(key, report.clone());
@@ -725,24 +786,30 @@ impl Harness {
         for ((cfg, technique, id), key) in misses.iter().zip(&keys) {
             let sim = self.sim_for(cfg, technique.path());
             let traces = Arc::clone(&self.traces[id.as_str()]);
-            todo.push((*key, sim, *technique, traces));
+            todo.push((*key, sim, *technique, traces, id.clone()));
         }
 
         // Simulate across the pool; inserting in input order keeps the
         // whole operation deterministic regardless of `jobs`.
-        let passes = self.passes.clone();
+        let cache = &self.pass_cache;
+        let passes = &self.passes;
         if iteration {
-            let reports = par_map(jobs, todo, move |(key, sim, technique, traces)| {
-                let report = arc_workloads::run_iteration_piped(&sim, technique, &traces, &passes)
-                    .expect("iteration must drain");
+            let reports = par_map(jobs, todo, move |(key, sim, technique, traces, id)| {
+                let forward = optimize_cached(cache, passes, &id, "forward", &traces.forward, 1);
+                let loss = optimize_cached(cache, passes, &id, "loss", &traces.loss, 1);
+                let gradcomp = optimize_cached(cache, passes, &id, "gradcomp", &traces.gradcomp, 1);
+                let report = arc_workloads::run_iteration_optimized(
+                    &sim, technique, &forward, &loss, &gradcomp,
+                )
+                .expect("iteration must drain");
                 (key, report)
             });
             for (key, report) in reports {
                 self.iteration_cache.insert(key, report);
             }
         } else {
-            let reports = par_map(jobs, todo, move |(key, sim, technique, traces)| {
-                let piped = passes.apply(&traces.gradcomp);
+            let reports = par_map(jobs, todo, move |(key, sim, technique, traces, id)| {
+                let piped = optimize_cached(cache, passes, &id, "gradcomp", &traces.gradcomp, 1);
                 let report = sim
                     .run(&technique.prepare_cow(&piped))
                     .expect("kernel must drain");

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use arc_core::analysis::{baseline_cycles, predicted_hw_speedup};
-use arc_core::passes::{Pass, PassPipeline};
+use arc_core::passes::{Pass, PassCache, PassPipeline};
 use arc_core::technique::TraceTransform;
 use arc_core::{rewrite_kernel_sw, BalanceThreshold, KernelProfile, SwConfig, Technique};
 use gpu_sim::{
@@ -667,6 +667,14 @@ fn store_equivalence_in(
 /// *borrowed* input trace, so a build with the pipeline compiled in but
 /// `ARC_PASSES` unset simulates byte-identically to a build without
 /// it — pinned here by comparing serialized baseline reports.
+///
+/// The invariant also pins the optimizer's fast paths: the fused
+/// single-traversal engine must match the composed per-pass reference
+/// byte-for-byte (trace, stats, and borrow decision) on every subset,
+/// and `PassCache` memoization must be observationally invisible — a
+/// warm hit returns the pointer-identical `Arc`, and simulating the
+/// cached trace matches a fresh optimization's report/telemetry/chrome
+/// bytes for SM worker counts {1, 2, 8}.
 pub fn check_pass_equivalence(
     cfg: &GpuConfig,
     trace: &KernelTrace,
@@ -755,6 +763,77 @@ pub fn check_pass_equivalence(
         return Err(err(
             "empty pipeline changed the serialized baseline report".to_string()
         ));
+    }
+
+    // Fused-vs-composed byte identity: the single-traversal engine
+    // behind `run` must reproduce the composed per-pass reference
+    // exactly for every subset — serialized trace bytes, per-pass
+    // stats, and the borrowed-vs-owned (zero-stat) decision.
+    for pipeline in &subsets {
+        let key = pipeline.key();
+        let (fused, fused_stats) = pipeline.run(trace);
+        let (composed, composed_stats) = pipeline.run_composed(trace);
+        if fused_stats != composed_stats {
+            return Err(err(format!(
+                "[{key}] fused PassStats diverged from the composed reference: \
+                 {fused_stats:?} vs {composed_stats:?}"
+            )));
+        }
+        let fused_borrowed = matches!(fused, std::borrow::Cow::Borrowed(_));
+        let composed_borrowed = matches!(composed, std::borrow::Cow::Borrowed(_));
+        if fused_borrowed != composed_borrowed {
+            return Err(err(format!(
+                "[{key}] fused borrow decision diverged: borrowed {fused_borrowed} \
+                 vs composed {composed_borrowed}"
+            )));
+        }
+        let fused_bytes = serde_json::to_string(fused.as_ref())
+            .map_err(|e| err(format!("serializing fused trace: {e}")))?;
+        let composed_bytes = serde_json::to_string(composed.as_ref())
+            .map_err(|e| err(format!("serializing composed trace: {e}")))?;
+        if fused_bytes != composed_bytes {
+            return Err(err(format!(
+                "[{key}] fused trace bytes diverged from the composed reference"
+            )));
+        }
+    }
+
+    // Memoization: a warm `PassCache` hit must hand back the *same*
+    // `Arc` (pointer equality — no rebuild, however faithful, is
+    // accepted), and simulating the cached trace must be byte-identical
+    // (report, telemetry, chrome trace) to simulating a freshly
+    // optimized one, for any SM worker count.
+    let all = PassPipeline::all();
+    let cache = PassCache::new();
+    let cold = cache.apply(&all, trace.name(), trace);
+    let warm = cache.apply(&all, trace.name(), trace);
+    if !Arc::ptr_eq(&cold, &warm) {
+        return Err(err(
+            "warm pass-cache hit returned a different Arc than the cold fill".to_string(),
+        ));
+    }
+    let fresh = all.apply(trace);
+    for workers in [1usize, 2, 8] {
+        let run_tel = |t: &KernelTrace| {
+            Simulator::new(cfg.clone(), AtomicPath::Baseline)
+                .map_err(|e| fail("sim-construct", format!("{e:?}")))?
+                .with_sm_workers(workers)
+                .with_telemetry(TelemetryConfig::every(4))
+                .run_with_telemetry(t)
+                .map_err(|e| fail("sim-run", format!("{e:?}")))
+        };
+        let (cold_report, cold_tel) = run_tel(&fresh)?;
+        let (warm_report, warm_tel) = run_tel(&warm)?;
+        let cold_chrome = cold_tel.as_ref().map(KernelTelemetry::chrome_trace);
+        let warm_chrome = warm_tel.as_ref().map(KernelTelemetry::chrome_trace);
+        let cold_bytes = cell_bytes(&cold_report, cold_tel.as_ref(), cold_chrome.as_deref())?;
+        let warm_bytes = cell_bytes(&warm_report, warm_tel.as_ref(), warm_chrome.as_deref())?;
+        if cold_bytes != warm_bytes {
+            return Err(err(format!(
+                "cached optimized trace diverged from a fresh optimization \
+                 under {workers} SM workers"
+            )));
+        }
     }
     Ok(())
 }

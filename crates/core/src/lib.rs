@@ -48,7 +48,7 @@ pub mod tuner;
 pub use analysis::{KernelProfile, MachineModel};
 pub use area::AreaModel;
 pub use cccl::rewrite_kernel_cccl;
-pub use passes::{Pass, PassPipeline, PassStats, UnknownPassError};
+pub use passes::{Pass, PassCache, PassPipeline, PassStats, UnknownPassError};
 pub use policy::{BalanceThreshold, GreedyHwScheduler, HwPath, SwPath};
 pub use reduce::{butterfly_reduce, serialized_reduce, ReductionKind};
 pub use sw::{rewrite_kernel_sw, SwAlgorithm, SwConfig, SwCostModel};

@@ -61,11 +61,31 @@
 //! `dead-lane,hoist,coalesce,fma`. The empty pipeline returns
 //! [`Cow::Borrowed`], so default-off runs are byte-identical to a
 //! build without this module.
+//!
+//! # Cost model
+//!
+//! Because every pass is warp-local, [`PassPipeline::run`] *fuses* the
+//! whole pipeline into a single traversal: each warp is carried
+//! through dead-lane → hoist → coalesce → fma before the next warp is
+//! touched, instructions flow between stages as borrow-or-owned items
+//! (pass-throughs move a pointer; only the final surviving stream is
+//! materialized, once), and untouched warps are never deep-compared (a
+//! stage changed a warp iff it fired a rewrite event or changed the
+//! instruction count — see `fuse_warp`). The pre-PR-9 engine — one
+//! full trace rebuild plus one deep equality compare per pass — is
+//! retained as [`PassPipeline::run_composed`], the reference oracle
+//! the property tests and the `pass-equivalence` conformance invariant
+//! pin the fused engine against, byte for byte and stat for stat.
+//! Repeated applications are memoized by [`PassCache`]; cold fills can
+//! fan the per-warp traversal out over a job pool via
+//! [`PassPipeline::run_mapped`] (`gpu_sim::apply_passes`).
 
 use std::borrow::Cow;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use warp_trace::{AtomicBundle, AtomicInstr, ComputeKind, Instr, KernelTrace, LaneOp, WarpTrace};
@@ -136,6 +156,7 @@ impl Pass {
     /// are computed from the traces themselves, so they are consistent
     /// with the trace-length deltas by construction.
     pub fn apply_with_stats<'t>(self, trace: &'t KernelTrace) -> (Cow<'t, KernelTrace>, PassStats) {
+        TRACE_TRAVERSALS.fetch_add(1, Ordering::Relaxed);
         let mut stats = PassStats::default();
         let rewritten = match self {
             Pass::DeadLaneElim => dead_lane_elim(trace, &mut stats),
@@ -340,7 +361,74 @@ impl PassPipeline {
 
     /// Applies every pass in order, returning the transformed trace and
     /// per-pass statistics (one entry per pass, in application order).
+    ///
+    /// This is the fused single-traversal engine: one trace traversal
+    /// regardless of how many passes are enabled, with each output warp
+    /// built at most once. Byte-identical to
+    /// [`PassPipeline::run_composed`], including every [`PassStats`]
+    /// field.
     pub fn run<'t>(
+        &self,
+        trace: &'t KernelTrace,
+    ) -> (Cow<'t, KernelTrace>, Vec<(Pass, PassStats)>) {
+        self.run_mapped(trace, |fuse, n| (0..n).map(fuse).collect())
+    }
+
+    /// The fused traversal with a caller-supplied per-warp mapper, for
+    /// fanning warps out over a job pool (`gpu_sim::apply_passes` maps
+    /// through `par_map` under `ARC_JOBS`). The mapper must call
+    /// `fuse(i)` for every `i in 0..n` and return the results in input
+    /// order; because warps are independent, any execution order (or
+    /// thread count) produces byte-identical output.
+    pub fn run_mapped<'t, M>(
+        &self,
+        trace: &'t KernelTrace,
+        map_warps: M,
+    ) -> (Cow<'t, KernelTrace>, Vec<(Pass, PassStats)>)
+    where
+        M: FnOnce(&(dyn Fn(usize) -> FusedWarp + Sync), usize) -> Vec<FusedWarp>,
+    {
+        if self.passes.is_empty() {
+            return (Cow::Borrowed(trace), Vec::new());
+        }
+        TRACE_TRAVERSALS.fetch_add(1, Ordering::Relaxed);
+        let warps_in = trace.warps();
+        let fuse = |i: usize| fuse_warp(&self.passes, &warps_in[i]);
+        let fused = map_warps(&fuse, warps_in.len());
+        assert_eq!(fused.len(), warps_in.len(), "mapper must cover every warp");
+        // Reduce per-warp accounting in warp order, so totals are
+        // independent of the mapper's execution order.
+        let mut totals = [StageAcc::default(); MAX_PASSES];
+        for fw in &fused {
+            for (t, s) in totals.iter_mut().zip(fw.stages.iter()) {
+                t.absorb(s);
+            }
+        }
+        let stats: Vec<(Pass, PassStats)> = self
+            .passes
+            .iter()
+            .zip(totals.iter())
+            .map(|(&p, t)| (p, t.finish()))
+            .collect();
+        if !totals[..self.passes.len()].iter().any(|t| t.changed) {
+            return (Cow::Borrowed(trace), stats);
+        }
+        let mut warps = Vec::with_capacity(warps_in.len());
+        for (i, fw) in fused.into_iter().enumerate() {
+            match fw.warp {
+                FusedOut::Unchanged => warps.push(warps_in[i].clone()),
+                FusedOut::Dropped => {}
+                FusedOut::Rewritten(w) => warps.push(w),
+            }
+        }
+        (Cow::Owned(rebuild(trace, warps)), stats)
+    }
+
+    /// The pre-fusion reference engine: applies each pass as a separate
+    /// whole-trace rewrite via [`Pass::apply_with_stats`]. Quadratic in
+    /// clones and compares — kept only as the oracle the fused engine
+    /// is property-tested against.
+    pub fn run_composed<'t>(
         &self,
         trace: &'t KernelTrace,
     ) -> (Cow<'t, KernelTrace>, Vec<(Pass, PassStats)>) {
@@ -354,6 +442,106 @@ impl PassPipeline {
             stats.push((pass, s));
         }
         (cur, stats)
+    }
+}
+
+/// Global count of whole-trace optimizer traversals: the fused
+/// [`PassPipeline::run`] costs one per call, while every
+/// [`Pass::apply_with_stats`] (and hence each pass of
+/// [`PassPipeline::run_composed`]) costs one. Monotonic — consumers
+/// (perf_smoke's `pass_traversals` metric) take deltas around a region
+/// of interest.
+pub fn trace_traversals() -> u64 {
+    TRACE_TRAVERSALS.load(Ordering::Relaxed)
+}
+
+static TRACE_TRAVERSALS: AtomicU64 = AtomicU64::new(0);
+
+/// Memoizes optimized traces across repeated [`PassPipeline`] applies.
+///
+/// Entries are keyed by a caller-chosen trace identity (the harness
+/// uses `workload-id/kernel`, unique per kernel trace); the pipeline
+/// acts as the cache generation — applying with a different pipeline
+/// clears every entry, which makes `Harness::set_passes` invalidation
+/// automatic. The warm path (a hit) takes the lock, compares the
+/// pipeline, and clones an `Arc`: no allocation, and pointer-identical
+/// results — both pinned by the counting-allocator test and the
+/// `pass-equivalence` conformance invariant.
+#[derive(Default)]
+pub struct PassCache {
+    inner: Mutex<PassCacheInner>,
+}
+
+#[derive(Default)]
+struct PassCacheInner {
+    pipeline: PassPipeline,
+    entries: HashMap<String, Arc<KernelTrace>>,
+}
+
+impl PassCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PassCache::default()
+    }
+
+    /// Drops every memoized trace.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("pass cache poisoned");
+        inner.entries.clear();
+    }
+
+    /// Number of memoized traces.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("pass cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `pipeline.apply(trace)`, memoized under `key`.
+    pub fn apply(
+        &self,
+        pipeline: &PassPipeline,
+        key: &str,
+        trace: &KernelTrace,
+    ) -> Arc<KernelTrace> {
+        self.apply_with(pipeline, key, trace, |p, t| p.apply(t).into_owned())
+    }
+
+    /// Like [`PassCache::apply`] but with a caller-supplied cold-path
+    /// optimizer, e.g. `gpu_sim::apply_passes` to fan the per-warp
+    /// traversal out over a job pool. The lock is held across the cold
+    /// fill, so concurrent callers of the same key wait for one fill
+    /// instead of duplicating it.
+    pub fn apply_with<F>(
+        &self,
+        pipeline: &PassPipeline,
+        key: &str,
+        trace: &KernelTrace,
+        optimize: F,
+    ) -> Arc<KernelTrace>
+    where
+        F: FnOnce(&PassPipeline, &KernelTrace) -> KernelTrace,
+    {
+        let mut inner = self.inner.lock().expect("pass cache poisoned");
+        if inner.pipeline != *pipeline {
+            inner.pipeline = pipeline.clone();
+            inner.entries.clear();
+        }
+        if let Some(hit) = inner.entries.get(key) {
+            return Arc::clone(hit);
+        }
+        let optimized = Arc::new(optimize(pipeline, trace));
+        inner
+            .entries
+            .insert(key.to_string(), Arc::clone(&optimized));
+        optimized
     }
 }
 
@@ -382,9 +570,267 @@ impl FromStr for PassPipeline {
 }
 
 // ---------------------------------------------------------------------
-// Pass implementations. Each returns a full rebuilt trace; the caller
-// compares against the input to decide borrowed-vs-owned, so these can
-// rebuild unconditionally without risking spurious "changed" results.
+// Fused single-traversal engine. Each warp is carried through every
+// enabled stage before the next warp is touched. Instructions flow
+// between stages as [`SInstr`] — either a borrow of the input warp's
+// instruction or an instruction a stage actually rewrote — so a
+// pass-through costs a pointer move, not a deep clone of its atomic
+// bundles, and the surviving stream is materialized into owned
+// instructions exactly once per changed warp (borrows cloned, rewrites
+// moved). Unchanged warps never allocate an output at all.
+// ---------------------------------------------------------------------
+
+const MAX_PASSES: usize = Pass::ALL.len();
+
+/// Per-warp result of the fused traversal: the rewritten warp (if any)
+/// plus per-stage accounting. Opaque — produced and consumed by
+/// [`PassPipeline::run_mapped`]; parallel mappers just transport it.
+pub struct FusedWarp {
+    warp: FusedOut,
+    stages: [StageAcc; MAX_PASSES],
+}
+
+enum FusedOut {
+    /// No stage changed this warp; the caller reuses the input warp.
+    Unchanged,
+    /// Dead-lane left the warp empty; it vanishes from the output.
+    Dropped,
+    /// At least one stage rewrote the warp.
+    Rewritten(WarpTrace),
+}
+
+/// Accounting for one pass (stage), summed over warps. Mirrors the
+/// whole-trace metric deltas `Pass::apply_with_stats` computes: the
+/// in/out totals telescope per warp because every pass is warp-local.
+#[derive(Copy, Clone, Default)]
+struct StageAcc {
+    changed: bool,
+    in_instrs: u64,
+    out_instrs: u64,
+    in_slots: u64,
+    out_slots: u64,
+    in_reqs: u64,
+    out_reqs: u64,
+    events: PassStats,
+}
+
+impl StageAcc {
+    fn absorb(&mut self, o: &StageAcc) {
+        self.changed |= o.changed;
+        self.in_instrs += o.in_instrs;
+        self.out_instrs += o.out_instrs;
+        self.in_slots += o.in_slots;
+        self.out_slots += o.out_slots;
+        self.in_reqs += o.in_reqs;
+        self.out_reqs += o.out_reqs;
+        self.events.absorb(&o.events);
+    }
+
+    /// Reproduces `Pass::apply_with_stats` semantics exactly: all-zero
+    /// stats when the pass left the whole trace untouched, saturating
+    /// whole-stage metric deltas otherwise.
+    fn finish(&self) -> PassStats {
+        if !self.changed {
+            return PassStats::default();
+        }
+        let mut s = self.events;
+        s.instrs_removed = self.in_instrs.saturating_sub(self.out_instrs);
+        s.issue_slots_removed = self.in_slots.saturating_sub(self.out_slots);
+        s.lane_ops_removed = self.in_reqs.saturating_sub(self.out_reqs);
+        s
+    }
+}
+
+/// The item type a stage transforms. Implemented by [`Instr`] itself
+/// (the composed whole-trace oracle, where every kept item is already
+/// an owned clone) and by [`SInstr`] (the fused engine, where kept
+/// items stay borrowed until the final materialization). Keeping the
+/// stage functions generic over this trait is what lets both engines
+/// share one implementation of every pass's rewrite logic.
+trait FuseItem<'t>: Sized {
+    /// The instruction this item carries.
+    fn instr(&self) -> &Instr;
+    /// Wraps an instruction a stage just created.
+    fn owned(instr: Instr) -> Self;
+    /// Converts into an owned instruction (cloning iff still borrowed).
+    fn materialize(self) -> Instr;
+}
+
+impl<'t> FuseItem<'t> for Instr {
+    fn instr(&self) -> &Instr {
+        self
+    }
+    fn owned(instr: Instr) -> Self {
+        instr
+    }
+    fn materialize(self) -> Instr {
+        self
+    }
+}
+
+/// A streamed instruction inside the fused engine: borrowed from the
+/// input warp until some stage rewrites it.
+enum SInstr<'t> {
+    Borrowed(&'t Instr),
+    Owned(Instr),
+}
+
+impl<'t> FuseItem<'t> for SInstr<'t> {
+    fn instr(&self) -> &Instr {
+        match self {
+            SInstr::Borrowed(i) => i,
+            SInstr::Owned(i) => i,
+        }
+    }
+    fn owned(instr: Instr) -> Self {
+        SInstr::Owned(instr)
+    }
+    fn materialize(self) -> Instr {
+        match self {
+            SInstr::Borrowed(i) => i.clone(),
+            SInstr::Owned(i) => i,
+        }
+    }
+}
+
+fn event_count(s: &PassStats) -> u64 {
+    s.params_removed + s.warps_removed + s.atomics_coalesced + s.loads_hoisted + s.fma_fused
+}
+
+/// (instr count, issue slots, atomic requests) of one instruction
+/// stream.
+fn warp_metrics(instrs: &[Instr]) -> (u64, u64, u64) {
+    stream_metrics(instrs)
+}
+
+/// [`warp_metrics`] over either engine's item type.
+fn stream_metrics<'t, T: FuseItem<'t>>(items: &[T]) -> (u64, u64, u64) {
+    let mut slots = 0u64;
+    let mut reqs = 0u64;
+    for item in items {
+        let i = item.instr();
+        slots += i.issue_slots();
+        if let Some(b) = i.bundle() {
+            reqs += b.total_requests();
+        }
+    }
+    (items.len() as u64, slots, reqs)
+}
+
+/// Carries one warp through every stage of `passes`.
+///
+/// Change detection is exact without any deep compare: a stage changed
+/// the warp iff it fired a rewrite event or changed the instruction
+/// count. (Every event implies a content change; with zero events each
+/// stage emits exactly one identical entry per input entry unless
+/// `push_compute` merged a run or dropped a zero-repeat entry, both of
+/// which shorten the stream.) This is what makes the fused engine
+/// byte-equivalent to the composed reference, whose per-pass zero-stat
+/// rule compares whole traces.
+fn fuse_warp(passes: &[Pass], warp: &WarpTrace) -> FusedWarp {
+    let mut stages = [StageAcc::default(); MAX_PASSES];
+    // The stream ping-pongs between these; after stage `si` it lives in
+    // `bufs[cur]`. Items borrow only from `warp.instrs`, never from the
+    // sibling buffer, so draining one into the other is sound.
+    let mut bufs: [Vec<SInstr<'_>>; 2] = [
+        Vec::with_capacity(warp.instrs.len()),
+        Vec::with_capacity(warp.instrs.len()),
+    ];
+    let mut cur = 0usize;
+    let mut seen: HashSet<u16> = HashSet::new();
+    let mut metrics = warp_metrics(&warp.instrs);
+    for (si, &pass) in passes.iter().enumerate() {
+        let acc = &mut stages[si];
+        acc.in_instrs = metrics.0;
+        acc.in_slots = metrics.1;
+        acc.in_reqs = metrics.2;
+        let before = event_count(&acc.events);
+        let in_len;
+        if si == 0 {
+            in_len = warp.instrs.len();
+            run_stage(
+                pass,
+                warp.instrs.iter().map(SInstr::Borrowed),
+                &mut bufs[0],
+                &mut seen,
+                &mut acc.events,
+            );
+            cur = 0;
+        } else {
+            in_len = bufs[cur].len();
+            let (lo, hi) = bufs.split_at_mut(1);
+            let (input, out) = if cur == 0 {
+                (&mut lo[0], &mut hi[0])
+            } else {
+                (&mut hi[0], &mut lo[0])
+            };
+            // `out` was fully drained two stages ago (or never used).
+            run_stage(pass, input.drain(..), out, &mut seen, &mut acc.events);
+            cur = 1 - cur;
+        }
+        if pass == Pass::DeadLaneElim && bufs[cur].is_empty() {
+            acc.events.warps_removed += 1;
+            acc.changed = true;
+            // Out metrics stay zero; later stages never see this warp,
+            // matching the composed engine where a dropped warp is
+            // absent from every subsequent pass's input.
+            return FusedWarp {
+                warp: FusedOut::Dropped,
+                stages,
+            };
+        }
+        if event_count(&acc.events) > before || bufs[cur].len() != in_len {
+            acc.changed = true;
+            metrics = stream_metrics(&bufs[cur]);
+        }
+        // When unchanged, the stage emitted `input` byte for byte (every
+        // kept item was moved through untouched), so carrying the input
+        // metrics forward is exact.
+        acc.out_instrs = metrics.0;
+        acc.out_slots = metrics.1;
+        acc.out_reqs = metrics.2;
+    }
+    if !stages[..passes.len()].iter().any(|s| s.changed) {
+        return FusedWarp {
+            warp: FusedOut::Unchanged,
+            stages,
+        };
+    }
+    // The single materialization: still-borrowed instructions are
+    // cloned here (once, no matter how many stages they passed
+    // through); rewritten ones are moved.
+    let instrs = std::mem::take(&mut bufs[cur])
+        .into_iter()
+        .map(SInstr::materialize)
+        .collect();
+    FusedWarp {
+        warp: FusedOut::Rewritten(WarpTrace { instrs }),
+        stages,
+    }
+}
+
+/// Dispatches one stage of the fused (or composed) engine.
+fn run_stage<'t, T: FuseItem<'t>>(
+    pass: Pass,
+    input: impl Iterator<Item = T>,
+    out: &mut Vec<T>,
+    seen: &mut HashSet<u16>,
+    ev: &mut PassStats,
+) {
+    match pass {
+        Pass::DeadLaneElim => stage_dead_lane(input, out, ev),
+        Pass::LoadHoist => stage_hoist(input, out, seen, ev),
+        Pass::AtomicCoalesce => stage_coalesce(input, out, ev),
+        Pass::FmaFusion => stage_fma(input, out, ev),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass implementations, shared between both engines as per-warp stage
+// functions (`&[Instr]` in, `Vec<Instr>` out). The composed reference
+// below wraps each stage in a whole-trace rebuild; the caller compares
+// against the input to decide borrowed-vs-owned, so the rebuild can be
+// unconditional without risking spurious "changed" results.
 // ---------------------------------------------------------------------
 
 fn instr_count(trace: &KernelTrace) -> u64 {
@@ -397,65 +843,83 @@ fn rebuild(trace: &KernelTrace, warps: Vec<WarpTrace>) -> KernelTrace {
 
 /// Pushes a compute entry, merging into a trailing run of the same kind
 /// (the same normalization `WarpTraceBuilder::compute` performs).
-fn push_compute(out: &mut Vec<Instr>, kind: ComputeKind, n: u16) {
+fn push_compute<'t, T: FuseItem<'t>>(out: &mut Vec<T>, kind: ComputeKind, n: u16) {
     if n == 0 {
         return;
     }
-    if let Some(Instr::Compute {
-        kind: last_kind,
-        repeat,
-    }) = out.last_mut()
-    {
-        if *last_kind == kind {
-            let total = u32::from(*repeat) + u32::from(n);
-            if total <= u32::from(u16::MAX) {
-                *repeat = total as u16;
-                return;
+    if let Some(last) = out.last_mut() {
+        if let Instr::Compute {
+            kind: last_kind,
+            repeat,
+        } = last.instr()
+        {
+            if *last_kind == kind {
+                let total = u32::from(*repeat) + u32::from(n);
+                if total <= u32::from(u16::MAX) {
+                    *last = T::owned(Instr::Compute {
+                        kind,
+                        repeat: total as u16,
+                    });
+                    return;
+                }
             }
         }
     }
-    out.push(Instr::Compute { kind, repeat: n });
+    out.push(T::owned(Instr::Compute { kind, repeat: n }));
+}
+
+fn stage_dead_lane<'t, T: FuseItem<'t>>(
+    input: impl Iterator<Item = T>,
+    out: &mut Vec<T>,
+    ev: &mut PassStats,
+) {
+    for item in input {
+        match item.instr() {
+            Instr::Atomic(b) | Instr::AtomRed(b) => {
+                if !b.params.iter().any(AtomicInstr::is_empty) {
+                    // Nothing dead: the bundle passes through untouched.
+                    out.push(item);
+                    continue;
+                }
+                let params: Vec<AtomicInstr> = b
+                    .params
+                    .iter()
+                    .filter(|p| {
+                        let dead = p.is_empty();
+                        if dead {
+                            ev.params_removed += 1;
+                        }
+                        !dead
+                    })
+                    .cloned()
+                    .collect();
+                if params.is_empty() {
+                    continue; // the whole bundle was dead
+                }
+                let bundle = AtomicBundle {
+                    params,
+                    uniform_iteration: b.uniform_iteration,
+                };
+                out.push(T::owned(match item.instr() {
+                    Instr::Atomic(_) => Instr::Atomic(bundle),
+                    Instr::AtomRed(_) => Instr::AtomRed(bundle),
+                    Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                        unreachable!("outer match filtered to atomics")
+                    }
+                }));
+            }
+            Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                out.push(item);
+            }
+        }
+    }
 }
 
 fn dead_lane_elim(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
     let mut warps = Vec::with_capacity(trace.warps().len());
     for warp in trace.warps() {
         let mut instrs = Vec::with_capacity(warp.instrs.len());
-        for instr in &warp.instrs {
-            match instr {
-                Instr::Atomic(b) | Instr::AtomRed(b) => {
-                    let params: Vec<AtomicInstr> = b
-                        .params
-                        .iter()
-                        .filter(|p| {
-                            let dead = p.is_empty();
-                            if dead {
-                                stats.params_removed += 1;
-                            }
-                            !dead
-                        })
-                        .cloned()
-                        .collect();
-                    if params.is_empty() {
-                        continue; // the whole bundle was dead
-                    }
-                    let bundle = AtomicBundle {
-                        params,
-                        uniform_iteration: b.uniform_iteration,
-                    };
-                    instrs.push(match instr {
-                        Instr::Atomic(_) => Instr::Atomic(bundle),
-                        Instr::AtomRed(_) => Instr::AtomRed(bundle),
-                        Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
-                            unreachable!("outer match filtered to atomics")
-                        }
-                    });
-                }
-                Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
-                    instrs.push(instr.clone());
-                }
-            }
-        }
+        stage_dead_lane(warp.instrs.iter().cloned(), &mut instrs, stats);
         if instrs.is_empty() {
             stats.warps_removed += 1;
             continue;
@@ -465,33 +929,43 @@ fn dead_lane_elim(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
     rebuild(trace, warps)
 }
 
-fn load_hoist(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
-    let mut warps = Vec::with_capacity(trace.warps().len());
-    for warp in trace.warps() {
-        let mut seen: HashSet<u16> = HashSet::new();
-        let mut instrs = Vec::with_capacity(warp.instrs.len());
-        for instr in &warp.instrs {
-            match instr {
-                Instr::Load { sectors } => {
-                    if seen.contains(sectors) {
-                        stats.loads_hoisted += 1;
-                    } else {
-                        seen.insert(*sectors);
-                        instrs.push(instr.clone());
-                    }
-                }
-                Instr::Store { .. } => {
-                    // A store may overwrite what any prior load read.
-                    seen.clear();
-                    instrs.push(instr.clone());
-                }
-                // Atomics target the write-only gradient accumulators,
-                // never a load source, so they keep the span open.
-                Instr::Compute { .. } | Instr::Atomic(_) | Instr::AtomRed(_) => {
-                    instrs.push(instr.clone());
+fn stage_hoist<'t, T: FuseItem<'t>>(
+    input: impl Iterator<Item = T>,
+    out: &mut Vec<T>,
+    seen: &mut HashSet<u16>,
+    ev: &mut PassStats,
+) {
+    seen.clear();
+    for item in input {
+        match item.instr() {
+            Instr::Load { sectors } => {
+                if seen.contains(sectors) {
+                    ev.loads_hoisted += 1;
+                } else {
+                    seen.insert(*sectors);
+                    out.push(item);
                 }
             }
+            Instr::Store { .. } => {
+                // A store may overwrite what any prior load read.
+                seen.clear();
+                out.push(item);
+            }
+            // Atomics target the write-only gradient accumulators,
+            // never a load source, so they keep the span open.
+            Instr::Compute { .. } | Instr::Atomic(_) | Instr::AtomRed(_) => {
+                out.push(item);
+            }
         }
+    }
+}
+
+fn load_hoist(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
+    let mut seen: HashSet<u16> = HashSet::new();
+    let mut warps = Vec::with_capacity(trace.warps().len());
+    for warp in trace.warps() {
+        let mut instrs = Vec::with_capacity(warp.instrs.len());
+        stage_hoist(warp.instrs.iter().cloned(), &mut instrs, &mut seen, stats);
         warps.push(WarpTrace { instrs });
     }
     rebuild(trace, warps)
@@ -555,78 +1029,95 @@ fn merge_bundles(a: &AtomicBundle, b: &AtomicBundle) -> AtomicBundle {
     }
 }
 
-fn atomic_coalesce(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
-    let mut warps = Vec::with_capacity(trace.warps().len());
-    for warp in trace.warps() {
-        // Index into `out` of the atomic the next atomic may merge
-        // into; any load or store closes the window (conservative
-        // memory ordering), compute keeps it open.
-        let mut candidate: Option<usize> = None;
-        let mut out: Vec<Instr> = Vec::with_capacity(warp.instrs.len());
-        for instr in &warp.instrs {
-            match instr {
-                Instr::Compute { kind, repeat } => push_compute(&mut out, *kind, *repeat),
-                Instr::Load { .. } | Instr::Store { .. } => {
-                    candidate = None;
-                    out.push(instr.clone());
-                }
-                Instr::Atomic(b) | Instr::AtomRed(b) => {
-                    let merged = candidate.is_some_and(|ci| match (&out[ci], instr) {
-                        (Instr::Atomic(prev), Instr::Atomic(_))
-                        | (Instr::AtomRed(prev), Instr::AtomRed(_)) => coalescable(prev, b),
-                        _ => false,
+fn stage_coalesce<'t, T: FuseItem<'t>>(
+    input: impl Iterator<Item = T>,
+    out: &mut Vec<T>,
+    ev: &mut PassStats,
+) {
+    // Index into `out` of the atomic the next atomic may merge into;
+    // any load or store closes the window (conservative memory
+    // ordering), compute keeps it open.
+    let mut candidate: Option<usize> = None;
+    for item in input {
+        match item.instr() {
+            Instr::Compute { kind, repeat } => push_compute(out, *kind, *repeat),
+            Instr::Load { .. } | Instr::Store { .. } => {
+                candidate = None;
+                out.push(item);
+            }
+            Instr::Atomic(b) | Instr::AtomRed(b) => {
+                let merged = candidate.is_some_and(|ci| match (out[ci].instr(), item.instr()) {
+                    (Instr::Atomic(prev), Instr::Atomic(_))
+                    | (Instr::AtomRed(prev), Instr::AtomRed(_)) => coalescable(prev, b),
+                    _ => false,
+                });
+                if merged {
+                    let ci = candidate.expect("checked above");
+                    let bundle = match out[ci].instr() {
+                        Instr::Atomic(prev) | Instr::AtomRed(prev) => merge_bundles(prev, b),
+                        Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                            unreachable!("candidate always indexes an atomic")
+                        }
+                    };
+                    out[ci] = T::owned(match out[ci].instr() {
+                        Instr::Atomic(_) => Instr::Atomic(bundle),
+                        Instr::AtomRed(_) => Instr::AtomRed(bundle),
+                        Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
+                            unreachable!("candidate always indexes an atomic")
+                        }
                     });
-                    if merged {
-                        let ci = candidate.expect("checked above");
-                        let bundle = match &out[ci] {
-                            Instr::Atomic(prev) | Instr::AtomRed(prev) => merge_bundles(prev, b),
-                            Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
-                                unreachable!("candidate always indexes an atomic")
-                            }
-                        };
-                        out[ci] = match &out[ci] {
-                            Instr::Atomic(_) => Instr::Atomic(bundle),
-                            Instr::AtomRed(_) => Instr::AtomRed(bundle),
-                            Instr::Compute { .. } | Instr::Load { .. } | Instr::Store { .. } => {
-                                unreachable!("candidate always indexes an atomic")
-                            }
-                        };
-                        stats.atomics_coalesced += 1;
-                    } else {
-                        out.push(instr.clone());
-                        candidate = Some(out.len() - 1);
-                    }
+                    ev.atomics_coalesced += 1;
+                } else {
+                    out.push(item);
+                    candidate = Some(out.len() - 1);
                 }
             }
         }
+    }
+}
+
+fn atomic_coalesce(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
+    let mut warps = Vec::with_capacity(trace.warps().len());
+    for warp in trace.warps() {
+        let mut out: Vec<Instr> = Vec::with_capacity(warp.instrs.len());
+        stage_coalesce(warp.instrs.iter().cloned(), &mut out, stats);
         warps.push(WarpTrace { instrs: out });
     }
     rebuild(trace, warps)
+}
+
+fn stage_fma<'t, T: FuseItem<'t>>(
+    input: impl Iterator<Item = T>,
+    out: &mut Vec<T>,
+    ev: &mut PassStats,
+) {
+    for item in input {
+        match item.instr() {
+            Instr::Compute {
+                kind: ComputeKind::Fp32,
+                repeat,
+            } => {
+                let repeat = *repeat;
+                let pairs = repeat / 2;
+                if pairs > 0 {
+                    ev.fma_fused += u64::from(pairs);
+                    push_compute(out, ComputeKind::Ffma, pairs);
+                }
+                push_compute(out, ComputeKind::Fp32, repeat % 2);
+            }
+            Instr::Compute { kind, repeat } => push_compute(out, *kind, *repeat),
+            Instr::Load { .. } | Instr::Store { .. } | Instr::Atomic(_) | Instr::AtomRed(_) => {
+                out.push(item)
+            }
+        }
+    }
 }
 
 fn fma_fusion(trace: &KernelTrace, stats: &mut PassStats) -> KernelTrace {
     let mut warps = Vec::with_capacity(trace.warps().len());
     for warp in trace.warps() {
         let mut out: Vec<Instr> = Vec::with_capacity(warp.instrs.len());
-        for instr in &warp.instrs {
-            match instr {
-                Instr::Compute {
-                    kind: ComputeKind::Fp32,
-                    repeat,
-                } => {
-                    let pairs = repeat / 2;
-                    if pairs > 0 {
-                        stats.fma_fused += u64::from(pairs);
-                        push_compute(&mut out, ComputeKind::Ffma, pairs);
-                    }
-                    push_compute(&mut out, ComputeKind::Fp32, repeat % 2);
-                }
-                Instr::Compute { kind, repeat } => push_compute(&mut out, *kind, *repeat),
-                Instr::Load { .. } | Instr::Store { .. } | Instr::Atomic(_) | Instr::AtomRed(_) => {
-                    out.push(instr.clone())
-                }
-            }
-        }
+        stage_fma(warp.instrs.iter().cloned(), &mut out, stats);
         warps.push(WarpTrace { instrs: out });
     }
     rebuild(trace, warps)
@@ -851,6 +1342,57 @@ mod tests {
             "per-pass slot deltas must telescope"
         );
         assert!(total > 0);
+    }
+
+    #[test]
+    fn cache_returns_pointer_equal_arc_on_warm_hits() {
+        let t = storm(6);
+        let cache = PassCache::new();
+        let all = PassPipeline::all();
+        let cold = cache.apply(&all, t.name(), &t);
+        let warm = cache.apply(&all, t.name(), &t);
+        assert!(Arc::ptr_eq(&cold, &warm), "warm hit must be the same Arc");
+        assert_eq!(cache.len(), 1);
+        // A different pipeline is a new cache generation.
+        let fma_only = PassPipeline::parse("fma").unwrap();
+        let refreshed = cache.apply(&fma_only, t.name(), &t);
+        assert!(!Arc::ptr_eq(&cold, &refreshed));
+        assert_eq!(cache.len(), 1, "generation change clears old entries");
+        // Switching back re-optimizes from scratch but lands on the
+        // same bytes.
+        let again = cache.apply(&all, t.name(), &t);
+        assert!(!Arc::ptr_eq(&cold, &again));
+        assert_eq!(*cold, *again);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_keys_distinguish_traces() {
+        let a = storm(4);
+        let b = storm(8);
+        let cache = PassCache::new();
+        let all = PassPipeline::all();
+        let oa = cache.apply(&all, "a", &a);
+        let ob = cache.apply(&all, "b", &b);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(*oa, *ob);
+        assert!(Arc::ptr_eq(&oa, &cache.apply(&all, "a", &a)));
+    }
+
+    #[test]
+    fn run_mapped_any_order_matches_serial() {
+        let t = storm(7);
+        let all = PassPipeline::all();
+        let (serial, serial_stats) = all.run(&t);
+        // Visit warps in reverse order, as a parallel mapper might.
+        let (mapped, mapped_stats) = all.run_mapped(&t, |fuse, n| {
+            let mut out: Vec<FusedWarp> = (0..n).rev().map(fuse).collect();
+            out.reverse();
+            out
+        });
+        assert_eq!(serial.as_ref(), mapped.as_ref());
+        assert_eq!(serial_stats, mapped_stats);
     }
 
     #[test]

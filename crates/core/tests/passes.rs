@@ -329,4 +329,65 @@ proptest! {
             }
         }
     }
+
+    /// The fused single-traversal engine (`PassPipeline::run`) is a
+    /// drop-in replacement for the composed per-pass reference
+    /// (`run_composed`): byte-identical output trace (serialized form
+    /// included), the exact same per-pass `PassStats`, and the same
+    /// borrowed-vs-owned decision, for every pass subset.
+    #[test]
+    fn fused_matches_composed(warps in arb_warps(), mask in 0u8..16) {
+        let t = build_trace(&warps);
+        let p = subset(mask);
+        let (fused, fused_stats) = p.run(&t);
+        let (composed, composed_stats) = p.run_composed(&t);
+        prop_assert_eq!(&fused_stats, &composed_stats);
+        prop_assert_eq!(fused.as_ref(), composed.as_ref());
+        prop_assert_eq!(
+            serde_json::to_string(fused.as_ref()).unwrap(),
+            serde_json::to_string(composed.as_ref()).unwrap(),
+            "fused and composed serialized bytes diverge"
+        );
+        prop_assert_eq!(
+            matches!(fused, Cow::Borrowed(_)),
+            matches!(composed, Cow::Borrowed(_)),
+            "fused and composed disagree on borrowed-vs-owned"
+        );
+    }
+
+    /// Degenerate warps the builder cannot produce — empty warps and
+    /// pre-split compute runs (as deserialized traces may contain) —
+    /// also round-trip identically through both engines.
+    #[test]
+    fn fused_matches_composed_on_raw_warps(
+        runs in proptest::collection::vec((0u8..3, 0u16..4), 0..8),
+        mask in 0u8..16,
+    ) {
+        use warp_trace::{ComputeKind, WarpTrace};
+        let instrs: Vec<Instr> = runs
+            .iter()
+            .map(|&(k, repeat)| Instr::Compute {
+                kind: match k {
+                    0 => ComputeKind::Fp32,
+                    1 => ComputeKind::IntAlu,
+                    _ => ComputeKind::Ffma,
+                },
+                repeat,
+            })
+            .collect();
+        let t = KernelTrace::new(
+            "raw-warps",
+            KernelKind::GradCompute,
+            vec![WarpTrace { instrs }, WarpTrace::new()],
+        );
+        let p = subset(mask);
+        let (fused, fused_stats) = p.run(&t);
+        let (composed, composed_stats) = p.run_composed(&t);
+        prop_assert_eq!(&fused_stats, &composed_stats);
+        prop_assert_eq!(fused.as_ref(), composed.as_ref());
+        prop_assert_eq!(
+            matches!(fused, Cow::Borrowed(_)),
+            matches!(composed, Cow::Borrowed(_))
+        );
+    }
 }

@@ -1,0 +1,56 @@
+//! Pins the optimizer's traversal accounting: the fused engine walks
+//! the trace once per `run` regardless of pass count, the composed
+//! reference once per pass, and warm `PassCache` hits not at all.
+//!
+//! Kept in its own test binary (one `#[test]`) because the traversal
+//! counter is process-global and sibling tests would race it.
+
+use arc_core::passes::{trace_traversals, PassCache, PassPipeline};
+use warp_trace::{AtomicInstr, KernelKind, KernelTrace, WarpTraceBuilder, WARP_SIZE};
+
+fn storm(iters: usize) -> KernelTrace {
+    let mut b = WarpTraceBuilder::new();
+    for i in 0..iters {
+        b.compute_fp32(1);
+        b.atomic(AtomicInstr::same_address(
+            0x100,
+            &[i as f32 + 0.25; WARP_SIZE],
+        ));
+    }
+    KernelTrace::new("traversals", KernelKind::GradCompute, vec![b.finish()])
+}
+
+#[test]
+fn fused_traverses_once_and_cache_hits_traverse_zero() {
+    let t = storm(6);
+    let all = PassPipeline::all();
+
+    let base = trace_traversals();
+    let _ = all.run(&t);
+    assert_eq!(
+        trace_traversals() - base,
+        1,
+        "fused run must be a single traversal"
+    );
+
+    let base = trace_traversals();
+    let _ = all.run_composed(&t);
+    assert_eq!(
+        trace_traversals() - base,
+        all.passes().len() as u64,
+        "composed reference traverses once per pass"
+    );
+
+    let base = trace_traversals();
+    let _ = PassPipeline::empty().run(&t);
+    assert_eq!(trace_traversals(), base, "empty pipeline never traverses");
+
+    let cache = PassCache::new();
+    let cold = cache.apply(&all, t.name(), &t);
+    let base = trace_traversals();
+    for _ in 0..16 {
+        let warm = cache.apply(&all, t.name(), &t);
+        assert!(std::sync::Arc::ptr_eq(&cold, &warm));
+    }
+    assert_eq!(trace_traversals(), base, "warm hits must not traverse");
+}

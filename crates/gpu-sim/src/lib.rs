@@ -51,7 +51,8 @@ pub mod telemetry;
 pub use config::GpuConfig;
 pub use energy::{EnergyModel, EnergyReport};
 pub use parallel::{
-    default_epoch_mode, default_fast_forward, default_jobs, par_map, parse_epoch_mode, EpochMode,
+    apply_passes, default_epoch_mode, default_fast_forward, default_jobs, par_map,
+    parse_epoch_mode, EpochMode,
 };
 pub use paths::{AtomicPath, TechniquePath};
 pub use sim::{SimError, Simulator};

@@ -11,9 +11,13 @@
 //! Both knobs deliberately live *outside* [`crate::GpuConfig`]: thread
 //! counts must never influence simulation results, only wall-clock time.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
+
+use arc_core::{Pass, PassPipeline, PassStats};
+use warp_trace::KernelTrace;
 
 /// Default job-level parallelism: the `ARC_JOBS` environment variable if
 /// set to a positive integer, otherwise the machine's available
@@ -151,6 +155,21 @@ where
                 .expect("par_map: worker skipped an item")
         })
         .collect()
+}
+
+/// Applies an optimizer pipeline with its fused per-warp traversal
+/// fanned out over [`par_map`] — warps are independent, so any job
+/// count produces output byte-identical to `pipeline.run(trace)`.
+///
+/// This is the cold-path optimizer the bench harness hands to
+/// `arc_core::PassCache::apply_with`; size `jobs` with
+/// [`default_jobs`].
+pub fn apply_passes<'t>(
+    pipeline: &PassPipeline,
+    trace: &'t KernelTrace,
+    jobs: usize,
+) -> (Cow<'t, KernelTrace>, Vec<(Pass, PassStats)>) {
+    pipeline.run_mapped(trace, |fuse, n| par_map(jobs, (0..n).collect(), fuse))
 }
 
 /// A reusable rendezvous barrier that spins briefly before parking.
@@ -308,5 +327,32 @@ mod tests {
     #[test]
     fn more_jobs_than_items_is_fine() {
         assert_eq!(par_map(64, vec![1, 2, 3], |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn apply_passes_matches_serial_for_any_job_count() {
+        use warp_trace::{AtomicInstr, KernelKind, WarpTraceBuilder, WARP_SIZE};
+        let warps = (0..24)
+            .map(|w| {
+                let mut b = WarpTraceBuilder::new();
+                for i in 0..4 {
+                    b.compute_fp32(1 + (w + i) % 3);
+                    b.atomic(AtomicInstr::same_address(
+                        0x40 * (1 + w as u64 % 5),
+                        &[0.5; WARP_SIZE],
+                    ));
+                    b.load(2);
+                }
+                b.finish()
+            })
+            .collect();
+        let trace = KernelTrace::new("fanout", KernelKind::GradCompute, warps);
+        let pipeline = PassPipeline::all();
+        let (serial, serial_stats) = pipeline.run(&trace);
+        for jobs in [1usize, 2, 8] {
+            let (t, stats) = apply_passes(&pipeline, &trace, jobs);
+            assert_eq!(t.as_ref(), serial.as_ref(), "{jobs} jobs");
+            assert_eq!(stats, serial_stats, "{jobs} jobs");
+        }
     }
 }

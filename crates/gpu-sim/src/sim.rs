@@ -270,6 +270,8 @@ impl Simulator {
             // `len` cycles pays them once instead of `len` times.
             barrier_waits_avoided: 2 * (m.epoch_stats.cycles - m.epoch_stats.epochs),
             boundary_flits: m.epoch_stats.flits,
+            lane_steps_total: m.cycles_stepped * u64::from(self.cfg.num_sms),
+            lane_steps_skipped: m.lane_steps_skipped,
         };
         let telemetry = m.telemetry.take().map(|t| t.finish(trace.name(), cycles));
         let counters = m.hub.counters;
@@ -506,6 +508,11 @@ struct Machine<'a> {
     /// Cycles executed by the naive per-cycle loop (vs. skipped by
     /// fast-forward jumps). Feeds [`EngineStats`].
     cycles_stepped: u64,
+    /// SM-cycle steps skipped because the SM was outside the active
+    /// set — lane-level fast-forward, counted per stepped round from
+    /// the serial coordinator so the total is identical for any worker
+    /// count. Feeds [`EngineStats::lane_steps_skipped`].
+    lane_steps_skipped: u64,
     /// Reused scratch for fast-forward span credits — no per-cycle
     /// allocation.
     ff_credits: Vec<FfCredit>,
@@ -634,6 +641,7 @@ impl<'a> Machine<'a> {
             epoch_cap,
             max_req_size,
             cycles_stepped: 0,
+            lane_steps_skipped: 0,
             ff_credits: Vec::new(),
             epoch_takes: (0..num_sms).map(|_| EpochTake::default()).collect(),
             epoch_stats: EpochStatsAcc::default(),
@@ -705,6 +713,9 @@ impl<'a> Machine<'a> {
                     plan_epoch(shared, hub, tel.as_ref(), trace, cycle, epoch_cap, max_req)
                 {
                     preroute_wakes(shared, hub, cycle, len);
+                    if ff {
+                        self.lane_steps_skipped += count_inactive(shared) * len;
+                    }
                     for (i, lane) in shared.lanes.iter().enumerate() {
                         if ff && !shared.active[i].load(Ordering::Relaxed) {
                             continue;
@@ -739,6 +750,9 @@ impl<'a> Machine<'a> {
                 cooldown_until = cycle + EPOCH_RETRY_COOLDOWN;
             }
             let flushing = phase_pre(shared, hub, tel, trace, cycle, ff);
+            if ff {
+                self.lane_steps_skipped += count_inactive(shared);
+            }
             for (i, lane) in shared.lanes.iter().enumerate() {
                 if ff && !shared.active[i].load(Ordering::Relaxed) {
                     continue;
@@ -778,6 +792,7 @@ impl<'a> Machine<'a> {
         let tel = &mut self.telemetry;
         let credits = &mut self.ff_credits;
         let stepped = &mut self.cycles_stepped;
+        let lane_skips = &mut self.lane_steps_skipped;
         let takes = &mut self.epoch_takes;
         let estats = &mut self.epoch_stats;
         let warp_events = tel.as_ref().is_some_and(TelemetryState::wants_warp_events);
@@ -870,6 +885,9 @@ impl<'a> Machine<'a> {
                             plan_epoch(shared, hub, tel.as_ref(), trace, cycle, epoch_cap, max_req)
                         {
                             preroute_wakes(shared, hub, cycle, len);
+                            if ff {
+                                *lane_skips += count_inactive(shared) * len;
+                            }
                             epoch_len_now.store(len, Ordering::Relaxed);
                             epoch_accept_now.store(mode == PortMode::AllAccept, Ordering::Relaxed);
                             cycle_now.store(cycle, Ordering::Relaxed);
@@ -895,6 +913,9 @@ impl<'a> Machine<'a> {
                         cooldown_until = cycle + EPOCH_RETRY_COOLDOWN;
                     }
                     let flushing = phase_pre(shared, hub, tel, trace, cycle, ff);
+                    if ff {
+                        *lane_skips += count_inactive(shared);
+                    }
                     flush_now.store(flushing, Ordering::Relaxed);
                     epoch_len_now.store(1, Ordering::Relaxed);
                     cycle_now.store(cycle, Ordering::Relaxed);
@@ -1584,6 +1605,18 @@ fn telemetry_snapshot(shared: &Shared<'_>, hub: &Hub) -> SampleSnapshot {
         aggbuf_backlog,
         warps_remaining: hub.warps_remaining,
     }
+}
+
+/// Lanes currently outside the active set. Called by the coordinator
+/// between rounds (the only writer of the flags runs in serial phases),
+/// so the count is exactly the set the next SM phase will skip — and
+/// identical for any worker count.
+fn count_inactive(shared: &Shared<'_>) -> u64 {
+    shared
+        .active
+        .iter()
+        .filter(|a| !a.load(Ordering::Relaxed))
+        .count() as u64
 }
 
 fn drained(shared: &Shared<'_>, hub: &Hub, ff: bool) -> bool {

@@ -170,6 +170,19 @@ pub struct EngineStats {
     /// privately during epochs and merged by the coordinator replay).
     #[serde(default)]
     pub boundary_flits: u64,
+    /// SM-cycle step opportunities within the stepped cycles
+    /// (`cycles_stepped × SMs`). Denominator for
+    /// [`EngineStats::lane_skip_ratio`].
+    #[serde(default)]
+    pub lane_steps_total: u64,
+    /// SM-cycle steps skipped because the SM sat outside the active
+    /// set (all warps quiescent) — the second fast-forward mechanism,
+    /// invisible to [`EngineStats::skip_ratio`]. This is why workloads
+    /// like hot-storm report `skip_ratio: 0` yet large fast-forward
+    /// speedups: whole-trace jumps never fire, but most SMs are asleep
+    /// most cycles.
+    #[serde(default)]
+    pub lane_steps_skipped: u64,
 }
 
 impl EngineStats {
@@ -180,6 +193,16 @@ impl EngineStats {
             0.0
         } else {
             1.0 - self.cycles_stepped as f64 / self.cycles_simulated as f64
+        }
+    }
+
+    /// Fraction of SM-step opportunities skipped via the active set
+    /// during stepped cycles (0.0 when every SM stepped every cycle).
+    pub fn lane_skip_ratio(&self) -> f64 {
+        if self.lane_steps_total == 0 {
+            0.0
+        } else {
+            self.lane_steps_skipped as f64 / self.lane_steps_total as f64
         }
     }
 
@@ -315,6 +338,20 @@ mod tests {
         let s: EngineStats = serde_json::from_str(old).expect("old format parses");
         assert_eq!(s.cycles_simulated, 10);
         assert_eq!(s.epochs, 0);
+        assert_eq!(s.lane_steps_skipped, 0);
+        assert_eq!(s.lane_skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lane_skip_ratio_bounds() {
+        assert_eq!(EngineStats::default().lane_skip_ratio(), 0.0);
+        let s = EngineStats {
+            cycles_stepped: 100,
+            lane_steps_total: 400,
+            lane_steps_skipped: 300,
+            ..EngineStats::default()
+        };
+        assert!((s.lane_skip_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

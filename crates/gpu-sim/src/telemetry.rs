@@ -888,6 +888,8 @@ mod tests {
             epoch_len_max: 4,
             barrier_waits_avoided: 8,
             boundary_flits: 12,
+            lane_steps_total: 80,
+            lane_steps_skipped: 20,
         };
         let with = tel.chrome_trace_with_engine(&engine);
         assert!(with.contains("coordinator"));

@@ -103,10 +103,33 @@ fn assert_cycle_independent(ff: bool) {
     );
 }
 
+/// The optimizer cache's warm path must be allocation-free: after the
+/// cold fill, every `apply` is a lock, a pipeline compare, a borrowed
+/// `HashMap` lookup, and an `Arc` clone. This is what makes memoized
+/// pass application in the bench harness steady-state-free of churn
+/// across its 16-cell grid.
+fn assert_cache_warm_path_is_allocation_free() {
+    use arc_core::{PassCache, PassPipeline};
+
+    let cache = PassCache::new();
+    let pipeline = PassPipeline::all();
+    let t = trace();
+    let cold = cache.apply(&pipeline, t.name(), &t);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        let warm = cache.apply(&pipeline, t.name(), &t);
+        assert!(std::sync::Arc::ptr_eq(&cold, &warm));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "PassCache warm hits must not allocate");
+}
+
 #[test]
 fn allocations_do_not_scale_with_cycles() {
-    // Single test (not one per mode) so the global counter is never
-    // perturbed by a concurrently running sibling test.
+    // Single test (not one per mode or subsystem) so the global counter
+    // is never perturbed by a concurrently running sibling test.
     assert_cycle_independent(false);
     assert_cycle_independent(true);
+    assert_cache_warm_path_is_allocation_free();
 }

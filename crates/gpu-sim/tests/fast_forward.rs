@@ -115,6 +115,30 @@ fn dense_storms_fall_back_to_the_naive_loop() {
 }
 
 #[test]
+fn lane_skipping_is_counted_even_when_cycles_do_not_jump() {
+    // Dense storms report skip_ratio ≈ 0 (no dead spans to jump), yet
+    // fast-forward still wins wall-clock by dropping quiescent SM lanes
+    // from the step loop. `lane_steps_skipped` makes that win visible.
+    let sim = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)
+        .unwrap()
+        .with_fast_forward(true);
+    let (_, _, stats) = sim.run_detailed(&storm_trace()).unwrap();
+    assert!(
+        stats.lane_steps_skipped > 0,
+        "drain tail should skip quiescent lanes"
+    );
+    assert!(stats.lane_steps_skipped <= stats.lane_steps_total);
+    assert!(stats.lane_skip_ratio() > 0.0);
+
+    let sim = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline)
+        .unwrap()
+        .with_fast_forward(false);
+    let (_, _, stats) = sim.run_detailed(&storm_trace()).unwrap();
+    assert_eq!(stats.lane_steps_skipped, 0, "naive loop never skips lanes");
+    assert_eq!(stats.lane_skip_ratio(), 0.0);
+}
+
+#[test]
 fn stats_equal_under_any_worker_count() {
     // `cycles_stepped` is coordinator-side state: worker count must not
     // change how many cycles the loop fast-forwards over.

@@ -92,9 +92,33 @@ pub struct LaneOp {
 /// assert_eq!(instr.active_mask().count(), 3);
 /// assert!(!instr.single_address());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AtomicInstr {
-    ops: Vec<LaneOp>,
+    // Shared, not owned: an `AtomicInstr` is immutable once built, and
+    // the trace-IR optimizer clones instructions wholesale when it
+    // rebuilds a warp, so cloning must be a refcount bump rather than
+    // a lane-op buffer copy.
+    ops: std::sync::Arc<[LaneOp]>,
+}
+
+// Hand-written to keep the wire format identical to the former
+// `#[derive]` on `ops: Vec<LaneOp>` (an object with one `ops` array):
+// the `Arc` is invisible to serialization, and every golden trace file
+// round-trips unchanged.
+impl Serialize for AtomicInstr {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "ops".to_string(),
+            Serialize::serialize(&self.ops[..]),
+        )])
+    }
+}
+
+impl Deserialize for AtomicInstr {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ops: Vec<LaneOp> = Deserialize::deserialize(v.field("ops")?)?;
+        Ok(AtomicInstr { ops: ops.into() })
+    }
 }
 
 impl AtomicInstr {
@@ -120,7 +144,7 @@ impl AtomicInstr {
             );
             prev = op.lane as i32;
         }
-        AtomicInstr { ops }
+        AtomicInstr { ops: ops.into() }
     }
 
     /// Convenience constructor: all 32 lanes update `addr` with the given

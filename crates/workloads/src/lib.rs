@@ -17,7 +17,7 @@ pub mod specs;
 
 pub use gpu_sim::TechniquePath;
 pub use runner::{
-    run_gradcomp, run_gradcomp_telemetry, run_iteration, run_iteration_piped, run_iteration_with,
-    Technique,
+    run_gradcomp, run_gradcomp_telemetry, run_iteration, run_iteration_optimized,
+    run_iteration_piped, run_iteration_with, Technique,
 };
 pub use specs::{all_specs, spec, App, IterationTraces, WorkloadSpec};

@@ -101,11 +101,34 @@ pub fn run_iteration_piped(
     traces: &IterationTraces,
     passes: &PassPipeline,
 ) -> Result<IterationReport, SimError> {
-    let gradcomp = passes.apply(&traces.gradcomp);
+    run_iteration_optimized(
+        sim,
+        technique,
+        &passes.apply(&traces.forward),
+        &passes.apply(&traces.loss),
+        &passes.apply(&traces.gradcomp),
+    )
+}
+
+/// [`run_iteration_piped`] against already-optimized kernel traces. The
+/// bench harness memoizes pass application per (pipeline, workload,
+/// kernel) in an `arc_core::PassCache` and hands the cached traces
+/// here, so a warm iteration cell pays zero pass traversals.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_iteration_optimized(
+    sim: &Simulator,
+    technique: Technique,
+    forward: &KernelTrace,
+    loss: &KernelTrace,
+    gradcomp: &KernelTrace,
+) -> Result<IterationReport, SimError> {
     let kernels = vec![
-        sim.run(&passes.apply(&traces.forward))?,
-        sim.run(&passes.apply(&traces.loss))?,
-        sim.run(&technique.prepare_cow(&gradcomp))?,
+        sim.run(forward)?,
+        sim.run(loss)?,
+        sim.run(&technique.prepare_cow(gradcomp))?,
     ];
     Ok(IterationReport { kernels })
 }

@@ -5,9 +5,12 @@
 # core count). Throughput more than TOLERANCE below the baseline — at
 # either parallelism level, or on any fast-forward workload's FF-on
 # cycles/second (the number every consumer sees, since ARC_FF defaults
-# on) — fails the gate (exit 1); otherwise the fresh sample, including
-# per-workload skip ratios and FF-on/FF-off wall-clock ratios, is
-# appended so the file accumulates a perf trajectory across PRs.
+# on) — fails the gate (exit 1), as does any passes workload whose
+# pass overhead (wall_on_s/wall_off_s) grew more than TOLERANCE over
+# the baseline's ratio; otherwise the fresh sample, including
+# per-workload skip ratios, lane-skip ratios, FF-on/FF-off wall-clock
+# ratios, and pass-memoization amortization, is appended so the file
+# accumulates a perf trajectory across PRs.
 #
 # Environment knobs:
 #   ARC_BENCH_TOLERANCE  fractional tolerance (default 0.2 = 20%)

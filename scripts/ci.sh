@@ -18,10 +18,14 @@
 #                must be byte-identical, the warm pass must be all hits
 #                and >= 5x faster
 #   passes       trace-IR optimizer pipeline: the pass-equivalence
-#                conformance subset, plus a determinism matrix cell with
-#                ARC_PASSES=all (byte-identical across host parallelism,
-#                observably different from the baseline) and the
-#                ARC_PASSES-unset / ARC_PASSES=none default-off pins
+#                conformance subset (fused == composed, cache hits
+#                pointer-equal and byte-invisible), a determinism matrix
+#                cell with ARC_PASSES=all (byte-identical across host
+#                parallelism, observably different from the baseline),
+#                the ARC_PASSES-unset / ARC_PASSES=none default-off
+#                pins, and the perf_smoke pass-overhead gate (gradcomp
+#                wall_on_s/wall_off_s vs the recorded baseline) against
+#                a scratch copy of the trajectory
 #
 # `determinism`, `store`, and `passes` need release binaries and build
 # the ones they use, so each step also works standalone on a fresh
@@ -251,6 +255,22 @@ step_passes() {
     exit 1
   fi
   echo "ARC_PASSES=all changes the probe output (pipeline is live)"
+
+  echo "== pass-overhead perf gate (perf_smoke --gate, scratch trajectory) =="
+  # perf_smoke's gate includes the pass-overhead axis: each passes
+  # workload's wall_on_s/wall_off_s ratio must stay within tolerance of
+  # the recorded baseline's. Gate against a scratch copy so this step
+  # never mutates the checked-in trajectory (bench_gate.sh does that
+  # deliberately, once, at the end of the pipeline). With no comparable
+  # baseline (different core count) the gate records-and-passes.
+  cargo build --release -q -p arc-bench --bin perf_smoke
+  local bench="$TMPROOT/bench_passes.json"
+  if [ -f BENCH_parallel_sim.json ]; then
+    cp BENCH_parallel_sim.json "$bench"
+  fi
+  ./target/release/perf_smoke \
+    --scale "${ARC_BENCH_SCALE:-0.35}" --jobs "${ARC_BENCH_JOBS:-2}" \
+    --gate "${ARC_BENCH_TOLERANCE:-0.2}" --out "$bench"
 }
 
 usage() {
