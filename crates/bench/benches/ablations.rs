@@ -23,7 +23,7 @@ use rand::SeedableRng;
 
 fn bench_scheduler_policy(c: &mut Criterion) {
     let traces = spec("3D-TK").expect("Table-2 id").scaled(0.25).build();
-    let trace = Technique::ArcHw.prepare(&traces.gradcomp);
+    let trace = Technique::ArcHw.prepare(traces.gradcomp());
 
     let mut group = c.benchmark_group("ablation_scheduler");
     group.sample_size(10);
@@ -52,7 +52,7 @@ fn bench_rop_ratio(c: &mut Criterion) {
         let sim = Simulator::new(cfg, gpu_sim::AtomicPath::Baseline).expect("valid config");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}rops", partitions * 4)),
-            &traces.gradcomp,
+            traces.gradcomp(),
             |b, t| b.iter(|| black_box(sim.run(t).expect("kernel drains"))),
         );
     }
@@ -67,7 +67,7 @@ fn bench_reduction_kind(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reduction");
     group.sample_size(10);
     for technique in [Technique::SwS(thr), Technique::SwB(thr)] {
-        let trace = technique.prepare(&traces.gradcomp);
+        let trace = technique.prepare(traces.gradcomp());
         let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
         group.bench_with_input(
             BenchmarkId::from_parameter(technique.label()),

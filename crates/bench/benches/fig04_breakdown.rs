@@ -17,9 +17,9 @@ fn bench_breakdown(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig04_breakdown");
     group.sample_size(10);
     for (name, trace) in [
-        ("forward", &traces.forward),
-        ("loss", &traces.loss),
-        ("gradcomp", &traces.gradcomp),
+        ("forward", traces.forward()),
+        ("loss", traces.loss()),
+        ("gradcomp", traces.gradcomp()),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), trace, |b, t| {
             b.iter(|| black_box(sim.run(t).expect("kernel drains")))

@@ -22,7 +22,7 @@ fn bench_hw_paths(c: &mut Criterion) {
         Technique::LabIdeal,
         Technique::ArcHw,
     ] {
-        let trace = technique.prepare(&traces.gradcomp);
+        let trace = technique.prepare(traces.gradcomp());
         let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
         group.bench_with_input(
             BenchmarkId::from_parameter(technique.label()),

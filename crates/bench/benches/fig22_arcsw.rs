@@ -26,7 +26,7 @@ fn bench_sw_sim(c: &mut Criterion) {
         Technique::SwB(thr(0)),
         Technique::Cccl,
     ] {
-        let trace = technique.prepare(&traces.gradcomp);
+        let trace = technique.prepare(traces.gradcomp());
         let sim = Simulator::new(cfg.clone(), technique.path()).expect("valid config");
         group.bench_with_input(
             BenchmarkId::from_parameter(technique.label()),
@@ -44,7 +44,7 @@ fn bench_rewrite_pass(c: &mut Criterion) {
     for config in [SwConfig::serialized(thr(16)), SwConfig::butterfly(thr(16))] {
         group.bench_with_input(
             BenchmarkId::from_parameter(config.label()),
-            &traces.gradcomp,
+            traces.gradcomp(),
             |b, t| b.iter(|| black_box(rewrite_kernel_sw(t, &config))),
         );
     }

@@ -67,7 +67,7 @@ fn main() {
             .expect("known workload")
             .scaled(SCALE)
             .build();
-        let piped = passes.apply(&traces.gradcomp);
+        let piped = passes.apply(traces.gradcomp());
         let plain = run_gradcomp(&cfg, technique, &piped).expect("kernel drains");
         let (report, tel) =
             run_gradcomp_telemetry(&cfg, technique, &piped, TelemetryConfig::every(INTERVAL))

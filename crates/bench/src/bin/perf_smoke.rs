@@ -50,6 +50,13 @@
 //! memoization amortizes the fused traversals (traversal counts come
 //! from `arc_core::passes::trace_traversals`).
 //!
+//! Each sample records a `frame` section: the tile-binned 3DGS frame
+//! (`3D-TB`) simulated stage by stage, recording each kernel's baseline
+//! cycles and — under the ARC-HW path — how its atomic lane ops split
+//! between the near-bank reduction units and the conventional ROP path.
+//! The radix sort's histogram kernel must show nonzero reduction-unit
+//! routing, pinning that ARC actually bites on the sort front-end.
+//!
 //! Each sample also measures the persistent result store
 //! (`sim-service`): the cell grid runs cold then warm against a
 //! throwaway store, recording both wall-clock times and the warm-pass
@@ -253,6 +260,28 @@ impl StoreResult {
     }
 }
 
+/// One kernel stage of the tile-binned frame: baseline cycles plus the
+/// ARC-HW atomic-path routing split on the stage's lane ops.
+#[derive(Clone, Serialize, Deserialize)]
+struct FrameStageResult {
+    stage: String,
+    role: String,
+    cycles: u64,
+    atomic_requests: u64,
+    /// ARC-HW lane ops absorbed by the near-bank reduction units.
+    redunit_lane_ops: u64,
+    /// ARC-HW lane ops that stayed on the conventional ROP path.
+    rop_lane_ops: u64,
+}
+
+/// The multi-kernel frame measurement (see the module docs).
+#[derive(Clone, Serialize, Deserialize)]
+struct FrameResult {
+    workload: String,
+    stages: Vec<FrameStageResult>,
+    wall_s: f64,
+}
+
 /// One measurement of both parallelism levels and the fast-forward
 /// engine.
 #[derive(Clone, Serialize, Deserialize)]
@@ -279,6 +308,10 @@ struct Sample {
     /// samples recorded before the harness pass cache existed.
     #[serde(default)]
     pass_cache: Option<PassCacheResult>,
+    /// Per-stage tile-binned frame measurement; `None` in samples
+    /// recorded before multi-kernel frames existed.
+    #[serde(default)]
+    frame: Option<FrameResult>,
     /// Gating decisions worth preserving next to the numbers they
     /// affected (e.g. "not gated: single-core host").
     #[serde(default)]
@@ -365,6 +398,7 @@ impl LegacySample {
             store: None,
             passes: Vec::new(),
             pass_cache: None,
+            frame: None,
             notes: Vec::new(),
         }
     }
@@ -608,7 +642,7 @@ fn main() -> ExitCode {
             .expect("valid config")
             .with_sm_workers(workers);
         let start = Instant::now();
-        let (report, _, stats) = sim.run_detailed(&traces.gradcomp).expect("kernel drains");
+        let (report, _, stats) = sim.run_detailed(traces.gradcomp()).expect("kernel drains");
         (start.elapsed().as_secs_f64(), report.cycles, stats)
     };
     println!("sm-level: serial...");
@@ -633,7 +667,7 @@ fn main() -> ExitCode {
     for (label, trace) in [
         ("hot-address storm", storm_trace(24, atomics)),
         ("full densify", densify_trace(24, atomics)),
-        ("3D-DR gradcomp", traces.gradcomp.clone()),
+        ("3D-DR gradcomp", traces.gradcomp().clone()),
     ] {
         println!("fast-forward: {label}...");
         let r = measure_ff(label, &cfg, &trace);
@@ -654,7 +688,7 @@ fn main() -> ExitCode {
     let mut passes = Vec::new();
     for (label, trace) in [
         ("hot-address storm", &storm_trace(24, atomics)),
-        ("3D-DR gradcomp", &traces.gradcomp),
+        ("3D-DR gradcomp", traces.gradcomp()),
     ] {
         println!("passes: {label} (ARC_PASSES=all vs off)...");
         let r = measure_passes(label, &cfg, trace);
@@ -751,6 +785,62 @@ fn main() -> ExitCode {
         store.warm_s, store.cold_s, store.speedup, store.hit_ratio
     );
 
+    // --- Level 6: the multi-kernel tile-binned frame. -----------------
+    let frame = {
+        println!("frame: 3D-TB per-stage (baseline cycles + ARC-HW routing)...");
+        let tb = arc_workloads::spec("3D-TB")
+            .expect("tile-binned workload registered")
+            .scaled(scale)
+            .build();
+        let base_sim =
+            Simulator::new(cfg.clone(), Technique::Baseline.path()).expect("valid config");
+        let hw_sim = Simulator::new(cfg.clone(), Technique::ArcHw.path()).expect("valid config");
+        let start = Instant::now();
+        let stages: Vec<FrameStageResult> = tb
+            .stages()
+            .iter()
+            .map(|s| {
+                let base = base_sim.run(s.trace()).expect("stage drains");
+                let hw = hw_sim
+                    .run(&Technique::ArcHw.prepare_cow(s.trace()))
+                    .expect("stage drains");
+                FrameStageResult {
+                    stage: s.name().to_string(),
+                    role: format!("{:?}", s.role()).to_lowercase(),
+                    cycles: base.cycles,
+                    atomic_requests: s.trace().total_atomic_requests(),
+                    redunit_lane_ops: hw.counters.redunit_lane_ops,
+                    rop_lane_ops: hw.counters.rop_lane_ops,
+                }
+            })
+            .collect();
+        let wall_s = start.elapsed().as_secs_f64();
+        for st in &stages {
+            println!(
+                "  {:16} {:10} cycles={:8} atomics={:8} arc_red={:8} rop={:8}",
+                st.stage,
+                st.role,
+                st.cycles,
+                st.atomic_requests,
+                st.redunit_lane_ops,
+                st.rop_lane_ops
+            );
+        }
+        let hist = stages
+            .iter()
+            .find(|s| s.stage == "radix-histogram")
+            .expect("sort kernel present in the tile-binned frame");
+        assert!(
+            hist.redunit_lane_ops > 0,
+            "ARC-HW must route the radix histogram's atomics through the reduction units"
+        );
+        FrameResult {
+            workload: "3D-TB".to_string(),
+            stages,
+            wall_s,
+        }
+    };
+
     let mut sample = Sample {
         scale,
         machine_cores: cores,
@@ -772,6 +862,7 @@ fn main() -> ExitCode {
         store: Some(store),
         passes,
         pass_cache: Some(pass_cache),
+        frame: Some(frame),
         notes: Vec::new(),
     };
     // A parallelism speedup measured on a single core (or with a single
@@ -930,6 +1021,7 @@ mod tests {
             store: None,
             passes: Vec::new(),
             pass_cache: None,
+            frame: None,
             notes,
         }
     }

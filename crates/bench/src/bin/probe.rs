@@ -3,6 +3,11 @@
 //! to calibrate the model (see DESIGN.md §5a). Not part of the figure
 //! set; useful when modifying `gpu-sim` internals.
 //!
+//! The frame header lists every kernel stage with its cycles and atomic
+//! request count (multi-kernel frames like `3D-TB` get the full
+//! pipeline breakdown); the per-technique sweep below runs the frame's
+//! rewritable stage.
+//!
 //! ```text
 //! probe [workload-id] [scale]     # defaults: 3D-DR, 1.0
 //! ```
@@ -16,14 +21,33 @@ fn main() {
     let id = args.first().map(String::as_str).unwrap_or("3D-DR");
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let Some(workload) = spec(id) else {
-        eprintln!("unknown workload `{id}`; valid ids: 3D-LE..PS-SL");
+        eprintln!("unknown workload `{id}`; valid ids: 3D-LE..PS-SL, 3D-TB");
         std::process::exit(2);
     };
     println!("building {id} at scale {scale}...");
-    let traces = workload.scaled(scale).build();
+    let frame = workload.scaled(scale).build();
+
+    // Per-stage breakdown under the baseline path: stage name, cycles,
+    // atomic requests. This is the whole frame, not just gradcomp.
+    let cfg = GpuConfig::rtx4090_sim();
+    let sim = Simulator::new(cfg.clone(), gpu_sim::AtomicPath::Baseline).expect("valid config");
+    println!("--- frame stages ({}) ---", cfg.name);
+    for stage in frame.stages() {
+        let r = sim.run(stage.trace()).expect("drains");
+        println!(
+            "{:16} {:10} cycles={:8} atomics={:8}",
+            stage.name(),
+            format!("{:?}", stage.role()).to_lowercase(),
+            r.cycles,
+            stage.trace().total_atomic_requests()
+        );
+    }
+
+    let rewritable = frame.rewritable();
     println!(
-        "gradcomp atomics = {}",
-        traces.gradcomp.total_atomic_requests()
+        "rewritable stage `{}` atomics = {}",
+        rewritable.name(),
+        rewritable.trace().total_atomic_requests()
     );
     let thr = BalanceThreshold::new(8).expect("valid");
     for cfg in [GpuConfig::rtx4090_sim(), GpuConfig::rtx3060_sim()] {
@@ -32,7 +56,7 @@ fn main() {
         for t in Technique::all_with(&[thr]) {
             let sim = Simulator::new(cfg.clone(), t.path()).expect("valid config");
             let (r, _, engine) = sim
-                .run_detailed(&t.prepare(&traces.gradcomp))
+                .run_detailed(&t.prepare(rewritable.trace()))
                 .expect("drains");
             println!(
                 "{:10} cycles={:8} rop_util={:4.2} red_util={:4.2} issue_util={:4.2} \

@@ -167,6 +167,7 @@ impl SimBackend {
                     telemetry,
                     want_chrome: false,
                     passes: passes.clone(),
+                    stage: None,
                 };
                 let r = run_cell_with_digest(Some(store), &req, &EngineOpts::default(), digest)
                     .expect("kernel drains");
@@ -182,6 +183,7 @@ impl SimBackend {
                         telemetry,
                         want_chrome: false,
                         passes: passes.clone(),
+                        stage: None,
                     })
                     .expect("daemon sim must succeed");
                 (r.report, r.telemetry)

@@ -3,13 +3,20 @@
 //! simulate trace files on any GPU model.
 //!
 //! ```text
-//! trace_tool export  <workload-id> <out.json> [scale]
+//! trace_tool export  <workload-id> <out.json> [scale] [stage]
+//! trace_tool stages  <workload-id> [scale]
 //! trace_tool stats   <trace.json>
 //! trace_tool rewrite <trace.json> <out.json> [technique] [threshold]
 //! trace_tool sim     <trace.json> [technique] [4090|3060]
 //!                    [--telemetry] [--chrome-trace <out.json>]
 //!                    [--store DIR] [--daemon SOCK] [--passes SPEC]
 //! ```
+//!
+//! `export` writes one kernel stage of the workload's frame — by default
+//! the rewritable (gradient/histogram) stage the techniques target; pass
+//! a stage name (see `stages`) to export any other kernel. `stages`
+//! prints the frame's per-stage breakdown: name, role, simulated
+//! baseline cycles, and atomic request count.
 //!
 //! Technique names are resolved through the canonical registry
 //! (`arc_core::technique`) — any registered label or CLI name is
@@ -48,10 +55,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("export") => export(&args[1..]),
+        Some("stages") => stages(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("rewrite") => rewrite(&args[1..]),
         Some("sim") => sim(&args[1..]),
-        _ => Err("usage: trace_tool <export|stats|rewrite|sim> ...".to_string()),
+        _ => Err("usage: trace_tool <export|stages|stats|rewrite|sim> ...".to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -77,19 +85,53 @@ fn export(args: &[String]) -> Result<(), String> {
         .first()
         .zip(args.get(1))
         .map(|(a, b)| [a, b])
-        .ok_or("usage: trace_tool export <workload-id> <out.json> [scale]")?;
+        .ok_or("usage: trace_tool export <workload-id> <out.json> [scale] [stage]")?;
     let scale: f64 = args.get(2).map_or(Ok(1.0), |s| {
         s.parse().map_err(|_| "scale must be a number".to_string())
     })?;
     let spec = arc_workloads::spec(id).ok_or_else(|| format!("unknown workload `{id}`"))?;
-    let traces = spec.scaled(scale).build();
-    save(&traces.gradcomp, out)?;
+    let frame = spec.scaled(scale).build();
+    let stage = match args.get(3) {
+        Some(name) => frame.stage(name).ok_or_else(|| {
+            let names: Vec<&str> = frame.stages().iter().map(|s| s.name()).collect();
+            format!("no stage `{name}` in {id}; stages: {}", names.join(", "))
+        })?,
+        None => frame.rewritable(),
+    };
+    save(stage.trace(), out)?;
     println!(
-        "wrote {} ({} warps, {} atomic requests)",
+        "wrote {} (stage `{}`, {} warps, {} atomic requests)",
         out,
-        traces.gradcomp.warps().len(),
-        traces.gradcomp.total_atomic_requests()
+        stage.name(),
+        stage.trace().warps().len(),
+        stage.trace().total_atomic_requests()
     );
+    Ok(())
+}
+
+fn stages(args: &[String]) -> Result<(), String> {
+    let id = args
+        .first()
+        .ok_or("usage: trace_tool stages <workload-id> [scale]")?;
+    let scale: f64 = args.get(1).map_or(Ok(1.0), |s| {
+        s.parse().map_err(|_| "scale must be a number".to_string())
+    })?;
+    let spec = arc_workloads::spec(id).ok_or_else(|| format!("unknown workload `{id}`"))?;
+    let frame = spec.scaled(scale).build();
+    let sim = Simulator::new(GpuConfig::rtx4090_sim(), gpu_sim::AtomicPath::Baseline)
+        .map_err(|e| e.to_string())?;
+    println!("frame `{}` ({} stages):", frame.id(), frame.stages().len());
+    for stage in frame.stages() {
+        let r = sim.run(stage.trace()).map_err(|e| e.to_string())?;
+        println!(
+            "  {:16} {:10} cycles={:8} atomics={:8} warps={}",
+            stage.name(),
+            format!("{:?}", stage.role()).to_lowercase(),
+            r.cycles,
+            stage.trace().total_atomic_requests(),
+            stage.trace().warps().len()
+        );
+    }
     Ok(())
 }
 
@@ -230,6 +272,7 @@ fn sim(args: &[String]) -> Result<(), String> {
                 telemetry: tcfg,
                 want_chrome: false,
                 passes: passes.clone(),
+                stage: None,
             })
             .map_err(|e| e.to_string())?;
         (r.report, r.telemetry)
@@ -243,6 +286,7 @@ fn sim(args: &[String]) -> Result<(), String> {
             telemetry: tcfg,
             want_chrome: false,
             passes: passes.clone(),
+            stage: None,
         };
         let r = run_cell(Some(&store), &req, &EngineOpts::default()).map_err(|e| e.to_string())?;
         (r.report, r.telemetry)

@@ -106,7 +106,7 @@ pub fn obs1(h: &mut Harness) -> Vec<LocalityRow> {
     h.trace_batch(&ids);
     ids.into_iter()
         .map(|id| {
-            let stats = TraceStats::compute(&h.traces(&id).gradcomp);
+            let stats = TraceStats::compute(h.traces(&id).gradcomp());
             LocalityRow {
                 workload: id,
                 same_address: stats.same_address_fraction(),
@@ -132,7 +132,7 @@ pub fn fig7(h: &mut Harness, ids: &[&str]) -> Vec<HistogramRow> {
     h.trace_batch(&ids.iter().map(|id| id.to_string()).collect::<Vec<_>>());
     ids.iter()
         .map(|id| {
-            let stats = TraceStats::compute(&h.traces(id).gradcomp);
+            let stats = TraceStats::compute(h.traces(id).gradcomp());
             HistogramRow {
                 workload: id.to_string(),
                 buckets: stats.active_lanes.buckets().to_vec(),
@@ -480,7 +480,7 @@ pub fn pagerank_contrast(h: &mut Harness) -> PagerankRow {
     let stats = TraceStats::compute(&trace);
     let atomic_fraction = stats.atomic_requests as f64
         / (stats.atomic_requests + stats.load_sectors + stats.store_sectors) as f64;
-    let rendering = TraceStats::compute(&h.traces("3D-DR").gradcomp);
+    let rendering = TraceStats::compute(h.traces("3D-DR").gradcomp());
     PagerankRow {
         pagerank_locality: stats.same_address_multi_fraction(),
         pagerank_atomic_fraction: atomic_fraction,
@@ -554,13 +554,13 @@ pub fn scaling_sweep(scales: &[f64], jobs: usize) -> Vec<ScalingRow> {
             .build();
         let base_iter =
             arc_workloads::run_iteration(&cfg, Technique::Baseline, &traces).expect("drains");
-        let base = arc_workloads::run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp)
+        let base = arc_workloads::run_gradcomp(&cfg, Technique::Baseline, traces.gradcomp())
             .expect("drains");
         let hw =
-            arc_workloads::run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).expect("drains");
+            arc_workloads::run_gradcomp(&cfg, Technique::ArcHw, traces.gradcomp()).expect("drains");
         ScalingRow {
             scale,
-            atomic_requests: traces.gradcomp.total_atomic_requests(),
+            atomic_requests: traces.gradcomp().total_atomic_requests(),
             gradcomp_share: base_iter.fraction_of(KernelKind::GradCompute),
             arc_hw_speedup: base.cycles as f64 / hw.cycles as f64,
         }
@@ -592,7 +592,7 @@ pub fn roofline(h: &mut Harness) -> Vec<RooflineRow> {
     ));
     ids.into_iter()
         .map(|id| {
-            let stats = TraceStats::compute(&h.traces(&id).gradcomp);
+            let stats = TraceStats::compute(h.traces(&id).gradcomp());
             let profile = arc_core::analysis::KernelProfile::from_stats(&stats);
             RooflineRow {
                 predicted_hw: arc_core::analysis::predicted_hw_speedup(&model, &profile),

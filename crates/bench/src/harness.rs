@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use arc_core::passes::{PassCache, PassPipeline};
-use arc_workloads::{all_specs, IterationTraces, Technique, TechniquePath};
+use arc_workloads::{all_specs, FrameTrace, StageRole, Technique, TechniquePath};
 use gpu_sim::{
     par_map, AtomicPath, GpuConfig, IterationReport, KernelReport, KernelTelemetry, Simulator,
     TelemetryConfig, TelemetrySummary,
@@ -48,14 +48,14 @@ pub struct Harness {
     telemetry: TelemetryConfig,
     config_names: Interner,
     workload_names: Interner,
-    traces: HashMap<String, Arc<IterationTraces>>,
+    traces: HashMap<String, Arc<FrameTrace>>,
     sims: HashMap<(ConfigId, AtomicPath), Arc<Simulator>>,
     gradcomp_cache: HashMap<CacheKey, KernelReport>,
     iteration_cache: HashMap<CacheKey, IterationReport>,
     telemetry_cache: HashMap<CacheKey, KernelTelemetry>,
     store: Option<Arc<ResultStore>>,
     daemon: Option<Arc<DaemonClient>>,
-    service_traces: HashMap<(WorkloadId, KernelSel), (Arc<KernelTrace>, Digest)>,
+    service_traces: HashMap<(WorkloadId, usize), (Arc<KernelTrace>, Digest)>,
     passes: PassPipeline,
     /// Memoized optimized traces, keyed `workload-id/kernel`: across
     /// the full (config × technique) grid each kernel trace pays for
@@ -111,26 +111,14 @@ impl Interner {
 }
 
 /// A cache miss prepared for the job pool: its key plus the shared
-/// simulator and traces it runs on, and the workload id (the pass-cache
+/// simulator and frame it runs on, and the workload id (the pass-cache
 /// key prefix).
-type PreparedCell = (
-    CacheKey,
-    Arc<Simulator>,
-    Technique,
-    Arc<IterationTraces>,
-    String,
-);
-
-/// Which kernel of an iteration a service-backend request targets.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-enum KernelSel {
-    Forward,
-    Loss,
-    Gradcomp,
-}
+type PreparedCell = (CacheKey, Arc<Simulator>, Technique, Arc<FrameTrace>, String);
 
 /// One kernel-level request prepared for the service backend (store or
-/// daemon), with the trace digest already computed.
+/// daemon), with the trace digest already computed. `stage` is the
+/// frame-stage name; legacy names key identically to the stage-less
+/// era (see `sim_service::store_key_staged`).
 struct ServiceCell {
     cfg: GpuConfig,
     technique: Technique,
@@ -138,12 +126,13 @@ struct ServiceCell {
     rewrite: bool,
     digest: Digest,
     telemetry: Option<TelemetryConfig>,
+    stage: String,
 }
 
 /// The canonical non-rewriting technique for a hardware path: what the
-/// forward/loss kernels of an iteration run as (they are never
-/// trace-rewritten — see `run_iteration_with`), so every technique
-/// sharing a path also shares their store entries.
+/// fixed stages of a frame run as (they are never trace-rewritten — see
+/// `run_frame_staged`), so every technique sharing a path also shares
+/// their store entries.
 fn path_technique(path: AtomicPath) -> Technique {
     match path {
         AtomicPath::Baseline => Technique::Baseline,
@@ -172,7 +161,7 @@ fn optimize_cached(
     })
 }
 
-fn build_traces(scale: f64, id: &str) -> IterationTraces {
+fn build_traces(scale: f64, id: &str) -> FrameTrace {
     let spec = arc_workloads::spec(id).unwrap_or_else(|| panic!("unknown workload id `{id}`"));
     let spec = if (scale - 1.0).abs() < 1e-9 {
         spec
@@ -313,40 +302,52 @@ impl Harness {
         self.store.is_some() || self.daemon.is_some()
     }
 
-    /// The shared trace + digest for one kernel of a workload, cloned
-    /// out of the iteration bundle and hashed once on first use.
-    fn service_trace(&mut self, id: &str, kernel: KernelSel) -> (Arc<KernelTrace>, Digest) {
+    /// The shared trace + digest for one stage of a workload's frame,
+    /// cloned out of the frame and hashed once on first use.
+    fn service_trace(&mut self, id: &str, stage: usize) -> (Arc<KernelTrace>, Digest) {
         let wid = WorkloadId(self.workload_names.intern(id));
-        if let Some((trace, digest)) = self.service_traces.get(&(wid, kernel)) {
+        if let Some((trace, digest)) = self.service_traces.get(&(wid, stage)) {
             return (Arc::clone(trace), *digest);
         }
-        let traces = self.traces_arc(id);
-        let trace = Arc::new(match kernel {
-            KernelSel::Forward => traces.forward.clone(),
-            KernelSel::Loss => traces.loss.clone(),
-            KernelSel::Gradcomp => traces.gradcomp.clone(),
-        });
+        let frame = self.traces_arc(id);
+        let trace = Arc::new(frame.stages()[stage].trace().clone());
         let digest = trace_digest(&trace);
         self.service_traces
-            .insert((wid, kernel), (Arc::clone(&trace), digest));
+            .insert((wid, stage), (Arc::clone(&trace), digest));
         (trace, digest)
     }
 
-    /// Builds one service request. Forward/loss kernels run unrewritten
-    /// under the path's canonical technique; gradcomp carries the real
-    /// technique and its trace rewrite.
+    /// The index of the frame's primary rewritable stage (gradcomp for
+    /// legacy workloads, the radix digit histogram for tile-binned
+    /// ones).
+    fn rewritable_index(&mut self, id: &str) -> usize {
+        let frame = self.traces_arc(id);
+        frame
+            .stages()
+            .iter()
+            .position(|s| s.rewritable())
+            .unwrap_or_else(|| panic!("workload `{id}` has no rewritable stage"))
+    }
+
+    /// Builds one service request for stage `stage` of `id`'s frame.
+    /// Fixed stages run unrewritten under the path's canonical
+    /// technique; rewritable stages carry the real technique and its
+    /// trace rewrite.
     fn service_cell(
         &mut self,
         cfg: &GpuConfig,
         technique: Technique,
         id: &str,
-        kernel: KernelSel,
+        stage: usize,
         telemetry: bool,
     ) -> ServiceCell {
-        let (trace, digest) = self.service_trace(id, kernel);
-        let (technique, rewrite) = match kernel {
-            KernelSel::Gradcomp => (technique, true),
-            KernelSel::Forward | KernelSel::Loss => (path_technique(technique.path()), false),
+        let (trace, digest) = self.service_trace(id, stage);
+        let frame = self.traces_arc(id);
+        let s = &frame.stages()[stage];
+        let (technique, rewrite) = if s.rewritable() {
+            (technique, true)
+        } else {
+            (path_technique(technique.path()), false)
         };
         ServiceCell {
             cfg: cfg.clone(),
@@ -359,6 +360,7 @@ impl Harness {
             } else {
                 None
             },
+            stage: s.name().to_string(),
         }
     }
 
@@ -380,6 +382,7 @@ impl Harness {
                     telemetry: c.telemetry.clone(),
                     want_chrome: false,
                     passes: self.passes.clone(),
+                    stage: Some(c.stage.clone()),
                 })
                 .collect();
             let results = client.batch(wire).expect("daemon batch must succeed");
@@ -399,6 +402,7 @@ impl Harness {
                 telemetry: c.telemetry,
                 want_chrome: false,
                 passes: passes.clone(),
+                stage: Some(c.stage),
             };
             let r = run_cell_with_digest(Some(store), &req, &EngineOpts::default(), &c.digest)
                 .expect("kernel must drain");
@@ -447,18 +451,18 @@ impl Harness {
         }
     }
 
-    /// The (possibly scaled) traces for a workload, building them on
+    /// The (possibly scaled) frame for a workload, building it on
     /// first use.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not a Table-2 workload id.
-    pub fn traces(&mut self, id: &str) -> &IterationTraces {
+    /// Panics if `id` is not a registered workload id.
+    pub fn traces(&mut self, id: &str) -> &FrameTrace {
         self.ensure_trace(id);
         self.traces[id].as_ref()
     }
 
-    fn traces_arc(&mut self, id: &str) -> Arc<IterationTraces> {
+    fn traces_arc(&mut self, id: &str) -> Arc<FrameTrace> {
         self.ensure_trace(id);
         Arc::clone(&self.traces[id])
     }
@@ -506,8 +510,10 @@ impl Harness {
         sim
     }
 
-    /// Simulates (with caching) the gradient-computation kernel of
-    /// `id` under `technique` on `cfg`.
+    /// Simulates (with caching) the frame's primary rewritable stage —
+    /// the kernel the techniques target: gradcomp for the legacy
+    /// workloads, the radix digit histogram for tile-binned ones —
+    /// under `technique` on `cfg`.
     ///
     /// # Panics
     ///
@@ -519,12 +525,14 @@ impl Harness {
             return hit.clone();
         }
         let report = if self.service_enabled() {
-            let cell = self.service_cell(cfg, technique, id, KernelSel::Gradcomp, false);
+            let stage = self.rewritable_index(id);
+            let cell = self.service_cell(cfg, technique, id, stage, false);
             self.service_run(vec![cell]).remove(0).0
         } else {
-            let traces = self.traces_arc(id);
+            let frame = self.traces_arc(id);
             let sim = self.sim_for(cfg, technique.path());
-            let piped = self.optimized(id, "gradcomp", &traces.gradcomp, self.jobs);
+            let stage = frame.rewritable();
+            let piped = self.optimized(id, stage.name(), stage.trace(), self.jobs);
             sim.run(&technique.prepare_cow(&piped))
                 .expect("kernel must drain")
         };
@@ -555,13 +563,15 @@ impl Harness {
             return (report.clone(), tel.clone());
         }
         let (report, tel) = if self.service_enabled() {
-            let cell = self.service_cell(cfg, technique, id, KernelSel::Gradcomp, true);
+            let stage = self.rewritable_index(id);
+            let cell = self.service_cell(cfg, technique, id, stage, true);
             let (report, tel) = self.service_run(vec![cell]).remove(0);
             (report, tel.expect("telemetry was requested"))
         } else {
-            let traces = self.traces_arc(id);
+            let frame = self.traces_arc(id);
             let sim = self.telemetry_sim(cfg, technique.path());
-            let piped = self.optimized(id, "gradcomp", &traces.gradcomp, self.jobs);
+            let stage = frame.rewritable();
+            let piped = self.optimized(id, stage.name(), stage.trace(), self.jobs);
             let (report, tel) = sim
                 .run_with_telemetry(&technique.prepare_cow(&piped))
                 .expect("kernel must drain");
@@ -597,7 +607,10 @@ impl Harness {
         if self.service_enabled() {
             let svc: Vec<ServiceCell> = misses
                 .iter()
-                .map(|(cfg, t, id)| self.service_cell(cfg, *t, id, KernelSel::Gradcomp, true))
+                .map(|(cfg, t, id)| {
+                    let stage = self.rewritable_index(id);
+                    self.service_cell(cfg, *t, id, stage, true)
+                })
                 .collect();
             for (key, (report, tel)) in keys.into_iter().zip(self.service_run(svc)) {
                 self.gradcomp_cache.insert(key, report);
@@ -610,13 +623,14 @@ impl Harness {
         let mut todo: Vec<PreparedCell> = Vec::new();
         for ((cfg, technique, id), key) in misses.iter().zip(&keys) {
             let sim = Arc::new(self.telemetry_sim(cfg, technique.path()));
-            let traces = Arc::clone(&self.traces[id.as_str()]);
-            todo.push((*key, sim, *technique, traces, id.clone()));
+            let frame = Arc::clone(&self.traces[id.as_str()]);
+            todo.push((*key, sim, *technique, frame, id.clone()));
         }
         let cache = &self.pass_cache;
         let passes = &self.passes;
-        let results = par_map(jobs, todo, move |(key, sim, technique, traces, id)| {
-            let piped = optimize_cached(cache, passes, &id, "gradcomp", &traces.gradcomp, 1);
+        let results = par_map(jobs, todo, move |(key, sim, technique, frame, id)| {
+            let stage = frame.rewritable();
+            let piped = optimize_cached(cache, passes, &id, stage.name(), stage.trace(), 1);
             let (report, tel) = sim
                 .run_with_telemetry(&technique.prepare_cow(&piped))
                 .expect("kernel must drain");
@@ -672,7 +686,9 @@ impl Harness {
         (*base).clone().with_telemetry(self.telemetry.clone())
     }
 
-    /// Simulates (with caching) the full training iteration.
+    /// Simulates (with caching) the full frame — every stage of the
+    /// workload's pipeline, in order (three kernels for the legacy
+    /// workloads, six for tile-binned 3DGS).
     ///
     /// # Panics
     ///
@@ -688,21 +704,26 @@ impl Harness {
             return hit.clone();
         }
         let report = if self.service_enabled() {
-            let svc = vec![
-                self.service_cell(cfg, technique, id, KernelSel::Forward, false),
-                self.service_cell(cfg, technique, id, KernelSel::Loss, false),
-                self.service_cell(cfg, technique, id, KernelSel::Gradcomp, false),
-            ];
+            let stages = self.traces_arc(id).stages().len();
+            let svc: Vec<ServiceCell> = (0..stages)
+                .map(|stage| self.service_cell(cfg, technique, id, stage, false))
+                .collect();
             let kernels = self.service_run(svc).into_iter().map(|(r, _)| r).collect();
             IterationReport { kernels }
         } else {
-            let traces = self.traces_arc(id);
+            let frame = self.traces_arc(id);
             let sim = self.sim_for(cfg, technique.path());
-            let forward = self.optimized(id, "forward", &traces.forward, self.jobs);
-            let loss = self.optimized(id, "loss", &traces.loss, self.jobs);
-            let gradcomp = self.optimized(id, "gradcomp", &traces.gradcomp, self.jobs);
-            arc_workloads::run_iteration_optimized(&sim, technique, &forward, &loss, &gradcomp)
-                .expect("iteration must drain")
+            let optimized: Vec<(StageRole, Arc<KernelTrace>)> = frame
+                .stages()
+                .iter()
+                .map(|s| (s.role(), self.optimized(id, s.name(), s.trace(), self.jobs)))
+                .collect();
+            arc_workloads::run_frame_staged(
+                &sim,
+                technique,
+                optimized.iter().map(|(role, t)| (*role, t.as_ref())),
+            )
+            .expect("iteration must drain")
         };
         self.iteration_cache.insert(key, report.clone());
         report
@@ -753,19 +774,24 @@ impl Harness {
 
         if self.service_enabled() {
             if iteration {
-                // Three kernel requests per iteration cell, flattened so
-                // the pool (or daemon) schedules them all at once.
+                // One kernel request per frame stage per cell, flattened
+                // so the pool (or daemon) schedules them all at once;
+                // per-cell stage counts unflatten the results (frames
+                // are no longer uniformly three kernels).
                 let mut svc = Vec::new();
+                let mut counts = Vec::with_capacity(misses.len());
                 for (cfg, t, id) in &misses {
-                    svc.push(self.service_cell(cfg, *t, id, KernelSel::Forward, false));
-                    svc.push(self.service_cell(cfg, *t, id, KernelSel::Loss, false));
-                    svc.push(self.service_cell(cfg, *t, id, KernelSel::Gradcomp, false));
+                    let stages = self.traces_arc(id).stages().len();
+                    counts.push(stages);
+                    for stage in 0..stages {
+                        svc.push(self.service_cell(cfg, *t, id, stage, false));
+                    }
                 }
                 let mut results = self.service_run(svc).into_iter();
-                for key in keys {
-                    let mut kernels = Vec::with_capacity(3);
-                    for _ in 0..3 {
-                        kernels.push(results.next().expect("three kernels per cell").0);
+                for (key, stages) in keys.into_iter().zip(counts) {
+                    let mut kernels = Vec::with_capacity(stages);
+                    for _ in 0..stages {
+                        kernels.push(results.next().expect("one kernel per stage").0);
                     }
                     self.iteration_cache
                         .insert(key, IterationReport { kernels });
@@ -773,7 +799,10 @@ impl Harness {
             } else {
                 let svc: Vec<ServiceCell> = misses
                     .iter()
-                    .map(|(cfg, t, id)| self.service_cell(cfg, *t, id, KernelSel::Gradcomp, false))
+                    .map(|(cfg, t, id)| {
+                        let stage = self.rewritable_index(id);
+                        self.service_cell(cfg, *t, id, stage, false)
+                    })
                     .collect();
                 for (key, (report, _)) in keys.into_iter().zip(self.service_run(svc)) {
                     self.gradcomp_cache.insert(key, report);
@@ -785,8 +814,8 @@ impl Harness {
         let mut todo: Vec<PreparedCell> = Vec::new();
         for ((cfg, technique, id), key) in misses.iter().zip(&keys) {
             let sim = self.sim_for(cfg, technique.path());
-            let traces = Arc::clone(&self.traces[id.as_str()]);
-            todo.push((*key, sim, *technique, traces, id.clone()));
+            let frame = Arc::clone(&self.traces[id.as_str()]);
+            todo.push((*key, sim, *technique, frame, id.clone()));
         }
 
         // Simulate across the pool; inserting in input order keeps the
@@ -794,12 +823,19 @@ impl Harness {
         let cache = &self.pass_cache;
         let passes = &self.passes;
         if iteration {
-            let reports = par_map(jobs, todo, move |(key, sim, technique, traces, id)| {
-                let forward = optimize_cached(cache, passes, &id, "forward", &traces.forward, 1);
-                let loss = optimize_cached(cache, passes, &id, "loss", &traces.loss, 1);
-                let gradcomp = optimize_cached(cache, passes, &id, "gradcomp", &traces.gradcomp, 1);
-                let report = arc_workloads::run_iteration_optimized(
-                    &sim, technique, &forward, &loss, &gradcomp,
+            let reports = par_map(jobs, todo, move |(key, sim, technique, frame, id)| {
+                let optimized: Vec<(StageRole, Arc<KernelTrace>)> = frame
+                    .stages()
+                    .iter()
+                    .map(|s| {
+                        let t = optimize_cached(cache, passes, &id, s.name(), s.trace(), 1);
+                        (s.role(), t)
+                    })
+                    .collect();
+                let report = arc_workloads::run_frame_staged(
+                    &sim,
+                    technique,
+                    optimized.iter().map(|(role, t)| (*role, t.as_ref())),
                 )
                 .expect("iteration must drain");
                 (key, report)
@@ -808,8 +844,9 @@ impl Harness {
                 self.iteration_cache.insert(key, report);
             }
         } else {
-            let reports = par_map(jobs, todo, move |(key, sim, technique, traces, id)| {
-                let piped = optimize_cached(cache, passes, &id, "gradcomp", &traces.gradcomp, 1);
+            let reports = par_map(jobs, todo, move |(key, sim, technique, frame, id)| {
+                let stage = frame.rewritable();
+                let piped = optimize_cached(cache, passes, &id, stage.name(), stage.trace(), 1);
                 let report = sim
                     .run(&technique.prepare_cow(&piped))
                     .expect("kernel must drain");

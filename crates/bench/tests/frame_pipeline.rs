@@ -1,0 +1,93 @@
+//! End-to-end coverage for the tile-binned 3DGS frame (`3D-TB`) through
+//! the bench harness: the six-stage pipeline must simulate under every
+//! registered technique on both the engine path and the store-backed
+//! service path (exercising the stage-tagged store keys), and the
+//! rewritable radix-histogram stage must be where the techniques bite.
+//!
+//! Image correctness (tile-binned rasterize == functional rasterizer)
+//! and the sorted-key / bin-edge structural invariants are pinned in
+//! `arc-diffrender`'s primitives tests; per-stage oracle coverage lives
+//! in the conformance crate. This test owns the harness plumbing.
+
+use arc_bench::Harness;
+use arc_core::BalanceThreshold;
+use arc_workloads::{StageRole, Technique};
+use gpu_sim::GpuConfig;
+
+const SCALE: f64 = 0.15;
+
+#[test]
+fn tile_binned_frame_runs_under_every_technique() {
+    let mut h = Harness::new(SCALE);
+    let cfg = GpuConfig::tiny();
+    let thr = BalanceThreshold::new(8).expect("0..=32");
+
+    let stages = h.traces("3D-TB").stages().len();
+    assert!(stages > 3, "3D-TB must be a multi-kernel frame");
+
+    let mut baseline_total = 0u64;
+    for technique in Technique::all_with(&[thr]) {
+        let report = h.iteration(&cfg, technique, "3D-TB");
+        assert_eq!(
+            report.kernels.len(),
+            stages,
+            "{} must simulate one kernel per stage",
+            technique.label()
+        );
+        assert!(
+            report.kernels.iter().all(|k| k.cycles > 0),
+            "{} produced an empty stage report",
+            technique.label()
+        );
+        if technique == Technique::Baseline {
+            baseline_total = report.total_cycles();
+        }
+    }
+    assert!(baseline_total > 0, "baseline frame must cost cycles");
+
+    // The frame names exactly one rewritable stage, and it is the radix
+    // sort's histogram kernel — the contention point ARC targets.
+    let frame = h.traces("3D-TB");
+    let rewritable: Vec<&str> = frame
+        .stages()
+        .iter()
+        .filter(|s| s.role() == StageRole::Rewritable)
+        .map(|s| s.name())
+        .collect();
+    assert_eq!(rewritable, ["radix-histogram"]);
+}
+
+#[test]
+fn tile_binned_frame_round_trips_the_stage_keyed_store() {
+    let dir = std::env::temp_dir().join(format!("arc-frame-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().expect("utf-8 temp dir").to_string();
+    let cfg = GpuConfig::tiny();
+
+    // Cold pass: every stage of every technique simulates and lands in
+    // the store under its stage-tagged key.
+    let mut cold = Harness::new(SCALE);
+    cold.set_store_dir(&store).expect("temp store opens");
+    let base = cold.iteration(&cfg, Technique::Baseline, "3D-TB");
+    let hw = cold.iteration(&cfg, Technique::ArcHw, "3D-TB");
+    let cold_stats = cold.store_stats().expect("store configured");
+    assert_eq!(cold_stats.hits, 0, "cold pass cannot hit");
+    assert!(cold_stats.misses > 0);
+
+    // Warm pass through a fresh harness: only the on-disk store carries
+    // state, so every stage must be served from its key.
+    let mut warm = Harness::new(SCALE);
+    warm.set_store_dir(&store).expect("temp store reopens");
+    let base_warm = warm.iteration(&cfg, Technique::Baseline, "3D-TB");
+    let hw_warm = warm.iteration(&cfg, Technique::ArcHw, "3D-TB");
+    let warm_stats = warm.store_stats().expect("store configured");
+    assert_eq!(warm_stats.misses, 0, "warm pass must be all hits");
+    assert_eq!(warm_stats.hits, cold_stats.misses);
+
+    let cycles =
+        |r: &gpu_sim::IterationReport| -> Vec<u64> { r.kernels.iter().map(|k| k.cycles).collect() };
+    assert_eq!(cycles(&base), cycles(&base_warm), "store changed results");
+    assert_eq!(cycles(&hw), cycles(&hw_warm), "store changed results");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

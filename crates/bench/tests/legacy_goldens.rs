@@ -1,0 +1,116 @@
+//! Bit-identity goldens for the three-stage legacy workloads.
+//!
+//! The checked-in golden under `tests/golden/legacy_frames.txt` was
+//! blessed against the pre-frame-pipeline code (fixed
+//! `forward`/`loss`/`gradcomp` fields); this test replays the same grid
+//! through the current APIs and compares byte-for-byte, pinning that
+//! the `IterationTraces` → `FrameTrace` rebase changed no report bytes,
+//! no telemetry/chrome bytes, and no sim-service store keys for legacy
+//! workloads. Rows use the determinism probe's canonical-line style so
+//! a mismatch diff reads the same as the CI determinism matrix.
+//!
+//! Re-bless (only for an intentional simulator change, never for a
+//! refactor) with `UPDATE_GOLDENS=1 cargo test -p arc-bench --test
+//! legacy_goldens`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use arc_core::passes::PassPipeline;
+use arc_core::technique::Technique;
+use arc_core::BalanceThreshold;
+use arc_workloads::StageRole;
+use gpu_sim::{GpuConfig, TelemetryConfig};
+use sim_service::{request_key, run_cell, trace_digest, EngineOpts, SimRequest};
+
+const SCALE: f64 = 0.2;
+const INTERVAL: u64 = 32;
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/legacy_frames.txt")
+}
+
+/// FNV-1a, the same fingerprint the determinism probe uses for chrome
+/// traces, applied here to every serialized artifact so the golden file
+/// stays small while still covering full bytes.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One canonical line per (workload, stage, technique) cell covering
+/// the report bytes, telemetry bytes, chrome bytes, and the store key.
+fn render_rows() -> String {
+    let cfg = GpuConfig::tiny();
+    let tcfg = TelemetryConfig::every(INTERVAL);
+    let thr = BalanceThreshold::new(16).expect("0..=32");
+    let techniques = [Technique::Baseline, Technique::ArcHw, Technique::SwB(thr)];
+
+    let mut out = String::new();
+    for id in ["3D-LE", "PS-SS"] {
+        let frame = arc_workloads::spec(id)
+            .expect("known workload")
+            .scaled(SCALE)
+            .build();
+        assert!(frame.is_legacy(), "{id} must stay a legacy 3-stage frame");
+        for kernel in frame.stages() {
+            let stage = kernel.name();
+            let rewrite = kernel.role() == StageRole::Rewritable;
+            let trace = Arc::new(kernel.trace().clone());
+            for technique in techniques {
+                // `stage` is set on the request exactly as the harness
+                // now sends it; for legacy stage names the request key
+                // must still match the pre-refactor golden.
+                let req = SimRequest {
+                    config: cfg.clone(),
+                    technique,
+                    trace: Arc::clone(&trace),
+                    rewrite,
+                    telemetry: Some(tcfg.clone()),
+                    want_chrome: true,
+                    passes: PassPipeline::empty(),
+                    stage: Some(stage.to_string()),
+                };
+                let digest = trace_digest(&trace);
+                let key = request_key(&req, &digest);
+                let result = run_cell(None, &req, &EngineOpts::default()).expect("cell simulates");
+                let report_json = serde_json::to_string(&result.report).expect("report serializes");
+                let tel = result.telemetry.expect("telemetry requested");
+                let tel_json = serde_json::to_string(&tel).expect("telemetry serializes");
+                let chrome = result.chrome.expect("chrome requested");
+                out.push_str(&format!(
+                    "{id} {stage:<8} {:<8} cycles={} report_fnv={:016x} telemetry_fnv={:016x} chrome_fnv={:016x} key={}\n",
+                    technique.label(),
+                    result.report.cycles,
+                    fnv1a(report_json.as_bytes()),
+                    fnv1a(tel_json.as_bytes()),
+                    fnv1a(chrome.as_bytes()),
+                    key.to_hex(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn legacy_workloads_are_bit_identical_to_golden() {
+    let got = render_rows();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "legacy three-stage outputs diverged from the blessed golden \
+         (report/telemetry/chrome bytes or store keys changed)"
+    );
+}

@@ -61,13 +61,21 @@ pub enum TraceShape {
     /// Occasional stores break the spans so hoisting must respect
     /// write barriers.
     LoopHeavy,
+    /// Radix-sort digit-histogram bursts: many warps all hammering the
+    /// same tiny bank of counter words (one per 4-bit digit), each lane
+    /// incrementing the counter its key's digit selects. The shape of
+    /// the tile-binned 3DGS sort front-end — few distinct addresses,
+    /// heavy inter-warp contention, moderate per-instruction
+    /// same-address multiplicity — which routes differently from both
+    /// hot storms (one word) and scatter mixes (many words).
+    SortHistogram,
 }
 
 impl TraceShape {
     /// All shapes in generation order. New shapes are appended so the
     /// `case -> shape` mapping of earlier cases (and everything derived
     /// from their RNG streams, like the checked-in golden) is stable.
-    pub const ALL: [TraceShape; 8] = [
+    pub const ALL: [TraceShape; 9] = [
         TraceShape::Degenerate,
         TraceShape::HotAddressStorm,
         TraceShape::FullDensify,
@@ -76,6 +84,7 @@ impl TraceShape {
         TraceShape::SparseIdle,
         TraceShape::IcntFlood,
         TraceShape::LoopHeavy,
+        TraceShape::SortHistogram,
     ];
 
     /// Short label used in trace names and failure messages.
@@ -89,6 +98,7 @@ impl TraceShape {
             TraceShape::SparseIdle => "sparse-idle",
             TraceShape::IcntFlood => "icnt-flood",
             TraceShape::LoopHeavy => "loop-heavy",
+            TraceShape::SortHistogram => "sort-histogram",
         }
     }
 }
@@ -140,6 +150,7 @@ impl Fuzzer {
             TraceShape::SparseIdle => self.sparse_idle_warps(),
             TraceShape::IcntFlood => self.icnt_flood_warps(),
             TraceShape::LoopHeavy => self.loop_heavy_warps(),
+            TraceShape::SortHistogram => self.sort_histogram_warps(),
         };
         KernelTrace::new(name, KernelKind::GradCompute, warps)
     }
@@ -408,6 +419,42 @@ impl Fuzzer {
             .collect()
     }
 
+    fn sort_histogram_warps(&mut self) -> Vec<WarpTrace> {
+        // A radix-sort counting pass over random keys: every warp runs
+        // several key-chunk iterations, and each iteration ends in one
+        // atomic where every active lane bumps the counter word its
+        // key digit selects. All warps share the same 16-word counter
+        // bank, so the inter-warp collision rate is maximal while the
+        // per-instruction same-address multiplicity stays moderate
+        // (32 lanes over up to 16 words) — between the hot-storm and
+        // scatter extremes the other shapes pin down.
+        let digits = *pick(&mut self.rng, &[4usize, 8, 16]);
+        let base = self.rng.gen_range(0..4u64) * 0x100;
+        let warps = self.rng.gen_range(6..=16usize);
+        (0..warps)
+            .map(|_| {
+                let mut b = WarpTraceBuilder::new();
+                for iter in 0..self.rng.gen_range(2..=6usize) {
+                    if iter % 2 == 0 {
+                        b.load(self.rng.gen_range(2..=4u16)); // key chunk
+                    }
+                    b.compute(ComputeKind::IntAlu, 2); // shift + mask
+                    let mask = self.lane_mask(8..=WARP_SIZE);
+                    let ops = mask
+                        .iter()
+                        .map(|&lane| LaneOp {
+                            lane,
+                            addr: base + u64::from(self.rng.gen_range(0..digits as u32)) * 4,
+                            value: 1.0,
+                        })
+                        .collect();
+                    b.atomic(AtomicInstr::new(ops));
+                }
+                b.finish()
+            })
+            .collect()
+    }
+
     // --- primitive draws ------------------------------------------------
 
     /// A word-aligned gradient address from a small pool, so distinct
@@ -572,6 +619,30 @@ mod tests {
             sectors.dedup();
             assert_eq!(sectors.len(), 1, "identical load per iteration");
         }
+    }
+
+    #[test]
+    fn sort_histogram_hammers_a_small_counter_bank() {
+        let mut f = Fuzzer::new(3, 8); // case 8 = SortHistogram
+        assert_eq!(f.shape(), TraceShape::SortHistogram);
+        let t = f.trace();
+        assert!(t.warps().len() >= 6, "histogram keeps many warps busy");
+        assert!(t.total_atomic_requests() > 0);
+        let mut addrs: Vec<u64> = t
+            .bundles()
+            .flat_map(|b| b.params.iter())
+            .flat_map(|p| p.ops().iter().map(|op| op.addr))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert!(
+            addrs.len() <= 16,
+            "all warps share one digit-counter bank, got {} words",
+            addrs.len()
+        );
+        assert!(addrs.len() >= 2, "a histogram is not a single hot word");
+        let span = addrs.last().unwrap() - addrs.first().unwrap();
+        assert!(span < 16 * 4, "counters are contiguous words");
     }
 
     #[test]

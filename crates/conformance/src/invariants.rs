@@ -560,6 +560,7 @@ fn store_equivalence_in(
             telemetry: Some(tcfg.clone()),
             want_chrome: true,
             passes: PassPipeline::empty(),
+            stage: None,
         };
 
         // Reference semantics: a fresh engine run with no store at all.
@@ -632,6 +633,7 @@ fn store_equivalence_in(
                 telemetry: Some(tcfg.clone()),
                 want_chrome: true,
                 passes: PassPipeline::empty(),
+                stage: None,
             })
             .map_err(|e| err(format!("{technique:?}: daemon round-trip: {e}")))?;
         if !served.cached {

@@ -1,0 +1,39 @@
+//! Per-stage conformance coverage for the tile-binned 3DGS frame: every
+//! kernel of the multi-stage pipeline — intersect mapping, scan, the
+//! radix sort's atomic histogram and scatter, bin-edge extraction, and
+//! the tile-local rasterizer — must satisfy the functional oracle and
+//! the metamorphic simulator invariants, not just the legacy gradcomp
+//! kernel the suite has always covered.
+
+use conformance::{invariants, oracle};
+use gpu_sim::GpuConfig;
+
+#[test]
+fn tile_binned_stages_pass_oracle_and_invariants() {
+    let frame = arc_workloads::spec("3D-TB")
+        .expect("tile-binned workload registered")
+        .scaled(0.15)
+        .build();
+    assert!(
+        frame.stages().len() > 3,
+        "3D-TB must be a multi-kernel frame"
+    );
+    let cfg = GpuConfig::tiny();
+    let mut atomic_stages = 0usize;
+    for stage in frame.stages() {
+        let trace = stage.trace();
+        if trace.total_atomic_requests() > 0 {
+            atomic_stages += 1;
+        }
+        if let Err(e) = oracle::check_trace(trace) {
+            panic!("oracle failed on stage {}: {e}", stage.name());
+        }
+        if let Err(e) = invariants::check_trace(&cfg, trace) {
+            panic!("invariants failed on stage {}: {e}", stage.name());
+        }
+    }
+    assert!(
+        atomic_stages >= 1,
+        "the radix histogram stage must carry atomics for the oracle to bite on"
+    );
+}

@@ -52,6 +52,7 @@ fn request(trace: Arc<warp_trace::KernelTrace>) -> SimRequest {
         telemetry: Some(TelemetryConfig::every(8)),
         want_chrome: true,
         passes: PassPipeline::empty(),
+        stage: None,
     }
 }
 

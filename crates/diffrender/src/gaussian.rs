@@ -241,7 +241,7 @@ impl SplatScene {
     }
 
     /// Derived per-splat render quantities.
-    fn prepare(&self) -> Prepared {
+    pub(crate) fn prepare(&self) -> Prepared {
         let n = self.len();
         let mut conic = Vec::with_capacity(n);
         let mut radius = Vec::with_capacity(n);
@@ -262,9 +262,9 @@ impl Default for GaussianModel {
     }
 }
 
-struct Prepared {
-    conic: Vec<Mat2Sym>,
-    radius: Vec<f32>,
+pub(crate) struct Prepared {
+    pub(crate) conic: Vec<Mat2Sym>,
+    pub(crate) radius: Vec<f32>,
 }
 
 /// Per-tile Gaussian lists (the `prims_per_thread` input of paper
@@ -377,6 +377,30 @@ pub fn build_tile_lists(scene: &SplatScene, width: usize, height: usize) -> Tile
     build_tile_lists_prepared(scene, &prepared, width, height)
 }
 
+/// The inclusive tile-index span a splat's bounding circle covers, or
+/// `None` if the splat is culled. Shared by the direct binning below
+/// and the tile-binned pipeline's `map_gaussians_to_intersect`
+/// ([`crate::primitives`]) so both cull identically.
+pub(crate) fn tile_span(
+    mean: Vec2,
+    radius: f32,
+    tiles_x: usize,
+    tiles_y: usize,
+) -> Option<(usize, usize, usize, usize)> {
+    let (m, r) = (mean, radius);
+    let x0 = (((m.x - r) / TILE as f32).floor().max(0.0)) as usize;
+    let y0 = (((m.y - r) / TILE as f32).floor().max(0.0)) as usize;
+    if m.x + r < 0.0 || m.y + r < 0.0 {
+        return None;
+    }
+    let x1 = (((m.x + r) / TILE as f32).floor() as usize).min(tiles_x.saturating_sub(1));
+    let y1 = (((m.y + r) / TILE as f32).floor() as usize).min(tiles_y.saturating_sub(1));
+    if x0 > x1 || y0 > y1 || x0 >= tiles_x || y0 >= tiles_y {
+        return None;
+    }
+    Some((x0, x1, y0, y1))
+}
+
 fn build_tile_lists_prepared(
     scene: &SplatScene,
     prepared: &Prepared,
@@ -387,18 +411,11 @@ fn build_tile_lists_prepared(
     let tiles_y = height.div_ceil(TILE);
     let mut lists = vec![Vec::new(); tiles_x * tiles_y];
     for gid in 0..scene.len() {
-        let m = scene.mean[gid];
-        let r = prepared.radius[gid];
-        let x0 = (((m.x - r) / TILE as f32).floor().max(0.0)) as usize;
-        let y0 = (((m.y - r) / TILE as f32).floor().max(0.0)) as usize;
-        if m.x + r < 0.0 || m.y + r < 0.0 {
+        let Some((x0, x1, y0, y1)) =
+            tile_span(scene.mean[gid], prepared.radius[gid], tiles_x, tiles_y)
+        else {
             continue;
-        }
-        let x1 = (((m.x + r) / TILE as f32).floor() as usize).min(tiles_x.saturating_sub(1));
-        let y1 = (((m.y + r) / TILE as f32).floor() as usize).min(tiles_y.saturating_sub(1));
-        if x0 > x1 || y0 > y1 || x0 >= tiles_x || y0 >= tiles_y {
-            continue;
-        }
+        };
         for ty in y0..=y1 {
             for tx in x0..=x1 {
                 lists[ty * tiles_x + tx].push(gid as u32);
@@ -463,6 +480,32 @@ pub fn render_scene(
 ) -> RenderOutput {
     let prepared = scene.prepare();
     let tiles = build_tile_lists_prepared(scene, &prepared, width, height);
+    render_prepared_with_lists(scene, &prepared, tiles, width, height, background)
+}
+
+/// Rasterizes from externally supplied per-tile lists (the tail of the
+/// tile-binned pipeline: `map_gaussians_to_intersect` → radix sort →
+/// `tile_bin_edges` produce `tiles`, then this composites exactly like
+/// [`render_scene`]). Lists must be in compositing order per tile.
+pub fn render_with_lists(
+    scene: &SplatScene,
+    tiles: TileLists,
+    width: usize,
+    height: usize,
+    background: Vec3,
+) -> RenderOutput {
+    let prepared = scene.prepare();
+    render_prepared_with_lists(scene, &prepared, tiles, width, height, background)
+}
+
+fn render_prepared_with_lists(
+    scene: &SplatScene,
+    prepared: &Prepared,
+    tiles: TileLists,
+    width: usize,
+    height: usize,
+    background: Vec3,
+) -> RenderOutput {
     let mut image = Image::new(width, height);
     let mut final_t = vec![1.0f32; width * height];
     let mut n_processed = vec![0u32; width * height];

@@ -4,7 +4,11 @@
 //! renderer — each with a functional forward pass, an analytic backward
 //! pass (verified against finite differences), and a generator that
 //! turns the backward pass into a warp-level [`warp_trace::KernelTrace`]
-//! for the GPU simulator.
+//! for the GPU simulator. [`primitives`] adds the GPU building blocks
+//! of a production tile-binned 3DGS frame — 4-bit radix sort (with its
+//! atomic digit histogram), work-efficient exclusive scan, key
+//! expansion, and bin-edge extraction — each as a functional model
+//! plus a traced kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,6 +21,7 @@ pub mod math;
 pub mod math3d;
 pub mod nvdiff;
 pub mod optim;
+pub mod primitives;
 pub mod projection;
 pub mod pulsar;
 pub mod sh;

@@ -1,0 +1,588 @@
+//! Reusable GPU primitives for the tile-binned 3DGS front-end: 4-bit
+//! LSD radix sort and a work-efficient exclusive scan, as **functional
+//! models** (exact CPU reference results) paired with **trace
+//! emitters** (the warp-level instruction streams the simulator runs).
+//!
+//! Production Gaussian-splatting renderers spend a large share of each
+//! frame before the rasterizer ever fires:
+//!
+//! 1. `map_gaussians_to_intersect` — expand each splat into one
+//!    `(tile, depth)` key per overlapped tile;
+//! 2. an exclusive scan over per-splat tile counts sizes the key
+//!    buffer;
+//! 3. a radix sort by key groups each tile's splats contiguously in
+//!    depth order — each 4-bit digit pass first builds a **digit
+//!    histogram with global atomic adds** (every warp hammering the
+//!    same 16 counters: the contention-heavy regime the ARC paths
+//!    adaptively reduce), then scatters by scanned rank;
+//! 4. `tile_bin_edges` — find each tile's `[start, end)` range in the
+//!    sorted keys;
+//! 5. tile-local rasterization walks each tile's range.
+//!
+//! [`tile_binned_pipeline`] runs all five against a [`SplatScene`] and
+//! returns both the functional results (validated against the direct
+//! rasterizer: same per-tile lists, same image) and one
+//! [`KernelTrace`] per stage. Keys pack `(tile, depth-rank)` with the
+//! splat id as the depth rank — scene order **is** compositing order
+//! in this renderer (see [`TileLists`]) — so the sorted key stream
+//! reproduces the reference binning exactly.
+
+use warp_trace::{
+    AtomicInstr, ComputeKind, KernelKind, KernelTrace, LaneOp, WarpTraceBuilder, WARP_SIZE,
+};
+
+use crate::gaussian::{self, RenderOutput, SplatScene, TileLists};
+use crate::math::Vec3;
+use crate::tracegen::{self, TraceCosts};
+
+/// Radix-sort digit width in bits.
+pub const RADIX_BITS: u32 = 4;
+/// Buckets per digit pass (`1 << RADIX_BITS`).
+pub const RADIX: usize = 1 << RADIX_BITS;
+/// Bits reserved for the depth rank (splat id) in the low key half;
+/// the tile index occupies the bits above.
+pub const DEPTH_BITS: u32 = 20;
+/// Base address of the digit-histogram counters (distinct from the
+/// gradient parameter arrays of [`crate::tracegen`] and the loss /
+/// image buffers, so frame stages never alias).
+pub const HIST_BASE: u64 = 0x6000_0000;
+/// Keys each histogram/scatter warp owns (4 full-warp iterations).
+pub const KEYS_PER_WARP: usize = 4 * WARP_SIZE;
+
+/// Packs a `(tile, depth-rank)` sort key.
+pub fn pack_key(tile: u32, depth_rank: u32) -> u64 {
+    debug_assert!(u64::from(depth_rank) < (1u64 << DEPTH_BITS));
+    (u64::from(tile) << DEPTH_BITS) | u64::from(depth_rank)
+}
+
+/// The tile index of a packed key.
+pub fn key_tile(key: u64) -> u32 {
+    (key >> DEPTH_BITS) as u32
+}
+
+/// The depth rank (splat id) of a packed key.
+pub fn key_depth(key: u64) -> u32 {
+    (key & ((1u64 << DEPTH_BITS) - 1)) as u32
+}
+
+/// Work-efficient exclusive prefix sum (Blelloch up-sweep +
+/// down-sweep reference semantics; computed serially here, emitted as
+/// the traced kernel by [`scan_trace`]).
+pub fn exclusive_scan(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0u32;
+    for &x in xs {
+        out.push(acc);
+        acc += x;
+    }
+    out
+}
+
+/// Stable LSD radix sort over packed keys, 4 bits per pass. Returns
+/// the sorted keys plus each pass's digit histogram (the values the
+/// traced histogram kernel's atomics must reproduce).
+pub fn radix_sort(keys: &[u64]) -> (Vec<u64>, Vec<[u32; RADIX]>) {
+    let passes = sort_passes(keys);
+    let mut cur = keys.to_vec();
+    let mut histograms = Vec::with_capacity(passes as usize);
+    for p in 0..passes {
+        let shift = p * RADIX_BITS;
+        let mut hist = [0u32; RADIX];
+        for &k in &cur {
+            hist[((k >> shift) as usize) & (RADIX - 1)] += 1;
+        }
+        let mut offsets = [0u32; RADIX];
+        let mut acc = 0u32;
+        for d in 0..RADIX {
+            offsets[d] = acc;
+            acc += hist[d];
+        }
+        let mut next = vec![0u64; cur.len()];
+        for &k in &cur {
+            let d = ((k >> shift) as usize) & (RADIX - 1);
+            next[offsets[d] as usize] = k;
+            offsets[d] += 1;
+        }
+        histograms.push(hist);
+        cur = next;
+    }
+    (cur, histograms)
+}
+
+/// Digit passes needed to cover the widest key (at least one).
+pub fn sort_passes(keys: &[u64]) -> u32 {
+    let max = keys.iter().copied().max().unwrap_or(0);
+    let bits = 64 - max.leading_zeros();
+    bits.div_ceil(RADIX_BITS).max(1)
+}
+
+/// The key expansion stage's functional output.
+#[derive(Clone, Debug)]
+pub struct IntersectMap {
+    /// One `(tile, depth-rank)` key per (splat, overlapped tile) pair,
+    /// in splat order (unsorted).
+    pub keys: Vec<u64>,
+    /// Tiles each splat touches (zero when culled) — the scan input.
+    pub tiles_touched: Vec<u32>,
+    /// Tiles per row.
+    pub tiles_x: usize,
+    /// Tiles per column.
+    pub tiles_y: usize,
+}
+
+/// Expands each splat into one key per overlapped tile, with exactly
+/// the bounding-circle culling of [`gaussian::build_tile_lists`].
+pub fn map_gaussians_to_intersect(scene: &SplatScene, width: usize, height: usize) -> IntersectMap {
+    let prepared = scene.prepare();
+    let tiles_x = width.div_ceil(gaussian::TILE);
+    let tiles_y = height.div_ceil(gaussian::TILE);
+    assert!(
+        scene.len() < (1 << DEPTH_BITS) as usize,
+        "depth rank must fit {DEPTH_BITS} bits, scene has {} splats",
+        scene.len()
+    );
+    let mut keys = Vec::new();
+    let mut tiles_touched = Vec::with_capacity(scene.len());
+    for gid in 0..scene.len() {
+        let span = gaussian::tile_span(scene.mean[gid], prepared.radius[gid], tiles_x, tiles_y);
+        let Some((x0, x1, y0, y1)) = span else {
+            tiles_touched.push(0);
+            continue;
+        };
+        tiles_touched.push(((x1 - x0 + 1) * (y1 - y0 + 1)) as u32);
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                keys.push(pack_key((ty * tiles_x + tx) as u32, gid as u32));
+            }
+        }
+    }
+    IntersectMap {
+        keys,
+        tiles_touched,
+        tiles_x,
+        tiles_y,
+    }
+}
+
+/// Per-tile `[start, end)` ranges into the sorted key stream.
+pub fn tile_bin_edges(sorted: &[u64], n_tiles: usize) -> Vec<(u32, u32)> {
+    let mut edges = vec![(0u32, 0u32); n_tiles];
+    for (i, &k) in sorted.iter().enumerate() {
+        let t = key_tile(k) as usize;
+        if i == 0 || key_tile(sorted[i - 1]) as usize != t {
+            edges[t].0 = i as u32;
+        }
+        edges[t].1 = i as u32 + 1;
+    }
+    edges
+}
+
+/// Rebuilds [`TileLists`] from the sorted keys — the representation
+/// the rasterizer consumes.
+pub fn tile_lists_from_sorted(sorted: &[u64], tiles_x: usize, tiles_y: usize) -> TileLists {
+    let edges = tile_bin_edges(sorted, tiles_x * tiles_y);
+    let lists = edges
+        .iter()
+        .map(|&(s, e)| (s..e).map(|i| key_depth(sorted[i as usize])).collect())
+        .collect();
+    TileLists {
+        tiles_x,
+        tiles_y,
+        lists,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace emission.
+// ---------------------------------------------------------------------
+
+/// Address of one digit counter word.
+fn hist_addr(pass: u32, digit: usize) -> u64 {
+    HIST_BASE + u64::from(pass) * (RADIX as u64) * 4 + (digit as u64) * 4
+}
+
+/// The key-expansion kernel: one warp per 32 splats; each lane loads
+/// its splat, computes the bounding-tile span, and stores its key
+/// count and bbox. No atomics — purely bandwidth/ALU.
+pub fn map_intersect_trace(map: &IntersectMap, costs: TraceCosts) -> KernelTrace {
+    let n_warps = map.tiles_touched.len().div_ceil(WARP_SIZE);
+    let warps = (0..n_warps)
+        .map(|_| {
+            let mut b = WarpTraceBuilder::new();
+            b.load(costs.load_sectors) // mean + covariance
+                .compute_ffma(6) // conic inverse, eigenvalue bound, radius
+                .compute(ComputeKind::Sfu, 1) // sqrt
+                .compute(ComputeKind::IntAlu, 4) // tile span clamps
+                .store(2); // tiles_touched + span
+            b.finish()
+        })
+        .collect();
+    KernelTrace::new("map-intersect", KernelKind::Other, warps)
+}
+
+/// The exclusive-scan kernel over per-splat tile counts: a
+/// work-efficient up-sweep/down-sweep tree, one warp per 32 active
+/// tree slots per level.
+pub fn scan_trace(n: usize) -> KernelTrace {
+    let mut warps = Vec::new();
+    let level_warps = |active: usize, warps: &mut Vec<_>| {
+        for _ in 0..active.div_ceil(WARP_SIZE) {
+            let mut b = WarpTraceBuilder::new();
+            b.load(2) // both partial sums
+                .compute(ComputeKind::IntAlu, 1)
+                .store(1);
+            warps.push(b.finish());
+        }
+    };
+    // Up-sweep: halve the active slot count each level.
+    let mut active = n / 2;
+    while active > 0 {
+        level_warps(active, &mut warps);
+        active /= 2;
+    }
+    // Down-sweep mirrors the tree back down.
+    let mut active = 1;
+    while active <= n / 2 {
+        level_warps(active, &mut warps);
+        active *= 2;
+    }
+    KernelTrace::new("intersect-scan", KernelKind::Other, warps)
+}
+
+/// The radix digit-histogram kernel — the frame's rewritable stage.
+///
+/// For every 4-bit pass, each warp owns up to [`KEYS_PER_WARP`] keys
+/// and, per 32-key iteration, atomically adds `1.0` to the global
+/// counter of each lane's digit. All warps of a pass hammer the same
+/// 16 words, and lanes with equal digits collide within the warp —
+/// exactly the same-address-heavy profile the adaptive paths route to
+/// warp-level reduction. Applying the trace's atomics to
+/// [`warp_trace::GlobalMemory`] reproduces the functional histograms.
+pub fn radix_histogram_trace(keys: &[u64], costs: TraceCosts) -> KernelTrace {
+    let passes = sort_passes(keys);
+    let mut warps = Vec::new();
+    for p in 0..passes {
+        let shift = p * RADIX_BITS;
+        for chunk in keys.chunks(KEYS_PER_WARP) {
+            let mut b = WarpTraceBuilder::new();
+            for (i, iter_keys) in chunk.chunks(WARP_SIZE).enumerate() {
+                if (i as u16).is_multiple_of(costs.load_every.max(1)) {
+                    b.load(costs.load_sectors); // key block
+                }
+                b.compute(ComputeKind::IntAlu, 2); // shift + mask
+                let ops = iter_keys
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, &k)| LaneOp {
+                        lane: lane as u8,
+                        addr: hist_addr(p, ((k >> shift) as usize) & (RADIX - 1)),
+                        value: 1.0,
+                    })
+                    .collect();
+                b.atomic(AtomicInstr::new(ops));
+            }
+            warps.push(b.finish());
+        }
+    }
+    KernelTrace::new("radix-histogram", KernelKind::Other, warps)
+}
+
+/// The radix scatter kernel: per pass, each warp re-loads its keys,
+/// computes each lane's destination from the scanned digit offsets,
+/// and writes the reordered keys. Rank resolution is serial within a
+/// digit, so stores stay ungrouped. No atomics.
+pub fn radix_scatter_trace(keys: &[u64], costs: TraceCosts) -> KernelTrace {
+    let passes = sort_passes(keys);
+    let mut warps = Vec::new();
+    for _ in 0..passes {
+        for chunk in keys.chunks(KEYS_PER_WARP) {
+            let mut b = WarpTraceBuilder::new();
+            for (i, iter_keys) in chunk.chunks(WARP_SIZE).enumerate() {
+                if (i as u16).is_multiple_of(costs.load_every.max(1)) {
+                    b.load(costs.load_sectors); // key block
+                }
+                b.load(1) // scanned digit offset
+                    .compute(ComputeKind::IntAlu, 3) // digit, rank, dest addr
+                    .store(iter_keys.len().div_ceil(4) as u16); // scattered writes
+            }
+            warps.push(b.finish());
+        }
+    }
+    KernelTrace::new("radix-scatter", KernelKind::Other, warps)
+}
+
+/// The bin-edges kernel: each warp compares 32 adjacent sorted keys
+/// against their predecessors and stores a tile boundary when the tile
+/// bits change — the store count is data-dependent on the actual
+/// boundary density.
+pub fn tile_bin_edges_trace(sorted: &[u64]) -> KernelTrace {
+    let mut warps = Vec::new();
+    for (w, chunk) in sorted.chunks(WARP_SIZE).enumerate() {
+        let mut b = WarpTraceBuilder::new();
+        b.load(2) // this key block + the preceding key
+            .compute(ComputeKind::IntAlu, 2); // tile extract + compare
+        let boundaries = chunk
+            .iter()
+            .enumerate()
+            .filter(|&(i, &k)| {
+                let global = w * WARP_SIZE + i;
+                global == 0 || key_tile(sorted[global - 1]) != key_tile(k)
+            })
+            .count();
+        if boundaries > 0 {
+            b.store(boundaries.div_ceil(4) as u16);
+        }
+        warps.push(b.finish());
+    }
+    KernelTrace::new("tile-bin-edges", KernelKind::Other, warps)
+}
+
+/// Everything the tile-binned front-end produces: functional results
+/// (sorted keys, per-tile lists, rendered image) and one trace per
+/// stage, in frame order.
+#[derive(Clone, Debug)]
+pub struct TiledPipeline {
+    /// Unsorted key expansion.
+    pub map: IntersectMap,
+    /// Keys after the radix sort (tile-major, depth order per tile).
+    pub sorted_keys: Vec<u64>,
+    /// The rasterizer output rendered from the binned lists.
+    pub output: RenderOutput,
+    /// Per-stage traces: map-intersect, intersect-scan,
+    /// radix-histogram, radix-scatter, tile-bin-edges, tile-rasterize.
+    pub traces: Vec<KernelTrace>,
+}
+
+/// Runs the full tile-binned pipeline: expand keys, sort, bin,
+/// rasterize from the binned lists, and emit each stage's trace.
+pub fn tile_binned_pipeline(
+    scene: &SplatScene,
+    width: usize,
+    height: usize,
+    background: Vec3,
+    costs: TraceCosts,
+) -> TiledPipeline {
+    let map = map_gaussians_to_intersect(scene, width, height);
+    let (sorted_keys, _histograms) = radix_sort(&map.keys);
+    let tiles = tile_lists_from_sorted(&sorted_keys, map.tiles_x, map.tiles_y);
+    let output = gaussian::render_with_lists(scene, tiles, width, height, background);
+
+    let rasterize = tracegen::gaussian_forward_trace(&output, costs);
+    let rasterize = KernelTrace::new(
+        "tile-rasterize",
+        rasterize.kind(),
+        rasterize.warps().to_vec(),
+    );
+    let traces = vec![
+        map_intersect_trace(&map, costs),
+        scan_trace(map.tiles_touched.len()),
+        radix_histogram_trace(&map.keys, costs),
+        radix_scatter_trace(&map.keys, costs),
+        tile_bin_edges_trace(&sorted_keys),
+        rasterize,
+    ];
+    TiledPipeline {
+        map,
+        sorted_keys,
+        output,
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::GaussianModel;
+    use crate::math::Vec2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use warp_trace::GlobalMemory;
+
+    fn test_scene(n: usize, w: usize, h: usize) -> SplatScene {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = GaussianModel::new();
+        for _ in 0..n {
+            model.push(
+                Vec2::new(rng.gen_range(0.0..w as f32), rng.gen_range(0.0..h as f32)),
+                Vec2::new(rng.gen_range(0.3..1.5), rng.gen_range(0.3..1.5)),
+                rng.gen_range(0.0..std::f32::consts::PI),
+                rng.gen_range(-0.5..1.5),
+                Vec3::new(rng.gen(), rng.gen(), rng.gen()),
+            );
+        }
+        model.to_splats()
+    }
+
+    #[test]
+    fn exclusive_scan_matches_naive() {
+        let xs = [3u32, 0, 7, 1, 0, 5];
+        assert_eq!(exclusive_scan(&xs), vec![0, 3, 3, 10, 11, 11]);
+        assert_eq!(exclusive_scan(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn radix_sort_matches_std_sort() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let keys: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..1u64 << 33)).collect();
+        let (sorted, _) = radix_sort(&keys);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(sorted, want);
+    }
+
+    #[test]
+    fn radix_sort_is_stable_on_packed_keys() {
+        // Equal tiles keep depth-rank order — required for compositing.
+        let keys = vec![
+            pack_key(2, 5),
+            pack_key(1, 9),
+            pack_key(2, 3),
+            pack_key(1, 1),
+        ];
+        let (sorted, _) = radix_sort(&keys);
+        assert_eq!(
+            sorted,
+            vec![
+                pack_key(1, 1),
+                pack_key(1, 9),
+                pack_key(2, 3),
+                pack_key(2, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn sorted_keys_are_monotone() {
+        let scene = test_scene(300, 96, 64);
+        let map = map_gaussians_to_intersect(&scene, 96, 64);
+        let (sorted, _) = radix_sort(&map.keys);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), map.keys.len());
+        assert_eq!(
+            map.keys.len(),
+            map.tiles_touched.iter().map(|&c| c as usize).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn bin_edges_cross_check_scan_of_counts() {
+        let scene = test_scene(300, 96, 64);
+        let map = map_gaussians_to_intersect(&scene, 96, 64);
+        let (sorted, _) = radix_sort(&map.keys);
+        let n_tiles = map.tiles_x * map.tiles_y;
+        let edges = tile_bin_edges(&sorted, n_tiles);
+        // Per-tile counts from the keys themselves.
+        let mut counts = vec![0u32; n_tiles];
+        for &k in &sorted {
+            counts[key_tile(k) as usize] += 1;
+        }
+        let starts = exclusive_scan(&counts);
+        for t in 0..n_tiles {
+            let (s, e) = edges[t];
+            assert_eq!(e - s, counts[t], "tile {t} range width");
+            if counts[t] > 0 {
+                assert_eq!(s, starts[t], "tile {t} range start");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_lists_match_direct_binning() {
+        let scene = test_scene(400, 128, 96);
+        let direct = gaussian::build_tile_lists(&scene, 128, 96);
+        let map = map_gaussians_to_intersect(&scene, 128, 96);
+        let (sorted, _) = radix_sort(&map.keys);
+        let binned = tile_lists_from_sorted(&sorted, map.tiles_x, map.tiles_y);
+        assert_eq!(binned, direct);
+    }
+
+    #[test]
+    fn pipeline_image_matches_functional_rasterizer() {
+        let scene = test_scene(400, 128, 96);
+        let bg = Vec3::splat(0.05);
+        let direct = gaussian::render_scene(&scene, 128, 96, bg);
+        let piped = tile_binned_pipeline(&scene, 128, 96, bg, TraceCosts::default());
+        // Identical lists walked by identical compositing code: the
+        // images agree to the last bit (documented tolerance 1e-6 in
+        // case a future rasterizer reorders f32 math).
+        let max_diff = direct
+            .image
+            .pixels()
+            .iter()
+            .zip(piped.output.image.pixels())
+            .map(|(a, b)| {
+                (a.x - b.x)
+                    .abs()
+                    .max((a.y - b.y).abs())
+                    .max((a.z - b.z).abs())
+            })
+            .fold(0.0f32, f32::max);
+        assert!(max_diff <= 1e-6, "image diverged by {max_diff}");
+    }
+
+    #[test]
+    fn histogram_trace_reproduces_digit_counts() {
+        let scene = test_scene(300, 96, 64);
+        let map = map_gaussians_to_intersect(&scene, 96, 64);
+        let (_, histograms) = radix_sort(&map.keys);
+        let trace = radix_histogram_trace(&map.keys, TraceCosts::default());
+        let mut mem = GlobalMemory::new();
+        mem.apply_trace(&trace);
+        for (p, hist) in histograms.iter().enumerate() {
+            for (d, &count) in hist.iter().enumerate() {
+                let got = mem.read(hist_addr(p as u32, d));
+                assert_eq!(
+                    got, count as f32,
+                    "pass {p} digit {d}: trace atomics disagree with histogram"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stage_is_contention_heavy() {
+        let scene = test_scene(300, 96, 64);
+        let map = map_gaussians_to_intersect(&scene, 96, 64);
+        let trace = radix_histogram_trace(&map.keys, TraceCosts::default());
+        let stats = warp_trace::TraceStats::compute(&trace);
+        assert!(stats.atomic_requests > 0);
+        // Every pass offers only 16 distinct counter words.
+        assert!(
+            stats.unique_addresses <= sort_passes(&map.keys) as u64 * RADIX as u64,
+            "histogram addresses leak outside the counters"
+        );
+        // 32 lanes over at most 16 digit words: intra-warp collisions
+        // are pervasive (the dominant pressure — every warp hammering
+        // the same 16 counters — is inter-warp and invisible to
+        // per-instruction stats).
+        assert!(
+            stats.same_address_multi_fraction() > 0.3,
+            "digit collisions should be pervasive: {}",
+            stats.same_address_multi_fraction()
+        );
+    }
+
+    #[test]
+    fn fixed_stages_have_no_atomics() {
+        let scene = test_scene(200, 96, 64);
+        let piped = tile_binned_pipeline(&scene, 96, 64, Vec3::splat(0.0), TraceCosts::default());
+        for trace in &piped.traces {
+            let atomics = trace.total_atomic_requests();
+            if trace.name() == "radix-histogram" {
+                assert!(atomics > 0);
+            } else {
+                assert_eq!(atomics, 0, "{} must not issue atomics", trace.name());
+            }
+        }
+        assert_eq!(piped.traces.len(), 6);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let scene = test_scene(150, 64, 64);
+        let a = tile_binned_pipeline(&scene, 64, 64, Vec3::splat(0.0), TraceCosts::default());
+        let b = tile_binned_pipeline(&scene, 64, 64, Vec3::splat(0.0), TraceCosts::default());
+        assert_eq!(a.sorted_keys, b.sorted_keys);
+        assert_eq!(a.traces, b.traces);
+    }
+}

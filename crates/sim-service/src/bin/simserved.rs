@@ -206,7 +206,7 @@ fn sweep(dir: &str, scale: f64, jobs: usize, daemon_sock: Option<&str>) -> ExitC
             .expect("known workload")
             .scaled(scale)
             .build();
-        let gradcomp = Arc::new(traces.gradcomp);
+        let gradcomp = Arc::new(traces.gradcomp().clone());
         let digest = trace_digest(&gradcomp);
         for t in techniques {
             cells.push((id, t, Arc::clone(&gradcomp), digest));
@@ -233,8 +233,10 @@ fn sweep(dir: &str, scale: f64, jobs: usize, daemon_sock: Option<&str>) -> ExitC
                 telemetry: Some(telemetry.clone()),
                 want_chrome: true,
                 // The sweep is a byte-compared CI fixture: always
-                // pass-free so its output never depends on ARC_PASSES.
+                // pass-free so its output never depends on ARC_PASSES,
+                // and stage-less so its keys predate frame naming.
                 passes: PassPipeline::empty(),
+                stage: None,
             })
             .collect();
         match client.batch(wire) {
@@ -258,6 +260,7 @@ fn sweep(dir: &str, scale: f64, jobs: usize, daemon_sock: Option<&str>) -> ExitC
                 telemetry: Some(telemetry.clone()),
                 want_chrome: true,
                 passes: PassPipeline::empty(),
+                stage: None,
             };
             exec::run_cell_with_digest(Some(&store), &req, &EngineOpts::default(), &digest)
                 .map(|r| render_row(id, technique, &r))

@@ -119,6 +119,7 @@ impl Shared {
             telemetry: cell.telemetry.clone(),
             want_chrome: cell.want_chrome,
             passes: cell.passes.clone(),
+            stage: cell.stage.clone(),
         };
         let digest = trace_digest(&req.trace);
         // Dedup on the *request identity*: the store key plus the

@@ -15,7 +15,7 @@ use gpu_sim::{EpochMode, GpuConfig, KernelReport, SimError, Simulator, Technique
 use warp_trace::KernelTrace;
 
 use crate::hash::Digest;
-use crate::key::{store_key, trace_digest};
+use crate::key::{store_key_staged, trace_digest};
 use crate::store::ResultStore;
 
 /// One simulation cell: everything that determines the output.
@@ -43,6 +43,12 @@ pub struct SimRequest {
     /// empty pipeline keys and simulates exactly like a build without
     /// passes.
     pub passes: PassPipeline,
+    /// Frame-pipeline stage name this cell simulates, if any. Keys the
+    /// cell via [`crate::key::store_key_staged`]: `None` and legacy
+    /// stage names (`forward`/`loss`/`gradcomp`) reproduce the
+    /// historical stage-less key; other stages get their own cell even
+    /// when two stages share a trace digest. Execution is unaffected.
+    pub stage: Option<String>,
 }
 
 /// Engine execution knobs. These never change results (pinned by the
@@ -76,7 +82,7 @@ pub struct SimResult {
 
 /// Derive the store key for `req` given a precomputed trace digest.
 pub fn request_key(req: &SimRequest, trace: &Digest) -> Digest {
-    store_key(
+    store_key_staged(
         gpu_sim::SIM_VERSION,
         &req.config,
         req.technique,
@@ -84,6 +90,7 @@ pub fn request_key(req: &SimRequest, trace: &Digest) -> Digest {
         req.telemetry.as_ref(),
         trace,
         &req.passes,
+        req.stage.as_deref(),
     )
 }
 

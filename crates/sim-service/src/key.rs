@@ -38,6 +38,17 @@
 //! injective: the trace-digest segment before it is fixed-length
 //! (8-byte prefix + 32-byte digest), so a keyless stream can never
 //! alias a stream that carries the extra segment.
+//!
+//! Frame-pipeline stages follow the same compatibility discipline via
+//! [`store_key_staged`]: a `seg("stage:" ‖ name)` segment is appended
+//! *only* for stage names outside the legacy three-kernel frame
+//! (`forward` / `loss` / `gradcomp`). Legacy stages and stage-less
+//! requests key byte-identically to every store populated before frames
+//! existed. Injectivity holds because the stage segment always starts
+//! with `stage:` while a pass key never can (pass keys are comma-joined
+//! names from a fixed registry containing no `:`), and both trail the
+//! fixed-length trace-digest segment — so no (passes, stage) ambiguity
+//! can arise.
 
 use crate::hash::{Blake2s, Digest};
 use arc_core::passes::PassPipeline;
@@ -85,6 +96,38 @@ pub fn store_key(
     trace: &Digest,
     passes: &PassPipeline,
 ) -> Digest {
+    store_key_staged(
+        sim_version,
+        config,
+        technique,
+        rewrite,
+        telemetry,
+        trace,
+        passes,
+        None,
+    )
+}
+
+/// [`store_key`] for one named stage of a frame pipeline.
+///
+/// Legacy stage names (`forward`, `loss`, `gradcomp`) and `None` key
+/// byte-identically to [`store_key`] — the legacy frame is fully
+/// determined by `(trace digest, rewrite)`, so renaming its stages must
+/// not shatter existing on-disk stores. Non-legacy stages (the
+/// tile-binned frame's sort/scan/bin kernels) append a `stage:`-tagged
+/// segment so two stages sharing a trace digest but differing in name
+/// stay distinct cells.
+#[allow(clippy::too_many_arguments)]
+pub fn store_key_staged(
+    sim_version: &str,
+    config: &GpuConfig,
+    technique: Technique,
+    rewrite: bool,
+    telemetry: Option<&TelemetryConfig>,
+    trace: &Digest,
+    passes: &PassPipeline,
+    stage: Option<&str>,
+) -> Digest {
     let mut h = Blake2s::new();
     seg(&mut h, b"arc-store-key-v1");
     seg(&mut h, sim_version.as_bytes());
@@ -104,8 +147,22 @@ pub fn store_key(
     if !passes.is_empty() {
         seg(&mut h, passes.key().as_bytes());
     }
+    if let Some(name) = stage {
+        if !LEGACY_STAGES.contains(&name) {
+            let mut tagged = Vec::with_capacity(6 + name.len());
+            tagged.extend_from_slice(b"stage:");
+            tagged.extend_from_slice(name.as_bytes());
+            seg(&mut h, &tagged);
+        }
+    }
     h.finalize()
 }
+
+/// The stage names of the legacy three-kernel frame, whose store keys
+/// predate stage naming and must stay byte-identical (mirrors
+/// `arc_workloads::LEGACY_STAGES`; sim-service deliberately does not
+/// depend on the workloads crate).
+const LEGACY_STAGES: [&str; 3] = ["forward", "loss", "gradcomp"];
 
 #[cfg(test)]
 mod tests {
@@ -196,6 +253,83 @@ mod tests {
         assert_eq!(
             base,
             store_key("v1", &cfg, Technique::Baseline, true, None, &t, &none)
+        );
+    }
+
+    #[test]
+    fn legacy_and_absent_stages_key_identically() {
+        let cfg = GpuConfig::tiny();
+        let t = trace_digest(&tiny_trace("a"));
+        let none = PassPipeline::empty();
+        let base = store_key("v1", &cfg, Technique::ArcHw, true, None, &t, &none);
+        // None and every legacy stage name reproduce the historical key.
+        for stage in [None, Some("forward"), Some("loss"), Some("gradcomp")] {
+            assert_eq!(
+                base,
+                store_key_staged("v1", &cfg, Technique::ArcHw, true, None, &t, &none, stage),
+                "stage {stage:?} must not move a legacy key"
+            );
+        }
+    }
+
+    #[test]
+    fn non_legacy_stages_key_distinctly() {
+        let cfg = GpuConfig::tiny();
+        let t = trace_digest(&tiny_trace("a"));
+        let none = PassPipeline::empty();
+        let base = store_key("v1", &cfg, Technique::ArcHw, true, None, &t, &none);
+        let hist = store_key_staged(
+            "v1",
+            &cfg,
+            Technique::ArcHw,
+            true,
+            None,
+            &t,
+            &none,
+            Some("radix-histogram"),
+        );
+        let scan = store_key_staged(
+            "v1",
+            &cfg,
+            Technique::ArcHw,
+            true,
+            None,
+            &t,
+            &none,
+            Some("intersect-scan"),
+        );
+        assert_ne!(base, hist, "a named pipeline stage is a distinct cell");
+        assert_ne!(hist, scan, "stage names separate cells sharing a digest");
+        // Deterministic.
+        assert_eq!(
+            hist,
+            store_key_staged(
+                "v1",
+                &cfg,
+                Technique::ArcHw,
+                true,
+                None,
+                &t,
+                &none,
+                Some("radix-histogram"),
+            )
+        );
+        // Stage and pass segments compose without aliasing.
+        let all = PassPipeline::all();
+        let hist_piped = store_key_staged(
+            "v1",
+            &cfg,
+            Technique::ArcHw,
+            true,
+            None,
+            &t,
+            &all,
+            Some("radix-histogram"),
+        );
+        assert_ne!(hist, hist_piped);
+        assert_ne!(
+            hist_piped,
+            store_key("v1", &cfg, Technique::ArcHw, true, None, &t, &all)
         );
     }
 

@@ -35,8 +35,9 @@ pub mod store;
 
 pub use client::{ClientError, DaemonClient};
 pub use daemon::DaemonHandle;
+pub use exec::request_key;
 pub use exec::{run_cell, run_cell_with_digest, EngineOpts, SimRequest, SimResult};
 pub use hash::{blake2s, Digest};
-pub use key::{store_key, trace_digest};
+pub use key::{store_key, store_key_staged, trace_digest};
 pub use proto::WireCell;
 pub use store::{FsckReport, GcReport, ResultStore, StoreStats, StoredValue};

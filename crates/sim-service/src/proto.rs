@@ -53,6 +53,12 @@ pub struct WireCell {
     /// parse (and mean exactly what they used to).
     #[serde(default)]
     pub passes: PassPipeline,
+    /// Frame-pipeline stage name, if the cell is one stage of a
+    /// multi-kernel frame. Defaults to `None` so frames from pre-frame
+    /// clients still parse; `None` and legacy stage names key
+    /// identically (see `key::store_key_staged`).
+    #[serde(default)]
+    pub stage: Option<String>,
 }
 
 /// A request frame.

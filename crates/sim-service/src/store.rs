@@ -61,6 +61,20 @@ struct IndexEntry {
     key: String,
     bytes: u64,
     seq: u64,
+    /// Recency stamp of the most recent successful `get`, drawn from
+    /// the same monotonic counter as `seq` (0 = never read). Defaults
+    /// so index files written before hit tracking still parse; their
+    /// entries age by insertion order until re-read.
+    #[serde(default)]
+    last_hit: u64,
+}
+
+impl IndexEntry {
+    /// Eviction ordering stamp: an entry is as recent as its last read,
+    /// or its insertion when it was never read.
+    fn recency(&self) -> u64 {
+        self.seq.max(self.last_hit)
+    }
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -116,6 +130,14 @@ pub struct ResultStore {
     pins: Mutex<HashMap<Digest, u64>>,
     /// Serializes index rewrites within this process.
     index_lock: Mutex<()>,
+    /// Hits observed since the last index rewrite: hex key → in-process
+    /// hit order. Folded into the index (as `last_hit` stamps) by the
+    /// next `put`/`gc`/`fsck` under `index_lock`, so the hot read path
+    /// never pays an index rewrite — which would wreck warm-store
+    /// latency for nothing, since recency only matters when `gc` runs.
+    pending_hits: Mutex<HashMap<String, u64>>,
+    /// Orders entries within `pending_hits`.
+    hit_seq: AtomicU64,
 }
 
 impl ResultStore {
@@ -139,6 +161,8 @@ impl ResultStore {
             puts: AtomicU64::new(0),
             pins: Mutex::new(HashMap::new()),
             index_lock: Mutex::new(()),
+            pending_hits: Mutex::new(HashMap::new()),
+            hit_seq: AtomicU64::new(1),
         })
     }
 
@@ -206,7 +230,17 @@ impl ResultStore {
             .ok()
             .and_then(|bytes| self.decode(key, &bytes));
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                // Record the read for LRU eviction; inserting again
+                // overwrites the order stamp, so only the latest read
+                // of a key counts.
+                let order = self.hit_seq.fetch_add(1, Ordering::Relaxed);
+                self.pending_hits
+                    .lock()
+                    .unwrap()
+                    .insert(key.to_hex(), order);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
@@ -271,9 +305,30 @@ impl ResultStore {
         self.write_atomic(&self.index_path(), json.as_bytes())
     }
 
+    /// Fold hits recorded since the last index rewrite into `entries`,
+    /// stamping `last_hit` from `next_seq` in observed read order.
+    /// Caller must hold `index_lock`. Hits on keys the index does not
+    /// know (stale index, foreign object) are dropped — they re-arm on
+    /// the next read.
+    fn fold_pending_hits(&self, entries: &mut [IndexEntry], next_seq: &mut u64) {
+        let pending = std::mem::take(&mut *self.pending_hits.lock().unwrap());
+        if pending.is_empty() {
+            return;
+        }
+        let mut hits: Vec<(String, u64)> = pending.into_iter().collect();
+        hits.sort_by_key(|&(_, order)| order);
+        for (hex, _) in hits {
+            if let Some(e) = entries.iter_mut().find(|e| e.key == hex) {
+                e.last_hit = *next_seq;
+                *next_seq += 1;
+            }
+        }
+    }
+
     fn index_add(&self, key: &Digest, bytes: u64) -> io::Result<()> {
         let _guard = self.index_lock.lock().unwrap();
         let mut idx = self.load_index();
+        self.fold_pending_hits(&mut idx.entries, &mut idx.next_seq);
         let hex = key.to_hex();
         let seq = idx.next_seq;
         idx.next_seq += 1;
@@ -285,6 +340,7 @@ impl ResultStore {
                 key: hex,
                 bytes,
                 seq,
+                last_hit: 0,
             }),
         }
         self.store_index(&idx)
@@ -331,10 +387,10 @@ impl ResultStore {
         }
 
         let old = self.load_index();
-        let old_seq: HashMap<&str, u64> = old
+        let old_entry: HashMap<&str, (u64, u64)> = old
             .entries
             .iter()
-            .map(|e| (e.key.as_str(), e.seq))
+            .map(|e| (e.key.as_str(), (e.seq, e.last_hit)))
             .collect();
         let mut entries = Vec::new();
         let mut next_seq = old.next_seq;
@@ -347,15 +403,17 @@ impl ResultStore {
                 Some(_) => {
                     let hex = key.to_hex();
                     let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                    let seq = old_seq.get(hex.as_str()).copied().unwrap_or_else(|| {
-                        let s = next_seq;
-                        next_seq += 1;
-                        s
-                    });
+                    let (seq, last_hit) =
+                        old_entry.get(hex.as_str()).copied().unwrap_or_else(|| {
+                            let s = next_seq;
+                            next_seq += 1;
+                            (s, 0)
+                        });
                     entries.push(IndexEntry {
                         key: hex,
                         bytes,
                         seq,
+                        last_hit,
                     });
                     report.valid += 1;
                 }
@@ -366,6 +424,7 @@ impl ResultStore {
             }
         }
         entries.sort_by_key(|e| e.seq);
+        self.fold_pending_hits(&mut entries, &mut next_seq);
         self.store_index(&IndexFile {
             sim_version: self.sim_version.clone(),
             next_seq,
@@ -374,65 +433,76 @@ impl ResultStore {
         Ok(report)
     }
 
-    /// Evict oldest entries until total object bytes fit in
-    /// `max_bytes`. Pinned entries (mid-read) are never evicted — they
-    /// are skipped this pass and remain candidates for the next one.
+    /// Evict least-recently-used entries until total object bytes fit
+    /// in `max_bytes`. "Used" means read (`get`) or inserted, whichever
+    /// came later — so a hot entry survives a sweep even when it was
+    /// written long before colder, newer ones. Pinned entries
+    /// (mid-read) are never evicted — they are skipped this pass and
+    /// remain candidates for the next one.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
         let _guard = self.index_lock.lock().unwrap();
         let mut report = GcReport::default();
 
         // Refresh the index from disk so cross-process writes are seen.
         let old = self.load_index();
-        let old_seq: HashMap<&str, u64> = old
+        let old_entry: HashMap<&str, (u64, u64)> = old
             .entries
             .iter()
-            .map(|e| (e.key.as_str(), e.seq))
+            .map(|e| (e.key.as_str(), (e.seq, e.last_hit)))
             .collect();
         let mut next_seq = old.next_seq;
-        let mut live: Vec<(Digest, u64, u64)> = self
+        let mut live: Vec<(Digest, IndexEntry)> = self
             .scan_objects()
             .into_iter()
             .map(|(key, bytes)| {
                 let hex = key.to_hex();
-                let seq = old_seq.get(hex.as_str()).copied().unwrap_or_else(|| {
+                let (seq, last_hit) = old_entry.get(hex.as_str()).copied().unwrap_or_else(|| {
                     let s = next_seq;
                     next_seq += 1;
-                    s
+                    (s, 0)
                 });
-                (key, bytes, seq)
+                (
+                    key,
+                    IndexEntry {
+                        key: hex,
+                        bytes,
+                        seq,
+                        last_hit,
+                    },
+                )
             })
             .collect();
-        live.sort_by_key(|&(_, _, seq)| seq);
+        {
+            let mut entries: Vec<IndexEntry> = live.iter().map(|(_, e)| e.clone()).collect();
+            self.fold_pending_hits(&mut entries, &mut next_seq);
+            for ((_, live), folded) in live.iter_mut().zip(entries) {
+                *live = folded;
+            }
+        }
+        live.sort_by_key(|(_, e)| e.recency());
 
-        let mut total: u64 = live.iter().map(|&(_, b, _)| b).sum();
+        let mut total: u64 = live.iter().map(|(_, e)| e.bytes).sum();
         let mut kept = Vec::new();
-        for (key, bytes, seq) in live {
+        for (key, entry) in live {
             if total <= max_bytes {
-                kept.push((key, bytes, seq));
+                kept.push(entry);
                 continue;
             }
             if self.is_pinned(&key) {
                 report.pinned_kept += 1;
-                kept.push((key, bytes, seq));
+                kept.push(entry);
                 continue;
             }
             let _ = fs::remove_file(self.object_path(&key));
             report.evicted += 1;
-            total -= bytes;
+            total -= entry.bytes;
         }
         report.bytes_after = total;
-        kept.sort_by_key(|&(_, _, seq)| seq);
+        kept.sort_by_key(|e| e.seq);
         self.store_index(&IndexFile {
             sim_version: self.sim_version.clone(),
             next_seq,
-            entries: kept
-                .into_iter()
-                .map(|(key, bytes, seq)| IndexEntry {
-                    key: key.to_hex(),
-                    bytes,
-                    seq,
-                })
-                .collect(),
+            entries: kept,
         })?;
         Ok(report)
     }

@@ -34,7 +34,8 @@ fn gradcomp_trace(scale: f64) -> Arc<KernelTrace> {
             .expect("known workload")
             .scaled(scale)
             .build()
-            .gradcomp,
+            .gradcomp()
+            .clone(),
     )
 }
 
@@ -69,6 +70,7 @@ fn request(trace: &Arc<KernelTrace>, technique: Technique) -> SimRequest {
         telemetry: Some(TelemetryConfig::every(16)),
         want_chrome: true,
         passes: PassPipeline::empty(),
+        stage: None,
     }
 }
 
@@ -262,6 +264,44 @@ fn gc_evicts_oldest_first_and_respects_budget() {
 }
 
 #[test]
+fn gc_keeps_a_reread_entry_over_a_never_read_older_one() {
+    let dir = scratch_dir("gc-lru");
+    let store = ResultStore::open(&dir).unwrap();
+    let trace = gradcomp_trace(0.02);
+    let opts = EngineOpts::default();
+
+    // Insert A, then B (B is newer by insertion order).
+    let req_a = request(&trace, Technique::Baseline);
+    let req_b = request(&trace, Technique::ArcHw);
+    run_cell(Some(&store), &req_a, &opts).unwrap();
+    run_cell(Some(&store), &req_b, &opts).unwrap();
+    let key_a = sim_service::exec::request_key(&req_a, &trace_digest(&req_a.trace));
+    let key_b = sim_service::exec::request_key(&req_b, &trace_digest(&req_b.trace));
+
+    // Re-read A: it is now the most recently *used* entry even though
+    // it is the older insertion.
+    assert!(store.get(&key_a).is_some());
+
+    // Budget that fits exactly one entry: LRU must evict B, not A.
+    let size = |k: &sim_service::Digest| {
+        let obj = dir.join("objects").join(format!("{}.json", k.to_hex()));
+        std::fs::metadata(obj).unwrap().len()
+    };
+    let budget = size(&key_a).max(size(&key_b));
+    let gc = store.gc(budget).unwrap();
+    assert_eq!(gc.evicted, 1);
+    assert!(
+        store.get(&key_a).is_some(),
+        "re-read entry must survive the sweep"
+    );
+    assert!(
+        store.get(&key_b).is_none(),
+        "never-read entry goes first despite being newer"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fsck_removes_garbage_and_keeps_valid_entries() {
     let dir = scratch_dir("fsck");
     let store = ResultStore::open(&dir).unwrap();
@@ -310,6 +350,7 @@ fn daemon_dedup_delivers_identical_bytes_to_concurrent_clients() {
         telemetry: Some(TelemetryConfig::every(16)),
         want_chrome: true,
         passes: PassPipeline::empty(),
+        stage: None,
     };
 
     let n = 8;

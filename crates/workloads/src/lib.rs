@@ -4,20 +4,25 @@
 //! workloads across three raster-based differentiable rendering
 //! applications (3DGS, NvDiffRec, Pulsar), each a seeded synthetic
 //! scene matched to its dataset's characteristics (primitive count,
-//! screen coverage, divergence). [`pagerank`] is the Pannotia-style
-//! contrast workload of paper §5.6. [`runner`] wires workload traces to
-//! the `gpu-sim` simulator under every evaluated technique.
+//! screen coverage, divergence); the extra `3D-TB` workload is the
+//! production tile-binned 3DGS frame (sort/scan/bin kernels included).
+//! [`pagerank`] is the Pannotia-style contrast workload of paper §5.6.
+//! Every workload builds a [`frame::FrameTrace`] — an ordered pipeline
+//! of named, role-tagged kernel stages — and [`runner`] wires those
+//! stages to the `gpu-sim` simulator under every evaluated technique.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod pagerank;
 pub mod runner;
 pub mod specs;
 
+pub use frame::{is_legacy_stage, FrameTrace, KernelStage, StageRole, LEGACY_STAGES};
 pub use gpu_sim::TechniquePath;
 pub use runner::{
-    run_gradcomp, run_gradcomp_telemetry, run_iteration, run_iteration_optimized,
-    run_iteration_piped, run_iteration_with, Technique,
+    run_frame_staged, run_gradcomp, run_gradcomp_telemetry, run_iteration, run_iteration_piped,
+    run_iteration_with, Technique,
 };
-pub use specs::{all_specs, spec, App, IterationTraces, WorkloadSpec};
+pub use specs::{all_specs, spec, tile_binned_spec, App, WorkloadSpec};

@@ -16,7 +16,7 @@ use gpu_sim::{
 
 pub use arc_core::Technique;
 
-use crate::specs::IterationTraces;
+use crate::frame::{FrameTrace, StageRole};
 
 /// Simulates just the gradient-computation kernel of a workload under a
 /// technique.
@@ -54,9 +54,10 @@ pub fn run_gradcomp_telemetry(
     ))
 }
 
-/// Simulates a full training iteration (forward + loss + gradient
-/// computation). Only the gradient kernel is rewritten — forward/loss
-/// have no atomics to accelerate.
+/// Simulates a full frame (every stage of the workload's pipeline, in
+/// order). Only [`StageRole::Rewritable`] stages get the technique's
+/// trace rewrite — fixed stages (forward/loss, sort scatter, scan,
+/// binning) have no reduction-eligible atomics to accelerate.
 ///
 /// # Errors
 ///
@@ -64,10 +65,10 @@ pub fn run_gradcomp_telemetry(
 pub fn run_iteration(
     cfg: &GpuConfig,
     technique: Technique,
-    traces: &IterationTraces,
+    frame: &FrameTrace,
 ) -> Result<IterationReport, SimError> {
     let sim = Simulator::new(cfg.clone(), technique.path())?;
-    run_iteration_with(&sim, technique, traces)
+    run_iteration_with(&sim, technique, frame)
 }
 
 /// [`run_iteration`] against an already-built simulator — the batch APIs
@@ -80,17 +81,17 @@ pub fn run_iteration(
 pub fn run_iteration_with(
     sim: &Simulator,
     technique: Technique,
-    traces: &IterationTraces,
+    frame: &FrameTrace,
 ) -> Result<IterationReport, SimError> {
-    run_iteration_piped(sim, technique, traces, &PassPipeline::empty())
+    run_iteration_piped(sim, technique, frame, &PassPipeline::empty())
 }
 
 /// [`run_iteration_with`] with an optimizer pass pipeline applied to
-/// every kernel before simulation (and before the gradcomp rewrite).
-/// Passes run on all three kernels — the same contract as the
-/// sim-service executor, which applies `SimRequest::passes` to each
-/// cell's trace whether or not the cell asks for a rewrite — so the
-/// engine and service paths stay byte-identical under `ARC_PASSES`.
+/// every stage before simulation (and before any rewrite). Passes run
+/// on every stage — the same contract as the sim-service executor,
+/// which applies `SimRequest::passes` to each cell's trace whether or
+/// not the cell asks for a rewrite — so the engine and service paths
+/// stay byte-identical under `ARC_PASSES`.
 ///
 /// # Errors
 ///
@@ -98,38 +99,42 @@ pub fn run_iteration_with(
 pub fn run_iteration_piped(
     sim: &Simulator,
     technique: Technique,
-    traces: &IterationTraces,
+    frame: &FrameTrace,
     passes: &PassPipeline,
 ) -> Result<IterationReport, SimError> {
-    run_iteration_optimized(
+    let optimized: Vec<_> = frame
+        .stages()
+        .iter()
+        .map(|s| (s.role(), passes.apply(s.trace())))
+        .collect();
+    run_frame_staged(
         sim,
         technique,
-        &passes.apply(&traces.forward),
-        &passes.apply(&traces.loss),
-        &passes.apply(&traces.gradcomp),
+        optimized.iter().map(|(role, t)| (*role, t.as_ref())),
     )
 }
 
-/// [`run_iteration_piped`] against already-optimized kernel traces. The
-/// bench harness memoizes pass application per (pipeline, workload,
-/// kernel) in an `arc_core::PassCache` and hands the cached traces
-/// here, so a warm iteration cell pays zero pass traversals.
+/// Simulates an explicit stage sequence against one simulator,
+/// rewriting exactly the [`StageRole::Rewritable`] stages. The bench
+/// harness memoizes pass application per (pipeline, workload, stage)
+/// in an `arc_core::PassCache` and hands the cached traces here, so a
+/// warm frame cell pays zero pass traversals.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run_iteration_optimized(
+pub fn run_frame_staged<'a>(
     sim: &Simulator,
     technique: Technique,
-    forward: &KernelTrace,
-    loss: &KernelTrace,
-    gradcomp: &KernelTrace,
+    stages: impl IntoIterator<Item = (StageRole, &'a KernelTrace)>,
 ) -> Result<IterationReport, SimError> {
-    let kernels = vec![
-        sim.run(forward)?,
-        sim.run(loss)?,
-        sim.run(&technique.prepare_cow(gradcomp))?,
-    ];
+    let mut kernels = Vec::new();
+    for (role, trace) in stages {
+        kernels.push(match role {
+            StageRole::Rewritable => sim.run(&technique.prepare_cow(trace))?,
+            StageRole::Fixed => sim.run(trace)?,
+        });
+    }
     Ok(IterationReport { kernels })
 }
 
@@ -162,9 +167,9 @@ mod tests {
     fn arc_techniques_speed_up_a_3dgs_workload_on_tiny_sim() {
         let traces = spec("3D-LE").unwrap().scaled(0.25).build();
         let cfg = GpuConfig::tiny();
-        let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
+        let base = run_gradcomp(&cfg, Technique::Baseline, traces.gradcomp()).unwrap();
         for technique in [Technique::ArcHw, Technique::SwB(thr(16))] {
-            let r = run_gradcomp(&cfg, technique, &traces.gradcomp).unwrap();
+            let r = run_gradcomp(&cfg, technique, traces.gradcomp()).unwrap();
             assert!(
                 r.cycles < base.cycles,
                 "{} should beat baseline: {} vs {}",
@@ -176,25 +181,40 @@ mod tests {
         // SW-S pays heavy serial instruction overhead; on the tiny
         // 2-sub-core config it may not win (paper §7.2 notes SW-S can
         // slow compute-bound cases down), but it must stay in range.
-        let sws = run_gradcomp(&cfg, Technique::SwS(thr(16)), &traces.gradcomp).unwrap();
+        let sws = run_gradcomp(&cfg, Technique::SwS(thr(16)), traces.gradcomp()).unwrap();
         assert!(sws.cycles < base.cycles * 2);
     }
 
     #[test]
-    fn iteration_contains_three_kernels() {
+    fn iteration_report_has_one_kernel_per_stage() {
         let traces = spec("PS-SS").unwrap().scaled(0.25).build();
         let report = run_iteration(&GpuConfig::tiny(), Technique::Baseline, &traces).unwrap();
-        assert_eq!(report.kernels.len(), 3);
+        assert_eq!(report.kernels.len(), traces.stages().len());
+        assert_eq!(report.kernels.len(), 3, "legacy frames stay three-stage");
         assert!(report.total_cycles() > 0);
     }
 
     #[test]
-    fn rewrites_only_touch_gradcomp_atomics() {
+    fn tile_binned_frame_simulates_every_stage() {
+        let frame = spec("3D-TB").unwrap().scaled(0.2).build();
+        assert!(
+            frame.stages().len() > 3,
+            "tile-binned frame is multi-kernel"
+        );
+        let report = run_iteration(&GpuConfig::tiny(), Technique::ArcHw, &frame).unwrap();
+        assert_eq!(report.kernels.len(), frame.stages().len());
+        for (stage, kernel) in frame.stages().iter().zip(&report.kernels) {
+            assert!(kernel.cycles > 0, "stage {} must simulate", stage.name());
+        }
+    }
+
+    #[test]
+    fn rewrites_only_touch_rewritable_stage_atomics() {
         let traces = spec("3D-LE").unwrap().scaled(0.2).build();
         let technique = Technique::SwB(thr(8));
-        let fwd = technique.prepare(&traces.forward);
-        assert_eq!(fwd, traces.forward, "forward has no atomics to rewrite");
-        let grad = technique.prepare(&traces.gradcomp);
-        assert!(grad.total_atomic_requests() < traces.gradcomp.total_atomic_requests());
+        let fwd = technique.prepare(traces.forward());
+        assert_eq!(&fwd, traces.forward(), "forward has no atomics to rewrite");
+        let grad = technique.prepare(traces.gradcomp());
+        assert!(grad.total_atomic_requests() < traces.gradcomp().total_atomic_requests());
     }
 }

@@ -17,21 +17,27 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use warp_trace::KernelTrace;
 
 use diffrender::gaussian::{self, GaussianModel};
 use diffrender::loss::l1_loss;
 use diffrender::math::{Vec2, Vec3};
 use diffrender::nvdiff::{self, Cubemap, NvScene};
 use diffrender::optim::Adam;
+use diffrender::primitives;
 use diffrender::pulsar::{self, SphereModel};
 use diffrender::tracegen::{self, TraceCosts};
+
+use crate::frame::{FrameTrace, KernelStage, StageRole};
 
 /// Which differentiable-rendering application a workload belongs to.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum App {
     /// 3D Gaussian Splatting (paper prefix `3D`).
     Gaussian,
+    /// Tile-binned 3DGS: the production frame pipeline (map-intersect,
+    /// scan, radix sort, bin edges, tile-local rasterize) as traced
+    /// kernels (prefix `3D`).
+    GaussianTiled,
     /// NvDiffRec cubemap learning (prefix `NV`).
     NvDiff,
     /// Pulsar sphere rendering (prefix `PS`).
@@ -42,7 +48,7 @@ impl App {
     /// The paper's two-letter prefix.
     pub fn prefix(self) -> &'static str {
         match self {
-            App::Gaussian => "3D",
+            App::Gaussian | App::GaussianTiled => "3D",
             App::NvDiff => "NV",
             App::Pulsar => "PS",
         }
@@ -91,12 +97,15 @@ impl WorkloadSpec {
         self
     }
 
-    /// Generates the workload's training-iteration traces (forward,
-    /// loss, gradient computation) by actually rendering and
-    /// backpropagating the synthetic scene.
-    pub fn build(&self) -> IterationTraces {
+    /// Generates the workload's frame pipeline by actually rendering
+    /// (and, for the legacy training workloads, backpropagating) the
+    /// synthetic scene. Legacy apps produce the classic
+    /// forward/loss/gradcomp triple; [`App::GaussianTiled`] produces
+    /// the six-stage tile-binned frame.
+    pub fn build(&self) -> FrameTrace {
         match self.app {
             App::Gaussian => self.build_gaussian(),
+            App::GaussianTiled => self.build_gaussian_tiled(),
             App::NvDiff => self.build_nvdiff(),
             App::Pulsar => self.build_pulsar(),
         }
@@ -135,7 +144,7 @@ impl WorkloadSpec {
         model
     }
 
-    fn build_gaussian(&self) -> IterationTraces {
+    fn build_gaussian(&self) -> FrameTrace {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let (target, mut model) = self.target_and_model_gaussian(&mut rng);
         let bg = Vec3::splat(0.05);
@@ -153,15 +162,44 @@ impl WorkloadSpec {
         let (_, pg) = l1_loss(&out.image, &target);
         let (gradcomp, _) =
             tracegen::gaussian_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
-        IterationTraces {
-            id: self.id.clone(),
-            forward: tracegen::gaussian_forward_trace(&out, TraceCosts::default()),
-            loss: tracegen::loss_trace(self.width, self.height),
+        FrameTrace::legacy(
+            self.id.clone(),
+            tracegen::gaussian_forward_trace(&out, TraceCosts::default()),
+            tracegen::loss_trace(self.width, self.height),
             gradcomp,
-        }
+        )
     }
 
-    fn build_nvdiff(&self) -> IterationTraces {
+    /// The tile-binned 3DGS frame: the production pipeline's sort /
+    /// scan / binning kernels as first-class traced stages, with the
+    /// radix digit histogram as the rewritable (atomic-heavy) one.
+    fn build_gaussian_tiled(&self) -> FrameTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = self.random_gaussians(&mut rng, self.primitives);
+        let scene = model.to_splats();
+        let piped = primitives::tile_binned_pipeline(
+            &scene,
+            self.width,
+            self.height,
+            Vec3::splat(0.05),
+            TraceCosts::default(),
+        );
+        let stages = piped
+            .traces
+            .into_iter()
+            .map(|trace| {
+                let role = if trace.name() == "radix-histogram" {
+                    StageRole::Rewritable
+                } else {
+                    StageRole::Fixed
+                };
+                KernelStage::new(trace.name().to_string(), role, trace)
+            })
+            .collect();
+        FrameTrace::new(self.id.clone(), stages)
+    }
+
+    fn build_nvdiff(&self) -> FrameTrace {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut scene = NvScene::new(self.width, self.height);
         scene.samples = self.samples;
@@ -183,15 +221,15 @@ impl WorkloadSpec {
         let out = nvdiff::render(&scene, &map);
         let (_, pg) = l1_loss(&out, &target);
         let (gradcomp, _) = tracegen::nvdiff_gradcomp_trace(&scene, &map, &pg);
-        IterationTraces {
-            id: self.id.clone(),
-            forward: tracegen::nvdiff_forward_trace(&scene),
-            loss: tracegen::loss_trace(self.width, self.height),
+        FrameTrace::legacy(
+            self.id.clone(),
+            tracegen::nvdiff_forward_trace(&scene),
+            tracegen::loss_trace(self.width, self.height),
             gradcomp,
-        }
+        )
     }
 
-    fn build_pulsar(&self) -> IterationTraces {
+    fn build_pulsar(&self) -> FrameTrace {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let gt = SphereModel::random(self.primitives, self.width, self.height, &mut rng);
         let target = pulsar::render(&gt, self.width, self.height, Vec3::splat(0.0)).image;
@@ -214,26 +252,13 @@ impl WorkloadSpec {
         let (_, pg) = l1_loss(&out.image, &target);
         let (gradcomp, _) =
             tracegen::pulsar_gradcomp_trace(&model, &out, &pg, TraceCosts::default());
-        IterationTraces {
-            id: self.id.clone(),
-            forward: tracegen::pulsar_forward_trace(&out),
-            loss: tracegen::loss_trace(self.width, self.height),
+        FrameTrace::legacy(
+            self.id.clone(),
+            tracegen::pulsar_forward_trace(&out),
+            tracegen::loss_trace(self.width, self.height),
             gradcomp,
-        }
+        )
     }
-}
-
-/// One training iteration's kernel traces.
-#[derive(Clone, Debug)]
-pub struct IterationTraces {
-    /// Workload identifier.
-    pub id: String,
-    /// Forward (rendering) kernel.
-    pub forward: KernelTrace,
-    /// Loss kernel.
-    pub loss: KernelTrace,
-    /// Gradient-computation kernel — the paper's bottleneck.
-    pub gradcomp: KernelTrace,
 }
 
 fn gaussian_spec(
@@ -411,8 +436,31 @@ pub fn all_specs() -> Vec<WorkloadSpec> {
     ]
 }
 
-/// Looks up a spec by its paper identifier.
+/// The tile-binned 3DGS frame workload (`3D-TB`). Not part of the
+/// paper's Table 2 — [`all_specs`] stays the twelve-entry registry —
+/// but resolvable through [`spec`] like any other workload.
+pub fn tile_binned_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        id: "3D-TB".to_string(),
+        app: App::GaussianTiled,
+        description: "Tile-binned 3DGS frame (sort/scan/bin + rasterize)".to_string(),
+        width: 256,
+        height: 192,
+        primitives: 1200,
+        clustered: false,
+        seed: 107,
+        warmup_iters: 0,
+        cubemap_res: 0,
+        samples: 0,
+    }
+}
+
+/// Looks up a spec by its paper identifier (Table-2 ids plus the
+/// tile-binned `3D-TB` frame workload).
 pub fn spec(id: &str) -> Option<WorkloadSpec> {
+    if id == "3D-TB" {
+        return Some(tile_binned_spec());
+    }
     all_specs().into_iter().find(|s| s.id == id)
 }
 
@@ -457,20 +505,58 @@ mod tests {
     #[test]
     fn gaussian_workload_builds_with_locality() {
         let traces = spec("3D-LE").unwrap().scaled(0.3).build();
-        let stats = TraceStats::compute(&traces.gradcomp);
+        let stats = TraceStats::compute(traces.gradcomp());
         assert!(stats.atomic_requests > 0, "gradcomp must have atomics");
         assert!(
             stats.same_address_fraction() > 0.99,
             "3DGS locality: {}",
             stats.same_address_fraction()
         );
-        assert!(TraceStats::compute(&traces.forward).atomic_requests == 0);
+        assert!(TraceStats::compute(traces.forward()).atomic_requests == 0);
+    }
+
+    #[test]
+    fn tile_binned_workload_is_a_six_stage_frame() {
+        let frame = spec("3D-TB").unwrap().scaled(0.25).build();
+        assert_eq!(frame.id(), "3D-TB");
+        assert!(!frame.is_legacy());
+        let names: Vec<&str> = frame.stages().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "map-intersect",
+                "intersect-scan",
+                "radix-histogram",
+                "radix-scatter",
+                "tile-bin-edges",
+                "tile-rasterize"
+            ]
+        );
+        assert_eq!(frame.rewritable().name(), "radix-histogram");
+        let hist = TraceStats::compute(frame.rewritable().trace());
+        assert!(hist.atomic_requests > 0, "histogram stage must be atomic");
+        for stage in frame.stages() {
+            if stage.name() != "radix-histogram" {
+                assert_eq!(
+                    TraceStats::compute(stage.trace()).atomic_requests,
+                    0,
+                    "{} is atomic-free",
+                    stage.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_binned_spec_stays_out_of_table2() {
+        assert!(all_specs().iter().all(|s| s.id != "3D-TB"));
+        assert_eq!(tile_binned_spec().app.prefix(), "3D");
     }
 
     #[test]
     fn nv_workload_has_divergence() {
         let traces = spec("NV-LE").unwrap().scaled(0.4).build();
-        let stats = TraceStats::compute(&traces.gradcomp);
+        let stats = TraceStats::compute(traces.gradcomp());
         assert!(stats.atomic_requests > 0);
         assert!(
             stats.mean_active_lanes() < 30.0,
@@ -482,8 +568,8 @@ mod tests {
     #[test]
     fn ps_workload_is_non_uniform() {
         let traces = spec("PS-SS").unwrap().scaled(0.4).build();
-        assert!(traces.gradcomp.bundles().all(|b| !b.uniform_iteration));
-        assert!(traces.gradcomp.total_atomic_requests() > 0);
+        assert!(traces.gradcomp().bundles().all(|b| !b.uniform_iteration));
+        assert!(traces.gradcomp().total_atomic_requests() > 0);
     }
 
     #[test]
@@ -491,10 +577,10 @@ mod tests {
         let small = spec("3D-LE").unwrap().scaled(0.3).build();
         let large = spec("3D-DR").unwrap().scaled(0.3).build();
         assert!(
-            large.gradcomp.total_atomic_requests() > small.gradcomp.total_atomic_requests(),
+            large.gradcomp().total_atomic_requests() > small.gradcomp().total_atomic_requests(),
             "DR ({}) should out-traffic LE ({})",
-            large.gradcomp.total_atomic_requests(),
-            small.gradcomp.total_atomic_requests()
+            large.gradcomp().total_atomic_requests(),
+            small.gradcomp().total_atomic_requests()
         );
     }
 
@@ -502,6 +588,9 @@ mod tests {
     fn builds_are_deterministic() {
         let a = spec("PS-SS").unwrap().scaled(0.3).build();
         let b = spec("PS-SS").unwrap().scaled(0.3).build();
-        assert_eq!(a.gradcomp, b.gradcomp);
+        assert_eq!(a.gradcomp(), b.gradcomp());
+        let ta = spec("3D-TB").unwrap().scaled(0.3).build();
+        let tb = spec("3D-TB").unwrap().scaled(0.3).build();
+        assert_eq!(ta, tb);
     }
 }

@@ -13,9 +13,9 @@ fn parallel_sim_is_bit_identical_to_serial() {
         let traces = spec(id).expect("known workload").scaled(0.2).build();
         for path in AtomicPath::ALL {
             let trace = if path == AtomicPath::ArcHw {
-                traces.gradcomp.clone().with_atomred()
+                traces.gradcomp().clone().with_atomred()
             } else {
-                traces.gradcomp.clone()
+                traces.gradcomp().clone()
             };
             let reference = Simulator::new(GpuConfig::tiny(), path)
                 .expect("valid config")

@@ -20,7 +20,7 @@ fn main() {
     // Rendering workloads: one per application class, scaled for speed.
     for id in ["3D-PR", "NV-LE", "PS-SL"] {
         let traces = spec(id).expect("Table-2 id").scaled(0.4).build();
-        let stats = TraceStats::compute(&traces.gradcomp);
+        let stats = TraceStats::compute(traces.gradcomp());
         println!(
             "{:<22} {:>15.1}% {:>14.1} {:>12}",
             id,

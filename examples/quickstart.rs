@@ -20,7 +20,7 @@ fn main() {
     let traces = workload.scaled(0.6).build();
 
     // 2. Characterize the atomic traffic (paper §3.1).
-    let stats = TraceStats::compute(&traces.gradcomp);
+    let stats = TraceStats::compute(traces.gradcomp());
     println!(
         "gradient kernel: {} warps, {} atomic requests, \
          {:.1}% same-address warps, {:.1} mean active lanes",
@@ -34,7 +34,7 @@ fn main() {
     //    demo workloads saturate it fully).
     let cfg = GpuConfig::rtx3060_sim();
     let base =
-        run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).expect("baseline simulation");
+        run_gradcomp(&cfg, Technique::Baseline, traces.gradcomp()).expect("baseline simulation");
     println!(
         "\n{:<12} {:>10} cycles ({:.3} ms at {} GHz)",
         "Baseline", base.cycles, base.time_ms, cfg.clock_ghz
@@ -50,7 +50,7 @@ fn main() {
         Technique::LabIdeal,
         Technique::Phi,
     ] {
-        let report = run_gradcomp(&cfg, technique, &traces.gradcomp).expect("simulation drains");
+        let report = run_gradcomp(&cfg, technique, traces.gradcomp()).expect("simulation drains");
         println!(
             "{:<12} {:>10} cycles  =>  {:.2}x speedup",
             technique.label(),

@@ -23,7 +23,7 @@ fn main() {
     let mut tuner = AutoTuner::new(5);
     for iter in 0..10 {
         let thr = tuner.on_iteration(|thr| {
-            run_gradcomp(&cfg, Technique::SwB(thr), &traces.gradcomp)
+            run_gradcomp(&cfg, Technique::SwB(thr), traces.gradcomp())
                 .expect("simulation drains")
                 .cycles as f64
         });

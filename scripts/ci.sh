@@ -17,6 +17,12 @@
 #                grid runs cold then warm against a temp store; stdout
 #                must be byte-identical, the warm pass must be all hits
 #                and >= 5x faster
+#   frame        multi-kernel frame pipeline: the tile-binned 3DGS
+#                structural tests (sorted-key monotonicity, bin-edge /
+#                scan cross-check, image == functional rasterizer), the
+#                per-stage conformance battery, the harness end-to-end
+#                + stage-keyed store round-trip, and the legacy
+#                bit-identity golden
 #   passes       trace-IR optimizer pipeline: the pass-equivalence
 #                conformance subset (fused == composed, cache hits
 #                pointer-equal and byte-invisible), a determinism matrix
@@ -203,6 +209,25 @@ step_store() {
     'BEGIN { printf "warm sweep %.3fs vs cold %.3fs: %.1fx\n", w, c, c / w }'
 }
 
+step_frame() {
+  echo "== frame pipeline (tile-binned 3DGS structural tests) =="
+  # Sorted-key monotonicity, the bin-edge / exclusive-scan cross-check,
+  # and the tile-binned image matching the functional rasterizer all
+  # live in the primitives module's unit tests.
+  cargo test -q -p diffrender --lib primitives
+
+  echo "== frame pipeline (per-stage conformance battery) =="
+  # Every kernel of the 3D-TB frame through the functional oracle and
+  # the metamorphic simulator invariants.
+  CONFORMANCE_SEED=0xA12C2025 cargo test -q -p conformance --test frame_stages
+
+  echo "== frame pipeline (harness end-to-end + stage-keyed store) =="
+  cargo test -q -p arc-bench --test frame_pipeline
+
+  echo "== frame pipeline (legacy three-stage bit-identity golden) =="
+  cargo test -q -p arc-bench --test legacy_goldens
+}
+
 step_passes() {
   cargo build --release -q -p arc-bench --bin determinism
 
@@ -274,7 +299,7 @@ step_passes() {
 }
 
 usage() {
-  echo "usage: scripts/ci.sh [fmt|clippy|build|doc|test|conformance|determinism|store|passes|all]..." >&2
+  echo "usage: scripts/ci.sh [fmt|clippy|build|doc|test|conformance|determinism|store|frame|passes|all]..." >&2
   exit 2
 }
 
@@ -292,6 +317,7 @@ for s in "${steps[@]}"; do
     conformance) step_conformance ;;
     determinism) step_determinism ;;
     store) step_store ;;
+    frame) step_frame ;;
     passes) step_passes ;;
     all)
       step_fmt
@@ -302,6 +328,7 @@ for s in "${steps[@]}"; do
       step_conformance
       step_determinism
       step_store
+      step_frame
       step_passes
       ;;
     *) usage ;;

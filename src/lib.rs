@@ -15,7 +15,11 @@
 //!   Gaussian splatting, NvDiffRec-style cubemap learning, Pulsar-style
 //!   spheres) and their trace generators;
 //! * [`workloads`] — the paper's Table-2 workload registry, the
-//!   pagerank contrast workload, and the experiment runner.
+//!   pagerank contrast workload, and the experiment runner. Workloads
+//!   build multi-kernel [`workloads::FrameTrace`] pipelines of named,
+//!   role-tagged stages — the Table-2 entries as legacy
+//!   forward/loss/gradcomp triples, plus `3D-TB`, the tile-binned
+//!   3DGS frame (radix sort / scan / bin as traced kernels).
 //!
 //! # Quickstart
 //!
@@ -26,8 +30,8 @@
 //! // Build a (scaled-down) 3DGS workload and measure ARC-HW's speedup.
 //! let traces = spec("3D-LE").expect("known workload").scaled(0.2).build();
 //! let cfg = GpuConfig::tiny();
-//! let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
-//! let arc = run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).unwrap();
+//! let base = run_gradcomp(&cfg, Technique::Baseline, traces.gradcomp()).unwrap();
+//! let arc = run_gradcomp(&cfg, Technique::ArcHw, traces.gradcomp()).unwrap();
 //! assert!(arc.cycles < base.cycles);
 //! ```
 

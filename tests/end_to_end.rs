@@ -19,7 +19,7 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
     for spec_ in arc_dr::workloads::all_specs() {
         let id = spec_.id.clone();
         let traces = spec_.scaled(0.15).build();
-        let stats = TraceStats::compute(&traces.gradcomp);
+        let stats = TraceStats::compute(traces.gradcomp());
         assert!(
             stats.atomic_requests > 0,
             "{id}: gradcomp must have atomics"
@@ -27,10 +27,10 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
 
         // Baseline reference values.
         let mut reference = GlobalMemory::new();
-        reference.apply_trace(&traces.gradcomp);
+        reference.apply_trace(traces.gradcomp());
 
         for cfg_sw in [SwConfig::serialized(thr(8)), SwConfig::butterfly(thr(8))] {
-            let rewritten = rewrite_kernel_sw(&traces.gradcomp, &cfg_sw);
+            let rewritten = rewrite_kernel_sw(traces.gradcomp(), &cfg_sw);
             let mut mem = GlobalMemory::new();
             mem.apply_trace(&rewritten.trace);
             let diff = reference.max_abs_diff(&mem);
@@ -40,7 +40,7 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
                 cfg_sw.label()
             );
         }
-        let cccl = rewrite_kernel_cccl(&traces.gradcomp);
+        let cccl = rewrite_kernel_cccl(traces.gradcomp());
         let mut mem = GlobalMemory::new();
         mem.apply_trace(&cccl.trace);
         assert!(reference.max_abs_diff(&mem) < 1e-2, "{id}/CCCL gradients");
@@ -51,7 +51,7 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
             Technique::ArcHw,
             Technique::SwB(thr(8)),
         ] {
-            let report = run_gradcomp(&cfg, technique, &traces.gradcomp)
+            let report = run_gradcomp(&cfg, technique, traces.gradcomp())
                 .unwrap_or_else(|e| panic!("{id}/{}: {e}", technique.label()));
             assert!(report.cycles > 0);
         }
@@ -65,9 +65,9 @@ fn all_workloads_build_simulate_and_rewrite_faithfully() {
 fn arc_accelerates_gradcomp_with_fewer_stalls_and_less_energy() {
     let traces = spec("3D-DR").unwrap().scaled(0.2).build();
     let cfg = GpuConfig::tiny();
-    let base = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
-    let hw = run_gradcomp(&cfg, Technique::ArcHw, &traces.gradcomp).unwrap();
-    let sw = run_gradcomp(&cfg, Technique::SwB(thr(8)), &traces.gradcomp).unwrap();
+    let base = run_gradcomp(&cfg, Technique::Baseline, traces.gradcomp()).unwrap();
+    let hw = run_gradcomp(&cfg, Technique::ArcHw, traces.gradcomp()).unwrap();
+    let sw = run_gradcomp(&cfg, Technique::SwB(thr(8)), traces.gradcomp()).unwrap();
 
     assert!(
         hw.cycles < base.cycles,
@@ -108,8 +108,8 @@ fn e2e_speedup_below_gradcomp_speedup() {
     let technique = Technique::SwB(thr(8));
     let base_it = run_iteration(&cfg, Technique::Baseline, &traces).unwrap();
     let sw_it = run_iteration(&cfg, technique, &traces).unwrap();
-    let base_k = run_gradcomp(&cfg, Technique::Baseline, &traces.gradcomp).unwrap();
-    let sw_k = run_gradcomp(&cfg, technique, &traces.gradcomp).unwrap();
+    let base_k = run_gradcomp(&cfg, Technique::Baseline, traces.gradcomp()).unwrap();
+    let sw_k = run_gradcomp(&cfg, technique, traces.gradcomp()).unwrap();
     let e2e = base_it.total_cycles() as f64 / sw_it.total_cycles() as f64;
     let grad = base_k.cycles as f64 / sw_k.cycles as f64;
     assert!(e2e > 1.0, "end-to-end should still improve, got {e2e:.2}");
@@ -124,7 +124,7 @@ fn e2e_speedup_below_gradcomp_speedup() {
 #[test]
 fn atomred_traces_run_on_baseline_hardware() {
     let traces = spec("PS-SS").unwrap().scaled(0.2).build();
-    let trace = Technique::ArcHw.prepare(&traces.gradcomp);
+    let trace = Technique::ArcHw.prepare(traces.gradcomp());
     let sim = Simulator::new(GpuConfig::tiny(), AtomicPath::Baseline).unwrap();
     let report = sim.run(&trace).unwrap();
     assert_eq!(report.counters.redunit_lane_ops, 0);
@@ -138,10 +138,10 @@ fn full_pipeline_is_deterministic() {
     let build = || spec("NV-SH").unwrap().scaled(0.2).build();
     let a = build();
     let b = build();
-    assert_eq!(a.gradcomp, b.gradcomp);
+    assert_eq!(a.gradcomp(), b.gradcomp());
     let cfg = GpuConfig::tiny();
-    let ra = run_gradcomp(&cfg, Technique::ArcHw, &a.gradcomp).unwrap();
-    let rb = run_gradcomp(&cfg, Technique::ArcHw, &b.gradcomp).unwrap();
+    let ra = run_gradcomp(&cfg, Technique::ArcHw, a.gradcomp()).unwrap();
+    let rb = run_gradcomp(&cfg, Technique::ArcHw, b.gradcomp()).unwrap();
     assert_eq!(ra.cycles, rb.cycles);
     assert_eq!(ra.counters, rb.counters);
 }
@@ -151,7 +151,7 @@ fn full_pipeline_is_deterministic() {
 #[test]
 fn traces_serialize_roundtrip() {
     let traces = spec("PS-SS").unwrap().scaled(0.15).build();
-    let json = serde_json::to_string(&traces.gradcomp).expect("serialize");
+    let json = serde_json::to_string(traces.gradcomp()).expect("serialize");
     let back: arc_dr::trace::KernelTrace = serde_json::from_str(&json).expect("deserialize");
-    assert_eq!(back, traces.gradcomp);
+    assert_eq!(&back, traces.gradcomp());
 }
